@@ -1,0 +1,481 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation, plus the ablations documented in DESIGN.md.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig2      # one experiment
+     dune exec bench/main.exe -- --quick   # smaller horizons/sweeps
+
+   Experiments (see DESIGN.md section 3):
+     fig2   Figure 2   round-trip PPC cost breakdown (8 conditions)
+     fig3   Figure 3   GetLength throughput scaling, 1..16 CPUs (+ plot)
+     t3     T-text-3   worst-case caches (dirty D + cold I)
+     f3b               Zipf file popularity between the Figure-3 extremes
+     f3c               request origin: programs vs parallel program
+     l1                GetLength latency under open-loop load
+     intro  T-intro    uniprocessor null-RPC context table
+     a1..a9            design-choice ablations (hold-CD, LRPC, async,
+                       message passing, stack policies, RW locks,
+                       compat transports, clustering)
+     e1, e2            cross-processor PPC; migration vs technology
+     bechamel          machine-time microbenchmarks (one subject per
+                       experiment + the real multicore A5 measurements)
+
+   The simulated results are deterministic; the Bechamel section measures
+   real wall time on this host. *)
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+(* --- Figure 2 ----------------------------------------------------------- *)
+
+let run_fig2 () =
+  section "Figure 2: round-trip PPC time breakdown (simulated us)";
+  let results = Experiments.Fig2.run_all () in
+  (* Paper-style stacked columns: categories as rows, conditions as
+     columns. *)
+  let cols = results in
+  Fmt.pr "%-22s" "";
+  List.iter
+    (fun r ->
+      let c = r.Experiments.Fig2.condition in
+      Fmt.pr "%10s"
+        (Printf.sprintf "%s/%s"
+           (match c.Experiments.Fig2.target with
+           | Experiments.Fig2.To_user -> "u2u"
+           | Experiments.Fig2.To_kernel -> "u2k")
+           (if c.Experiments.Fig2.hold_cd then "hold" else "noCD")))
+    cols;
+  Fmt.pr "@.%-22s" "";
+  List.iter
+    (fun r ->
+      Fmt.pr "%10s"
+        (if r.Experiments.Fig2.condition.Experiments.Fig2.flushed then "flushed"
+         else "primed"))
+    cols;
+  Fmt.pr "@.";
+  List.iter
+    (fun cat ->
+      Fmt.pr "%-22s" (Machine.Account.name cat);
+      List.iter
+        (fun r ->
+          let us =
+            try List.assoc cat r.Experiments.Fig2.breakdown with Not_found -> 0.0
+          in
+          Fmt.pr "%10.2f" us)
+        cols;
+      Fmt.pr "@.")
+    Machine.Account.all;
+  Fmt.pr "%-22s" "TOTAL (measured)";
+  List.iter (fun r -> Fmt.pr "%10.2f" r.Experiments.Fig2.total_us) cols;
+  Fmt.pr "@.%-22s" "TOTAL (paper)";
+  List.iter
+    (fun r ->
+      match r.Experiments.Fig2.paper_us with
+      | Some p -> Fmt.pr "%10.1f" p
+      | None -> Fmt.pr "%10s" "-")
+    cols;
+  Fmt.pr "@.%-22s" "error vs paper";
+  List.iter
+    (fun r ->
+      match r.Experiments.Fig2.paper_us with
+      | Some p ->
+          Fmt.pr "%9.1f%%" (100.0 *. (r.Experiments.Fig2.total_us -. p) /. p)
+      | None -> Fmt.pr "%10s" "-")
+    cols;
+  Fmt.pr "@."
+
+(* --- Figure 3 ----------------------------------------------------------- *)
+
+let run_fig3 ~quick () =
+  section "Figure 3: GetLength throughput vs processors (simulated)";
+  let max_cpus = 16 in
+  let horizon = if quick then Sim.Time.ms 50 else Sim.Time.ms 200 in
+  let diff =
+    Experiments.Fig3.run ~max_cpus ~horizon
+      ~mode:Experiments.Fig3.Different_files ()
+  in
+  let single =
+    Experiments.Fig3.run ~max_cpus ~horizon ~mode:Experiments.Fig3.Single_file ()
+  in
+  Fmt.pr
+    "  base GetLength latency: %.1f us (paper: 66 us; half IPC, half server)@.@."
+    diff.Experiments.Fig3.base_call_us;
+  Fmt.pr " CPUs   perfect     different-files   single-file@.";
+  List.iter2
+    (fun pd ps ->
+      Fmt.pr "  %2d   %9.0f   %9.0f (%.2fx)  %9.0f (%.2fx)@."
+        pd.Experiments.Fig3.cpus
+        (diff.Experiments.Fig3.perfect pd.Experiments.Fig3.cpus)
+        pd.Experiments.Fig3.throughput
+        (pd.Experiments.Fig3.throughput
+        /. diff.Experiments.Fig3.perfect pd.Experiments.Fig3.cpus)
+        ps.Experiments.Fig3.throughput
+        (ps.Experiments.Fig3.throughput
+        /. single.Experiments.Fig3.perfect ps.Experiments.Fig3.cpus))
+    diff.Experiments.Fig3.points single.Experiments.Fig3.points;
+  Fmt.pr
+    "@.  different-files linearity: %.3f (paper: linear);  single-file \
+     saturates at %d CPUs (paper: 4)@."
+    (Experiments.Fig3.linearity diff)
+    (Experiments.Fig3.saturation_cpus single);
+  (* The figure itself, in the paper's shape: throughput vs processors. *)
+  let max_y = diff.Experiments.Fig3.perfect max_cpus in
+  let rows = 14 in
+  Fmt.pr "@.  %8.0f +%s@." max_y (String.make (max_cpus * 4) '-');
+  for row = rows - 1 downto 0 do
+    let y_lo = max_y *. float_of_int row /. float_of_int rows in
+    let y_hi = max_y *. float_of_int (row + 1) /. float_of_int rows in
+    let cell cpus =
+      let within v = v >= y_lo && v < y_hi in
+      let d =
+        (List.nth diff.Experiments.Fig3.points (cpus - 1))
+          .Experiments.Fig3.throughput
+      and s =
+        (List.nth single.Experiments.Fig3.points (cpus - 1))
+          .Experiments.Fig3.throughput
+      and p = diff.Experiments.Fig3.perfect cpus in
+      if within d && within s then "*"
+      else if within d then "D"
+      else if within s then "S"
+      else if within p then "."
+      else " "
+    in
+    Fmt.pr "  %8s |" "";
+    for cpus = 1 to max_cpus do
+      Fmt.pr " %s  " (cell cpus)
+    done;
+    Fmt.pr "@."
+  done;
+  Fmt.pr "  %8d +%s@." 0 (String.make (max_cpus * 4) '-');
+  Fmt.pr "  %8s  " "";
+  for cpus = 1 to max_cpus do
+    Fmt.pr "%2d  " cpus
+  done;
+  Fmt.pr "@.  %8s   calls/s vs processors:  . perfect   D different files   S single file@." ""
+
+(* --- remaining experiments ---------------------------------------------- *)
+
+let run_t3 () =
+  section "T-text-3: worst-case caches (dirty D + cold I)";
+  Fmt.pr "%a@." Experiments.Fig2_icache.pp_result (Experiments.Fig2_icache.run ())
+
+let run_f3b ~quick () =
+  section "F3b: Zipf file popularity between the Figure-3 extremes";
+  let horizon = if quick then Sim.Time.ms 20 else Sim.Time.ms 50 in
+  Fmt.pr "%a@." Experiments.Fig3_zipf.pp_result
+    (Experiments.Fig3_zipf.run ~horizon ())
+
+let run_f3c ~quick () =
+  section "F3c: request origin (programs vs parallel program)";
+  let horizon = if quick then Sim.Time.ms 20 else Sim.Time.ms 50 in
+  Fmt.pr "%a@." Experiments.Program_mix.pp_result
+    (Experiments.Program_mix.run ~horizon ())
+
+let run_l1 ~quick () =
+  section "L1: latency under load";
+  let horizon = if quick then Sim.Time.ms 25 else Sim.Time.ms 60 in
+  Fmt.pr "%a@." Experiments.Latency_load.pp_result
+    ( Experiments.Latency_load.Different_files,
+      Experiments.Latency_load.run ~horizon
+        ~mode:Experiments.Latency_load.Different_files () );
+  Fmt.pr "%a@." Experiments.Latency_load.pp_result
+    ( Experiments.Latency_load.Single_file,
+      Experiments.Latency_load.run ~horizon
+        ~mode:Experiments.Latency_load.Single_file () )
+
+let run_intro () =
+  section "T-intro: uniprocessor null-RPC context";
+  Fmt.pr "%a@." Experiments.Uniproc_context.pp_result
+    (Experiments.Uniproc_context.run ())
+
+let run_a1 ~quick () =
+  section "A1: hold-CD vs recycled stacks under multi-server mixes";
+  let calls = if quick then 100 else 300 in
+  Fmt.pr "%a@." Experiments.Ablate_holdcd.pp_result
+    (Experiments.Ablate_holdcd.run ~calls ())
+
+let run_a2 ~quick () =
+  section "A2: PPC per-CPU pools vs LRPC-style shared locked pools";
+  let horizon = if quick then Sim.Time.ms 25 else Sim.Time.ms 100 in
+  Fmt.pr "%a@." Experiments.Ablate_lrpc.pp_result
+    (Experiments.Ablate_lrpc.run ~max_cpus:16 ~horizon ())
+
+let run_a3 () =
+  section "A3: asynchronous prefetch PPCs";
+  Fmt.pr "%a@." Experiments.Ablate_async.pp_result (Experiments.Ablate_async.run ())
+
+let run_a4 () =
+  section "A4: PPC vs the pre-existing message-passing IPC";
+  Fmt.pr "%a@." Experiments.Ablate_msg.pp_result (Experiments.Ablate_msg.run ())
+
+let run_a6 () =
+  section "A6: stack-size policies (Section 4.5.4)";
+  Fmt.pr "%a@." Experiments.Ablate_stack.pp_result (Experiments.Ablate_stack.run ())
+
+let run_a7 ~quick () =
+  section "A7: server-side locking granularity (mutex vs RW)";
+  let horizon = if quick then Sim.Time.ms 20 else Sim.Time.ms 50 in
+  Fmt.pr "%a@." Experiments.Ablate_rwlock.pp_result
+    (Experiments.Ablate_rwlock.run ~horizon ())
+
+let run_a8 () =
+  section "A8: legacy message service — three transports";
+  Fmt.pr "%a@." Experiments.Ablate_compat.pp_result (Experiments.Ablate_compat.run ())
+
+let run_a9 ~quick () =
+  section "A9: clustered name service (hierarchical clustering)";
+  let horizon = if quick then Sim.Time.ms 15 else Sim.Time.ms 40 in
+  Fmt.pr "%a@." Experiments.Ablate_cluster.pp_result
+    (Experiments.Ablate_cluster.run ~horizon ())
+
+let run_e2 () =
+  section "E2: idle-processor migration under two technology regimes";
+  Fmt.pr "%a@." Experiments.Ablate_migration.pp_result
+    (Experiments.Ablate_migration.run ())
+
+let run_e1 () =
+  section "E1: cross-processor PPC variant (Section 4.3 future work)";
+  Fmt.pr "%a@." Experiments.Ablate_remote.pp_result
+    (Experiments.Ablate_remote.run ())
+
+(* --- Bechamel: machine-time microbenchmarks ------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* One Test.make per table/figure: each subject regenerates (a reduced
+   version of) that experiment, so the suite both exercises every harness
+   and measures the simulator's own speed.  The a5_* subjects are the
+   real-multicore measurements (ablation A5). *)
+
+let bechamel_tests ~with_cross_domain =
+  let fig2_subject =
+    Test.make ~name:"fig2:u2u-call-path"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig2.run ~warmup:4
+                {
+                  Experiments.Fig2.target = Experiments.Fig2.To_user;
+                  hold_cd = false;
+                  flushed = false;
+                })))
+  in
+  let fig3_subject =
+    Test.make ~name:"fig3:getlength-2cpu"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig3.run_point ~horizon:(Sim.Time.ms 2)
+                ~mode:Experiments.Fig3.Different_files ~cpus:2 ())))
+  in
+  let a1_subject =
+    Test.make ~name:"a1:holdcd-mix"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Ablate_holdcd.run ~calls:20 ~server_counts:[ 2 ] ())))
+  in
+  let a2_subject =
+    Test.make ~name:"a2:lrpc-2cpu"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Ablate_lrpc.run ~max_cpus:2 ~horizon:(Sim.Time.ms 2) ())))
+  in
+  let a3_subject =
+    Test.make ~name:"a3:prefetch"
+      (Staged.stage (fun () -> ignore (Experiments.Ablate_async.run ~blocks:4 ())))
+  in
+  let a4_subject =
+    Test.make ~name:"a4:msg-vs-ppc"
+      (Staged.stage (fun () -> ignore (Experiments.Ablate_msg.run ())))
+  in
+  let t3_subject =
+    Test.make ~name:"t3:worst-case-caches"
+      (Staged.stage (fun () -> ignore (Experiments.Fig2_icache.run ())))
+  in
+  let f3b_subject =
+    Test.make ~name:"f3b:zipf-sweep"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Fig3_zipf.run ~cpus:2 ~files:2
+                ~horizon:(Sim.Time.ms 2) ~thetas:[ 1.0 ] ())))
+  in
+  let f3c_subject =
+    Test.make ~name:"f3c:program-mix"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Program_mix.run ~cpus:2 ~horizon:(Sim.Time.ms 2) ())))
+  in
+  let l1_subject =
+    Test.make ~name:"l1:latency-load"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Latency_load.run ~cpus:2 ~horizon:(Sim.Time.ms 2)
+                ~thinks:[ 100.0 ] ~mode:Experiments.Latency_load.Single_file ())))
+  in
+  let a7_subject =
+    Test.make ~name:"a7:rwlock"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Ablate_rwlock.run ~max_cpus:2 ~horizon:(Sim.Time.ms 2) ())))
+  in
+  let a8_subject =
+    Test.make ~name:"a8:compat-transports"
+      (Staged.stage (fun () -> ignore (Experiments.Ablate_compat.run ())))
+  in
+  let a9_subject =
+    Test.make ~name:"a9:clustered-naming"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Ablate_cluster.run ~horizon:(Sim.Time.ms 2) ())))
+  in
+  let e2_subject =
+    Test.make ~name:"e2:migration-regimes"
+      (Staged.stage (fun () -> ignore (Experiments.Ablate_migration.run ())))
+  in
+  let a6_subject =
+    Test.make ~name:"a6:stack-policies"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Ablate_stack.run ~deep_pages:2 ())))
+  in
+  let e1_subject =
+    Test.make ~name:"e1:remote-ppc"
+      (Staged.stage (fun () -> ignore (Experiments.Ablate_remote.run ~cpus:4 ())))
+  in
+  (* A5: the real-multicore runtime, measured for real. *)
+  let fast = Runtime.Fastcall.create () in
+  let fast_ep =
+    Runtime.Fastcall.register fast (fun _ctx args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let fast_args = Array.make 8 0 in
+  let a5_local =
+    Test.make ~name:"a5:fastcall-local"
+      (Staged.stage (fun () ->
+           fast_args.(0) <- 1;
+           fast_args.(1) <- 2;
+           ignore (Runtime.Fastcall.call fast ~ep:fast_ep fast_args)))
+  in
+  let locked = Runtime.Locked_registry.create () in
+  let locked_ep =
+    Runtime.Locked_registry.register locked (fun _frame args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let a5_locked =
+    Test.make ~name:"a5:locked-registry"
+      (Staged.stage (fun () ->
+           fast_args.(0) <- 1;
+           fast_args.(1) <- 2;
+           ignore (Runtime.Locked_registry.call locked ~ep:locked_ep fast_args)))
+  in
+  let striped = Runtime.Striped_counter.create () in
+  let a5_striped =
+    Test.make ~name:"a5:striped-counter-incr"
+      (Staged.stage (fun () -> Runtime.Striped_counter.incr striped))
+  in
+  let plain = Atomic.make 0 in
+  let a5_atomic =
+    Test.make ~name:"a5:single-atomic-incr"
+      (Staged.stage (fun () -> Atomic.incr plain))
+  in
+  let cross_tests =
+    if not with_cross_domain then []
+    else begin
+      let sd = Runtime.Fastcall.spawn_server fast in
+      [
+        ( Test.make ~name:"a5:fastcall-cross-domain"
+            (Staged.stage (fun () ->
+                 fast_args.(0) <- 1;
+                 fast_args.(1) <- 2;
+                 ignore (Runtime.Fastcall.cross_call sd ~ep:fast_ep fast_args))),
+          fun () -> Runtime.Fastcall.shutdown_server sd );
+      ]
+    end
+  in
+  ( [
+      fig2_subject;
+      fig3_subject;
+      a1_subject;
+      a2_subject;
+      a3_subject;
+      a4_subject;
+      a6_subject;
+      a7_subject;
+      a8_subject;
+      a9_subject;
+      t3_subject;
+      f3b_subject;
+      f3c_subject;
+      l1_subject;
+      e1_subject;
+      e2_subject;
+      a5_local;
+      a5_locked;
+      a5_striped;
+      a5_atomic;
+    ]
+    @ List.map fst cross_tests,
+    List.map snd cross_tests )
+
+let run_bechamel ~quick () =
+  section "Bechamel microbenchmarks (real machine time on this host)";
+  let tests, cleanups = bechamel_tests ~with_cross_domain:(not quick) in
+  let grouped = Test.make_grouped ~name:"ppc" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let quota = if quick then 0.25 else 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      let ns =
+        match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> Float.nan
+      in
+      if ns >= 1e6 then Fmt.pr "  %-32s %12.3f ms/run@." name (ns /. 1e6)
+      else if ns >= 1e3 then Fmt.pr "  %-32s %12.3f us/run@." name (ns /. 1e3)
+      else Fmt.pr "  %-32s %12.1f ns/run@." name ns)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  List.iter (fun cleanup -> cleanup ()) cleanups
+
+(* --- driver --------------------------------------------------------------- *)
+
+let known =
+  [
+    "fig2"; "fig3"; "t3"; "f3b"; "f3c"; "l1"; "intro"; "a1"; "a2"; "a3"; "a4";
+    "a6"; "a7"; "a8"; "a9"; "e1"; "e2"; "bechamel";
+  ]
+
+let usage () =
+  Fmt.pr "usage: bench/main.exe [--quick] [%s]...@."
+    (String.concat "|" known);
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let which = List.filter (fun a -> a <> "--quick") args in
+  List.iter (fun a -> if not (List.mem a known) then usage ()) which;
+  let all = which = [] in
+  let want name = all || List.mem name which in
+  Fmt.pr
+    "PPC IPC reproduction benchmarks — Gamsa, Krieger & Stumm (CSRI-294, 1994)@.";
+  if want "fig2" then run_fig2 ();
+  if want "fig3" then run_fig3 ~quick ();
+  if want "t3" then run_t3 ();
+  if want "f3b" then run_f3b ~quick ();
+  if want "f3c" then run_f3c ~quick ();
+  if want "l1" then run_l1 ~quick ();
+  if want "intro" then run_intro ();
+  if want "a1" then run_a1 ~quick ();
+  if want "a2" then run_a2 ~quick ();
+  if want "a3" then run_a3 ();
+  if want "a4" then run_a4 ();
+  if want "a6" then run_a6 ();
+  if want "a7" then run_a7 ~quick ();
+  if want "a8" then run_a8 ();
+  if want "a9" then run_a9 ~quick ();
+  if want "e1" then run_e1 ();
+  if want "e2" then run_e2 ();
+  if want "bechamel" then run_bechamel ~quick ();
+  Fmt.pr "@.done.@."

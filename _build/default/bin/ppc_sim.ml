@@ -1,0 +1,226 @@
+(* ppc_sim: command-line driver for the simulated experiments.
+
+     ppc_sim fig2 [--condition u2u-nocd-primed]
+     ppc_sim fig3 [--cpus 16] [--horizon-ms 200] [--mode single|different]
+     ppc_sim a1|a2|a3|a4|e1|intro
+
+   The bench binary (bench/main.exe) regenerates everything at once; this
+   tool is for poking at one experiment with custom parameters. *)
+
+open Cmdliner
+
+(* -v / --verbosity: route Logs through a stderr reporter. *)
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let fig2_cmd =
+  let condition =
+    let parse s =
+      let parts = String.split_on_char '-' s in
+      match parts with
+      | [ t; cd; cache ] -> (
+          match
+            ( (match t with
+              | "u2u" -> Some Experiments.Fig2.To_user
+              | "u2k" -> Some Experiments.Fig2.To_kernel
+              | _ -> None),
+              (match cd with
+              | "nocd" -> Some false
+              | "hold" -> Some true
+              | _ -> None),
+              match cache with
+              | "primed" -> Some false
+              | "flushed" -> Some true
+              | _ -> None )
+          with
+          | Some target, Some hold_cd, Some flushed ->
+              Ok { Experiments.Fig2.target; hold_cd; flushed }
+          | _ -> Error (`Msg "expected e.g. u2u-nocd-primed"))
+      | _ -> Error (`Msg "expected e.g. u2u-nocd-primed")
+    in
+    let print ppf c = Fmt.string ppf (Experiments.Fig2.condition_name c) in
+    Arg.conv (parse, print)
+  in
+  let cond_arg =
+    Arg.(
+      value
+      & opt (some condition) None
+      & info [ "condition" ] ~docv:"COND"
+          ~doc:
+            "Run a single condition (e.g. u2u-nocd-primed, u2k-hold-flushed) \
+             instead of all eight.")
+  in
+  let run cond =
+    match cond with
+    | Some c -> Fmt.pr "%a@." Experiments.Fig2.pp_result (Experiments.Fig2.run c)
+    | None ->
+        List.iter
+          (fun r -> Fmt.pr "%a@." Experiments.Fig2.pp_result r)
+          (Experiments.Fig2.run_all ())
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Figure 2: PPC round-trip cost breakdown")
+    Term.(const (fun () c -> run c) $ logs_term $ cond_arg)
+
+let fig3_cmd =
+  let cpus =
+    Arg.(value & opt int 16 & info [ "cpus" ] ~docv:"N" ~doc:"Maximum CPUs.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 200
+      & info [ "horizon-ms" ] ~docv:"MS" ~doc:"Simulated run length per point.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum [ ("different", `Different); ("single", `Single); ("both", `Both) ])
+          `Both
+      & info [ "mode" ] ~docv:"MODE" ~doc:"File sharing regime.")
+  in
+  let run cpus horizon mode =
+    let horizon = Sim.Time.ms horizon in
+    let go m =
+      Fmt.pr "%a@." Experiments.Fig3.pp_result
+        (Experiments.Fig3.run ~max_cpus:cpus ~horizon ~mode:m ())
+    in
+    match mode with
+    | `Different -> go Experiments.Fig3.Different_files
+    | `Single -> go Experiments.Fig3.Single_file
+    | `Both ->
+        go Experiments.Fig3.Different_files;
+        go Experiments.Fig3.Single_file
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Figure 3: GetLength throughput scaling")
+    Term.(const (fun () a b c -> run a b c) $ logs_term $ cpus $ horizon $ mode)
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () () -> f ()) $ logs_term $ const ())
+
+let a1_cmd =
+  simple "a1" "Ablation: hold-CD vs recycled stacks" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_holdcd.pp_result
+        (Experiments.Ablate_holdcd.run ()))
+
+let a2_cmd =
+  simple "a2" "Ablation: PPC vs LRPC-style shared pools" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_lrpc.pp_result
+        (Experiments.Ablate_lrpc.run ()))
+
+let a3_cmd =
+  simple "a3" "Ablation: asynchronous prefetch" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_async.pp_result
+        (Experiments.Ablate_async.run ()))
+
+let a4_cmd =
+  simple "a4" "Ablation: PPC vs message-passing IPC" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_msg.pp_result (Experiments.Ablate_msg.run ()))
+
+let a7_cmd =
+  simple "a7" "Ablation: mutex vs RW lock in the file server" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_rwlock.pp_result
+        (Experiments.Ablate_rwlock.run ()))
+
+let a8_cmd =
+  simple "a8" "Ablation: legacy message service on three transports" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_compat.pp_result
+        (Experiments.Ablate_compat.run ()))
+
+let a9_cmd =
+  simple "a9" "Ablation: clustered vs central name service" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_cluster.pp_result
+        (Experiments.Ablate_cluster.run ()))
+
+let e1_cmd =
+  simple "e1" "Extension: cross-processor PPC" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_remote.pp_result
+        (Experiments.Ablate_remote.run ()))
+
+let t3_cmd =
+  simple "t3" "Worst-case caches (dirty D + cold I)" (fun () ->
+      Fmt.pr "%a@." Experiments.Fig2_icache.pp_result
+        (Experiments.Fig2_icache.run ()))
+
+let f3b_cmd =
+  simple "f3b" "Zipf file popularity sweep" (fun () ->
+      Fmt.pr "%a@." Experiments.Fig3_zipf.pp_result (Experiments.Fig3_zipf.run ()))
+
+let f3c_cmd =
+  simple "f3c" "Request origin: programs vs parallel program" (fun () ->
+      Fmt.pr "%a@." Experiments.Program_mix.pp_result
+        (Experiments.Program_mix.run ()))
+
+let l1_cmd =
+  simple "l1" "Latency under load" (fun () ->
+      Fmt.pr "%a@." Experiments.Latency_load.pp_result
+        ( Experiments.Latency_load.Different_files,
+          Experiments.Latency_load.run
+            ~mode:Experiments.Latency_load.Different_files () );
+      Fmt.pr "%a@." Experiments.Latency_load.pp_result
+        ( Experiments.Latency_load.Single_file,
+          Experiments.Latency_load.run
+            ~mode:Experiments.Latency_load.Single_file () ))
+
+let e2_cmd =
+  simple "e2" "Extension: migration under two technology regimes" (fun () ->
+      Fmt.pr "%a@." Experiments.Ablate_migration.pp_result
+        (Experiments.Ablate_migration.run ()))
+
+let intro_cmd =
+  simple "intro" "Uniprocessor IPC context table" (fun () ->
+      Fmt.pr "%a@." Experiments.Uniproc_context.pp_result
+        (Experiments.Uniproc_context.run ()))
+
+let trace_cmd =
+  let target =
+    Arg.(
+      value
+      & opt (enum [ ("user", `User); ("kernel", `Kernel) ]) `User
+      & info [ "target" ] ~docv:"KIND" ~doc:"Server address space.")
+  in
+  let run target =
+    let kern = Kernel.create ~cpus:1 () in
+    let tr = Sim.Trace.create () in
+    Sim.Engine.set_trace (Kernel.engine kern) (Some tr);
+    let ppc = Ppc.create kern in
+    let server =
+      match target with
+      | `User -> Ppc.make_user_server ppc ~name:"traced" ()
+      | `Kernel -> Ppc.make_kernel_server ppc ~name:"traced" ()
+    in
+    let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    let program = Kernel.new_program kern ~name:"client" in
+    let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+    ignore
+      (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+         ~program ~space (fun self ->
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()));
+           Sim.Trace.clear tr;
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))));
+    Kernel.run kern;
+    Fmt.pr "%a" Sim.Trace.pp tr
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the event timeline of one warm PPC call")
+    Term.(const (fun () t -> run t) $ logs_term $ target)
+
+let () =
+  let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
+  let info = Cmd.info "ppc_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
+            a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,71 @@
+(* A miniature boot: init brings up the system services, registers
+   executables with the program manager, and spawns demand-paged worker
+   programs across the machine; the workers find the counter server by
+   name and hammer it.
+
+     dune exec examples/boot.exe *)
+
+let cpus = 4
+
+let () =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let ns = Naming.Name_server.install ppc in
+  let counter =
+    Servers.Counter_server.install ppc ~mode:Servers.Counter_server.Sharded
+  in
+  let pm = Sysmgr.Program_manager.install ppc in
+
+  (* The worker image: looks the counter up by name, then works. *)
+  Sysmgr.Program_manager.register_exe pm
+    {
+      Sysmgr.Program_manager.exe_name = "worker";
+      text_pages = 2;
+      stack_pages = 1;
+      body =
+        (fun self vm ->
+          let cpu =
+            Machine.cpu (Kernel.machine kern) (Kernel.Process.cpu_index self)
+          in
+          (* Fault the text in (the pager fills it). *)
+          Vm.read vm ~cpu ~proc:self ~vaddr:0x10_0000;
+          match Naming.Name_server.lookup ns ~client:self ~name:"counter" with
+          | Error rc -> Fmt.failwith "worker: lookup failed rc=%d" rc
+          | Ok _ep ->
+              for _ = 1 to 50 do
+                ignore (Servers.Counter_server.increment counter ~client:self)
+              done;
+              Fmt.pr "[%a] worker on cpu%d done@." Sim.Time.pp (Kernel.now kern)
+                (Kernel.Process.cpu_index self));
+    };
+
+  (* Init: publish services, then spawn one worker per remaining CPU. *)
+  let init_prog = Kernel.new_program kern ~name:"init" in
+  let init_space = Kernel.new_user_space kern ~name:"init" ~node:0 in
+  Naming.Auth.grant
+    (Sysmgr.Program_manager.auth pm)
+    ~program:(Kernel.Program.id init_prog)
+    ~perms:[ Naming.Auth.Admin ];
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"init" ~kind:Kernel.Process.Client
+       ~program:init_prog ~space:init_space (fun self ->
+         let rc =
+           Naming.Name_server.register ns ~client:self ~name:"counter"
+             ~ep_id:(Servers.Counter_server.ep_id counter)
+         in
+         assert (rc = Ppc.Reg_args.ok);
+         Fmt.pr "[%a] init: services registered@." Sim.Time.pp (Kernel.now kern);
+         for cpu = 1 to cpus - 1 do
+           match
+             Sysmgr.Program_manager.spawn pm ~client:self ~name:"worker"
+               ~cpu_index:cpu
+           with
+           | Ok pid ->
+               Fmt.pr "[%a] init: spawned worker pid=%d on cpu%d@." Sim.Time.pp
+                 (Kernel.now kern) pid cpu
+           | Error rc -> Fmt.failwith "init: spawn failed rc=%d" rc
+         done));
+  Kernel.run kern;
+  Fmt.pr "@.counter total: %d (3 workers x 50); %d programs spawned@."
+    (Servers.Counter_server.value counter)
+    (Sysmgr.Program_manager.spawned pm)

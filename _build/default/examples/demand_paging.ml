@@ -1,0 +1,56 @@
+(* Demand paging across the whole stack: a touch of an unmapped page
+   becomes a page fault, the fault becomes a PPC to the user-level pager,
+   the pager reads the backing store through the disk server (blocking
+   its worker), the disk's completion interrupt is dispatched as another
+   PPC, and the faulting program resumes.
+
+     dune exec examples/demand_paging.exe *)
+
+let base = 0x40_0000
+
+let () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let disk =
+    Servers.Disk.create kern ~owner_cpu:1 ~vector:9 ~latency:(Sim.Time.us 400)
+  in
+  let dev = Servers.Device_server.install ppc ~disk in
+  let pager = Vm.Pager.install ~disk:dev ppc in
+  let space = Kernel.new_user_space kern ~name:"app" ~node:0 in
+  let vm = Vm.create ~ppc kern ~space ~node:0 in
+  ignore
+    (Vm.add_region vm ~base ~len:(4 * 4096)
+       ~backing:(Vm.Paged { pager_ep = Vm.Pager.ep_id pager; tag = 1 })
+       ~prot:Vm.Rw);
+  ignore
+    (Vm.add_region vm ~base:0x80_0000 ~len:4096 ~backing:Vm.Demand_zero
+       ~prot:Vm.Rw);
+
+  let program = Kernel.new_program kern ~name:"app" in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"app" ~kind:Kernel.Process.Client ~program
+       ~space (fun self ->
+         let cpu = Machine.cpu (Kernel.machine kern) 0 in
+         Fmt.pr "touching 4 disk-backed pages:@.";
+         for p = 0 to 3 do
+           let t0 = Kernel.now kern in
+           Vm.read vm ~cpu ~proc:self ~vaddr:(base + (p * 4096));
+           Fmt.pr "  page %d faulted in: %.0f us (disk-backed)@." p
+             (Sim.Time.to_us (Sim.Time.sub (Kernel.now kern) t0))
+         done;
+         let t0 = Kernel.now kern in
+         Vm.read vm ~cpu ~proc:self ~vaddr:(base + 128);
+         Fmt.pr "warm re-touch:      %.2f us@."
+           (Sim.Time.to_us (Sim.Time.sub (Kernel.now kern) t0));
+         let t0 = Kernel.now kern in
+         Vm.write vm ~cpu ~proc:self ~vaddr:0x80_0000;
+         Fmt.pr "demand-zero fault:  %.0f us (no disk)@."
+           (Sim.Time.to_us (Sim.Time.sub (Kernel.now kern) t0))));
+  Kernel.run kern;
+  Fmt.pr
+    "@.vm: %d faults (%d via pager, %d disk fills, %d zero fills); disk \
+     serviced %d@."
+    (Vm.faults vm) (Vm.pager_calls vm)
+    (Vm.Pager.disk_fills pager)
+    (Vm.zero_fills vm)
+    (Servers.Disk.serviced disk)

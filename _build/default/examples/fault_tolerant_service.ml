@@ -1,0 +1,75 @@
+(* Service lifecycle management: worker initialization, on-line handler
+   replacement (Exchange), soft-kill, hard-kill, and exception upcalls.
+
+     dune exec examples/fault_tolerant_service.exe *)
+
+let () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let es = Servers.Exception_server.install ppc in
+
+  (* Version 1 of a service, with a worker-init routine (Section 4.5.3). *)
+  let inits = ref 0 in
+  let rec v1_init ctx args =
+    incr inits;
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 200;
+    ctx.Ppc.Call_ctx.swap_handler v1;
+    v1 ctx args
+  and v1 ctx args =
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 10;
+    Ppc.Reg_args.set args 0 1;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let v2 : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 10;
+    Ppc.Reg_args.set args 0 2;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+
+  let server = Ppc.make_user_server ppc ~name:"service" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:v1_init in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+
+  let program = Kernel.new_program kern ~name:"admin" in
+  let space = Kernel.new_user_space kern ~name:"admin" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"admin" ~kind:Kernel.Process.Client ~program
+       ~space (fun self ->
+         let call () =
+           let args = Ppc.Reg_args.make () in
+           let rc = Ppc.call ppc ~client:self ~ep_id args in
+           (rc, Ppc.Reg_args.get args 0)
+         in
+         let rc, v = call () in
+         Fmt.pr "call 1: rc=%d version=%d (worker inits so far: %d)@." rc v !inits;
+         let rc, v = call () in
+         Fmt.pr "call 2: rc=%d version=%d (init ran once: %b)@." rc v (!inits = 1);
+
+         (* On-line replacement: same entry point ID, new handler. *)
+         let rc = Ppc.Frank.exchange (Ppc.frank ppc) ~client:self ~ep_id ~handler:v2 in
+         Fmt.pr "exchange: rc=%d@." rc;
+         let rc, v = call () in
+         Fmt.pr "call 3: rc=%d version=%d (upgraded in place)@." rc v;
+
+         (* Something went wrong in the server: notify the exception
+            server by upcall, then soft-kill the entry point. *)
+         Servers.Exception_server.notify es ~cpu_index:0
+           ~program:(Kernel.Program.id program) ~code:42 ~detail:7;
+         let rc = Ppc.Frank.soft_kill (Ppc.frank ppc) ~client:self ~ep_id in
+         Fmt.pr "soft-kill: rc=%d@." rc;
+         let rc, _ = call () in
+         (* With no calls in flight the soft-kill freed everything
+            immediately, so the ID is simply gone. *)
+         Fmt.pr "call 4 after kill: rc=%d (err_no_entry=%d)@." rc
+           Ppc.Reg_args.err_no_entry));
+  Kernel.run kern;
+  List.iter
+    (fun e ->
+      Fmt.pr "exception event: program=%d code=%d detail=%d at %a@."
+        e.Servers.Exception_server.program e.Servers.Exception_server.code
+        e.Servers.Exception_server.detail Sim.Time.pp
+        e.Servers.Exception_server.at)
+    (Servers.Exception_server.events es);
+  Fmt.pr "entry point gone: %b@." (Ppc.find_ep ppc ep_id = None)

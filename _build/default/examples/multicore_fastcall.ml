@@ -1,0 +1,71 @@
+(* The PPC design pattern on real OCaml 5 domains: per-domain frame pools
+   (no locks, no allocation) versus a mutex-guarded shared registry.
+
+     dune exec examples/multicore_fastcall.exe *)
+
+let calls = 200_000
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let () =
+  (* Lock-free per-domain path. *)
+  let fast = Runtime.Fastcall.create () in
+  let ep =
+    Runtime.Fastcall.register fast (fun _ctx args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let args = Array.make 8 0 in
+  let fast_s =
+    time (fun () ->
+        for i = 1 to calls do
+          args.(0) <- i;
+          args.(1) <- 1;
+          ignore (Runtime.Fastcall.call fast ~ep args)
+        done)
+  in
+  Fmt.pr "fastcall (per-domain pools): %d calls in %.3fs (%.0f ns/call)@." calls
+    fast_s
+    (1e9 *. fast_s /. float_of_int calls);
+
+  (* Mutex-guarded shared-pool baseline. *)
+  let locked = Runtime.Locked_registry.create () in
+  let lep =
+    Runtime.Locked_registry.register locked (fun _frame args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let locked_s =
+    time (fun () ->
+        for i = 1 to calls do
+          args.(0) <- i;
+          args.(1) <- 1;
+          ignore (Runtime.Locked_registry.call locked ~ep:lep args)
+        done)
+  in
+  Fmt.pr "locked registry (shared pool): %d calls in %.3fs (%.0f ns/call)@."
+    calls locked_s
+    (1e9 *. locked_s /. float_of_int calls);
+  Fmt.pr "single-domain overhead ratio: %.2fx@." (locked_s /. fast_s);
+
+  (* Cross-domain calls through the MPSC channel. *)
+  let sd = Runtime.Fastcall.spawn_server fast in
+  let n_cross = 2_000 in
+  let cross_s =
+    time (fun () ->
+        for i = 1 to n_cross do
+          args.(0) <- i;
+          args.(1) <- 1;
+          ignore (Runtime.Fastcall.cross_call sd ~ep args)
+        done)
+  in
+  Runtime.Fastcall.shutdown_server sd;
+  Fmt.pr "cross-domain MPSC:            %d calls in %.3fs (%.0f ns/call)@."
+    n_cross cross_s
+    (1e9 *. cross_s /. float_of_int n_cross);
+  Fmt.pr
+    "@.Local calls stay on the caller's domain with pooled frames — the@.\
+     paper's per-processor locality discipline, three decades later.@."

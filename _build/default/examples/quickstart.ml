@@ -1,0 +1,46 @@
+(* Quickstart: boot a simulated 2-CPU machine, register a PPC server, and
+   make calls from a client process.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A kernel over a 2-CPU simulated Hector, with the PPC facility (and
+     Frank, its resource manager) installed. *)
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+
+  (* A user-level server: its own program, address space, text/data. The
+     handler receives the 8-word register block and mutates it in place —
+     here, out[0] = in[0] + in[1]. *)
+  let server = Ppc.make_user_server ppc ~name:"adder" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.adder in
+  let ep_id = Ppc.Entry_point.id ep in
+
+  (* Pre-populate the per-CPU worker pools (otherwise the first call on
+     each CPU takes Frank's slow path — also fine, just slower). *)
+  Ppc.prime ppc ~ep ~cpus:[ 0; 1 ];
+
+  (* A client process on each CPU. *)
+  for cpu = 0 to 1 do
+    let program = Kernel.new_program kern ~name:(Printf.sprintf "client%d" cpu) in
+    let space =
+      Kernel.new_user_space kern ~name:(Printf.sprintf "client%d" cpu) ~node:cpu
+    in
+    ignore
+      (Kernel.spawn kern ~cpu ~name:"client" ~kind:Kernel.Process.Client
+         ~program ~space (fun self ->
+           for i = 1 to 3 do
+             let args = Ppc.Reg_args.of_list [ 10 * i; i ] in
+             let rc = Ppc.call ppc ~client:self ~ep_id args in
+             Fmt.pr "cpu%d call %d: %d + %d = %d (rc=%d) at %a@." cpu i (10 * i)
+               i (Ppc.Reg_args.get args 0) rc Sim.Time.pp (Kernel.now kern)
+           done))
+  done;
+
+  (* Drive the simulation to completion. *)
+  Kernel.run kern;
+
+  let stats = Ppc.stats ppc in
+  Fmt.pr "@.%d synchronous calls, %d worker creations, final time %a@."
+    stats.Ppc.Engine.sync_calls stats.Ppc.Engine.frank_worker_creations
+    Sim.Time.pp (Kernel.now kern)

@@ -1,0 +1,73 @@
+(* An interactive-looking session: a shell process reads lines from the
+   console server (keystrokes arrive by interrupt), consults Bob the file
+   server, and ships results through the CopyServer.
+
+     dune exec examples/tty_session.exe *)
+
+let () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let console = Servers.Console.install ppc ~owner_cpu:0 in
+  let bob, bob_ep = Servers.File_server.install ppc in
+  Ppc.prime ppc ~ep:bob_ep ~cpus:[ 0; 1 ];
+  let cs = Transfer.Copy_server.install ppc in
+  ignore (Servers.File_server.create_file bob ~file_id:1 ~length:1337 ~node:0);
+
+  (* A user "typing" on the UART: two commands, 20 us per keystroke. *)
+  Servers.Console.script_input console ~start:(Sim.Time.us 100) ~gap:20_000
+    "stat 1\nquit\n";
+
+  let program = Kernel.new_program kern ~name:"shell" in
+  let space = Kernel.new_user_space kern ~name:"shell" ~node:1 in
+  Naming.Auth.grant (Servers.File_server.auth bob)
+    ~program:(Kernel.Program.id program)
+    ~perms:[ Naming.Auth.Read ];
+  (* The shell grants a peer (a pager, say) read access to its output
+     region; the CopyServer enforces it. *)
+  let out_region = Kernel.alloc kern ~bytes:4096 ~node:1 in
+  let pager = Kernel.new_program kern ~name:"pager" in
+  ignore
+    (Transfer.Region.grant
+       (Transfer.Copy_server.regions cs)
+       ~owner:(Kernel.Program.id program)
+       ~grantee:(Kernel.Program.id pager) ~base:out_region ~len:4096
+       ~access:Transfer.Region.Read_only);
+
+  ignore
+    (Kernel.spawn kern ~cpu:1 ~name:"shell" ~kind:Kernel.Process.Client ~program
+       ~space (fun self ->
+         let running = ref true in
+         while !running do
+           match Servers.Console.read_line console ~client:self with
+           | Error rc -> Fmt.failwith "console read failed rc=%d" rc
+           | Ok "quit" ->
+               Fmt.pr "[%a] shell: quit@." Sim.Time.pp (Kernel.now kern);
+               running := false
+           | Ok line ->
+               Fmt.pr "[%a] shell: got %S@." Sim.Time.pp (Kernel.now kern) line;
+               (match String.split_on_char ' ' line with
+               | [ "stat"; n ] -> (
+                   let file_id = int_of_string n in
+                   match
+                     Servers.File_server.get_length bob ~client:self ~file_id
+                   with
+                   | Ok len ->
+                       Fmt.pr "[%a] shell: file %d length = %d@." Sim.Time.pp
+                         (Kernel.now kern) file_id len;
+                       ignore
+                         (Servers.Console.write console ~client:self ~tag:file_id
+                            ~len:16)
+                   | Error rc ->
+                       Fmt.pr "[%a] shell: stat failed rc=%d@." Sim.Time.pp
+                         (Kernel.now kern) rc)
+               | _ ->
+                   Fmt.pr "[%a] shell: unknown command@." Sim.Time.pp
+                     (Kernel.now kern))
+         done));
+  Kernel.run kern;
+  Fmt.pr
+    "@.console: %d chars in (echoed %d), %d chars out; finished at %a@."
+    (Servers.Console.chars_received console)
+    (Servers.Console.echoes console)
+    (Servers.Console.chars_written console)
+    Sim.Time.pp (Kernel.now kern)

@@ -1,0 +1,1 @@
+lib/baseline/lrpc.ml: Array Kernel List Machine Ppc Sim

@@ -1,0 +1,1 @@
+lib/baseline/lrpc.mli: Kernel Ppc

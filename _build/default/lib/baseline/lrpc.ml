@@ -1,0 +1,190 @@
+(* An LRPC-style facility: the comparison point of the paper's Section 2.
+
+   "The key difference is that not all resources required by an LRPC
+   operation are exclusively accessed by a single processor.  The IPC
+   facility accesses shared data which must be locked and may cause
+   additional bus traffic.  From a server perspective, the stacks used to
+   handle the calls are not reserved on a per-processor basis, and hence
+   the server may implicitly access remote data."
+
+   Faithful to that description: the caller's own thread crosses into the
+   server (no worker processes), argument stacks (A-stacks) live in one
+   *global* pool guarded by one lock, the binding/entry table is shared
+   mutable data (uncached on a coherence-free machine), and frames come
+   back to the pool wherever they were last used — so a call routinely
+   runs on a stack homed on another processor's memory. *)
+
+type per_cpu = { user_stub : int; user_stack : int; cmmu_regs : int }
+
+type t = {
+  kernel : Kernel.t;
+  handler : Ppc.Call_ctx.handler;
+  server_space : Kernel.Address_space.t;
+  server_program : Kernel.Program.t;
+  server_code : int;
+  server_data : int;
+  stack_va_base : int;
+  binding_table : int;  (** shared mutable: uncached *)
+  pool_lock : Kernel.Spinlock.t;
+  mutable frames : int list;  (** global A-stack frame pool (LIFO) *)
+  pool_head_addr : int;
+  per_cpu : per_cpu array;
+  current_user_asid : int array;
+  mutable calls : int;
+  mutable frame_waits : int;
+}
+
+let calls t = t.calls
+let pool_lock t = t.pool_lock
+let frames_free t = List.length t.frames
+let frame_waits t = t.frame_waits
+let server_program t = t.server_program
+
+let install kernel ~handler ~frame_count =
+  let n = Kernel.n_cpus kernel in
+  let server_program = Kernel.new_program kernel ~name:"lrpc-server" in
+  let server_space = Kernel.new_user_space kernel ~name:"lrpc-server" ~node:0 in
+  (* A-stack frames are allocated round-robin across the stations: a
+     caller on CPU i frequently receives a frame homed elsewhere. *)
+  let frames =
+    List.init frame_count (fun i -> Kernel.alloc_page kernel ~node:(i mod n))
+  in
+  {
+    kernel;
+    handler;
+    server_space;
+    server_program;
+    server_code = Kernel.alloc kernel ~align:`Page ~bytes:4096 ~node:0;
+    server_data = Kernel.alloc kernel ~align:`Page ~bytes:4096 ~node:0;
+    stack_va_base = Kernel.alloc kernel ~align:`Page ~bytes:(4096 * n) ~node:0;
+    binding_table = Kernel.alloc kernel ~bytes:256 ~node:0;
+    pool_lock =
+      Kernel.Spinlock.create ~addr:(Kernel.alloc kernel ~bytes:16 ~node:0) ();
+    frames;
+    pool_head_addr = Kernel.alloc kernel ~bytes:16 ~node:0;
+    per_cpu =
+      Array.init n (fun node ->
+          {
+            user_stub = Kernel.alloc kernel ~align:`Page ~bytes:256 ~node;
+            user_stack = Kernel.alloc kernel ~align:`Page ~bytes:4096 ~node;
+            cmmu_regs = Kernel.alloc kernel ~bytes:64 ~node;
+          });
+    current_user_asid = Array.make n (-1);
+    calls = 0;
+    frame_waits = 0;
+  }
+
+let switch_user_context t cpu ~cpu_index ~asid =
+  let pc = t.per_cpu.(cpu_index) in
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.uncached_store cpu pc.cmmu_regs;
+  Machine.Cpu.uncached_store cpu (pc.cmmu_regs + 4);
+  Machine.Cpu.uncached_store cpu (pc.cmmu_regs + 8);
+  Machine.Cpu.uncached_store cpu (pc.cmmu_regs + 12);
+  Machine.Cpu.flush_user_tlb cpu;
+  Machine.Cpu.charge_current cpu
+    (Machine.Cpu.params cpu).Machine.Cost_params.space_switch_extra_cycles;
+  if (Machine.Cpu.params cpu).Machine.Cost_params.switch_flushes_cache then begin
+    Machine.Cache.flush (Machine.Cpu.dcache cpu);
+    Machine.Cache.flush (Machine.Cpu.icache cpu)
+  end;
+  t.current_user_asid.(cpu_index) <- asid
+
+(* Pop a frame from the global pool under the global lock; spin-wait (by
+   retrying) if the pool is dry. *)
+let rec take_frame t engine cpu client =
+  Kernel.Spinlock.acquire engine cpu client t.pool_lock;
+  Machine.Cpu.instr cpu 8;
+  Machine.Cpu.uncached_load cpu t.pool_head_addr;
+  match t.frames with
+  | frame :: rest ->
+      Machine.Cpu.uncached_store cpu t.pool_head_addr;
+      t.frames <- rest;
+      Kernel.Spinlock.release engine cpu client t.pool_lock;
+      frame
+  | [] ->
+      t.frame_waits <- t.frame_waits + 1;
+      Kernel.Spinlock.release engine cpu client t.pool_lock;
+      Sim.Engine.delay engine (Sim.Time.us 5);
+      take_frame t engine cpu client
+
+let put_frame t engine cpu client frame =
+  Kernel.Spinlock.acquire engine cpu client t.pool_lock;
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.uncached_store cpu t.pool_head_addr;
+  t.frames <- frame :: t.frames;
+  Kernel.Spinlock.release engine cpu client t.pool_lock
+
+(* Synchronous LRPC: the client's own thread crosses into the server. *)
+let call t ~client args =
+  let cpu_index = Kernel.Process.cpu_index client in
+  let kc = Kernel.kcpu t.kernel cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  let engine = Kernel.engine t.kernel in
+  let pc = t.per_cpu.(cpu_index) in
+  t.calls <- t.calls + 1;
+  (* Client side, user mode. *)
+  Machine.Cpu.instr ~code:pc.user_stub cpu 10;
+  Machine.Cpu.store_words cpu pc.user_stack 20;
+  Machine.Cpu.instr ~code:pc.user_stub cpu 8;
+  Machine.Cpu.trap cpu;
+  (* Binding lookup in the shared table. *)
+  Machine.Cpu.instr cpu 18;
+  Machine.Cpu.uncached_load cpu t.binding_table;
+  Machine.Cpu.uncached_load cpu (t.binding_table + 8);
+  (* A-stack from the global pool (lock, shared free list). *)
+  let frame = take_frame t engine cpu client in
+  (* Linkage record on the (possibly remote) frame. *)
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.store_words cpu frame 4;
+  (* Map it and enter the server's space. *)
+  let va = t.stack_va_base + (cpu_index * 4096) in
+  Machine.Cpu.instr cpu 4;
+  Kernel.Address_space.map cpu t.server_space ~vaddr:va ~frame;
+  if
+    t.current_user_asid.(cpu_index)
+    <> Kernel.Address_space.asid t.server_space
+  then
+    switch_user_context t cpu ~cpu_index
+      ~asid:(Kernel.Address_space.asid t.server_space);
+  Machine.Cpu.rti cpu ~to_space:Machine.Tlb.User;
+  (* The handler runs on the caller's thread, on the pooled frame. *)
+  let ctx =
+    {
+      Ppc.Call_ctx.engine;
+      kcpu = kc;
+      cpu;
+      self = client;
+      caller_program = Kernel.Program.id (Kernel.Process.program client);
+      ep_id = 0;
+      server_code = t.server_code;
+      server_data = t.server_data;
+      stack_va = va;
+      stack_pa = frame;
+      swap_handler = (fun _ -> ());
+      grow_stack =
+        (fun page ->
+          if page = 0 then frame
+          else invalid_arg "Lrpc: A-stacks are a single page");
+    }
+  in
+  t.handler ctx args;
+  Machine.Cpu.trap cpu;
+  (* Return path: unmap, switch back, frame to the global pool. *)
+  Machine.Cpu.instr cpu 4;
+  Kernel.Address_space.unmap cpu t.server_space ~vaddr:va;
+  let caller_space = Kernel.Process.space client in
+  if
+    Kernel.Address_space.kind caller_space = Kernel.Address_space.User
+    && t.current_user_asid.(cpu_index)
+       <> Kernel.Address_space.asid caller_space
+  then
+    switch_user_context t cpu ~cpu_index
+      ~asid:(Kernel.Address_space.asid caller_space);
+  put_frame t engine cpu client frame;
+  Machine.Cpu.rti cpu
+    ~to_space:(Kernel.Address_space.space_of caller_space);
+  Machine.Cpu.instr ~code:pc.user_stub cpu 8;
+  Machine.Cpu.load_words cpu pc.user_stack 20;
+  Kernel.Kcpu.sync kc;
+  Ppc.Reg_args.rc args

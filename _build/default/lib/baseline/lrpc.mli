@@ -1,0 +1,20 @@
+(** LRPC-style baseline: the caller's thread crosses into the server on
+    an A-stack taken from a single global, lock-guarded pool; binding
+    state is shared mutable data.  The design the paper's PPC improves
+    on. *)
+
+type t
+
+val install :
+  Kernel.t -> handler:Ppc.Call_ctx.handler -> frame_count:int -> t
+(** One service; [frame_count] A-stack frames allocated round-robin
+    across stations. *)
+
+val call : t -> client:Kernel.Process.t -> Ppc.Reg_args.t -> int
+(** Synchronous round trip on the caller's thread. *)
+
+val calls : t -> int
+val pool_lock : t -> Kernel.Spinlock.t
+val frames_free : t -> int
+val frame_waits : t -> int
+val server_program : t -> Kernel.Program.t

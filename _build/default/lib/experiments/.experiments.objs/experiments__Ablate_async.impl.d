@@ -1,0 +1,1 @@
+lib/experiments/ablate_async.ml: Fmt Kernel Ppc Servers Sim

@@ -1,0 +1,1 @@
+lib/experiments/ablate_cluster.ml: Float Fmt Kernel Naming Ppc Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/ablate_compat.ml: Float Fmt Kernel Machine Ppc

@@ -1,0 +1,1 @@
+lib/experiments/ablate_holdcd.ml: Array Fmt Kernel List Machine Ppc Printf

@@ -1,0 +1,1 @@
+lib/experiments/ablate_lrpc.ml: Baseline Float Fmt Fun Kernel List Ppc Sim Workload

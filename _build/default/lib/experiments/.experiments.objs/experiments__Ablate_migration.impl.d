@@ -1,0 +1,1 @@
+lib/experiments/ablate_migration.ml: Float Fmt Kernel List Machine Ppc

@@ -1,0 +1,1 @@
+lib/experiments/ablate_msg.ml: Array Float Fmt Kernel Machine Ppc

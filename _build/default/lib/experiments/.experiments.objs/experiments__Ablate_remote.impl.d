@@ -1,0 +1,1 @@
+lib/experiments/ablate_remote.ml: Fmt Fun Kernel List Machine Ppc Sim

@@ -1,0 +1,1 @@
+lib/experiments/ablate_rwlock.ml: Float Fmt Fun Kernel List Naming Ppc Servers Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/ablate_stack.ml: Float Fmt Kernel List Machine Ppc Printf

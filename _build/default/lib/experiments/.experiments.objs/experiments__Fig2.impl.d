@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Fmt Kernel List Machine Ppc Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig2_icache.ml: Fig2 Float Fmt Kernel Machine Ppc

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Float Fmt Fun Kernel List Naming Ppc Servers Sim Workload

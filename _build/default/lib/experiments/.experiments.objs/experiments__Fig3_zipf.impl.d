@@ -1,0 +1,1 @@
+lib/experiments/fig3_zipf.ml: Array Fmt Fun Kernel List Naming Ppc Servers Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/latency_load.ml: Fmt Fun Kernel List Naming Ppc Printf Servers Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/program_mix.ml: Float Fmt Fun Kernel Lazy List Naming Ppc Printf Servers Sim Workload

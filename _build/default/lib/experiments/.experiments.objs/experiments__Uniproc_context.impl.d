@@ -1,0 +1,1 @@
+lib/experiments/uniproc_context.ml: Fig2 Fmt List

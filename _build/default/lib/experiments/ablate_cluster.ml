@@ -1,0 +1,100 @@
+(* Ablation A9: hierarchical clustering of a system service ([16]).
+
+   Name lookups from every CPU, two deployments on a 16-CPU ring:
+
+   - one machine-wide name server: its (mutable, shared) registry is
+     homed on CPU 0, so consistent uncached reads cost more with ring
+     distance — and far CPUs pay most;
+   - one replica per 4-CPU cluster: lookups stay cluster-local.
+
+   The write side is also reported: a registration touches one replica
+   in the central build but all four in the clustered one. *)
+
+type result = {
+  central_tput : float;
+  clustered_tput : float;
+  central_register_us : float;
+  clustered_register_us : float;
+}
+
+let cpus = 16
+let cluster_size = 4
+
+type service =
+  | Central of Naming.Name_server.t
+  | Clustered of Naming.Clustered_name_server.t
+
+let lookup service ~client ~name =
+  match service with
+  | Central ns -> Naming.Name_server.lookup ns ~client ~name
+  | Clustered cns -> Naming.Clustered_name_server.lookup cns ~client ~name
+
+let run_variant ~horizon ~make =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let service = make ppc in
+  (* Seed bindings and measure one registration from CPU 0. *)
+  let reg_us = ref Float.nan in
+  let prog = Kernel.new_program kern ~name:"registrar" in
+  let space = Kernel.new_user_space kern ~name:"registrar" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"registrar" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         let register name ep_id =
+           match service with
+           | Central ns ->
+               ignore (Naming.Name_server.register ns ~client:self ~name ~ep_id)
+           | Clustered cns ->
+               ignore
+                 (Naming.Clustered_name_server.register cns ~client:self ~name
+                    ~ep_id)
+         in
+         for i = 1 to 8 do
+           register (Printf.sprintf "svc-%d" i) (100 + i)
+         done;
+         let t0 = Kernel.now kern in
+         register "svc-measured" 99;
+         reg_us := Sim.Time.to_us (Sim.Time.sub (Kernel.now kern) t0)));
+  Kernel.run kern;
+  (* Lookup storm: every CPU looks names up in a closed loop. *)
+  let counters =
+    Workload.Driver.run kern
+      ~specs:(Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"c" ())
+      ~horizon:(Sim.Time.add (Kernel.now kern) horizon)
+      ~seed:31
+      ~body:(fun ~client ~iteration ->
+        let name = Printf.sprintf "svc-%d" (1 + (iteration mod 8)) in
+        match lookup service ~client ~name with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "lookup failed rc=%d" rc)
+  in
+  Kernel.run kern;
+  (* The horizon included the registration prologue; throughput uses the
+     lookup window only. *)
+  let tput =
+    float_of_int (Workload.Driver.total counters) /. Sim.Time.to_s horizon
+  in
+  (tput, !reg_us)
+
+let run ?(horizon = Sim.Time.ms 40) () =
+  let central_tput, central_register_us =
+    run_variant ~horizon ~make:(fun ppc ->
+        Central (Naming.Name_server.install ppc))
+  in
+  let clustered_tput, clustered_register_us =
+    run_variant ~horizon ~make:(fun ppc ->
+        Clustered (Naming.Clustered_name_server.install ppc ~cluster_size))
+  in
+  { central_tput; clustered_tput; central_register_us; clustered_register_us }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "A9 — clustered name service (16 CPUs, clusters of %d, ref [16])@."
+    cluster_size;
+  Fmt.pf ppf "  lookups/s:  central %9.0f   clustered %9.0f  (%.2fx)@."
+    r.central_tput r.clustered_tput
+    (r.clustered_tput /. r.central_tput);
+  Fmt.pf ppf
+    "  register:   central %6.1f us   clustered %6.1f us  (writes pay %.1fx)@."
+    r.central_register_us r.clustered_register_us
+    (r.clustered_register_us /. r.central_register_us)

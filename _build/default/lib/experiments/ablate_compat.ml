@@ -1,0 +1,107 @@
+(* Ablation A8: three ways to run an old message-passing service.
+
+   - the legacy facility itself (shared locked port, full switches);
+   - the Section-5 compatibility layer (same port API, PPC transport);
+   - a native PPC port of the server (the handler runs in a worker).
+
+   The compat layer keeps unported servers working; the measurement shows
+   why the paper then ported "most of the servers" to native PPC — each
+   compat round trip is three PPCs (send, receive, reply), so it is
+   convenience, not speed. *)
+
+type result = {
+  native_msg_us : float;
+  compat_us : float;
+  native_ppc_us : float;
+}
+
+let measured_calls = 48
+
+(* Client+server on one CPU, measuring steady-state round trips on the
+   client CPU's clock. *)
+let measure_loop kern ~warmup ~body =
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let out = ref Float.nan in
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         for _ = 1 to warmup do
+           body self
+         done;
+         let t0 = Machine.Cpu.elapsed_us cpu in
+         for _ = 1 to measured_calls do
+           body self
+         done;
+         out := (Machine.Cpu.elapsed_us cpu -. t0) /. float_of_int measured_calls));
+  Kernel.run kern;
+  !out
+
+let run_native_msg () =
+  let kern = Kernel.create ~cpus:1 () in
+  let msg =
+    Kernel.Msg_ipc.create ~engine:(Kernel.engine kern)
+      ~kcpu_of:(Kernel.kcpu kern)
+      ~alloc:(fun ~bytes ~node -> Kernel.alloc kern ~bytes ~node)
+      ()
+  in
+  let port =
+    Kernel.Msg_ipc.make_port ~name:"legacy" ~node:0 ~alloc:(fun ~bytes ~node ->
+        Kernel.alloc kern ~bytes ~node)
+  in
+  let sprog = Kernel.new_program kern ~name:"server" in
+  let sspace = Kernel.new_user_space kern ~name:"server" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"server" ~kind:Kernel.Process.Client
+       ~program:sprog ~space:sspace (fun self ->
+         Kernel.Msg_ipc.serve msg port ~server:self (fun args -> args)));
+  measure_loop kern ~warmup:8 ~body:(fun self ->
+      ignore (Kernel.Msg_ipc.send msg port ~client:self [| 1; 2; 3 |]))
+
+let run_compat () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let port = Ppc.Msg_compat.make_port (Ppc.engine ppc) ~name:"compat" in
+  let sprog = Kernel.new_program kern ~name:"server" in
+  let sspace = Kernel.new_user_space kern ~name:"server" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"server" ~kind:Kernel.Process.Client
+       ~program:sprog ~space:sspace (fun self ->
+         Ppc.Msg_compat.serve (Ppc.engine ppc) port ~server:self (fun p -> p)));
+  measure_loop kern ~warmup:8 ~body:(fun self ->
+      match
+        Ppc.Msg_compat.send (Ppc.engine ppc) port ~client:self [| 1; 2; 3 |]
+      with
+      | Ok _ -> ()
+      | Error rc -> Fmt.failwith "compat send failed rc=%d" rc)
+
+let run_native_ppc () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"ported" () in
+  let ep =
+    Ppc.register_direct ppc ~server
+      ~handler:(Ppc.Null_server.handler ~instr:12 ~stack_words:4 ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  measure_loop kern ~warmup:8 ~body:(fun self ->
+      ignore
+        (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+           (Ppc.Reg_args.make ())))
+
+let run () =
+  {
+    native_msg_us = run_native_msg ();
+    compat_us = run_compat ();
+    native_ppc_us = run_native_ppc ();
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "A8 — legacy message service, three transports (us/round trip)@.";
+  Fmt.pf ppf "  legacy message facility:    %6.1f us@." r.native_msg_us;
+  Fmt.pf ppf "  compat layer on PPC:        %6.1f us (3 PPCs per trip)@."
+    r.compat_us;
+  Fmt.pf ppf "  server ported to native PPC:%6.1f us (%.1fx vs legacy)@."
+    r.native_ppc_us
+    (r.native_msg_us /. r.native_ppc_us)

@@ -1,0 +1,87 @@
+(* Ablation A1: hold-CD vs recycled CDs under multi-server call mixes.
+
+   Section 2: letting workers permanently hold a CD and stack makes
+   individual calls faster "in the best case", but "removes the
+   advantages of sharing stacks, and may ultimately result in overall
+   lower performance" because successively called servers no longer share
+   a warm physical stack and the cache footprint grows.
+
+   One client interleaves calls round-robin across K servers under
+   cache pressure (a working set touched between calls, standing for the
+   client's real computation).  Reported: mean round-trip microseconds
+   per call for both modes at each K. *)
+
+type point = {
+  servers : int;
+  hold_us : float;
+  recycle_us : float;
+}
+
+let run_mode ~servers ~hold_cd ~calls ~pressure_bytes =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let eps =
+    List.init servers (fun i ->
+        let server =
+          Ppc.make_user_server ppc
+            ~name:(Printf.sprintf "srv%d" i)
+            ~hold_cd ()
+        in
+        let ep =
+          Ppc.register_direct ppc ~server
+            ~handler:(Ppc.Null_server.handler ~instr:20 ~stack_words:24 ())
+        in
+        Ppc.prime ppc ~ep ~cpus:[ 0 ];
+        Ppc.Entry_point.id ep)
+  in
+  let ep_array = Array.of_list eps in
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  (* Cache pressure: a client working set touched between calls. *)
+  let pressure_addr = Kernel.alloc kern ~bytes:pressure_bytes ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         (* Warm everything once. *)
+         Array.iter
+           (fun ep_id ->
+             ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ())))
+           ep_array;
+         t0 := Machine.Cpu.elapsed_us cpu;
+         for i = 0 to calls - 1 do
+           let ep_id = ep_array.(i mod servers) in
+           ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ()));
+           (* Touch the working set: evicts cold stacks, not hot ones. *)
+           let lines = pressure_bytes / 16 in
+           for l = 0 to (lines / 4) - 1 do
+             Machine.Cpu.load cpu (pressure_addr + (l * 64))
+           done;
+           Kernel.Kcpu.sync (Kernel.kcpu kern 0)
+         done;
+         t1 := Machine.Cpu.elapsed_us cpu));
+  Kernel.run kern;
+  (!t1 -. !t0) /. float_of_int calls
+
+let run ?(calls = 200) ?(pressure_bytes = 8192) ?(server_counts = [ 1; 2; 4; 8; 12 ]) () =
+  List.map
+    (fun servers ->
+      {
+        servers;
+        hold_us = run_mode ~servers ~hold_cd:true ~calls ~pressure_bytes;
+        recycle_us = run_mode ~servers ~hold_cd:false ~calls ~pressure_bytes;
+      })
+    server_counts
+
+let pp_result ppf points =
+  Fmt.pf ppf
+    "A1 — hold-CD vs recycled stacks (mean us/call incl. client work)@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %2d server%s  hold-CD %7.2f us   recycled %7.2f us   %s@."
+        p.servers
+        (if p.servers = 1 then " " else "s")
+        p.hold_us p.recycle_us
+        (if p.hold_us <= p.recycle_us then "hold wins" else "recycle wins"))
+    points

@@ -1,0 +1,61 @@
+(* Ablation A2: per-processor pools (PPC) vs shared locked pools (LRPC).
+
+   Both facilities serve the identical null handler; one closed-loop
+   client per processor.  The PPC curve should stay linear (nothing is
+   shared); the LRPC-style curve saturates on its global A-stack pool
+   lock and pays remote-frame traffic. *)
+
+type point = { cpus : int; ppc_tput : float; lrpc_tput : float }
+
+let handler = Ppc.Null_server.handler ~instr:20 ~stack_words:8 ()
+
+let run_ppc ~cpus ~horizon =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"null" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  let specs = Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"c" () in
+  let counters =
+    Workload.Driver.run kern ~specs ~horizon ~seed:7
+      ~body:(fun ~client ~iteration:_ ->
+        ignore
+          (Ppc.call ppc ~client ~ep_id:(Ppc.Entry_point.id ep)
+             (Ppc.Reg_args.make ())))
+  in
+  Kernel.run kern;
+  Workload.Driver.throughput_per_sec counters
+
+let run_lrpc ~cpus ~horizon =
+  let kern = Kernel.create ~cpus () in
+  (* Frame pool sized like the paper's LRPC: a handful of A-stacks per
+     binding, shared machine-wide. *)
+  let lrpc = Baseline.Lrpc.install kern ~handler ~frame_count:(2 * cpus) in
+  let specs = Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"c" () in
+  let counters =
+    Workload.Driver.run kern ~specs ~horizon ~seed:7
+      ~body:(fun ~client ~iteration:_ ->
+        ignore (Baseline.Lrpc.call lrpc ~client (Ppc.Reg_args.make ())))
+  in
+  Kernel.run kern;
+  Workload.Driver.throughput_per_sec counters
+
+let run ?(max_cpus = 16) ?(horizon = Sim.Time.ms 100) () =
+  List.init max_cpus (fun i ->
+      let cpus = i + 1 in
+      {
+        cpus;
+        ppc_tput = run_ppc ~cpus ~horizon;
+        lrpc_tput = run_lrpc ~cpus ~horizon;
+      })
+
+let pp_result ppf points =
+  Fmt.pf ppf "A2 — PPC vs LRPC-style shared pools (null call throughput)@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %2d CPU%s  PPC %9.0f /s   LRPC %9.0f /s   ratio %.2fx@."
+        p.cpus
+        (if p.cpus = 1 then " " else "s")
+        p.ppc_tput p.lrpc_tput
+        (if p.lrpc_tput > 0.0 then p.ppc_tput /. p.lrpc_tput else Float.nan))
+    points

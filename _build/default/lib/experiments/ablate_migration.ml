@@ -1,0 +1,179 @@
+(* Ablation E2: Bershad's idle-processor migration, then and now.
+
+   Section 2: "Bershad found that he could improve performance by idling
+   server processes on idle processors ... and having the calling process
+   migrate to that processor to execute the remote procedure.  This
+   approach would be prohibitive in today's systems with the high cost of
+   cache misses and invalidations."
+
+   We evaluate exactly that decision under two cost regimes:
+
+   - a Firefly-like machine (small CPU:memory speed ratio; caches no
+     faster than main memory; flat bus) — Bershad's 1989 hardware;
+   - the Hector parameters the paper targets.
+
+   The migrated call is one logical thread hopping processors: context
+   out through shared memory, the server's processor runs the handler
+   (with *its* state warm — the scheme's whole point), the client's
+   working set is touched remotely, context back, and the home cache
+   refills the working set the trip evicted.  The local PPC is the
+   paper's fast path on the same machine. *)
+
+type regime = { regime_name : string; params : Machine.Cost_params.t }
+
+let hector = { regime_name = "Hector (1994)"; params = Machine.Cost_params.hector }
+
+let firefly =
+  {
+    regime_name = "Firefly-like (1989)";
+    params =
+      {
+        Machine.Cost_params.hector with
+        (* "has a smaller ratio of processor to memory speed, has caches
+           that are no faster than main memory" *)
+        cache_hit_cycles = 3;
+        line_load_cycles = 3;
+        icache_fill_cycles = 3;
+        writeback_cycles = 3;
+        store_clean_cycles = 0;
+        uncached_cycles = 3;
+        tlb_miss_cycles = 10;
+        numa_base_cycles = 0;
+        numa_per_hop_cycles = 0;
+        (* VAX-era virtually-addressed caches: an address-space switch
+           empties them — and the microcoded VM context load costs on the
+           order of 15 us.  These are the costs migration avoids. *)
+        switch_flushes_cache = true;
+        space_switch_extra_cycles = 250;
+      };
+  }
+
+let working_set_lines = 24
+(* client cache lines that the migration drags along and re-faults *)
+
+type point = {
+  point_regime : string;
+  local_us : float;
+  migrated_us : float;
+}
+
+(* The local comparison: a warm user->user PPC on this machine. *)
+let measure_local ~params =
+  let kern = Kernel.create ~params ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"srv" () in
+  let ep =
+    Ppc.register_direct ppc ~server
+      ~handler:(Ppc.Null_server.handler ~instr:12 ~stack_words:4 ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let out = ref Float.nan in
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         for _ = 1 to 10 do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done;
+         let t0 = Machine.Cpu.elapsed_us cpu in
+         for _ = 1 to 32 do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done;
+         out := (Machine.Cpu.elapsed_us cpu -. t0) /. 32.0));
+  Kernel.run kern;
+  !out
+
+(* The migrated call, as serial execution hopping between CPU A (home)
+   and CPU B (where the server idles). *)
+let measure_migrated ~params =
+  let kern = Kernel.create ~params ~cpus:2 () in
+  let cpu_a = Machine.cpu (Kernel.machine kern) 0 in
+  let cpu_b = Machine.cpu (Kernel.machine kern) 1 in
+  (* Shared context-transfer area and per-side working areas. *)
+  let xfer = Kernel.alloc kern ~bytes:256 ~node:0 in
+  let b_stack = Kernel.alloc kern ~bytes:4096 ~node:1 in
+  let b_code = Kernel.alloc kern ~align:`Page ~bytes:1024 ~node:1 in
+  let home_ws = Kernel.alloc kern ~bytes:(working_set_lines * 16) ~node:0 in
+  let a_stub = Kernel.alloc kern ~align:`Page ~bytes:256 ~node:0 in
+  let a_stack = Kernel.alloc kern ~align:`Page ~bytes:4096 ~node:0 in
+  let migrated_call () =
+    (* Home side: spill and trap, as any call. *)
+    Machine.Cpu.instr ~code:a_stub cpu_a 10;
+    Machine.Cpu.store_words cpu_a a_stack 20;
+    Machine.Cpu.trap cpu_a;
+    (* Migrate out: the whole context crosses through shared memory. *)
+    Machine.Cpu.instr cpu_a 20;
+    for i = 0 to 31 do
+      Machine.Cpu.uncached_store cpu_a (xfer + (4 * i))
+    done;
+    (* Server processor picks the thread up: restore context. *)
+    Machine.Cpu.instr cpu_b 12;
+    for i = 0 to 31 do
+      Machine.Cpu.uncached_load cpu_b (xfer + (4 * i))
+    done;
+    (* The handler runs where the server's state is warm — the scheme's
+       benefit: B's stack and code stay resident across calls. *)
+    Machine.Cpu.instr ~code:b_code cpu_b 12;
+    Machine.Cpu.store_words cpu_b b_stack 4;
+    Machine.Cpu.load_words cpu_b b_stack 4;
+    (* But the client's working set is remote from here. *)
+    for l = 0 to working_set_lines - 1 do
+      Machine.Cpu.uncached_load cpu_b (home_ws + (16 * l))
+    done;
+    (* Migrate home. *)
+    Machine.Cpu.instr cpu_b 20;
+    for i = 0 to 31 do
+      Machine.Cpu.uncached_store cpu_b (xfer + 128 + (4 * i))
+    done;
+    Machine.Cpu.instr cpu_a 12;
+    for i = 0 to 31 do
+      Machine.Cpu.uncached_load cpu_a (xfer + 128 + (4 * i))
+    done;
+    Machine.Cpu.rti cpu_a ~to_space:Machine.Tlb.User;
+    Machine.Cpu.instr ~code:a_stub cpu_a 8;
+    Machine.Cpu.load_words cpu_a a_stack 20;
+    (* The trip evicted the working set at home: refill it. *)
+    Machine.Cpu.charge_current cpu_a
+      (working_set_lines * params.Machine.Cost_params.line_load_cycles)
+  in
+  for _ = 1 to 5 do
+    migrated_call ()
+  done;
+  let c0 = Machine.Cpu.cycles cpu_a + Machine.Cpu.cycles cpu_b in
+  for _ = 1 to 32 do
+    migrated_call ()
+  done;
+  let cycles =
+    (Machine.Cpu.cycles cpu_a + Machine.Cpu.cycles cpu_b - c0) / 32
+  in
+  Machine.Cost_params.cycles_to_us params cycles
+
+let run () =
+  List.map
+    (fun r ->
+      {
+        point_regime = r.regime_name;
+        local_us = measure_local ~params:r.params;
+        migrated_us = measure_migrated ~params:r.params;
+      })
+    [ firefly; hector ]
+
+let pp_result ppf points =
+  Fmt.pf ppf
+    "E2 — idle-processor migration (Bershad) under two technology regimes@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-20s local PPC %6.1f us   migrated %6.1f us   -> %s@."
+        p.point_regime p.local_us p.migrated_us
+        (if p.migrated_us <= p.local_us then "migration wins"
+         else "migration prohibitive"))
+    points;
+  Fmt.pf ppf
+    "  (the paper: profitable on the Firefly, \"prohibitive in today's \
+     systems\")@."

@@ -1,0 +1,96 @@
+(* Ablation A4: PPC vs the pre-existing message-passing facility.
+
+   Hurricane already had message-passing IPC; the PPC facility replaced
+   it for control transfer.  Same dummy service behind both: the
+   message path pays a locked shared port queue, memory-marshalled
+   arguments, and two full context switches through the general
+   scheduler. *)
+
+type result = {
+  ppc_us : float;
+  msg_us : float;
+}
+
+let calls_for_measure = 64
+
+let run_ppc () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"null" () in
+  let ep =
+    Ppc.register_direct ppc ~server
+      ~handler:(Ppc.Null_server.handler ~instr:12 ~stack_words:4 ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let per_call = ref Float.nan in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         for _ = 1 to 8 do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done;
+         let t0 = Machine.Cpu.elapsed_us cpu in
+         for _ = 1 to calls_for_measure do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done;
+         per_call :=
+           (Machine.Cpu.elapsed_us cpu -. t0) /. float_of_int calls_for_measure));
+  Kernel.run kern;
+  !per_call
+
+let run_msg () =
+  let kern = Kernel.create ~cpus:1 () in
+  let msg =
+    Kernel.Msg_ipc.create ~engine:(Kernel.engine kern)
+      ~kcpu_of:(Kernel.kcpu kern)
+      ~alloc:(fun ~bytes ~node -> Kernel.alloc kern ~bytes ~node)
+      ()
+  in
+  let port =
+    Kernel.Msg_ipc.make_port ~name:"null-port" ~node:0 ~alloc:(fun ~bytes ~node ->
+        Kernel.alloc kern ~bytes ~node)
+  in
+  let sprog = Kernel.new_program kern ~name:"server" in
+  let sspace = Kernel.new_user_space kern ~name:"server" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"server" ~kind:Kernel.Process.Client
+       ~program:sprog ~space:sspace (fun self ->
+         Kernel.Msg_ipc.serve msg port ~server:self (fun args ->
+             (* The same dummy work as the PPC null handler. *)
+             let cpu = Machine.cpu (Kernel.machine kern) 0 in
+             Machine.Cpu.instr cpu 12;
+             args)));
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let per_call = ref Float.nan in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         let payload = Array.make 8 7 in
+         for _ = 1 to 8 do
+           ignore (Kernel.Msg_ipc.send msg port ~client:self payload)
+         done;
+         let t0 = Machine.Cpu.elapsed_us cpu in
+         for _ = 1 to calls_for_measure do
+           ignore (Kernel.Msg_ipc.send msg port ~client:self payload)
+         done;
+         per_call :=
+           (Machine.Cpu.elapsed_us cpu -. t0) /. float_of_int calls_for_measure));
+  Kernel.run kern;
+  !per_call
+
+let run () = { ppc_us = run_ppc (); msg_us = run_msg () }
+
+let pp_result ppf r =
+  Fmt.pf ppf "A4 — PPC vs message-passing IPC (null round trip)@.";
+  Fmt.pf ppf "  PPC:             %6.1f us@." r.ppc_us;
+  Fmt.pf ppf "  message passing: %6.1f us   (%.1fx slower)@." r.msg_us
+    (r.msg_us /. r.ppc_us)

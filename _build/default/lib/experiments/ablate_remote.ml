@@ -1,0 +1,71 @@
+(* Extension E1: the cross-processor PPC variant's cost.
+
+   Section 4.3 leaves cross-processor PPC as future work and argues the
+   local case is what matters.  This experiment quantifies why: a remote
+   call pays marshalling over the fabric, a remote interrupt, and a
+   cross-CPU ready — an order of magnitude over the local fast path. *)
+
+type result = {
+  local_us : float;
+  remote_us : float;
+  local_busy_us : float;  (** CPU cycles consumed per call, all CPUs *)
+  remote_busy_us : float;
+  hops : int;
+}
+
+let measure ~target_cpu ~cpus =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let remote = Ppc.Remote_call.install (Ppc.engine ppc) in
+  let server = Ppc.make_kernel_server ppc ~name:"null" () in
+  let ep =
+    Ppc.register_direct ppc ~server
+      ~handler:(Ppc.Null_server.handler ~instr:12 ~stack_words:4 ())
+  in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let calls = 32 in
+  let t0 = ref Sim.Time.zero and t1 = ref Sim.Time.zero in
+  let total_cycles () =
+    List.fold_left
+      (fun acc cpu -> acc + Machine.Cpu.cycles cpu)
+      0
+      (Machine.cpus (Kernel.machine kern))
+  in
+  let c0 = ref 0 and c1 = ref 0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         for _ = 1 to 4 do
+           ignore
+             (Ppc.Remote_call.call remote ~client:self ~target_cpu
+                ~ep_id:(Ppc.Entry_point.id ep) (Ppc.Reg_args.make ()))
+         done;
+         t0 := Kernel.now kern;
+         c0 := total_cycles ();
+         for _ = 1 to calls do
+           ignore
+             (Ppc.Remote_call.call remote ~client:self ~target_cpu
+                ~ep_id:(Ppc.Entry_point.id ep) (Ppc.Reg_args.make ()))
+         done;
+         t1 := Kernel.now kern;
+         c1 := total_cycles ()));
+  Kernel.run kern;
+  let params = Machine.params (Kernel.machine kern) in
+  ( Sim.Time.to_us (Sim.Time.sub !t1 !t0) /. float_of_int calls,
+    Machine.Cost_params.cycles_to_us params (!c1 - !c0) /. float_of_int calls )
+
+let run ?(cpus = 8) () =
+  let local_us, local_busy_us = measure ~target_cpu:0 ~cpus in
+  let remote_us, remote_busy_us = measure ~target_cpu:(cpus / 2) ~cpus in
+  { local_us; remote_us; local_busy_us; remote_busy_us; hops = cpus / 2 }
+
+let pp_result ppf r =
+  Fmt.pf ppf "E1 — cross-processor PPC variant (Section 4.3 future work)@.";
+  Fmt.pf ppf "  local call:  %7.1f us wall  %7.1f us CPU@." r.local_us
+    r.local_busy_us;
+  Fmt.pf ppf "  remote call: %7.1f us wall  %7.1f us CPU  (%.1fx CPU, %d hops)@."
+    r.remote_us r.remote_busy_us
+    (r.remote_busy_us /. r.local_busy_us)
+    r.hops

@@ -1,0 +1,58 @@
+(* Ablation A7: server-side locking granularity.
+
+   The paper's single-file curve saturates because the file server's
+   critical section serialises every GetLength: "this experiment
+   illustrates the dramatic impact any locks in the IPC path might have".
+   The IPC facility removed *its* locks; the server's own are the
+   remaining ceiling.  Here Bob is built twice — per-file mutex vs
+   readers-writer lock — and hammered with read-only GetLengths on a
+   single file: with a RW lock the readers share and the ceiling lifts. *)
+
+type point = { cpus : int; mutex_tput : float; rw_tput : float }
+
+let run_mode ~cpus ~horizon ~lock_mode =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let bob, ep = Servers.File_server.install ~lock_mode ppc in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  ignore (Servers.File_server.create_file bob ~file_id:0 ~length:10 ~node:0);
+  let counters =
+    Workload.Driver.run kern
+      ~specs:(Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"c" ())
+      ~horizon ~seed:3
+      ~prepare:(fun ~program ~index:_ ->
+        Naming.Auth.grant (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ])
+      ~body:(fun ~client ~iteration:_ ->
+        match Servers.File_server.get_length bob ~client ~file_id:0 with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "GetLength failed rc=%d" rc)
+  in
+  Kernel.run kern;
+  Workload.Driver.throughput_per_sec counters
+
+let run ?(max_cpus = 16) ?(horizon = Sim.Time.ms 50) () =
+  List.filter_map
+    (fun cpus ->
+      if cpus <= max_cpus then
+        Some
+          {
+            cpus;
+            mutex_tput =
+              run_mode ~cpus ~horizon ~lock_mode:Servers.File_server.Mutex;
+            rw_tput = run_mode ~cpus ~horizon ~lock_mode:Servers.File_server.Rw;
+          }
+      else None)
+    [ 1; 2; 4; 8; 12; 16 ]
+
+let pp_result ppf points =
+  Fmt.pf ppf
+    "A7 — single-file GetLength: per-file mutex vs readers-writer lock@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %2d CPU%s  mutex %9.0f /s   rw %9.0f /s   (%.2fx)@." p.cpus
+        (if p.cpus = 1 then " " else "s")
+        p.mutex_tput p.rw_tput
+        (if p.mutex_tput > 0.0 then p.rw_tput /. p.mutex_tput else Float.nan))
+    points

@@ -1,0 +1,83 @@
+(* Ablation A6: stack-size policies (Section 4.5.4).
+
+   Three ways to give a server a deeper stack, measured for shallow calls
+   (touch only page 0) and deep calls (touch [deep_pages] pages):
+
+   - Single_page: the fast default (deep calls fault and abort);
+   - Fixed_pages n: premap n pages per call — every call pays the extra
+     mappings, "treated as an exceptional case";
+   - Fault_in n: map one page and fault the rest in on first touch —
+     shallow calls keep the common-case cost, deep calls amortise the
+     faults over their longer execution. *)
+
+type cost = { policy : string; shallow_us : float; deep_us : float }
+
+let measure ~policy ~deep_pages =
+  let run ~pages =
+    let kern = Kernel.create ~cpus:1 () in
+    let ppc = Ppc.create kern in
+    let server = Ppc.make_user_server ppc ~name:"s" ~stack_policy:policy () in
+    let handler =
+      if pages = 1 then Ppc.Null_server.handler ~instr:20 ~stack_words:8 ()
+      else Ppc.Null_server.deep_handler ~instr:20 ~pages ()
+    in
+    let ep = Ppc.register_direct ppc ~server ~handler in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    let prog = Kernel.new_program kern ~name:"client" in
+    let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+    let cpu = Machine.cpu (Kernel.machine kern) 0 in
+    let out = ref Float.nan in
+    ignore
+      (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+         ~program:prog ~space (fun self ->
+           let ok = ref true in
+           for _ = 1 to 8 do
+             if
+               Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                 (Ppc.Reg_args.make ())
+               <> Ppc.Reg_args.ok
+             then ok := false
+           done;
+           if !ok then begin
+             let t0 = Machine.Cpu.elapsed_us cpu in
+             for _ = 1 to 16 do
+               ignore
+                 (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                    (Ppc.Reg_args.make ()))
+             done;
+             out := (Machine.Cpu.elapsed_us cpu -. t0) /. 16.0
+           end));
+    Kernel.run kern;
+    !out
+  in
+  (run ~pages:1, run ~pages:deep_pages)
+
+let run ?(deep_pages = 4) () =
+  [
+    (let shallow, deep =
+       measure ~policy:Ppc.Entry_point.Single_page ~deep_pages
+     in
+     { policy = "Single_page"; shallow_us = shallow; deep_us = deep });
+    (let shallow, deep =
+       measure ~policy:(Ppc.Entry_point.Fixed_pages deep_pages) ~deep_pages
+     in
+     { policy = Printf.sprintf "Fixed_pages %d" deep_pages;
+       shallow_us = shallow;
+       deep_us = deep;
+     });
+    (let shallow, deep =
+       measure ~policy:(Ppc.Entry_point.Fault_in deep_pages) ~deep_pages
+     in
+     { policy = Printf.sprintf "Fault_in %d" deep_pages;
+       shallow_us = shallow;
+       deep_us = deep;
+     });
+  ]
+
+let pp_result ppf rows =
+  Fmt.pf ppf "A6 — stack-size policies (us per call; nan = call faults)@.";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-16s shallow %7.2f us   deep %7.2f us@." r.policy
+        r.shallow_us r.deep_us)
+    rows

@@ -1,0 +1,118 @@
+(* Figure 2: round-trip PPC cost breakdown.
+
+   Eight conditions: {user->user, user->kernel} x {no CD held, CD held}
+   x {cache primed, cache flushed}.  For each, a single client performs
+   warm-up calls (priming caches, TLB and pools), then one measured call;
+   the per-category cycle accounts are differenced around it.  In the
+   flushed conditions the data cache is invalidated immediately before
+   the measured call, as in the paper. *)
+
+type target = To_user | To_kernel
+
+type condition = { target : target; hold_cd : bool; flushed : bool }
+
+let all_conditions =
+  [
+    { target = To_user; hold_cd = false; flushed = false };
+    { target = To_user; hold_cd = true; flushed = false };
+    { target = To_user; hold_cd = false; flushed = true };
+    { target = To_user; hold_cd = true; flushed = true };
+    { target = To_kernel; hold_cd = false; flushed = false };
+    { target = To_kernel; hold_cd = true; flushed = false };
+    { target = To_kernel; hold_cd = false; flushed = true };
+    { target = To_kernel; hold_cd = true; flushed = true };
+  ]
+
+let condition_name c =
+  Printf.sprintf "%s/%s/%s"
+    (match c.target with To_user -> "user->user" | To_kernel -> "user->kernel")
+    (if c.hold_cd then "hold-CD" else "no-CD")
+    (if c.flushed then "flushed" else "primed")
+
+(* The paper's reported totals, in microseconds (Figure 2 and text). *)
+let paper_total_us c =
+  match (c.target, c.hold_cd, c.flushed) with
+  | To_user, false, false -> Some 32.4
+  | To_user, true, false -> Some 30.0
+  | To_user, false, true -> Some 52.2
+  | To_user, true, true -> Some 48.9
+  | To_kernel, false, false -> Some 22.2
+  | To_kernel, true, false -> Some 19.2
+  | To_kernel, false, true -> Some 42.0
+  | To_kernel, true, true -> Some 39.6
+
+type result = {
+  condition : condition;
+  breakdown : (Machine.Account.category * float) list;  (** us per category *)
+  total_us : float;
+  paper_us : float option;
+}
+
+let run ?(warmup = 12) condition =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server =
+    match condition.target with
+    | To_user ->
+        Ppc.make_user_server ppc ~name:"null-server"
+          ~hold_cd:condition.hold_cd ()
+    | To_kernel ->
+        Ppc.make_kernel_server ppc ~name:"null-server"
+          ~hold_cd:condition.hold_cd ()
+  in
+  (* The Figure-2 server: saves and restores a few registers. *)
+  let ep =
+    Ppc.register_direct ppc ~server
+      ~handler:(Ppc.Null_server.handler ~instr:12 ~stack_words:4 ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let params = Machine.params (Kernel.machine kern) in
+  let breakdown = ref [] in
+  let _client =
+    Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+      ~program:prog ~space (fun self ->
+        for _ = 1 to warmup do
+          let args = Ppc.Reg_args.make () in
+          ignore (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args)
+        done;
+        if condition.flushed then
+          Machine.Cache.flush (Machine.Cpu.dcache cpu);
+        let before = Machine.Account.snapshot (Machine.Cpu.account cpu) in
+        let args = Ppc.Reg_args.make () in
+        ignore (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args);
+        let after = Machine.Account.snapshot (Machine.Cpu.account cpu) in
+        let diff = Machine.Account.diff ~before ~after in
+        breakdown :=
+          List.map
+            (fun (cat, cyc) ->
+              (cat, Machine.Cost_params.cycles_to_us params cyc))
+            (Machine.Account.to_list diff))
+  in
+  Kernel.run kern;
+  let total_us = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 !breakdown in
+  {
+    condition;
+    breakdown = !breakdown;
+    total_us;
+    paper_us = paper_total_us condition;
+  }
+
+let run_all ?warmup () =
+  List.map (fun c -> match warmup with
+      | None -> run c
+      | Some w -> run ~warmup:w c)
+    all_conditions
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-28s total %6.2f us (paper: %a)@." (condition_name r.condition)
+    r.total_us
+    Fmt.(option ~none:(any "-") (fmt "%.1f"))
+    r.paper_us;
+  List.iter
+    (fun (cat, us) ->
+      if us > 0.005 then
+        Fmt.pf ppf "    %-20s %6.2f us@." (Machine.Account.name cat) us)
+    r.breakdown

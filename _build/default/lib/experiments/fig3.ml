@@ -1,0 +1,116 @@
+(* Figure 3: GetLength throughput for 1..N processors.
+
+   "Throughput for independent clients repeatedly requesting the length
+   of a file from the file server": one closed-loop client per processor,
+   every request to the *same* server.
+
+   - Different-files mode: client i hits file i (metadata homed on its
+     own station).  Throughput should rise linearly — the PPC facility
+     adds no shared data or locks of its own.
+   - Single-file mode: every client hits file 0, serialising on its
+     spinlock; throughput saturates (the paper measures saturation at
+     four processors).
+
+   The perfect-speedup reference line is N times the measured 1-CPU
+   rate. *)
+
+type mode = Different_files | Single_file
+
+let mode_name = function
+  | Different_files -> "different files"
+  | Single_file -> "single file"
+
+type point = { cpus : int; calls : int; throughput : float }
+
+type result = {
+  mode : mode;
+  points : point list;
+  base_call_us : float;  (** sequential per-call latency at 1 CPU *)
+  perfect : (int -> float);  (** perfect-speedup reference *)
+}
+
+let run_point ?(horizon = Sim.Time.ms 200) ~mode ~cpus () =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let bob, ep = Servers.File_server.install ppc in
+  (* Pre-populate worker pools so Frank's slow path is out of the way. *)
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  (* Files: one per client (homed locally) or one shared. *)
+  (match mode with
+  | Different_files ->
+      for i = 0 to cpus - 1 do
+        ignore (Servers.File_server.create_file bob ~file_id:i ~length:(1000 + i) ~node:i)
+      done
+  | Single_file ->
+      ignore (Servers.File_server.create_file bob ~file_id:0 ~length:4096 ~node:0));
+  let specs = Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"client" () in
+  let counters =
+    Workload.Driver.run kern ~specs ~horizon ~seed:42
+      ~prepare:(fun ~program ~index:_ ->
+        Naming.Auth.grant (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ])
+      ~body:(fun ~client ~iteration:_ ->
+        let file_id =
+          match mode with
+          | Different_files -> Kernel.Process.cpu_index client
+          | Single_file -> 0
+        in
+        match Servers.File_server.get_length bob ~client ~file_id with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "GetLength failed: rc=%d" rc)
+  in
+  Kernel.run kern;
+  {
+    cpus;
+    calls = Workload.Driver.total counters;
+    throughput = Workload.Driver.throughput_per_sec counters;
+  }
+
+let run ?(max_cpus = 16) ?horizon ~mode () =
+  let points =
+    List.init max_cpus (fun i ->
+        match horizon with
+        | None -> run_point ~mode ~cpus:(i + 1) ()
+        | Some h -> run_point ~horizon:h ~mode ~cpus:(i + 1) ())
+  in
+  let base =
+    match points with
+    | p1 :: _ -> p1.throughput
+    | [] -> invalid_arg "Fig3.run: max_cpus must be positive"
+  in
+  {
+    mode;
+    points;
+    base_call_us = (if base > 0.0 then 1.0e6 /. base else Float.nan);
+    perfect = (fun n -> base *. float_of_int n);
+  }
+
+(* The paper's qualitative checks. *)
+
+let saturation_cpus r =
+  (* First CPU count after which adding a processor gains < 10%. *)
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        if b.throughput < a.throughput *. 1.10 then a.cpus else scan rest
+    | [ last ] -> last.cpus
+    | [] -> 0
+  in
+  scan r.points
+
+let linearity r =
+  (* Mean ratio of measured to perfect throughput across all points. *)
+  let ratios =
+    List.map (fun p -> p.throughput /. r.perfect p.cpus) r.points
+  in
+  List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+
+let pp_result ppf r =
+  Fmt.pf ppf "Figure 3 — %s@." (mode_name r.mode);
+  Fmt.pf ppf "  base call latency: %.1f us (paper: 66 us)@." r.base_call_us;
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %2d CPU%s  %8.0f calls/s   (perfect: %8.0f)@." p.cpus
+        (if p.cpus = 1 then " " else "s")
+        p.throughput (r.perfect p.cpus))
+    r.points

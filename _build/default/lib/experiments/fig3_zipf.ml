@@ -1,0 +1,63 @@
+(* F3b: between the two Figure-3 extremes.
+
+   Figure 3 shows the endpoints — every client on its own file (linear)
+   and every client on one file (saturating).  Realistic workloads sit in
+   between: here clients pick among [files] with Zipf-distributed
+   popularity, sweeping the skew parameter theta.  theta = 0 approaches
+   the different-files curve; large theta approaches single-file. *)
+
+type point = { theta : float; throughput : float }
+
+let run_theta ~cpus ~files ~horizon ~theta =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let bob, ep = Servers.File_server.install ppc in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  for i = 0 to files - 1 do
+    ignore
+      (Servers.File_server.create_file bob ~file_id:i ~length:100
+         ~node:(i mod cpus))
+  done;
+  (* One sampler per client, deterministic per seed. *)
+  let samplers =
+    Array.init cpus (fun i ->
+        Workload.Zipf.create ~n:files ~theta
+          ~rng:(Sim.Rng.create ~seed:(100 + i)))
+  in
+  let counters =
+    Workload.Driver.run kern
+      ~specs:(Workload.Driver.one_per_cpu ~n:cpus ~name_prefix:"client" ())
+      ~horizon ~seed:13
+      ~prepare:(fun ~program ~index:_ ->
+        Naming.Auth.grant (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ])
+      ~body:(fun ~client ~iteration:_ ->
+        let file_id =
+          Workload.Zipf.sample samplers.(Kernel.Process.cpu_index client)
+        in
+        match Servers.File_server.get_length bob ~client ~file_id with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "GetLength failed rc=%d" rc)
+  in
+  Kernel.run kern;
+  Workload.Driver.throughput_per_sec counters
+
+let run ?(cpus = 8) ?(files = 8) ?(horizon = Sim.Time.ms 50)
+    ?(thetas = [ 0.0; 0.5; 0.9; 1.2; 2.0; 4.0 ]) () =
+  List.map
+    (fun theta ->
+      { theta; throughput = run_theta ~cpus ~files ~horizon ~theta })
+    thetas
+
+let pp_result ppf points =
+  Fmt.pf ppf
+    "F3b — Zipf file popularity between the Figure-3 extremes (8 CPUs, 8 \
+     files)@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  theta %4.1f   %9.0f calls/s@." p.theta p.throughput)
+    points;
+  Fmt.pf ppf
+    "  (theta 0 ~ different-files linear; large theta ~ single-file \
+     saturation)@."

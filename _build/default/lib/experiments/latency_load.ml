@@ -1,0 +1,89 @@
+(* L1: GetLength latency under offered load.
+
+   The throughput plots hide queueing: here open-loop clients on every
+   CPU issue requests with exponential think times, and we record each
+   call's round-trip latency.  For different files the distribution stays
+   flat as load rises; for a single file the lock queue inflates the tail
+   well before throughput saturates — the latency-side view of Figure 3's
+   story. *)
+
+type point = {
+  think_us : float;
+  offered_per_sec : float;
+  achieved_per_sec : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+type mode = Different_files | Single_file
+
+let mode_name = function
+  | Different_files -> "different files"
+  | Single_file -> "single file"
+
+let run_point ~cpus ~horizon ~mode ~think_us =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let bob, ep = Servers.File_server.install ppc in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  (match mode with
+  | Different_files ->
+      for i = 0 to cpus - 1 do
+        ignore (Servers.File_server.create_file bob ~file_id:i ~length:10 ~node:i)
+      done
+  | Single_file ->
+      ignore (Servers.File_server.create_file bob ~file_id:0 ~length:10 ~node:0));
+  let stats = Sim.Stats.create () in
+  let specs =
+    List.init cpus (fun cpu ->
+        {
+          Workload.Driver.cpu;
+          name = Printf.sprintf "client-%d" cpu;
+          think_mean_us = Some think_us;
+          identity = None;
+        })
+  in
+  let counters =
+    Workload.Driver.run kern ~specs ~horizon ~seed:21
+      ~prepare:(fun ~program ~index:_ ->
+        Naming.Auth.grant (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ])
+      ~body:(fun ~client ~iteration:_ ->
+        let file_id =
+          match mode with
+          | Different_files -> Kernel.Process.cpu_index client
+          | Single_file -> 0
+        in
+        let t0 = Kernel.now kern in
+        (match Servers.File_server.get_length bob ~client ~file_id with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "GetLength failed rc=%d" rc);
+        Sim.Stats.add stats (Sim.Time.to_us (Sim.Time.sub (Kernel.now kern) t0)))
+  in
+  Kernel.run kern;
+  let achieved = Workload.Driver.throughput_per_sec counters in
+  {
+    think_us;
+    (* Offered load if calls were instantaneous. *)
+    offered_per_sec = float_of_int cpus *. 1.0e6 /. think_us;
+    achieved_per_sec = achieved;
+    mean_us = Sim.Stats.mean stats;
+    p50_us = Sim.Stats.median stats;
+    p99_us = Sim.Stats.percentile stats 99.0;
+  }
+
+let run ?(cpus = 8) ?(horizon = Sim.Time.ms 60)
+    ?(thinks = [ 1000.0; 400.0; 150.0; 60.0; 25.0 ]) ~mode () =
+  List.map (fun think_us -> run_point ~cpus ~horizon ~mode ~think_us) thinks
+
+let pp_result ppf (mode, points) =
+  Fmt.pf ppf "L1 — GetLength latency under load (%s, 8 CPUs, open loop)@."
+    (mode_name mode);
+  Fmt.pf ppf "  think(us)   offered/s   achieved/s   mean(us)   p50    p99@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %8.0f   %9.0f   %10.0f   %8.1f %6.1f %6.1f@." p.think_us
+        p.offered_per_sec p.achieved_per_sec p.mean_us p.p50_us p.p99_us)
+    points

@@ -1,0 +1,84 @@
+(* F3c: request origin does not matter.
+
+   Section 1: the facility "should efficiently enable independent
+   requests to be serviced in parallel, whether they originate from a
+   large number of different programs or a smaller number of large-scale
+   parallel programs".
+
+   Same offered load three ways on N CPUs:
+   - [Many_programs]: one single-threaded client program per CPU;
+   - [One_parallel_program]: N threads of a single program (one shared
+     address space) — note each thread's calls still switch user context
+     on its own CPU only;
+   - [Mixed]: half and half.
+
+   Expected: throughput within a few percent across all three. *)
+
+type origin = Many_programs | One_parallel_program | Mixed
+
+let origin_name = function
+  | Many_programs -> "N separate programs"
+  | One_parallel_program -> "1 parallel program"
+  | Mixed -> "mixed"
+
+type point = { origin : origin; throughput : float }
+
+let run_origin ~cpus ~horizon origin =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let bob, ep = Servers.File_server.install ppc in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  for i = 0 to cpus - 1 do
+    ignore (Servers.File_server.create_file bob ~file_id:i ~length:100 ~node:i)
+  done;
+  let shared =
+    lazy
+      ( Kernel.new_program kern ~name:"parallel-app",
+        Kernel.new_user_space kern ~name:"parallel-app" ~node:0 )
+  in
+  let specs =
+    List.init cpus (fun cpu ->
+        let identity =
+          match origin with
+          | Many_programs -> None
+          | One_parallel_program -> Some (Lazy.force shared)
+          | Mixed -> if cpu mod 2 = 0 then Some (Lazy.force shared) else None
+        in
+        Workload.Driver.closed_spec ?identity ~cpu
+          ~name:(Printf.sprintf "thread-%d" cpu)
+          ())
+  in
+  let counters =
+    Workload.Driver.run kern ~specs ~horizon ~seed:5
+      ~prepare:(fun ~program ~index:_ ->
+        Naming.Auth.grant (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ])
+      ~body:(fun ~client ~iteration:_ ->
+        let file_id = Kernel.Process.cpu_index client in
+        match Servers.File_server.get_length bob ~client ~file_id with
+        | Ok _ -> ()
+        | Error rc -> Fmt.failwith "GetLength failed rc=%d" rc)
+  in
+  Kernel.run kern;
+  Workload.Driver.throughput_per_sec counters
+
+let run ?(cpus = 8) ?(horizon = Sim.Time.ms 50) () =
+  List.map
+    (fun origin -> { origin; throughput = run_origin ~cpus ~horizon origin })
+    [ Many_programs; One_parallel_program; Mixed ]
+
+let spread points =
+  let ts = List.map (fun p -> p.throughput) points in
+  let mx = List.fold_left Float.max 0.0 ts in
+  let mn = List.fold_left Float.min Float.infinity ts in
+  if mx <= 0.0 then Float.nan else (mx -. mn) /. mx
+
+let pp_result ppf points =
+  Fmt.pf ppf "F3c — request origin (GetLength, different files, 8 CPUs)@.";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-22s %9.0f calls/s@." (origin_name p.origin) p.throughput)
+    points;
+  Fmt.pf ppf "  spread: %.1f%% (paper: origin should not matter)@."
+    (100.0 *. spread points)

@@ -1,0 +1,88 @@
+(* The introduction's uniprocessor IPC context (T-intro).
+
+   The paper situates its multiprocessor result against the best
+   uniprocessor null-RPC times of the day.  We reprint those reported
+   numbers and compute our simulated PPC's alongside, normalising by
+   clock where useful ("multiprocessor IPC can generally be expected to
+   be slower ... our IPC overhead is comparable to the best times
+   achieved on uniprocessor systems"). *)
+
+type entry = {
+  system : string;
+  platform : string;
+  mhz : float;
+  reported_us : float;
+  source : string;
+}
+
+let reported =
+  [
+    {
+      system = "L3 (Liedtke)";
+      platform = "386";
+      mhz = 20.0;
+      reported_us = 60.0;
+      source = "[13]";
+    };
+    {
+      system = "L3 (Liedtke)";
+      platform = "486";
+      mhz = 50.0;
+      reported_us = 10.0;
+      source = "[13]";
+    };
+    {
+      system = "Mach";
+      platform = "MIPS R3000";
+      mhz = 25.0;
+      reported_us = 57.0;
+      source = "[2,10]";
+    };
+    {
+      system = "Mach";
+      platform = "MIPS R2000";
+      mhz = 16.0;
+      reported_us = 95.0;
+      source = "[2,10]";
+    };
+    {
+      system = "QNX";
+      platform = "486";
+      mhz = 33.0;
+      reported_us = 76.0;
+      source = "[12]";
+    };
+  ]
+
+type result = {
+  ours_user_us : float;
+  ours_kernel_us : float;
+  table : entry list;
+}
+
+let run () =
+  let u2u =
+    Fig2.run { Fig2.target = Fig2.To_user; hold_cd = false; flushed = false }
+  in
+  let u2k =
+    Fig2.run { Fig2.target = Fig2.To_kernel; hold_cd = true; flushed = false }
+  in
+  {
+    ours_user_us = u2u.Fig2.total_us;
+    ours_kernel_us = u2k.Fig2.total_us;
+    table = reported;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "T-intro — uniprocessor null-RPC context@.";
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %-14s %-11s %5.1f MHz  %6.1f us  (%6.0f cycles) %s@."
+        e.system e.platform e.mhz e.reported_us
+        (e.reported_us *. e.mhz)
+        e.source)
+    r.table;
+  Fmt.pf ppf "  %-14s %-11s %5.1f MHz  %6.1f us  (%6.0f cycles) user->user@."
+    "PPC (ours)" "M88100" 16.67 r.ours_user_us (r.ours_user_us *. 16.67);
+  Fmt.pf ppf "  %-14s %-11s %5.1f MHz  %6.1f us  (%6.0f cycles) u->kernel, hold-CD@."
+    "PPC (ours)" "M88100" 16.67 r.ours_kernel_us (r.ours_kernel_us *. 16.67)

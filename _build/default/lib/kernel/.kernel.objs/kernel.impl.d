@@ -1,0 +1,1 @@
+lib/kernel/kernel.pp.ml: Address_space Array Clock Cluster Interrupt Kcpu Klog Machine Msg_ipc Process Program Rw_spinlock Sim Spinlock

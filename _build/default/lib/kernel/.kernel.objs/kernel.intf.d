@@ -1,0 +1,1 @@
+lib/kernel/kernel.pp.mli: Address_space Clock Cluster Interrupt Kcpu Klog Machine Msg_ipc Process Program Rw_spinlock Sim Spinlock

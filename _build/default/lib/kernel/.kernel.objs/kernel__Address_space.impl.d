@@ -1,0 +1,1 @@
+lib/kernel/address_space.pp.ml: Hashtbl Machine

@@ -1,0 +1,1 @@
+lib/kernel/address_space.pp.mli: Machine

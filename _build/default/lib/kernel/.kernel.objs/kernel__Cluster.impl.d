@@ -1,0 +1,1 @@
+lib/kernel/cluster.pp.ml: Int List

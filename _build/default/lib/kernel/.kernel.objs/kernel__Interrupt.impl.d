@@ -1,0 +1,1 @@
+lib/kernel/interrupt.pp.ml: Address_space Hashtbl Kcpu Machine Printf Process Program Sim

@@ -1,0 +1,1 @@
+lib/kernel/interrupt.pp.mli: Address_space Kcpu Process Program Sim

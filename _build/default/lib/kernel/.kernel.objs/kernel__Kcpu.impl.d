@@ -1,0 +1,1 @@
+lib/kernel/kcpu.pp.ml: Clock Float Machine Printf Process Queue Sim

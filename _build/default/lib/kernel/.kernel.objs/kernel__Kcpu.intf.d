@@ -1,0 +1,1 @@
+lib/kernel/kcpu.pp.mli: Machine Process Sim

@@ -1,0 +1,1 @@
+lib/kernel/msg_ipc.pp.ml: Address_space Array Kcpu Machine Process Queue Sim Spinlock

@@ -1,0 +1,1 @@
+lib/kernel/msg_ipc.pp.mli: Kcpu Process Sim Spinlock

@@ -1,0 +1,1 @@
+lib/kernel/process.pp.ml: Address_space Fmt Ppx_deriving_runtime Program Sim

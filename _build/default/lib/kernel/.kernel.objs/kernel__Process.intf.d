@@ -1,0 +1,1 @@
+lib/kernel/process.pp.mli: Address_space Format Program Sim

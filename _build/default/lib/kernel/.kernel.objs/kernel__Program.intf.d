@@ -1,0 +1,1 @@
+lib/kernel/program.pp.mli: Format

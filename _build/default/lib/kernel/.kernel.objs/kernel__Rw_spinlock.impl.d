@@ -1,0 +1,1 @@
+lib/kernel/rw_spinlock.pp.ml: Clock Machine Process Queue Sim

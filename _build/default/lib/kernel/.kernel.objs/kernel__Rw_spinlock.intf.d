@@ -1,0 +1,1 @@
+lib/kernel/rw_spinlock.pp.mli: Machine Process Sim

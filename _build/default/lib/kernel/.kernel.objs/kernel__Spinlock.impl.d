@@ -1,0 +1,1 @@
+lib/kernel/spinlock.pp.ml: Clock Fun Machine Printf Process Queue Sim

@@ -1,0 +1,1 @@
+lib/kernel/spinlock.pp.mli: Machine Process Sim

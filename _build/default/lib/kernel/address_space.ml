@@ -1,0 +1,76 @@
+(* Address spaces and page mapping.
+
+   A space is a page table from virtual page number to physical frame
+   base.  The page-table entries themselves live in simulated memory (at
+   [pte_base]) so that manipulating a mapping costs realistic cached
+   stores — the "TLB setup" category of Figure 2.
+
+   The kernel space is a singleton per machine: calls into kernel-level
+   servers need no user-context switch, which is what makes the paper's
+   user-to-kernel PPC cheaper. *)
+
+type kind = User | Kernel
+
+type t = {
+  kind : kind;
+  name : string;
+  asid : int;
+  table : (int, int) Hashtbl.t;  (** virtual page -> frame base *)
+  pte_base : int;  (** where this space's PTEs live *)
+  page_bytes : int;
+}
+
+let counter = ref 0
+
+let create ~kind ~name ~pte_base ~page_bytes =
+  incr counter;
+  {
+    kind;
+    name;
+    asid = !counter;
+    table = Hashtbl.create 64;
+    pte_base;
+    page_bytes;
+  }
+
+let kind t = t.kind
+let name t = t.name
+let asid t = t.asid
+let page_bytes t = t.page_bytes
+
+let vpage t vaddr = vaddr / t.page_bytes
+
+let pte_addr t vaddr =
+  (* PTEs are 4 bytes; index by the low bits of the vpage over a bounded
+     table region (one page of PTEs covers 4 MB of mappings, plenty for
+     the experiments). *)
+  t.pte_base + (vpage t vaddr mod 1024 * 4)
+
+let translate t vaddr =
+  match Hashtbl.find_opt t.table (vpage t vaddr) with
+  | None -> None
+  | Some frame -> Some (frame + (vaddr mod t.page_bytes))
+
+let is_mapped t vaddr = Hashtbl.mem t.table (vpage t vaddr)
+
+let space_of t : Machine.Tlb.space =
+  match t.kind with User -> Machine.Tlb.User | Kernel -> Machine.Tlb.Supervisor
+
+(* Map one page.  Charges the calling CPU for the PTE write and a little
+   bookkeeping; the caller decides the accounting category. *)
+let map cpu t ~vaddr ~frame =
+  let vp = vpage t vaddr in
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.store cpu (pte_addr t vaddr);
+  Hashtbl.replace t.table vp frame
+
+(* Unmap one page and invalidate the local TLB entry.  Cross-CPU
+   shootdown is a remote interrupt in the real system; PPC stacks are
+   strictly processor-local so the local invalidate suffices (this is one
+   of the paper's locality wins). *)
+let unmap cpu t ~vaddr =
+  let vp = vpage t vaddr in
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.store cpu (pte_addr t vaddr);
+  Machine.Tlb.invalidate (Machine.Cpu.tlb cpu) (space_of t) vaddr;
+  Hashtbl.remove t.table vp

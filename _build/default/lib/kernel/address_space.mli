@@ -1,0 +1,28 @@
+(** Address spaces with costed page mapping. *)
+
+type kind = User | Kernel
+
+type t
+
+val create : kind:kind -> name:string -> pte_base:int -> page_bytes:int -> t
+
+val kind : t -> kind
+val name : t -> string
+val asid : t -> int
+val page_bytes : t -> int
+
+val translate : t -> int -> int option
+(** Virtual-to-physical translation, if mapped. *)
+
+val is_mapped : t -> int -> bool
+
+val space_of : t -> Machine.Tlb.space
+(** TLB context this space's accesses use. *)
+
+val map : Machine.Cpu.t -> t -> vaddr:int -> frame:int -> unit
+(** Install a mapping, charging the CPU for the PTE write (caller sets
+    the accounting category). *)
+
+val unmap : Machine.Cpu.t -> t -> vaddr:int -> unit
+(** Remove a mapping; invalidates the local TLB entry only (PPC stacks
+    are processor-local, so no shootdown is needed). *)

@@ -1,0 +1,12 @@
+(* Bridging CPU cycle consumption into simulated time.
+
+   Micro-ops accumulate cycles on a {!Machine.Cpu}; at synchronisation
+   points (scheduler operations, lock handovers, measurement boundaries)
+   the running process sleeps the simulated clock forward by exactly the
+   cycles it has consumed since the last sync. *)
+
+let sync engine cpu =
+  let cycles = Machine.Cpu.take_unsynced cpu in
+  if cycles > 0 then
+    Sim.Engine.delay engine
+      (Machine.Cost_params.cycles_to_time (Machine.Cpu.params cpu) cycles)

@@ -1,0 +1,5 @@
+(** Advance simulated time by the cycles a CPU has consumed. *)
+
+val sync : Sim.Engine.t -> Machine.Cpu.t -> unit
+(** Must be called from within the simulated process currently executing
+    on that CPU. *)

@@ -1,0 +1,38 @@
+(* Hierarchical clustering (Unrau, Stumm & Krieger [16]).
+
+   Hurricane structures a large machine as clusters of processors: kernel
+   data is replicated or partitioned per cluster, so common operations
+   touch only cluster-local memory and cross-cluster traffic is the
+   exception.  This module is the topology arithmetic; services build
+   their per-cluster replication on top of it (see
+   [Naming.Clustered_name_server] and ablation A9). *)
+
+type t = { cpus : int; cluster_size : int }
+
+let create ~cpus ~cluster_size =
+  if cluster_size <= 0 then
+    invalid_arg "Cluster.create: cluster size must be positive";
+  if cpus <= 0 then invalid_arg "Cluster.create: need at least one CPU";
+  { cpus; cluster_size }
+
+let cpus t = t.cpus
+let cluster_size t = t.cluster_size
+
+let n_clusters t = (t.cpus + t.cluster_size - 1) / t.cluster_size
+
+let cluster_of t ~cpu =
+  if cpu < 0 || cpu >= t.cpus then invalid_arg "Cluster.cluster_of: bad CPU";
+  cpu / t.cluster_size
+
+let members t ~cluster =
+  if cluster < 0 || cluster >= n_clusters t then
+    invalid_arg "Cluster.members: bad cluster";
+  let first = cluster * t.cluster_size in
+  let last = Int.min (first + t.cluster_size) t.cpus - 1 in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let same_cluster t ~a ~b = cluster_of t ~cpu:a = cluster_of t ~cpu:b
+
+(* A representative CPU to home a cluster's replica on (its first
+   member). *)
+let home_cpu t ~cluster = List.hd (members t ~cluster)

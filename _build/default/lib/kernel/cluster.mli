@@ -1,0 +1,12 @@
+(** Hierarchical clustering topology (Hurricane's structure, ref [16]). *)
+
+type t
+
+val create : cpus:int -> cluster_size:int -> t
+val cpus : t -> int
+val cluster_size : t -> int
+val n_clusters : t -> int
+val cluster_of : t -> cpu:int -> int
+val members : t -> cluster:int -> int list
+val same_cluster : t -> a:int -> b:int -> bool
+val home_cpu : t -> cluster:int -> int

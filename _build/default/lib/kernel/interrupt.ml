@@ -1,0 +1,66 @@
+(* Interrupt controller.
+
+   Raising a vector on a CPU manufactures a short-lived kernel-daemon
+   process in that CPU's front scheduling band.  On an idle CPU it runs
+   immediately; on a busy CPU it runs at the next scheduling point (the
+   model does not preempt mid-process — documented approximation).
+
+   The PPC facility layers its interrupt-dispatch variant on top of this:
+   the handler manufactures an asynchronous PPC to the device server
+   (paper Section 4.4). *)
+
+type entry = {
+  name : string;
+  kcpu : Kcpu.t;
+  program : Program.t;
+  space : Address_space.t;
+  handler : Process.t -> unit;
+}
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  mutable raised : int;
+  mutable delivered : int;
+  delivery_latency : Sim.Time.t;
+}
+
+let create ?(delivery_latency = Sim.Time.us 2) () =
+  { table = Hashtbl.create 16; raised = 0; delivered = 0; delivery_latency }
+
+let register t ~vector ~name ~kcpu ~program ~space handler =
+  if Hashtbl.mem t.table vector then
+    invalid_arg "Interrupt.register: vector already registered";
+  Hashtbl.replace t.table vector { name; kcpu; program; space; handler }
+
+let unregister t ~vector = Hashtbl.remove t.table vector
+
+let raised t = t.raised
+let delivered t = t.delivered
+
+(* Deliver: runs from event context (a device completing) or from a
+   process.  The handler becomes a fresh kernel-daemon process. *)
+let raise_vector t ~vector =
+  match Hashtbl.find_opt t.table vector with
+  | None -> invalid_arg "Interrupt.raise_vector: unregistered vector"
+  | Some e ->
+      t.raised <- t.raised + 1;
+      let deliver () =
+        let p =
+        Process.create
+          ~name:(Printf.sprintf "irq-%s" e.name)
+          ~kind:Process.Kernel_daemon ~program:e.program ~space:e.space
+          ~cpu_index:(Kcpu.index e.kcpu)
+      in
+        Kcpu.start ~band:`Front e.kcpu p (fun () ->
+            let cpu = Kcpu.cpu e.kcpu in
+            (* Interrupt entry: vector fetch and minimal state save. *)
+            Machine.Cpu.trap cpu;
+            Machine.Cpu.instr cpu 12;
+            t.delivered <- t.delivered + 1;
+            e.handler p;
+            Machine.Cpu.rti cpu ~to_space:Machine.Tlb.Supervisor;
+            Kcpu.sync e.kcpu)
+      in
+      (* Propagation: the vector crosses the interconnect. *)
+      Sim.Engine.schedule (Kcpu.engine e.kcpu) ~after:t.delivery_latency
+        deliver

@@ -1,0 +1,25 @@
+(** Interrupt controller: vectors dispatch short-lived kernel-daemon
+    processes in the target CPU's front scheduling band. *)
+
+type t
+
+val create : ?delivery_latency:Sim.Time.t -> unit -> t
+
+val register :
+  t ->
+  vector:int ->
+  name:string ->
+  kcpu:Kcpu.t ->
+  program:Program.t ->
+  space:Address_space.t ->
+  (Process.t -> unit) ->
+  unit
+
+val unregister : t -> vector:int -> unit
+
+val raise_vector : t -> vector:int -> unit
+(** Deliver the vector: the handler runs as a fresh process at the target
+    CPU's next scheduling point (immediately if idle). *)
+
+val raised : t -> int
+val delivered : t -> int

@@ -1,0 +1,196 @@
+(* Per-CPU kernel context and scheduler.
+
+   One [Kcpu.t] exists per simulated processor.  It owns the processor's
+   ready queue (two bands: an interrupt/kernel band served first, and the
+   normal band) and the notion of the *current* process.
+
+   Scheduling discipline (matching the paper's platform):
+
+   - no preemption: a process runs until it blocks, yields, terminates or
+     hands the processor off;
+   - PPC uses *hand-off* transfers that bypass the ready queue entirely
+     ([handoff_sleep] / [handoff_ready]) — the paper's Section 1 point
+     (ii);
+   - interrupt handlers enter the front band and run at the next
+     scheduling point (delivery latency on an idle CPU is zero). *)
+
+type t = {
+  index : int;
+  engine : Sim.Engine.t;
+  cpu : Machine.Cpu.t;
+  front : Process.t Queue.t;
+  normal : Process.t Queue.t;
+  mutable current : Process.t option;
+  mutable idle_since : Sim.Time.t option;
+  mutable idle_total : Sim.Time.t;
+  mutable dispatches : int;
+  mutable handoffs : int;
+}
+
+let create engine cpu ~index =
+  {
+    index;
+    engine;
+    cpu;
+    front = Queue.create ();
+    normal = Queue.create ();
+    current = None;
+    idle_since = Some Sim.Time.zero;
+    idle_total = Sim.Time.zero;
+    dispatches = 0;
+    handoffs = 0;
+  }
+
+let index t = t.index
+let engine t = t.engine
+let cpu t = t.cpu
+let current t = t.current
+let ready_count t = Queue.length t.front + Queue.length t.normal
+let dispatches t = t.dispatches
+let handoffs t = t.handoffs
+
+let sync t = Clock.sync t.engine t.cpu
+
+let trace t ~kind detail =
+  Sim.Engine.trace_f t.engine ~cpu:t.index ~kind detail
+
+let is_current t p =
+  match t.current with Some q -> q == p | None -> false
+
+let note_busy t =
+  match t.idle_since with
+  | None -> ()
+  | Some since ->
+      t.idle_total <-
+        Sim.Time.add t.idle_total (Sim.Time.sub (Sim.Engine.now t.engine) since);
+      t.idle_since <- None
+
+let note_idle t =
+  if t.idle_since = None then t.idle_since <- Some (Sim.Engine.now t.engine)
+
+let idle_total t =
+  match t.idle_since with
+  | None -> t.idle_total
+  | Some since ->
+      Sim.Time.add t.idle_total (Sim.Time.sub (Sim.Engine.now t.engine) since)
+
+let take_next t =
+  match Queue.take_opt t.front with
+  | Some p -> Some p
+  | None -> Queue.take_opt t.normal
+
+(* Select and wake the next ready process (or go idle). *)
+let rec dispatch t =
+  match take_next t with
+  | None ->
+      t.current <- None;
+      note_idle t
+  | Some p ->
+      if Process.state p = Process.Dead then dispatch t
+      else begin
+        t.dispatches <- t.dispatches + 1;
+        t.current <- Some p;
+        Process.set_state p Process.Running;
+        note_busy t;
+        trace t ~kind:"dispatch" (fun () -> Process.name p);
+        Process.wake p
+      end
+
+(* Make a process runnable; dispatch immediately if the CPU is idle.
+   Safe to call from event context (interrupts, cross-CPU wakeups). *)
+let ready ?(band = `Normal) t p =
+  if Process.state p <> Process.Dead then begin
+    trace t ~kind:"ready" (fun () -> Process.name p);
+    Process.set_state p Process.Ready;
+    (match band with
+    | `Front -> Queue.push p t.front
+    | `Normal -> Queue.push p t.normal);
+    if t.current = None then dispatch t
+  end
+
+(* Start a process: spawn its simulated body, which first waits to be
+   dispatched. *)
+let start ?(band = `Normal) t p body =
+  Sim.Engine.spawn t.engine (fun () ->
+      Process.sleep t.engine p;
+      body ();
+      (* Termination.  No implicit sync: the CPU's unsynced cycles may
+         belong to another (current) process by now; bodies sync at their
+         own boundaries. *)
+      Process.set_state p Process.Dead;
+      if is_current t p then dispatch t);
+  ready ~band t p
+
+(* Start a process that begins parked (not on any ready queue): a PPC
+   worker waiting in its pool.  Its first wake comes from a hand-off. *)
+let start_parked t p body =
+  Process.set_state p Process.Blocked;
+  Sim.Engine.spawn t.engine (fun () ->
+      Process.sleep t.engine p;
+      body ();
+      Process.set_state p Process.Dead;
+      if is_current t p then dispatch t)
+
+(* The running process gives up the CPU until an external [ready]. *)
+let block t p =
+  assert (is_current t p);
+  sync t;
+  trace t ~kind:"block" (fun () -> Process.name p);
+  Process.set_state p Process.Blocked;
+  dispatch t;
+  Process.sleep t.engine p
+
+(* The running process re-queues itself behind its band. *)
+let yield t p =
+  assert (is_current t p);
+  sync t;
+  Process.set_state p Process.Ready;
+  Queue.push p t.normal;
+  dispatch t;
+  Process.sleep t.engine p
+
+(* Hand-off transfer: the caller passes the CPU directly to [target],
+   bypassing the ready queue, and sleeps until woken (the synchronous PPC
+   discipline: logically a single thread of control). *)
+let handoff_sleep t ~from ~target =
+  assert (is_current t from);
+  sync t;
+  t.handoffs <- t.handoffs + 1;
+  trace t ~kind:"handoff" (fun () ->
+      Printf.sprintf "%s -> %s" (Process.name from) (Process.name target));
+  Process.set_state from Process.Blocked;
+  t.current <- Some target;
+  Process.set_state target Process.Running;
+  Process.wake target;
+  Process.sleep t.engine from
+
+(* Hand-off where the caller stays runnable: the asynchronous PPC variant
+   (paper Section 4.4 — the caller goes on the ready queue rather than
+   being linked into the call descriptor). *)
+let handoff_ready t ~from ~target =
+  assert (is_current t from);
+  sync t;
+  t.handoffs <- t.handoffs + 1;
+  trace t ~kind:"handoff-rdy" (fun () ->
+      Printf.sprintf "%s -> %s" (Process.name from) (Process.name target));
+  Process.set_state from Process.Ready;
+  Queue.push from t.normal;
+  t.current <- Some target;
+  Process.set_state target Process.Running;
+  Process.wake target;
+  Process.sleep t.engine from
+
+(* Wake a specific blocked process by direct hand-off from the running
+   process (the PPC return path). *)
+let handoff_back t ~from ~target =
+  handoff_sleep t ~from ~target
+
+(* The running process terminates its current activation but stays
+   allocated (a worker returning to its pool): give up the CPU without
+   becoming ready. *)
+let park t p = block t p
+
+let utilisation t ~horizon =
+  let idle = Sim.Time.to_s (idle_total t) in
+  let total = Sim.Time.to_s horizon in
+  if total <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (idle /. total))

@@ -1,0 +1,53 @@
+(** Per-CPU kernel context: ready queue, current process, hand-off
+    scheduling, and cycle-to-simulated-time synchronisation. *)
+
+type t
+
+val create : Sim.Engine.t -> Machine.Cpu.t -> index:int -> t
+
+val index : t -> int
+val engine : t -> Sim.Engine.t
+val cpu : t -> Machine.Cpu.t
+val current : t -> Process.t option
+val ready_count : t -> int
+val dispatches : t -> int
+val handoffs : t -> int
+
+val sync : t -> unit
+(** Advance simulated time by the CPU's unsynced cycles. Call from the
+    running process. *)
+
+val ready : ?band:[ `Front | `Normal ] -> t -> Process.t -> unit
+(** Make a process runnable ([`Front] = interrupt/kernel band).  Safe
+    from event context; dispatches immediately if the CPU is idle. *)
+
+val start : ?band:[ `Front | `Normal ] -> t -> Process.t -> (unit -> unit) -> unit
+(** Spawn a process body; it runs when first dispatched and the process
+    dies when the body returns. *)
+
+val start_parked : t -> Process.t -> (unit -> unit) -> unit
+(** Spawn a process that begins blocked (a pool worker); its first wake
+    is a hand-off or {!ready}. *)
+
+val block : t -> Process.t -> unit
+(** The running process gives up the CPU until an external {!ready}. *)
+
+val yield : t -> Process.t -> unit
+
+val handoff_sleep : t -> from:Process.t -> target:Process.t -> unit
+(** Direct CPU transfer to [target], bypassing the ready queue; the
+    caller sleeps until woken (synchronous PPC). *)
+
+val handoff_ready : t -> from:Process.t -> target:Process.t -> unit
+(** Direct transfer where the caller re-enters the ready queue
+    (asynchronous PPC). *)
+
+val handoff_back : t -> from:Process.t -> target:Process.t -> unit
+(** PPC return path: identical mechanics to {!handoff_sleep} (the worker
+    parks until its next call). *)
+
+val park : t -> Process.t -> unit
+(** Alias of {!block}: a worker returning to its pool. *)
+
+val idle_total : t -> Sim.Time.t
+val utilisation : t -> horizon:Sim.Time.t -> float

@@ -1,0 +1,90 @@
+(* Kernel facade: one simulated Hurricane instance.
+
+   Ties together the machine, the per-CPU scheduler contexts, the program
+   registry, the kernel address space and the interrupt controller; and
+   re-exports the component modules as the library interface. *)
+
+module Program = Program
+module Address_space = Address_space
+module Process = Process
+module Clock = Clock
+module Kcpu = Kcpu
+module Spinlock = Spinlock
+module Rw_spinlock = Rw_spinlock
+module Interrupt = Interrupt
+module Msg_ipc = Msg_ipc
+module Cluster = Cluster
+module Klog = Klog
+
+type t = {
+  engine : Sim.Engine.t;
+  machine : Machine.t;
+  kcpus : Kcpu.t array;
+  programs : Program.registry;
+  kernel_program : Program.t;
+  kernel_space : Address_space.t;
+  interrupts : Interrupt.t;
+}
+
+let create ?params ?(cpus = 1) () =
+  let engine = Sim.Engine.create () in
+  let machine =
+    match params with
+    | None -> Machine.create ~cpus ()
+    | Some params -> Machine.create ~params ~cpus ()
+  in
+  let kcpus =
+    Array.init cpus (fun i -> Kcpu.create engine (Machine.cpu machine i) ~index:i)
+  in
+  let programs = Program.make_registry () in
+  let kernel_program = Program.register programs ~name:"kernel" in
+  let kernel_space =
+    Address_space.create ~kind:Address_space.Kernel ~name:"kernel"
+      ~pte_base:(Machine.alloc_page machine ~node:0)
+      ~page_bytes:(Machine.params machine).Machine.Cost_params.page_bytes
+  in
+  {
+    engine;
+    machine;
+    kcpus;
+    programs;
+    kernel_program;
+    kernel_space;
+    interrupts = Interrupt.create ();
+  }
+
+let engine t = t.engine
+let machine t = t.machine
+let n_cpus t = Array.length t.kcpus
+
+let kcpu t i =
+  if i < 0 || i >= Array.length t.kcpus then
+    invalid_arg "Kernel.kcpu: index out of range";
+  t.kcpus.(i)
+
+let kcpus t = Array.to_list t.kcpus
+let programs t = t.programs
+let kernel_program t = t.kernel_program
+let kernel_space t = t.kernel_space
+let interrupts t = t.interrupts
+
+let new_program t ~name = Program.register t.programs ~name
+
+let new_user_space t ~name ~node =
+  Address_space.create ~kind:Address_space.User ~name
+    ~pte_base:(Machine.alloc_page t.machine ~node)
+    ~page_bytes:(Machine.params t.machine).Machine.Cost_params.page_bytes
+
+let alloc ?align t ~bytes ~node = Machine.alloc ?align t.machine ~bytes ~node
+let alloc_page t ~node = Machine.alloc_page t.machine ~node
+
+let spawn ?band t ~cpu ~name ~kind ~program ~space body =
+  let p = Process.create ~name ~kind ~program ~space ~cpu_index:cpu in
+  let kc = kcpu t cpu in
+  (match band with
+  | None -> Kcpu.start kc p (fun () -> body p)
+  | Some band -> Kcpu.start ~band kc p (fun () -> body p));
+  p
+
+let run ?until t = Sim.Engine.run ?until t.engine
+let now t = Sim.Engine.now t.engine

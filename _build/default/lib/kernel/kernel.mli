@@ -1,0 +1,50 @@
+(** One simulated Hurricane kernel instance over a simulated machine. *)
+
+module Program = Program
+module Address_space = Address_space
+module Process = Process
+module Clock = Clock
+module Kcpu = Kcpu
+module Spinlock = Spinlock
+module Rw_spinlock = Rw_spinlock
+module Interrupt = Interrupt
+module Msg_ipc = Msg_ipc
+module Cluster = Cluster
+module Klog = Klog
+
+type t
+
+val create : ?params:Machine.Cost_params.t -> ?cpus:int -> unit -> t
+
+val engine : t -> Sim.Engine.t
+val machine : t -> Machine.t
+val n_cpus : t -> int
+val kcpu : t -> int -> Kcpu.t
+val kcpus : t -> Kcpu.t list
+val programs : t -> Program.registry
+val kernel_program : t -> Program.t
+val kernel_space : t -> Address_space.t
+val interrupts : t -> Interrupt.t
+
+val new_program : t -> name:string -> Program.t
+val new_user_space : t -> name:string -> node:int -> Address_space.t
+
+val alloc : ?align:[ `Line | `Page ] -> t -> bytes:int -> node:int -> int
+(** Allocate simulated physical memory homed on [node]. *)
+
+val alloc_page : t -> node:int -> int
+
+val spawn :
+  ?band:[ `Front | `Normal ] ->
+  t ->
+  cpu:int ->
+  name:string ->
+  kind:Process.kind ->
+  program:Program.t ->
+  space:Address_space.t ->
+  (Process.t -> unit) ->
+  Process.t
+(** Create and start a process on the given CPU. *)
+
+val run : ?until:Sim.Time.t -> t -> unit
+val now : t -> Sim.Time.t

@@ -1,0 +1,14 @@
+(* Log sources for the kernel and the facilities above it.
+
+   Management-path events (slow paths, kills, reclaim, device service)
+   log here; the hot call path never does — tracing ({!Sim.Trace}) covers
+   it without formatting costs.  Enable with [Logs.set_level] and a
+   reporter (the CLI's [-v] does both). *)
+
+let kernel_src = Logs.Src.create "hurricane.kernel" ~doc:"Kernel substrate"
+let ppc_src = Logs.Src.create "hurricane.ppc" ~doc:"PPC facility"
+let server_src = Logs.Src.create "hurricane.servers" ~doc:"System servers"
+
+module Kernel_log = (val Logs.src_log kernel_src : Logs.LOG)
+module Ppc_log = (val Logs.src_log ppc_src : Logs.LOG)
+module Server_log = (val Logs.src_log server_src : Logs.LOG)

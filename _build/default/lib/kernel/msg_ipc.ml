@@ -1,0 +1,153 @@
+(* Hurricane's pre-existing message-passing IPC (the facility the PPC
+   subsystem replaced; comparator for ablation A4).
+
+   A direct, uniprocessor-style translation to a multiprocessor: a global
+   port with a spinlock-guarded message queue in shared memory.  The round
+   trip walks the general scheduling path — full register save/restore on
+   every block — and marshals arguments through memory rather than
+   registers.  Every property the paper's Section 1 warns about is
+   present by construction: shared data on the critical path, a lock per
+   port, and no hand-off transfer. *)
+
+type message = {
+  sender : Process.t;
+  args : int array;
+  mutable results : int array option;
+}
+
+type port = {
+  name : string;
+  lock : Spinlock.t;
+  buf_base : int;  (** shared message buffer region *)
+  queue_addr : int;  (** shared queue head/tail words *)
+  pending : message Queue.t;
+  mutable receivers : Process.t list;  (** blocked servers, FIFO *)
+  mutable sends : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  kcpu_of : int -> Kcpu.t;
+  pcb_save_base : int;  (** register-save areas for full switches *)
+}
+
+let create ~engine ~kcpu_of ~alloc () =
+  { engine; kcpu_of; pcb_save_base = alloc ~bytes:4096 ~node:0 }
+
+let make_port ~name ~node ~alloc =
+  let buf_base = alloc ~bytes:1024 ~node in
+  let queue_addr = alloc ~bytes:64 ~node in
+  {
+    name;
+    lock = Spinlock.create ~addr:(alloc ~bytes:16 ~node) ();
+    buf_base;
+    queue_addr;
+    pending = Queue.create ();
+    receivers = [];
+    sends = 0;
+  }
+
+let port_name p = p.name
+let sends p = p.sends
+let lock_stats p = p.lock
+
+(* Full context switch: the general scheduler saves and restores the whole
+   register file (the M88100's large register set — one of the paper's
+   "architectural features" making switches expensive). *)
+let full_switch_cost t cpu ~proc =
+  let save_area = t.pcb_save_base + (Process.id proc mod 32 * 128) in
+  Machine.Cpu.instr cpu 20;
+  Machine.Cpu.store_words cpu save_area 32;
+  Machine.Cpu.load_words cpu save_area 32
+
+let copy_words cpu ~src_instr ~addr ~n kind =
+  Machine.Cpu.instr cpu src_instr;
+  match kind with
+  | `Store -> Machine.Cpu.store_words cpu addr n
+  | `Load -> Machine.Cpu.load_words cpu addr n
+
+(* Client side: synchronous round trip. *)
+let send t port ~client args =
+  if Array.length args > 8 then invalid_arg "Msg_ipc.send: at most 8 words";
+  let kc = t.kcpu_of (Process.cpu_index client) in
+  let cpu = Kcpu.cpu kc in
+  port.sends <- port.sends + 1;
+  (* Trap into the kernel. *)
+  Machine.Cpu.trap cpu;
+  (* Marshal arguments through a shared kernel buffer. *)
+  let slot = port.buf_base + (port.sends mod 16 * 64) in
+  copy_words cpu ~src_instr:10 ~addr:slot ~n:8 `Store;
+  (* Publish on the port queue under its lock. *)
+  Spinlock.acquire t.engine cpu client port.lock;
+  Machine.Cpu.instr cpu 8;
+  (* Message descriptor from the shared pool, then queue linkage. *)
+  Machine.Cpu.uncached_load cpu (port.queue_addr + 16);
+  Machine.Cpu.uncached_store cpu (port.queue_addr + 16);
+  Machine.Cpu.uncached_store cpu port.queue_addr;
+  Machine.Cpu.uncached_store cpu (port.queue_addr + 8);
+  let msg = { sender = client; args = Array.copy args; results = None } in
+  Queue.push msg port.pending;
+  (* Wake a blocked server if any (possibly on another CPU). *)
+  (match port.receivers with
+  | [] -> ()
+  | server :: rest ->
+      port.receivers <- rest;
+      Machine.Cpu.instr cpu 12;
+      Kcpu.ready (t.kcpu_of (Process.cpu_index server)) server);
+  Spinlock.release t.engine cpu client port.lock;
+  (* Block awaiting the reply: full state save, general dispatch. *)
+  full_switch_cost t cpu ~proc:client;
+  Kcpu.block kc client;
+  (* Reply arrived: unmarshal results and return to user mode. *)
+  full_switch_cost t cpu ~proc:client;
+  copy_words cpu ~src_instr:10 ~addr:(slot + 32) ~n:8 `Load;
+  Machine.Cpu.rti cpu ~to_space:(Address_space.space_of (Process.space client));
+  Kcpu.sync kc;
+  match msg.results with
+  | Some r -> r
+  | None -> failwith "Msg_ipc.send: woken without a reply"
+
+(* Server side: take the next message, blocking while the port is empty. *)
+let rec receive t port ~server =
+  let kc = t.kcpu_of (Process.cpu_index server) in
+  let cpu = Kcpu.cpu kc in
+  Spinlock.acquire t.engine cpu server port.lock;
+  Machine.Cpu.instr cpu 8;
+  Machine.Cpu.uncached_load cpu port.queue_addr;
+  match Queue.take_opt port.pending with
+  | Some msg ->
+      Machine.Cpu.uncached_store cpu (port.queue_addr + 8);
+      Spinlock.release t.engine cpu server port.lock;
+      copy_words cpu ~src_instr:10 ~addr:port.buf_base ~n:8 `Load;
+      (* Return to user mode in the server with the message. *)
+      Machine.Cpu.rti cpu
+        ~to_space:(Address_space.space_of (Process.space server));
+      msg
+  | None ->
+      port.receivers <- port.receivers @ [ server ];
+      Spinlock.release t.engine cpu server port.lock;
+      full_switch_cost t cpu ~proc:server;
+      Kcpu.block kc server;
+      full_switch_cost t cpu ~proc:server;
+      receive t port ~server
+
+(* Server side: reply and wake the sender. *)
+let reply t port ~server msg results =
+  if Array.length results > 8 then invalid_arg "Msg_ipc.reply: at most 8 words";
+  let kc = t.kcpu_of (Process.cpu_index server) in
+  let cpu = Kcpu.cpu kc in
+  (* Trap back into the kernel to post the reply. *)
+  Machine.Cpu.trap cpu;
+  msg.results <- Some (Array.copy results);
+  copy_words cpu ~src_instr:10 ~addr:(port.buf_base + 32) ~n:8 `Store;
+  Machine.Cpu.instr cpu 12;
+  Kcpu.ready (t.kcpu_of (Process.cpu_index msg.sender)) msg.sender;
+  Kcpu.sync kc
+
+(* Convenience server loop. *)
+let serve t port ~server handler =
+  while true do
+    let msg = receive t port ~server in
+    let results = handler msg.args in
+    reply t port ~server msg results
+  done

@@ -1,0 +1,38 @@
+(** Hurricane's original message-passing IPC: shared port queue under a
+    spinlock, full context switches, memory-marshalled arguments.  The
+    comparator the paper's PPC facility replaces. *)
+
+type message = {
+  sender : Process.t;
+  args : int array;
+  mutable results : int array option;
+}
+
+type port
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  kcpu_of:(int -> Kcpu.t) ->
+  alloc:(bytes:int -> node:int -> int) ->
+  unit ->
+  t
+
+val make_port :
+  name:string -> node:int -> alloc:(bytes:int -> node:int -> int) -> port
+
+val port_name : port -> string
+val sends : port -> int
+val lock_stats : port -> Spinlock.t
+
+val send : t -> port -> client:Process.t -> int array -> int array
+(** Synchronous round trip (at most 8 argument words); blocks the calling
+    simulated process until the server replies. *)
+
+val receive : t -> port -> server:Process.t -> message
+(** Next message, blocking while the port is empty. *)
+
+val reply : t -> port -> server:Process.t -> message -> int array -> unit
+
+val serve : t -> port -> server:Process.t -> (int array -> int array) -> unit
+(** Loop forever: receive, apply the handler, reply. *)

@@ -1,0 +1,70 @@
+(* Process control blocks.
+
+   A process is a schedulable thread of control bound to one CPU.  Its
+   execution is an effect-based simulated process; the [resume]/[prewoken]
+   pair implements a race-free sleep/wake protocol used by the per-CPU
+   scheduler (see {!Kcpu}). *)
+
+type kind = Client | Worker | Kernel_daemon
+[@@deriving show { with_path = false }, eq]
+
+type state = New | Running | Ready | Blocked | Dead
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  program : Program.t;
+  space : Address_space.t;
+  cpu_index : int;
+  mutable state : state;
+  mutable resume : ((unit, exn) result -> unit) option;
+  mutable prewoken : bool;
+}
+
+let counter = ref 0
+
+let create ~name ~kind ~program ~space ~cpu_index =
+  incr counter;
+  {
+    id = !counter;
+    name;
+    kind;
+    program;
+    space;
+    cpu_index;
+    state = New;
+    resume = None;
+    prewoken = false;
+  }
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+let program t = t.program
+let space t = t.space
+let cpu_index t = t.cpu_index
+let state t = t.state
+let set_state t s = t.state <- s
+
+(* Sleep until woken.  If [wake] already ran (the scheduler dispatched us
+   before we reached the sleep point) the pre-wake flag absorbs it. *)
+let sleep engine t =
+  if t.prewoken then t.prewoken <- false
+  else Sim.Engine.suspend engine (fun r -> t.resume <- Some r)
+
+let wake ?(error : exn option) t =
+  match t.resume with
+  | Some r -> (
+      t.resume <- None;
+      match error with Some e -> r (Error e) | None -> r (Ok ()))
+  | None -> (
+      match error with
+      | Some _ ->
+          (* Killing a process that is mid-execution: it will observe the
+             Dead state at its next scheduler interaction. *)
+          ()
+      | None -> t.prewoken <- true)
+
+let pp ppf t = Fmt.pf ppf "%s#%d(cpu%d)" t.name t.id t.cpu_index

@@ -1,0 +1,42 @@
+(** Process control blocks with a race-free sleep/wake protocol. *)
+
+type kind = Client | Worker | Kernel_daemon
+
+val show_kind : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val equal_kind : kind -> kind -> bool
+
+type state = New | Running | Ready | Blocked | Dead
+
+val show_state : state -> string
+val pp_state : Format.formatter -> state -> unit
+val equal_state : state -> state -> bool
+
+type t
+
+val create :
+  name:string ->
+  kind:kind ->
+  program:Program.t ->
+  space:Address_space.t ->
+  cpu_index:int ->
+  t
+
+val id : t -> int
+val name : t -> string
+val kind : t -> kind
+val program : t -> Program.t
+val space : t -> Address_space.t
+val cpu_index : t -> int
+val state : t -> state
+val set_state : t -> state -> unit
+
+val sleep : Sim.Engine.t -> t -> unit
+(** Block the calling simulated process until {!wake}.  A wake that
+    arrives before the sleep point is absorbed (no lost-wakeup race). *)
+
+val wake : ?error:exn -> t -> unit
+(** Resume a sleeping process, optionally with an exception (hard-kill).
+    Waking a process that is not asleep sets a pre-wake flag instead. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(* Programs: the unit of identity.
+
+   The paper separates naming from authentication (Section 4.1): callers
+   are identified to servers by their *program ID*, and each server keeps
+   whatever client-specific state it needs to decide whether a call is
+   permitted.  A program here is just a registered identity that processes
+   carry. *)
+
+type id = int
+
+type t = { id : id; name : string }
+
+type registry = { mutable next : id; mutable programs : t list }
+
+let make_registry () = { next = 1; programs = [] }
+
+let register reg ~name =
+  let p = { id = reg.next; name } in
+  reg.next <- reg.next + 1;
+  reg.programs <- p :: reg.programs;
+  p
+
+let find reg id = List.find_opt (fun p -> p.id = id) reg.programs
+
+let id t = t.id
+let name t = t.name
+
+let pp ppf t = Fmt.pf ppf "%s#%d" t.name t.id

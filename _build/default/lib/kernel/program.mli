@@ -1,0 +1,14 @@
+(** Program identities, used for authentication (paper Section 4.1). *)
+
+type id = int
+type t
+
+type registry
+
+val make_registry : unit -> registry
+val register : registry -> name:string -> t
+val find : registry -> id -> t option
+
+val id : t -> id
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+(* Readers-writer spinlock over uncached shared words.
+
+   The paper notes that adapting a single-threaded server needs at most
+   "a single lock on entry" — but exploiting the concurrency the PPC
+   facility delivers takes finer locking.  Read-mostly state (like file
+   metadata under GetLength) wants a readers-writer lock: readers share,
+   writers exclude.
+
+   Cost model mirrors {!Spinlock}: every acquire/release is an uncached
+   RMW on the lock word; contended acquirers park FIFO (processor kept,
+   like a spinner) and pay handover traffic when granted.  Grant policy:
+   FIFO order, with consecutive readers at the head granted as a batch —
+   writers cannot be starved by a continuous reader stream arriving
+   behind one. *)
+
+type mode = Read | Write
+
+type waiter = { proc : Process.t; mode : mode; enqueued_at : Sim.Time.t }
+
+type t = {
+  addr : int;
+  transfer_cycles : int;
+  mutable readers : int;  (** active readers *)
+  mutable writer : Process.t option;  (** active writer *)
+  waiters : waiter Queue.t;
+  mutable read_acquisitions : int;
+  mutable write_acquisitions : int;
+  mutable contended : int;
+  wait_stats : Sim.Stats.t;
+}
+
+let create ?(transfer_cycles = 40) ~addr () =
+  {
+    addr;
+    transfer_cycles;
+    readers = 0;
+    writer = None;
+    waiters = Queue.create ();
+    read_acquisitions = 0;
+    write_acquisitions = 0;
+    contended = 0;
+    wait_stats = Sim.Stats.create ~keep_samples:false ();
+  }
+
+let active_readers t = t.readers
+let active_writer t = t.writer
+let read_acquisitions t = t.read_acquisitions
+let write_acquisitions t = t.write_acquisitions
+let contended_acquisitions t = t.contended
+let mean_wait_us t = Sim.Stats.mean t.wait_stats
+
+let charge_attempt cpu t =
+  Machine.Cpu.instr cpu 3;
+  Machine.Cpu.uncached_store cpu t.addr
+
+let charge_handover cpu t =
+  Machine.Cpu.instr cpu 3;
+  Machine.Cpu.uncached_store cpu t.addr;
+  Machine.Cpu.charge_current cpu t.transfer_cycles
+
+let can_grant t mode =
+  match (mode, t.writer, t.readers) with
+  | Read, None, _ -> Queue.is_empty t.waiters
+  | Write, None, 0 -> Queue.is_empty t.waiters
+  | _ -> false
+
+let grant t w =
+  match w.mode with
+  | Read ->
+      t.readers <- t.readers + 1;
+      t.read_acquisitions <- t.read_acquisitions + 1
+  | Write ->
+      t.writer <- Some w.proc;
+      t.write_acquisitions <- t.write_acquisitions + 1
+
+(* Grant the FIFO head; if it is a reader, also grant the consecutive
+   readers behind it (a read batch). *)
+let grant_waiters t =
+  let rec go first =
+    match Queue.peek_opt t.waiters with
+    | None -> ()
+    | Some w -> (
+        match w.mode with
+        | Write ->
+            if first && t.readers = 0 && t.writer = None then begin
+              ignore (Queue.pop t.waiters);
+              grant t w;
+              Process.wake w.proc
+            end
+        | Read ->
+            if t.writer = None then begin
+              ignore (Queue.pop t.waiters);
+              grant t w;
+              Process.wake w.proc;
+              go false
+            end)
+  in
+  go true
+
+let acquire engine cpu proc t ~mode =
+  charge_attempt cpu t;
+  if can_grant t mode then begin
+    grant t { proc; mode; enqueued_at = Sim.Engine.now engine };
+    Clock.sync engine cpu
+  end
+  else begin
+    t.contended <- t.contended + 1;
+    let w = { proc; mode; enqueued_at = Sim.Engine.now engine } in
+    Queue.push w t.waiters;
+    Clock.sync engine cpu;
+    Process.sleep engine proc;
+    (* Granted: pay handover traffic. *)
+    charge_handover cpu t;
+    Clock.sync engine cpu;
+    Sim.Stats.add t.wait_stats
+      (Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now engine) w.enqueued_at))
+  end
+
+let acquire_read engine cpu proc t = acquire engine cpu proc t ~mode:Read
+let acquire_write engine cpu proc t = acquire engine cpu proc t ~mode:Write
+
+let release_read engine cpu proc t =
+  ignore proc;
+  if t.readers <= 0 then invalid_arg "Rw_spinlock.release_read: no readers";
+  Machine.Cpu.instr cpu 2;
+  Machine.Cpu.uncached_store cpu t.addr;
+  Clock.sync engine cpu;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then grant_waiters t
+
+let release_write engine cpu proc t =
+  (match t.writer with
+  | Some p when Process.id p = Process.id proc -> ()
+  | _ -> invalid_arg "Rw_spinlock.release_write: not the writer");
+  Machine.Cpu.instr cpu 2;
+  Machine.Cpu.uncached_store cpu t.addr;
+  Clock.sync engine cpu;
+  t.writer <- None;
+  grant_waiters t

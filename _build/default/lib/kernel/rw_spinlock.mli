@@ -1,0 +1,22 @@
+(** Readers-writer spinlock with FIFO grant and read batching (writers
+    are not starved).  Cost model matches {!Spinlock}. *)
+
+type t
+
+val create : ?transfer_cycles:int -> addr:int -> unit -> t
+
+val acquire_read : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+val acquire_write : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+
+val release_read : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+(** Raises [Invalid_argument] when no reader is active. *)
+
+val release_write : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+(** Raises [Invalid_argument] when the caller is not the writer. *)
+
+val active_readers : t -> int
+val active_writer : t -> Process.t option
+val read_acquisitions : t -> int
+val write_acquisitions : t -> int
+val contended_acquisitions : t -> int
+val mean_wait_us : t -> float

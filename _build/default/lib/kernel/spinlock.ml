@@ -1,0 +1,104 @@
+(* Simulated spinlock over an uncached shared word.
+
+   On the coherence-free Hector, a lock word must live in uncached shared
+   memory: every test-and-set is a (possibly remote) memory transaction.
+   The model:
+
+   - an uncontended acquire is one uncached read-modify-write plus a few
+     instructions;
+   - a contended acquire parks the waiter FIFO (the simulated processor
+     keeps spinning — it is *not* released to other processes, exactly
+     like a real spinlock);
+   - a release hands the lock to the oldest waiter and charges the new
+     owner the handover traffic: its winning test-and-set plus the
+     ping-pong retries modelled by [transfer_cycles].
+
+   This reproduces the saturation behaviour of the paper's Figure 3
+   single-file curve: throughput is bounded by
+   1 / (hold time + handover cost). *)
+
+type waiter = { proc : Process.t; enqueued_at : Sim.Time.t }
+
+type t = {
+  addr : int;
+  transfer_cycles : int;
+  mutable owner : Process.t option;
+  waiters : waiter Queue.t;
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable max_waiters : int;
+  mutable acquired_at : Sim.Time.t;
+  hold_stats : Sim.Stats.t;
+  wait_stats : Sim.Stats.t;
+}
+
+let create ?(transfer_cycles = 40) ~addr () =
+  {
+    addr;
+    transfer_cycles;
+    owner = None;
+    waiters = Queue.create ();
+    acquisitions = 0;
+    contended = 0;
+    max_waiters = 0;
+    acquired_at = Sim.Time.zero;
+    hold_stats = Sim.Stats.create ~keep_samples:false ();
+    wait_stats = Sim.Stats.create ~keep_samples:false ();
+  }
+
+let holder t = t.owner
+let acquisitions t = t.acquisitions
+let contended_acquisitions t = t.contended
+let max_waiters t = t.max_waiters
+let mean_hold_us t = Sim.Stats.mean t.hold_stats
+let mean_wait_us t = Sim.Stats.mean t.wait_stats
+
+let acquire engine cpu proc t =
+  (* The test-and-set attempt: uncached RMW + a couple of instructions. *)
+  Machine.Cpu.instr cpu 3;
+  Machine.Cpu.uncached_store cpu t.addr;
+  match t.owner with
+  | None ->
+      t.owner <- Some proc;
+      t.acquisitions <- t.acquisitions + 1;
+      Clock.sync engine cpu;
+      t.acquired_at <- Sim.Engine.now engine
+  | Some _ ->
+      t.contended <- t.contended + 1;
+      Sim.Engine.trace_f engine ~cpu:(Machine.Cpu.node cpu) ~kind:"lock-wait"
+        (fun () -> Printf.sprintf "%s waits on %#x" (Process.name proc) t.addr);
+      let w = { proc; enqueued_at = Sim.Engine.now engine } in
+      Queue.push w t.waiters;
+      if Queue.length t.waiters > t.max_waiters then
+        t.max_waiters <- Queue.length t.waiters;
+      Clock.sync engine cpu;
+      (* The processor spins: the process does not release the CPU. *)
+      Process.sleep engine proc;
+      (* Woken as the new owner: pay the handover traffic. *)
+      Machine.Cpu.instr cpu 3;
+      Machine.Cpu.uncached_store cpu t.addr;
+      Machine.Cpu.charge_current cpu t.transfer_cycles;
+      Clock.sync engine cpu;
+      Sim.Stats.add t.wait_stats
+        (Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now engine) w.enqueued_at));
+      t.acquisitions <- t.acquisitions + 1;
+      t.acquired_at <- Sim.Engine.now engine
+
+let release engine cpu proc t =
+  (match t.owner with
+  | Some p when Process.id p = Process.id proc -> ()
+  | _ -> invalid_arg "Spinlock.release: not the holder");
+  Machine.Cpu.instr cpu 2;
+  Machine.Cpu.uncached_store cpu t.addr;
+  Clock.sync engine cpu;
+  Sim.Stats.add t.hold_stats
+    (Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now engine) t.acquired_at));
+  match Queue.take_opt t.waiters with
+  | None -> t.owner <- None
+  | Some w ->
+      t.owner <- Some w.proc;
+      Process.wake w.proc
+
+let with_lock engine cpu proc t f =
+  acquire engine cpu proc t;
+  Fun.protect ~finally:(fun () -> release engine cpu proc t) f

@@ -1,0 +1,28 @@
+(** Simulated spinlock over an uncached shared word (coherence-free
+    machine): every operation is a memory transaction, and contended
+    handovers charge ping-pong traffic to the new owner. *)
+
+type t
+
+val create : ?transfer_cycles:int -> addr:int -> unit -> t
+(** [addr] is the lock word's simulated physical address (its NUMA home
+    determines remote-access surcharges); [transfer_cycles] models the
+    retry ping-pong paid by a contended acquirer (default 40). *)
+
+val acquire : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+(** Take the lock.  A contended caller spins: simulated time passes but
+    the processor is not released to other processes. *)
+
+val release : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit
+(** Release; hands the lock FIFO to the oldest spinner.  Raises
+    [Invalid_argument] if the caller is not the holder. *)
+
+val with_lock :
+  Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> (unit -> 'a) -> 'a
+
+val holder : t -> Process.t option
+val acquisitions : t -> int
+val contended_acquisitions : t -> int
+val max_waiters : t -> int
+val mean_hold_us : t -> float
+val mean_wait_us : t -> float

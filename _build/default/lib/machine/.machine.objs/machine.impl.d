@@ -1,0 +1,1 @@
+lib/machine/machine.pp.ml: Account Array Cache Cost_params Cpu Mem_layout Numa Tlb

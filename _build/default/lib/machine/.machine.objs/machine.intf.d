@@ -1,0 +1,1 @@
+lib/machine/machine.pp.mli: Account Cache Cost_params Cpu Mem_layout Numa Sim Tlb

@@ -1,0 +1,1 @@
+lib/machine/account.pp.ml: Array Cost_params Fmt List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/account.pp.mli: Cost_params Format

@@ -1,0 +1,1 @@
+lib/machine/cache.pp.ml: Array Cost_params Option

@@ -1,0 +1,1 @@
+lib/machine/cache.pp.mli: Cost_params

@@ -1,0 +1,1 @@
+lib/machine/cost_params.pp.ml: Sim

@@ -1,0 +1,1 @@
+lib/machine/cost_params.pp.mli: Sim

@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.ml: Account Cache Cost_params Fun Numa Tlb

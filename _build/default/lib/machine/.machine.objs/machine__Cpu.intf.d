@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.mli: Account Cache Cost_params Numa Tlb

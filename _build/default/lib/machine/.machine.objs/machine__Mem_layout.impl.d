@@ -1,0 +1,1 @@
+lib/machine/mem_layout.pp.ml: Cost_params Numa

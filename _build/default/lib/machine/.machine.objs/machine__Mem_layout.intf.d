@@ -1,0 +1,1 @@
+lib/machine/mem_layout.pp.mli: Cost_params Numa

@@ -1,0 +1,1 @@
+lib/machine/numa.pp.ml: Cost_params Int

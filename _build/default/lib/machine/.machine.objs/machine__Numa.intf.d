@@ -1,0 +1,1 @@
+lib/machine/numa.pp.mli: Cost_params

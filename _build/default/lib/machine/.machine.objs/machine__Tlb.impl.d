@@ -1,0 +1,1 @@
+lib/machine/tlb.pp.ml: Cost_params Hashtbl Queue

@@ -1,0 +1,85 @@
+(* Per-category cycle accounting.
+
+   The categories are exactly those of the paper's Figure 2 so that the
+   benchmark harness can print the same breakdown.  Every micro-operation
+   executed by a {!Cpu} is charged to the CPU's current category, except
+   TLB-miss table walks (always [Tlb_miss]), trap entry/exit (always
+   [Trap_overhead]) and pipeline-refill stalls (always [Unaccounted]). *)
+
+type category =
+  | Tlb_setup  (** modifying virtual-to-physical mappings *)
+  | Server_time  (** time in the worker executing server code *)
+  | Kernel_save_restore  (** minimum processor state for a process switch *)
+  | User_save_restore  (** user-level registers around the call *)
+  | Cd_manipulation  (** call-descriptor free list and stack management *)
+  | Ppc_kernel  (** remaining PPC call-model operations *)
+  | Tlb_miss  (** hardware TLB refills *)
+  | Trap_overhead  (** traps and returns-from-interrupt *)
+  | Unaccounted  (** pipeline stalls, cache interference *)
+[@@deriving show { with_path = false }, eq]
+
+let all =
+  [
+    Tlb_setup;
+    Server_time;
+    Kernel_save_restore;
+    User_save_restore;
+    Cd_manipulation;
+    Ppc_kernel;
+    Tlb_miss;
+    Trap_overhead;
+    Unaccounted;
+  ]
+
+let index = function
+  | Tlb_setup -> 0
+  | Server_time -> 1
+  | Kernel_save_restore -> 2
+  | User_save_restore -> 3
+  | Cd_manipulation -> 4
+  | Ppc_kernel -> 5
+  | Tlb_miss -> 6
+  | Trap_overhead -> 7
+  | Unaccounted -> 8
+
+let name = function
+  | Tlb_setup -> "TLB setup"
+  | Server_time -> "server time"
+  | Kernel_save_restore -> "kernel save/restore"
+  | User_save_restore -> "user save/restore"
+  | Cd_manipulation -> "CD manipulation"
+  | Ppc_kernel -> "PPC kernel"
+  | Tlb_miss -> "TLB miss"
+  | Trap_overhead -> "trap overhead"
+  | Unaccounted -> "unaccounted"
+
+type t = { cycles : int array }
+
+let create () = { cycles = Array.make (List.length all) 0 }
+
+let charge t cat n =
+  if n < 0 then invalid_arg "Account.charge: negative cycles";
+  t.cycles.(index cat) <- t.cycles.(index cat) + n
+
+let get t cat = t.cycles.(index cat)
+let total t = Array.fold_left ( + ) 0 t.cycles
+let reset t = Array.fill t.cycles 0 (Array.length t.cycles) 0
+
+let snapshot t = Array.copy t.cycles
+
+let diff ~before ~after =
+  let d = create () in
+  Array.iteri (fun i b -> d.cycles.(i) <- after.(i) - b) before;
+  d
+
+let to_list t = List.map (fun cat -> (cat, get t cat)) all
+
+let pp params ppf t =
+  List.iter
+    (fun (cat, cyc) ->
+      if cyc > 0 then
+        Fmt.pf ppf "%-20s %6d cyc  %6.2f us@." (name cat) cyc
+          (Cost_params.cycles_to_us params cyc))
+    (to_list t);
+  Fmt.pf ppf "%-20s %6d cyc  %6.2f us" "TOTAL" (total t)
+    (Cost_params.cycles_to_us params (total t))

@@ -1,0 +1,38 @@
+(** Per-category cycle accounting matching the paper's Figure 2. *)
+
+type category =
+  | Tlb_setup
+  | Server_time
+  | Kernel_save_restore
+  | User_save_restore
+  | Cd_manipulation
+  | Ppc_kernel
+  | Tlb_miss
+  | Trap_overhead
+  | Unaccounted
+
+val all : category list
+(** In the paper's legend order. *)
+
+val show_category : category -> string
+val pp_category : Format.formatter -> category -> unit
+val equal_category : category -> category -> bool
+
+val name : category -> string
+
+type t
+
+val create : unit -> t
+val charge : t -> category -> int -> unit
+val get : t -> category -> int
+val total : t -> int
+val reset : t -> unit
+
+val snapshot : t -> int array
+(** Raw cycle counts, for differencing around a measured region. *)
+
+val diff : before:int array -> after:int array -> t
+(** Fresh account holding [after - before] per category. *)
+
+val to_list : t -> (category * int) list
+val pp : Cost_params.t -> Format.formatter -> t -> unit

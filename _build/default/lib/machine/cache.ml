@@ -1,0 +1,149 @@
+(* Set-associative write-back cache with LRU replacement (the M88200
+   CMMU: 16 KB, 16-byte lines, 4-way — 256 sets).
+
+   The model tracks tag/valid/dirty per way and reports the cycle cost of
+   each access:
+
+   - hit: [cache_hit_cycles];
+   - load miss: line fill, plus a writeback if the victim was dirty;
+   - first store to a clean (or freshly filled) line: an extra
+     [store_clean_cycles], modelling the copy-back protocol's ownership
+     write;
+   - stores mark the line dirty.
+
+   Flushing is free at flush time by default (the paper's flushed-cache
+   experiments flush *before* the timed region, so the cost shows up as
+   subsequent misses, not as flush time). *)
+
+type line = {
+  mutable tag : int;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable lru : int;  (** higher = more recently used *)
+}
+
+type t = {
+  params : Cost_params.t;
+  sets : line array array;  (** [set][way] *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let ways = 4
+
+let create params =
+  let lines = params.Cost_params.cache_bytes / params.Cost_params.line_bytes in
+  let n_sets = lines / ways in
+  {
+    params;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init ways (fun _ ->
+              { tag = 0; valid = false; dirty = false; lru = 0 }));
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let n_lines t = Array.length t.sets * ways
+let n_sets t = Array.length t.sets
+
+let set_index t addr =
+  addr / t.params.Cost_params.line_bytes mod Array.length t.sets
+
+let tag_of t addr =
+  addr / (t.params.Cost_params.line_bytes * Array.length t.sets)
+
+type kind = Load | Store
+
+let find_way set tag =
+  let rec go i =
+    if i >= ways then None
+    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let victim_way set =
+  let v = ref set.(0) in
+  for i = 1 to ways - 1 do
+    let candidate = set.(i) in
+    if not candidate.valid then (if !v.valid then v := candidate)
+    else if !v.valid && candidate.lru < !v.lru then v := candidate
+  done;
+  !v
+
+let access t kind addr =
+  let p = t.params in
+  let set = t.sets.(set_index t addr) in
+  let tag = tag_of t addr in
+  t.clock <- t.clock + 1;
+  match find_way set tag with
+  | Some line -> (
+      t.hits <- t.hits + 1;
+      line.lru <- t.clock;
+      match kind with
+      | Load -> p.Cost_params.cache_hit_cycles
+      | Store ->
+          if line.dirty then p.Cost_params.cache_hit_cycles
+          else begin
+            line.dirty <- true;
+            p.Cost_params.cache_hit_cycles + p.Cost_params.store_clean_cycles
+          end)
+  | None -> (
+      t.misses <- t.misses + 1;
+      let line = victim_way set in
+      let writeback =
+        if line.valid && line.dirty then begin
+          t.writebacks <- t.writebacks + 1;
+          p.Cost_params.writeback_cycles
+        end
+        else 0
+      in
+      line.valid <- true;
+      line.tag <- tag;
+      line.lru <- t.clock;
+      let fill = p.Cost_params.line_load_cycles in
+      match kind with
+      | Load ->
+          line.dirty <- false;
+          writeback + fill
+      | Store ->
+          line.dirty <- true;
+          writeback + fill + p.Cost_params.store_clean_cycles)
+
+let contains t addr =
+  Option.is_some (find_way t.sets.(set_index t addr) (tag_of t addr))
+
+let flush t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun line ->
+          line.valid <- false;
+          line.dirty <- false)
+        set)
+    t.sets
+
+let prime t ~addr ~bytes =
+  (* Load every line of a region without charging anyone. *)
+  let lb = t.params.Cost_params.line_bytes in
+  let first = addr / lb and last = (addr + bytes - 1) / lb in
+  for l = first to last do
+    ignore (access t Load (l * lb))
+  done;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0

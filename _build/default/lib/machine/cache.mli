@@ -1,0 +1,32 @@
+(** Set-associative (4-way, LRU) write-back cache model (M88200 CMMU
+    shape: 16 KB, 16-byte lines, 256 sets). *)
+
+type t
+
+type kind = Load | Store
+
+val create : Cost_params.t -> t
+
+val ways : int
+val n_lines : t -> int
+val n_sets : t -> int
+
+val access : t -> kind -> int -> int
+(** [access t kind addr] simulates one reference and returns its cycle
+    cost (hit cost, line fill, victim writeback, copy-back ownership
+    write as applicable). *)
+
+val contains : t -> int -> bool
+(** Whether the line holding [addr] is currently resident. *)
+
+val flush : t -> unit
+(** Invalidate every line.  Free at flush time: the paper's flushed-cache
+    experiments pay the cost as later misses inside the timed region. *)
+
+val prime : t -> addr:int -> bytes:int -> unit
+(** Fault a region in without charging cycles; resets the counters. *)
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val reset_counters : t -> unit

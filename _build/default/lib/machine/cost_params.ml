@@ -1,0 +1,75 @@
+(* Machine cost parameters.
+
+   Defaults reproduce the Hector prototype as described in the paper
+   (Section 3): Motorola 88100/88200 at 16.67 MHz, 16 KB data and
+   instruction caches with 16-byte lines, no hardware cache coherence,
+   27-cycle TLB miss, ~1.7 us trap-and-return, 10-cycle uncached local
+   access, 20-cycle cache line load/writeback plus 10 extra cycles for the
+   first store to a clean line. *)
+
+type t = {
+  mhz : float;  (** processor clock, MHz *)
+  cache_bytes : int;  (** data/instruction cache size *)
+  line_bytes : int;  (** cache line size *)
+  cache_hit_cycles : int;  (** cost of a cache hit (pipelined) *)
+  line_load_cycles : int;  (** cost of filling a line from local memory *)
+  icache_fill_cycles : int;
+      (** instruction-line fill as seen by the pipeline: sequential
+          prefetch overlaps most of the memory latency *)
+  writeback_cycles : int;  (** cost of writing back a dirty line *)
+  store_clean_cycles : int;  (** extra cycles, first store to a clean line *)
+  uncached_cycles : int;  (** uncached local memory access *)
+  page_bytes : int;  (** VM page size *)
+  tlb_entries : int;  (** entries per TLB context *)
+  tlb_miss_cycles : int;  (** hardware table-walk cost *)
+  trap_cycles : int;  (** user->supervisor trap entry *)
+  rti_cycles : int;  (** return from trap *)
+  pipeline_refill_cycles : int;  (** stall after a trap/switch (unaccounted) *)
+  branch_stall_per_16_instr : int;  (** average stall cycles per 16 instrs *)
+  timer_read_cycles : int;  (** microsecond timer access overhead *)
+  switch_flushes_cache : bool;
+      (** virtually-addressed caches (VAX-era) must be flushed on an
+          address-space switch; the physically-tagged M88200 need not *)
+  space_switch_extra_cycles : int;
+      (** fixed extra cost of loading a VM context (e.g. the CVAX's
+          microcoded LDPCTX); 0 on the M88200's root-pointer update *)
+  numa_base_cycles : int;  (** extra cycles for any remote access *)
+  numa_per_hop_cycles : int;  (** additional cycles per ring hop *)
+}
+
+let hector =
+  {
+    mhz = 16.67;
+    cache_bytes = 16 * 1024;
+    line_bytes = 16;
+    cache_hit_cycles = 1;
+    line_load_cycles = 20;
+    icache_fill_cycles = 5;
+    writeback_cycles = 20;
+    store_clean_cycles = 10;
+    uncached_cycles = 10;
+    page_bytes = 4096;
+    tlb_entries = 56;
+    (* The M88200 PATC holds 56 entries. *)
+    tlb_miss_cycles = 27;
+    trap_cycles = 14;
+    rti_cycles = 14;
+    (* trap + rti = 28 cycles ~ 1.7 us at 60 ns/cycle, as measured in the
+       paper. *)
+    pipeline_refill_cycles = 4;
+    branch_stall_per_16_instr = 1;
+    timer_read_cycles = 10;
+    switch_flushes_cache = false;
+    space_switch_extra_cycles = 0;
+    numa_base_cycles = 4;
+    numa_per_hop_cycles = 3;
+  }
+
+let cycle_ns t = 1000.0 /. t.mhz
+
+let cycles_to_time t cycles =
+  Sim.Time.of_us_float (float_of_int cycles *. cycle_ns t /. 1000.0)
+
+let cycles_to_us t cycles = float_of_int cycles *. cycle_ns t /. 1000.0
+
+let lines_of_bytes t bytes = (bytes + t.line_bytes - 1) / t.line_bytes

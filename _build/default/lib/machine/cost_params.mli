@@ -1,0 +1,37 @@
+(** Machine cost parameters (defaults model the Hector prototype). *)
+
+type t = {
+  mhz : float;
+  cache_bytes : int;
+  line_bytes : int;
+  cache_hit_cycles : int;
+  line_load_cycles : int;
+  icache_fill_cycles : int;
+  writeback_cycles : int;
+  store_clean_cycles : int;
+  uncached_cycles : int;
+  page_bytes : int;
+  tlb_entries : int;
+  tlb_miss_cycles : int;
+  trap_cycles : int;
+  rti_cycles : int;
+  pipeline_refill_cycles : int;
+  branch_stall_per_16_instr : int;
+  timer_read_cycles : int;
+  switch_flushes_cache : bool;
+  space_switch_extra_cycles : int;
+  numa_base_cycles : int;
+  numa_per_hop_cycles : int;
+}
+
+val hector : t
+(** The 16.67 MHz Motorola 88100/88200 configuration from the paper. *)
+
+val cycle_ns : t -> float
+(** Nanoseconds per cycle. *)
+
+val cycles_to_time : t -> int -> Sim.Time.t
+val cycles_to_us : t -> int -> float
+
+val lines_of_bytes : t -> int -> int
+(** Number of cache lines spanned by a byte count. *)

@@ -1,0 +1,79 @@
+(** Simulated processor: executes micro-operations against cache, TLB and
+    NUMA state, charging cycles to Figure-2 accounting categories. *)
+
+type t
+
+val create : ?node:int -> Cost_params.t -> Numa.t -> t
+
+val params : t -> Cost_params.t
+val node : t -> int
+val dcache : t -> Cache.t
+val icache : t -> Cache.t
+val tlb : t -> Tlb.t
+val account : t -> Account.t
+val cycles : t -> int
+(** Total cycles executed since creation. *)
+
+val space : t -> Tlb.space
+val set_space : t -> Tlb.space -> unit
+
+val category : t -> Account.category
+val set_category : t -> Account.category -> unit
+
+val with_category : t -> Account.category -> (unit -> 'a) -> 'a
+(** Run [f] with the accounting category temporarily switched. *)
+
+val charge : t -> Account.category -> int -> unit
+(** Charge raw cycles to an explicit category. *)
+
+val charge_current : t -> int -> unit
+
+val instr : ?code:int -> t -> int -> unit
+(** [instr ~code t n] issues [n] instructions located at [code] (4 bytes
+    each): 1 cycle per instruction plus I-cache/I-TLB behaviour and
+    amortised branch stalls (the latter charged to [Unaccounted]). *)
+
+val load : t -> int -> unit
+val store : t -> int -> unit
+(** One cached data reference: D-TLB lookup (misses to [Tlb_miss]) and
+    D-cache access (hit/miss/writeback to the current category, plus the
+    NUMA surcharge on fills). *)
+
+val load_words : t -> int -> int -> unit
+(** [load_words t addr n]: [n] consecutive 4-byte loads. *)
+
+val store_words : t -> int -> int -> unit
+
+val load_mapped : t -> vaddr:int -> paddr:int -> unit
+val store_mapped : t -> vaddr:int -> paddr:int -> unit
+(** Access through an explicit mapping: TLB sees [vaddr], the physically
+    indexed cache sees [paddr] (recycled worker stacks). *)
+
+val load_words_mapped : t -> vaddr:int -> paddr:int -> int -> unit
+val store_words_mapped : t -> vaddr:int -> paddr:int -> int -> unit
+
+val uncached_load : t -> int -> unit
+val uncached_store : t -> int -> unit
+(** Uncached access: flat cost + NUMA surcharge — how shared mutable data
+    is reached on a machine without hardware cache coherence. *)
+
+val trap : t -> unit
+(** Enter supervisor mode; cost to [Trap_overhead], pipeline refill to
+    [Unaccounted]. *)
+
+val rti : t -> to_space:Tlb.space -> unit
+(** Return from trap into [to_space]. *)
+
+val flush_user_tlb : t -> unit
+(** User-context TLB flush (user address-space switch). *)
+
+val read_timer : t -> float
+(** Read the microsecond timer (charges its 10-cycle overhead); returns
+    elapsed microseconds on this CPU. *)
+
+val unsynced_cycles : t -> int
+val take_unsynced : t -> int
+(** Cycles accumulated since the last call, for advancing the simulated
+    clock. *)
+
+val elapsed_us : t -> float

@@ -1,0 +1,46 @@
+(* A whole simulated multiprocessor: one NUMA fabric, one physical address
+   allocator, and one {!Cpu} (with private caches and TLB — Hector has no
+   hardware coherence) per station.
+
+   This module is the library interface: it re-exports the component
+   models so users write [Machine.Cpu], [Machine.Cache], ... *)
+
+module Cost_params = Cost_params
+module Account = Account
+module Cache = Cache
+module Tlb = Tlb
+module Numa = Numa
+module Cpu = Cpu
+module Mem_layout = Mem_layout
+
+type t = {
+  params : Cost_params.t;
+  numa : Numa.t;
+  layout : Mem_layout.t;
+  cpus : Cpu.t array;
+}
+
+let create ?(params = Cost_params.hector) ~cpus () =
+  if cpus <= 0 then invalid_arg "Machine.create: need at least one CPU";
+  let numa = Numa.create params ~stations:cpus in
+  let layout = Mem_layout.create params numa in
+  let cpu_array = Array.init cpus (fun node -> Cpu.create ~node params numa) in
+  { params; numa; layout; cpus = cpu_array }
+
+let params t = t.params
+let numa t = t.numa
+let layout t = t.layout
+let n_cpus t = Array.length t.cpus
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then
+    invalid_arg "Machine.cpu: index out of range";
+  t.cpus.(i)
+
+let cpus t = Array.to_list t.cpus
+
+let alloc ?align t ~bytes ~node = Mem_layout.alloc ?align t.layout ~bytes ~node
+let alloc_page t ~node = Mem_layout.alloc_page t.layout ~node
+
+let cycles_to_time t cycles = Cost_params.cycles_to_time t.params cycles
+let cycles_to_us t cycles = Cost_params.cycles_to_us t.params cycles

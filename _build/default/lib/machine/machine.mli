@@ -1,0 +1,29 @@
+(** A simulated shared-memory multiprocessor: N CPUs with private caches
+    and TLBs over one NUMA fabric (the Hector shape). *)
+
+module Cost_params = Cost_params
+module Account = Account
+module Cache = Cache
+module Tlb = Tlb
+module Numa = Numa
+module Cpu = Cpu
+module Mem_layout = Mem_layout
+
+type t
+
+val create : ?params:Cost_params.t -> cpus:int -> unit -> t
+
+val params : t -> Cost_params.t
+val numa : t -> Numa.t
+val layout : t -> Mem_layout.t
+val n_cpus : t -> int
+val cpu : t -> int -> Cpu.t
+val cpus : t -> Cpu.t list
+
+val alloc : ?align:[ `Line | `Page ] -> t -> bytes:int -> node:int -> int
+(** Allocate simulated physical memory homed on [node]. *)
+
+val alloc_page : t -> node:int -> int
+
+val cycles_to_time : t -> int -> Sim.Time.t
+val cycles_to_us : t -> int -> float

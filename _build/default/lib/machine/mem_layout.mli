@@ -1,0 +1,17 @@
+(** Simulated physical address allocator with NUMA homing.
+
+    Regions are packed at cache-line granularity by default (how the real
+    kernel lays out hot structures); request [`Page] alignment for
+    regions that are architecturally pages. *)
+
+type t
+
+val create : ?base:int -> Cost_params.t -> Numa.t -> t
+
+val alloc : ?align:[ `Line | `Page ] -> t -> bytes:int -> node:int -> int
+(** Allocate a region homed on [node]; returns its base address. *)
+
+val alloc_page : t -> node:int -> int
+(** One page-aligned page. *)
+
+val page_bytes : t -> int

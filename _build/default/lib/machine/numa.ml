@@ -1,0 +1,51 @@
+(* NUMA topology model.
+
+   Hector is a hierarchy of stations connected by rings; for the purposes
+   of this reproduction a single ring of [stations] nodes suffices: the
+   distance between two nodes is the minimal number of ring hops, and a
+   remote access pays [numa_base_cycles + hops * numa_per_hop_cycles] on
+   top of the memory access itself.
+
+   Physical memory is carved into homes by explicit region registration:
+   the kernel registers each allocated region with its home node, and the
+   CPU model consults [home_of] on every uncached access (cached accesses
+   pay the NUMA penalty only on the line fill). *)
+
+type region = { base : int; bytes : int; node : int }
+
+type t = {
+  params : Cost_params.t;
+  stations : int;
+  mutable regions : region list;
+  default_node : int;
+}
+
+let create ?(default_node = 0) params ~stations =
+  if stations <= 0 then invalid_arg "Numa.create: stations must be positive";
+  { params; stations; regions = []; default_node }
+
+let stations t = t.stations
+
+let register t ~base ~bytes ~node =
+  if node < 0 || node >= t.stations then invalid_arg "Numa.register: bad node";
+  if bytes <= 0 then invalid_arg "Numa.register: empty region";
+  t.regions <- { base; bytes; node } :: t.regions
+
+let home_of t addr =
+  let rec find = function
+    | [] -> t.default_node
+    | r :: rest ->
+        if addr >= r.base && addr < r.base + r.bytes then r.node else find rest
+  in
+  find t.regions
+
+let distance t a b =
+  let d = abs (a - b) in
+  Int.min d (t.stations - d)
+
+let extra_cycles t ~from ~addr =
+  let home = home_of t addr in
+  if home = from then 0
+  else
+    t.params.Cost_params.numa_base_cycles
+    + (distance t from home * t.params.Cost_params.numa_per_hop_cycles)

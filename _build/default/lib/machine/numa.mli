@@ -1,0 +1,20 @@
+(** NUMA topology: a ring of stations with per-region memory homes. *)
+
+type t
+
+val create : ?default_node:int -> Cost_params.t -> stations:int -> t
+
+val stations : t -> int
+
+val register : t -> base:int -> bytes:int -> node:int -> unit
+(** Declare that the physical region [\[base, base+bytes)] lives on
+    [node]. Later registrations shadow earlier ones. *)
+
+val home_of : t -> int -> int
+(** Home node of an address ([default_node] when unregistered). *)
+
+val distance : t -> int -> int -> int
+(** Minimal ring hops between two stations. *)
+
+val extra_cycles : t -> from:int -> addr:int -> int
+(** NUMA surcharge for a node-[from] access to [addr]; 0 when local. *)

@@ -1,0 +1,31 @@
+(** Dual-context (user/supervisor) TLB model.
+
+    Switching user address spaces flushes only the user context; the
+    supervisor context persists — the source of the paper's user-to-kernel
+    vs user-to-user cost gap. *)
+
+type space = User | Supervisor
+
+type t
+
+val create : Cost_params.t -> t
+
+val lookup : t -> space -> int -> int
+(** [lookup t space addr] returns the cycle cost of translating [addr]:
+    0 on a hit, [tlb_miss_cycles] on a miss (the entry is inserted,
+    FIFO-evicting the oldest if the context is full). *)
+
+val preload : t -> space -> int -> unit
+(** Insert a translation without charging a miss. *)
+
+val contains : t -> space -> int -> bool
+val invalidate : t -> space -> int -> unit
+(** Drop the translation for one page (e.g. after an unmap). *)
+
+val flush_user : t -> unit
+(** Invalidate the whole user context (user address-space switch). *)
+
+val misses : t -> int
+val lookups : t -> int
+val user_flushes : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/naming/auth.ml: Hashtbl Kernel List Machine Ppc

@@ -1,0 +1,1 @@
+lib/naming/auth.mli: Kernel Ppc

@@ -1,0 +1,1 @@
+lib/naming/clustered_name_server.ml: Array Int Kernel Name_server Ppc

@@ -1,0 +1,1 @@
+lib/naming/clustered_name_server.mli: Kernel Name_server Ppc

@@ -1,0 +1,1 @@
+lib/naming/name_server.ml: Call_ctx Char Fun Hashtbl Kernel List Machine Null_server Ppc Reg_args String

@@ -1,0 +1,1 @@
+lib/naming/name_server.mli: Kernel Ppc

@@ -1,0 +1,54 @@
+(* Server-side authentication (paper Section 4.1).
+
+   "Callers are identified to servers by their program ID, which can then
+   be used by the server to retrieve client-specific state so they can
+   verify whether the client is permitted to make the call."
+
+   An ACL is per-server state: checking it costs a lookup in the server's
+   own data (charged against the worker's CPU under the current — i.e.
+   server-time — category).  No global capability structures exist, which
+   is exactly what keeps the IPC path free of shared data. *)
+
+type perm = Read | Write | Admin
+
+type t = {
+  acl : (Kernel.Program.id, perm list) Hashtbl.t;
+  data_addr : int;  (** where the client-state table lives *)
+  mutable checks : int;
+  mutable denials : int;
+}
+
+let create ~data_addr () =
+  { acl = Hashtbl.create 16; data_addr; checks = 0; denials = 0 }
+
+let grant t ~program ~perms = Hashtbl.replace t.acl program perms
+
+let revoke t ~program = Hashtbl.remove t.acl program
+
+(* Charged check: hash the program ID into the client-state table and
+   load the entry. *)
+let check t ctx ~perm =
+  t.checks <- t.checks + 1;
+  let cpu = ctx.Ppc.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Ppc.Call_ctx.server_code cpu 8;
+  let slot = ctx.Ppc.Call_ctx.caller_program mod 64 in
+  Machine.Cpu.load cpu (t.data_addr + (slot * 8));
+  let ok =
+    match Hashtbl.find_opt t.acl ctx.Ppc.Call_ctx.caller_program with
+    | Some perms -> List.mem perm perms
+    | None -> false
+  in
+  if not ok then t.denials <- t.denials + 1;
+  ok
+
+(* Check-and-reject helper for handlers: returns [true] if the call may
+   proceed, otherwise sets the RC. *)
+let require t ctx ~perm args =
+  if check t ctx ~perm then true
+  else begin
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.err_denied;
+    false
+  end
+
+let checks t = t.checks
+let denials t = t.denials

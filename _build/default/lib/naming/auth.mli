@@ -1,0 +1,22 @@
+(** Server-side program-ID authentication (Section 4.1): per-server ACLs,
+    no global capability state. *)
+
+type perm = Read | Write | Admin
+
+type t
+
+val create : data_addr:int -> unit -> t
+(** [data_addr] locates the server's client-state table (for charged
+    lookups). *)
+
+val grant : t -> program:Kernel.Program.id -> perms:perm list -> unit
+val revoke : t -> program:Kernel.Program.id -> unit
+
+val check : t -> Ppc.Call_ctx.t -> perm:perm -> bool
+(** Charged lookup of the caller's permissions. *)
+
+val require : t -> Ppc.Call_ctx.t -> perm:perm -> Ppc.Reg_args.t -> bool
+(** Like {!check}, but sets [err_denied] in the RC on failure. *)
+
+val checks : t -> int
+val denials : t -> int

@@ -1,0 +1,64 @@
+(* A clustered name service: Hurricane's hierarchical clustering ([16])
+   applied to naming.
+
+   One name-server replica per cluster, its registry homed on the
+   cluster's first CPU.  Lookups (the hot path) go to the caller's own
+   cluster replica — local memory, local workers.  Registrations (rare)
+   are broadcast to every replica by the management stub, the classic
+   replicate-reads / pay-on-writes trade.
+
+   Ablation A9 measures the lookup-side win against the single
+   machine-wide server whose registry every distant CPU reads across the
+   ring. *)
+
+type t = {
+  cluster : Kernel.Cluster.t;
+  replicas : Name_server.t array;  (** indexed by cluster *)
+}
+
+let cluster t = t.cluster
+let n_replicas t = Array.length t.replicas
+let replica t ~cluster = t.replicas.(cluster)
+
+let install ppc ~cluster_size =
+  let kern = Ppc.kernel ppc in
+  let cluster =
+    Kernel.Cluster.create ~cpus:(Kernel.n_cpus kern) ~cluster_size
+  in
+  let replicas =
+    Array.init (Kernel.Cluster.n_clusters cluster) (fun c ->
+        Name_server.install_at ppc
+          ~node:(Kernel.Cluster.home_cpu cluster ~cluster:c)
+          ~well_known:false
+          ~prime_cpus:(Kernel.Cluster.members cluster ~cluster:c))
+  in
+  { cluster; replicas }
+
+let local_replica t ~client =
+  t.replicas.(Kernel.Cluster.cluster_of t.cluster
+                ~cpu:(Kernel.Process.cpu_index client))
+
+(* Hot path: the caller's own cluster replica answers. *)
+let lookup t ~client ~name =
+  Name_server.lookup (local_replica t ~client) ~client ~name
+
+(* Management path: broadcast the binding to every replica.  All-or-
+   nothing is not attempted (real Hurricane updates cluster-local state
+   lazily); the first failure is reported and later replicas still
+   receive the binding. *)
+let register t ~client ~name ~ep_id =
+  Array.fold_left
+    (fun acc replica ->
+      let rc = Name_server.register replica ~client ~name ~ep_id in
+      if acc = Ppc.Reg_args.ok then rc else acc)
+    Ppc.Reg_args.ok t.replicas
+
+let unregister t ~client ~name =
+  Array.fold_left
+    (fun acc replica ->
+      let rc = Name_server.unregister replica ~client ~name in
+      if acc = Ppc.Reg_args.ok then rc else acc)
+    Ppc.Reg_args.ok t.replicas
+
+let bindings t =
+  Array.fold_left (fun acc r -> Int.max acc (Name_server.bindings r)) 0 t.replicas

@@ -1,0 +1,21 @@
+(** Per-cluster name-server replicas (hierarchical clustering, ref [16]):
+    local lookups, broadcast registrations. *)
+
+type t
+
+val install : Ppc.t -> cluster_size:int -> t
+
+val cluster : t -> Kernel.Cluster.t
+val n_replicas : t -> int
+val replica : t -> cluster:int -> Name_server.t
+
+val lookup : t -> client:Kernel.Process.t -> name:string -> (int, int) result
+(** Served by the caller's own cluster replica. *)
+
+val register : t -> client:Kernel.Process.t -> name:string -> ep_id:int -> int
+(** Broadcast to every replica; returns the first failure's RC if any. *)
+
+val unregister : t -> client:Kernel.Process.t -> name:string -> int
+
+val bindings : t -> int
+(** Bindings visible in the fullest replica. *)

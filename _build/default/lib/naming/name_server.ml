@@ -1,0 +1,172 @@
+(* The Name Server (paper Section 4.5.5).
+
+   "The ID can then be registered with the Name Server (which has a
+   well-known entry point ID).  A client that wants to call the server
+   obtains the server's entry point ID from the Name Server, and uses the
+   ID as an argument on subsequent PPC operations."
+
+   Names are strings; since a PPC carries eight words, the client-side
+   stub hashes the name into two words (charging the hashing
+   instructions) and the registry is keyed by that pair.  Authentication
+   is *not* the name server's job — any program may look names up, and
+   servers verify callers themselves by program ID (Section 4.1). *)
+
+let well_known_id = 0
+
+let op_register = 1
+let op_lookup = 2
+let op_unregister = 3
+
+type t = {
+  ppc : Ppc.t;
+  mutable ns_ep : int;  (** this instance's entry point *)
+  registry_addr : int;
+      (** the registry's shared memory: bindings are mutable shared data,
+          so consistent reads on a coherence-free machine are uncached —
+          remote callers pay ring distance (motivates clustering, A9) *)
+  registry_lock : Kernel.Spinlock.t;
+      (** bindings span several words; without coherent atomics a reader
+          must lock to see a consistent entry — the serialisation that
+          per-cluster replicas relieve *)
+  names : (int * int, int) Hashtbl.t;  (** hashed name -> entry point *)
+  owners : (int * int, Kernel.Program.id) Hashtbl.t;
+}
+
+let ep_id t = t.ns_ep
+
+(* FNV-1a over the name, split into two 30-bit words. *)
+let hash_name name =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  let v = !h land max_int in
+  (v land 0x3FFFFFFF, (v lsr 30) land 0x3FFFFFFF)
+
+let charge_hash ctx_cpu ~code name =
+  (* The stub hashes the name: a few instructions per character. *)
+  Machine.Cpu.instr ~code ctx_cpu (4 * String.length name)
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 30;
+  Null_server.touch_stack ctx ~words:4;
+  (* Registry probe: multi-word mutable shared bindings, read uncached
+     under the registry lock for consistency. *)
+  Kernel.Spinlock.acquire ctx.Call_ctx.engine ctx.Call_ctx.cpu
+    ctx.Call_ctx.self t.registry_lock;
+  Machine.Cpu.uncached_load ctx.Call_ctx.cpu t.registry_addr;
+  Machine.Cpu.uncached_load ctx.Call_ctx.cpu (t.registry_addr + 16);
+  Machine.Cpu.uncached_load ctx.Call_ctx.cpu (t.registry_addr + 32);
+  Kernel.Spinlock.release ctx.Call_ctx.engine ctx.Call_ctx.cpu
+    ctx.Call_ctx.self t.registry_lock;
+  let key = (Reg_args.get args 0, Reg_args.get args 1) in
+  let op = Reg_args.op args in
+  if op = op_register then begin
+    match Hashtbl.find_opt t.names key with
+    | Some _ -> Reg_args.set_rc args Reg_args.err_bad_request
+    | None ->
+        Hashtbl.replace t.names key (Reg_args.get args 2);
+        Hashtbl.replace t.owners key ctx.Call_ctx.caller_program;
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_lookup then begin
+    match Hashtbl.find_opt t.names key with
+    | Some ep ->
+        Reg_args.set args 0 ep;
+        Reg_args.set_rc args Reg_args.ok
+    | None -> Reg_args.set_rc args Reg_args.err_no_entry
+  end
+  else if op = op_unregister then begin
+    (* Only the registering program may remove a binding. *)
+    match Hashtbl.find_opt t.owners key with
+    | Some owner when owner = ctx.Call_ctx.caller_program ->
+        Hashtbl.remove t.names key;
+        Hashtbl.remove t.owners key;
+        Reg_args.set_rc args Reg_args.ok
+    | Some _ -> Reg_args.set_rc args Reg_args.err_denied
+    | None -> Reg_args.set_rc args Reg_args.err_no_entry
+  end
+  else Reg_args.set_rc args Reg_args.err_bad_request
+
+(* Build an instance: the machine-wide one at the well-known ID, or a
+   cluster replica at a fresh ID with its registry homed on [node]. *)
+let install_at ppc ~node ~well_known ~prime_cpus =
+  let kern = Ppc.kernel ppc in
+  let t =
+    {
+      ppc;
+      ns_ep = -1;
+      registry_addr = Kernel.alloc kern ~bytes:2048 ~node;
+      registry_lock =
+        Kernel.Spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node) ();
+      names = Hashtbl.create 64;
+      owners = Hashtbl.create 64;
+    }
+  in
+  let server =
+    Ppc.make_kernel_server ppc ~name:"name-server" ~hold_cd:true ~node ()
+  in
+  let ep =
+    if well_known then
+      Ppc.Engine.install_ep (Ppc.engine ppc) ~id:well_known_id
+        ~name:"name-server" ~server ~handler:(handler t)
+    else
+      Ppc.Engine.alloc_ep (Ppc.engine ppc) ~name:"name-server-replica" ~server
+        ~handler:(handler t)
+  in
+  t.ns_ep <- Ppc.Entry_point.id ep;
+  List.iter
+    (fun cpu_index ->
+      let w =
+        Ppc.Engine.create_worker (Ppc.engine ppc) ep ~cpu_index ~charged:false
+      in
+      Ppc.Entry_point.add_worker ep ~cpu_index w)
+    prime_cpus;
+  t
+
+let install ppc =
+  let kern = Ppc.kernel ppc in
+  install_at ppc ~node:0 ~well_known:true
+    ~prime_cpus:(List.init (Kernel.n_cpus kern) Fun.id)
+
+(* Client-side stubs: normal PPC calls to EP 0. *)
+
+let stub_call t ~client ~op ~name ~ep_value =
+  let open Ppc in
+  let kern = Ppc.kernel t.ppc in
+  let kc = Kernel.kcpu kern (Kernel.Process.cpu_index client) in
+  let pc =
+    Ppc.Layout.per_cpu
+      (Ppc.Engine.layout (Ppc.engine t.ppc))
+      (Kernel.Process.cpu_index client)
+  in
+  charge_hash (Kernel.Kcpu.cpu kc) ~code:pc.Ppc.Layout.user_stub name;
+  let h1, h2 = hash_name name in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 h1;
+  Reg_args.set args 1 h2;
+  Reg_args.set args 2 ep_value;
+  Reg_args.set_op args ~op ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op ~flags:0)
+      ~ep_id:t.ns_ep args
+  in
+  (rc, Reg_args.get args 0)
+
+let register t ~client ~name ~ep_id =
+  fst (stub_call t ~client ~op:op_register ~name ~ep_value:ep_id)
+
+let lookup t ~client ~name =
+  match stub_call t ~client ~op:op_lookup ~name ~ep_value:0 with
+  | rc, ep when rc = Ppc.Reg_args.ok -> Ok ep
+  | rc, _ -> Error rc
+
+let unregister t ~client ~name =
+  fst (stub_call t ~client ~op:op_unregister ~name ~ep_value:0)
+
+let bindings t = Hashtbl.length t.names

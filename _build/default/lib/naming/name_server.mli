@@ -1,0 +1,34 @@
+(** The Name Server (Section 4.5.5): binds names to entry-point IDs at a
+    well-known entry point.  Naming is separate from authentication. *)
+
+val well_known_id : int
+(** Entry point 0. *)
+
+val op_register : int
+val op_lookup : int
+val op_unregister : int
+
+type t
+
+val install : Ppc.t -> t
+(** Install at EP 0 with one preallocated worker per CPU. *)
+
+val install_at :
+  Ppc.t -> node:int -> well_known:bool -> prime_cpus:int list -> t
+(** Build an instance with its registry homed on [node]; a fresh entry
+    point unless [well_known] (cluster replicas use this). *)
+
+val ep_id : t -> int
+
+val hash_name : string -> int * int
+(** The client stub's two-word name hash. *)
+
+val register : t -> client:Kernel.Process.t -> name:string -> ep_id:int -> int
+(** Bind [name]; fails with [err_bad_request] if already bound. *)
+
+val lookup : t -> client:Kernel.Process.t -> name:string -> (int, int) result
+
+val unregister : t -> client:Kernel.Process.t -> name:string -> int
+(** Only the registering program may unbind. *)
+
+val bindings : t -> int

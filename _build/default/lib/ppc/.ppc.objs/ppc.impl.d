@@ -1,0 +1,1 @@
+lib/ppc/ppc.ml: Call_ctx Call_descriptor Cd_pool Engine Entry_point Frank Intr_dispatch Kernel Layout List Msg_compat Null_server Reclaim_daemon Reg_args Remote_call Upcall Worker

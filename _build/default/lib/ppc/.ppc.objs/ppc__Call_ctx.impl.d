@@ -1,0 +1,1 @@
+lib/ppc/call_ctx.ml: Kernel Machine Reg_args Sim

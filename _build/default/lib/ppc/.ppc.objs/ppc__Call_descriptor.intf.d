@@ -1,0 +1,1 @@
+lib/ppc/call_descriptor.mli: Kernel Machine

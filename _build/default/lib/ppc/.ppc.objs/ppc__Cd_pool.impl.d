@@ -1,0 +1,1 @@
+lib/ppc/cd_pool.ml: Call_descriptor Layout List Machine

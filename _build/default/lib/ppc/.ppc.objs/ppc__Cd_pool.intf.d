@@ -1,0 +1,1 @@
+lib/ppc/cd_pool.mli: Call_descriptor Layout Machine

@@ -1,0 +1,1 @@
+lib/ppc/engine.ml: Array Call_ctx Call_descriptor Cd_pool Entry_point Fmt Fun Hashtbl Kernel Layout List Machine Option Printf Reg_args Seq Sim Worker

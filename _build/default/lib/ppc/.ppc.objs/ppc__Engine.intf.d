@@ -1,0 +1,1 @@
+lib/ppc/engine.mli: Call_ctx Cd_pool Entry_point Kernel Layout Reg_args Worker

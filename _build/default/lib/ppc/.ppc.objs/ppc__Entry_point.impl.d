@@ -1,0 +1,1 @@
+lib/ppc/entry_point.ml: Array Call_ctx Kernel Layout List Machine Worker

@@ -1,0 +1,1 @@
+lib/ppc/entry_point.mli: Call_ctx Kernel Layout Machine Worker

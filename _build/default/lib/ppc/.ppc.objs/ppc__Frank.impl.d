@@ -1,0 +1,1 @@
+lib/ppc/frank.ml: Call_ctx Engine Entry_point Kernel List Machine Null_server Reg_args Stdlib

@@ -1,0 +1,1 @@
+lib/ppc/frank.mli: Call_ctx Engine Entry_point Kernel

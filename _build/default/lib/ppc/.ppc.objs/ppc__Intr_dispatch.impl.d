@@ -1,0 +1,1 @@
+lib/ppc/intr_dispatch.ml: Engine Kernel Printf Reg_args

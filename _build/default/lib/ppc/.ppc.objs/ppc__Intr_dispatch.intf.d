@@ -1,0 +1,1 @@
+lib/ppc/intr_dispatch.mli: Engine Kernel Reg_args

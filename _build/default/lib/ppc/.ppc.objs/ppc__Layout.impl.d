@@ -1,0 +1,1 @@
+lib/ppc/layout.ml: Array Kernel

@@ -1,0 +1,1 @@
+lib/ppc/layout.mli: Kernel

@@ -1,0 +1,1 @@
+lib/ppc/msg_compat.ml: Array Call_ctx Engine Entry_point Hashtbl Kernel Machine Null_server Printf Queue Reg_args

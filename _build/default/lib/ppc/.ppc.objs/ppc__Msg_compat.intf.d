@@ -1,0 +1,1 @@
+lib/ppc/msg_compat.mli: Engine Kernel

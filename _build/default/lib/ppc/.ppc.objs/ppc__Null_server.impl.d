@@ -1,0 +1,1 @@
+lib/ppc/null_server.ml: Call_ctx Machine Reg_args

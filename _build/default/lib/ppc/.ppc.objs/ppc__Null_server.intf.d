@@ -1,0 +1,1 @@
+lib/ppc/null_server.mli: Call_ctx

@@ -1,0 +1,1 @@
+lib/ppc/reclaim_daemon.mli: Engine Sim

@@ -1,0 +1,1 @@
+lib/ppc/reg_args.ml: Array Fmt List

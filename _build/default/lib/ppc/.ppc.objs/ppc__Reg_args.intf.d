@@ -1,0 +1,1 @@
+lib/ppc/reg_args.mli: Format

@@ -1,0 +1,1 @@
+lib/ppc/remote_call.ml: Array Engine Kernel Machine Printf Queue Reg_args

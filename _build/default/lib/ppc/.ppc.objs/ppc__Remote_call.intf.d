@@ -1,0 +1,1 @@
+lib/ppc/remote_call.mli: Engine Kernel Reg_args

@@ -1,0 +1,1 @@
+lib/ppc/upcall.ml: Engine Kernel Machine Printf Reg_args

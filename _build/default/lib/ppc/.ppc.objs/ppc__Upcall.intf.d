@@ -1,0 +1,1 @@
+lib/ppc/upcall.mli: Engine Reg_args

@@ -1,0 +1,1 @@
+lib/ppc/worker.ml: Call_ctx Call_descriptor Kernel Reg_args

@@ -1,0 +1,1 @@
+lib/ppc/worker.mli: Call_ctx Call_descriptor Kernel Reg_args

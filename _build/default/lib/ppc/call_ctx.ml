@@ -1,0 +1,30 @@
+(* Execution context handed to a server's call-handling routine.
+
+   The handler runs in the worker's simulated process, on the caller's
+   processor, in the server's address space — the PPC model.  Everything a
+   server implementation needs is here: the CPU for charging its own
+   work, the scheduler context, its own process identity (for locks), the
+   authenticated caller program ID (Section 4.1), and [swap_handler], the
+   worker-initialization hook of Section 4.5.3 (a worker may replace its
+   own call-handling routine at any time). *)
+
+type t = {
+  engine : Sim.Engine.t;
+  kcpu : Kernel.Kcpu.t;
+  cpu : Machine.Cpu.t;
+  self : Kernel.Process.t;  (** the worker process *)
+  caller_program : Kernel.Program.id;
+  ep_id : int;
+  server_code : int;  (** server text base, for instruction-fetch costs *)
+  server_data : int;  (** server data base *)
+  stack_va : int;  (** virtual address of this activation's stack *)
+  stack_pa : int;  (** physical page backing it (recycled across calls) *)
+  mutable swap_handler : handler -> unit;
+  mutable grow_stack : int -> int;
+      (** [grow_stack page] returns the physical base of stack page
+          [page] (0 = the always-mapped first page).  Under [Fault_in]
+          policies the first touch of a higher page pays a page fault;
+          under [Fixed_pages] all pages are premapped. *)
+}
+
+and handler = t -> Reg_args.t -> unit

@@ -1,0 +1,55 @@
+(* Call descriptors (CDs).
+
+   A CD serves two purposes (paper Section 2): it stores return
+   information during a call, and it points to the physical memory used
+   for the worker's stack.  CDs are pooled per processor and shared by
+   all servers on that processor; stacks are thereby serially shared
+   across servers, shrinking the system's cache footprint. *)
+
+type t = {
+  index : int;  (** slot in the owning CPU's CD area *)
+  addr : int;  (** address of the CD structure itself *)
+  stack_frame : int;  (** physical page backing the worker stack *)
+  home_cpu : int;
+  mutable caller : Kernel.Process.t option;  (** return info *)
+  mutable caller_opflags : int;
+  mutable in_use : bool;
+}
+
+let create ~index ~addr ~stack_frame ~home_cpu =
+  {
+    index;
+    addr;
+    stack_frame;
+    home_cpu;
+    caller = None;
+    caller_opflags = 0;
+    in_use = false;
+  }
+
+let index t = t.index
+let addr t = t.addr
+let stack_frame t = t.stack_frame
+let home_cpu t = t.home_cpu
+let in_use t = t.in_use
+
+(* Store the return information: who to resume and how.  Charged as
+   stores into the CD structure (CD-manipulation category). *)
+let set_return_info cpu t ~caller ~opflags =
+  Machine.Cpu.instr cpu 4;
+  Machine.Cpu.store_words cpu t.addr 4;
+  t.caller <- Some caller;
+  t.caller_opflags <- opflags;
+  t.in_use <- true
+
+let take_return_info cpu t =
+  Machine.Cpu.instr cpu 3;
+  Machine.Cpu.load_words cpu t.addr 4;
+  let caller = t.caller in
+  t.caller <- None;
+  t.in_use <- false;
+  caller
+
+let clear t =
+  t.caller <- None;
+  t.in_use <- false

@@ -1,0 +1,21 @@
+(** Call descriptors: per-processor pooled return-info + stack-page
+    holders (paper Section 2). *)
+
+type t
+
+val create : index:int -> addr:int -> stack_frame:int -> home_cpu:int -> t
+
+val index : t -> int
+val addr : t -> int
+val stack_frame : t -> int
+val home_cpu : t -> int
+val in_use : t -> bool
+
+val set_return_info :
+  Machine.Cpu.t -> t -> caller:Kernel.Process.t -> opflags:int -> unit
+(** Record who to resume; charges stores into the CD structure. *)
+
+val take_return_info : Machine.Cpu.t -> t -> Kernel.Process.t option
+(** Read and clear the return info on the return path. *)
+
+val clear : t -> unit

@@ -1,0 +1,74 @@
+(* Per-processor call-descriptor pool.
+
+   A LIFO free list: the most recently released CD (and its stack page,
+   still warm in the cache) is reused first — the serial stack sharing
+   that the paper credits for the small cache footprint.  Accessed
+   exclusively by the owning processor, so no lock exists at all.
+
+   The free-list manipulation is charged as real memory traffic on the
+   pool head word and the CD's link field. *)
+
+type t = {
+  pc : Layout.per_cpu;
+  mutable free : Call_descriptor.t list;
+  mutable created : int;
+  mutable allocs : int;
+  mutable empty_hits : int;  (** allocations that found the pool empty *)
+}
+
+let create pc = { pc; free = []; created = 0; allocs = 0; empty_hits = 0 }
+
+let size t = List.length t.free
+let created t = t.created
+let allocs t = t.allocs
+let empty_hits t = t.empty_hits
+
+(* Register a brand-new CD (built by Frank's slow path). *)
+let add t cd =
+  t.created <- t.created + 1;
+  t.free <- cd :: t.free
+
+let charge_pop cpu t cd =
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.load cpu t.pc.Layout.cd_pool_head;
+  Machine.Cpu.load cpu (Call_descriptor.addr cd);
+  Machine.Cpu.store cpu t.pc.Layout.cd_pool_head
+
+let alloc cpu t =
+  t.allocs <- t.allocs + 1;
+  match t.free with
+  | [] ->
+      (* Empty pool: one load discovers it; the caller redirects to
+         Frank. *)
+      Machine.Cpu.instr cpu 3;
+      Machine.Cpu.load cpu t.pc.Layout.cd_pool_head;
+      t.empty_hits <- t.empty_hits + 1;
+      None
+  | cd :: rest ->
+      charge_pop cpu t cd;
+      t.free <- rest;
+      Some cd
+
+let release cpu t cd =
+  if Call_descriptor.home_cpu cd <> t.pc.Layout.node then
+    invalid_arg "Cd_pool.release: CD returned to a foreign processor";
+  Machine.Cpu.instr cpu 5;
+  Machine.Cpu.store cpu (Call_descriptor.addr cd);
+  Machine.Cpu.store cpu t.pc.Layout.cd_pool_head;
+  Call_descriptor.clear cd;
+  t.free <- cd :: t.free
+
+(* Reclaim beyond [keep]: the CDs' stack pages return to the system
+   ("extra stacks created during peak call activity can easily be
+   reclaimed").  Returns the reclaimed CDs (their frames are free for
+   reuse by the caller). *)
+let trim t ~keep =
+  if keep < 0 then invalid_arg "Cd_pool.trim: negative keep";
+  let rec split kept n = function
+    | [] -> (List.rev kept, [])
+    | cd :: rest when n < keep -> split (cd :: kept) (n + 1) rest
+    | extra -> (List.rev kept, extra)
+  in
+  let kept, extra = split [] 0 t.free in
+  t.free <- kept;
+  extra

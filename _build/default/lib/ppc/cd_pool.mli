@@ -1,0 +1,25 @@
+(** Per-processor, lock-free (because strictly local) CD pool with LIFO
+    reuse for cache warmth. *)
+
+type t
+
+val create : Layout.per_cpu -> t
+
+val size : t -> int
+val created : t -> int
+val allocs : t -> int
+val empty_hits : t -> int
+
+val add : t -> Call_descriptor.t -> unit
+(** Install a newly created CD (Frank's slow path). *)
+
+val alloc : Machine.Cpu.t -> t -> Call_descriptor.t option
+(** Pop the most recently used CD; [None] when empty (redirect to
+    Frank).  Charges the free-list memory traffic. *)
+
+val release : Machine.Cpu.t -> t -> Call_descriptor.t -> unit
+(** Push back; raises [Invalid_argument] if the CD belongs to another
+    processor. *)
+
+val trim : t -> keep:int -> Call_descriptor.t list
+(** Drop free CDs beyond [keep], returning them (stack reclaim). *)

@@ -1,0 +1,922 @@
+(* The PPC call engine: the paper's Section 2 implemented over the
+   simulated kernel.
+
+   The synchronous fast path, per call, on the caller's processor only:
+
+     client:  user save / arg marshal / trap
+     kernel:  entry-point lookup (per-CPU service table)
+              worker-pool pop (per-CPU, lock-free)
+              CD-pool pop + return info into CD (per-CPU, lock-free)
+              stack map into server space [+ user-space switch if u->u]
+              minimal state switch; HAND-OFF to worker
+     worker:  rti into server; handler; trap back
+              unmap [+ switch back]; CD + worker recycled
+              minimal state restore; HAND-OFF back to client
+     client:  epilogue; rti; user restore
+
+   Every data structure touched is owned by the local processor: no
+   shared data, no locks.  Costs are charged per micro-op against the
+   cache/TLB models with the Figure-2 accounting categories. *)
+
+exception Call_aborted
+
+(* Tunable instruction/word counts for each path phase.  Defaults are
+   calibrated so the Hector parameters reproduce the paper's Figure 2
+   within tolerance; see bench/ and EXPERIMENTS.md. *)
+type path_costs = {
+  user_save_instr : int;
+  user_save_words : int;  (** caller-save registers spilled to user stack *)
+  arg_marshal_instr : int;  (** loading 8 argument registers *)
+  entry_instr : int;
+  entry_extra_loads : int;  (** EP record fields beyond the table slot *)
+  retinfo_instr : int;
+  switch_instr : int;
+  switch_words : int;  (** minimal processor state for a hand-off switch *)
+  space_switch_instr : int;  (** CMMU user-root update (u->u only) *)
+  upcall_instr : int;
+  return_instr : int;
+  epilogue_instr : int;
+  user_restore_instr : int;
+  frank_worker_instr : int;  (** slow path: create + init a worker *)
+  frank_cd_instr : int;  (** slow path: create a CD + stack page *)
+}
+
+let default_costs =
+  {
+    user_save_instr = 10;
+    user_save_words = 20;
+    arg_marshal_instr = 8;
+    entry_instr = 18;
+    entry_extra_loads = 3;
+    retinfo_instr = 4;
+    switch_instr = 8;
+    switch_words = 8;
+    space_switch_instr = 6;
+    upcall_instr = 8;
+    return_instr = 10;
+    epilogue_instr = 6;
+    user_restore_instr = 8;
+    frank_worker_instr = 420;
+    frank_cd_instr = 260;
+  }
+
+type stats = {
+  mutable sync_calls : int;
+  mutable async_calls : int;
+  mutable injected_calls : int;
+  mutable frank_worker_creations : int;
+  mutable frank_cd_creations : int;
+  mutable aborted_calls : int;
+  mutable rejected_calls : int;
+  mutable handler_faults : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  layout : Layout.t;
+  costs : path_costs;
+  eps : Entry_point.t option array;
+  overflow_eps : (int, Entry_point.t) Hashtbl.t;
+      (** IDs beyond the fast array (Section 4.5.5's "hash table with
+          overflow buckets" for the rest) *)
+  cd_pools : Cd_pool.t array;  (** trust group 0 (the default) *)
+  group_pools : (int * int, Cd_pool.t) Hashtbl.t;  (** (cpu, group) *)
+  spare_frames : int list array;  (** per-CPU extra stack pages (4.5.4) *)
+  current_user_asid : int array;  (** loaded user context per CPU *)
+  active : (int, active_call list ref) Hashtbl.t;  (** ep id -> records *)
+  stats : stats;
+  mutable next_ep_id : int;
+  initial_cds_per_cpu : int;
+  mutable fault_notifier :
+    (cpu_index:int -> ep_id:int -> caller_program:int -> unit) option;
+      (** invoked (from event context) when a handler faults; the
+          exception server hooks here and receives an upcall (4.4) *)
+}
+
+and active_call = { rec_ : Worker.call_rec; ac_worker : Worker.t }
+
+let kernel t = t.kernel
+let layout t = t.layout
+let costs t = t.costs
+let stats t = t.stats
+
+(* --- construction ----------------------------------------------------- *)
+
+let make_cd ?pool t ~cpu_index =
+  let pc = Layout.per_cpu t.layout cpu_index in
+  let pool = match pool with Some p -> p | None -> t.cd_pools.(cpu_index) in
+  let idx = Cd_pool.created pool in
+  let addr = Layout.cd_addr pc (idx mod Layout.max_cds_per_cpu) in
+  let stack_frame = Kernel.alloc_page t.kernel ~node:cpu_index in
+  let cd =
+    Call_descriptor.create ~index:idx ~addr ~stack_frame ~home_cpu:cpu_index
+  in
+  Cd_pool.add pool cd;
+  cd
+
+let create ?(costs = default_costs) ?(initial_cds_per_cpu = 2) kernel =
+  let layout = Layout.create kernel in
+  let n = Kernel.n_cpus kernel in
+  let t =
+    {
+      kernel;
+      layout;
+      costs;
+      eps = Array.make Layout.max_entry_points None;
+      overflow_eps = Hashtbl.create 16;
+      cd_pools = Array.init n (fun i -> Cd_pool.create (Layout.per_cpu layout i));
+      group_pools = Hashtbl.create 8;
+      spare_frames = Array.make n [];
+      current_user_asid = Array.make n (-1);
+      active = Hashtbl.create 64;
+      stats =
+        {
+          sync_calls = 0;
+          async_calls = 0;
+          injected_calls = 0;
+          frank_worker_creations = 0;
+          frank_cd_creations = 0;
+          aborted_calls = 0;
+          rejected_calls = 0;
+          handler_faults = 0;
+        };
+      next_ep_id = 2;
+      (* 0 reserved (name server), 1 reserved (Frank) *)
+      initial_cds_per_cpu;
+      fault_notifier = None;
+    }
+  in
+  for cpu_index = 0 to n - 1 do
+    for _ = 1 to initial_cds_per_cpu do
+      ignore (make_cd t ~cpu_index)
+    done
+  done;
+  t
+
+let find_ep t ep_id =
+  if ep_id < 0 then None
+  else if ep_id < Layout.max_entry_points then t.eps.(ep_id)
+  else Hashtbl.find_opt t.overflow_eps ep_id
+
+let ep_exn t ep_id =
+  match find_ep t ep_id with
+  | Some ep -> ep
+  | None -> invalid_arg "Ppc: unknown entry point"
+
+(* --- worker lifecycle -------------------------------------------------- *)
+
+let active_list t ep_id =
+  match Hashtbl.find_opt t.active ep_id with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.active ep_id l;
+      l
+
+let kcpu_of t cpu_index = Kernel.kcpu t.kernel cpu_index
+
+(* CDs (and their stacks) are serially shared only within a trust group;
+   group 0 is the default shared pool (Section 2). *)
+let cd_pool_for t ~cpu_index ~group =
+  if group = 0 then t.cd_pools.(cpu_index)
+  else
+    match Hashtbl.find_opt t.group_pools (cpu_index, group) with
+    | Some pool -> pool
+    | None ->
+        let pool = Cd_pool.create (Layout.per_cpu t.layout cpu_index) in
+        Hashtbl.replace t.group_pools (cpu_index, group) pool;
+        pool
+
+(* Extra stack pages for multi-page policies (Section 4.5.4): "an
+   independent list of stack pages (rather than associating them with
+   call descriptors)". *)
+let take_spare_frame t ~cpu_index cpu =
+  match t.spare_frames.(cpu_index) with
+  | frame :: rest ->
+      Machine.Cpu.instr cpu 4;
+      t.spare_frames.(cpu_index) <- rest;
+      frame
+  | [] ->
+      (* Frank-style slow path: allocate a fresh page. *)
+      Machine.Cpu.instr cpu 120;
+      Kernel.alloc_page t.kernel ~node:cpu_index
+
+let put_spare_frame t ~cpu_index cpu frame =
+  Machine.Cpu.instr cpu 3;
+  t.spare_frames.(cpu_index) <- frame :: t.spare_frames.(cpu_index)
+
+(* Switch the loaded user address space: update the data- and code-CMMU
+   user root pointers and flush their user contexts.  CMMU control
+   registers are uncached local device registers. *)
+let switch_user_context t cpu ~cpu_index ~asid =
+  let pc = Layout.per_cpu t.layout cpu_index in
+  Machine.Cpu.instr cpu t.costs.space_switch_instr;
+  Machine.Cpu.uncached_store cpu pc.Layout.cmmu_regs;
+  Machine.Cpu.uncached_store cpu (pc.Layout.cmmu_regs + 4);
+  Machine.Cpu.uncached_store cpu (pc.Layout.cmmu_regs + 8);
+  Machine.Cpu.uncached_store cpu (pc.Layout.cmmu_regs + 12);
+  Machine.Cpu.flush_user_tlb cpu;
+  Machine.Cpu.charge_current cpu
+    (Machine.Cpu.params cpu).Machine.Cost_params.space_switch_extra_cycles;
+  (* Virtually-addressed caches lose their contents across a switch. *)
+  if (Machine.Cpu.params cpu).Machine.Cost_params.switch_flushes_cache then begin
+    Machine.Cache.flush (Machine.Cpu.dcache cpu);
+    Machine.Cache.flush (Machine.Cpu.icache cpu)
+  end;
+  t.current_user_asid.(cpu_index) <- asid
+
+let stack_va server ~cpu_index =
+  server.Entry_point.stack_va_base
+  + (cpu_index * 4096 * Entry_point.stack_window_pages)
+
+(* Worker-side body: serve calls forever, parking between them. *)
+let rec serve_loop t ep w =
+  if Worker.retired w then ()
+  else
+    match Worker.take_pending w with
+    | None ->
+        (* Spurious wake (e.g. retirement in flight): park again unless
+           retired. *)
+        if Worker.retired w then ()
+        else begin
+          Kernel.Process.sleep (Kernel.engine t.kernel) (Worker.pcb w);
+          serve_loop t ep w
+        end
+    | Some pending -> (
+        match serve_one t ep w pending with
+        | () -> serve_loop t ep w
+        | exception Sim.Engine.Cancelled _ ->
+            (* Hard-kill aborted this worker while it was blocked inside
+               the handler: release the caller through the scheduler and
+               die.  (We are not the current process: no CPU charges.) *)
+            abort_return t ep w pending
+        | exception _ ->
+            (* The handler faulted (wild stack access, server bug): the
+               PPC failure model is that of a message exchange — the
+               caller is released with an error, this worker dies, and
+               the entry point keeps serving through fresh workers. *)
+            t.stats.handler_faults <- t.stats.handler_faults + 1;
+            Kernel.Klog.Ppc_log.err (fun m ->
+                m "handler fault in %s: call aborted, worker retired"
+                  (Entry_point.name ep));
+            (match t.fault_notifier with
+            | Some notify ->
+                notify ~cpu_index:(Worker.cpu_index w)
+                  ~ep_id:(Entry_point.id ep)
+                  ~caller_program:pending.Worker.caller_program
+            | None -> ());
+            abort_return t ep w pending)
+
+and abort_return t ep w pending =
+  let cpu_index = Worker.cpu_index w in
+  pending.Worker.call_rec.Worker.aborted <- true;
+  let pcs = Entry_point.per_cpu ep cpu_index in
+  pcs.Entry_point.in_progress <- pcs.Entry_point.in_progress - 1;
+  unregister_active t ep pending.Worker.call_rec;
+  t.stats.aborted_calls <- t.stats.aborted_calls + 1;
+  (match pending.Worker.caller with
+  | Some caller -> Kernel.Kcpu.ready (kcpu_of t cpu_index) caller
+  | None -> (
+      (* Asynchronous caller: deliver the abort through the completion
+         hook so remote/async waiters are not leaked. *)
+      match pending.Worker.on_complete with
+      | Some f ->
+          Reg_args.set_rc pending.Worker.args Reg_args.err_killed;
+          f pending.Worker.args
+      | None -> ()));
+  Worker.retire w;
+  if
+    Entry_point.status ep = Entry_point.Hard_killed
+    && Entry_point.in_progress_total ep = 0
+  then begin
+    (if Entry_point.id ep < Layout.max_entry_points then
+       t.eps.(Entry_point.id ep) <- None
+     else Hashtbl.remove t.overflow_eps (Entry_point.id ep));
+    Hashtbl.remove t.active (Entry_point.id ep)
+  end
+
+and unregister_active t ep rec_ =
+  let l = active_list t (Entry_point.id ep) in
+  l := List.filter (fun ac -> not (ac.rec_ == rec_)) !l
+
+(* Execute one call in the worker's process.  Entered right after the
+   hand-off: the worker is current, in supervisor mode. *)
+and serve_one t ep w pending =
+  let cpu_index = Worker.cpu_index w in
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  let pc = Layout.per_cpu t.layout cpu_index in
+  let kt = Layout.ktext t.layout in
+  let server = Entry_point.server ep in
+  let server_space = server.Entry_point.space in
+  let engine = Kernel.engine t.kernel in
+  Worker.note_call w;
+  Sim.Engine.trace_f engine ~cpu:cpu_index ~kind:"upcall" (fun () ->
+      Printf.sprintf "%s enters %s" (Kernel.Process.name (Worker.pcb w))
+        (Entry_point.name ep));
+  (* Upcall: return from the kernel directly into the server's call
+     handling code. *)
+  Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.upcall cpu t.costs.upcall_instr);
+  Machine.Cpu.rti cpu
+    ~to_space:(Kernel.Address_space.space_of server_space);
+  (* The handler runs as server code. *)
+  let va = stack_va server ~cpu_index in
+  let ctx =
+    {
+      Call_ctx.engine;
+      kcpu = kc;
+      cpu;
+      self = Worker.pcb w;
+      caller_program = pending.Worker.caller_program;
+      ep_id = Entry_point.id ep;
+      server_code = server.Entry_point.code_addr;
+      server_data = server.Entry_point.data_addr;
+      stack_va = va;
+      stack_pa = Call_descriptor.stack_frame pending.Worker.cd;
+      swap_handler = (fun h -> Worker.set_handler w h);
+      grow_stack = (fun _ -> invalid_arg "grow_stack: not initialised");
+    }
+  in
+  let rec_ = pending.Worker.call_rec in
+  (ctx.Call_ctx.grow_stack <-
+     (fun page ->
+       if page = 0 then Call_descriptor.stack_frame pending.Worker.cd
+       else
+         match List.assoc_opt page rec_.Worker.extra_frames with
+         | Some frame -> frame
+         | None -> (
+             match server.Entry_point.stack_policy with
+             | Entry_point.Single_page ->
+                 (* Touching beyond the single page without a policy is a
+                    wild access: the activation faults fatally. *)
+                 invalid_arg "Ppc: stack overflow (Single_page policy)"
+             | Entry_point.Fixed_pages n ->
+                 Fmt.invalid_arg "Ppc: page %d beyond Fixed_pages %d" page n
+             | Entry_point.Fault_in n ->
+                 if page < 0 || page >= n then
+                   Fmt.invalid_arg "Ppc: page %d beyond Fault_in %d" page n
+                 else begin
+                   (* Normal page-fault handling (Section 4.5.4): trap,
+                      fault handler, map, resume — only services needing
+                      the depth pay. *)
+                   Machine.Cpu.trap cpu;
+                   let frame =
+                     Machine.Cpu.with_category cpu Machine.Account.Tlb_setup
+                       (fun () ->
+                         Machine.Cpu.instr ~code:kt.Layout.frank cpu 90;
+                         let frame = take_spare_frame t ~cpu_index cpu in
+                         Kernel.Address_space.map cpu server_space
+                           ~vaddr:(va + (page * 4096))
+                           ~frame;
+                         frame)
+                   in
+                   Machine.Cpu.rti cpu
+                     ~to_space:(Kernel.Address_space.space_of server_space);
+                   rec_.Worker.extra_frames <-
+                     (page, frame) :: rec_.Worker.extra_frames;
+                   frame
+                 end)));
+  Machine.Cpu.with_category cpu Machine.Account.Server_time (fun () ->
+      (Worker.handler w) ctx pending.Worker.args);
+  (* Back into the kernel. *)
+  Machine.Cpu.trap cpu;
+  (* Return path: tear down the mapping, recycle CD and worker, restore
+     the caller. *)
+  let cd = pending.Worker.cd in
+  let held = Option.is_some (Worker.held_cd w) in
+  Machine.Cpu.with_category cpu Machine.Account.Tlb_setup (fun () ->
+      if not held then begin
+        Kernel.Address_space.unmap cpu server_space ~vaddr:va;
+        Machine.Cpu.instr ~code:kt.Layout.tlbops cpu 4
+      end;
+      (* Multi-page stacks: return the extra pages to the system
+         ("cleanup on return ... implemented so as not to slow the common
+         case" — nothing happens when the list is empty). *)
+      List.iter
+        (fun (page, frame) ->
+          Machine.Cpu.instr ~code:kt.Layout.tlbops cpu 2;
+          Kernel.Address_space.unmap cpu server_space
+            ~vaddr:(va + (page * 4096));
+          put_spare_frame t ~cpu_index cpu frame)
+        pending.Worker.call_rec.Worker.extra_frames;
+      pending.Worker.call_rec.Worker.extra_frames <- [];
+      restore_user_space t cpu ~cpu_index ~target:pending.Worker.caller);
+  Machine.Cpu.with_category cpu Machine.Account.Cd_manipulation (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.cdops cpu 2;
+      ignore (Call_descriptor.take_return_info cpu cd);
+      if not held then
+        Cd_pool.release cpu
+          (cd_pool_for t ~cpu_index
+             ~group:(Entry_point.server ep).Entry_point.trust_group)
+          cd);
+  Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.epilogue cpu t.costs.return_instr;
+      if not (Worker.retired w) then
+        Entry_point.push_worker cpu pc ep ~cpu_index w);
+  Machine.Cpu.with_category cpu Machine.Account.Kernel_save_restore (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.switch cpu t.costs.switch_instr;
+      Machine.Cpu.load_words cpu pc.Layout.save_area t.costs.switch_words);
+  (* Bookkeeping. *)
+  let pcs = Entry_point.per_cpu ep cpu_index in
+  pcs.Entry_point.in_progress <- pcs.Entry_point.in_progress - 1;
+  unregister_active t ep pending.Worker.call_rec;
+  maybe_finalize_soft_kill t ep;
+  (* Transfer control. *)
+  match pending.Worker.caller with
+  | Some caller ->
+      Kernel.Kcpu.handoff_back kc ~from:(Worker.pcb w) ~target:caller
+  | None ->
+      (* Asynchronous call: "the fact that there is no caller waiting is
+         discovered, and another process is selected for execution." *)
+      (match pending.Worker.on_complete with
+      | Some f -> f pending.Worker.args
+      | None -> ());
+      Kernel.Kcpu.park kc (Worker.pcb w)
+
+(* Switch the user context back to the caller's space if needed. *)
+and restore_user_space t cpu ~cpu_index ~target =
+  match target with
+  | None -> ()
+  | Some caller ->
+      let caller_space = Kernel.Process.space caller in
+      if
+        Kernel.Address_space.kind caller_space = Kernel.Address_space.User
+        && t.current_user_asid.(cpu_index)
+           <> Kernel.Address_space.asid caller_space
+      then
+        switch_user_context t cpu ~cpu_index
+          ~asid:(Kernel.Address_space.asid caller_space)
+
+and maybe_finalize_soft_kill t ep =
+  if
+    Entry_point.status ep = Entry_point.Soft_killed
+    && Entry_point.in_progress_total ep = 0
+  then finalize_ep t ep
+
+and finalize_ep t ep =
+  for cpu_index = 0 to Kernel.n_cpus t.kernel - 1 do
+    let ws = Entry_point.drain_workers ep ~cpu_index in
+    List.iter
+      (fun w ->
+        Worker.retire w;
+        Kernel.Process.wake (Worker.pcb w))
+      ws
+  done;
+  (if Entry_point.id ep < Layout.max_entry_points then
+     t.eps.(Entry_point.id ep) <- None
+   else Hashtbl.remove t.overflow_eps (Entry_point.id ep));
+  Hashtbl.remove t.active (Entry_point.id ep)
+
+(* Frank's worker-creation slow path: executed by the calling process
+   under kernel-text charges, as if the call had been redirected to the
+   resource manager. *)
+and create_worker t ep ~cpu_index ~charged =
+  let kt = Layout.ktext t.layout in
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  if charged then begin
+    t.stats.frank_worker_creations <- t.stats.frank_worker_creations + 1;
+    Kernel.Klog.Ppc_log.debug (fun m ->
+        m "frank: creating worker for %s on cpu%d" (Entry_point.name ep)
+          cpu_index);
+    Machine.Cpu.instr ~code:kt.Layout.frank cpu t.costs.frank_worker_instr
+  end;
+  let server = Entry_point.server ep in
+  let pcb =
+    Kernel.Process.create
+      ~name:(Printf.sprintf "%s-worker" (Entry_point.name ep))
+      ~kind:Kernel.Process.Worker ~program:server.Entry_point.program
+      ~space:server.Entry_point.space ~cpu_index
+  in
+  let addr = Kernel.alloc t.kernel ~bytes:64 ~node:cpu_index in
+  let w =
+    Worker.create ~pcb ~ep_id:(Entry_point.id ep) ~cpu_index ~addr
+      ~handler:(Entry_point.initial_handler ep)
+  in
+  Kernel.Kcpu.start_parked kc pcb (fun () -> serve_loop t ep w);
+  let pcs = Entry_point.per_cpu ep cpu_index in
+  pcs.Entry_point.workers_created <- pcs.Entry_point.workers_created + 1;
+  w
+
+and create_cd_slow t ~cpu_index ~pool =
+  let kt = Layout.ktext t.layout in
+  let cpu = Kernel.Kcpu.cpu (kcpu_of t cpu_index) in
+  t.stats.frank_cd_creations <- t.stats.frank_cd_creations + 1;
+  Machine.Cpu.instr ~code:kt.Layout.frank cpu t.costs.frank_cd_instr;
+  ignore (make_cd ~pool t ~cpu_index : Call_descriptor.t);
+  match Cd_pool.alloc cpu pool with
+  | Some cd -> cd
+  | None -> assert false
+
+(* --- entry point management ------------------------------------------- *)
+
+let install_ep t ~id ~name ~server ~handler =
+  if id < 0 then invalid_arg "Ppc: entry point id out of range";
+  (match find_ep t id with
+  | Some _ -> invalid_arg "Ppc: entry point id already bound"
+  | None -> ());
+  let ep =
+    Entry_point.create ~id ~name ~server ~handler ~cpus:(Kernel.n_cpus t.kernel)
+  in
+  if id < Layout.max_entry_points then t.eps.(id) <- Some ep
+  else Hashtbl.replace t.overflow_eps id ep;
+  ep
+
+let alloc_ep t ~name ~server ~handler =
+  (* Next unused ID.  Small integers index the per-CPU fast array; when
+     the array is exhausted, IDs spill into the overflow hash table
+     (Section 4.5.5: "using a fixed sized array ... to directly locate
+     service entry points that require high performance, and ... a more
+     complex data structure to locate service entry points for the
+     rest"). *)
+  let rec next_free id =
+    match find_ep t id with None -> id | Some _ -> next_free (id + 1)
+  in
+  let id = next_free t.next_ep_id in
+  t.next_ep_id <- id + 1;
+  install_ep t ~id ~name ~server ~handler
+
+let soft_kill t ~ep_id =
+  let ep = ep_exn t ep_id in
+  Kernel.Klog.Ppc_log.info (fun m ->
+      m "soft-kill ep%d (%s), %d calls in progress" ep_id (Entry_point.name ep)
+        (Entry_point.in_progress_total ep));
+  Entry_point.set_status ep Entry_point.Soft_killed;
+  if Entry_point.in_progress_total ep = 0 then finalize_ep t ep
+
+let hard_kill t ~ep_id =
+  let ep = ep_exn t ep_id in
+  Kernel.Klog.Ppc_log.warn (fun m ->
+      m "hard-kill ep%d (%s), aborting %d calls" ep_id (Entry_point.name ep)
+        (Entry_point.in_progress_total ep));
+  Entry_point.set_status ep Entry_point.Hard_killed;
+  (* Abort calls whose workers are blocked inside the handler; running
+     workers complete their current call and then retire. *)
+  let actives = !(active_list t ep_id) in
+  List.iter
+    (fun ac ->
+      Worker.retire ac.ac_worker;
+      let pcb = Worker.pcb ac.ac_worker in
+      if Kernel.Process.state pcb = Kernel.Process.Blocked then
+        Kernel.Process.wake ~error:(Sim.Engine.Cancelled "hard-kill") pcb)
+    actives;
+  (* Parked workers die immediately. *)
+  for cpu_index = 0 to Kernel.n_cpus t.kernel - 1 do
+    let ws = Entry_point.drain_workers ep ~cpu_index in
+    List.iter
+      (fun w ->
+        Worker.retire w;
+        Kernel.Process.wake (Worker.pcb w))
+      ws
+  done;
+  if Entry_point.in_progress_total ep = 0 then begin
+    (if ep_id < Layout.max_entry_points then t.eps.(ep_id) <- None
+     else Hashtbl.remove t.overflow_eps ep_id);
+    Hashtbl.remove t.active ep_id
+  end
+
+(* On-line replacement (Section 4.5.2's Exchange): new calls run [handler];
+   pooled workers are retired so fresh ones pick up the new routine; calls
+   in progress complete with the old one. *)
+let exchange t ~ep_id ~handler =
+  let ep = ep_exn t ep_id in
+  let server = Entry_point.server ep in
+  let replacement =
+    Entry_point.create ~id:ep_id ~name:(Entry_point.name ep) ~server ~handler
+      ~cpus:(Kernel.n_cpus t.kernel)
+  in
+  for cpu_index = 0 to Kernel.n_cpus t.kernel - 1 do
+    let ws = Entry_point.drain_workers ep ~cpu_index in
+    List.iter
+      (fun w ->
+        Worker.retire w;
+        Kernel.Process.wake (Worker.pcb w))
+      ws
+  done;
+  (if ep_id < Layout.max_entry_points then t.eps.(ep_id) <- Some replacement
+   else Hashtbl.replace t.overflow_eps ep_id replacement);
+  replacement
+
+(* --- the client-side call paths ---------------------------------------- *)
+
+(* Shared prologue: from trap entry to the hand-off (exclusive).  Returns
+   the worker primed with [pending].  Runs in the caller's process. *)
+let setup_call t ~ep ~cpu_index ~caller ~caller_program ~on_complete ~args
+    ~opflags =
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  let pc = Layout.per_cpu t.layout cpu_index in
+  let kt = Layout.ktext t.layout in
+  let server = Entry_point.server ep in
+  (* Entry: validate and locate the entry point — direct index for fast
+     (small) IDs, a hash probe for overflow IDs (Section 4.5.5). *)
+  Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.entry cpu t.costs.entry_instr;
+      let ep_id = Entry_point.id ep in
+      if ep_id < Layout.max_entry_points then begin
+        Machine.Cpu.load cpu (Layout.service_slot_addr pc ep_id);
+        for i = 1 to t.costs.entry_extra_loads do
+          Machine.Cpu.load cpu (Layout.wpool_head_addr pc ep_id + (4 * i))
+        done
+      end
+      else begin
+        (* Hash, probe the bucket chain, load the record. *)
+        Machine.Cpu.instr cpu 14;
+        let bucket = ep_id * 37 mod 128 in
+        Machine.Cpu.load cpu (pc.Layout.ep_hash + (bucket * 16));
+        Machine.Cpu.load cpu (pc.Layout.ep_hash + (bucket * 16) + 4);
+        Machine.Cpu.load cpu (pc.Layout.ep_hash + (bucket * 16) + 8)
+      end);
+  (* Worker pool. *)
+  let w =
+    Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
+        Machine.Cpu.instr ~code:kt.Layout.wpool cpu 4;
+        match Entry_point.pop_worker cpu pc ep ~cpu_index with
+        | Some w -> w
+        | None ->
+            (* Redirect to Frank: create a worker and forward the call. *)
+            Sim.Engine.trace_f (Kernel.engine t.kernel) ~cpu:cpu_index
+              ~kind:"frank" (fun () ->
+                Printf.sprintf "create worker for %s" (Entry_point.name ep));
+            create_worker t ep ~cpu_index ~charged:true)
+  in
+  (* Call descriptor. *)
+  let cd =
+    Machine.Cpu.with_category cpu Machine.Account.Cd_manipulation (fun () ->
+        Machine.Cpu.instr ~code:kt.Layout.cdops cpu 3;
+        match Worker.held_cd w with
+        | Some cd ->
+            Machine.Cpu.load cpu (Worker.addr w);
+            cd
+        | None -> (
+            let pool =
+              cd_pool_for t ~cpu_index ~group:server.Entry_point.trust_group
+            in
+            let cd =
+              match Cd_pool.alloc cpu pool with
+              | Some cd -> cd
+              | None -> create_cd_slow t ~cpu_index ~pool
+            in
+            if server.Entry_point.hold_cd then Worker.hold_cd w cd;
+            cd))
+  in
+  Machine.Cpu.with_category cpu Machine.Account.Cd_manipulation (fun () ->
+      match caller with
+      | Some caller_pcb ->
+          Call_descriptor.set_return_info cpu cd ~caller:caller_pcb ~opflags
+      | None ->
+          Machine.Cpu.instr cpu t.costs.retinfo_instr);
+  (* Map the CD's stack into the server and switch user context. *)
+  let held_before =
+    Option.is_some (Worker.held_cd w) && Worker.calls_handled w > 0
+  in
+  let rec_hook = ref [] in
+  Machine.Cpu.with_category cpu Machine.Account.Tlb_setup (fun () ->
+      let va = stack_va server ~cpu_index in
+      if not held_before then begin
+        Machine.Cpu.instr ~code:kt.Layout.tlbops cpu 4;
+        Kernel.Address_space.map cpu server.Entry_point.space ~vaddr:va
+          ~frame:(Call_descriptor.stack_frame cd)
+      end;
+      (match server.Entry_point.stack_policy with
+      | Entry_point.Single_page | Entry_point.Fault_in _ -> ()
+      | Entry_point.Fixed_pages n ->
+          (* The exceptional multi-page case (Section 4.5.4): map the
+             remaining pages from the independent stack-page list. *)
+          if n > Entry_point.stack_window_pages then
+            invalid_arg "Ppc: stack policy exceeds the per-CPU window";
+          for page = 1 to n - 1 do
+            let frame = take_spare_frame t ~cpu_index cpu in
+            Machine.Cpu.instr ~code:kt.Layout.tlbops cpu 2;
+            Kernel.Address_space.map cpu server.Entry_point.space
+              ~vaddr:(va + (page * 4096))
+              ~frame;
+            rec_hook := (page, frame) :: !rec_hook
+          done);
+      if
+        Kernel.Address_space.kind server.Entry_point.space
+        = Kernel.Address_space.User
+        && t.current_user_asid.(cpu_index)
+           <> Kernel.Address_space.asid server.Entry_point.space
+      then begin
+        switch_user_context t cpu ~cpu_index
+          ~asid:(Kernel.Address_space.asid server.Entry_point.space)
+      end);
+  (* Minimal state switch: save caller state, load worker state. *)
+  Machine.Cpu.with_category cpu Machine.Account.Kernel_save_restore (fun () ->
+      Machine.Cpu.instr ~code:kt.Layout.switch cpu t.costs.switch_instr;
+      Machine.Cpu.store_words cpu pc.Layout.save_area t.costs.switch_words;
+      Machine.Cpu.load_words cpu (Worker.addr w) 4);
+  (* Bookkeeping and pending-call installation. *)
+  let rec_ =
+    {
+      Worker.aborted = false;
+      rec_worker_id = Kernel.Process.id (Worker.pcb w);
+      extra_frames = !rec_hook;
+    }
+  in
+  Worker.set_pending w
+    {
+      Worker.args;
+      caller;
+      caller_program;
+      cd;
+      on_complete;
+      call_rec = rec_;
+    };
+  let pcs = Entry_point.per_cpu ep cpu_index in
+  pcs.Entry_point.in_progress <- pcs.Entry_point.in_progress + 1;
+  Entry_point.note_call ep;
+  let l = active_list t (Entry_point.id ep) in
+  l := { rec_; ac_worker = w } :: !l;
+  (w, rec_)
+
+(* Reject path: the entry point is missing or dying. *)
+let reject t cpu ~client rc args =
+  t.stats.rejected_calls <- t.stats.rejected_calls + 1;
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.rti cpu
+    ~to_space:(Kernel.Address_space.space_of (Kernel.Process.space client));
+  Reg_args.set_rc args rc;
+  rc
+
+(* Synchronous PPC round trip.  Must run in [client]'s simulated process.
+   Returns the RC; results come back in [args] (register convention). *)
+let call t ~client ?(opflags = 0) ~ep_id args =
+  let cpu_index = Kernel.Process.cpu_index client in
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  let pc = Layout.per_cpu t.layout cpu_index in
+  t.stats.sync_calls <- t.stats.sync_calls + 1;
+  Sim.Engine.trace_f (Kernel.engine t.kernel) ~cpu:cpu_index ~kind:"ppc-call"
+    (fun () ->
+      Printf.sprintf "%s -> ep%d" (Kernel.Process.name client) ep_id);
+  (* Client side, user mode: spill caller-saves, marshal registers. *)
+  Machine.Cpu.with_category cpu Machine.Account.User_save_restore (fun () ->
+      Machine.Cpu.instr ~code:pc.Layout.user_stub cpu t.costs.user_save_instr;
+      Machine.Cpu.store_words cpu pc.Layout.user_stack t.costs.user_save_words;
+      Machine.Cpu.instr ~code:pc.Layout.user_stub cpu t.costs.arg_marshal_instr);
+  Machine.Cpu.trap cpu;
+  match find_ep t ep_id with
+  | None -> reject t cpu ~client Reg_args.err_no_entry args
+  | Some ep when Entry_point.status ep <> Entry_point.Active ->
+      Entry_point.note_rejected ep;
+      reject t cpu ~client Reg_args.err_killed args
+  | Some ep ->
+      let w, rec_ =
+        setup_call t ~ep ~cpu_index ~caller:(Some client)
+          ~caller_program:(Kernel.Program.id (Kernel.Process.program client))
+          ~on_complete:None ~args ~opflags
+      in
+      (* Hand the processor to the worker; wake up when it returns. *)
+      Kernel.Kcpu.handoff_sleep kc ~from:client ~target:(Worker.pcb w);
+      if rec_.Worker.aborted then begin
+        (* Hard-kill unwound the server: minimal cleanup. *)
+        Machine.Cpu.instr cpu 8;
+        Machine.Cpu.rti cpu
+          ~to_space:
+            (Kernel.Address_space.space_of (Kernel.Process.space client));
+        Kernel.Kcpu.sync kc;
+        Reg_args.set_rc args Reg_args.err_killed;
+        Reg_args.err_killed
+      end
+      else begin
+        (* Return: epilogue, back to user mode, restore registers. *)
+        Sim.Engine.trace_f (Kernel.engine t.kernel) ~cpu:cpu_index
+          ~kind:"ppc-return" (fun () ->
+            Printf.sprintf "ep%d -> %s rc=%d" ep_id
+              (Kernel.Process.name client) (Reg_args.rc args));
+        let kt = Layout.ktext t.layout in
+        Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
+            Machine.Cpu.instr ~code:kt.Layout.epilogue cpu
+              t.costs.epilogue_instr);
+        Machine.Cpu.rti cpu
+          ~to_space:
+            (Kernel.Address_space.space_of (Kernel.Process.space client));
+        Machine.Cpu.with_category cpu Machine.Account.User_save_restore
+          (fun () ->
+            Machine.Cpu.instr ~code:pc.Layout.user_stub cpu
+              t.costs.user_restore_instr;
+            Machine.Cpu.load_words cpu pc.Layout.user_stack
+              t.costs.user_save_words);
+        Kernel.Kcpu.sync kc;
+        Reg_args.rc args
+      end
+
+(* Asynchronous PPC (Section 4.4): the caller goes back on the ready
+   queue instead of being linked into the CD; the worker proceeds
+   independently. *)
+let async_call t ~client ?(opflags = 0) ?on_complete ~ep_id args =
+  let cpu_index = Kernel.Process.cpu_index client in
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  let pc = Layout.per_cpu t.layout cpu_index in
+  t.stats.async_calls <- t.stats.async_calls + 1;
+  Machine.Cpu.with_category cpu Machine.Account.User_save_restore (fun () ->
+      Machine.Cpu.instr ~code:pc.Layout.user_stub cpu t.costs.user_save_instr;
+      Machine.Cpu.store_words cpu pc.Layout.user_stack t.costs.user_save_words;
+      Machine.Cpu.instr ~code:pc.Layout.user_stub cpu t.costs.arg_marshal_instr);
+  Machine.Cpu.trap cpu;
+  match find_ep t ep_id with
+  | None -> ignore (reject t cpu ~client Reg_args.err_no_entry args)
+  | Some ep when Entry_point.status ep <> Entry_point.Active ->
+      Entry_point.note_rejected ep;
+      ignore (reject t cpu ~client Reg_args.err_killed args)
+  | Some ep ->
+      let w, _rec =
+        setup_call t ~ep ~cpu_index ~caller:None
+          ~caller_program:(Kernel.Program.id (Kernel.Process.program client))
+          ~on_complete ~args ~opflags
+      in
+      (* The caller continues independently: it re-enters the ready queue
+         and the worker takes the processor now. *)
+      Kernel.Kcpu.handoff_ready kc ~from:client ~target:(Worker.pcb w);
+      (* Resumed by the general dispatcher: return to user mode. *)
+      Machine.Cpu.instr cpu 4;
+      Machine.Cpu.rti cpu
+        ~to_space:(Kernel.Address_space.space_of (Kernel.Process.space client));
+      Kernel.Kcpu.sync kc
+
+(* Manufactured calls (interrupt dispatch, upcalls): an existing kernel
+   process [self] on the target CPU plays the caller's role and continues
+   after the worker is launched. *)
+let inject t ~self ?(opflags = 0) ?on_complete ~caller_program ~ep_id args =
+  let cpu_index = Kernel.Process.cpu_index self in
+  let kc = kcpu_of t cpu_index in
+  let cpu = Kernel.Kcpu.cpu kc in
+  t.stats.injected_calls <- t.stats.injected_calls + 1;
+  (* Manufacture the request block. *)
+  Machine.Cpu.instr cpu 10;
+  match find_ep t ep_id with
+  | None -> invalid_arg "Ppc.inject: unknown entry point"
+  | Some ep when Entry_point.status ep <> Entry_point.Active ->
+      Entry_point.note_rejected ep
+  | Some ep ->
+      let w, _rec =
+        setup_call t ~ep ~cpu_index ~caller:None ~caller_program ~on_complete
+          ~args ~opflags
+      in
+      Kernel.Kcpu.handoff_ready kc ~from:self ~target:(Worker.pcb w);
+      Kernel.Kcpu.sync kc
+
+(* Resource reclaim (Section 2: pools "grow and shrink dynamically as
+   needed"; "extra stacks created during peak call activity can easily be
+   reclaimed").  Retires parked workers beyond [max_workers] per
+   entry point and frees CDs beyond [max_cds]; reclaimed stack frames go
+   to the spare-frame list.  A management path — Frank runs it. *)
+let reclaim t ~cpu_index ?(max_workers = 1) ?(max_cds = 2) () =
+  Kernel.Klog.Ppc_log.info (fun m -> m "reclaim on cpu%d" cpu_index);
+  let retired = ref 0 and freed = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some ep ->
+          List.iter
+            (fun w ->
+              (match Worker.held_cd w with
+              | Some cd ->
+                  t.spare_frames.(cpu_index) <-
+                    Call_descriptor.stack_frame cd
+                    :: t.spare_frames.(cpu_index)
+              | None -> ());
+              Worker.retire w;
+              Kernel.Process.wake (Worker.pcb w);
+              incr retired)
+            (Entry_point.trim_workers ep ~cpu_index ~keep:max_workers))
+    t.eps;
+  Hashtbl.iter
+    (fun _ ep ->
+      List.iter
+        (fun w ->
+          Worker.retire w;
+          Kernel.Process.wake (Worker.pcb w);
+          incr retired)
+        (Entry_point.trim_workers ep ~cpu_index ~keep:max_workers))
+    t.overflow_eps;
+  List.iter
+    (fun cd ->
+      t.spare_frames.(cpu_index) <-
+        Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
+      incr freed)
+    (Cd_pool.trim t.cd_pools.(cpu_index) ~keep:max_cds);
+  Hashtbl.iter
+    (fun (cpu, _) pool ->
+      if cpu = cpu_index then
+        List.iter
+          (fun cd ->
+            t.spare_frames.(cpu_index) <-
+              Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
+            incr freed)
+          (Cd_pool.trim pool ~keep:max_cds))
+    t.group_pools;
+  (!retired, !freed)
+
+let set_fault_notifier t notifier = t.fault_notifier <- notifier
+
+(* --- inspection -------------------------------------------------------- *)
+
+let cd_pool t cpu_index = t.cd_pools.(cpu_index)
+let entry_points t =
+  (Array.to_seq t.eps |> Seq.filter_map Fun.id |> List.of_seq)
+  @ (Hashtbl.to_seq_values t.overflow_eps |> List.of_seq)

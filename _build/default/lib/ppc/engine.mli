@@ -1,0 +1,124 @@
+(** The PPC call engine (paper Section 2): lock-free, shared-data-free
+    protected procedure calls over the simulated kernel. *)
+
+exception Call_aborted
+
+type path_costs = {
+  user_save_instr : int;
+  user_save_words : int;
+  arg_marshal_instr : int;
+  entry_instr : int;
+  entry_extra_loads : int;
+  retinfo_instr : int;
+  switch_instr : int;
+  switch_words : int;
+  space_switch_instr : int;
+  upcall_instr : int;
+  return_instr : int;
+  epilogue_instr : int;
+  user_restore_instr : int;
+  frank_worker_instr : int;
+  frank_cd_instr : int;
+}
+
+val default_costs : path_costs
+
+type stats = {
+  mutable sync_calls : int;
+  mutable async_calls : int;
+  mutable injected_calls : int;
+  mutable frank_worker_creations : int;
+  mutable frank_cd_creations : int;
+  mutable aborted_calls : int;
+  mutable rejected_calls : int;
+  mutable handler_faults : int;
+}
+
+type t
+
+val create : ?costs:path_costs -> ?initial_cds_per_cpu:int -> Kernel.t -> t
+
+val kernel : t -> Kernel.t
+val layout : t -> Layout.t
+val costs : t -> path_costs
+val stats : t -> stats
+
+val find_ep : t -> int -> Entry_point.t option
+val entry_points : t -> Entry_point.t list
+val cd_pool : t -> int -> Cd_pool.t
+
+val install_ep :
+  t ->
+  id:int ->
+  name:string ->
+  server:Entry_point.server ->
+  handler:Call_ctx.handler ->
+  Entry_point.t
+(** Bind a specific entry-point ID (well-known services: Frank, the Name
+    Server). *)
+
+val alloc_ep :
+  t ->
+  name:string ->
+  server:Entry_point.server ->
+  handler:Call_ctx.handler ->
+  Entry_point.t
+(** Bind the next free small-integer ID. *)
+
+val create_worker :
+  t -> Entry_point.t -> cpu_index:int -> charged:bool -> Worker.t
+(** Create and park a worker ([charged] adds Frank's slow-path cycles on
+    the target CPU — pre-population passes [false]). *)
+
+val soft_kill : t -> ep_id:int -> unit
+(** Stop new calls; free everything once calls in progress complete. *)
+
+val hard_kill : t -> ep_id:int -> unit
+(** Also abort calls blocked inside the server; running calls finish and
+    then their workers retire. *)
+
+val exchange : t -> ep_id:int -> handler:Call_ctx.handler -> Entry_point.t
+(** On-line replacement: same ID, new handler; in-progress calls finish
+    with the old routine. *)
+
+val set_fault_notifier :
+  t -> (cpu_index:int -> ep_id:int -> caller_program:int -> unit) option -> unit
+(** Hook invoked when a server handler faults (before the call is
+    aborted); the exception server registers itself here. *)
+
+val reclaim :
+  t -> cpu_index:int -> ?max_workers:int -> ?max_cds:int -> unit -> int * int
+(** Shrink this CPU's pools back to steady-state sizes; returns
+    (workers retired, CDs freed).  Management path. *)
+
+val call :
+  t -> client:Kernel.Process.t -> ?opflags:int -> ep_id:int -> Reg_args.t -> int
+(** Synchronous round trip from [client]'s simulated process.  Returns
+    the RC (also left in the opflags slot); results come back in the
+    argument block. *)
+
+val async_call :
+  t ->
+  client:Kernel.Process.t ->
+  ?opflags:int ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  ep_id:int ->
+  Reg_args.t ->
+  unit
+(** Asynchronous variant: the caller re-enters the ready queue and the
+    worker proceeds independently. *)
+
+val inject :
+  t ->
+  self:Kernel.Process.t ->
+  ?opflags:int ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  caller_program:Kernel.Program.id ->
+  ep_id:int ->
+  Reg_args.t ->
+  unit
+(** Manufacture an asynchronous call from an existing kernel process on
+    the target CPU (interrupt dispatch, upcalls). *)
+
+val stack_va : Entry_point.server -> cpu_index:int -> int
+(** Where this server's worker stacks are mapped on a given CPU. *)

@@ -1,0 +1,140 @@
+(* Service entry points.
+
+   An entry point binds a small-integer ID (Section 4.5.5: IDs are safe
+   to be small integers because authentication is the server's job, not
+   the IPC facility's) to a server descriptor and, per processor, a pool
+   of workers.
+
+   Deallocation supports the two strategies of Section 4.5.2: soft-kill
+   (stop new calls, let calls in progress complete, then free) and
+   hard-kill (abort calls in progress too). *)
+
+type status = Active | Soft_killed | Hard_killed
+
+(* Stack sizing (Section 4.5.4).  [Single_page] is the common fast case;
+   [Fixed_pages n] maps n pages on every call (exceptional, slower);
+   [Fault_in n] maps one page and lets accesses beyond it page-fault, so
+   only services that really need depth pay for it. *)
+type stack_policy = Single_page | Fixed_pages of int | Fault_in of int
+
+let stack_window_pages = 8
+(* virtual window reserved per CPU: the bound on any stack policy *)
+
+type server = {
+  server_name : string;
+  program : Kernel.Program.t;
+  space : Kernel.Address_space.t;
+  code_addr : int;  (** server text *)
+  data_addr : int;  (** server data *)
+  stack_va_base : int;  (** stacks are mapped at per-CPU offsets from here *)
+  hold_cd : bool;  (** workers permanently hold a CD and stack *)
+  stack_policy : stack_policy;
+  trust_group : int;
+      (** CDs/stacks are serially shared only within a trust group
+          (Section 2's compromise for mutually untrusting servers) *)
+}
+
+type per_cpu_state = {
+  mutable pool : Worker.t list;  (** LIFO: most recently parked first *)
+  mutable workers_created : int;
+  mutable in_progress : int;
+  mutable pool_empty_hits : int;
+}
+
+type t = {
+  id : int;
+  name : string;
+  server : server;
+  initial_handler : Call_ctx.handler;
+  mutable status : status;
+  per_cpu : per_cpu_state array;
+  mutable total_calls : int;
+  mutable rejected_calls : int;
+}
+
+let create ~id ~name ~server ~handler ~cpus =
+  {
+    id;
+    name;
+    server;
+    initial_handler = handler;
+    status = Active;
+    per_cpu =
+      Array.init cpus (fun _ ->
+          {
+            pool = [];
+            workers_created = 0;
+            in_progress = 0;
+            pool_empty_hits = 0;
+          });
+    total_calls = 0;
+    rejected_calls = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let server t = t.server
+let initial_handler t = t.initial_handler
+let status t = t.status
+let set_status t s = t.status <- s
+let per_cpu t i = t.per_cpu.(i)
+let total_calls t = t.total_calls
+let note_call t = t.total_calls <- t.total_calls + 1
+let rejected_calls t = t.rejected_calls
+let note_rejected t = t.rejected_calls <- t.rejected_calls + 1
+
+let in_progress_total t =
+  Array.fold_left (fun acc pc -> acc + pc.in_progress) 0 t.per_cpu
+
+let workers_total t =
+  Array.fold_left (fun acc pc -> acc + pc.workers_created) 0 t.per_cpu
+
+(* Worker pool manipulation, charged as processor-local memory traffic on
+   the pool head word and the worker structure. *)
+
+let pop_worker cpu layout_pc t ~cpu_index =
+  let pcs = t.per_cpu.(cpu_index) in
+  Machine.Cpu.instr cpu 6;
+  Machine.Cpu.load cpu (Layout.wpool_head_addr layout_pc t.id);
+  match pcs.pool with
+  | [] ->
+      pcs.pool_empty_hits <- pcs.pool_empty_hits + 1;
+      None
+  | w :: rest ->
+      Machine.Cpu.load cpu (Worker.addr w);
+      Machine.Cpu.store cpu (Layout.wpool_head_addr layout_pc t.id);
+      pcs.pool <- rest;
+      Some w
+
+let push_worker cpu layout_pc t ~cpu_index w =
+  let pcs = t.per_cpu.(cpu_index) in
+  Machine.Cpu.instr cpu 4;
+  Machine.Cpu.store cpu (Worker.addr w);
+  Machine.Cpu.store cpu (Layout.wpool_head_addr layout_pc t.id);
+  pcs.pool <- w :: pcs.pool
+
+(* Pool insert without memory charges (management paths).  Creation is
+   counted by the creator, not here. *)
+let add_worker t ~cpu_index w =
+  let pcs = t.per_cpu.(cpu_index) in
+  pcs.pool <- w :: pcs.pool
+
+(* Shrink an over-grown pool, keeping [keep] parked workers ("pools can
+   grow and shrink dynamically as needed"). *)
+let trim_workers t ~cpu_index ~keep =
+  let pcs = t.per_cpu.(cpu_index) in
+  let rec split kept n = function
+    | [] -> (List.rev kept, [])
+    | w :: rest when n < keep -> split (w :: kept) (n + 1) rest
+    | extra -> (List.rev kept, extra)
+  in
+  let kept, extra = split [] 0 pcs.pool in
+  pcs.pool <- kept;
+  pcs.workers_created <- pcs.workers_created - List.length extra;
+  extra
+
+let drain_workers t ~cpu_index =
+  let pcs = t.per_cpu.(cpu_index) in
+  let ws = pcs.pool in
+  pcs.pool <- [];
+  ws

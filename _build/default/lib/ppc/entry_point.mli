@@ -1,0 +1,67 @@
+(** Service entry points: small-integer IDs bound to server descriptors
+    with per-processor worker pools. *)
+
+type status = Active | Soft_killed | Hard_killed
+
+type stack_policy = Single_page | Fixed_pages of int | Fault_in of int
+
+val stack_window_pages : int
+
+type server = {
+  server_name : string;
+  program : Kernel.Program.t;
+  space : Kernel.Address_space.t;
+  code_addr : int;
+  data_addr : int;
+  stack_va_base : int;
+  hold_cd : bool;
+  stack_policy : stack_policy;
+  trust_group : int;
+}
+
+type per_cpu_state = {
+  mutable pool : Worker.t list;
+  mutable workers_created : int;
+  mutable in_progress : int;
+  mutable pool_empty_hits : int;
+}
+
+type t
+
+val create :
+  id:int ->
+  name:string ->
+  server:server ->
+  handler:Call_ctx.handler ->
+  cpus:int ->
+  t
+
+val id : t -> int
+val name : t -> string
+val server : t -> server
+val initial_handler : t -> Call_ctx.handler
+val status : t -> status
+val set_status : t -> status -> unit
+val per_cpu : t -> int -> per_cpu_state
+val total_calls : t -> int
+val note_call : t -> unit
+val rejected_calls : t -> int
+val note_rejected : t -> unit
+val in_progress_total : t -> int
+val workers_total : t -> int
+
+val pop_worker :
+  Machine.Cpu.t -> Layout.per_cpu -> t -> cpu_index:int -> Worker.t option
+(** Take a worker from the processor-local pool, charging the free-list
+    traffic; [None] when empty (redirect to Frank). *)
+
+val push_worker :
+  Machine.Cpu.t -> Layout.per_cpu -> t -> cpu_index:int -> Worker.t -> unit
+
+val add_worker : t -> cpu_index:int -> Worker.t -> unit
+(** Management-path insert (no memory charges). *)
+
+val trim_workers : t -> cpu_index:int -> keep:int -> Worker.t list
+(** Shrink the parked pool to [keep] workers; returns the retired ones. *)
+
+val drain_workers : t -> cpu_index:int -> Worker.t list

@@ -1,0 +1,209 @@
+(* Frank, the PPC resource manager (paper Section 4.5.6).
+
+   "A kernel-level server ... used to manage the PPC resources.  Service
+   entry points are allocated and deallocated with PPC calls to Frank,
+   which has a well-known service ID.  Frank is ... special only in that
+   all its resources are preallocated, it may not block, and it may not
+   be preempted."
+
+   Because a server's call-handling routine cannot travel through eight
+   registers, callers first *stage* the descriptor-and-handler pair and
+   pass the staging token in the call — standing in for "the routine's
+   address inside the caller's space".
+
+   (The name Frank was chosen so that Bob, the file server, would not be
+   the only server with an eccentric name.) *)
+
+let well_known_id = 1
+
+let op_alloc_ep = 1
+let op_soft_kill = 2
+let op_hard_kill = 3
+let op_exchange = 4
+let op_grow_pool = 5
+let op_reclaim = 6
+
+type staged = { server : Entry_point.server; handler : Call_ctx.handler }
+
+type t = {
+  engine : Engine.t;
+  mutable staging : (int * staged) list;
+  mutable next_token : int;
+}
+
+(* Stage a server definition; the returned token goes in the call. *)
+let stage t ~server ~handler =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  t.staging <- (token, { server; handler }) :: t.staging;
+  token
+
+let take_staged t token =
+  match List.assoc_opt token t.staging with
+  | None -> None
+  | Some s ->
+      t.staging <- List.remove_assoc token t.staging;
+      Some s
+
+let handler t : Call_ctx.handler =
+ fun ctx args ->
+  (* Frank's own work: table manipulation in the kernel. *)
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 40;
+  Null_server.touch_stack ctx ~words:4;
+  let op = Reg_args.op args in
+  if op = op_alloc_ep then begin
+    match take_staged t (Reg_args.get args 0) with
+    | None -> Reg_args.set_rc args Reg_args.err_bad_request
+    | Some s ->
+        let ep = Engine.alloc_ep t.engine ~name:s.server.Entry_point.server_name
+            ~server:s.server ~handler:s.handler
+        in
+        Reg_args.set args 0 (Entry_point.id ep);
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_soft_kill then begin
+    match Engine.find_ep t.engine (Reg_args.get args 0) with
+    | None -> Reg_args.set_rc args Reg_args.err_no_entry
+    | Some _ ->
+        Engine.soft_kill t.engine ~ep_id:(Reg_args.get args 0);
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_hard_kill then begin
+    match Engine.find_ep t.engine (Reg_args.get args 0) with
+    | None -> Reg_args.set_rc args Reg_args.err_no_entry
+    | Some _ ->
+        Engine.hard_kill t.engine ~ep_id:(Reg_args.get args 0);
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_exchange then begin
+    match
+      ( Engine.find_ep t.engine (Reg_args.get args 0),
+        take_staged t (Reg_args.get args 1) )
+    with
+    | Some _, Some s ->
+        ignore
+          (Engine.exchange t.engine ~ep_id:(Reg_args.get args 0)
+             ~handler:s.handler);
+        Reg_args.set_rc args Reg_args.ok
+    | _ -> Reg_args.set_rc args Reg_args.err_bad_request
+  end
+  else if op = op_grow_pool then begin
+    (* Pre-populate this CPU's worker pool for an entry point. *)
+    match Engine.find_ep t.engine (Reg_args.get args 0) with
+    | None -> Reg_args.set_rc args Reg_args.err_no_entry
+    | Some ep ->
+        let cpu_index = Reg_args.get args 1 in
+        let w = Engine.create_worker t.engine ep ~cpu_index ~charged:false in
+        Entry_point.add_worker ep ~cpu_index w;
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_reclaim then begin
+    (* Shrink this processor's pools back to steady state (Section 2's
+       reclaim of peak-time stacks and workers). *)
+    let cpu_index = Machine.Cpu.node ctx.Call_ctx.cpu in
+    Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 80;
+    let retired, freed =
+      Engine.reclaim t.engine ~cpu_index
+        ~max_workers:(Stdlib.max 1 (Reg_args.get args 0))
+        ~max_cds:(Stdlib.max 1 (Reg_args.get args 1))
+        ()
+    in
+    Reg_args.set args 0 retired;
+    Reg_args.set args 1 freed;
+    Reg_args.set_rc args Reg_args.ok
+  end
+  else Reg_args.set_rc args Reg_args.err_bad_request
+
+(* Install Frank at his well-known entry point, with one preallocated
+   worker per processor and a kernel-space descriptor. *)
+let install engine =
+  let kern = Engine.kernel engine in
+  let t = { engine; staging = []; next_token = 1 } in
+  let server =
+    {
+      Entry_point.server_name = "frank";
+      program = Kernel.kernel_program kern;
+      space = Kernel.kernel_space kern;
+      code_addr = Kernel.alloc kern ~align:`Page ~bytes:1024 ~node:0;
+      data_addr = Kernel.alloc kern ~align:`Page ~bytes:1024 ~node:0;
+      stack_va_base =
+        Kernel.alloc kern ~align:`Page ~bytes:(4096 * Kernel.n_cpus kern) ~node:0;
+      hold_cd = true;
+      stack_policy = Entry_point.Single_page;
+      trust_group = 0;
+    }
+  in
+  let ep =
+    Engine.install_ep engine ~id:well_known_id ~name:"frank" ~server
+      ~handler:(handler t)
+  in
+  for cpu_index = 0 to Kernel.n_cpus kern - 1 do
+    let w = Engine.create_worker engine ep ~cpu_index ~charged:false in
+    Entry_point.add_worker ep ~cpu_index w
+  done;
+  t
+
+(* Client-side convenience wrappers (each is a normal PPC). *)
+
+let alloc_entry_point t ~client ~server ~handler:h =
+  let token = stage t ~server ~handler:h in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 token;
+  Reg_args.set_op args ~op:op_alloc_ep ~flags:0;
+  let rc =
+    Engine.call t.engine ~client
+      ~opflags:(Reg_args.op_flags ~op:op_alloc_ep ~flags:0)
+      ~ep_id:well_known_id args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0) else Error rc
+
+let simple_op t ~client ~op ~ep_id =
+  let args = Reg_args.make () in
+  Reg_args.set args 0 ep_id;
+  Reg_args.set_op args ~op ~flags:0;
+  Engine.call t.engine ~client
+    ~opflags:(Reg_args.op_flags ~op ~flags:0)
+    ~ep_id:well_known_id args
+
+let soft_kill t ~client ~ep_id = simple_op t ~client ~op:op_soft_kill ~ep_id
+let hard_kill t ~client ~ep_id = simple_op t ~client ~op:op_hard_kill ~ep_id
+
+let exchange t ~client ~ep_id ~handler:h =
+  let token =
+    stage t
+      ~server:
+        (match Engine.find_ep t.engine ep_id with
+        | Some ep -> Entry_point.server ep
+        | None -> invalid_arg "Frank.exchange: unknown entry point")
+      ~handler:h
+  in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 ep_id;
+  Reg_args.set args 1 token;
+  Reg_args.set_op args ~op:op_exchange ~flags:0;
+  Engine.call t.engine ~client
+    ~opflags:(Reg_args.op_flags ~op:op_exchange ~flags:0)
+    ~ep_id:well_known_id args
+
+let grow_pool t ~client ~ep_id ~cpu_index =
+  let args = Reg_args.make () in
+  Reg_args.set args 0 ep_id;
+  Reg_args.set args 1 cpu_index;
+  Reg_args.set_op args ~op:op_grow_pool ~flags:0;
+  Engine.call t.engine ~client
+    ~opflags:(Reg_args.op_flags ~op:op_grow_pool ~flags:0)
+    ~ep_id:well_known_id args
+
+(* Reclaim this CPU's pools via a PPC to Frank. *)
+let reclaim t ~client ~max_workers ~max_cds =
+  let args = Reg_args.make () in
+  Reg_args.set args 0 max_workers;
+  Reg_args.set args 1 max_cds;
+  Reg_args.set_op args ~op:op_reclaim ~flags:0;
+  let rc =
+    Engine.call t.engine ~client
+      ~opflags:(Reg_args.op_flags ~op:op_reclaim ~flags:0)
+      ~ep_id:well_known_id args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0, Reg_args.get args 1)
+  else Error rc

@@ -1,0 +1,51 @@
+(** Frank, the kernel-level PPC resource manager (Section 4.5.6):
+    entry-point allocation/deallocation, exchange, and pool growth, all
+    reached by normal PPC calls to a well-known ID. *)
+
+val well_known_id : int
+(** Entry point 1. *)
+
+val op_alloc_ep : int
+val op_soft_kill : int
+val op_hard_kill : int
+val op_exchange : int
+val op_grow_pool : int
+val op_reclaim : int
+
+type t
+
+val install : Engine.t -> t
+(** Install Frank at his well-known ID with a preallocated worker per
+    processor (he may not block). *)
+
+val stage :
+  t -> server:Entry_point.server -> handler:Call_ctx.handler -> int
+(** Stage a server definition out-of-band; the returned token is passed
+    in the ALLOC_EP call (standing in for the handler's address in the
+    caller's space). *)
+
+val alloc_entry_point :
+  t ->
+  client:Kernel.Process.t ->
+  server:Entry_point.server ->
+  handler:Call_ctx.handler ->
+  (int, int) result
+(** Full client-side flow: stage + PPC call; returns the new EP id. *)
+
+val soft_kill : t -> client:Kernel.Process.t -> ep_id:int -> int
+val hard_kill : t -> client:Kernel.Process.t -> ep_id:int -> int
+val exchange :
+  t -> client:Kernel.Process.t -> ep_id:int -> handler:Call_ctx.handler -> int
+
+val grow_pool :
+  t -> client:Kernel.Process.t -> ep_id:int -> cpu_index:int -> int
+(** Pre-populate a CPU's worker pool. *)
+
+val reclaim :
+  t ->
+  client:Kernel.Process.t ->
+  max_workers:int ->
+  max_cds:int ->
+  (int * int, int) result
+(** Shrink the calling CPU's pools; returns (workers retired, CDs
+    freed). *)

@@ -1,0 +1,27 @@
+(* Interrupt dispatching through the PPC facility (paper Section 4.4).
+
+   "An asynchronous request from the kernel to the device server is
+   manufactured by the interrupt handler and dispatched as for a normal
+   call.  From the device server's point of view, it appears as a normal
+   PPC request."
+
+   [attach] binds a hardware vector to an entry point: when the vector is
+   raised, the interrupt handler process injects an asynchronous PPC on
+   its own CPU. *)
+
+let attach engine ~vector ~kcpu ?(on_complete : (Reg_args.t -> unit) option)
+    ~ep_id ~make_args () =
+  let kern = Engine.kernel engine in
+  Kernel.Interrupt.register (Kernel.interrupts kern) ~vector
+    ~name:(Printf.sprintf "ep%d" ep_id)
+    ~kcpu
+    ~program:(Kernel.kernel_program kern)
+    ~space:(Kernel.kernel_space kern)
+    (fun self ->
+      let args = make_args () in
+      Engine.inject engine ~self ?on_complete
+        ~caller_program:(Kernel.Program.id (Kernel.kernel_program kern))
+        ~ep_id args)
+
+let detach engine ~vector =
+  Kernel.Interrupt.unregister (Kernel.interrupts (Engine.kernel engine)) ~vector

@@ -1,0 +1,16 @@
+(** Interrupt dispatching as manufactured asynchronous PPCs
+    (Section 4.4). *)
+
+val attach :
+  Engine.t ->
+  vector:int ->
+  kcpu:Kernel.Kcpu.t ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  ep_id:int ->
+  make_args:(unit -> Reg_args.t) ->
+  unit ->
+  unit
+(** Bind a vector: raising it injects an async PPC to [ep_id] on the
+    handler's CPU; the device server sees a normal PPC request. *)
+
+val detach : Engine.t -> vector:int -> unit

@@ -1,0 +1,90 @@
+(* Per-processor memory layout of the PPC subsystem (the paper's
+   Figure 1): each CPU owns, in memory homed on its own station,
+
+   - a service table (array of entry-point slots, max 1024 — Section
+     4.5.5: a simple array with direct indexing, one copy per processor);
+   - the head word and element storage of its call-descriptor pool;
+   - the per-entry-point worker-pool head words;
+   - register-save scratch for minimal process switches.
+
+   The kernel text is a single shared region (instruction fetches are
+   per-CPU cached anyway), with fixed offsets per call-path phase so the
+   I-cache model sees stable addresses. *)
+
+let max_entry_points = 1024
+let cd_bytes = 64
+let max_cds_per_cpu = 64
+
+type ktext = {
+  entry : int;  (** trap entry, EP lookup, validation *)
+  wpool : int;  (** worker pool manipulation *)
+  cdops : int;  (** call descriptor pool and stack management *)
+  tlbops : int;  (** map/unmap and address-space switch *)
+  switch : int;  (** minimal save/restore *)
+  upcall : int;  (** worker-side upcall/return sequence *)
+  epilogue : int;  (** return-to-caller tail *)
+  frank : int;  (** resource-manager slow paths *)
+}
+
+type per_cpu = {
+  node : int;
+  service_table : int;  (** base of the per-CPU entry-point slot array *)
+  cd_pool_head : int;  (** local free-list head word *)
+  cd_area : int;  (** CD structures, [max_cds_per_cpu] x [cd_bytes] *)
+  save_area : int;  (** minimal-switch register scratch *)
+  cmmu_regs : int;  (** local CMMU control registers (uncached) *)
+  ep_hash : int;  (** overflow entry-point hash table (4.5.5) *)
+  user_stub : int;  (** client-side PPC stub code (user text) *)
+  user_stack : int;  (** client user stack for register save/restore *)
+}
+
+type t = { ktext : ktext; per_cpu : per_cpu array }
+
+let create kernel =
+  let alloc ~bytes ~node = Kernel.alloc kernel ~bytes ~node in
+  (* Shared kernel text: ~2 KB of call-path code ("only 200 instructions
+     and 6 cache lines are required to complete most calls" — the text
+     region is small and hot). *)
+  let text_base = alloc ~bytes:2048 ~node:0 in
+  let ktext =
+    {
+      entry = text_base;
+      wpool = text_base + 256;
+      cdops = text_base + 512;
+      tlbops = text_base + 768;
+      switch = text_base + 1024;
+      upcall = text_base + 1280;
+      epilogue = text_base + 1536;
+      frank = text_base + 1792;
+    }
+  in
+  let per_cpu =
+    Array.init (Kernel.n_cpus kernel) (fun node ->
+        {
+          node;
+          service_table = alloc ~bytes:(max_entry_points * 4) ~node;
+          cd_pool_head = alloc ~bytes:64 ~node;
+          cd_area = alloc ~bytes:(max_cds_per_cpu * cd_bytes) ~node;
+          save_area = alloc ~bytes:256 ~node;
+          cmmu_regs = alloc ~bytes:64 ~node;
+          ep_hash = alloc ~bytes:2048 ~node;
+          user_stub = Kernel.alloc kernel ~align:`Page ~bytes:256 ~node;
+          user_stack = Kernel.alloc kernel ~align:`Page ~bytes:4096 ~node;
+        })
+  in
+  { ktext; per_cpu }
+
+let ktext t = t.ktext
+
+let per_cpu t i =
+  if i < 0 || i >= Array.length t.per_cpu then
+    invalid_arg "Layout.per_cpu: index out of range";
+  t.per_cpu.(i)
+
+let service_slot_addr pc ep_id = pc.service_table + (ep_id * 4)
+
+(* The worker-pool head is the entry-point slot itself: "as little as a
+   single pointer per service entry point per processor is necessary"
+   (Section 4.5.5) — the hot per-call state is one word per EP. *)
+let wpool_head_addr pc ep_id = service_slot_addr pc ep_id
+let cd_addr pc cd_index = pc.cd_area + (cd_index * cd_bytes)

@@ -1,0 +1,40 @@
+(** Per-processor memory layout of the PPC subsystem (paper Figure 1). *)
+
+val max_entry_points : int
+(** 1024, as in Section 4.5.5. *)
+
+val cd_bytes : int
+val max_cds_per_cpu : int
+
+type ktext = {
+  entry : int;
+  wpool : int;
+  cdops : int;
+  tlbops : int;
+  switch : int;
+  upcall : int;
+  epilogue : int;
+  frank : int;
+}
+
+type per_cpu = {
+  node : int;
+  service_table : int;
+  cd_pool_head : int;
+  cd_area : int;
+  save_area : int;
+  cmmu_regs : int;
+  ep_hash : int;
+  user_stub : int;
+  user_stack : int;
+}
+
+type t
+
+val create : Kernel.t -> t
+val ktext : t -> ktext
+val per_cpu : t -> int -> per_cpu
+
+val service_slot_addr : per_cpu -> int -> int
+val wpool_head_addr : per_cpu -> int -> int
+val cd_addr : per_cpu -> int -> int

@@ -1,0 +1,256 @@
+(* Message-passing compatibility on top of PPC (paper Section 5).
+
+   "The vast majority of the code is needed to handle exceptions and to
+   integrate the new facility with the pre-existing message passing
+   facility."  This module is that integration: servers written against
+   the old port API (receive / reply loops in their own process) keep
+   working, but every operation rides the PPC facility instead of the
+   legacy path — hand-off dispatch, per-CPU workers, no full context
+   switches.
+
+   A port is an entry point in the kernel space whose handler implements
+   the port semantics:
+
+   - SEND enqueues the message and *blocks its worker* until the reply —
+     the calling client stays blocked in its PPC exactly as it blocked in
+     the old send;
+   - RECEIVE hands the oldest message to an old-style server process
+     (blocking its worker while the port is empty);
+   - REPLY wakes the blocked SEND worker with the results.
+
+   Payloads are seven words (the eighth register carries the opcode).
+   Port state is shared across processors, so its words are charged as
+   uncached accesses — the residual sharing the compat layer cannot
+   avoid.  Porting a server to *native* PPC removes it (ablation A8). *)
+
+let op_send = 1
+let op_receive = 2
+let op_reply = 3
+
+let payload_words = 7
+
+type message = {
+  msg_id : int;
+  m_payload : int array;
+  mutable m_results : int array option;
+  mutable m_sender : (Kernel.Process.t * Kernel.Kcpu.t) option;
+      (** the blocked SEND worker *)
+}
+
+type receiver = {
+  r_proc : Kernel.Process.t;
+  r_kcpu : Kernel.Kcpu.t;
+  mutable r_msg : message option;
+}
+
+type port = {
+  port_name : string;
+  mutable port_ep : int;
+  state_addr : int;
+  pending : message Queue.t;
+  unreplied : (int, message) Hashtbl.t;
+  receivers : receiver Queue.t;
+  reply_staging : (int, int array) Hashtbl.t;
+      (** full reply payloads (the reply region grant stand-in); the
+          registers carry only the first six words *)
+  mutable next_msg_id : int;
+  mutable sends : int;
+}
+
+let port_name p = p.port_name
+let port_ep p = p.port_ep
+let sends p = p.sends
+let pending p = Queue.length p.pending
+let blocked_receivers p = Queue.length p.receivers
+
+let message_payload port ~msg_id =
+  match Hashtbl.find_opt port.unreplied msg_id with
+  | Some m -> Some (Array.copy m.m_payload)
+  | None -> None
+
+let charge_port_state cpu port n =
+  Machine.Cpu.instr cpu (2 * n);
+  for i = 0 to n - 1 do
+    Machine.Cpu.uncached_load cpu (port.state_addr + (8 * i))
+  done
+
+let handler port : Call_ctx.t -> Reg_args.t -> unit =
+ fun ctx args ->
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 20;
+  Null_server.touch_stack ctx ~words:4;
+  let op = Reg_args.op args in
+  if op = op_send then begin
+    port.sends <- port.sends + 1;
+    charge_port_state cpu port 3;
+    let payload = Array.init payload_words (fun i -> Reg_args.get args i) in
+    let msg =
+      {
+        msg_id = port.next_msg_id;
+        m_payload = payload;
+        m_results = None;
+        m_sender = Some (ctx.Call_ctx.self, ctx.Call_ctx.kcpu);
+      }
+    in
+    port.next_msg_id <- port.next_msg_id + 1;
+    Hashtbl.replace port.unreplied msg.msg_id msg;
+    (* Hand to a blocked receiver or queue. *)
+    (match Queue.take_opt port.receivers with
+    | Some r ->
+        r.r_msg <- Some msg;
+        Kernel.Kcpu.ready r.r_kcpu r.r_proc
+    | None -> Queue.push msg port.pending);
+    (* Block until the reply arrives (the old send semantics). *)
+    Kernel.Kcpu.block ctx.Call_ctx.kcpu ctx.Call_ctx.self;
+    (match msg.m_results with
+    | Some results ->
+        Array.iteri
+          (fun i v -> if i < payload_words then Reg_args.set args i v)
+          results;
+        Reg_args.set_rc args Reg_args.ok
+    | None -> Reg_args.set_rc args Reg_args.err_killed)
+  end
+  else if op = op_receive then begin
+    charge_port_state cpu port 2;
+    let msg =
+      match Queue.take_opt port.pending with
+      | Some msg -> Some msg
+      | None ->
+          let r =
+            { r_proc = ctx.Call_ctx.self; r_kcpu = ctx.Call_ctx.kcpu;
+              r_msg = None }
+          in
+          Queue.push r port.receivers;
+          Kernel.Kcpu.block ctx.Call_ctx.kcpu ctx.Call_ctx.self;
+          r.r_msg
+    in
+    match msg with
+    | Some msg ->
+        Reg_args.set args 0 msg.msg_id;
+        (* The first payload words ride back in the registers; the rest
+           via [message_payload] (region grant in the real system). *)
+        for i = 0 to 5 do
+          Reg_args.set args (i + 1) msg.m_payload.(i)
+        done;
+        Reg_args.set_rc args Reg_args.ok
+    | None -> Reg_args.set_rc args Reg_args.err_killed
+  end
+  else if op = op_reply then begin
+    charge_port_state cpu port 2;
+    let msg_id = Reg_args.get args 0 in
+    match Hashtbl.find_opt port.unreplied msg_id with
+    | None -> Reg_args.set_rc args Reg_args.err_bad_request
+    | Some msg ->
+        Hashtbl.remove port.unreplied msg_id;
+        let results =
+          match Hashtbl.find_opt port.reply_staging msg_id with
+          | Some r ->
+              Hashtbl.remove port.reply_staging msg_id;
+              r
+          | None -> Array.init 6 (fun i -> Reg_args.get args (i + 1))
+        in
+        msg.m_results <- Some results;
+        (match msg.m_sender with
+        | Some (proc, kcpu) ->
+            msg.m_sender <- None;
+            Kernel.Kcpu.ready kcpu proc
+        | None -> ());
+        Reg_args.set_rc args Reg_args.ok
+  end
+  else Reg_args.set_rc args Reg_args.err_bad_request
+
+(* Create a port: a kernel-space entry point dedicated to it. *)
+let make_port engine ~name =
+  let kern = Engine.kernel engine in
+  let port =
+    {
+      port_name = name;
+      port_ep = -1;
+      state_addr = Kernel.alloc kern ~bytes:256 ~node:0;
+      pending = Queue.create ();
+      unreplied = Hashtbl.create 32;
+      receivers = Queue.create ();
+      reply_staging = Hashtbl.create 32;
+      next_msg_id = 1;
+      sends = 0;
+    }
+  in
+  let server =
+    {
+      Entry_point.server_name = Printf.sprintf "port:%s" name;
+      program = Kernel.kernel_program kern;
+      space = Kernel.kernel_space kern;
+      code_addr = Kernel.alloc kern ~align:`Page ~bytes:1024 ~node:0;
+      data_addr = Kernel.alloc kern ~align:`Page ~bytes:1024 ~node:0;
+      stack_va_base =
+        Kernel.alloc kern ~align:`Page
+          ~bytes:(4096 * Entry_point.stack_window_pages * Kernel.n_cpus kern)
+          ~node:0;
+      hold_cd = false;
+      stack_policy = Entry_point.Single_page;
+      trust_group = 0;
+    }
+  in
+  let ep = Engine.alloc_ep engine ~name:server.Entry_point.server_name ~server
+      ~handler:(handler port)
+  in
+  port.port_ep <- Entry_point.id ep;
+  port
+
+(* Old-style client API. *)
+
+let send engine port ~client payload =
+  if Array.length payload > payload_words then
+    invalid_arg "Msg_compat.send: at most 7 payload words";
+  let args = Reg_args.make () in
+  Array.iteri (fun i v -> Reg_args.set args i v) payload;
+  Reg_args.set_op args ~op:op_send ~flags:0;
+  let rc =
+    Engine.call engine ~client
+      ~opflags:(Reg_args.op_flags ~op:op_send ~flags:0)
+      ~ep_id:port.port_ep args
+  in
+  if rc = Reg_args.ok then
+    Ok (Array.init payload_words (fun i -> Reg_args.get args i))
+  else Error rc
+
+(* Old-style server API: receive the next message. *)
+let receive engine port ~server =
+  let args = Reg_args.make () in
+  Reg_args.set_op args ~op:op_receive ~flags:0;
+  let rc =
+    Engine.call engine ~client:server
+      ~opflags:(Reg_args.op_flags ~op:op_receive ~flags:0)
+      ~ep_id:port.port_ep args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0) else Error rc
+
+let reply engine port ~server ~msg_id results =
+  if Array.length results > payload_words then
+    invalid_arg "Msg_compat.reply: at most 7 result words";
+  let full = Array.make payload_words 0 in
+  Array.blit results 0 full 0 (Array.length results);
+  Hashtbl.replace port.reply_staging msg_id full;
+  let args = Reg_args.make () in
+  Reg_args.set args 0 msg_id;
+  Array.iteri (fun i v -> if i < 6 then Reg_args.set args (i + 1) v) results;
+  Reg_args.set_op args ~op:op_reply ~flags:0;
+  Engine.call engine ~client:server
+    ~opflags:(Reg_args.op_flags ~op:op_reply ~flags:0)
+    ~ep_id:port.port_ep args
+
+(* Convenience loop mirroring {!Kernel.Msg_ipc.serve}. *)
+let serve engine port ~server f =
+  let rec loop () =
+    match receive engine port ~server with
+    | Error _ -> ()
+    | Ok msg_id ->
+        let payload =
+          match message_payload port ~msg_id with
+          | Some p -> p
+          | None -> Array.make payload_words 0
+        in
+        ignore (reply engine port ~server ~msg_id (f payload));
+        loop ()
+  in
+  loop ()

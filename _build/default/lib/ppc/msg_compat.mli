@@ -1,0 +1,39 @@
+(** Message-passing compatibility on PPC (Section 5's integration):
+    old-style port send/receive/reply, new transport. *)
+
+val op_send : int
+val op_receive : int
+val op_reply : int
+
+val payload_words : int
+(** 7 — the eighth register carries the opcode. *)
+
+type port
+
+val make_port : Engine.t -> name:string -> port
+(** A kernel-space entry point dedicated to this port. *)
+
+val port_name : port -> string
+val port_ep : port -> int
+val sends : port -> int
+val pending : port -> int
+val blocked_receivers : port -> int
+
+val message_payload : port -> msg_id:int -> int array option
+(** Full payload of an unreplied message (region-grant stand-in). *)
+
+val send :
+  Engine.t -> port -> client:Kernel.Process.t -> int array -> (int array, int) result
+(** Old-style synchronous send: blocks until the server replies; returns
+    the reply payload. *)
+
+val receive : Engine.t -> port -> server:Kernel.Process.t -> (int, int) result
+(** Old-style receive: blocks while the port is empty; returns the
+    message id. *)
+
+val reply :
+  Engine.t -> port -> server:Kernel.Process.t -> msg_id:int -> int array -> int
+
+val serve :
+  Engine.t -> port -> server:Kernel.Process.t -> (int array -> int array) -> unit
+(** Receive/handle/reply loop for old-style server processes. *)

@@ -1,0 +1,55 @@
+(* Null/dummy server handlers.
+
+   The Figure 2 microbenchmark's "server time" is a dummy routine that
+   saves and restores a few registers on its (freshly mapped, serially
+   shared) stack; [handler] reproduces that, with knobs for heavier
+   synthetic services. *)
+
+let touch_stack ctx ~words =
+  (* Frame setup on the worker stack: virtual address from the mapping,
+     physical address from the recycled CD page (warm across calls). *)
+  Machine.Cpu.store_words_mapped ctx.Call_ctx.cpu ~vaddr:ctx.Call_ctx.stack_va
+    ~paddr:ctx.Call_ctx.stack_pa words;
+  Machine.Cpu.load_words_mapped ctx.Call_ctx.cpu ~vaddr:ctx.Call_ctx.stack_va
+    ~paddr:ctx.Call_ctx.stack_pa words
+
+(* Touch a specific stack page (multi-page policies, Section 4.5.4):
+   resolves the page's physical frame through [grow_stack] — paying a
+   page fault under [Fault_in] the first time — then works on it. *)
+let touch_stack_page ctx ~page ~words =
+  let pa = ctx.Call_ctx.grow_stack page in
+  let vaddr = ctx.Call_ctx.stack_va + (page * 4096) in
+  Machine.Cpu.store_words_mapped ctx.Call_ctx.cpu ~vaddr ~paddr:pa words;
+  Machine.Cpu.load_words_mapped ctx.Call_ctx.cpu ~vaddr ~paddr:pa words
+
+(* A deep-recursion server: walks [pages] stack pages per call. *)
+let deep_handler ?(instr = 20) ~pages () : Call_ctx.handler =
+ fun ctx args ->
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu instr;
+  for page = 0 to pages - 1 do
+    touch_stack_page ctx ~page ~words:8
+  done;
+  Reg_args.set_rc args Reg_args.ok
+
+let handler ?(instr = 10) ?(stack_words = 4) () : Call_ctx.handler =
+ fun ctx args ->
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu instr;
+  touch_stack ctx ~words:stack_words;
+  Reg_args.set_rc args Reg_args.ok
+
+(* An echo handler: returns its inputs (exercises the 8-in/8-out register
+   convention end to end). *)
+let echo : Call_ctx.handler =
+ fun ctx args ->
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 8;
+  touch_stack ctx ~words:2;
+  (* Results are the arguments: nothing to move (registers in place). *)
+  Reg_args.set_rc args Reg_args.ok
+
+(* An adder: out[0] = in[0] + in[1]. *)
+let adder : Call_ctx.handler =
+ fun ctx args ->
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 6;
+  touch_stack ctx ~words:2;
+  Reg_args.set args 0 (Reg_args.get args 0 + Reg_args.get args 1);
+  Reg_args.set_rc args Reg_args.ok

@@ -1,0 +1,18 @@
+(** Dummy server handlers for microbenchmarks and tests. *)
+
+val touch_stack : Call_ctx.t -> words:int -> unit
+(** Save/restore [words] registers on the worker's mapped stack. *)
+
+val touch_stack_page : Call_ctx.t -> page:int -> words:int -> unit
+(** Work on a specific stack page, growing the stack if the policy
+    allows (Section 4.5.4). *)
+
+val deep_handler : ?instr:int -> pages:int -> unit -> Call_ctx.handler
+(** A server that walks [pages] stack pages per call. *)
+
+val handler : ?instr:int -> ?stack_words:int -> unit -> Call_ctx.handler
+(** The Figure-2 null server: a few instructions plus a small stack
+    frame. *)
+
+val echo : Call_ctx.handler
+val adder : Call_ctx.handler

@@ -1,0 +1,118 @@
+(* Library interface: the PPC facility assembled.
+
+   [create] builds the engine over a kernel and installs Frank; helpers
+   construct server descriptors (address space, text/data regions,
+   per-CPU stack mapping window) and register entry points either through
+   Frank (the paper's protocol) or directly (bootstrap/management). *)
+
+module Reg_args = Reg_args
+module Layout = Layout
+module Call_ctx = Call_ctx
+module Call_descriptor = Call_descriptor
+module Cd_pool = Cd_pool
+module Worker = Worker
+module Entry_point = Entry_point
+module Engine = Engine
+module Null_server = Null_server
+module Frank = Frank
+module Intr_dispatch = Intr_dispatch
+module Upcall = Upcall
+module Remote_call = Remote_call
+module Msg_compat = Msg_compat
+module Reclaim_daemon = Reclaim_daemon
+
+type t = { engine : Engine.t; frank : Frank.t }
+
+let create ?costs ?initial_cds_per_cpu kernel =
+  let engine =
+    match (costs, initial_cds_per_cpu) with
+    | None, None -> Engine.create kernel
+    | Some c, None -> Engine.create ~costs:c kernel
+    | None, Some n -> Engine.create ~initial_cds_per_cpu:n kernel
+    | Some c, Some n -> Engine.create ~costs:c ~initial_cds_per_cpu:n kernel
+  in
+  let frank = Frank.install engine in
+  { engine; frank }
+
+let engine t = t.engine
+let frank t = t.frank
+let kernel t = Engine.kernel t.engine
+let stats t = Engine.stats t.engine
+
+(* Build a user-level server: fresh program, fresh address space, text
+   and data regions homed on [node], and a stack-mapping window wide
+   enough for one page per CPU. *)
+let stack_window_pages = Entry_point.stack_window_pages
+
+let make_user_server t ~name ?(hold_cd = false) ?(node = 0)
+    ?(stack_policy = Entry_point.Single_page) ?(trust_group = 0) () =
+  let kern = kernel t in
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node in
+  {
+    Entry_point.server_name = name;
+    program;
+    space;
+    code_addr = Kernel.alloc kern ~align:`Page ~bytes:4096 ~node;
+    data_addr = Kernel.alloc kern ~align:`Page ~bytes:4096 ~node;
+    stack_va_base =
+      Kernel.alloc kern ~align:`Page
+        ~bytes:(4096 * stack_window_pages * Kernel.n_cpus kern)
+        ~node;
+    hold_cd;
+    stack_policy;
+    trust_group;
+  }
+
+(* Build a kernel-level server (lives in the supervisor space: calls to
+   it need no user-context switch). *)
+let make_kernel_server t ~name ?(hold_cd = false) ?(node = 0)
+    ?(stack_policy = Entry_point.Single_page) ?(trust_group = 0) () =
+  let kern = kernel t in
+  {
+    Entry_point.server_name = name;
+    program = Kernel.kernel_program kern;
+    space = Kernel.kernel_space kern;
+    code_addr = Kernel.alloc kern ~align:`Page ~bytes:4096 ~node;
+    data_addr = Kernel.alloc kern ~align:`Page ~bytes:4096 ~node;
+    stack_va_base =
+      Kernel.alloc kern ~align:`Page
+        ~bytes:(4096 * stack_window_pages * Kernel.n_cpus kern)
+        ~node;
+    hold_cd;
+    stack_policy;
+    trust_group;
+  }
+
+(* Register through Frank, as a real server would (a PPC call from
+   [client]). *)
+let register t ~client ~server ~handler =
+  Frank.alloc_entry_point t.frank ~client ~server ~handler
+
+(* Management-path registration (bootstrap, tests): no calling process
+   required. *)
+let register_direct t ~server ~handler =
+  Engine.alloc_ep t.engine ~name:server.Entry_point.server_name ~server
+    ~handler
+
+(* Pre-populate worker pools so measurements exclude Frank's slow path. *)
+let prime t ~ep ~cpus =
+  List.iter
+    (fun cpu_index ->
+      let w = Engine.create_worker t.engine ep ~cpu_index ~charged:false in
+      Entry_point.add_worker ep ~cpu_index w)
+    cpus
+
+let call t ~client ?opflags ~ep_id args =
+  Engine.call t.engine ~client ?opflags ~ep_id args
+
+let async_call t ~client ?opflags ?on_complete ~ep_id args =
+  Engine.async_call t.engine ~client ?opflags ?on_complete ~ep_id args
+
+let inject t ~self ?opflags ?on_complete ~caller_program ~ep_id args =
+  Engine.inject t.engine ~self ?opflags ?on_complete ~caller_program ~ep_id
+    args
+
+let soft_kill t ~ep_id = Engine.soft_kill t.engine ~ep_id
+let hard_kill t ~ep_id = Engine.hard_kill t.engine ~ep_id
+let find_ep t ep_id = Engine.find_ep t.engine ep_id

@@ -1,0 +1,95 @@
+(** The PPC (Protected Procedure Call) IPC facility.
+
+    Reproduction of Gamsa, Krieger & Stumm, "Optimizing IPC Performance
+    for Shared-Memory Multiprocessors" (CSRI-294, 1994): per-processor
+    worker and call-descriptor pools, hand-off transfer, register
+    argument passing — no shared data and no locks on the common path. *)
+
+module Reg_args = Reg_args
+module Layout = Layout
+module Call_ctx = Call_ctx
+module Call_descriptor = Call_descriptor
+module Cd_pool = Cd_pool
+module Worker = Worker
+module Entry_point = Entry_point
+module Engine = Engine
+module Null_server = Null_server
+module Frank = Frank
+module Intr_dispatch = Intr_dispatch
+module Upcall = Upcall
+module Remote_call = Remote_call
+module Msg_compat = Msg_compat
+module Reclaim_daemon = Reclaim_daemon
+
+type t
+
+val create : ?costs:Engine.path_costs -> ?initial_cds_per_cpu:int -> Kernel.t -> t
+(** Build the facility over a kernel and install Frank. *)
+
+val engine : t -> Engine.t
+val frank : t -> Frank.t
+val kernel : t -> Kernel.t
+val stats : t -> Engine.stats
+
+val stack_window_pages : int
+
+val make_user_server :
+  t ->
+  name:string ->
+  ?hold_cd:bool ->
+  ?node:int ->
+  ?stack_policy:Entry_point.stack_policy ->
+  ?trust_group:int ->
+  unit ->
+  Entry_point.server
+
+val make_kernel_server :
+  t ->
+  name:string ->
+  ?hold_cd:bool ->
+  ?node:int ->
+  ?stack_policy:Entry_point.stack_policy ->
+  ?trust_group:int ->
+  unit ->
+  Entry_point.server
+
+val register :
+  t ->
+  client:Kernel.Process.t ->
+  server:Entry_point.server ->
+  handler:Call_ctx.handler ->
+  (int, int) result
+(** Register through Frank, as a real server would. *)
+
+val register_direct :
+  t -> server:Entry_point.server -> handler:Call_ctx.handler -> Entry_point.t
+(** Bootstrap/management registration (no calling process). *)
+
+val prime : t -> ep:Entry_point.t -> cpus:int list -> unit
+(** Pre-populate worker pools on the given CPUs. *)
+
+val call :
+  t -> client:Kernel.Process.t -> ?opflags:int -> ep_id:int -> Reg_args.t -> int
+
+val async_call :
+  t ->
+  client:Kernel.Process.t ->
+  ?opflags:int ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  ep_id:int ->
+  Reg_args.t ->
+  unit
+
+val inject :
+  t ->
+  self:Kernel.Process.t ->
+  ?opflags:int ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  caller_program:Kernel.Program.id ->
+  ep_id:int ->
+  Reg_args.t ->
+  unit
+
+val soft_kill : t -> ep_id:int -> unit
+val hard_kill : t -> ep_id:int -> unit
+val find_ep : t -> int -> Entry_point.t option

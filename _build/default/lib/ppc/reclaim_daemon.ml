@@ -1,0 +1,69 @@
+(* Periodic pool reclaim.
+
+   Section 2: pools grow under peak call activity and "extra stacks ...
+   can easily be reclaimed".  This daemon wakes on each processor every
+   [period] and asks Frank's reclaim path to shrink that CPU's worker and
+   CD pools back to their steady-state sizes.
+
+   Each sweep runs as a kernel-daemon process in the CPU's front band, so
+   reclaim competes for the processor like any other management work
+   (and is charged like it). *)
+
+type t = {
+  engine : Engine.t;
+  period : Sim.Time.t;
+  max_workers : int;
+  max_cds : int;
+  mutable sweeps : int;
+  mutable workers_retired : int;
+  mutable cds_freed : int;
+  mutable stopped : bool;
+}
+
+let sweeps t = t.sweeps
+let workers_retired t = t.workers_retired
+let cds_freed t = t.cds_freed
+
+let stop t = t.stopped <- true
+
+let start ?(period = Sim.Time.ms 10) ?(max_workers = 1) ?(max_cds = 2) engine =
+  let t =
+    {
+      engine;
+      period;
+      max_workers;
+      max_cds;
+      sweeps = 0;
+      workers_retired = 0;
+      cds_freed = 0;
+      stopped = false;
+    }
+  in
+  let kern = Engine.kernel engine in
+  let sim = Kernel.engine kern in
+  let rec schedule_sweep () =
+    Sim.Engine.schedule sim ~after:t.period (fun () ->
+        if not t.stopped then begin
+          for cpu_index = 0 to Kernel.n_cpus kern - 1 do
+            ignore
+              (Kernel.spawn ~band:`Front kern ~cpu:cpu_index ~name:"reclaimd"
+                 ~kind:Kernel.Process.Kernel_daemon
+                 ~program:(Kernel.kernel_program kern)
+                 ~space:(Kernel.kernel_space kern)
+                 (fun _self ->
+                   let cpu = Kernel.Kcpu.cpu (Kernel.kcpu kern cpu_index) in
+                   Machine.Cpu.instr cpu 60;
+                   let retired, freed =
+                     Engine.reclaim engine ~cpu_index
+                       ~max_workers:t.max_workers ~max_cds:t.max_cds ()
+                   in
+                   t.workers_retired <- t.workers_retired + retired;
+                   t.cds_freed <- t.cds_freed + freed;
+                   Kernel.Kcpu.sync (Kernel.kcpu kern cpu_index)))
+          done;
+          t.sweeps <- t.sweeps + 1;
+          schedule_sweep ()
+        end)
+  in
+  schedule_sweep ();
+  t

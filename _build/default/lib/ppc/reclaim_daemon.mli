@@ -1,0 +1,15 @@
+(** Periodic per-CPU pool reclaim (Section 2's stack/worker shrinking),
+    run as front-band kernel daemons. *)
+
+type t
+
+val start :
+  ?period:Sim.Time.t -> ?max_workers:int -> ?max_cds:int -> Engine.t -> t
+(** Sweep every [period] (default 10 ms simulated). *)
+
+val stop : t -> unit
+(** No further sweeps are scheduled after the current period. *)
+
+val sweeps : t -> int
+val workers_retired : t -> int
+val cds_freed : t -> int

@@ -1,0 +1,63 @@
+(* The PPC register argument block.
+
+   The paper's PPC_CALL macro (Section 4.5.1, Figure 4) passes the values
+   of eight variables in registers and returns eight values in the same
+   registers; by convention the last word carries the opcode and flags on
+   the way in and the return code on the way out.  Because the transfer is
+   register-to-register, moving the words costs instructions but no
+   memory traffic — technique (i) of the uniprocessor IPC canon.
+
+   We model the block as an 8-slot int array that the server handler
+   mutates in place. *)
+
+type t = int array
+
+let words = 8
+let opflags_slot = words - 1
+
+let make () = Array.make words 0
+
+let of_list l =
+  if List.length l > words then invalid_arg "Reg_args.of_list: more than 8 words";
+  let a = make () in
+  List.iteri (fun i v -> a.(i) <- v) l;
+  a
+
+let get a i =
+  if i < 0 || i >= words then invalid_arg "Reg_args.get: slot out of range";
+  a.(i)
+
+let set a i v =
+  if i < 0 || i >= words then invalid_arg "Reg_args.set: slot out of range";
+  a.(i) <- v
+
+(* Opcode/flag packing, mirroring PPC_OP_FLAGS(op, flags). *)
+
+let op_flags ~op ~flags =
+  if op < 0 || op > 0xFFFF then invalid_arg "Reg_args.op_flags: bad opcode";
+  if flags < 0 || flags > 0xFFFF then invalid_arg "Reg_args.op_flags: bad flags";
+  (op lsl 16) lor flags
+
+let op_of packed = (packed lsr 16) land 0xFFFF
+let flags_of packed = packed land 0xFFFF
+
+let set_op a ~op ~flags = a.(opflags_slot) <- op_flags ~op ~flags
+let op a = op_of a.(opflags_slot)
+let flags a = flags_of a.(opflags_slot)
+
+(* Return code, mirroring PPC_RC(opflags): the convention that the last
+   parameter carries the result status back to the caller. *)
+
+let set_rc a rc = a.(opflags_slot) <- rc
+let rc a = a.(opflags_slot)
+
+let ok = 0
+let err_no_entry = -1
+let err_killed = -2
+let err_denied = -3
+let err_bad_request = -4
+
+let copy = Array.copy
+
+let pp ppf a =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(Fmt.any "; ") int) (Array.to_list a)

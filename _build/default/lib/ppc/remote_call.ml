@@ -1,0 +1,143 @@
+(* Cross-processor PPC (the variant Section 4.3 leaves as future work:
+   "for completeness we do eventually expect to develop a cross-processor
+   PPC variant").
+
+   The local case stays untouched — this path is for the rare situations
+   (devices, low-level OS functions) where the target resource is pinned
+   to another processor.  Mechanics:
+
+   - the client marshals the request into a per-target-CPU shared slot
+     (uncached remote stores: crossing memory on a coherence-free
+     machine);
+   - it raises a remote interrupt on the target CPU, whose handler drains
+     the slot queue and injects each request as an asynchronous PPC with
+     a completion hook;
+   - the hook copies results back and makes the client runnable on its
+     own CPU (a cross-CPU [ready], not a hand-off);
+   - the client blocked after posting, and resumes with the results. *)
+
+type request = {
+  req_args : Reg_args.t;
+  req_client : Kernel.Process.t;
+  req_ep : int;
+  req_program : Kernel.Program.id;
+  mutable req_done : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  slots : request Queue.t array;  (** per target CPU *)
+  slot_addr : int array;  (** shared memory for marshalling costs *)
+  user_stack : int array;  (** per-CPU client-side register save area *)
+  base_vector : int;
+  mutable remote_calls : int;
+}
+
+let vector_of t ~target_cpu = t.base_vector + target_cpu
+
+let install ?(base_vector = 0x100) engine =
+  let kern = Engine.kernel engine in
+  let n = Kernel.n_cpus kern in
+  let t =
+    {
+      engine;
+      slots = Array.init n (fun _ -> Queue.create ());
+      slot_addr =
+        Array.init n (fun node -> Kernel.alloc kern ~bytes:256 ~node);
+      user_stack =
+        Array.init n (fun node ->
+            Kernel.alloc kern ~align:`Page ~bytes:4096 ~node);
+      base_vector;
+      remote_calls = 0;
+    }
+  in
+  for target = 0 to n - 1 do
+    Kernel.Interrupt.register (Kernel.interrupts kern)
+      ~vector:(vector_of t ~target_cpu:target)
+      ~name:(Printf.sprintf "remote-ppc-cpu%d" target)
+      ~kcpu:(Kernel.kcpu kern target)
+      ~program:(Kernel.kernel_program kern)
+      ~space:(Kernel.kernel_space kern)
+      (fun self ->
+        let cpu = Kernel.Kcpu.cpu (Kernel.kcpu kern target) in
+        let rec drain () =
+          match Queue.take_opt t.slots.(target) with
+          | None -> ()
+          | Some req ->
+              (* Pull the request words across the fabric. *)
+              Machine.Cpu.instr cpu 8;
+              for i = 0 to 3 do
+                Machine.Cpu.uncached_load cpu (t.slot_addr.(target) + (4 * i))
+              done;
+              let client_kcpu =
+                Kernel.kcpu kern (Kernel.Process.cpu_index req.req_client)
+              in
+              Engine.inject t.engine ~self ~caller_program:req.req_program
+                ~ep_id:req.req_ep
+                ~on_complete:(fun args ->
+                  (* Push results back and release the client. *)
+                  Machine.Cpu.instr cpu 6;
+                  for i = 0 to 3 do
+                    Machine.Cpu.uncached_store cpu
+                      (t.slot_addr.(target) + 32 + (4 * i))
+                  done;
+                  ignore args;
+                  req.req_done <- true;
+                  Kernel.Kcpu.ready client_kcpu req.req_client)
+                req.req_args;
+              drain ()
+        in
+        drain ())
+  done;
+  t
+
+(* Synchronous cross-processor call from [client]'s simulated process. *)
+let call t ~client ~target_cpu ~ep_id args =
+  let kern = Engine.kernel t.engine in
+  if target_cpu < 0 || target_cpu >= Kernel.n_cpus kern then
+    invalid_arg "Remote_call.call: bad target CPU";
+  if target_cpu = Kernel.Process.cpu_index client then
+    (* Local after all: take the fast path. *)
+    Engine.call t.engine ~client ~ep_id args
+  else begin
+    t.remote_calls <- t.remote_calls + 1;
+    let cpu_index = Kernel.Process.cpu_index client in
+    let kc = Kernel.kcpu kern cpu_index in
+    let cpu = Kernel.Kcpu.cpu kc in
+    (* Client side, user mode: spill caller-saves like any PPC. *)
+    Machine.Cpu.instr cpu 10;
+    Machine.Cpu.store_words cpu t.user_stack.(cpu_index) 20;
+    (* Marshal across the fabric. *)
+    Machine.Cpu.trap cpu;
+    Machine.Cpu.instr cpu 12;
+    for i = 0 to 3 do
+      Machine.Cpu.uncached_store cpu (t.slot_addr.(target_cpu) + (4 * i))
+    done;
+    let req =
+      {
+        req_args = args;
+        req_client = client;
+        req_ep = ep_id;
+        req_program = Kernel.Program.id (Kernel.Process.program client);
+        req_done = false;
+      }
+    in
+    Queue.push req t.slots.(target_cpu);
+    Kernel.Interrupt.raise_vector (Kernel.interrupts kern)
+      ~vector:(vector_of t ~target_cpu);
+    (* Wait for the completion hook's cross-CPU ready. *)
+    Kernel.Kcpu.block kc client;
+    (* Read the results back. *)
+    Machine.Cpu.instr cpu 8;
+    for i = 0 to 3 do
+      Machine.Cpu.uncached_load cpu (t.slot_addr.(target_cpu) + 32 + (4 * i))
+    done;
+    Machine.Cpu.rti cpu
+      ~to_space:(Kernel.Address_space.space_of (Kernel.Process.space client));
+    Machine.Cpu.instr cpu 8;
+    Machine.Cpu.load_words cpu t.user_stack.(cpu_index) 20;
+    Kernel.Kcpu.sync kc;
+    Reg_args.rc args
+  end
+
+let remote_calls t = t.remote_calls

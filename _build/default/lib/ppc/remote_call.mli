@@ -1,0 +1,15 @@
+(** Cross-processor PPC variant (the future-work item of Section 4.3):
+    marshal over shared memory, remote interrupt, async PPC on the
+    target, cross-CPU ready on completion. *)
+
+type t
+
+val install : ?base_vector:int -> Engine.t -> t
+(** Registers one interrupt vector per CPU (default base 0x100). *)
+
+val call :
+  t -> client:Kernel.Process.t -> target_cpu:int -> ep_id:int -> Reg_args.t -> int
+(** Synchronous cross-processor round trip; falls back to the local fast
+    path when [target_cpu] is the client's own. *)
+
+val remote_calls : t -> int

@@ -1,0 +1,26 @@
+(* Upcalls: software interrupts through the PPC facility (Section 4.4).
+
+   "They use the same implementation as the interrupt dispatcher, but may
+   be triggered by an arbitrary system event."  Used for debugging and
+   exception delivery.
+
+   [trigger] may be called from any context (including raw event
+   callbacks): it spawns a transient kernel daemon in the target CPU's
+   front band which injects the asynchronous PPC. *)
+
+let trigger engine ~cpu_index ?(on_complete : (Reg_args.t -> unit) option)
+    ~ep_id args =
+  let kern = Engine.kernel engine in
+  ignore
+    (Kernel.spawn ~band:`Front kern ~cpu:cpu_index
+       ~name:(Printf.sprintf "upcall-ep%d" ep_id)
+       ~kind:Kernel.Process.Kernel_daemon
+       ~program:(Kernel.kernel_program kern)
+       ~space:(Kernel.kernel_space kern)
+       (fun self ->
+         let cpu = Kernel.Kcpu.cpu (Kernel.kcpu kern cpu_index) in
+         (* Software-interrupt entry: cheaper than a hardware vector. *)
+         Machine.Cpu.instr cpu 8;
+         Engine.inject engine ~self ?on_complete
+           ~caller_program:(Kernel.Program.id (Kernel.kernel_program kern))
+           ~ep_id args))

@@ -1,0 +1,11 @@
+(** Upcalls: software interrupts delivered as asynchronous PPCs. *)
+
+val trigger :
+  Engine.t ->
+  cpu_index:int ->
+  ?on_complete:(Reg_args.t -> unit) ->
+  ep_id:int ->
+  Reg_args.t ->
+  unit
+(** Deliver an upcall to [ep_id] on [cpu_index]; may be called from any
+    context. *)

@@ -1,0 +1,80 @@
+(* Worker processes.
+
+   Workers service PPC calls in the server's address space.  They are
+   created dynamically as needed (by Frank), live in per-processor
+   per-service pools, and are (re)initialized to the server's
+   call-handling code on each call.
+
+   [handler] is mutable: the worker-initialization scheme of Section
+   4.5.3 lets a worker's first call run an init routine that swaps in the
+   real handler; [held_cd] implements the "permanently hold a CD and
+   stack" mode whose trade-off Figure 2 quantifies. *)
+
+type pending = {
+  args : Reg_args.t;
+  caller : Kernel.Process.t option;  (** [None] for asynchronous calls *)
+  caller_program : Kernel.Program.id;
+  cd : Call_descriptor.t;
+  on_complete : (Reg_args.t -> unit) option;
+      (** asynchronous-completion hook (prefetch notifications etc.) *)
+  call_rec : call_rec;
+}
+
+and call_rec = {
+  mutable aborted : bool;
+  mutable rec_worker_id : int;
+  mutable extra_frames : (int * int) list;
+      (** (page index, physical frame) for multi-page stacks *)
+}
+(** Shared between caller and worker so a hard-kill can mark an
+    in-progress call as aborted without violating the scheduler's
+    one-current-process-per-CPU invariant. *)
+
+type t = {
+  pcb : Kernel.Process.t;
+  ep_id : int;
+  cpu_index : int;
+  addr : int;  (** worker structure in processor-local memory *)
+  mutable handler : Call_ctx.handler;
+  mutable held_cd : Call_descriptor.t option;
+  mutable pending : pending option;
+  mutable calls_handled : int;
+  mutable retired : bool;
+}
+
+let create ~pcb ~ep_id ~cpu_index ~addr ~handler =
+  {
+    pcb;
+    ep_id;
+    cpu_index;
+    addr;
+    handler;
+    held_cd = None;
+    pending = None;
+    calls_handled = 0;
+    retired = false;
+  }
+
+let pcb t = t.pcb
+let ep_id t = t.ep_id
+let cpu_index t = t.cpu_index
+let addr t = t.addr
+let handler t = t.handler
+let set_handler t h = t.handler <- h
+let held_cd t = t.held_cd
+let hold_cd t cd = t.held_cd <- Some cd
+let calls_handled t = t.calls_handled
+let note_call t = t.calls_handled <- t.calls_handled + 1
+let retired t = t.retired
+let retire t = t.retired <- true
+
+let set_pending t p =
+  (match t.pending with
+  | None -> ()
+  | Some _ -> invalid_arg "Worker.set_pending: call already pending");
+  t.pending <- Some p
+
+let take_pending t =
+  let p = t.pending in
+  t.pending <- None;
+  p

@@ -1,0 +1,50 @@
+(** Worker processes: dynamically created, per-processor, per-service
+    servants that execute PPC calls in the server's address space. *)
+
+type pending = {
+  args : Reg_args.t;
+  caller : Kernel.Process.t option;  (** [None] for asynchronous calls *)
+  caller_program : Kernel.Program.id;
+  cd : Call_descriptor.t;
+  on_complete : (Reg_args.t -> unit) option;
+  call_rec : call_rec;
+}
+
+and call_rec = {
+  mutable aborted : bool;
+  mutable rec_worker_id : int;
+  mutable extra_frames : (int * int) list;
+      (** (page index, physical frame) for multi-page stacks *)
+}
+
+type t
+
+val create :
+  pcb:Kernel.Process.t ->
+  ep_id:int ->
+  cpu_index:int ->
+  addr:int ->
+  handler:Call_ctx.handler ->
+  t
+
+val pcb : t -> Kernel.Process.t
+val ep_id : t -> int
+val cpu_index : t -> int
+val addr : t -> int
+
+val handler : t -> Call_ctx.handler
+val set_handler : t -> Call_ctx.handler -> unit
+(** The worker-initialization swap (Section 4.5.3). *)
+
+val held_cd : t -> Call_descriptor.t option
+val hold_cd : t -> Call_descriptor.t -> unit
+(** Pin a CD+stack to this worker (trades cache footprint for per-call
+    speed — Figure 2's "hold CD" bars). *)
+
+val calls_handled : t -> int
+val note_call : t -> unit
+val retired : t -> bool
+val retire : t -> unit
+
+val set_pending : t -> pending -> unit
+val take_pending : t -> pending option

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Domain_pool Fastcall Locked_registry Mpsc_queue Spsc_ring Striped_counter Treiber_stack

@@ -1,0 +1,1 @@
+lib/runtime/fastcall.ml: Array Atomic Bytes Condition Domain Fun Mpsc_queue Mutex

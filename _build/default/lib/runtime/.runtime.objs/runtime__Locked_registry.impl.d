@@ -1,0 +1,1 @@
+lib/runtime/locked_registry.ml: Array Bytes Fun Hashtbl List Mutex

@@ -1,0 +1,1 @@
+lib/runtime/locked_registry.mli: Bytes

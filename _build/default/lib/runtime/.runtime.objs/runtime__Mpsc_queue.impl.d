@@ -1,0 +1,1 @@
+lib/runtime/mpsc_queue.ml: Atomic Domain Thread

@@ -1,0 +1,1 @@
+lib/runtime/striped_counter.ml: Array Atomic Domain

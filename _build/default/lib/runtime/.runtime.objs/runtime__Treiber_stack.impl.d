@@ -1,0 +1,1 @@
+lib/runtime/treiber_stack.ml: Atomic Domain

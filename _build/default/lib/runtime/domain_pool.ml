@@ -1,0 +1,94 @@
+(* A small pool of service domains, each owning an MPSC work queue.
+
+   Work submitted to a specific member runs on that domain only — the
+   affinity discipline of the paper (requests are handled where their
+   state lives), as close as portable OCaml gets without OS pinning.
+
+   Idle members block on a condvar rather than spinning, so the pool is
+   well-behaved even when domains outnumber cores. *)
+
+type member = {
+  index : int;
+  queue : (unit -> unit) Mpsc_queue.t;
+  executed : int Atomic.t;
+  m_mutex : Mutex.t;
+  m_cond : Condition.t;
+}
+
+type t = {
+  members : member array;
+  stop : bool Atomic.t;
+  domains : unit Domain.t array;
+  mutable rr : int;
+}
+
+let size t = Array.length t.members
+
+let create ~domains:n =
+  if n <= 0 then invalid_arg "Domain_pool.create: need at least one domain";
+  let members =
+    Array.init n (fun index ->
+        {
+          index;
+          queue = Mpsc_queue.create ();
+          executed = Atomic.make 0;
+          m_mutex = Mutex.create ();
+          m_cond = Condition.create ();
+        })
+  in
+  let stop = Atomic.make false in
+  let domains =
+    Array.map
+      (fun m ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Mpsc_queue.pop m.queue with
+              | Some work ->
+                  work ();
+                  Atomic.incr m.executed;
+                  loop ()
+              | None ->
+                  if Atomic.get stop then ()
+                  else begin
+                    Mutex.lock m.m_mutex;
+                    while
+                      Mpsc_queue.is_empty m.queue && not (Atomic.get stop)
+                    do
+                      Condition.wait m.m_cond m.m_mutex
+                    done;
+                    Mutex.unlock m.m_mutex;
+                    loop ()
+                  end
+            in
+            loop ()))
+      members
+  in
+  { members; stop; domains; rr = 0 }
+
+let notify m =
+  Mutex.lock m.m_mutex;
+  Condition.signal m.m_cond;
+  Mutex.unlock m.m_mutex
+
+let submit_to t ~index work =
+  if index < 0 || index >= Array.length t.members then
+    invalid_arg "Domain_pool.submit_to: bad index";
+  let m = t.members.(index) in
+  Mpsc_queue.push m.queue work;
+  notify m
+
+(* Round-robin placement for work without affinity. *)
+let submit t work =
+  let i = t.rr in
+  t.rr <- (i + 1) mod Array.length t.members;
+  submit_to t ~index:i work
+
+let executed t ~index = Atomic.get t.members.(index).executed
+
+let total_executed t =
+  Array.fold_left (fun acc m -> acc + Atomic.get m.executed) 0 t.members
+
+let shutdown t =
+  Atomic.set t.stop true;
+  Array.iter notify t.members;
+  Array.iter Domain.join t.domains

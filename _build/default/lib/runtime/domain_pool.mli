@@ -1,0 +1,19 @@
+(** A pool of service domains with per-member MPSC work queues
+    (affinity-preserving work placement). *)
+
+type t
+
+val create : domains:int -> t
+val size : t -> int
+
+val submit_to : t -> index:int -> (unit -> unit) -> unit
+(** Run on a specific member (affinity). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Round-robin placement. *)
+
+val executed : t -> index:int -> int
+val total_executed : t -> int
+
+val shutdown : t -> unit
+(** Drain queues and join all members. *)

@@ -1,0 +1,195 @@
+(* The PPC design pattern on real OCaml 5 domains.
+
+   What the paper's facility does with per-processor worker/CD pools,
+   this module does with per-domain state:
+
+   - the service table is a fixed array of handlers, written only during
+     registration and read without any synchronisation on the call path
+     (the per-CPU service table);
+   - every domain keeps a private LIFO pool of preallocated *frames*
+     (argument block + scratch buffer) in domain-local storage: the call
+     path allocates nothing and takes no locks (the CD/stack pool, with
+     the same serial-reuse-for-warmth property);
+   - the 8-word argument convention is kept: handlers mutate an 8-slot
+     int array in place.
+
+   Compare with {!Locked_registry}, the mutex-guarded shared-pool
+   baseline, in the benchmarks. *)
+
+let max_entry_points = 1024
+let arg_words = 8
+
+type frame = {
+  scratch : Bytes.t;  (** the "stack page": reused, never reallocated *)
+  mutable frame_calls : int;
+}
+
+type ctx = { frame : frame; domain_index : int }
+
+type handler = ctx -> int array -> unit
+
+type t = {
+  handlers : handler option array;
+  mutable next_ep : int;
+  pool_key : frame list ref Domain.DLS.key;
+  calls_key : int ref Domain.DLS.key;
+  registered : int Atomic.t;
+}
+
+let scratch_bytes = 4096
+
+let make_frame () = { scratch = Bytes.create scratch_bytes; frame_calls = 0 }
+
+let create () =
+  {
+    handlers = Array.make max_entry_points None;
+    next_ep = 0;
+    pool_key =
+      Domain.DLS.new_key (fun () -> ref [ make_frame (); make_frame () ]);
+    calls_key = Domain.DLS.new_key (fun () -> ref 0);
+    registered = Atomic.make 0;
+  }
+
+(* Registration is a management operation: perform it before the domains
+   start calling (the paper routes it through Frank for the same
+   reason). *)
+let register t handler =
+  if t.next_ep >= max_entry_points then
+    invalid_arg "Fastcall.register: out of entry points";
+  let ep = t.next_ep in
+  t.next_ep <- ep + 1;
+  t.handlers.(ep) <- Some handler;
+  Atomic.incr t.registered;
+  ep
+
+let registered t = Atomic.get t.registered
+
+exception No_entry of int
+
+let domain_index () = (Domain.self () :> int)
+
+(* The fast path: array load, DLS pool pop, handler, pool push.  No
+   locks, no shared mutable data, no allocation. *)
+let call t ~ep args =
+  (match t.handlers.(ep) with
+  | None -> raise (No_entry ep)
+  | Some handler ->
+      let pool = Domain.DLS.get t.pool_key in
+      let frame =
+        match !pool with
+        | f :: rest ->
+            pool := rest;
+            f
+        | [] -> make_frame ()
+        (* pool empty: grow, like Frank creating a CD *)
+      in
+      frame.frame_calls <- frame.frame_calls + 1;
+      let ctx = { frame; domain_index = domain_index () } in
+      Fun.protect
+        ~finally:(fun () -> pool := frame :: !pool)
+        (fun () -> handler ctx args);
+      let calls = Domain.DLS.get t.calls_key in
+      incr calls);
+  args.(arg_words - 1)
+
+let local_calls t = !(Domain.DLS.get t.calls_key)
+
+(* --- cross-domain calls ------------------------------------------------ *)
+
+(* A server domain drains an MPSC queue of requests; remote callers block
+   on a per-request completion cell.  This is the runtime analogue of the
+   cross-processor PPC variant: explicitly slower, for the rare remote
+   case.
+
+   The waiting discipline is hybrid: a short spin (wins when the server
+   runs on another core), then a mutex/condvar block (necessary when
+   cores are scarce — a pure spin-wait livelocks a single-core box). *)
+
+type request = {
+  req_ep : int;
+  req_args : int array;
+  done_ : bool Atomic.t;
+  req_mutex : Mutex.t;
+  req_cond : Condition.t;
+}
+
+type server_domain = {
+  queue : request Mpsc_queue.t;
+  stop : bool Atomic.t;
+  served : int Atomic.t;
+  sd_mutex : Mutex.t;
+  sd_cond : Condition.t;  (** signalled on every push and on stop *)
+  domain : unit Domain.t;
+}
+
+let spawn_server t =
+  let queue = Mpsc_queue.create () in
+  let stop = Atomic.make false in
+  let served = Atomic.make 0 in
+  let sd_mutex = Mutex.create () in
+  let sd_cond = Condition.create () in
+  let domain =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Mpsc_queue.pop queue with
+          | Some req ->
+              ignore (call t ~ep:req.req_ep req.req_args);
+              Atomic.set req.done_ true;
+              Mutex.lock req.req_mutex;
+              Condition.signal req.req_cond;
+              Mutex.unlock req.req_mutex;
+              Atomic.incr served;
+              loop ()
+          | None ->
+              if Atomic.get stop then ()
+              else begin
+                Mutex.lock sd_mutex;
+                while Mpsc_queue.is_empty queue && not (Atomic.get stop) do
+                  Condition.wait sd_cond sd_mutex
+                done;
+                Mutex.unlock sd_mutex;
+                loop ()
+              end
+        in
+        loop ())
+  in
+  { queue; stop; served; sd_mutex; sd_cond; domain }
+
+let cross_call sd ~ep args =
+  let req =
+    {
+      req_ep = ep;
+      req_args = args;
+      done_ = Atomic.make false;
+      req_mutex = Mutex.create ();
+      req_cond = Condition.create ();
+    }
+  in
+  Mpsc_queue.push sd.queue req;
+  Mutex.lock sd.sd_mutex;
+  Condition.signal sd.sd_cond;
+  Mutex.unlock sd.sd_mutex;
+  (* Brief spin for the multi-core fast case... *)
+  let spins = ref 0 in
+  while (not (Atomic.get req.done_)) && !spins < 256 do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  (* ...then block. *)
+  if not (Atomic.get req.done_) then begin
+    Mutex.lock req.req_mutex;
+    while not (Atomic.get req.done_) do
+      Condition.wait req.req_cond req.req_mutex
+    done;
+    Mutex.unlock req.req_mutex
+  end;
+  args.(arg_words - 1)
+
+let shutdown_server sd =
+  Atomic.set sd.stop true;
+  Mutex.lock sd.sd_mutex;
+  Condition.broadcast sd.sd_cond;
+  Mutex.unlock sd.sd_mutex;
+  Domain.join sd.domain
+
+let served sd = Atomic.get sd.served

@@ -1,0 +1,39 @@
+(** The PPC design pattern on OCaml 5 domains: lock-free service table,
+    per-domain frame pools in domain-local storage, 8-word argument
+    convention.  Local calls take no locks and allocate nothing. *)
+
+val max_entry_points : int
+val arg_words : int
+
+type frame = { scratch : Bytes.t; mutable frame_calls : int }
+type ctx = { frame : frame; domain_index : int }
+type handler = ctx -> int array -> unit
+
+type t
+
+exception No_entry of int
+
+val create : unit -> t
+
+val register : t -> handler -> int
+(** Bind the next entry point.  Management path: register before domains
+    start calling. *)
+
+val registered : t -> int
+
+val call : t -> ep:int -> int array -> int
+(** Local synchronous call: returns [args.(7)] (the RC slot). *)
+
+val local_calls : t -> int
+(** Calls completed by the current domain. *)
+
+type server_domain
+
+val spawn_server : t -> server_domain
+(** A domain that serves cross-domain requests from an MPSC queue. *)
+
+val cross_call : server_domain -> ep:int -> int array -> int
+(** Enqueue on the server domain and spin/yield until completion. *)
+
+val shutdown_server : server_domain -> unit
+val served : server_domain -> int

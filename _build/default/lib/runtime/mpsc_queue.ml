@@ -1,0 +1,62 @@
+(* Lock-free multi-producer single-consumer queue (Vyukov's algorithm)
+   on OCaml 5 atomics.
+
+   The cross-domain request channel of the runtime embodiment: producers
+   exchange the tail pointer (one atomic RMW, no CAS loop, no locks) and
+   the single consumer walks the linked list privately — the same
+   "only the owner touches it" discipline as the simulator's
+   per-processor pools. *)
+
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  mutable head : 'a node;  (** consumer-private *)
+  tail : 'a node Atomic.t;  (** producers swap this *)
+  pushes : int Atomic.t;
+  pops : int Atomic.t;
+}
+
+let create () =
+  let stub = { value = None; next = Atomic.make None } in
+  {
+    head = stub;
+    tail = Atomic.make stub;
+    pushes = Atomic.make 0;
+    pops = Atomic.make 0;
+  }
+
+(* Producers: wait-free except for the single [exchange]. *)
+let push t v =
+  let node = { value = Some v; next = Atomic.make None } in
+  let prev = Atomic.exchange t.tail node in
+  Atomic.set prev.next (Some node);
+  Atomic.incr t.pushes
+
+(* Consumer only. *)
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some node ->
+      let v = node.value in
+      node.value <- None;
+      (* drop the reference for GC *)
+      t.head <- node;
+      Atomic.incr t.pops;
+      v
+
+let rec pop_wait ?(spins = 0) t =
+  match pop t with
+  | Some v -> v
+  | None ->
+      if spins < 1024 then begin
+        Domain.cpu_relax ();
+        pop_wait ~spins:(spins + 1) t
+      end
+      else begin
+        Thread.yield ();
+        pop_wait ~spins:0 t
+      end
+
+let is_empty t = Atomic.get t.head.next = None
+let pushes t = Atomic.get t.pushes
+let pops t = Atomic.get t.pops

@@ -1,0 +1,19 @@
+(** Lock-free multi-producer single-consumer queue (Vyukov). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Any domain; one atomic exchange, no CAS loop. *)
+
+val pop : 'a t -> 'a option
+(** Consumer domain only. *)
+
+val pop_wait : ?spins:int -> 'a t -> 'a
+(** Consumer: spin (with [Domain.cpu_relax]), then yield, until an
+    element arrives. *)
+
+val is_empty : 'a t -> bool
+val pushes : 'a t -> int
+val pops : 'a t -> int

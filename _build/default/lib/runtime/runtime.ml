@@ -1,0 +1,11 @@
+(* Library interface: the PPC design principles on real OCaml 5
+   multicore — lock-free per-domain pools, MPSC cross-domain channels,
+   and the mutex-pool baseline they are measured against. *)
+
+module Mpsc_queue = Mpsc_queue
+module Spsc_ring = Spsc_ring
+module Fastcall = Fastcall
+module Locked_registry = Locked_registry
+module Domain_pool = Domain_pool
+module Striped_counter = Striped_counter
+module Treiber_stack = Treiber_stack

@@ -1,0 +1,66 @@
+(* Bounded single-producer single-consumer ring buffer.
+
+   Head and tail are owned by one side each; the opposite side only reads
+   the other's counter.  Power-of-two capacity, no locks, no allocation
+   after creation — the runtime analogue of a preallocated, serially
+   reused stack page. *)
+
+type 'a t = {
+  buffer : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (** next slot to read (consumer-owned) *)
+  tail : int Atomic.t;  (** next slot to write (producer-owned) *)
+}
+
+let create ~capacity =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Spsc_ring.create: capacity must be a positive power of two";
+  {
+    buffer = Array.make capacity None;
+    mask = capacity - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+let is_full t = length t > t.mask
+
+(* Producer only. *)
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buffer.(tail land t.mask) <- Some v;
+    (* Publish after the write. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+(* Consumer only. *)
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let slot = head land t.mask in
+    let v = t.buffer.(slot) in
+    t.buffer.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let rec push_wait t v =
+  if not (try_push t v) then begin
+    Domain.cpu_relax ();
+    push_wait t v
+  end
+
+let rec pop_wait t =
+  match try_pop t with
+  | Some v -> v
+  | None ->
+      Domain.cpu_relax ();
+      pop_wait t

@@ -1,0 +1,20 @@
+(** Bounded lock-free single-producer single-consumer ring. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be a positive power of two. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer domain only. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer domain only. *)
+
+val push_wait : 'a t -> 'a -> unit
+val pop_wait : 'a t -> 'a

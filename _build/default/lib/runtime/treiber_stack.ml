@@ -1,0 +1,44 @@
+(* Treiber stack: a lock-free LIFO on a single atomic head.
+
+   The runtime's analogue of the simulator's per-processor CD free lists
+   when a structure genuinely must be shared: push and pop are single-CAS
+   loops.  (The PPC lesson still applies — prefer the per-domain pools in
+   {!Fastcall}; this exists for the cases, like cross-domain frame
+   donation, where sharing is the point.) *)
+
+type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+type 'a t = { head : 'a node Atomic.t; pushes : int Atomic.t; pops : int Atomic.t }
+
+let create () =
+  { head = Atomic.make Nil; pushes = Atomic.make 0; pops = Atomic.make 0 }
+
+let rec push t value =
+  let old = Atomic.get t.head in
+  if Atomic.compare_and_set t.head old (Cons { value; next = old }) then
+    Atomic.incr t.pushes
+  else begin
+    Domain.cpu_relax ();
+    push t value
+  end
+
+let rec pop t =
+  match Atomic.get t.head with
+  | Nil -> None
+  | Cons { value; next } as old ->
+      if Atomic.compare_and_set t.head old next then begin
+        Atomic.incr t.pops;
+        Some value
+      end
+      else begin
+        Domain.cpu_relax ();
+        pop t
+      end
+
+let is_empty t = Atomic.get t.head = Nil
+let pushes t = Atomic.get t.pushes
+let pops t = Atomic.get t.pops
+
+let length t =
+  let rec go acc = function Nil -> acc | Cons { next; _ } -> go (acc + 1) next in
+  go 0 (Atomic.get t.head)

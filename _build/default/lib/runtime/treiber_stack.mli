@@ -1,0 +1,13 @@
+(** Lock-free Treiber stack (single-CAS push/pop). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val pushes : 'a t -> int
+val pops : 'a t -> int
+
+val length : 'a t -> int
+(** O(n) walk of the current head snapshot (diagnostics). *)

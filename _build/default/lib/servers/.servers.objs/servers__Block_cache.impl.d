@@ -1,0 +1,1 @@
+lib/servers/block_cache.ml: Array Call_ctx Device_server Hashtbl Kernel Machine Null_server Ppc Reg_args

@@ -1,0 +1,1 @@
+lib/servers/block_cache.mli: Device_server Kernel Ppc

@@ -1,0 +1,1 @@
+lib/servers/console.ml: Buffer Call_ctx Kernel List Machine Null_server Ppc Printf Queue Reg_args Sim String

@@ -1,0 +1,1 @@
+lib/servers/console.mli: Kernel Ppc Sim

@@ -1,0 +1,1 @@
+lib/servers/counter_server.ml: Array Call_ctx Kernel Machine Null_server Ppc Reg_args

@@ -1,0 +1,1 @@
+lib/servers/counter_server.mli: Kernel Ppc

@@ -1,0 +1,1 @@
+lib/servers/device_server.ml: Call_ctx Disk Hashtbl Kernel List Machine Null_server Ppc Reg_args

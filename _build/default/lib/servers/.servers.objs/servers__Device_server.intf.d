@@ -1,0 +1,1 @@
+lib/servers/device_server.mli: Disk Kernel Ppc

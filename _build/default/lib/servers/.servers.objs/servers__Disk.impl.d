@@ -1,0 +1,1 @@
+lib/servers/disk.ml: Kernel Machine Queue Sim

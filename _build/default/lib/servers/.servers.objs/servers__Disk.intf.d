@@ -1,0 +1,1 @@
+lib/servers/disk.mli: Kernel Machine Sim

@@ -1,0 +1,1 @@
+lib/servers/exception_server.ml: Call_ctx Kernel List Machine Null_server Ppc Reg_args Sim

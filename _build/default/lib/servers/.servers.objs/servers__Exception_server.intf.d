@@ -1,0 +1,1 @@
+lib/servers/exception_server.mli: Kernel Ppc Sim

@@ -1,0 +1,1 @@
+lib/servers/file_server.ml: Call_ctx Hashtbl Kernel Machine Naming Null_server Ppc Reg_args

@@ -1,0 +1,1 @@
+lib/servers/file_server.mli: Kernel Naming Ppc

@@ -1,0 +1,168 @@
+(* A block cache over the disk server.
+
+   The missing layer between Bob and the disk: GET_BLOCK hits answer from
+   an in-memory LRU of block buffers; misses read through the device
+   server (blocking their worker for the disk's latency) and insert under
+   the write lock, evicting the least recently used block at capacity.
+
+   Locking follows the A7 lesson: the index is read-mostly, so lookups
+   take the read side of a {!Kernel.Rw_spinlock} and only
+   insertions/evictions take the write side — concurrent hits on
+   different processors share. *)
+
+let op_get_block = 1
+
+type entry = {
+  block : int;
+  buf_addr : int;  (** the block's cache buffer (cached memory) *)
+  mutable last_used : int;
+}
+
+type t = {
+  ppc : Ppc.t;
+  dev : Device_server.t;
+  capacity : int;
+  block_words : int;
+  mutable ep : int;
+  index_lock : Kernel.Rw_spinlock.t;
+  entries : (int, entry) Hashtbl.t;
+  buffers : int array;  (** buffer slots, recycled on eviction *)
+  mutable free_slots : int list;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let ep_id t = t.ep
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let cached_blocks t = Hashtbl.length t.entries
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_used <- t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some best when best.last_used <= e.last_used -> acc
+        | _ -> Some e)
+      t.entries None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.entries e.block;
+      t.free_slots <- e.buf_addr :: t.free_slots;
+      t.evictions <- t.evictions + 1
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  let engine = ctx.Call_ctx.engine in
+  let self = ctx.Call_ctx.self in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 40;
+  Null_server.touch_stack ctx ~words:8;
+  if Reg_args.op args <> op_get_block then
+    Reg_args.set_rc args Reg_args.err_bad_request
+  else begin
+    let block = Reg_args.get args 0 in
+    (* Fast path: shared read lookup. *)
+    Kernel.Rw_spinlock.acquire_read engine cpu self t.index_lock;
+    Machine.Cpu.instr cpu 16;
+    let hit = Hashtbl.find_opt t.entries block in
+    (match hit with
+    | Some e ->
+        (* Stream the block out of the cache buffer. *)
+        Machine.Cpu.load_words cpu e.buf_addr t.block_words;
+        touch t e
+    | None -> ());
+    Kernel.Rw_spinlock.release_read engine cpu self t.index_lock;
+    match hit with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        Reg_args.set args 0 e.buf_addr;
+        Reg_args.set args 1 1;
+        Reg_args.set_rc args Reg_args.ok
+    | None -> (
+        t.misses <- t.misses + 1;
+        (* Read through: this worker blocks for the disk. *)
+        match Device_server.read_block t.dev ~client:self ~block with
+        | Error rc -> Reg_args.set_rc args rc
+        | Ok _ ->
+            Kernel.Rw_spinlock.acquire_write engine cpu self t.index_lock;
+            Machine.Cpu.instr cpu 24;
+            (* Someone may have inserted it while we slept on the disk. *)
+            let e =
+              match Hashtbl.find_opt t.entries block with
+              | Some e -> e
+              | None ->
+                  if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+                  let buf_addr =
+                    match t.free_slots with
+                    | slot :: rest ->
+                        t.free_slots <- rest;
+                        slot
+                    | [] -> t.buffers.(0) (* capacity >= 1 guarantees slots *)
+                  in
+                  (* Fill the buffer from the transfer. *)
+                  Machine.Cpu.store_words cpu buf_addr t.block_words;
+                  let e = { block; buf_addr; last_used = 0 } in
+                  Hashtbl.replace t.entries block e;
+                  e
+            in
+            touch t e;
+            Kernel.Rw_spinlock.release_write engine cpu self t.index_lock;
+            Reg_args.set args 0 e.buf_addr;
+            Reg_args.set args 1 0;
+            Reg_args.set_rc args Reg_args.ok)
+  end
+
+let install ?(capacity = 16) ?(block_bytes = 1024) ppc ~dev =
+  if capacity <= 0 then invalid_arg "Block_cache.install: capacity";
+  let kern = Ppc.kernel ppc in
+  let buffers =
+    Array.init capacity (fun _ -> Kernel.alloc kern ~bytes:block_bytes ~node:0)
+  in
+  let t =
+    {
+      ppc;
+      dev;
+      capacity;
+      block_words = block_bytes / 4 / 8;
+      (* stream a representative 1/8 of the block per request *)
+      ep = -1;
+      index_lock =
+        Kernel.Rw_spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ();
+      entries = Hashtbl.create 64;
+      buffers;
+      free_slots = Array.to_list buffers;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"block-cache" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep <- Ppc.Entry_point.id ep;
+  t
+
+(* Client stub: returns (buffer address, was_hit). *)
+let get_block t ~client ~block =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 block;
+  Reg_args.set_op args ~op:op_get_block ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op:op_get_block ~flags:0)
+      ~ep_id:t.ep args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0, Reg_args.get args 1 = 1)
+  else Error rc

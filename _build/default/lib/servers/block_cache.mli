@@ -1,0 +1,18 @@
+(** Block cache over the disk server: LRU of block buffers under a
+    readers-writer lock; misses read through the device server. *)
+
+val op_get_block : int
+
+type t
+
+val install : ?capacity:int -> ?block_bytes:int -> Ppc.t -> dev:Device_server.t -> t
+
+val ep_id : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val cached_blocks : t -> int
+
+val get_block :
+  t -> client:Kernel.Process.t -> block:int -> (int * bool, int) result
+(** Returns (buffer address, was a cache hit). *)

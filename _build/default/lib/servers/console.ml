@@ -1,0 +1,215 @@
+(* A console (TTY) server.
+
+   A second interrupt-driven device beside the disk, with different
+   dynamics: input arrives character by character at arbitrary times
+   (each delivery raises the UART's vector, dispatched as an async PPC —
+   Section 4.4), a line discipline accumulates characters and echoes
+   them, and READ_LINE calls block their worker until a full line is
+   available.  Output writes are synchronous PPCs charged per character.
+
+   The register-only call protocol returns a line *id*; the bytes
+   themselves are retrieved out-of-band (in the real system, via a region
+   grant and the CopyServer — see [fetch_line]). *)
+
+let op_read_line = 1
+let op_write = 2
+let op_rx = 3  (** injected by the UART interrupt *)
+
+type reader = {
+  r_proc : Kernel.Process.t;
+  r_kcpu : Kernel.Kcpu.t;
+  mutable r_line : int option;  (** filled in by the matcher before wake *)
+}
+
+type t = {
+  ppc : Ppc.t;
+  mutable ep_id : int;
+  uart_vector : int;
+  owner_cpu : int;
+  rx_staging : char Queue.t;  (** characters the "UART" has latched *)
+  mutable partial : char list;  (** current line, reversed *)
+  mutable lines : (int * string) list;  (** completed, newest first *)
+  mutable next_line_id : int;
+  waiting : reader Queue.t;
+  mutable ready_lines : int Queue.t;  (** ids not yet claimed by a reader *)
+  mutable chars_rx : int;
+  mutable chars_tx : int;
+  mutable echoes : int;
+  output : Buffer.t;
+}
+
+let ep_id t = t.ep_id
+let chars_received t = t.chars_rx
+let chars_written t = t.chars_tx
+let echoes t = t.echoes
+let output t = Buffer.contents t.output
+let waiting_readers t = Queue.length t.waiting
+
+let fetch_line t ~line_id = List.assoc_opt line_id t.lines
+
+(* Serve queued completed lines to blocked readers, oldest first. *)
+let match_readers t =
+  while
+    (not (Queue.is_empty t.waiting)) && not (Queue.is_empty t.ready_lines)
+  do
+    let line = Queue.pop t.ready_lines in
+    let r = Queue.pop t.waiting in
+    r.r_line <- Some line;
+    Kernel.Kcpu.ready r.r_kcpu r.r_proc
+  done
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 30;
+  Null_server.touch_stack ctx ~words:6;
+  let op = Reg_args.op args in
+  if op = op_write then begin
+    (* Synchronous output: cost per character (device FIFO writes are
+       uncached device-register stores). *)
+    let len = Reg_args.get args 0 in
+    let tag = Reg_args.get args 1 in
+    for _ = 1 to len do
+      Machine.Cpu.instr cpu 2;
+      Machine.Cpu.uncached_store cpu (ctx.Call_ctx.server_data + 0x80)
+    done;
+    t.chars_tx <- t.chars_tx + len;
+    Buffer.add_string t.output (Printf.sprintf "[out:%d x%d]" tag len);
+    Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_read_line then begin
+    (* Take the oldest completed line, blocking this worker until one
+       arrives. *)
+    let id =
+      if Queue.is_empty t.ready_lines then begin
+        let r =
+          { r_proc = ctx.Call_ctx.self; r_kcpu = ctx.Call_ctx.kcpu;
+            r_line = None }
+        in
+        Queue.push r t.waiting;
+        Kernel.Kcpu.block ctx.Call_ctx.kcpu ctx.Call_ctx.self;
+        r.r_line
+      end
+      else Some (Queue.pop t.ready_lines)
+    in
+    Machine.Cpu.instr cpu 12;
+    match id with
+    | Some id -> (
+        match fetch_line t ~line_id:id with
+        | Some line ->
+            Reg_args.set args 0 id;
+            Reg_args.set args 1 (String.length line);
+            Reg_args.set_rc args Reg_args.ok
+        | None -> Reg_args.set_rc args Reg_args.err_bad_request)
+    | None -> Reg_args.set_rc args Reg_args.err_bad_request
+  end
+  else if op = op_rx then begin
+    (* Interrupt-dispatched receive: drain the latched characters through
+       the line discipline, echoing each. *)
+    let rec drain () =
+      match Queue.take_opt t.rx_staging with
+      | None -> ()
+      | Some c ->
+          Machine.Cpu.instr cpu 6;
+          Machine.Cpu.uncached_load cpu (ctx.Call_ctx.server_data + 0x84);
+          t.chars_rx <- t.chars_rx + 1;
+          (* Echo. *)
+          Machine.Cpu.uncached_store cpu (ctx.Call_ctx.server_data + 0x80);
+          t.echoes <- t.echoes + 1;
+          (if c = '\n' then begin
+             let line =
+               String.init (List.length t.partial) (fun i ->
+                   List.nth (List.rev t.partial) i)
+             in
+             let id = t.next_line_id in
+             t.next_line_id <- id + 1;
+             t.lines <- (id, line) :: t.lines;
+             t.partial <- [];
+             Queue.push id t.ready_lines
+           end
+           else t.partial <- c :: t.partial);
+          drain ()
+    in
+    drain ();
+    match_readers t;
+    Reg_args.set_rc args Reg_args.ok
+  end
+  else Reg_args.set_rc args Reg_args.err_bad_request
+
+let install ?(uart_vector = 0x20) ?(owner_cpu = 0) ppc =
+  let t =
+    {
+      ppc;
+      ep_id = -1;
+      uart_vector;
+      owner_cpu;
+      rx_staging = Queue.create ();
+      partial = [];
+      lines = [];
+      next_line_id = 1;
+      waiting = Queue.create ();
+      ready_lines = Queue.create ();
+      chars_rx = 0;
+      chars_tx = 0;
+      echoes = 0;
+      output = Buffer.create 64;
+    }
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"console" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  let kern = Ppc.kernel ppc in
+  Ppc.Intr_dispatch.attach (Ppc.engine ppc) ~vector:uart_vector
+    ~kcpu:(Kernel.kcpu kern owner_cpu) ~ep_id:t.ep_id
+    ~make_args:(fun () ->
+      let args = Ppc.Reg_args.make () in
+      Ppc.Reg_args.set_op args ~op:op_rx ~flags:0;
+      args)
+    ();
+  t
+
+(* The "hardware" side: a character arrives on the UART at the current
+   simulated time.  Safe from event context. *)
+let inject_char t c =
+  Queue.push c t.rx_staging;
+  Kernel.Interrupt.raise_vector
+    (Kernel.interrupts (Ppc.kernel t.ppc))
+    ~vector:t.uart_vector
+
+(* Script a whole input arriving over time. *)
+let script_input t ~start ~gap text =
+  let kern = Ppc.kernel t.ppc in
+  String.iteri
+    (fun i c ->
+      Sim.Engine.schedule_at (Kernel.engine kern)
+        (Sim.Time.add start (Sim.Time.ns (i * gap)))
+        (fun () -> inject_char t c))
+    text
+
+(* Client stubs. *)
+
+let read_line t ~client =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set_op args ~op:op_read_line ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op:op_read_line ~flags:0)
+      ~ep_id:t.ep_id args
+  in
+  if rc = Reg_args.ok then
+    match fetch_line t ~line_id:(Reg_args.get args 0) with
+    | Some line -> Ok line
+    | None -> Error Reg_args.err_bad_request
+  else Error rc
+
+let write t ~client ~tag ~len =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 len;
+  Reg_args.set args 1 tag;
+  Reg_args.set_op args ~op:op_write ~flags:0;
+  Ppc.call t.ppc ~client
+    ~opflags:(Reg_args.op_flags ~op:op_write ~flags:0)
+    ~ep_id:t.ep_id args

@@ -1,0 +1,35 @@
+(** Console (TTY) server: interrupt-driven character input with a line
+    discipline and echo, blocking READ_LINE calls, per-character output
+    writes. *)
+
+val op_read_line : int
+val op_write : int
+val op_rx : int
+
+type t
+
+val install : ?uart_vector:int -> ?owner_cpu:int -> Ppc.t -> t
+
+val ep_id : t -> int
+val chars_received : t -> int
+val chars_written : t -> int
+val echoes : t -> int
+val output : t -> string
+val waiting_readers : t -> int
+
+val fetch_line : t -> line_id:int -> string option
+(** Retrieve a completed line's bytes (stands in for a CopyServer
+    transfer through a region grant). *)
+
+val inject_char : t -> char -> unit
+(** The hardware side: one character arrives on the UART now.  Safe from
+    event context. *)
+
+val script_input : t -> start:Sim.Time.t -> gap:int -> string -> unit
+(** Schedule a whole string to arrive, one character every [gap]
+    nanoseconds from [start]. *)
+
+val read_line : t -> client:Kernel.Process.t -> (string, int) result
+(** Synchronous: blocks (in simulation) until a full line arrives. *)
+
+val write : t -> client:Kernel.Process.t -> tag:int -> len:int -> int

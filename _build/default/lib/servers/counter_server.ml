@@ -1,0 +1,111 @@
+(* A counter server in two builds: per-processor sharded state (the
+   PPC-friendly design: requests touch only processor-local counters) and
+   a single locked global counter (the anti-pattern).  Used by ablation
+   benches to show how server-side locality composes with the IPC
+   facility's. *)
+
+type mode = Sharded | Global_lock
+
+let op_increment = 1
+let op_read = 2
+
+type t = {
+  ppc : Ppc.t;
+  mode : mode;
+  shards : int array;  (** per-CPU counts (Sharded) *)
+  shard_addr : int array;  (** per-CPU counter words, locally homed *)
+  mutable global : int;
+  global_addr : int;
+  global_lock : Kernel.Spinlock.t;
+  mutable ep_id : int;
+}
+
+let ep_id t = t.ep_id
+let mode t = t.mode
+
+(* Reading a sharded counter sums the shards (rare, expensive);
+   incrementing touches only the local shard (common, cheap). *)
+let value t =
+  match t.mode with
+  | Sharded -> Array.fold_left ( + ) 0 t.shards
+  | Global_lock -> t.global
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 20;
+  Null_server.touch_stack ctx ~words:4;
+  let op = Reg_args.op args in
+  let node = Machine.Cpu.node cpu in
+  match t.mode with
+  | Sharded ->
+      if op = op_increment then begin
+        Machine.Cpu.load cpu t.shard_addr.(node);
+        Machine.Cpu.store cpu t.shard_addr.(node);
+        t.shards.(node) <- t.shards.(node) + 1;
+        Reg_args.set_rc args Reg_args.ok
+      end
+      else if op = op_read then begin
+        (* Gather: one (possibly remote) read per shard. *)
+        Array.iter (fun addr -> Machine.Cpu.uncached_load cpu addr) t.shard_addr;
+        Reg_args.set args 0 (value t);
+        Reg_args.set_rc args Reg_args.ok
+      end
+      else Reg_args.set_rc args Reg_args.err_bad_request
+  | Global_lock ->
+      if op = op_increment || op = op_read then begin
+        let engine = ctx.Call_ctx.engine in
+        let self = ctx.Call_ctx.self in
+        Kernel.Spinlock.acquire engine cpu self t.global_lock;
+        Machine.Cpu.uncached_load cpu t.global_addr;
+        if op = op_increment then begin
+          Machine.Cpu.uncached_store cpu t.global_addr;
+          t.global <- t.global + 1
+        end;
+        Kernel.Spinlock.release engine cpu self t.global_lock;
+        Reg_args.set args 0 t.global;
+        Reg_args.set_rc args Reg_args.ok
+      end
+      else Reg_args.set_rc args Reg_args.err_bad_request
+
+let install ppc ~mode =
+  let kern = Ppc.kernel ppc in
+  let n = Kernel.n_cpus kern in
+  let t =
+    {
+      ppc;
+      mode;
+      shards = Array.make n 0;
+      shard_addr =
+        Array.init n (fun node -> Kernel.alloc kern ~bytes:16 ~node);
+      global = 0;
+      global_addr = Kernel.alloc kern ~bytes:16 ~node:0;
+      global_lock =
+        Kernel.Spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ();
+      ep_id = -1;
+    }
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"counter" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  t
+
+let increment t ~client =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set_op args ~op:op_increment ~flags:0;
+  Ppc.call t.ppc ~client
+    ~opflags:(Reg_args.op_flags ~op:op_increment ~flags:0)
+    ~ep_id:t.ep_id args
+
+let read t ~client =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set_op args ~op:op_read ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op:op_read ~flags:0)
+      ~ep_id:t.ep_id args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0) else Error rc

@@ -1,0 +1,17 @@
+(** Counter server in two builds: per-processor shards (locality-friendly)
+    vs a single locked global counter (the anti-pattern), for ablations. *)
+
+type mode = Sharded | Global_lock
+
+val op_increment : int
+val op_read : int
+
+type t
+
+val install : Ppc.t -> mode:mode -> t
+val ep_id : t -> int
+val mode : t -> mode
+val value : t -> int
+
+val increment : t -> client:Kernel.Process.t -> int
+val read : t -> client:Kernel.Process.t -> (int, int) result

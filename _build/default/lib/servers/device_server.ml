@@ -1,0 +1,127 @@
+(* The disk device server.
+
+   Two faces of the same entry point:
+
+   - clients call READ_BLOCK synchronously: the worker (on the client's
+     processor) submits to the disk's shared queue and *blocks* until the
+     completion arrives — demonstrating that PPC workers may block inside
+     the server without stalling the facility;
+   - the disk's completion interrupt is attached through the PPC
+     interrupt-dispatch variant (Section 4.4): the handler receives an
+     ordinary-looking PPC whose opcode is COMPLETE, and releases the
+     blocked workers.
+
+   Blocked workers are parked in a request table keyed by request id. *)
+
+let op_read_block = 1
+let op_complete = 2
+
+type waiter = { w_proc : Kernel.Process.t; w_kcpu : Kernel.Kcpu.t }
+
+type t = {
+  ppc : Ppc.t;
+  disk : Disk.t;
+  mutable ep_id : int;
+  waiting : (int, waiter) Hashtbl.t;
+  mutable next_req : int;
+  mutable reads : int;
+  mutable completions : int;
+}
+
+let ep_id t = t.ep_id
+let reads t = t.reads
+let completions t = t.completions
+let outstanding t = Hashtbl.length t.waiting
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 40;
+  Null_server.touch_stack ctx ~words:8;
+  let op = Reg_args.op args in
+  if op = op_read_block then begin
+    t.reads <- t.reads + 1;
+    let req_id = t.next_req in
+    t.next_req <- req_id + 1;
+    Hashtbl.replace t.waiting req_id
+      { w_proc = ctx.Call_ctx.self; w_kcpu = ctx.Call_ctx.kcpu };
+    Disk.submit t.disk ~cpu ~proc:ctx.Call_ctx.self ~req_id;
+    (* Block this worker until the completion handler releases it.  The
+       processor is dispatched to other work meanwhile. *)
+    Kernel.Kcpu.block ctx.Call_ctx.kcpu ctx.Call_ctx.self;
+    (* Completion: hand the data description back. *)
+    Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 20;
+    Reg_args.set args 1 req_id;
+    Reg_args.set_rc args Reg_args.ok
+  end
+  else if op = op_complete then begin
+    (* Injected by the interrupt dispatcher: release every completed
+       request's worker (a cross-CPU ready, not a hand-off). *)
+    let ids = Disk.take_completed t.disk in
+    List.iter
+      (fun req_id ->
+        Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 12;
+        match Hashtbl.find_opt t.waiting req_id with
+        | None -> ()
+        | Some w ->
+            Hashtbl.remove t.waiting req_id;
+            t.completions <- t.completions + 1;
+            Kernel.Kcpu.ready w.w_kcpu w.w_proc)
+      ids;
+    Reg_args.set_rc args Reg_args.ok
+  end
+  else Reg_args.set_rc args Reg_args.err_bad_request
+
+let install ppc ~disk =
+  let t =
+    {
+      ppc;
+      disk;
+      ep_id = -1;
+      waiting = Hashtbl.create 32;
+      next_req = 1;
+      reads = 0;
+      completions = 0;
+    }
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"disk-server" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  (* Attach the disk's completion vector: interrupts become async PPCs
+     carrying OP_COMPLETE. *)
+  let kern = Ppc.kernel ppc in
+  Ppc.Intr_dispatch.attach (Ppc.engine ppc) ~vector:(Disk.vector disk)
+    ~kcpu:(Kernel.kcpu kern (Disk.owner_cpu disk))
+    ~ep_id:t.ep_id
+    ~make_args:(fun () ->
+      let args = Ppc.Reg_args.make () in
+      Ppc.Reg_args.set_op args ~op:op_complete ~flags:0;
+      args)
+    ();
+  t
+
+(* Client stub: synchronous block read. *)
+let read_block t ~client ~block =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 block;
+  Reg_args.set_op args ~op:op_read_block ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op:op_read_block ~flags:0)
+      ~ep_id:t.ep_id args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 1) else Error rc
+
+(* Asynchronous prefetch: fire-and-forget read (Section 4.4's example —
+   "asynchronous PPC requests are used, for example, to initiate a file
+   block prefetch request"). *)
+let prefetch_block t ~client ~block ?on_complete () =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 block;
+  Reg_args.set_op args ~op:op_read_block ~flags:1;
+  Ppc.async_call t.ppc ~client
+    ~opflags:(Reg_args.op_flags ~op:op_read_block ~flags:1)
+    ?on_complete ~ep_id:t.ep_id args

@@ -1,0 +1,28 @@
+(** The disk device server: synchronous block reads that block their
+    worker, completions delivered by interrupt-dispatched PPCs, and
+    asynchronous prefetch (Sections 4.3/4.4). *)
+
+val op_read_block : int
+val op_complete : int
+
+type t
+
+val install : Ppc.t -> disk:Disk.t -> t
+
+val ep_id : t -> int
+val reads : t -> int
+val completions : t -> int
+val outstanding : t -> int
+
+val read_block :
+  t -> client:Kernel.Process.t -> block:int -> (int, int) result
+(** Synchronous read: returns the request id that completed. *)
+
+val prefetch_block :
+  t ->
+  client:Kernel.Process.t ->
+  block:int ->
+  ?on_complete:(Ppc.Reg_args.t -> unit) ->
+  unit ->
+  unit
+(** Fire-and-forget asynchronous read (the paper's prefetch example). *)

@@ -1,0 +1,90 @@
+(* A simulated disk.
+
+   The paper's Section 4.3 example of a cross-processor interaction that
+   does *not* need a cross-processor PPC: "interactions with a disk only
+   involve accesses to shared queues: in the case of a busy disk,
+   appending the request to the end of the disk queue; in the case of an
+   idle disk, additionally [starting service]".
+
+   Submission, from any processor, manipulates the shared request queue
+   under a spinlock with uncached accesses.  Completion raises the disk's
+   interrupt vector on its owning processor; the device server attaches
+   that vector through the PPC interrupt-dispatch variant. *)
+
+type t = {
+  kern : Kernel.t;
+  owner_cpu : int;
+  vector : int;
+  latency : Sim.Time.t;
+  queue_addr : int;
+  lock : Kernel.Spinlock.t;
+  pending : int Queue.t;  (** request ids awaiting service *)
+  mutable completed : int list;  (** serviced, awaiting pickup *)
+  mutable busy : bool;
+  mutable submitted : int;
+  mutable serviced : int;
+}
+
+let create kern ~owner_cpu ~vector ~latency =
+  let queue_addr = Kernel.alloc kern ~bytes:128 ~node:owner_cpu in
+  {
+    kern;
+    owner_cpu;
+    vector;
+    latency;
+    queue_addr;
+    lock =
+      Kernel.Spinlock.create
+        ~addr:(Kernel.alloc kern ~bytes:16 ~node:owner_cpu)
+        ();
+    pending = Queue.create ();
+    completed = [];
+    busy = false;
+    submitted = 0;
+    serviced = 0;
+  }
+
+let owner_cpu t = t.owner_cpu
+let vector t = t.vector
+let submitted t = t.submitted
+let serviced t = t.serviced
+let queue_depth t = Queue.length t.pending
+
+(* Service one request: after the latency, mark it complete, raise the
+   interrupt, and start the next request if one is queued. *)
+let rec start_service t =
+  match Queue.take_opt t.pending with
+  | None -> t.busy <- false
+  | Some req_id ->
+      t.busy <- true;
+      Kernel.Klog.Server_log.debug (fun m -> m "disk: servicing req %d" req_id);
+      Sim.Engine.schedule (Kernel.engine t.kern) ~after:t.latency (fun () ->
+          t.serviced <- t.serviced + 1;
+          t.completed <- t.completed @ [ req_id ];
+          Kernel.Interrupt.raise_vector (Kernel.interrupts t.kern)
+            ~vector:t.vector;
+          start_service t)
+
+(* Submit from the calling process's CPU: shared-queue manipulation under
+   the disk lock. *)
+let submit t ~cpu ~proc ~req_id =
+  let engine = Kernel.engine t.kern in
+  t.submitted <- t.submitted + 1;
+  Kernel.Spinlock.acquire engine cpu proc t.lock;
+  Machine.Cpu.instr cpu 10;
+  Machine.Cpu.uncached_store cpu t.queue_addr;
+  Machine.Cpu.uncached_store cpu (t.queue_addr + 8);
+  Queue.push req_id t.pending;
+  let was_idle = not t.busy in
+  if was_idle then t.busy <- true;
+  Kernel.Spinlock.release engine cpu proc t.lock;
+  if was_idle then begin
+    (* Re-take the request we just queued and begin service. *)
+    t.busy <- false;
+    start_service t
+  end
+
+let take_completed t =
+  let ids = t.completed in
+  t.completed <- [];
+  ids

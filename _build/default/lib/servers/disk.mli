@@ -1,0 +1,21 @@
+(** Simulated disk: shared request queue under a spinlock; completions
+    raise an interrupt vector on the owning processor (Section 4.3). *)
+
+type t
+
+val create :
+  Kernel.t -> owner_cpu:int -> vector:int -> latency:Sim.Time.t -> t
+
+val owner_cpu : t -> int
+val vector : t -> int
+val submitted : t -> int
+val serviced : t -> int
+val queue_depth : t -> int
+
+val submit : t -> cpu:Machine.Cpu.t -> proc:Kernel.Process.t -> req_id:int -> unit
+(** Append a request from the calling process's CPU (charged shared-queue
+    traffic); starts service if the disk was idle. *)
+
+val take_completed : t -> int list
+(** Drain the completion list (called by the interrupt-dispatched
+    handler). *)

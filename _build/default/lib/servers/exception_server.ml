@@ -1,0 +1,68 @@
+(* An exception server: the paper's example consumer of upcalls
+   ("currently used for debugging and exception handling", Section 4.4).
+
+   System components deliver exception notifications as upcalls; the
+   server records them and optionally forwards a kill request to Frank
+   for fatally faulting entry points. *)
+
+type event = {
+  program : Kernel.Program.id;
+  code : int;
+  detail : int;
+  at : Sim.Time.t;
+}
+
+type t = {
+  ppc : Ppc.t;
+  mutable ep_id : int;
+  mutable events : event list;
+  mutable delivered : int;
+}
+
+let ep_id t = t.ep_id
+let delivered t = t.delivered
+let events t = List.rev t.events
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 30;
+  Null_server.touch_stack ctx ~words:6;
+  t.delivered <- t.delivered + 1;
+  t.events <-
+    {
+      program = Reg_args.get args 0;
+      code = Reg_args.get args 1;
+      detail = Reg_args.get args 2;
+      at = Sim.Engine.now ctx.Call_ctx.engine;
+    }
+    :: t.events;
+  Reg_args.set_rc args Reg_args.ok
+
+let install ppc =
+  let t = { ppc; ep_id = -1; events = []; delivered = 0 } in
+  let server = Ppc.make_kernel_server ppc ~name:"exception-server" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  t
+
+(* Receive every PPC handler fault as an upcall (Section 4.4's
+   "exception handling" use).  [code] 1 = handler fault; detail carries
+   the faulting entry point. *)
+let attach_to_faults t =
+  Ppc.Engine.set_fault_notifier (Ppc.engine t.ppc)
+    (Some
+       (fun ~cpu_index ~ep_id ~caller_program ->
+         let args = Ppc.Reg_args.make () in
+         Ppc.Reg_args.set args 0 caller_program;
+         Ppc.Reg_args.set args 1 1;
+         Ppc.Reg_args.set args 2 ep_id;
+         Ppc.Upcall.trigger (Ppc.engine t.ppc) ~cpu_index ~ep_id:t.ep_id args))
+
+(* Deliver an exception notification as an upcall on [cpu_index]. *)
+let notify t ~cpu_index ~program ~code ~detail =
+  let args = Ppc.Reg_args.make () in
+  Ppc.Reg_args.set args 0 program;
+  Ppc.Reg_args.set args 1 code;
+  Ppc.Reg_args.set args 2 detail;
+  Ppc.Upcall.trigger (Ppc.engine t.ppc) ~cpu_index ~ep_id:t.ep_id args

@@ -1,0 +1,25 @@
+(** Exception server: consumes upcall-delivered exception notifications
+    (Section 4.4). *)
+
+type event = {
+  program : Kernel.Program.id;
+  code : int;
+  detail : int;
+  at : Sim.Time.t;
+}
+
+type t
+
+val install : Ppc.t -> t
+val ep_id : t -> int
+val delivered : t -> int
+val events : t -> event list
+(** Oldest first. *)
+
+val attach_to_faults : t -> unit
+(** Subscribe to PPC handler faults: each becomes an upcall-delivered
+    event with [code] 1 and the faulting entry point as [detail]. *)
+
+val notify :
+  t -> cpu_index:int -> program:Kernel.Program.id -> code:int -> detail:int -> unit
+(** Deliver a notification as an upcall on [cpu_index]. *)

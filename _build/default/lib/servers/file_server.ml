@@ -1,0 +1,233 @@
+(* Bob, the file server.
+
+   The workload server of the paper's Figure 3: clients repeatedly
+   request the length of an open file.  The handler does the real work a
+   file server would — authenticate the caller, walk the (read-only,
+   cachable) file index, then take the file's lock and read its mutable
+   metadata, which on a coherence-free machine means uncached shared
+   accesses.
+
+   Two sharing regimes fall out naturally:
+
+   - *different files*: each client hits its own file; locks are
+     uncontended and metadata is homed near its usual caller, so
+     throughput scales linearly with processors;
+   - *a single file*: every call serialises on that file's spinlock, and
+     throughput saturates once enough processors contend (the paper
+     measures saturation at four).
+
+   Worker initialization (Section 4.5.3) is exercised for real: a fresh
+   worker's first call runs [init_handler], which charges one-time setup
+   and swaps in the steady-state routine. *)
+
+(* Handler work knobs, calibrated so the sequential GetLength costs
+   ~33 us of server time (the paper: 66 us total, half IPC half server). *)
+type work_profile = {
+  path_instr : int;  (** instructions outside the critical section *)
+  index_loads : int;  (** cached loads walking the file index *)
+  stack_words : int;
+  lock_hold_instr : int;  (** instructions inside the critical section *)
+  meta_accesses : int;  (** uncached shared metadata accesses (locked) *)
+  init_instr : int;  (** one-time worker initialization *)
+}
+
+let default_profile =
+  {
+    path_instr = 220;
+    index_loads = 24;
+    stack_words = 12;
+    lock_hold_instr = 80;
+    meta_accesses = 10;
+    init_instr = 400;
+  }
+
+let op_create = 1
+let op_get_length = 2
+let op_set_length = 3
+
+type lock_mode = Mutex | Rw
+(** How per-file metadata is protected: one spinlock (the paper's "a
+    single lock on entry would be sufficient"), or a readers-writer lock
+    so concurrent GetLengths share. *)
+
+type file = {
+  file_id : int;
+  mutable length : int;
+  lock : Kernel.Spinlock.t;
+  rw : Kernel.Rw_spinlock.t;
+  meta_addr : int;  (** mutable shared metadata: uncached *)
+  home : int;
+}
+
+type t = {
+  ppc : Ppc.t;
+  profile : work_profile;
+  lock_mode : lock_mode;
+  auth : Naming.Auth.t;
+  files : (int, file) Hashtbl.t;
+  index_addr : int;  (** read-only index: cachable *)
+  mutable ep_id : int;
+  mutable get_length_calls : int;
+  mutable worker_inits : int;
+}
+
+let files t = Hashtbl.length t.files
+let ep_id t = t.ep_id
+let get_length_calls t = t.get_length_calls
+let worker_inits t = t.worker_inits
+let auth t = t.auth
+
+let create_file t ~file_id ~length ~node =
+  if Hashtbl.mem t.files file_id then
+    invalid_arg "File_server.create_file: file exists";
+  let kern = Ppc.kernel t.ppc in
+  let meta_addr = Kernel.alloc kern ~bytes:64 ~node in
+  let file =
+    {
+      file_id;
+      length;
+      lock =
+        Kernel.Spinlock.create ~transfer_cycles:60
+          ~addr:(Kernel.alloc kern ~bytes:16 ~node)
+          ();
+      rw =
+        Kernel.Rw_spinlock.create ~transfer_cycles:60
+          ~addr:(Kernel.alloc kern ~bytes:16 ~node)
+          ();
+      meta_addr;
+      home = node;
+    }
+  in
+  Hashtbl.replace t.files file_id file;
+  file
+
+let find_file t ~file_id = Hashtbl.find_opt t.files file_id
+
+(* The steady-state request handler. *)
+let real_handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  let p = t.profile in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu p.path_instr;
+  Null_server.touch_stack ctx ~words:p.stack_words;
+  if Naming.Auth.require t.auth ctx ~perm:Naming.Auth.Read args then begin
+    (* Walk the file index (read-only, cachable). *)
+    let file_id = Reg_args.get args 0 in
+    for i = 0 to p.index_loads - 1 do
+      Machine.Cpu.load cpu (t.index_addr + (file_id mod 16 * 64) + (4 * i))
+    done;
+    let op = Reg_args.op args in
+    if op = op_create then begin
+      (* Creation through the PPC interface homes metadata on the calling
+         processor. *)
+      if Hashtbl.mem t.files file_id then
+        Reg_args.set_rc args Reg_args.err_bad_request
+      else begin
+        ignore
+          (create_file t ~file_id ~length:(Reg_args.get args 1)
+             ~node:(Machine.Cpu.node cpu));
+        Reg_args.set_rc args Reg_args.ok
+      end
+    end
+    else
+      match Hashtbl.find_opt t.files file_id with
+      | None -> Reg_args.set_rc args Reg_args.err_bad_request
+      | Some file -> (
+        let engine = ctx.Call_ctx.engine in
+        let self = ctx.Call_ctx.self in
+        if op = op_get_length then begin
+          t.get_length_calls <- t.get_length_calls + 1;
+          (match t.lock_mode with
+          | Mutex -> Kernel.Spinlock.acquire engine cpu self file.lock
+          | Rw -> Kernel.Rw_spinlock.acquire_read engine cpu self file.rw);
+          Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu
+            p.lock_hold_instr;
+          for i = 0 to p.meta_accesses - 1 do
+            Machine.Cpu.uncached_load cpu (file.meta_addr + (4 * (i mod 16)))
+          done;
+          let len = file.length in
+          (match t.lock_mode with
+          | Mutex -> Kernel.Spinlock.release engine cpu self file.lock
+          | Rw -> Kernel.Rw_spinlock.release_read engine cpu self file.rw);
+          Reg_args.set args 0 len;
+          Reg_args.set_rc args Reg_args.ok
+        end
+        else if op = op_set_length then begin
+          (match t.lock_mode with
+          | Mutex -> Kernel.Spinlock.acquire engine cpu self file.lock
+          | Rw -> Kernel.Rw_spinlock.acquire_write engine cpu self file.rw);
+          Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu
+            p.lock_hold_instr;
+          for i = 0 to p.meta_accesses - 1 do
+            Machine.Cpu.uncached_store cpu (file.meta_addr + (4 * (i mod 16)))
+          done;
+          file.length <- Reg_args.get args 1;
+          (match t.lock_mode with
+          | Mutex -> Kernel.Spinlock.release engine cpu self file.lock
+          | Rw -> Kernel.Rw_spinlock.release_write engine cpu self file.rw);
+          Reg_args.set_rc args Reg_args.ok
+        end
+        else Reg_args.set_rc args Reg_args.err_bad_request)
+  end
+
+(* Worker initialization (Section 4.5.3): the first call into a fresh
+   worker runs this, which does one-time setup, swaps the handling
+   routine, and then services the request. *)
+let init_handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  t.worker_inits <- t.worker_inits + 1;
+  Machine.Cpu.instr ~code:ctx.Ppc.Call_ctx.server_code ctx.Ppc.Call_ctx.cpu
+    t.profile.init_instr;
+  let real = real_handler t in
+  ctx.Ppc.Call_ctx.swap_handler real;
+  real ctx args
+
+let install ?(profile = default_profile) ?(name = "bob") ?(lock_mode = Mutex)
+    ppc =
+  let kern = Ppc.kernel ppc in
+  let server = Ppc.make_user_server ppc ~name () in
+  let t =
+    {
+      ppc;
+      profile;
+      lock_mode;
+      auth =
+        Naming.Auth.create
+          ~data_addr:(Kernel.alloc kern ~bytes:512 ~node:0)
+          ();
+      files = Hashtbl.create 64;
+      index_addr = Kernel.alloc kern ~bytes:1024 ~node:0;
+      ep_id = -1;
+      get_length_calls = 0;
+      worker_inits = 0;
+    }
+  in
+  let ep = Ppc.register_direct ppc ~server ~handler:(init_handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  (t, ep)
+
+(* Client-side stubs. *)
+
+let simple_call t ~client ~op ~file_id ~value =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 file_id;
+  Reg_args.set args 1 value;
+  Reg_args.set_op args ~op ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client ~opflags:(Reg_args.op_flags ~op ~flags:0)
+      ~ep_id:t.ep_id args
+  in
+  (rc, Reg_args.get args 0)
+
+let get_length t ~client ~file_id =
+  match simple_call t ~client ~op:op_get_length ~file_id ~value:0 with
+  | rc, len when rc = Ppc.Reg_args.ok -> Ok len
+  | rc, _ -> Error rc
+
+let set_length t ~client ~file_id ~length =
+  fst (simple_call t ~client ~op:op_set_length ~file_id ~value:length)
+
+let create_via_call t ~client ~file_id ~length =
+  fst (simple_call t ~client ~op:op_create ~file_id ~value:length)

@@ -1,0 +1,56 @@
+(** Bob, the file server: the Figure-3 workload server.  GetLength walks
+    the cachable file index, then reads mutable metadata under the file's
+    spinlock (uncached shared accesses on a coherence-free machine). *)
+
+type work_profile = {
+  path_instr : int;
+  index_loads : int;
+  stack_words : int;
+  lock_hold_instr : int;
+  meta_accesses : int;
+  init_instr : int;
+}
+
+val default_profile : work_profile
+(** Calibrated so a sequential GetLength costs ~33 us of server time
+    (paper: 66 us total, half IPC, half file system). *)
+
+val op_create : int
+val op_get_length : int
+val op_set_length : int
+
+type lock_mode = Mutex | Rw
+
+type file = {
+  file_id : int;
+  mutable length : int;
+  lock : Kernel.Spinlock.t;
+  rw : Kernel.Rw_spinlock.t;
+  meta_addr : int;
+  home : int;
+}
+
+type t
+
+val install :
+  ?profile:work_profile ->
+  ?name:string ->
+  ?lock_mode:lock_mode ->
+  Ppc.t ->
+  t * Ppc.Entry_point.t
+(** Register Bob as a user-level PPC server (worker-init handler
+    installed, demonstrating Section 4.5.3). *)
+
+val create_file : t -> file_id:int -> length:int -> node:int -> file
+(** Management-path creation with explicit metadata homing. *)
+
+val find_file : t -> file_id:int -> file option
+val files : t -> int
+val ep_id : t -> int
+val get_length_calls : t -> int
+val worker_inits : t -> int
+val auth : t -> Naming.Auth.t
+
+val get_length : t -> client:Kernel.Process.t -> file_id:int -> (int, int) result
+val set_length : t -> client:Kernel.Process.t -> file_id:int -> length:int -> int
+val create_via_call : t -> client:Kernel.Process.t -> file_id:int -> length:int -> int

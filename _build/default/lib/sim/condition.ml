@@ -1,0 +1,35 @@
+(* FIFO wait queue for simulated processes. *)
+
+type waiter = (unit, exn) result -> unit
+
+type t = { waiters : waiter Queue.t; name : string }
+
+let create ?(name = "condition") () = { waiters = Queue.create (); name }
+
+let waiting t = Queue.length t.waiters
+
+let wait engine t =
+  Engine.suspend engine (fun resume -> Queue.push resume t.waiters)
+
+let signal t =
+  match Queue.take_opt t.waiters with
+  | None -> false
+  | Some resume ->
+      resume (Ok ());
+      true
+
+let broadcast t =
+  let n = Queue.length t.waiters in
+  for _ = 1 to n do
+    ignore (signal t)
+  done;
+  n
+
+let cancel_all t =
+  let n = Queue.length t.waiters in
+  for _ = 1 to n do
+    match Queue.take_opt t.waiters with
+    | None -> ()
+    | Some resume -> resume (Error (Engine.Cancelled t.name))
+  done;
+  n

@@ -1,0 +1,20 @@
+(** FIFO wait queue for simulated processes. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val waiting : t -> int
+(** Number of processes currently blocked. *)
+
+val wait : Engine.t -> t -> unit
+(** Block the calling process until {!signal}led (FIFO order). *)
+
+val signal : t -> bool
+(** Wake the oldest waiter; [false] if none was blocked. *)
+
+val broadcast : t -> int
+(** Wake every waiter; returns how many were woken. *)
+
+val cancel_all : t -> int
+(** Resume every waiter with {!Engine.Cancelled}; returns the count. *)

@@ -1,0 +1,140 @@
+(* Discrete-event simulation engine with effect-based processes.
+
+   A simulated process is an ordinary OCaml function run under an effect
+   handler.  When it performs [Suspend register], the handler captures the
+   continuation, wraps it in a one-shot [resume] closure that re-schedules
+   the process as a future event, and passes that closure to [register].
+   Every higher-level blocking primitive (delays, condition variables,
+   semaphores, mailboxes, simulated locks) is built from this single
+   effect.
+
+   Events at equal timestamps execute in creation order (a monotonically
+   increasing sequence number breaks ties), which makes whole-system runs
+   bit-for-bit deterministic. *)
+
+type event = { at : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  events : event Heap.t;
+  mutable executed : int;
+  mutable trace : Trace.t option;
+}
+
+exception Cancelled of string
+(* Raised inside a process when a primitive it is blocked on is torn down
+   (e.g. a hard-kill aborting calls in progress). *)
+
+exception Stalled of string
+(* Raised by [run ~expect_quiescent:false] wrappers when the caller knows
+   the event queue should not drain; exposed for library users building
+   watchdogs. *)
+
+let compare_event a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    now = Time.zero;
+    seq = 0;
+    events = Heap.create compare_event;
+    executed = 0;
+    trace = None;
+  }
+
+let now t = t.now
+
+(* Tracing: opt-in; [trace_f] builds the detail string only when a tracer
+   is attached, so disabled tracing costs one branch. *)
+let set_trace t trace = t.trace <- trace
+let trace t = t.trace
+let tracing t = Option.is_some t.trace
+
+let trace_f t ?cpu ~kind detail =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~at:t.now ?cpu ~kind (detail ())
+let pending t = Heap.length t.events
+let executed_events t = t.executed
+
+let schedule_at t at run =
+  let at = if Time.(at < t.now) then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.events { at; seq = t.seq; run }
+
+let schedule t ~after run = schedule_at t (Time.add t.now after) run
+
+type _ Effect.t +=
+  | Suspend : (((unit, exn) result -> unit) -> unit) -> unit Effect.t
+
+let handler t =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let used = ref false in
+                let resume result =
+                  if !used then invalid_arg "Sim.Engine: process resumed twice";
+                  used := true;
+                  schedule_at t t.now (fun () ->
+                      match result with
+                      | Ok () -> continue k ()
+                      | Error e -> discontinue k e)
+                in
+                register resume)
+        | _ -> None);
+  }
+
+let spawn ?at t f =
+  let start () = Effect.Deep.match_with f () (handler t) in
+  match at with
+  | None -> schedule_at t t.now start
+  | Some at -> schedule_at t at start
+
+(* Operations available inside a process. ------------------------------ *)
+
+let suspend (_t : t) register = Effect.perform (Suspend register)
+
+let delay t d =
+  if d < 0 then invalid_arg "Sim.Engine.delay: negative delay";
+  suspend t (fun resume -> schedule t ~after:d (fun () -> resume (Ok ())))
+
+let yield t = delay t Time.zero
+
+(* Driving the simulation. --------------------------------------------- *)
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.at;
+      t.executed <- t.executed + 1;
+      ev.run ();
+      true
+
+let run ?until t =
+  let continue_ () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Heap.peek t.events with
+        | None -> false
+        | Some ev -> Time.(ev.at <= limit))
+  in
+  while (not (Heap.is_empty t.events)) && continue_ () do
+    ignore (step t)
+  done;
+  (* Advance the clock to the horizon even if the world went quiet. *)
+  match until with
+  | Some limit when Time.(t.now < limit) -> t.now <- limit
+  | Some _ | None -> ()
+
+let run_until t limit = run ~until:limit t

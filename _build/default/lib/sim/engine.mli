@@ -1,0 +1,67 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated processes are plain OCaml functions executed under an effect
+    handler; they block by performing a single [Suspend] effect, from
+    which all higher-level primitives ({!Condition}, {!Semaphore},
+    {!Mailbox}, the kernel's locks and scheduler) are built. *)
+
+type t
+
+exception Cancelled of string
+(** Raised inside a blocked process when the primitive it waits on is torn
+    down (hard-kill of calls in progress, etc.). *)
+
+exception Stalled of string
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Attach (or detach) an event tracer. *)
+
+val trace : t -> Trace.t option
+val tracing : t -> bool
+
+val trace_f : t -> ?cpu:int -> kind:string -> (unit -> string) -> unit
+(** Record an event; the detail thunk runs only when tracing is on. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet executed. *)
+
+val executed_events : t -> int
+(** Total events executed so far (diagnostic). *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Schedule a raw callback at an absolute time (clamped to [now]). *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> unit
+(** Schedule a raw callback after a relative delay. *)
+
+val spawn : ?at:Time.t -> t -> (unit -> unit) -> unit
+(** [spawn t f] starts [f] as a simulated process (at time [at], default
+    now).  Exceptions escaping [f] propagate out of {!run}. *)
+
+val suspend : t -> (((unit, exn) result -> unit) -> unit) -> unit
+(** [suspend t register] blocks the calling process.  [register] receives
+    a one-shot [resume] closure; calling [resume (Ok ())] reschedules the
+    process, [resume (Error e)] resumes it by raising [e].  Must be called
+    from within a process. *)
+
+val delay : t -> Time.t -> unit
+(** Block the calling process for a relative duration. *)
+
+val yield : t -> unit
+(** Reschedule the calling process behind already-pending same-time
+    events. *)
+
+val step : t -> bool
+(** Execute one event; [false] if the queue was empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Drain the event queue (up to an optional time horizon).  If a horizon
+    is given the clock is advanced to it even when the queue drains
+    early. *)
+
+val run_until : t -> Time.t -> unit

@@ -1,0 +1,75 @@
+(* Array-backed binary min-heap.
+
+   Used as the event queue of the simulation engine, where the ordering
+   key is (time, sequence-number): the sequence number makes event order
+   total and therefore every run deterministic. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  cmp : 'a -> 'a -> int;
+}
+
+let create ?(capacity = 64) cmp =
+  { data = [||]; size = 0; cmp = (ignore capacity; cmp) }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  (* The array is allocated lazily so that [create] needs no witness
+     element of type ['a]. *)
+  if Array.length h.data = 0 then h.data <- Array.make 64 x
+  else if h.size = Array.length h.data then begin
+    let data = Array.make (2 * h.size) x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let swap h i j =
+  let t = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h = h.size <- 0
+
+let to_list h = Array.to_list (Array.sub h.data 0 h.size)

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap with a user-supplied comparison. *)
+
+type 'a t
+
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+(** [create cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection in tests). *)

@@ -1,0 +1,29 @@
+(* Unbounded typed mailbox: the rendezvous primitive used by the kernel's
+   message-passing IPC comparator and the device-server queues. *)
+
+type 'a t = {
+  items : 'a Queue.t;
+  readers : Condition.t;
+  name : string;
+}
+
+let create ?(name = "mailbox") () =
+  { items = Queue.create (); readers = Condition.create ~name (); name }
+
+let length t = Queue.length t.items
+let waiting_receivers t = Condition.waiting t.readers
+
+let send t x =
+  Queue.push x t.items;
+  ignore (Condition.signal t.readers)
+
+let rec receive engine t =
+  match Queue.take_opt t.items with
+  | Some x -> x
+  | None ->
+      Condition.wait engine t.readers;
+      receive engine t
+
+let try_receive t = Queue.take_opt t.items
+
+let cancel_all t = Condition.cancel_all t.readers

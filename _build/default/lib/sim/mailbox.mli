@@ -1,0 +1,19 @@
+(** Unbounded typed mailbox for simulated processes. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val length : 'a t -> int
+val waiting_receivers : 'a t -> int
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message; wakes one blocked receiver if any. *)
+
+val receive : Engine.t -> 'a t -> 'a
+(** Dequeue a message, blocking the calling process while empty. *)
+
+val try_receive : 'a t -> 'a option
+
+val cancel_all : 'a t -> int
+(** Resume all blocked receivers with {!Engine.Cancelled}. *)

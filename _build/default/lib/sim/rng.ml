@@ -1,0 +1,40 @@
+(* SplitMix64: a small, fast, deterministic PRNG.
+
+   The simulator must be reproducible run-to-run, so it never touches
+   [Random]; every stochastic choice goes through an explicitly seeded
+   [Rng.t]. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+(* 62 non-negative bits *)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (x /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bounded exponential sample, for inter-arrival times in open-loop
+   workloads.  Mean [mean]; truncated at 20x the mean to keep event
+   horizons finite. *)
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t 1.0) in
+  Float.min (20.0 *. mean) (-.mean *. Float.log u)
+
+let split t = create ~seed:(Int64.to_int (next_int64 t))

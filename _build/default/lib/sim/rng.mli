@@ -1,0 +1,29 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    The simulator never touches [Stdlib.Random]; all stochastic choices
+    flow through an explicitly-seeded generator so runs are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val next_int64 : t -> int64
+(** Raw 64-bit output. *)
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponential sample with the given mean, truncated at [20 * mean]. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)

@@ -1,0 +1,26 @@
+(* Counting semaphore with FIFO wakeups. *)
+
+type t = { mutable count : int; cond : Condition.t }
+
+let create ?(name = "semaphore") initial =
+  if initial < 0 then invalid_arg "Sim.Semaphore.create: negative count";
+  { count = initial; cond = Condition.create ~name () }
+
+let value t = t.count
+let waiting t = Condition.waiting t.cond
+
+let acquire engine t =
+  (* A waiter woken by [release] must re-check nothing: release transfers
+     the unit directly to the oldest waiter instead of incrementing the
+     public count, preserving FIFO fairness. *)
+  if t.count > 0 then t.count <- t.count - 1
+  else Condition.wait engine t.cond
+
+let try_acquire t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let release t = if not (Condition.signal t.cond) then t.count <- t.count + 1

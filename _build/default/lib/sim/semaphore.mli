@@ -1,0 +1,19 @@
+(** Counting semaphore with FIFO handoff to waiters. *)
+
+type t
+
+val create : ?name:string -> int -> t
+(** [create n] has [n] initial units. Raises [Invalid_argument] if
+    [n < 0]. *)
+
+val value : t -> int
+val waiting : t -> int
+
+val acquire : Engine.t -> t -> unit
+(** Take one unit, blocking the calling process if none is available. *)
+
+val try_acquire : t -> bool
+
+val release : t -> unit
+(** Return one unit; if a process is blocked, the unit is handed to the
+    oldest waiter directly. *)

@@ -1,0 +1,80 @@
+(* Streaming summary statistics (Welford) plus an exact-percentile buffer.
+
+   Used by the benchmark harness to summarise per-call latencies and by
+   tests to assert distributions. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable samples : float array;
+  mutable sample_count : int;
+  keep_samples : bool;
+}
+
+let create ?(keep_samples = true) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+    samples = [||];
+    sample_count = 0;
+    keep_samples;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  if t.keep_samples then begin
+    if t.sample_count = Array.length t.samples then begin
+      let cap = Int.max 64 (2 * t.sample_count) in
+      let samples = Array.make cap 0.0 in
+      Array.blit t.samples 0 samples 0 t.sample_count;
+      t.samples <- samples
+    end;
+    t.samples.(t.sample_count) <- x;
+    t.sample_count <- t.sample_count + 1
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then Float.nan else t.mean
+let minimum t = if t.n = 0 then Float.nan else t.min
+let maximum t = if t.n = 0 then Float.nan else t.max
+
+let variance t =
+  if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let percentile t p =
+  if not t.keep_samples then invalid_arg "Stats.percentile: samples not kept";
+  if t.sample_count = 0 then Float.nan
+  else begin
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let sorted = Array.sub t.samples 0 t.sample_count in
+    Array.sort Float.compare sorted;
+    let rank = p /. 100.0 *. float_of_int (t.sample_count - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let median t = percentile t 50.0
+
+let pp ppf t =
+  if t.n = 0 then Fmt.pf ppf "n=0"
+  else
+    Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+      (stddev t) (minimum t) (maximum t)

@@ -1,0 +1,24 @@
+(** Streaming summary statistics with optional exact percentiles. *)
+
+type t
+
+val create : ?keep_samples:bool -> unit -> t
+(** [keep_samples] (default true) retains every observation so
+    percentiles are exact; disable for very long runs. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val minimum : t -> float
+val maximum : t -> float
+val variance : t -> float
+(** Unbiased sample variance. *)
+
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** Linear-interpolated percentile, [p] in [\[0,100\]].  Raises if the
+    buffer was created with [keep_samples:false]. *)
+
+val median : t -> float
+val pp : Format.formatter -> t -> unit

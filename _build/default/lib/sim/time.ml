@@ -1,0 +1,31 @@
+(* Simulated time, in integer nanoseconds.
+
+   All simulation layers (machine cycles, kernel, IPC) convert into
+   nanoseconds at their boundary so that a single clock drives the event
+   engine.  An [int] holds 63 bits on 64-bit platforms: ~292 simulated
+   years, far beyond any experiment here. *)
+
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+
+let of_us_float f = int_of_float (Float.round (f *. 1_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_s t = float_of_int t /. 1_000_000_000.
+
+let add = ( + )
+let sub = ( - )
+let compare = Int.compare
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+
+let pp ppf t =
+  if t >= 1_000_000_000 then Fmt.pf ppf "%.3fs" (to_s t)
+  else if t >= 1_000_000 then Fmt.pf ppf "%.3fms" (to_ms t)
+  else if t >= 1_000 then Fmt.pf ppf "%.3fus" (to_us t)
+  else Fmt.pf ppf "%dns" t

@@ -1,0 +1,34 @@
+(** Simulated time in integer nanoseconds. *)
+
+type t = int
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_us_float : float -> t
+(** [of_us_float f] converts a fractional microsecond count, rounding to
+    the nearest nanosecond. *)
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit. *)

@@ -1,0 +1,55 @@
+(* Bounded event tracing.
+
+   A ring buffer of timestamped events that higher layers (scheduler,
+   IPC engine, locks) append to when tracing is enabled.  Recording is
+   opt-in per engine and the detail strings are built through thunks, so
+   a disabled tracer costs one branch per hook. *)
+
+type event = {
+  at : Time.t;
+  seq : int;
+  cpu : int;  (** -1 when not CPU-specific *)
+  kind : string;
+  detail : string;
+}
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;  (** total events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0 }
+
+let record t ~at ?(cpu = -1) ~kind detail =
+  let ev = { at; seq = t.next; cpu; kind; detail } in
+  t.buffer.(t.next mod t.capacity) <- Some ev;
+  t.next <- t.next + 1
+
+let recorded t = t.next
+let dropped t = Int.max 0 (t.next - t.capacity)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0
+
+(* Oldest first (only the most recent [capacity] survive). *)
+let events t =
+  let n = Int.min t.next t.capacity in
+  let first = t.next - n in
+  List.init n (fun i ->
+      match t.buffer.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let filter t ~kind = List.filter (fun ev -> ev.kind = kind) (events t)
+
+let pp_event ppf ev =
+  if ev.cpu >= 0 then
+    Fmt.pf ppf "[%a cpu%d] %-12s %s" Time.pp ev.at ev.cpu ev.kind ev.detail
+  else Fmt.pf ppf "[%a     ] %-12s %s" Time.pp ev.at ev.kind ev.detail
+
+let pp ppf t =
+  List.iter (fun ev -> Fmt.pf ppf "%a@." pp_event ev) (events t)

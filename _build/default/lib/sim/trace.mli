@@ -1,0 +1,30 @@
+(** Bounded ring-buffer event tracing. *)
+
+type event = {
+  at : Time.t;
+  seq : int;
+  cpu : int;  (** -1 when not CPU-specific *)
+  kind : string;
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> at:Time.t -> ?cpu:int -> kind:string -> string -> unit
+
+val recorded : t -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+val events : t -> event list
+(** Oldest first; at most [capacity] survive. *)
+
+val filter : t -> kind:string -> event list
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

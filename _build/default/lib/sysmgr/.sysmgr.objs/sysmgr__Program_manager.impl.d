@@ -1,0 +1,1 @@
+lib/sysmgr/program_manager.ml: Call_ctx Hashtbl Kernel Machine Naming Null_server Ppc Reg_args Vm

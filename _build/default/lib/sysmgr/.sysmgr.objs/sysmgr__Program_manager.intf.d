@@ -1,0 +1,1 @@
+lib/sysmgr/program_manager.mli: Kernel Naming Ppc Vm

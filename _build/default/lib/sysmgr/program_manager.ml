@@ -1,0 +1,127 @@
+(* The program manager: process creation as a PPC service.
+
+   In a microkernel ecosystem even spawning a program is a server call:
+   the manager authenticates the requester (Admin permission, Section 4.1
+   style), builds the program identity, its address space and VM regions
+   (demand-paged text through the pager, demand-zero stack), and starts
+   the process on the requested CPU.
+
+   Executables are registered out of band (the staging pattern Frank also
+   uses); the spawn call itself carries only the hashed name and target
+   CPU in registers. *)
+
+let op_spawn = 1
+
+type executable = {
+  exe_name : string;
+  text_pages : int;
+  stack_pages : int;
+  body : Kernel.Process.t -> Vm.t -> unit;
+}
+
+type t = {
+  ppc : Ppc.t;
+  pager : Vm.Pager.t;
+  auth : Naming.Auth.t;
+  mutable ep : int;
+  exes : (int * int, executable) Hashtbl.t;  (** hashed name -> image *)
+  mutable next_tag : int;
+  mutable spawned : int;
+}
+
+let ep_id t = t.ep
+let auth t = t.auth
+let spawned t = t.spawned
+
+let text_base = 0x10_0000
+let stack_base = 0x7F_0000
+
+let register_exe t exe =
+  Hashtbl.replace t.exes (Naming.Name_server.hash_name exe.exe_name) exe
+
+(* Build everything a fresh program needs and start it. *)
+let launch t ~exe ~cpu_index =
+  let kern = Ppc.kernel t.ppc in
+  let program = Kernel.new_program kern ~name:exe.exe_name in
+  let space = Kernel.new_user_space kern ~name:exe.exe_name ~node:cpu_index in
+  let vm = Vm.create ~ppc:t.ppc kern ~space ~node:cpu_index in
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  ignore
+    (Vm.add_region vm ~base:text_base ~len:(exe.text_pages * 4096)
+       ~backing:(Vm.Paged { pager_ep = Vm.Pager.ep_id t.pager; tag })
+       ~prot:Vm.Ro);
+  ignore
+    (Vm.add_region vm ~base:stack_base ~len:(exe.stack_pages * 4096)
+       ~backing:Vm.Demand_zero ~prot:Vm.Rw);
+  t.spawned <- t.spawned + 1;
+  let proc =
+    Kernel.spawn kern ~cpu:cpu_index ~name:exe.exe_name
+      ~kind:Kernel.Process.Client ~program ~space (fun self ->
+        exe.body self vm)
+  in
+  (proc, vm)
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 80;
+  Null_server.touch_stack ctx ~words:10;
+  if Reg_args.op args <> op_spawn then
+    Reg_args.set_rc args Reg_args.err_bad_request
+  else if not (Naming.Auth.require t.auth ctx ~perm:Naming.Auth.Admin args)
+  then ()
+  else begin
+    let key = (Reg_args.get args 0, Reg_args.get args 1) in
+    let cpu_index = Reg_args.get args 2 in
+    let kern = Ppc.kernel t.ppc in
+    if cpu_index < 0 || cpu_index >= Kernel.n_cpus kern then
+      Reg_args.set_rc args Reg_args.err_bad_request
+    else
+      match Hashtbl.find_opt t.exes key with
+      | None -> Reg_args.set_rc args Reg_args.err_no_entry
+      | Some exe ->
+          (* Address-space construction is real kernel work. *)
+          Machine.Cpu.instr cpu 400;
+          Machine.Cpu.store_words cpu ctx.Call_ctx.server_data 16;
+          let proc, _vm = launch t ~exe ~cpu_index in
+          Reg_args.set args 0 (Kernel.Process.id proc);
+          Reg_args.set_rc args Reg_args.ok
+  end
+
+let install ?(node = 0) ?pager ppc =
+  let pager = match pager with Some p -> p | None -> Vm.Pager.install ppc in
+  let kern = Ppc.kernel ppc in
+  let t =
+    {
+      ppc;
+      pager;
+      auth =
+        Naming.Auth.create ~data_addr:(Kernel.alloc kern ~bytes:512 ~node) ();
+      ep = -1;
+      exes = Hashtbl.create 16;
+      next_tag = 1;
+      spawned = 0;
+    }
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"program-manager" ~node () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep <- Ppc.Entry_point.id ep;
+  t
+
+(* Client stub. *)
+let spawn t ~client ~name ~cpu_index =
+  let open Ppc in
+  let h1, h2 = Naming.Name_server.hash_name name in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 h1;
+  Reg_args.set args 1 h2;
+  Reg_args.set args 2 cpu_index;
+  Reg_args.set_op args ~op:op_spawn ~flags:0;
+  let rc =
+    Ppc.call t.ppc ~client
+      ~opflags:(Reg_args.op_flags ~op:op_spawn ~flags:0)
+      ~ep_id:t.ep args
+  in
+  if rc = Reg_args.ok then Ok (Reg_args.get args 0) else Error rc

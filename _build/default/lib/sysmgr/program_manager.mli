@@ -1,0 +1,33 @@
+(** Process creation as a PPC service: authenticated spawn requests
+    build a program, its address space and demand-paged VM regions, and
+    start the process on the requested CPU. *)
+
+val op_spawn : int
+
+type executable = {
+  exe_name : string;
+  text_pages : int;
+  stack_pages : int;
+  body : Kernel.Process.t -> Vm.t -> unit;
+}
+
+type t
+
+val install : ?node:int -> ?pager:Vm.Pager.t -> Ppc.t -> t
+(** Installs its own pager unless one is supplied. *)
+
+val ep_id : t -> int
+val auth : t -> Naming.Auth.t
+(** Grant [Admin] to programs allowed to spawn. *)
+
+val spawned : t -> int
+
+val register_exe : t -> executable -> unit
+(** Stage an executable image (management path). *)
+
+val launch : t -> exe:executable -> cpu_index:int -> Kernel.Process.t * Vm.t
+(** Direct management-path launch (what the SPAWN op invokes). *)
+
+val spawn :
+  t -> client:Kernel.Process.t -> name:string -> cpu_index:int -> (int, int) result
+(** Client stub: returns the new process id. *)

@@ -1,0 +1,1 @@
+lib/transfer/copy_server.ml: Call_ctx Machine Null_server Ppc Reg_args Region

@@ -1,0 +1,1 @@
+lib/transfer/copy_server.mli: Kernel Ppc Region

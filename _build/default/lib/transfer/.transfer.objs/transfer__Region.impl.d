@@ -1,0 +1,1 @@
+lib/transfer/region.ml: Kernel List

@@ -1,0 +1,1 @@
+lib/transfer/region.mli: Kernel

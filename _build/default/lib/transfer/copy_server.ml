@@ -1,0 +1,102 @@
+(* The CopyServer (paper Section 4.2): bulk transfer as ordinary PPCs.
+
+   "The actual transfer of data is done by a separate CopyTo or CopyFrom
+   request.  CopyTo and CopyFrom are normal PPC requests made to the
+   CopyServer."
+
+   A transfer validates the caller's grant and then moves [len] bytes
+   word by word between the two address ranges, charging real cached
+   memory traffic on the worker's CPU.  Register slots:
+
+     0: grant owner's program id (the peer for CopyFrom, self for CopyTo)
+     1: source address    2: destination address    3: length in bytes *)
+
+let op_copy_to = 1  (** caller pushes its data into the peer's range *)
+
+let op_copy_from = 2  (** caller pulls data from the peer's range *)
+
+type t = {
+  regions : Region.t;
+  mutable ep_id : int;
+  mutable bytes_copied : int;
+  mutable denied : int;
+}
+
+let regions t = t.regions
+let ep_id t = t.ep_id
+let bytes_copied t = t.bytes_copied
+let denied t = t.denied
+
+(* The copy loop: realistic cached word-at-a-time traffic, bounded per
+   call so a single transfer cannot monopolise a processor for ever. *)
+let max_bytes_per_call = 64 * 1024
+
+let do_copy cpu ~src ~dst ~len =
+  let words = (len + 3) / 4 in
+  for i = 0 to words - 1 do
+    Machine.Cpu.load cpu (src + (4 * i));
+    Machine.Cpu.store cpu (dst + (4 * i))
+  done
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code ctx.Call_ctx.cpu 40;
+  Null_server.touch_stack ctx ~words:6;
+  let peer = Reg_args.get args 0 in
+  let src = Reg_args.get args 1 in
+  let dst = Reg_args.get args 2 in
+  let len = Reg_args.get args 3 in
+  let op = Reg_args.op args in
+  if len <= 0 || len > max_bytes_per_call then
+    Reg_args.set_rc args Reg_args.err_bad_request
+  else begin
+    let caller = ctx.Call_ctx.caller_program in
+    (* CopyTo writes into the peer's granted range; CopyFrom reads from
+       it.  The caller's own range needs no grant. *)
+    let permitted =
+      if op = op_copy_to then
+        Region.check t.regions ~owner:peer ~grantee:caller ~base:dst ~len
+          ~dir:`Write
+      else if op = op_copy_from then
+        Region.check t.regions ~owner:peer ~grantee:caller ~base:src ~len
+          ~dir:`Read
+      else false
+    in
+    if not permitted then begin
+      t.denied <- t.denied + 1;
+      Reg_args.set_rc args Reg_args.err_denied
+    end
+    else begin
+      do_copy ctx.Call_ctx.cpu ~src ~dst ~len;
+      t.bytes_copied <- t.bytes_copied + len;
+      Reg_args.set args 0 len;
+      Reg_args.set_rc args Reg_args.ok
+    end
+  end
+
+let install ppc =
+  let t = { regions = Region.create (); ep_id = -1; bytes_copied = 0; denied = 0 } in
+  let server = Ppc.make_kernel_server ppc ~name:"copy-server" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep_id <- Ppc.Entry_point.id ep;
+  t
+
+(* Client-side stubs. *)
+
+let copy_call t ppc ~client ~op ~peer ~src ~dst ~len =
+  let open Ppc in
+  let args = Reg_args.make () in
+  Reg_args.set args 0 peer;
+  Reg_args.set args 1 src;
+  Reg_args.set args 2 dst;
+  Reg_args.set args 3 len;
+  Reg_args.set_op args ~op ~flags:0;
+  Ppc.call ppc ~client ~opflags:(Reg_args.op_flags ~op ~flags:0) ~ep_id:t.ep_id
+    args
+
+let copy_to t ppc ~client ~peer ~src ~dst ~len =
+  copy_call t ppc ~client ~op:op_copy_to ~peer ~src ~dst ~len
+
+let copy_from t ppc ~client ~peer ~src ~dst ~len =
+  copy_call t ppc ~client ~op:op_copy_from ~peer ~src ~dst ~len

@@ -1,0 +1,40 @@
+(** The CopyServer: bulk data transfer as normal PPC requests, validated
+    against region grants (Section 4.2). *)
+
+val op_copy_to : int
+val op_copy_from : int
+val max_bytes_per_call : int
+
+type t
+
+val install : Ppc.t -> t
+(** Register the CopyServer as a kernel-level PPC server. *)
+
+val regions : t -> Region.t
+(** The grant table callers populate before transferring. *)
+
+val ep_id : t -> int
+val bytes_copied : t -> int
+val denied : t -> int
+
+val copy_to :
+  t ->
+  Ppc.t ->
+  client:Kernel.Process.t ->
+  peer:Kernel.Program.id ->
+  src:int ->
+  dst:int ->
+  len:int ->
+  int
+(** Push [len] bytes from the caller's [src] into the peer's granted
+    [dst]; returns the RC. *)
+
+val copy_from :
+  t ->
+  Ppc.t ->
+  client:Kernel.Process.t ->
+  peer:Kernel.Program.id ->
+  src:int ->
+  dst:int ->
+  len:int ->
+  int

@@ -1,0 +1,63 @@
+(* Address-space regions and access grants (paper Section 4.2).
+
+   Bulk data does not ride on the PPC itself: "a caller may give
+   permission to the server to read and write selected portions of its
+   address space", V-system style.  A grant names the owner program, the
+   grantee program, a byte range in the owner's space, and the allowed
+   direction(s).  The CopyServer validates every transfer against the
+   grant table. *)
+
+type access = Read_only | Write_only | Read_write
+
+type grant = {
+  grant_id : int;
+  owner : Kernel.Program.id;
+  grantee : Kernel.Program.id;
+  base : int;
+  len : int;
+  access : access;
+}
+
+type t = {
+  mutable grants : grant list;
+  mutable next_id : int;
+  mutable revocations : int;
+}
+
+let create () = { grants = []; next_id = 1; revocations = 0 }
+
+let grant t ~owner ~grantee ~base ~len ~access =
+  if len <= 0 then invalid_arg "Region.grant: empty range";
+  let g = { grant_id = t.next_id; owner; grantee; base; len; access } in
+  t.next_id <- t.next_id + 1;
+  t.grants <- g :: t.grants;
+  g.grant_id
+
+let revoke t ~grant_id =
+  let before = List.length t.grants in
+  t.grants <- List.filter (fun g -> g.grant_id <> grant_id) t.grants;
+  if List.length t.grants < before then begin
+    t.revocations <- t.revocations + 1;
+    true
+  end
+  else false
+
+let allows access dir =
+  match (access, dir) with
+  | (Read_only | Read_write), `Read -> true
+  | (Write_only | Read_write), `Write -> true
+  | Read_only, `Write | Write_only, `Read -> false
+
+(* May [grantee] perform [dir] on [base,base+len) of [owner]'s space? *)
+let check t ~owner ~grantee ~base ~len ~dir =
+  List.exists
+    (fun g ->
+      g.owner = owner && g.grantee = grantee
+      && allows g.access dir
+      && base >= g.base
+      && base + len <= g.base + g.len)
+    t.grants
+
+let find t ~grant_id = List.find_opt (fun g -> g.grant_id = grant_id) t.grants
+let active_grants t = List.length t.grants
+let revocations t = t.revocations

@@ -1,0 +1,41 @@
+(** Address-space access grants for bulk transfer (Section 4.2). *)
+
+type access = Read_only | Write_only | Read_write
+
+type grant = {
+  grant_id : int;
+  owner : Kernel.Program.id;
+  grantee : Kernel.Program.id;
+  base : int;
+  len : int;
+  access : access;
+}
+
+type t
+
+val create : unit -> t
+
+val grant :
+  t ->
+  owner:Kernel.Program.id ->
+  grantee:Kernel.Program.id ->
+  base:int ->
+  len:int ->
+  access:access ->
+  int
+(** Returns the grant ID. *)
+
+val revoke : t -> grant_id:int -> bool
+
+val check :
+  t ->
+  owner:Kernel.Program.id ->
+  grantee:Kernel.Program.id ->
+  base:int ->
+  len:int ->
+  dir:[ `Read | `Write ] ->
+  bool
+
+val find : t -> grant_id:int -> grant option
+val active_grants : t -> int
+val revocations : t -> int

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Hashtbl Kernel List Machine Option Pager Ppc

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Kernel Machine Pager Ppc

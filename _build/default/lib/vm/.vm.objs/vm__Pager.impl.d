@@ -1,0 +1,1 @@
+lib/vm/pager.ml: Call_ctx Fmt Hashtbl Kernel Machine Null_server Ppc Reg_args Servers

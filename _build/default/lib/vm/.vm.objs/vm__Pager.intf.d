@@ -1,0 +1,1 @@
+lib/vm/pager.mli: Ppc Servers

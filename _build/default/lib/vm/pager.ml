@@ -1,0 +1,74 @@
+(* A user-level memory manager: the PPC server behind [Vm]'s [Paged]
+   regions.
+
+   Faults arrive as ordinary PPC requests carrying (tag, virtual page,
+   write?); the pager finds or creates the backing frame — charging the
+   "fetch" cost a real pager would pay (zeroing, or reading the backing
+   store through the disk server if one is attached) — and returns the
+   frame in the registers. *)
+
+let op_fault = 1
+
+type t = {
+  ppc : Ppc.t;
+  mutable ep : int;
+  node : int;
+  store : (int * int, int) Hashtbl.t;  (** (tag, vpage) -> frame *)
+  disk : Servers.Device_server.t option;
+      (** when present, first-touch pages are "read" from disk *)
+  mutable served : int;
+  mutable disk_fills : int;
+}
+
+let ep_id t = t.ep
+let served t = t.served
+let disk_fills t = t.disk_fills
+
+let handler t : Ppc.Call_ctx.handler =
+ fun ctx args ->
+  let open Ppc in
+  let cpu = ctx.Call_ctx.cpu in
+  Machine.Cpu.instr ~code:ctx.Call_ctx.server_code cpu 50;
+  Null_server.touch_stack ctx ~words:8;
+  if Reg_args.op args <> op_fault then
+    Reg_args.set_rc args Reg_args.err_bad_request
+  else begin
+    t.served <- t.served + 1;
+    let tag = Reg_args.get args 0 and vp = Reg_args.get args 1 in
+    let frame =
+      match Hashtbl.find_opt t.store (tag, vp) with
+      | Some frame -> frame
+      | None ->
+          let frame = Kernel.alloc_page (Ppc.kernel t.ppc) ~node:t.node in
+          (match t.disk with
+          | Some dev ->
+              (* Fill from backing store: a real (blocking) block read. *)
+              t.disk_fills <- t.disk_fills + 1;
+              (match
+                 Servers.Device_server.read_block dev ~client:ctx.Call_ctx.self
+                   ~block:vp
+               with
+              | Ok _ -> ()
+              | Error rc -> Fmt.failwith "pager backing read failed rc=%d" rc)
+          | None ->
+              (* Anonymous page: zero it. *)
+              let p = Machine.Cpu.params cpu in
+              Machine.Cpu.charge_current cpu
+                (4096 / p.Machine.Cost_params.line_bytes
+                * p.Machine.Cost_params.writeback_cycles));
+          Hashtbl.replace t.store (tag, vp) frame;
+          frame
+    in
+    Reg_args.set args 0 frame;
+    Reg_args.set_rc args Reg_args.ok
+  end
+
+let install ?(node = 0) ?disk ppc =
+  let t =
+    { ppc; ep = -1; node; store = Hashtbl.create 64; disk; served = 0;
+      disk_fills = 0 }
+  in
+  let server = Ppc.make_user_server ppc ~name:"pager" ~node () in
+  let ep = Ppc.register_direct ppc ~server ~handler:(handler t) in
+  t.ep <- Ppc.Entry_point.id ep;
+  t

@@ -1,0 +1,12 @@
+(** User-level memory manager: serves [Vm] page faults over PPC,
+    optionally filling pages from the disk server. *)
+
+val op_fault : int
+
+type t
+
+val install : ?node:int -> ?disk:Servers.Device_server.t -> Ppc.t -> t
+
+val ep_id : t -> int
+val served : t -> int
+val disk_fills : t -> int

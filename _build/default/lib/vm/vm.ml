@@ -1,0 +1,212 @@
+(* Demand-paged virtual memory over the kernel's address spaces.
+
+   The PPC paper leans on its VM substrate — stacks are mapped and
+   unmapped per call, and Section 4.5.4 punts deep stacks to "the normal
+   page-fault handling mechanisms".  This module is that mechanism:
+   regions with a backing policy, a costed fault path, and an *external
+   pager* flavour where the fault is turned into a PPC to a user-level
+   memory manager (how microkernel ecosystems page).
+
+   Backings:
+   - [Demand_zero]: first touch allocates and zero-fills a local frame;
+   - [Cow src]: first touch maps [src] read-only-shared; the first write
+     copies the page;
+   - [Wired frame]: pre-mapped at region creation, never faults;
+   - [Paged ep]: faults become synchronous PPCs to entry point [ep]; the
+     pager replies with the frame to map.
+
+   [read]/[write] are the access points simulated programs use: they
+   translate, fault if needed, and charge the access. *)
+
+module Pager = Pager
+
+type backing =
+  | Demand_zero
+  | Cow of int  (** source frame shared until first write *)
+  | Wired of int
+  | Paged of { pager_ep : int; tag : int }
+
+type protection = Ro | Rw
+
+type region = {
+  base : int;
+  len : int;
+  backing : backing;
+  mutable prot : protection;
+}
+
+type page_state = { mutable frame : int; mutable writable : bool }
+
+type t = {
+  kernel : Kernel.t;
+  ppc : Ppc.t option;  (** needed only for [Paged] regions *)
+  space : Kernel.Address_space.t;
+  node : int;
+  mutable regions : region list;
+  pages : (int, page_state) Hashtbl.t;  (** vpage -> installed page *)
+  mutable faults : int;
+  mutable zero_fills : int;
+  mutable cow_copies : int;
+  mutable pager_calls : int;
+}
+
+exception Segfault of int
+exception Protection_fault of int
+
+let create ?ppc kernel ~space ~node =
+  {
+    kernel;
+    ppc;
+    space;
+    node;
+    regions = [];
+    pages = Hashtbl.create 64;
+    faults = 0;
+    zero_fills = 0;
+    cow_copies = 0;
+    pager_calls = 0;
+  }
+
+let faults t = t.faults
+let zero_fills t = t.zero_fills
+let cow_copies t = t.cow_copies
+let pager_calls t = t.pager_calls
+
+let page_bytes t = Kernel.Address_space.page_bytes t.space
+let vpage t vaddr = vaddr / page_bytes t
+
+let add_region t ~base ~len ~backing ~prot =
+  if len <= 0 then invalid_arg "Vm.add_region: empty region";
+  if base mod page_bytes t <> 0 then
+    invalid_arg "Vm.add_region: base must be page aligned";
+  let r = { base; len; backing; prot } in
+  t.regions <- r :: t.regions;
+  (match backing with
+  | Wired frame ->
+      (* Pre-mapped: no faults ever. *)
+      let pages = (len + page_bytes t - 1) / page_bytes t in
+      for p = 0 to pages - 1 do
+        Hashtbl.replace t.pages
+          (vpage t (base + (p * page_bytes t)))
+          { frame = frame + (p * page_bytes t); writable = prot = Rw }
+      done
+  | Demand_zero | Cow _ | Paged _ -> ());
+  r
+
+let find_region t vaddr =
+  List.find_opt (fun r -> vaddr >= r.base && vaddr < r.base + r.len) t.regions
+
+(* Zero-filling or copying a page is real memory work: one store (and for
+   copies one load) per word, charged to the faulting CPU. *)
+let charge_page_fill cpu t ~copy =
+  let words = page_bytes t / 4 in
+  let p = Machine.Cpu.params cpu in
+  (* Line-granular: fills dominate; model as per-line costs. *)
+  let lines = page_bytes t / p.Machine.Cost_params.line_bytes in
+  let per_line =
+    if copy then
+      p.Machine.Cost_params.line_load_cycles
+      + p.Machine.Cost_params.writeback_cycles
+    else p.Machine.Cost_params.writeback_cycles
+  in
+  Machine.Cpu.instr cpu (words / 8);
+  Machine.Cpu.charge_current cpu (lines * per_line)
+
+(* The fault path: trap, handler, resolve the backing, map, return. *)
+let fault t ~cpu ~proc ~vaddr ~write =
+  t.faults <- t.faults + 1;
+  Machine.Cpu.trap cpu;
+  Machine.Cpu.instr cpu 60;
+  let region =
+    match find_region t vaddr with
+    | Some r -> r
+    | None ->
+        Machine.Cpu.rti cpu
+          ~to_space:(Kernel.Address_space.space_of t.space);
+        raise (Segfault vaddr)
+  in
+  if write && region.prot = Ro then begin
+    Machine.Cpu.rti cpu ~to_space:(Kernel.Address_space.space_of t.space);
+    raise (Protection_fault vaddr)
+  end;
+  let vp = vpage t vaddr in
+  let page_base = vp * page_bytes t in
+  let state =
+    match Hashtbl.find_opt t.pages vp with
+    | Some st -> st
+    | None ->
+        let st =
+          match region.backing with
+          | Wired frame ->
+              { frame = frame + (page_base - region.base);
+                writable = region.prot = Rw }
+          | Demand_zero ->
+              let frame = Kernel.alloc_page t.kernel ~node:t.node in
+              t.zero_fills <- t.zero_fills + 1;
+              charge_page_fill cpu t ~copy:false;
+              { frame; writable = region.prot = Rw }
+          | Cow src ->
+              (* Map the source frame read-only-shared for now. *)
+              { frame = src + (page_base - region.base); writable = false }
+          | Paged { pager_ep; tag } -> (
+              (* Turn the fault into a PPC to the memory manager. *)
+              match t.ppc with
+              | None -> invalid_arg "Vm: Paged region without a PPC facility"
+              | Some ppc ->
+                  t.pager_calls <- t.pager_calls + 1;
+                  let args = Ppc.Reg_args.make () in
+                  Ppc.Reg_args.set args 0 tag;
+                  Ppc.Reg_args.set args 1 vp;
+                  Ppc.Reg_args.set args 2 (if write then 1 else 0);
+                  Ppc.Reg_args.set_op args ~op:Pager.op_fault ~flags:0;
+                  let rc =
+                    Ppc.call ppc ~client:proc
+                      ~opflags:
+                        (Ppc.Reg_args.op_flags ~op:Pager.op_fault ~flags:0)
+                      ~ep_id:pager_ep args
+                  in
+                  if rc <> Ppc.Reg_args.ok then raise (Segfault vaddr);
+                  { frame = Ppc.Reg_args.get args 0;
+                    writable = region.prot = Rw })
+        in
+        Hashtbl.replace t.pages vp st;
+        st
+  in
+  (* A write to a COW page that is still shared: copy now. *)
+  if write && not state.writable then begin
+    let fresh = Kernel.alloc_page t.kernel ~node:t.node in
+    t.cow_copies <- t.cow_copies + 1;
+    charge_page_fill cpu t ~copy:true;
+    Kernel.Address_space.unmap cpu t.space ~vaddr:page_base;
+    state.frame <- fresh;
+    state.writable <- true
+  end;
+  Kernel.Address_space.map cpu t.space ~vaddr:page_base ~frame:state.frame;
+  Machine.Cpu.rti cpu ~to_space:(Kernel.Address_space.space_of t.space);
+  (* Advance the simulated clock by the fault's work. *)
+  Kernel.Clock.sync (Kernel.engine t.kernel) cpu;
+  state
+
+(* Access points for simulated programs. *)
+
+let resolve t ~cpu ~proc ~vaddr ~write =
+  let vp = vpage t vaddr in
+  match Hashtbl.find_opt t.pages vp with
+  | Some st
+    when Kernel.Address_space.is_mapped t.space vaddr
+         && ((not write) || st.writable) ->
+      st
+  | _ -> fault t ~cpu ~proc ~vaddr ~write
+
+let read t ~cpu ~proc ~vaddr =
+  let st = resolve t ~cpu ~proc ~vaddr ~write:false in
+  Machine.Cpu.load_mapped cpu ~vaddr
+    ~paddr:(st.frame + (vaddr mod page_bytes t))
+
+let write t ~cpu ~proc ~vaddr =
+  let st = resolve t ~cpu ~proc ~vaddr ~write:true in
+  Machine.Cpu.store_mapped cpu ~vaddr
+    ~paddr:(st.frame + (vaddr mod page_bytes t))
+
+let frame_of t ~vaddr =
+  Option.map (fun st -> st.frame) (Hashtbl.find_opt t.pages (vpage t vaddr))

@@ -1,0 +1,61 @@
+(** Demand-paged virtual memory with a costed fault path and an external
+    pager flavour (faults become PPCs to a memory-manager server). *)
+
+module Pager = Pager
+
+type backing =
+  | Demand_zero
+  | Cow of int  (** shares the source frame until first write *)
+  | Wired of int
+  | Paged of { pager_ep : int; tag : int }
+
+type protection = Ro | Rw
+
+type region = {
+  base : int;
+  len : int;
+  backing : backing;
+  mutable prot : protection;
+}
+
+type page_state = { mutable frame : int; mutable writable : bool }
+
+type t
+
+exception Segfault of int
+exception Protection_fault of int
+
+val create :
+  ?ppc:Ppc.t -> Kernel.t -> space:Kernel.Address_space.t -> node:int -> t
+(** [ppc] is required only for [Paged] regions. *)
+
+val add_region :
+  t -> base:int -> len:int -> backing:backing -> prot:protection -> region
+(** [base] must be page aligned. *)
+
+val find_region : t -> int -> region option
+
+val fault :
+  t ->
+  cpu:Machine.Cpu.t ->
+  proc:Kernel.Process.t ->
+  vaddr:int ->
+  write:bool ->
+  page_state
+(** Explicit fault (normally reached through {!read}/{!write}).  Raises
+    {!Segfault} or {!Protection_fault}. *)
+
+val read : t -> cpu:Machine.Cpu.t -> proc:Kernel.Process.t -> vaddr:int -> unit
+(** One load, faulting the page in if needed.  Call from the owning
+    simulated process. *)
+
+val write : t -> cpu:Machine.Cpu.t -> proc:Kernel.Process.t -> vaddr:int -> unit
+(** One store; triggers the copy on a shared COW page. *)
+
+val frame_of : t -> vaddr:int -> int option
+(** Installed physical frame for [vaddr]'s page, if any. *)
+
+val faults : t -> int
+val zero_fills : t -> int
+val cow_copies : t -> int
+val pager_calls : t -> int

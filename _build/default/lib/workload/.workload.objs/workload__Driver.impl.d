@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Kernel List Printf Sim

@@ -1,0 +1,74 @@
+(* Workload drivers.
+
+   [closed_loop] spawns one client process per requested CPU; each loops
+   its operation back-to-back until the horizon and counts completed
+   iterations — the load pattern of the paper's Figure 3 ("independent
+   clients repeatedly requesting...").
+
+   [open_loop] inserts exponentially distributed think time between
+   operations, for latency-under-load style experiments. *)
+
+type counters = {
+  per_client : int array;
+  mutable horizon : Sim.Time.t;
+}
+
+let total c = Array.fold_left ( + ) 0 c.per_client
+
+let throughput_per_sec c =
+  let secs = Sim.Time.to_s c.horizon in
+  if secs <= 0.0 then 0.0 else float_of_int (total c) /. secs
+
+type spec = {
+  cpu : int;
+  name : string;
+  think_mean_us : float option;  (** [None] = closed loop *)
+  identity : (Kernel.Program.t * Kernel.Address_space.t) option;
+      (** share one program/address space across clients (threads of a
+          single parallel program); [None] = a fresh program each *)
+}
+
+let closed_spec ?identity ~cpu ~name () =
+  { cpu; name; think_mean_us = None; identity }
+
+(* Spawn the clients; each runs [body] repeatedly until [horizon]. [body]
+   receives the client process and the iteration number. *)
+let run ?prepare kern ~specs ~horizon ~seed ~body =
+  let engine = Kernel.engine kern in
+  let counters =
+    { per_client = Array.make (List.length specs) 0; horizon }
+  in
+  List.iteri
+    (fun i spec ->
+      let rng = Sim.Rng.create ~seed:(seed + (1000 * i)) in
+      let program, space =
+        match spec.identity with
+        | Some (program, space) -> (program, space)
+        | None ->
+            ( Kernel.new_program kern ~name:spec.name,
+              Kernel.new_user_space kern ~name:spec.name ~node:spec.cpu )
+      in
+      (match prepare with None -> () | Some f -> f ~program ~index:i);
+      ignore
+        (Kernel.spawn kern ~cpu:spec.cpu ~name:spec.name
+           ~kind:Kernel.Process.Client ~program ~space (fun self ->
+             let rec loop n =
+               if Sim.Time.(Sim.Engine.now engine < horizon) then begin
+                 body ~client:self ~iteration:n;
+                 counters.per_client.(i) <- counters.per_client.(i) + 1;
+                 (match spec.think_mean_us with
+                 | None -> ()
+                 | Some mean ->
+                     Sim.Engine.delay engine
+                       (Sim.Time.of_us_float (Sim.Rng.exponential rng ~mean)));
+                 loop (n + 1)
+               end
+             in
+             loop 0)))
+    specs;
+  counters
+
+(* Convenience: [n] closed-loop clients on CPUs 0..n-1. *)
+let one_per_cpu ?identity ~n ~name_prefix () =
+  List.init n (fun cpu ->
+      closed_spec ?identity ~cpu ~name:(Printf.sprintf "%s-%d" name_prefix cpu) ())

@@ -1,0 +1,41 @@
+(** Closed- and open-loop client drivers for throughput experiments. *)
+
+type counters
+
+val total : counters -> int
+val throughput_per_sec : counters -> float
+
+type spec = {
+  cpu : int;
+  name : string;
+  think_mean_us : float option;
+  identity : (Kernel.Program.t * Kernel.Address_space.t) option;
+}
+
+val closed_spec :
+  ?identity:Kernel.Program.t * Kernel.Address_space.t ->
+  cpu:int ->
+  name:string ->
+  unit ->
+  spec
+
+val one_per_cpu :
+  ?identity:Kernel.Program.t * Kernel.Address_space.t ->
+  n:int ->
+  name_prefix:string ->
+  unit ->
+  spec list
+(** [n] closed-loop clients on CPUs 0..n-1; [identity] makes them
+    threads of one parallel program. *)
+
+val run :
+  ?prepare:(program:Kernel.Program.t -> index:int -> unit) ->
+  Kernel.t ->
+  specs:spec list ->
+  horizon:Sim.Time.t ->
+  seed:int ->
+  body:(client:Kernel.Process.t -> iteration:int -> unit) ->
+  counters
+(** Spawn the clients (each with its own program and address space); they
+    loop [body] until the horizon.  Drive the simulation afterwards with
+    [Kernel.run]. *)

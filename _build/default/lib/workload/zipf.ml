@@ -1,0 +1,33 @@
+(* Zipfian sampler over [0, n), for skewed object-popularity workloads
+   (e.g. file popularity between the two Figure 3 extremes). *)
+
+type t = { cdf : float array; rng : Sim.Rng.t }
+
+let create ~n ~theta ~rng =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf; rng }
+
+let n t = Array.length t.cdf
+
+let sample t =
+  let u = Sim.Rng.float t.rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (Array.length t.cdf - 1)

@@ -1,0 +1,9 @@
+(** Zipfian popularity sampler over [0, n). *)
+
+type t
+
+val create : n:int -> theta:float -> rng:Sim.Rng.t -> t
+(** [theta] = 0 is uniform; larger is more skewed. *)
+
+val n : t -> int
+val sample : t -> int

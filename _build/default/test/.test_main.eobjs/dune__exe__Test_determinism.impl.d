@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Array Experiments Hashtbl Kernel List Machine Ppc Printf QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Kernel List Machine Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Gen List Machine QCheck QCheck_alcotest

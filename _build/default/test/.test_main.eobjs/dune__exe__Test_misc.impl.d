@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Fmt Hashtbl Kernel List Machine Naming Ppc Printf Sim

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Gen Kernel Naming Option Ppc Printf QCheck QCheck_alcotest

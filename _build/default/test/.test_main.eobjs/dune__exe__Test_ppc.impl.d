@@ -1,0 +1,1 @@
+test/test_ppc.ml: Alcotest Experiments Fun Kernel List Machine Option Ppc Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ppc_ext.ml: Alcotest Array Kernel List Machine Option Ppc Printf Sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Fun Int Kernel List Machine Ppc Printf QCheck QCheck_alcotest Vm

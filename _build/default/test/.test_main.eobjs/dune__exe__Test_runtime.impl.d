@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Domain Gen Hashtbl List Printf QCheck QCheck_alcotest Runtime

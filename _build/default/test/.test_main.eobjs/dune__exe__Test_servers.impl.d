@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Fun Int Kernel List Machine Naming Option Ppc Printf Servers Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Gen Int List Option QCheck QCheck_alcotest Sim

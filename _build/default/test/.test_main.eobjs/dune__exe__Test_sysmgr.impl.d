@@ -1,0 +1,1 @@
+test/test_sysmgr.ml: Alcotest Kernel Machine Naming Ppc Sysmgr Vm

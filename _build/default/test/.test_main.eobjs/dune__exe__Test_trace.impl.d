@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Kernel List Machine Ppc Printf Sim

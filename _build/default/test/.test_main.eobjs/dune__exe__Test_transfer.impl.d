@@ -1,0 +1,1 @@
+test/test_transfer.ml: Alcotest Kernel Machine Ppc Printf QCheck QCheck_alcotest Transfer

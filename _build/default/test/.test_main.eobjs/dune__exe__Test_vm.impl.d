@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Kernel Machine Option Ppc Printf Servers Sim Vm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Kernel List Machine Printf QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,95 @@
+(* Tests for the LRPC-style baseline. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let test_lrpc_roundtrip () =
+  let kern = Kernel.create ~cpus:1 () in
+  let lrpc =
+    Baseline.Lrpc.install kern ~handler:Ppc.Null_server.adder ~frame_count:2
+  in
+  let got = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.of_list [ 21; 21 ] in
+         let rc = Baseline.Lrpc.call lrpc ~client:self args in
+         Alcotest.(check int) "rc" Ppc.Reg_args.ok rc;
+         got := Ppc.Reg_args.get args 0));
+  Kernel.run kern;
+  Alcotest.(check int) "sum" 42 !got;
+  Alcotest.(check int) "calls counted" 1 (Baseline.Lrpc.calls lrpc)
+
+let test_lrpc_frames_recycled () =
+  let kern = Kernel.create ~cpus:1 () in
+  let lrpc =
+    Baseline.Lrpc.install kern ~handler:Ppc.Null_server.echo ~frame_count:3
+  in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 30 do
+           ignore (Baseline.Lrpc.call lrpc ~client:self (Ppc.Reg_args.make ()))
+         done));
+  Kernel.run kern;
+  Alcotest.(check int) "pool restored" 3 (Baseline.Lrpc.frames_free lrpc);
+  Alcotest.(check int) "no waits uncontended" 0 (Baseline.Lrpc.frame_waits lrpc)
+
+let test_lrpc_global_lock_contended () =
+  let kern = Kernel.create ~cpus:4 () in
+  let lrpc =
+    Baseline.Lrpc.install kern ~handler:Ppc.Null_server.echo ~frame_count:8
+  in
+  let done_ = ref 0 in
+  for cpu = 0 to 3 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+           for _ = 1 to 25 do
+             ignore (Baseline.Lrpc.call lrpc ~client:self (Ppc.Reg_args.make ()))
+           done;
+           incr done_))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "all clients done" 4 !done_;
+  (* Two pool-lock acquisitions per call, and under 4-way load the global
+     lock must have seen contention — the baseline's defining flaw. *)
+  Alcotest.(check int) "lock acquisitions" 200
+    (Kernel.Spinlock.acquisitions (Baseline.Lrpc.pool_lock lrpc));
+  Alcotest.(check bool) "global lock contended" true
+    (Kernel.Spinlock.contended_acquisitions (Baseline.Lrpc.pool_lock lrpc) > 0)
+
+let test_lrpc_dry_pool_waits () =
+  let kern = Kernel.create ~cpus:2 () in
+  (* One frame and a handler that stalls long enough to dry the pool. *)
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 2000;
+    Kernel.Clock.sync ctx.Ppc.Call_ctx.engine ctx.Ppc.Call_ctx.cpu;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let lrpc = Baseline.Lrpc.install kern ~handler ~frame_count:1 in
+  let done_ = ref 0 in
+  for cpu = 0 to 1 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+           for _ = 1 to 5 do
+             ignore (Baseline.Lrpc.call lrpc ~client:self (Ppc.Reg_args.make ()))
+           done;
+           incr done_))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "both finish despite dry pool" 2 !done_;
+  Alcotest.(check bool) "dry-pool waits happened" true
+    (Baseline.Lrpc.frame_waits lrpc > 0)
+
+let suites =
+  [
+    ( "baseline.lrpc",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_lrpc_roundtrip;
+        Alcotest.test_case "frames recycled" `Quick test_lrpc_frames_recycled;
+        Alcotest.test_case "global lock contended" `Quick
+          test_lrpc_global_lock_contended;
+        Alcotest.test_case "dry pool waits" `Quick test_lrpc_dry_pool_waits;
+      ] );
+  ]

@@ -1,0 +1,400 @@
+(* Regression tests over the experiment harnesses: the paper's
+   qualitative claims, plus calibration bands against its reported
+   numbers.  Sizes are reduced for test speed; the bench binary runs the
+   full versions. *)
+
+let fig2 target hold_cd flushed =
+  (Experiments.Fig2.run { Experiments.Fig2.target; hold_cd; flushed })
+    .Experiments.Fig2.total_us
+
+(* Every Figure 2 condition must land within 15% of the paper's value —
+   this is the calibration regression net. *)
+let test_fig2_calibration_bands () =
+  List.iter
+    (fun c ->
+      let r = Experiments.Fig2.run c in
+      match r.Experiments.Fig2.paper_us with
+      | None -> ()
+      | Some paper ->
+          let err =
+            Float.abs (r.Experiments.Fig2.total_us -. paper) /. paper
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %.1f us vs paper %.1f (%.0f%% off)"
+               (Experiments.Fig2.condition_name c)
+               r.Experiments.Fig2.total_us paper (100.0 *. err))
+            true (err < 0.15))
+    Experiments.Fig2.all_conditions
+
+let test_fig2_breakdown_sums () =
+  let r =
+    Experiments.Fig2.run
+      { Experiments.Fig2.target = Experiments.Fig2.To_user;
+        hold_cd = false;
+        flushed = false;
+      }
+  in
+  let sum =
+    List.fold_left (fun acc (_, us) -> acc +. us) 0.0 r.Experiments.Fig2.breakdown
+  in
+  Alcotest.(check (float 1e-6)) "categories sum to total"
+    r.Experiments.Fig2.total_us sum
+
+let test_fig2_orderings () =
+  let u2u = fig2 Experiments.Fig2.To_user false false in
+  let u2u_hold = fig2 Experiments.Fig2.To_user true false in
+  let u2k = fig2 Experiments.Fig2.To_kernel false false in
+  let u2k_hold = fig2 Experiments.Fig2.To_kernel true false in
+  let u2u_flush = fig2 Experiments.Fig2.To_user false true in
+  Alcotest.(check bool) "hold < plain (u2u)" true (u2u_hold < u2u);
+  Alcotest.(check bool) "kernel < user target" true (u2k < u2u);
+  Alcotest.(check bool) "kernel hold is cheapest" true
+    (u2k_hold < u2k && u2k_hold < u2u_hold);
+  Alcotest.(check bool) "flushed is dearest" true (u2u_flush > u2u)
+
+let test_fig3_different_files_linear () =
+  let r =
+    Experiments.Fig3.run ~max_cpus:4 ~horizon:(Sim.Time.ms 30)
+      ~mode:Experiments.Fig3.Different_files ()
+  in
+  let lin = Experiments.Fig3.linearity r in
+  Alcotest.(check bool)
+    (Printf.sprintf "linearity >= 0.97 (got %.3f)" lin)
+    true (lin >= 0.97);
+  Alcotest.(check bool) "base latency in band (paper 66 us)" true
+    (r.Experiments.Fig3.base_call_us > 50.0
+    && r.Experiments.Fig3.base_call_us < 80.0)
+
+let test_fig3_single_file_saturates () =
+  let r =
+    Experiments.Fig3.run ~max_cpus:8 ~horizon:(Sim.Time.ms 30)
+      ~mode:Experiments.Fig3.Single_file ()
+  in
+  let sat = Experiments.Fig3.saturation_cpus r in
+  Alcotest.(check bool)
+    (Printf.sprintf "saturates between 3 and 5 CPUs (got %d)" sat)
+    true
+    (sat >= 3 && sat <= 5);
+  (* And well below perfect speedup at 8. *)
+  let p8 = List.nth r.Experiments.Fig3.points 7 in
+  Alcotest.(check bool) "8-CPU throughput far from perfect" true
+    (p8.Experiments.Fig3.throughput < 0.6 *. r.Experiments.Fig3.perfect 8)
+
+let test_ablation_msg_slower () =
+  let r = Experiments.Ablate_msg.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "msg (%.1f) > ppc (%.1f)" r.Experiments.Ablate_msg.msg_us
+       r.Experiments.Ablate_msg.ppc_us)
+    true
+    (r.Experiments.Ablate_msg.msg_us > 1.15 *. r.Experiments.Ablate_msg.ppc_us)
+
+let test_ablation_async_overlaps () =
+  let r = Experiments.Ablate_async.run ~blocks:8 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "async (%.0f us) at least 1.5x faster than sync (%.0f us)"
+       r.Experiments.Ablate_async.async_elapsed_us
+       r.Experiments.Ablate_async.sync_elapsed_us)
+    true
+    (r.Experiments.Ablate_async.async_elapsed_us *. 1.5
+    < r.Experiments.Ablate_async.sync_elapsed_us)
+
+let test_ablation_lrpc_saturates () =
+  let points = Experiments.Ablate_lrpc.run ~max_cpus:6 ~horizon:(Sim.Time.ms 20) () in
+  let p1 = List.hd points and p6 = List.nth points 5 in
+  (* PPC scales ~6x; LRPC must be far behind by 6 CPUs. *)
+  Alcotest.(check bool) "ppc scales" true
+    (p6.Experiments.Ablate_lrpc.ppc_tput
+    > 5.0 *. p1.Experiments.Ablate_lrpc.ppc_tput);
+  Alcotest.(check bool) "lrpc saturates" true
+    (p6.Experiments.Ablate_lrpc.lrpc_tput
+    < 3.5 *. p1.Experiments.Ablate_lrpc.lrpc_tput)
+
+let test_ablation_remote_costs_cpu () =
+  let r = Experiments.Ablate_remote.run ~cpus:4 () in
+  Alcotest.(check bool) "remote burns more CPU than local" true
+    (r.Experiments.Ablate_remote.remote_busy_us
+    > 1.5 *. r.Experiments.Ablate_remote.local_busy_us)
+
+let test_holdcd_crossover () =
+  let points =
+    Experiments.Ablate_holdcd.run ~calls:100 ~server_counts:[ 1; 12 ] ()
+  in
+  match points with
+  | [ one; many ] ->
+      Alcotest.(check bool) "hold-CD wins with one server" true
+        (one.Experiments.Ablate_holdcd.hold_us
+        <= one.Experiments.Ablate_holdcd.recycle_us);
+      Alcotest.(check bool) "recycling wins with many servers" true
+        (many.Experiments.Ablate_holdcd.recycle_us
+        < many.Experiments.Ablate_holdcd.hold_us)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_uniproc_context_competitive () =
+  let r = Experiments.Uniproc_context.run () in
+  (* "Our IPC overhead is comparable to the best times achieved on
+     uniprocessor systems": cheaper in cycles than Mach and QNX. *)
+  let our_cycles = r.Experiments.Uniproc_context.ours_user_us *. 16.67 in
+  List.iter
+    (fun e ->
+      if e.Experiments.Uniproc_context.system <> "L3 (Liedtke)" then
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer cycles than %s" e.Experiments.Uniproc_context.system)
+          true
+          (our_cycles
+          < e.Experiments.Uniproc_context.reported_us
+            *. e.Experiments.Uniproc_context.mhz))
+    r.Experiments.Uniproc_context.table
+
+let suites =
+  [
+    ( "experiments.fig2",
+      [
+        Alcotest.test_case "calibration within 15% of paper" `Quick
+          test_fig2_calibration_bands;
+        Alcotest.test_case "breakdown sums to total" `Quick
+          test_fig2_breakdown_sums;
+        Alcotest.test_case "orderings preserved" `Quick test_fig2_orderings;
+      ] );
+    ( "experiments.fig3",
+      [
+        Alcotest.test_case "different files linear" `Slow
+          test_fig3_different_files_linear;
+        Alcotest.test_case "single file saturates ~4" `Slow
+          test_fig3_single_file_saturates;
+      ] );
+    ( "experiments.ablations",
+      [
+        Alcotest.test_case "msg slower than ppc" `Quick test_ablation_msg_slower;
+        Alcotest.test_case "async overlaps io" `Quick test_ablation_async_overlaps;
+        Alcotest.test_case "lrpc saturates" `Slow test_ablation_lrpc_saturates;
+        Alcotest.test_case "remote costs cpu" `Quick test_ablation_remote_costs_cpu;
+        Alcotest.test_case "hold-CD crossover" `Slow test_holdcd_crossover;
+        Alcotest.test_case "uniprocessor context" `Quick
+          test_uniproc_context_competitive;
+      ] );
+  ]
+
+(* --- extended experiments (F3b, F3c, L1, T-text-3) ----------------------- *)
+
+let test_t3_worst_case_band () =
+  let r = Experiments.Fig2_icache.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "extra %.1f us within paper's 20-30 band (+/- 5)"
+       r.Experiments.Fig2_icache.extra_us)
+    true
+    (r.Experiments.Fig2_icache.extra_us > 15.0
+    && r.Experiments.Fig2_icache.extra_us < 35.0);
+  Alcotest.(check bool) "worst > flushed > primed" true
+    (r.Experiments.Fig2_icache.worst_us > r.Experiments.Fig2_icache.dflushed_us
+    && r.Experiments.Fig2_icache.dflushed_us
+       > r.Experiments.Fig2_icache.primed_us)
+
+let test_f3b_zipf_monotone () =
+  let points =
+    Experiments.Fig3_zipf.run ~cpus:4 ~files:4 ~horizon:(Sim.Time.ms 20)
+      ~thetas:[ 0.0; 1.2; 4.0 ] ()
+  in
+  match points with
+  | [ uniform; skewed; extreme ] ->
+      Alcotest.(check bool) "skew hurts" true
+        (uniform.Experiments.Fig3_zipf.throughput
+        > skewed.Experiments.Fig3_zipf.throughput);
+      Alcotest.(check bool) "heavy skew hurts more" true
+        (skewed.Experiments.Fig3_zipf.throughput
+        > extreme.Experiments.Fig3_zipf.throughput)
+  | _ -> Alcotest.fail "expected three points"
+
+let test_f3c_origin_irrelevant () =
+  let points = Experiments.Program_mix.run ~cpus:4 ~horizon:(Sim.Time.ms 20) () in
+  let spread = Experiments.Program_mix.spread points in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput spread %.2f%% < 3%%" (100.0 *. spread))
+    true (spread < 0.03)
+
+let test_l1_single_file_tail_inflates () =
+  let run mode =
+    Experiments.Latency_load.run ~cpus:8 ~horizon:(Sim.Time.ms 30)
+      ~thinks:[ 400.0; 25.0 ] ~mode ()
+  in
+  match
+    (run Experiments.Latency_load.Different_files,
+     run Experiments.Latency_load.Single_file)
+  with
+  | [ d_light; d_heavy ], [ s_light; s_heavy ] ->
+      (* Different files: p50 flat as load rises. *)
+      Alcotest.(check bool) "different-files p50 stays flat" true
+        (d_heavy.Experiments.Latency_load.p50_us
+        < d_light.Experiments.Latency_load.p50_us +. 5.0);
+      (* Single file: median inflates under load. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "single-file p50 inflates (%.1f -> %.1f)"
+           s_light.Experiments.Latency_load.p50_us
+           s_heavy.Experiments.Latency_load.p50_us)
+        true
+        (s_heavy.Experiments.Latency_load.p50_us
+        > s_light.Experiments.Latency_load.p50_us +. 15.0)
+  | _ -> Alcotest.fail "expected two points each"
+
+let ext_suites =
+  [
+    ( "experiments.extended",
+      [
+        Alcotest.test_case "t3 worst-case band" `Quick test_t3_worst_case_band;
+        Alcotest.test_case "f3b zipf monotone" `Slow test_f3b_zipf_monotone;
+        Alcotest.test_case "f3c origin irrelevant" `Slow
+          test_f3c_origin_irrelevant;
+        Alcotest.test_case "l1 single-file tail" `Slow
+          test_l1_single_file_tail_inflates;
+      ] );
+  ]
+
+let suites = suites @ ext_suites
+
+let test_a7_rw_lifts_ceiling () =
+  let points =
+    Experiments.Ablate_rwlock.run ~max_cpus:8 ~horizon:(Sim.Time.ms 20) ()
+  in
+  let p8 = List.find (fun p -> p.Experiments.Ablate_rwlock.cpus = 8) points in
+  Alcotest.(check bool)
+    (Printf.sprintf "rw (%.0f) at least 2x mutex (%.0f) at 8 CPUs"
+       p8.Experiments.Ablate_rwlock.rw_tput p8.Experiments.Ablate_rwlock.mutex_tput)
+    true
+    (p8.Experiments.Ablate_rwlock.rw_tput
+    > 2.0 *. p8.Experiments.Ablate_rwlock.mutex_tput)
+
+let a7_suite =
+  ( "experiments.a7",
+    [ Alcotest.test_case "rw lifts single-file ceiling" `Slow test_a7_rw_lifts_ceiling ] )
+
+let suites = suites @ [ a7_suite ]
+
+let test_a8_transport_ordering () =
+  let r = Experiments.Ablate_compat.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "native PPC (%.1f) < legacy msg (%.1f) < compat (%.1f)"
+       r.Experiments.Ablate_compat.native_ppc_us
+       r.Experiments.Ablate_compat.native_msg_us
+       r.Experiments.Ablate_compat.compat_us)
+    true
+    (r.Experiments.Ablate_compat.native_ppc_us
+     < r.Experiments.Ablate_compat.native_msg_us
+    && r.Experiments.Ablate_compat.native_msg_us
+       < r.Experiments.Ablate_compat.compat_us)
+
+let a8_suite =
+  ( "experiments.a8",
+    [ Alcotest.test_case "transport ordering" `Quick test_a8_transport_ordering ] )
+
+let suites = suites @ [ a8_suite ]
+
+let test_a9_clustering_trade () =
+  let r = Experiments.Ablate_cluster.run ~horizon:(Sim.Time.ms 10) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustered lookups faster (%.0f vs %.0f)"
+       r.Experiments.Ablate_cluster.clustered_tput
+       r.Experiments.Ablate_cluster.central_tput)
+    true
+    (r.Experiments.Ablate_cluster.clustered_tput
+    > 2.0 *. r.Experiments.Ablate_cluster.central_tput);
+  Alcotest.(check bool) "clustered writes dearer" true
+    (r.Experiments.Ablate_cluster.clustered_register_us
+    > 2.0 *. r.Experiments.Ablate_cluster.central_register_us)
+
+let a9_suite =
+  ( "experiments.a9",
+    [ Alcotest.test_case "clustering trade" `Slow test_a9_clustering_trade ] )
+
+let suites = suites @ [ a9_suite ]
+
+let test_e2_technology_flip () =
+  let points = Experiments.Ablate_migration.run () in
+  match points with
+  | [ firefly; hector ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "migration wins on Firefly (%.1f vs %.1f)"
+           firefly.Experiments.Ablate_migration.migrated_us
+           firefly.Experiments.Ablate_migration.local_us)
+        true
+        (firefly.Experiments.Ablate_migration.migrated_us
+        < firefly.Experiments.Ablate_migration.local_us);
+      Alcotest.(check bool)
+        (Printf.sprintf "prohibitive on Hector (%.1f vs %.1f)"
+           hector.Experiments.Ablate_migration.migrated_us
+           hector.Experiments.Ablate_migration.local_us)
+        true
+        (hector.Experiments.Ablate_migration.migrated_us
+        > 3.0 *. hector.Experiments.Ablate_migration.local_us)
+  | _ -> Alcotest.fail "expected two regimes"
+
+let e2_suite =
+  ( "experiments.e2",
+    [ Alcotest.test_case "technology flips the verdict" `Quick test_e2_technology_flip ] )
+
+let suites = suites @ [ e2_suite ]
+
+(* Finer-grained calibration: category-level claims from the paper's
+   text, not just the totals. *)
+let test_fig2_category_claims () =
+  let breakdown cond =
+    (Experiments.Fig2.run cond).Experiments.Fig2.breakdown
+  in
+  let get cat b = try List.assoc cat b with Not_found -> 0.0 in
+  let u2u =
+    breakdown
+      { Experiments.Fig2.target = Experiments.Fig2.To_user;
+        hold_cd = false; flushed = false }
+  in
+  let u2k =
+    breakdown
+      { Experiments.Fig2.target = Experiments.Fig2.To_kernel;
+        hold_cd = false; flushed = false }
+  in
+  (* "A trap to (and return from) supervisor mode requires approximately
+     1.7 us" — two pairs per call. *)
+  let trap = get Machine.Account.Trap_overhead u2u in
+  Alcotest.(check bool)
+    (Printf.sprintf "trap overhead ~3.4 us (got %.2f)" trap)
+    true
+    (trap > 3.0 && trap < 3.8);
+  (* The u2u/u2k gap lives in TLB setup + TLB misses. *)
+  let tlb_gap =
+    get Machine.Account.Tlb_setup u2u
+    +. get Machine.Account.Tlb_miss u2u
+    -. get Machine.Account.Tlb_setup u2k
+    -. get Machine.Account.Tlb_miss u2k
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "TLB work explains most of the u2u-u2k gap (%.1f us)"
+       tlb_gap)
+    true
+    (tlb_gap > 8.0 && tlb_gap < 13.0);
+  (* "A call to a service in the supervisor address space does not
+     require a TLB flush and thus incurs fewer TLB misses." *)
+  Alcotest.(check bool) "u2k has at most 2 TLB misses" true
+    (get Machine.Account.Tlb_miss u2k < 2.0 *. 27.0 *. 0.06);
+  (* Flushed adds ~half to user save/restore, ~half to kernel data. *)
+  let u2u_flushed =
+    breakdown
+      { Experiments.Fig2.target = Experiments.Fig2.To_user;
+        hold_cd = false; flushed = true }
+  in
+  let user_delta =
+    get Machine.Account.User_save_restore u2u_flushed
+    -. get Machine.Account.User_save_restore u2u
+  in
+  let total_delta =
+    List.fold_left (fun a (_, v) -> a +. v) 0.0 u2u_flushed
+    -. List.fold_left (fun a (_, v) -> a +. v) 0.0 u2u
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "user save/restore is roughly half the flushed delta (%.1f of %.1f)"
+       user_delta total_delta)
+    true
+    (user_delta > 0.3 *. total_delta && user_delta < 0.6 *. total_delta)
+
+let category_suite =
+  ( "experiments.fig2_categories",
+    [ Alcotest.test_case "category-level claims" `Quick test_fig2_category_claims ] )
+
+let suites = suites @ [ category_suite ]

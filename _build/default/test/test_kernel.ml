@@ -1,0 +1,499 @@
+(* Tests for the Hurricane kernel substrate: address spaces, processes,
+   the per-CPU scheduler, spinlocks, interrupts, message IPC. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+(* --- programs ---------------------------------------------------------- *)
+
+let test_program_registry () =
+  let reg = Kernel.Program.make_registry () in
+  let a = Kernel.Program.register reg ~name:"a" in
+  let b = Kernel.Program.register reg ~name:"b" in
+  Alcotest.(check bool) "distinct ids" true
+    (Kernel.Program.id a <> Kernel.Program.id b);
+  Alcotest.(check (option string)) "find" (Some "a")
+    (Option.map Kernel.Program.name (Kernel.Program.find reg (Kernel.Program.id a)));
+  Alcotest.(check (option string)) "missing" None
+    (Option.map Kernel.Program.name (Kernel.Program.find reg 999))
+
+(* --- address spaces ---------------------------------------------------- *)
+
+let test_address_space_mapping () =
+  let kern = Kernel.create ~cpus:1 () in
+  let space = Kernel.new_user_space kern ~name:"s" ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let frame = Kernel.alloc_page kern ~node:0 in
+  Alcotest.(check bool) "unmapped" false
+    (Kernel.Address_space.is_mapped space 0x40_0000);
+  Kernel.Address_space.map cpu space ~vaddr:0x40_0000 ~frame;
+  Alcotest.(check bool) "mapped" true
+    (Kernel.Address_space.is_mapped space 0x40_0000);
+  Alcotest.(check (option int)) "translate offset" (Some (frame + 0x123))
+    (Kernel.Address_space.translate space 0x40_0123);
+  Kernel.Address_space.unmap cpu space ~vaddr:0x40_0000;
+  Alcotest.(check (option int)) "translate after unmap" None
+    (Kernel.Address_space.translate space 0x40_0000)
+
+let test_address_space_unmap_invalidates_tlb () =
+  let kern = Kernel.create ~cpus:1 () in
+  let space = Kernel.new_user_space kern ~name:"s" ~node:0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let frame = Kernel.alloc_page kern ~node:0 in
+  Kernel.Address_space.map cpu space ~vaddr:0x40_0000 ~frame;
+  ignore (Machine.Tlb.lookup (Machine.Cpu.tlb cpu) Machine.Tlb.User 0x40_0000);
+  Alcotest.(check bool) "tlb has entry" true
+    (Machine.Tlb.contains (Machine.Cpu.tlb cpu) Machine.Tlb.User 0x40_0000);
+  Kernel.Address_space.unmap cpu space ~vaddr:0x40_0000;
+  Alcotest.(check bool) "tlb entry invalidated" false
+    (Machine.Tlb.contains (Machine.Cpu.tlb cpu) Machine.Tlb.User 0x40_0000)
+
+let test_kernel_space_is_supervisor () =
+  let kern = Kernel.create ~cpus:1 () in
+  Alcotest.(check bool) "kernel space supervisor" true
+    (Kernel.Address_space.space_of (Kernel.kernel_space kern)
+    = Machine.Tlb.Supervisor)
+
+(* --- process sleep/wake ------------------------------------------------ *)
+
+let test_process_prewake_absorbed () =
+  let e = Sim.Engine.create () in
+  let reg = Kernel.Program.make_registry () in
+  let prog = Kernel.Program.register reg ~name:"p" in
+  let space =
+    Kernel.Address_space.create ~kind:Kernel.Address_space.User ~name:"s"
+      ~pte_base:0 ~page_bytes:4096
+  in
+  let p =
+    Kernel.Process.create ~name:"p" ~kind:Kernel.Process.Client ~program:prog
+      ~space ~cpu_index:0
+  in
+  let passed = ref false in
+  (* Wake before the sleep point: the pre-wake flag must absorb it. *)
+  Kernel.Process.wake p;
+  Sim.Engine.spawn e (fun () ->
+      Kernel.Process.sleep e p;
+      passed := true);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "prewake absorbed" true !passed
+
+(* --- scheduler --------------------------------------------------------- *)
+
+let test_scheduler_runs_in_ready_order () =
+  let kern = Kernel.create ~cpus:1 () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun _ ->
+           order := i :: !order))
+  done;
+  Kernel.run kern;
+  Alcotest.(check (list int)) "fifo start order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_scheduler_block_ready () =
+  let kern = Kernel.create ~cpus:1 () in
+  let kc = Kernel.kcpu kern 0 in
+  let trace = ref [] in
+  let blocked = ref None in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"sleeper" (fun self ->
+         trace := "sleeper-start" :: !trace;
+         blocked := Some self;
+         Kernel.Kcpu.block kc self;
+         trace := "sleeper-woken" :: !trace));
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"waker" (fun _ ->
+         trace := "waker" :: !trace;
+         Kernel.Kcpu.ready kc (Option.get !blocked)));
+  Kernel.run kern;
+  Alcotest.(check (list string)) "block then wake"
+    [ "sleeper-start"; "waker"; "sleeper-woken" ]
+    (List.rev !trace)
+
+let test_scheduler_front_band_priority () =
+  let kern = Kernel.create ~cpus:1 () in
+  let kc = Kernel.kcpu kern 0 in
+  let order = ref [] in
+  (* Occupy the CPU, then enqueue one normal and one front process while
+     it still runs; front must be dispatched first. *)
+  let prog = Kernel.new_program kern ~name:"x" in
+  let space = Kernel.new_user_space kern ~name:"x" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"hog" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         ignore
+           (Kernel.spawn kern ~cpu:0 ~name:"normal" ~kind:Kernel.Process.Client
+              ~program:prog ~space (fun _ -> order := "normal" :: !order));
+         ignore
+           (Kernel.spawn ~band:`Front kern ~cpu:0 ~name:"front"
+              ~kind:Kernel.Process.Kernel_daemon ~program:prog ~space (fun _ ->
+                order := "front" :: !order));
+         Kernel.Kcpu.yield kc self;
+         order := "hog" :: !order));
+  Kernel.run kern;
+  Alcotest.(check (list string)) "front band first"
+    [ "front"; "normal"; "hog" ]
+    (List.rev !order)
+
+let test_scheduler_handoff_bypasses_queue () =
+  let kern = Kernel.create ~cpus:1 () in
+  let kc = Kernel.kcpu kern 0 in
+  let order = ref [] in
+  let prog = Kernel.new_program kern ~name:"x" in
+  let space = Kernel.new_user_space kern ~name:"x" ~node:0 in
+  (* A parked target... *)
+  let target =
+    Kernel.Process.create ~name:"target" ~kind:Kernel.Process.Worker
+      ~program:prog ~space ~cpu_index:0
+  in
+  let caller_ref = ref None in
+  Kernel.Kcpu.start_parked kc target (fun () ->
+      order := "target" :: !order;
+      Kernel.Kcpu.handoff_back kc ~from:target ~target:(Option.get !caller_ref));
+  (* ...a competing ready process... *)
+  ignore (spawn_client kern ~cpu:0 ~name:"compete" (fun _ ->
+      order := "compete" :: !order));
+  (* ...and a caller that hands off: the target must run before the
+     queued competitor. *)
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"caller" (fun self ->
+         caller_ref := Some self;
+         order := "caller" :: !order;
+         Kernel.Kcpu.handoff_sleep kc ~from:self ~target;
+         order := "caller-back" :: !order));
+  Kernel.run kern;
+  Alcotest.(check (list string)) "handoff order"
+    [ "compete"; "caller"; "target"; "caller-back" ]
+    (List.rev !order)
+
+let test_scheduler_handoff_ready_requeues_caller () =
+  let kern = Kernel.create ~cpus:1 () in
+  let kc = Kernel.kcpu kern 0 in
+  let order = ref [] in
+  let prog = Kernel.new_program kern ~name:"x" in
+  let space = Kernel.new_user_space kern ~name:"x" ~node:0 in
+  let target =
+    Kernel.Process.create ~name:"target" ~kind:Kernel.Process.Worker
+      ~program:prog ~space ~cpu_index:0
+  in
+  Kernel.Kcpu.start_parked kc target (fun () ->
+      order := "target-runs" :: !order;
+      (* Async completion: park; the dispatcher picks the caller back up. *)
+      Kernel.Kcpu.park kc target);
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"caller" (fun self ->
+         order := "caller-pre" :: !order;
+         Kernel.Kcpu.handoff_ready kc ~from:self ~target;
+         order := "caller-resumed" :: !order));
+  Kernel.run kern;
+  Alcotest.(check (list string)) "async handoff order"
+    [ "caller-pre"; "target-runs"; "caller-resumed" ]
+    (List.rev !order)
+
+let test_scheduler_idle_accounting () =
+  let kern = Kernel.create ~cpus:1 () in
+  let kc = Kernel.kcpu kern 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun _ ->
+         Machine.Cpu.instr (Kernel.Kcpu.cpu kc) 1000;
+         Kernel.Kcpu.sync kc));
+  (* Busy for 1000 cycles (60 us), then idle. *)
+  Kernel.run ~until:(Sim.Time.us 120) kern;
+  let util = Kernel.Kcpu.utilisation kc ~horizon:(Sim.Time.us 120) in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilisation ~50%% (got %.2f)" util)
+    true
+    (util > 0.4 && util < 0.6)
+
+(* --- spinlock ---------------------------------------------------------- *)
+
+let test_spinlock_mutual_exclusion () =
+  let kern = Kernel.create ~cpus:4 () in
+  let lock =
+    Kernel.Spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  for cpu = 0 to 3 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+           let kc = Kernel.kcpu kern cpu in
+           let mcpu = Kernel.Kcpu.cpu kc in
+           let engine = Kernel.engine kern in
+           for _ = 1 to 20 do
+             Kernel.Spinlock.acquire engine mcpu self lock;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Machine.Cpu.instr mcpu 50;
+             Kernel.Clock.sync engine mcpu;
+             decr inside;
+             incr total;
+             Kernel.Spinlock.release engine mcpu self lock
+           done))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "all critical sections ran" 80 !total;
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "acquisitions" 80 (Kernel.Spinlock.acquisitions lock);
+  Alcotest.(check bool) "some contention happened" true
+    (Kernel.Spinlock.contended_acquisitions lock > 0)
+
+let test_spinlock_release_by_nonholder_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  let lock =
+    Kernel.Spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  let failed = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let kc = Kernel.kcpu kern 0 in
+         let mcpu = Kernel.Kcpu.cpu kc in
+         (try
+            Kernel.Spinlock.release (Kernel.engine kern) mcpu self lock
+          with Invalid_argument _ -> failed := true)));
+  Kernel.run kern;
+  Alcotest.(check bool) "release without acquire rejected" true !failed
+
+(* --- interrupts -------------------------------------------------------- *)
+
+let test_interrupt_delivery () =
+  let kern = Kernel.create ~cpus:2 () in
+  let fired = ref [] in
+  Kernel.Interrupt.register (Kernel.interrupts kern) ~vector:5 ~name:"test"
+    ~kcpu:(Kernel.kcpu kern 1)
+    ~program:(Kernel.kernel_program kern)
+    ~space:(Kernel.kernel_space kern)
+    (fun _p -> fired := Kernel.now kern :: !fired);
+  Kernel.Interrupt.raise_vector (Kernel.interrupts kern) ~vector:5;
+  Kernel.Interrupt.raise_vector (Kernel.interrupts kern) ~vector:5;
+  Kernel.run kern;
+  Alcotest.(check int) "both delivered" 2 (List.length !fired);
+  Alcotest.(check int) "raised counter" 2
+    (Kernel.Interrupt.raised (Kernel.interrupts kern));
+  (* Delivery latency: nothing fires at time zero. *)
+  List.iter
+    (fun t -> Alcotest.(check bool) "latency applied" true (t >= Sim.Time.us 2))
+    !fired
+
+let test_interrupt_unregistered_vector_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  Alcotest.check_raises "unknown vector"
+    (Invalid_argument "Interrupt.raise_vector: unregistered vector") (fun () ->
+      Kernel.Interrupt.raise_vector (Kernel.interrupts kern) ~vector:77)
+
+(* --- message IPC ------------------------------------------------------- *)
+
+let make_msg kern =
+  Kernel.Msg_ipc.create ~engine:(Kernel.engine kern)
+    ~kcpu_of:(Kernel.kcpu kern)
+    ~alloc:(fun ~bytes ~node -> Kernel.alloc kern ~bytes ~node)
+    ()
+
+let test_msg_round_trip () =
+  let kern = Kernel.create ~cpus:1 () in
+  let msg = make_msg kern in
+  let port =
+    Kernel.Msg_ipc.make_port ~name:"p" ~node:0 ~alloc:(fun ~bytes ~node ->
+        Kernel.alloc kern ~bytes ~node)
+  in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"server" (fun self ->
+         Kernel.Msg_ipc.serve msg port ~server:self (fun args ->
+             Array.map (fun x -> x * 2) args)));
+  let result = ref [||] in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"client" (fun self ->
+         result :=
+           Kernel.Msg_ipc.send msg port ~client:self [| 1; 2; 3; 4; 5; 6; 7; 8 |]));
+  Kernel.run kern;
+  Alcotest.(check (array int)) "doubled" [| 2; 4; 6; 8; 10; 12; 14; 16 |] !result
+
+let test_msg_multiple_clients () =
+  let kern = Kernel.create ~cpus:2 () in
+  let msg = make_msg kern in
+  let port =
+    Kernel.Msg_ipc.make_port ~name:"p" ~node:0 ~alloc:(fun ~bytes ~node ->
+        Kernel.alloc kern ~bytes ~node)
+  in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"server" (fun self ->
+         Kernel.Msg_ipc.serve msg port ~server:self (fun args -> args)));
+  let completed = ref 0 in
+  for i = 0 to 1 do
+    ignore
+      (spawn_client kern ~cpu:1 ~name:(Printf.sprintf "client%d" i) (fun self ->
+           for _ = 1 to 10 do
+             ignore (Kernel.Msg_ipc.send msg port ~client:self [| i |])
+           done;
+           incr completed))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "both clients done" 2 !completed;
+  Alcotest.(check int) "20 sends" 20 (Kernel.Msg_ipc.sends port)
+
+let test_msg_oversized_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  let msg = make_msg kern in
+  let port =
+    Kernel.Msg_ipc.make_port ~name:"p" ~node:0 ~alloc:(fun ~bytes ~node ->
+        Kernel.alloc kern ~bytes ~node)
+  in
+  let raised = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"client" (fun self ->
+         try ignore (Kernel.Msg_ipc.send msg port ~client:self (Array.make 9 0))
+         with Invalid_argument _ -> raised := true));
+  Kernel.run kern;
+  Alcotest.(check bool) "9 words rejected" true !raised
+
+let suites =
+  [
+    ( "kernel.program",
+      [ Alcotest.test_case "registry" `Quick test_program_registry ] );
+    ( "kernel.address_space",
+      [
+        Alcotest.test_case "map/translate/unmap" `Quick
+          test_address_space_mapping;
+        Alcotest.test_case "unmap invalidates TLB" `Quick
+          test_address_space_unmap_invalidates_tlb;
+        Alcotest.test_case "kernel space supervisor" `Quick
+          test_kernel_space_is_supervisor;
+      ] );
+    ( "kernel.process",
+      [ Alcotest.test_case "prewake absorbed" `Quick test_process_prewake_absorbed ]
+    );
+    ( "kernel.scheduler",
+      [
+        Alcotest.test_case "ready order" `Quick test_scheduler_runs_in_ready_order;
+        Alcotest.test_case "block and ready" `Quick test_scheduler_block_ready;
+        Alcotest.test_case "front band priority" `Quick
+          test_scheduler_front_band_priority;
+        Alcotest.test_case "handoff bypasses queue" `Quick
+          test_scheduler_handoff_bypasses_queue;
+        Alcotest.test_case "async handoff requeues caller" `Quick
+          test_scheduler_handoff_ready_requeues_caller;
+        Alcotest.test_case "idle accounting" `Quick test_scheduler_idle_accounting;
+      ] );
+    ( "kernel.spinlock",
+      [
+        Alcotest.test_case "mutual exclusion" `Quick test_spinlock_mutual_exclusion;
+        Alcotest.test_case "non-holder release rejected" `Quick
+          test_spinlock_release_by_nonholder_rejected;
+      ] );
+    ( "kernel.interrupt",
+      [
+        Alcotest.test_case "delivery with latency" `Quick test_interrupt_delivery;
+        Alcotest.test_case "unknown vector rejected" `Quick
+          test_interrupt_unregistered_vector_rejected;
+      ] );
+    ( "kernel.msg_ipc",
+      [
+        Alcotest.test_case "round trip" `Quick test_msg_round_trip;
+        Alcotest.test_case "multiple clients" `Quick test_msg_multiple_clients;
+        Alcotest.test_case "oversized rejected" `Quick test_msg_oversized_rejected;
+      ] );
+  ]
+
+(* --- readers-writer spinlock -------------------------------------------- *)
+
+let test_rwlock_readers_share () =
+  let kern = Kernel.create ~cpus:4 () in
+  let rw =
+    Kernel.Rw_spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  let inside = ref 0 and max_inside = ref 0 in
+  for cpu = 0 to 3 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "r%d" cpu) (fun self ->
+           let kc = Kernel.kcpu kern cpu in
+           let mcpu = Kernel.Kcpu.cpu kc in
+           let engine = Kernel.engine kern in
+           for _ = 1 to 10 do
+             Kernel.Rw_spinlock.acquire_read engine mcpu self rw;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Machine.Cpu.instr mcpu 200;
+             Kernel.Clock.sync engine mcpu;
+             decr inside;
+             Kernel.Rw_spinlock.release_read engine mcpu self rw
+           done))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "40 read acquisitions" 40
+    (Kernel.Rw_spinlock.read_acquisitions rw);
+  Alcotest.(check bool)
+    (Printf.sprintf "readers overlapped (max %d inside)" !max_inside)
+    true (!max_inside >= 2)
+
+let test_rwlock_writer_excludes () =
+  let kern = Kernel.create ~cpus:4 () in
+  let rw =
+    Kernel.Rw_spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  let readers_inside = ref 0 and writers_inside = ref 0 in
+  let violations = ref 0 in
+  for cpu = 0 to 2 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "r%d" cpu) (fun self ->
+           let kc = Kernel.kcpu kern cpu in
+           let mcpu = Kernel.Kcpu.cpu kc in
+           let engine = Kernel.engine kern in
+           for _ = 1 to 15 do
+             Kernel.Rw_spinlock.acquire_read engine mcpu self rw;
+             incr readers_inside;
+             if !writers_inside > 0 then incr violations;
+             Machine.Cpu.instr mcpu 100;
+             Kernel.Clock.sync engine mcpu;
+             decr readers_inside;
+             Kernel.Rw_spinlock.release_read engine mcpu self rw
+           done))
+  done;
+  ignore
+    (spawn_client kern ~cpu:3 ~name:"writer" (fun self ->
+         let kc = Kernel.kcpu kern 3 in
+         let mcpu = Kernel.Kcpu.cpu kc in
+         let engine = Kernel.engine kern in
+         for _ = 1 to 10 do
+           Kernel.Rw_spinlock.acquire_write engine mcpu self rw;
+           incr writers_inside;
+           if !readers_inside > 0 || !writers_inside > 1 then incr violations;
+           Machine.Cpu.instr mcpu 300;
+           Kernel.Clock.sync engine mcpu;
+           decr writers_inside;
+           Kernel.Rw_spinlock.release_write engine mcpu self rw
+         done));
+  Kernel.run kern;
+  Alcotest.(check int) "no exclusion violations" 0 !violations;
+  Alcotest.(check int) "all writes happened" 10
+    (Kernel.Rw_spinlock.write_acquisitions rw)
+
+let test_rwlock_bogus_release_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  let rw =
+    Kernel.Rw_spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  let read_raised = ref false and write_raised = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let kc = Kernel.kcpu kern 0 in
+         let mcpu = Kernel.Kcpu.cpu kc in
+         let engine = Kernel.engine kern in
+         (try Kernel.Rw_spinlock.release_read engine mcpu self rw
+          with Invalid_argument _ -> read_raised := true);
+         (try Kernel.Rw_spinlock.release_write engine mcpu self rw
+          with Invalid_argument _ -> write_raised := true)));
+  Kernel.run kern;
+  Alcotest.(check bool) "release_read without readers" true !read_raised;
+  Alcotest.(check bool) "release_write by non-writer" true !write_raised
+
+let rwlock_suite =
+  ( "kernel.rw_spinlock",
+    [
+      Alcotest.test_case "readers share" `Quick test_rwlock_readers_share;
+      Alcotest.test_case "writer excludes" `Quick test_rwlock_writer_excludes;
+      Alcotest.test_case "bogus releases rejected" `Quick
+        test_rwlock_bogus_release_rejected;
+    ] )
+
+let suites = suites @ [ rwlock_suite ]

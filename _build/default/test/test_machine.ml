@@ -1,0 +1,377 @@
+(* Tests for the Hector machine model: cache, TLB, NUMA, CPU micro-ops,
+   memory layout, accounting. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+let params = Machine.Cost_params.hector
+
+(* --- cost params ------------------------------------------------------- *)
+
+let test_cycle_conversion () =
+  Alcotest.(check (float 0.01)) "60 ns cycles" 59.99
+    (Machine.Cost_params.cycle_ns params);
+  (* 28 cycles = trap + rti ~ 1.68 us, the paper's ~1.7 us. *)
+  Alcotest.(check (float 0.02)) "trap+rti in us" 1.68
+    (Machine.Cost_params.cycles_to_us params
+       (params.Machine.Cost_params.trap_cycles
+      + params.Machine.Cost_params.rti_cycles))
+
+let test_lines_of_bytes () =
+  Alcotest.(check int) "one byte = one line" 1
+    (Machine.Cost_params.lines_of_bytes params 1);
+  Alcotest.(check int) "16 bytes = one line" 1
+    (Machine.Cost_params.lines_of_bytes params 16);
+  Alcotest.(check int) "17 bytes = two lines" 2
+    (Machine.Cost_params.lines_of_bytes params 17)
+
+(* --- cache ------------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let c = Machine.Cache.create params in
+  Alcotest.(check int) "sets" 256 (Machine.Cache.n_sets c);
+  let miss = Machine.Cache.access c Machine.Cache.Load 0x1000 in
+  Alcotest.(check int) "load miss = fill" 20 miss;
+  let hit = Machine.Cache.access c Machine.Cache.Load 0x1000 in
+  Alcotest.(check int) "load hit" 1 hit;
+  let hit2 = Machine.Cache.access c Machine.Cache.Load 0x100c in
+  Alcotest.(check int) "same line hit" 1 hit2;
+  Alcotest.(check int) "hits" 2 (Machine.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Machine.Cache.misses c)
+
+let test_cache_store_clean_penalty () =
+  let c = Machine.Cache.create params in
+  let first = Machine.Cache.access c Machine.Cache.Store 0x2000 in
+  Alcotest.(check int) "store miss = fill + ownership" 30 first;
+  let again = Machine.Cache.access c Machine.Cache.Store 0x2000 in
+  Alcotest.(check int) "store to dirty line" 1 again;
+  ignore (Machine.Cache.access c Machine.Cache.Load 0x3000);
+  let clean_store = Machine.Cache.access c Machine.Cache.Store 0x3000 in
+  Alcotest.(check int) "first store to clean resident line" 11 clean_store
+
+let test_cache_associativity_no_thrash () =
+  let c = Machine.Cache.create params in
+  (* Four addresses mapping to the same set co-reside in a 4-way cache. *)
+  let set_stride = 256 * 16 in
+  let addrs = List.init 4 (fun i -> 0x8000 + (i * set_stride)) in
+  List.iter (fun a -> ignore (Machine.Cache.access c Machine.Cache.Load a)) addrs;
+  Machine.Cache.reset_counters c;
+  List.iter (fun a -> ignore (Machine.Cache.access c Machine.Cache.Load a)) addrs;
+  Alcotest.(check int) "4 ways: all hits" 4 (Machine.Cache.hits c);
+  Alcotest.(check int) "no misses" 0 (Machine.Cache.misses c)
+
+let test_cache_lru_eviction_and_writeback () =
+  let c = Machine.Cache.create params in
+  let set_stride = 256 * 16 in
+  let addr i = 0x8000 + (i * set_stride) in
+  (* Dirty the line that will become LRU. *)
+  ignore (Machine.Cache.access c Machine.Cache.Store (addr 0));
+  for i = 1 to 3 do
+    ignore (Machine.Cache.access c Machine.Cache.Load (addr i))
+  done;
+  (* Fifth distinct line in the set evicts the dirty LRU: writeback. *)
+  let cost = Machine.Cache.access c Machine.Cache.Load (addr 4) in
+  Alcotest.(check int) "writeback + fill" 40 cost;
+  Alcotest.(check int) "one writeback" 1 (Machine.Cache.writebacks c);
+  Alcotest.(check bool) "victim gone" false (Machine.Cache.contains c (addr 0));
+  Alcotest.(check bool) "recent survive" true (Machine.Cache.contains c (addr 3))
+
+let test_cache_flush () =
+  let c = Machine.Cache.create params in
+  ignore (Machine.Cache.access c Machine.Cache.Store 0x4000);
+  Alcotest.(check bool) "resident" true (Machine.Cache.contains c 0x4000);
+  Machine.Cache.flush c;
+  Alcotest.(check bool) "flushed" false (Machine.Cache.contains c 0x4000)
+
+let test_cache_prime () =
+  let c = Machine.Cache.create params in
+  Machine.Cache.prime c ~addr:0x5000 ~bytes:256;
+  Alcotest.(check int) "prime resets counters" 0 (Machine.Cache.misses c);
+  Machine.Cache.reset_counters c;
+  for i = 0 to 15 do
+    ignore (Machine.Cache.access c Machine.Cache.Load (0x5000 + (16 * i)))
+  done;
+  Alcotest.(check int) "primed region all hits" 0 (Machine.Cache.misses c)
+
+let prop_cache_contains_after_access =
+  QCheck.Test.make ~name:"line resident after access" ~count:300
+    QCheck.(pair (0 -- 0xFFFFF) bool)
+    (fun (addr, store) ->
+      let c = Machine.Cache.create params in
+      let kind = if store then Machine.Cache.Store else Machine.Cache.Load in
+      ignore (Machine.Cache.access c kind addr);
+      Machine.Cache.contains c addr)
+
+let prop_cache_counters_consistent =
+  QCheck.Test.make ~name:"hits + misses = accesses" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (0 -- 0xFFFF))
+    (fun addrs ->
+      let c = Machine.Cache.create params in
+      List.iter
+        (fun a -> ignore (Machine.Cache.access c Machine.Cache.Load a))
+        addrs;
+      Machine.Cache.hits c + Machine.Cache.misses c = List.length addrs)
+
+(* --- tlb --------------------------------------------------------------- *)
+
+let test_tlb_miss_then_hit () =
+  let t = Machine.Tlb.create params in
+  Alcotest.(check int) "miss cost" 27
+    (Machine.Tlb.lookup t Machine.Tlb.User 0x10000);
+  Alcotest.(check int) "hit cost" 0
+    (Machine.Tlb.lookup t Machine.Tlb.User 0x10000);
+  Alcotest.(check int) "same page other offset" 0
+    (Machine.Tlb.lookup t Machine.Tlb.User 0x10FFC)
+
+let test_tlb_contexts_independent () =
+  let t = Machine.Tlb.create params in
+  ignore (Machine.Tlb.lookup t Machine.Tlb.User 0x10000);
+  ignore (Machine.Tlb.lookup t Machine.Tlb.Supervisor 0x10000);
+  Machine.Tlb.flush_user t;
+  Alcotest.(check bool) "user flushed" false
+    (Machine.Tlb.contains t Machine.Tlb.User 0x10000);
+  Alcotest.(check bool) "supervisor survives" true
+    (Machine.Tlb.contains t Machine.Tlb.Supervisor 0x10000)
+
+let test_tlb_capacity_fifo () =
+  let t = Machine.Tlb.create params in
+  let cap = params.Machine.Cost_params.tlb_entries in
+  for i = 0 to cap do
+    ignore (Machine.Tlb.lookup t Machine.Tlb.User (i * 4096))
+  done;
+  Alcotest.(check bool) "oldest evicted" false
+    (Machine.Tlb.contains t Machine.Tlb.User 0);
+  Alcotest.(check bool) "newest present" true
+    (Machine.Tlb.contains t Machine.Tlb.User (cap * 4096))
+
+let test_tlb_invalidate () =
+  let t = Machine.Tlb.create params in
+  ignore (Machine.Tlb.lookup t Machine.Tlb.Supervisor 0x20000);
+  Machine.Tlb.invalidate t Machine.Tlb.Supervisor 0x20000;
+  Alcotest.(check bool) "invalidated" false
+    (Machine.Tlb.contains t Machine.Tlb.Supervisor 0x20000);
+  (* Re-inserting after invalidate must still respect capacity. *)
+  Alcotest.(check int) "miss again" 27
+    (Machine.Tlb.lookup t Machine.Tlb.Supervisor 0x20000)
+
+let test_tlb_preload_free () =
+  let t = Machine.Tlb.create params in
+  Machine.Tlb.preload t Machine.Tlb.User 0x30000;
+  Alcotest.(check int) "preloaded page hits" 0
+    (Machine.Tlb.lookup t Machine.Tlb.User 0x30000);
+  Alcotest.(check int) "no misses counted" 0 (Machine.Tlb.misses t)
+
+(* --- numa -------------------------------------------------------------- *)
+
+let test_numa_distance_ring () =
+  let n = Machine.Numa.create params ~stations:16 in
+  Alcotest.(check int) "self" 0 (Machine.Numa.distance n 3 3);
+  Alcotest.(check int) "adjacent" 1 (Machine.Numa.distance n 3 4);
+  Alcotest.(check int) "wraparound" 1 (Machine.Numa.distance n 0 15);
+  Alcotest.(check int) "farthest" 8 (Machine.Numa.distance n 0 8)
+
+let prop_numa_distance_symmetric =
+  QCheck.Test.make ~name:"ring distance symmetric" ~count:200
+    QCheck.(pair (0 -- 15) (0 -- 15))
+    (fun (a, b) ->
+      let n = Machine.Numa.create params ~stations:16 in
+      Machine.Numa.distance n a b = Machine.Numa.distance n b a)
+
+let test_numa_homing () =
+  let n = Machine.Numa.create params ~stations:4 in
+  Machine.Numa.register n ~base:0x1000 ~bytes:256 ~node:2;
+  Alcotest.(check int) "inside region" 2 (Machine.Numa.home_of n 0x1080);
+  Alcotest.(check int) "outside defaults" 0 (Machine.Numa.home_of n 0x9000);
+  Alcotest.(check int) "local access no extra" 0
+    (Machine.Numa.extra_cycles n ~from:2 ~addr:0x1080);
+  let remote = Machine.Numa.extra_cycles n ~from:0 ~addr:0x1080 in
+  Alcotest.(check int) "remote pays base + hops" (4 + (2 * 3)) remote
+
+(* --- mem layout -------------------------------------------------------- *)
+
+let prop_layout_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:50
+    QCheck.(list_of_size Gen.(2 -- 30) (1 -- 4096))
+    (fun sizes ->
+      let numa = Machine.Numa.create params ~stations:2 in
+      let l = Machine.Mem_layout.create params numa in
+      let regions =
+        List.map
+          (fun bytes -> (Machine.Mem_layout.alloc l ~bytes ~node:0, bytes))
+          sizes
+      in
+      let rec disjoint = function
+        | [] -> true
+        | (base, bytes) :: rest ->
+            List.for_all
+              (fun (b2, s2) -> base + bytes <= b2 || b2 + s2 <= base)
+              rest
+            && disjoint rest
+      in
+      disjoint regions)
+
+let test_layout_alignment () =
+  let numa = Machine.Numa.create params ~stations:1 in
+  let l = Machine.Mem_layout.create params numa in
+  let a = Machine.Mem_layout.alloc l ~bytes:10 ~node:0 in
+  Alcotest.(check int) "line aligned" 0 (a mod 16);
+  let p = Machine.Mem_layout.alloc ~align:`Page l ~bytes:10 ~node:0 in
+  Alcotest.(check int) "page aligned" 0 (p mod 4096)
+
+(* --- account ----------------------------------------------------------- *)
+
+let test_account_charge_and_diff () =
+  let a = Machine.Account.create () in
+  Machine.Account.charge a Machine.Account.Tlb_setup 10;
+  Machine.Account.charge a Machine.Account.Server_time 5;
+  Alcotest.(check int) "total" 15 (Machine.Account.total a);
+  let before = Machine.Account.snapshot a in
+  Machine.Account.charge a Machine.Account.Server_time 7;
+  let d = Machine.Account.diff ~before ~after:(Machine.Account.snapshot a) in
+  Alcotest.(check int) "diff isolates new charges" 7
+    (Machine.Account.get d Machine.Account.Server_time);
+  Alcotest.(check int) "untouched category zero" 0
+    (Machine.Account.get d Machine.Account.Tlb_setup)
+
+let test_account_negative_rejected () =
+  let a = Machine.Account.create () in
+  Alcotest.check_raises "negative charge"
+    (Invalid_argument "Account.charge: negative cycles") (fun () ->
+      Machine.Account.charge a Machine.Account.Unaccounted (-1))
+
+(* --- cpu --------------------------------------------------------------- *)
+
+let make_cpu () =
+  let numa = Machine.Numa.create params ~stations:2 in
+  Machine.Cpu.create ~node:0 params numa
+
+let test_cpu_category_attribution () =
+  let cpu = make_cpu () in
+  Machine.Cpu.with_category cpu Machine.Account.Cd_manipulation (fun () ->
+      Machine.Cpu.instr cpu 10);
+  Alcotest.(check int) "charged to category" 10
+    (Machine.Account.get (Machine.Cpu.account cpu) Machine.Account.Cd_manipulation)
+
+let test_cpu_trap_semantics () =
+  let cpu = make_cpu () in
+  Alcotest.(check bool) "starts in user" true
+    (Machine.Cpu.space cpu = Machine.Tlb.User);
+  Machine.Cpu.trap cpu;
+  Alcotest.(check bool) "supervisor after trap" true
+    (Machine.Cpu.space cpu = Machine.Tlb.Supervisor);
+  Alcotest.(check int) "trap cycles to trap overhead" 14
+    (Machine.Account.get (Machine.Cpu.account cpu) Machine.Account.Trap_overhead);
+  Alcotest.(check int) "pipeline refill to unaccounted" 4
+    (Machine.Account.get (Machine.Cpu.account cpu) Machine.Account.Unaccounted);
+  Machine.Cpu.rti cpu ~to_space:Machine.Tlb.User;
+  Alcotest.(check bool) "back to user" true
+    (Machine.Cpu.space cpu = Machine.Tlb.User)
+
+let test_cpu_tlb_miss_category () =
+  let cpu = make_cpu () in
+  Machine.Cpu.with_category cpu Machine.Account.Server_time (fun () ->
+      Machine.Cpu.load cpu 0x4_0000);
+  Alcotest.(check int) "walk charged to TLB miss" 27
+    (Machine.Account.get (Machine.Cpu.account cpu) Machine.Account.Tlb_miss);
+  (* The fill itself goes to the current category. *)
+  Alcotest.(check int) "fill charged to category" 20
+    (Machine.Account.get (Machine.Cpu.account cpu) Machine.Account.Server_time)
+
+let test_cpu_mapped_access_split () =
+  let cpu = make_cpu () in
+  (* Warm the physical line via direct access at the physical address. *)
+  Machine.Cpu.load cpu 0x5_0000;
+  let tlb_misses_before = Machine.Tlb.misses (Machine.Cpu.tlb cpu) in
+  let dmisses_before = Machine.Cache.misses (Machine.Cpu.dcache cpu) in
+  (* Access through a *different* virtual page mapping the same frame:
+     TLB must miss (new page), cache must hit (same line). *)
+  Machine.Cpu.load_mapped cpu ~vaddr:0x9_0000 ~paddr:0x5_0000;
+  Alcotest.(check int) "tlb missed on new vaddr" (tlb_misses_before + 1)
+    (Machine.Tlb.misses (Machine.Cpu.tlb cpu));
+  Alcotest.(check int) "cache hit on warm paddr" dmisses_before
+    (Machine.Cache.misses (Machine.Cpu.dcache cpu))
+
+let test_cpu_uncached_numa () =
+  let numa = Machine.Numa.create params ~stations:4 in
+  Machine.Numa.register numa ~base:0x7000 ~bytes:64 ~node:3;
+  let cpu = Machine.Cpu.create ~node:0 params numa in
+  let before = Machine.Cpu.cycles cpu in
+  Machine.Cpu.uncached_load cpu 0x7000;
+  (* 10 uncached + 4 base + 1 hop (ring of 4: distance(0,3)=1) * 3 *)
+  Alcotest.(check int) "uncached remote cost" (10 + 4 + 3)
+    (Machine.Cpu.cycles cpu - before)
+
+let test_cpu_unsynced_cycles () =
+  let cpu = make_cpu () in
+  Machine.Cpu.instr cpu 100;
+  Alcotest.(check bool) "pending cycles" true (Machine.Cpu.unsynced_cycles cpu > 0);
+  let taken = Machine.Cpu.take_unsynced cpu in
+  Alcotest.(check bool) "taken positive" true (taken > 0);
+  Alcotest.(check int) "drained" 0 (Machine.Cpu.unsynced_cycles cpu)
+
+let test_machine_assembly () =
+  let m = Machine.create ~cpus:4 () in
+  Alcotest.(check int) "cpu count" 4 (Machine.n_cpus m);
+  Alcotest.(check int) "cpu nodes" 2 (Machine.Cpu.node (Machine.cpu m 2));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Machine.cpu: index out of range") (fun () ->
+      ignore (Machine.cpu m 4))
+
+let suites =
+  [
+    ( "machine.params",
+      [
+        Alcotest.test_case "cycle conversion" `Quick test_cycle_conversion;
+        Alcotest.test_case "lines of bytes" `Quick test_lines_of_bytes;
+      ] );
+    ( "machine.cache",
+      [
+        Alcotest.test_case "hit/miss costs" `Quick test_cache_hit_miss;
+        Alcotest.test_case "store-clean penalty" `Quick
+          test_cache_store_clean_penalty;
+        Alcotest.test_case "4-way associativity" `Quick
+          test_cache_associativity_no_thrash;
+        Alcotest.test_case "LRU eviction + writeback" `Quick
+          test_cache_lru_eviction_and_writeback;
+        Alcotest.test_case "flush" `Quick test_cache_flush;
+        Alcotest.test_case "prime" `Quick test_cache_prime;
+        qcheck prop_cache_contains_after_access;
+        qcheck prop_cache_counters_consistent;
+      ] );
+    ( "machine.tlb",
+      [
+        Alcotest.test_case "miss then hit" `Quick test_tlb_miss_then_hit;
+        Alcotest.test_case "dual contexts" `Quick test_tlb_contexts_independent;
+        Alcotest.test_case "FIFO capacity" `Quick test_tlb_capacity_fifo;
+        Alcotest.test_case "invalidate" `Quick test_tlb_invalidate;
+        Alcotest.test_case "preload is free" `Quick test_tlb_preload_free;
+      ] );
+    ( "machine.numa",
+      [
+        Alcotest.test_case "ring distance" `Quick test_numa_distance_ring;
+        Alcotest.test_case "region homing" `Quick test_numa_homing;
+        qcheck prop_numa_distance_symmetric;
+      ] );
+    ( "machine.layout",
+      [
+        Alcotest.test_case "alignment" `Quick test_layout_alignment;
+        qcheck prop_layout_no_overlap;
+      ] );
+    ( "machine.account",
+      [
+        Alcotest.test_case "charge and diff" `Quick test_account_charge_and_diff;
+        Alcotest.test_case "negative rejected" `Quick
+          test_account_negative_rejected;
+      ] );
+    ( "machine.cpu",
+      [
+        Alcotest.test_case "category attribution" `Quick
+          test_cpu_category_attribution;
+        Alcotest.test_case "trap semantics" `Quick test_cpu_trap_semantics;
+        Alcotest.test_case "TLB miss category" `Quick test_cpu_tlb_miss_category;
+        Alcotest.test_case "mapped access split" `Quick
+          test_cpu_mapped_access_split;
+        Alcotest.test_case "uncached NUMA surcharge" `Quick test_cpu_uncached_numa;
+        Alcotest.test_case "unsynced cycle tracking" `Quick
+          test_cpu_unsynced_cycles;
+        Alcotest.test_case "machine assembly" `Quick test_machine_assembly;
+      ] );
+  ]

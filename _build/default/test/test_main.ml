@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "ppc_ipc"
+    (List.concat
+       [
+         Test_sim.suites;
+         Test_trace.suites;
+         Test_determinism.suites;
+         Test_machine.suites;
+         Test_kernel.suites;
+         Test_ppc.suites;
+         Test_ppc_ext.suites;
+         Test_vm.suites;
+         Test_misc.suites;
+         Test_sysmgr.suites;
+         Test_properties.suites;
+         Test_naming.suites;
+         Test_transfer.suites;
+         Test_servers.suites;
+         Test_baseline.suites;
+         Test_workload.suites;
+         Test_experiments.suites;
+         Test_runtime.suites;
+         Test_smoke.suites;
+       ])

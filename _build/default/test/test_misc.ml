@@ -1,0 +1,246 @@
+(* Edge cases and regressions across the smaller surfaces. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+(* --- time --------------------------------------------------------------- *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "us" 3_000 (Sim.Time.us 3);
+  Alcotest.(check int) "ms" 3_000_000 (Sim.Time.ms 3);
+  Alcotest.(check int) "s" 3_000_000_000 (Sim.Time.s 3);
+  Alcotest.(check int) "round fractional us" 1_500 (Sim.Time.of_us_float 1.5);
+  Alcotest.(check (float 1e-9)) "back to us" 1.5 (Sim.Time.to_us 1_500)
+
+let test_time_pp_units () =
+  let render t = Fmt.str "%a" Sim.Time.pp t in
+  Alcotest.(check string) "ns" "999ns" (render 999);
+  Alcotest.(check string) "us" "1.500us" (render 1_500);
+  Alcotest.(check string) "ms" "2.000ms" (render (Sim.Time.ms 2));
+  Alcotest.(check string) "s" "1.000s" (render (Sim.Time.s 1))
+
+(* --- stats / rng edge cases ---------------------------------------------- *)
+
+let test_stats_without_samples () =
+  let s = Sim.Stats.create ~keep_samples:false () in
+  Sim.Stats.add s 1.0;
+  Alcotest.(check (float 0.0)) "mean still works" 1.0 (Sim.Stats.mean s);
+  Alcotest.check_raises "percentile refuses"
+    (Invalid_argument "Stats.percentile: samples not kept") (fun () ->
+      ignore (Sim.Stats.percentile s 50.0))
+
+let test_rng_bad_bound () =
+  let rng = Sim.Rng.create ~seed:1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int rng 0))
+
+(* --- trace drops ---------------------------------------------------------- *)
+
+let test_trace_filter () =
+  let tr = Sim.Trace.create ~capacity:16 () in
+  for i = 1 to 5 do
+    Sim.Trace.record tr ~at:(Sim.Time.us i) ~kind:"a" "x";
+    Sim.Trace.record tr ~at:(Sim.Time.us i) ~kind:"b" "y"
+  done;
+  Alcotest.(check int) "filtered" 5 (List.length (Sim.Trace.filter tr ~kind:"a"))
+
+(* --- layout invariant ------------------------------------------------------ *)
+
+let test_wpool_head_is_service_slot () =
+  (* Section 4.5.5: "as little as a single pointer per service entry
+     point per processor" — the pool head IS the table slot. *)
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let layout = Ppc.Engine.layout (Ppc.engine ppc) in
+  let pc = Ppc.Layout.per_cpu layout 0 in
+  for ep = 0 to 10 do
+    Alcotest.(check int)
+      (Printf.sprintf "ep %d" ep)
+      (Ppc.Layout.service_slot_addr pc ep)
+      (Ppc.Layout.wpool_head_addr pc ep)
+  done
+
+(* --- engine edge cases ------------------------------------------------------ *)
+
+let test_async_on_dead_ep_is_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"s" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  let completed = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         Ppc.soft_kill ppc ~ep_id;
+         Ppc.async_call ppc ~client:self
+           ~on_complete:(fun _ -> completed := true)
+           ~ep_id (Ppc.Reg_args.make ())));
+  Kernel.run kern;
+  Alcotest.(check bool) "completion never fires" false !completed;
+  Alcotest.(check bool) "rejection counted" true
+    ((Ppc.stats ppc).Ppc.Engine.rejected_calls > 0)
+
+let test_double_pending_rejected () =
+  let kern = Kernel.create ~cpus:1 () in
+  let prog = Kernel.new_program kern ~name:"p" in
+  let space = Kernel.new_user_space kern ~name:"p" ~node:0 in
+  let pcb =
+    Kernel.Process.create ~name:"w" ~kind:Kernel.Process.Worker ~program:prog
+      ~space ~cpu_index:0
+  in
+  let w =
+    Ppc.Worker.create ~pcb ~ep_id:5 ~cpu_index:0 ~addr:0x1000
+      ~handler:(fun _ _ -> ())
+  in
+  let pending () =
+    {
+      Ppc.Worker.args = Ppc.Reg_args.make ();
+      caller = None;
+      caller_program = 1;
+      cd = Ppc.Call_descriptor.create ~index:0 ~addr:0 ~stack_frame:0 ~home_cpu:0;
+      on_complete = None;
+      call_rec =
+        { Ppc.Worker.aborted = false; rec_worker_id = 0; extra_frames = [] };
+    }
+  in
+  Ppc.Worker.set_pending w (pending ());
+  Alcotest.check_raises "second pending rejected"
+    (Invalid_argument "Worker.set_pending: call already pending") (fun () ->
+      Ppc.Worker.set_pending w (pending ()))
+
+(* --- msg_compat edges -------------------------------------------------------- *)
+
+let test_compat_unknown_msg_reply () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let port = Ppc.Msg_compat.make_port engine ~name:"p" in
+  Alcotest.(check (option (array int))) "payload of unknown id" None
+    (Ppc.Msg_compat.message_payload port ~msg_id:99);
+  let rc = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"s" (fun self ->
+         rc := Ppc.Msg_compat.reply engine port ~server:self ~msg_id:99 [| 1 |]));
+  Kernel.run kern;
+  Alcotest.(check int) "reply to unknown id" Ppc.Reg_args.err_bad_request !rc
+
+(* --- clustered naming: broadcast unregister ---------------------------------- *)
+
+let test_clustered_unregister_broadcast () =
+  let kern = Kernel.create ~cpus:8 () in
+  let ppc = Ppc.create kern in
+  let cns = Naming.Clustered_name_server.install ppc ~cluster_size:4 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"owner" (fun self ->
+         ignore
+           (Naming.Clustered_name_server.register cns ~client:self ~name:"x"
+              ~ep_id:5)));
+  Kernel.run kern;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"owner2" (fun self ->
+         (* Unregister must come from the registering program; reuse a
+            fresh client of the same name fails, so check the denial
+            propagates from the replicas. *)
+         let rc = Naming.Clustered_name_server.unregister cns ~client:self ~name:"x" in
+         Alcotest.(check int) "foreign unregister denied"
+           Ppc.Reg_args.err_denied rc));
+  Kernel.run kern;
+  Alcotest.(check int) "binding survives" 1
+    (Naming.Clustered_name_server.bindings cns)
+
+(* --- interrupt detach --------------------------------------------------------- *)
+
+let test_interrupt_detach () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_kernel_server ppc ~name:"dev" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  Ppc.Intr_dispatch.attach (Ppc.engine ppc) ~vector:33 ~kcpu:(Kernel.kcpu kern 0)
+    ~ep_id:(Ppc.Entry_point.id ep)
+    ~make_args:(fun () -> Ppc.Reg_args.make ())
+    ();
+  Ppc.Intr_dispatch.detach (Ppc.engine ppc) ~vector:33;
+  Alcotest.check_raises "raising after detach fails"
+    (Invalid_argument "Interrupt.raise_vector: unregistered vector") (fun () ->
+      Kernel.Interrupt.raise_vector (Kernel.interrupts kern) ~vector:33)
+
+(* --- CD never duplicated under concurrency (regression) ----------------------- *)
+
+let test_cd_slow_path_no_duplicates () =
+  (* Regression: the Frank CD slow path once returned a CD while leaving
+     it on the free list.  Run overlapping calls that exhaust the pool,
+     then verify every free CD index is unique. *)
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create ~initial_cds_per_cpu:1 kern in
+  let kc = Kernel.kcpu kern 0 in
+  let blocked = ref [] in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    blocked := ctx.Ppc.Call_ctx.self :: !blocked;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"s" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  for i = 1 to 5 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))))
+  done;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"rel" (fun _ ->
+         List.iter (Kernel.Kcpu.ready kc) (List.rev !blocked)));
+  Kernel.run kern;
+  Alcotest.(check bool) "slow path exercised" true
+    ((Ppc.stats ppc).Ppc.Engine.frank_cd_creations >= 4);
+  (* Drain the pool and check uniqueness. *)
+  let pool = Ppc.Engine.cd_pool (Ppc.engine ppc) 0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let seen = Hashtbl.create 8 in
+  let rec drain () =
+    match Ppc.Cd_pool.alloc cpu pool with
+    | Some cd ->
+        let idx = Ppc.Call_descriptor.index cd in
+        Alcotest.(check bool)
+          (Printf.sprintf "cd %d appears once" idx)
+          false (Hashtbl.mem seen idx);
+        Hashtbl.replace seen idx ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all five CDs distinct" 5 (Hashtbl.length seen)
+
+let suites =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "time conversions" `Quick test_time_conversions;
+        Alcotest.test_case "time pretty printing" `Quick test_time_pp_units;
+        Alcotest.test_case "stats without samples" `Quick
+          test_stats_without_samples;
+        Alcotest.test_case "rng bad bound" `Quick test_rng_bad_bound;
+        Alcotest.test_case "trace filter" `Quick test_trace_filter;
+        Alcotest.test_case "wpool head = service slot" `Quick
+          test_wpool_head_is_service_slot;
+        Alcotest.test_case "async rejected on dead EP" `Quick
+          test_async_on_dead_ep_is_rejected;
+        Alcotest.test_case "double pending rejected" `Quick
+          test_double_pending_rejected;
+        Alcotest.test_case "compat unknown msg" `Quick
+          test_compat_unknown_msg_reply;
+        Alcotest.test_case "clustered unregister denial" `Quick
+          test_clustered_unregister_broadcast;
+        Alcotest.test_case "interrupt detach" `Quick test_interrupt_detach;
+        Alcotest.test_case "CD slow path uniqueness" `Quick
+          test_cd_slow_path_no_duplicates;
+      ] );
+  ]

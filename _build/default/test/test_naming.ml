@@ -1,0 +1,253 @@
+(* Tests for the Name Server and program-ID authentication. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let setup () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let ns = Naming.Name_server.install ppc in
+  (kern, ppc, ns)
+
+let test_register_lookup () =
+  let kern, _ppc, ns = setup () in
+  let looked_up = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"server-prog" (fun self ->
+         let rc = Naming.Name_server.register ns ~client:self ~name:"bob" ~ep_id:42 in
+         Alcotest.(check int) "register ok" Ppc.Reg_args.ok rc));
+  ignore
+    (spawn_client kern ~cpu:1 ~name:"client-prog" (fun self ->
+         looked_up := Naming.Name_server.lookup ns ~client:self ~name:"bob"));
+  Kernel.run kern;
+  Alcotest.(check bool) "lookup finds the binding" true (!looked_up = Ok 42);
+  Alcotest.(check int) "one binding" 1 (Naming.Name_server.bindings ns)
+
+let test_lookup_missing () =
+  let kern, _ppc, ns = setup () in
+  let result = ref (Ok 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         result := Naming.Name_server.lookup ns ~client:self ~name:"ghost"));
+  Kernel.run kern;
+  Alcotest.(check bool) "missing name errors" true
+    (!result = Error Ppc.Reg_args.err_no_entry)
+
+let test_register_collision () =
+  let kern, _ppc, ns = setup () in
+  let second = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"a" (fun self ->
+         ignore (Naming.Name_server.register ns ~client:self ~name:"svc" ~ep_id:5);
+         second := Naming.Name_server.register ns ~client:self ~name:"svc" ~ep_id:6));
+  Kernel.run kern;
+  Alcotest.(check int) "rebinding rejected" Ppc.Reg_args.err_bad_request !second
+
+let test_unregister_owner_only () =
+  let kern, _ppc, ns = setup () in
+  let foreign = ref 0 and owner = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"owner" (fun self ->
+         ignore (Naming.Name_server.register ns ~client:self ~name:"svc" ~ep_id:5)));
+  ignore
+    (spawn_client kern ~cpu:1 ~name:"intruder" (fun self ->
+         foreign := Naming.Name_server.unregister ns ~client:self ~name:"svc"));
+  Kernel.run kern;
+  Alcotest.(check int) "foreign unregister denied" Ppc.Reg_args.err_denied !foreign;
+  let kern2, _ppc2, ns2 = setup () in
+  ignore
+    (spawn_client kern2 ~cpu:0 ~name:"owner" (fun self ->
+         ignore (Naming.Name_server.register ns2 ~client:self ~name:"svc" ~ep_id:5);
+         owner := Naming.Name_server.unregister ns2 ~client:self ~name:"svc"));
+  Kernel.run kern2;
+  Alcotest.(check int) "owner unregister ok" Ppc.Reg_args.ok !owner;
+  Alcotest.(check int) "binding gone" 0 (Naming.Name_server.bindings ns2)
+
+let test_hash_deterministic () =
+  Alcotest.(check bool) "same name same hash" true
+    (Naming.Name_server.hash_name "frank" = Naming.Name_server.hash_name "frank");
+  Alcotest.(check bool) "different names differ" true
+    (Naming.Name_server.hash_name "frank" <> Naming.Name_server.hash_name "bob")
+
+let prop_hash_words_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"hash words fit in 30 bits" ~count:200
+       QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.printable)
+       (fun s ->
+         let h1, h2 = Naming.Name_server.hash_name s in
+         h1 >= 0 && h1 < 1 lsl 30 && h2 >= 0 && h2 < 1 lsl 30))
+
+(* --- auth --------------------------------------------------------------- *)
+
+let with_ctx kern f =
+  (* Build a minimal handler context for auth checks. *)
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"authsrv" () in
+  let recorded = ref None in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    recorded := Some (f ctx);
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"caller" (fun self ->
+         ignore
+           (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+              (Ppc.Reg_args.make ()))));
+  Kernel.run kern;
+  Option.get !recorded
+
+let test_auth_grant_check () =
+  let kern = Kernel.create ~cpus:1 () in
+  let auth = Naming.Auth.create ~data_addr:0x9000 () in
+  let allowed =
+    with_ctx kern (fun ctx ->
+        Naming.Auth.grant auth ~program:ctx.Ppc.Call_ctx.caller_program
+          ~perms:[ Naming.Auth.Read ];
+        ( Naming.Auth.check auth ctx ~perm:Naming.Auth.Read,
+          Naming.Auth.check auth ctx ~perm:Naming.Auth.Write ))
+  in
+  Alcotest.(check (pair bool bool)) "read yes, write no" (true, false) allowed;
+  Alcotest.(check int) "checks counted" 2 (Naming.Auth.checks auth);
+  Alcotest.(check int) "denial counted" 1 (Naming.Auth.denials auth)
+
+let test_auth_revoke () =
+  let kern = Kernel.create ~cpus:1 () in
+  let auth = Naming.Auth.create ~data_addr:0x9000 () in
+  let results =
+    with_ctx kern (fun ctx ->
+        Naming.Auth.grant auth ~program:ctx.Ppc.Call_ctx.caller_program
+          ~perms:[ Naming.Auth.Admin ];
+        let before = Naming.Auth.check auth ctx ~perm:Naming.Auth.Admin in
+        Naming.Auth.revoke auth ~program:ctx.Ppc.Call_ctx.caller_program;
+        (before, Naming.Auth.check auth ctx ~perm:Naming.Auth.Admin))
+  in
+  Alcotest.(check (pair bool bool)) "granted then revoked" (true, false) results
+
+let test_auth_require_sets_rc () =
+  let kern = Kernel.create ~cpus:1 () in
+  let auth = Naming.Auth.create ~data_addr:0x9000 () in
+  let rc =
+    with_ctx kern (fun ctx ->
+        let args = Ppc.Reg_args.make () in
+        let ok = Naming.Auth.require auth ctx ~perm:Naming.Auth.Read args in
+        (ok, Ppc.Reg_args.rc args))
+  in
+  Alcotest.(check (pair bool int)) "require denies and sets rc"
+    (false, Ppc.Reg_args.err_denied)
+    rc
+
+let suites =
+  [
+    ( "naming.name_server",
+      [
+        Alcotest.test_case "register + lookup" `Quick test_register_lookup;
+        Alcotest.test_case "missing name" `Quick test_lookup_missing;
+        Alcotest.test_case "collision rejected" `Quick test_register_collision;
+        Alcotest.test_case "owner-only unregister" `Quick test_unregister_owner_only;
+        Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+        prop_hash_words_bounded;
+      ] );
+    ( "naming.auth",
+      [
+        Alcotest.test_case "grant + check" `Quick test_auth_grant_check;
+        Alcotest.test_case "revoke" `Quick test_auth_revoke;
+        Alcotest.test_case "require sets rc" `Quick test_auth_require_sets_rc;
+      ] );
+  ]
+
+(* --- clustering (ref [16]) ------------------------------------------------ *)
+
+let test_cluster_topology () =
+  let c = Kernel.Cluster.create ~cpus:16 ~cluster_size:4 in
+  Alcotest.(check int) "clusters" 4 (Kernel.Cluster.n_clusters c);
+  Alcotest.(check int) "cpu 5's cluster" 1 (Kernel.Cluster.cluster_of c ~cpu:5);
+  Alcotest.(check (list int)) "members" [ 8; 9; 10; 11 ]
+    (Kernel.Cluster.members c ~cluster:2);
+  Alcotest.(check bool) "same cluster" true
+    (Kernel.Cluster.same_cluster c ~a:8 ~b:11);
+  Alcotest.(check bool) "different clusters" false
+    (Kernel.Cluster.same_cluster c ~a:7 ~b:8);
+  Alcotest.(check int) "home cpu" 12 (Kernel.Cluster.home_cpu c ~cluster:3)
+
+let test_cluster_uneven () =
+  let c = Kernel.Cluster.create ~cpus:10 ~cluster_size:4 in
+  Alcotest.(check int) "three clusters" 3 (Kernel.Cluster.n_clusters c);
+  Alcotest.(check (list int)) "ragged tail" [ 8; 9 ]
+    (Kernel.Cluster.members c ~cluster:2)
+
+let test_clustered_ns_lookup_and_broadcast () =
+  let kern = Kernel.create ~cpus:8 () in
+  let ppc = Ppc.create kern in
+  let cns = Naming.Clustered_name_server.install ppc ~cluster_size:4 in
+  Alcotest.(check int) "two replicas" 2
+    (Naming.Clustered_name_server.n_replicas cns);
+  let ok_far = ref (Error 0) and ok_near = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"registrar" (fun self ->
+         let rc =
+           Naming.Clustered_name_server.register cns ~client:self ~name:"bob"
+             ~ep_id:42
+         in
+         Alcotest.(check int) "broadcast register ok" Ppc.Reg_args.ok rc));
+  (* Let the broadcast finish before looking up. *)
+  Kernel.run kern;
+  ignore
+    (spawn_client kern ~cpu:1 ~name:"near" (fun self ->
+         ok_near := Naming.Clustered_name_server.lookup cns ~client:self ~name:"bob"));
+  ignore
+    (spawn_client kern ~cpu:7 ~name:"far" (fun self ->
+         ok_far := Naming.Clustered_name_server.lookup cns ~client:self ~name:"bob"));
+  Kernel.run kern;
+  Alcotest.(check bool) "visible in caller's cluster" true (!ok_near = Ok 42);
+  Alcotest.(check bool) "visible in the other cluster" true (!ok_far = Ok 42);
+  (* Each replica holds the binding. *)
+  for c = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d has it" c)
+      1
+      (Naming.Name_server.bindings
+         (Naming.Clustered_name_server.replica cns ~cluster:c))
+  done
+
+let test_clustered_ns_local_routing () =
+  let kern = Kernel.create ~cpus:8 () in
+  let ppc = Ppc.create kern in
+  let cns = Naming.Clustered_name_server.install ppc ~cluster_size:4 in
+  (* Register only in cluster 1's replica directly: a cluster-0 client
+     must NOT see it (lookups are strictly local). *)
+  ignore
+    (spawn_client kern ~cpu:4 ~name:"rogue" (fun self ->
+         ignore
+           (Naming.Name_server.register
+              (Naming.Clustered_name_server.replica cns ~cluster:1)
+              ~client:self ~name:"ghost" ~ep_id:7)));
+  Kernel.run kern;
+  let miss = ref (Ok 0) and hit = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c0" (fun self ->
+         miss := Naming.Clustered_name_server.lookup cns ~client:self ~name:"ghost"));
+  ignore
+    (spawn_client kern ~cpu:5 ~name:"c5" (fun self ->
+         hit := Naming.Clustered_name_server.lookup cns ~client:self ~name:"ghost"));
+  Kernel.run kern;
+  Alcotest.(check bool) "other cluster misses" true
+    (!miss = Error Ppc.Reg_args.err_no_entry);
+  Alcotest.(check bool) "own cluster hits" true (!hit = Ok 7)
+
+let cluster_suite =
+  ( "naming.clustered",
+    [
+      Alcotest.test_case "topology arithmetic" `Quick test_cluster_topology;
+      Alcotest.test_case "uneven clusters" `Quick test_cluster_uneven;
+      Alcotest.test_case "broadcast register, local lookup" `Quick
+        test_clustered_ns_lookup_and_broadcast;
+      Alcotest.test_case "lookups are strictly local" `Quick
+        test_clustered_ns_local_routing;
+    ] )
+
+let suites = suites @ [ cluster_suite ]

@@ -1,0 +1,602 @@
+(* Tests for the PPC facility: register args, pools, the call engine and
+   its variants, Frank, kills, exchange. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let null_setup ?(cpus = 1) ?(hold_cd = false) ?(kind = `User) () =
+  let kern = Kernel.create ~cpus () in
+  let ppc = Ppc.create kern in
+  let server =
+    match kind with
+    | `User -> Ppc.make_user_server ppc ~name:"srv" ~hold_cd ()
+    | `Kernel -> Ppc.make_kernel_server ppc ~name:"srv" ~hold_cd ()
+  in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.adder in
+  Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+  (kern, ppc, ep)
+
+(* --- register args ----------------------------------------------------- *)
+
+let test_reg_args_basics () =
+  let a = Ppc.Reg_args.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "slot 0" 1 (Ppc.Reg_args.get a 0);
+  Alcotest.(check int) "slot 3 default" 0 (Ppc.Reg_args.get a 3);
+  Ppc.Reg_args.set a 7 99;
+  Alcotest.(check int) "rc slot" 99 (Ppc.Reg_args.rc a);
+  Alcotest.check_raises "nine words rejected"
+    (Invalid_argument "Reg_args.of_list: more than 8 words") (fun () ->
+      ignore (Ppc.Reg_args.of_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]))
+
+let prop_opflags_roundtrip =
+  QCheck.Test.make ~name:"op/flags pack-unpack roundtrip" ~count:300
+    QCheck.(pair (0 -- 0xFFFF) (0 -- 0xFFFF))
+    (fun (op, flags) ->
+      let packed = Ppc.Reg_args.op_flags ~op ~flags in
+      Ppc.Reg_args.op_of packed = op && Ppc.Reg_args.flags_of packed = flags)
+
+let test_reg_args_bounds () =
+  let a = Ppc.Reg_args.make () in
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Reg_args.get: slot out of range") (fun () ->
+      ignore (Ppc.Reg_args.get a 8));
+  Alcotest.check_raises "set out of range"
+    (Invalid_argument "Reg_args.set: slot out of range") (fun () ->
+      Ppc.Reg_args.set a (-1) 0)
+
+(* --- CD pool ----------------------------------------------------------- *)
+
+let test_cd_pool_lifo () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let pool = Ppc.Engine.cd_pool engine 0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let a = Option.get (Ppc.Cd_pool.alloc cpu pool) in
+  let b = Option.get (Ppc.Cd_pool.alloc cpu pool) in
+  Alcotest.(check bool) "distinct CDs" true
+    (Ppc.Call_descriptor.index a <> Ppc.Call_descriptor.index b);
+  Ppc.Cd_pool.release cpu pool b;
+  let c = Option.get (Ppc.Cd_pool.alloc cpu pool) in
+  Alcotest.(check int) "LIFO: most recent reused"
+    (Ppc.Call_descriptor.index b) (Ppc.Call_descriptor.index c)
+
+let test_cd_pool_empty_and_foreign () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let pool0 = Ppc.Engine.cd_pool engine 0 in
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let taken = ref [] in
+  let rec drain () =
+    match Ppc.Cd_pool.alloc cpu pool0 with
+    | Some cd ->
+        taken := cd :: !taken;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "eventually empty" true
+    (Ppc.Cd_pool.alloc cpu pool0 = None);
+  Alcotest.(check bool) "empty hits counted" true
+    (Ppc.Cd_pool.empty_hits pool0 > 0);
+  (* Returning a CPU-0 CD to CPU 1's pool is a bug the pool catches. *)
+  let pool1 = Ppc.Engine.cd_pool engine 1 in
+  Alcotest.check_raises "foreign release rejected"
+    (Invalid_argument "Cd_pool.release: CD returned to a foreign processor")
+    (fun () -> Ppc.Cd_pool.release cpu pool1 (List.hd !taken))
+
+(* --- basic calls -------------------------------------------------------- *)
+
+let test_call_returns_results () =
+  let kern, ppc, ep = null_setup () in
+  let got = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.of_list [ 19; 23 ] in
+         let rc = Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args in
+         Alcotest.(check int) "rc" Ppc.Reg_args.ok rc;
+         got := Ppc.Reg_args.get args 0));
+  Kernel.run kern;
+  Alcotest.(check int) "sum returned in registers" 42 !got
+
+let test_call_unknown_ep () =
+  let kern, ppc, _ep = null_setup () in
+  let rc = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         rc := Ppc.call ppc ~client:self ~ep_id:777 (Ppc.Reg_args.make ())));
+  Kernel.run kern;
+  Alcotest.(check int) "err_no_entry" Ppc.Reg_args.err_no_entry !rc
+
+let test_single_worker_reused () =
+  let kern, ppc, ep = null_setup () in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 50 do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done));
+  Kernel.run kern;
+  (* The pool most commonly contains a single worker (Section 2). *)
+  Alcotest.(check int) "one worker serves sequential load" 1
+    (Ppc.Entry_point.workers_total ep);
+  Alcotest.(check int) "all calls counted" 50 (Ppc.Entry_point.total_calls ep)
+
+let test_frank_creates_worker_on_demand () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"srv" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  (* No prime: the first call must hit Frank's slow path. *)
+  let rc = ref (-1) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         rc :=
+           Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+             (Ppc.Reg_args.make ())));
+  Kernel.run kern;
+  Alcotest.(check int) "call still succeeds" Ppc.Reg_args.ok !rc;
+  Alcotest.(check int) "slow path taken" 1
+    (Ppc.stats ppc).Ppc.Engine.frank_worker_creations
+
+(* Concurrency on one CPU: a blocking server forces the pool to grow
+   ("pools can grow and shrink dynamically as needed"). *)
+let test_worker_pool_grows_under_blocking () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let kc = Kernel.kcpu kern 0 in
+  let blocked = ref [] in
+  let release_all () =
+    List.iter (fun p -> Kernel.Kcpu.ready kc p) (List.rev !blocked);
+    blocked := []
+  in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 10;
+    blocked := ctx.Ppc.Call_ctx.self :: !blocked;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"blocking" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let completions = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           let rc =
+             Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+               (Ppc.Reg_args.make ())
+           in
+           if rc = Ppc.Reg_args.ok then incr completions))
+  done;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"releaser" (fun _ ->
+         (* By now all three clients are inside the server, blocked. *)
+         Alcotest.(check int) "three blocked workers" 3 (List.length !blocked);
+         release_all ()));
+  Kernel.run kern;
+  Alcotest.(check int) "all calls completed" 3 !completions;
+  Alcotest.(check int) "pool grew to three workers" 3
+    (Ppc.Entry_point.workers_total ep)
+
+let test_per_cpu_pools_are_independent () =
+  let kern, ppc, ep = null_setup ~cpus:3 () in
+  ignore ppc;
+  let done_ = ref 0 in
+  for cpu = 0 to 2 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+           for _ = 1 to 10 do
+             ignore
+               (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                  (Ppc.Reg_args.make ()))
+           done;
+           incr done_))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "all clients done" 3 !done_;
+  for cpu = 0 to 2 do
+    let pcs = Ppc.Entry_point.per_cpu ep cpu in
+    Alcotest.(check int)
+      (Printf.sprintf "cpu %d has exactly its own worker" cpu)
+      1 pcs.Ppc.Entry_point.workers_created
+  done
+
+(* --- async, inject, upcall --------------------------------------------- *)
+
+let test_async_call_completion () =
+  let kern, ppc, ep = null_setup () in
+  let order = ref [] in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.of_list [ 40; 2 ] in
+         Ppc.async_call ppc ~client:self
+           ~on_complete:(fun a -> order := ("done", Ppc.Reg_args.get a 0) :: !order)
+           ~ep_id:(Ppc.Entry_point.id ep) args;
+         order := ("caller-continues", 0) :: !order));
+  Kernel.run kern;
+  (* The worker runs first (hand-off), completes, then the caller resumes
+     from the ready queue. *)
+  Alcotest.(check (list (pair string int)))
+    "worker first, caller resumed after"
+    [ ("done", 42); ("caller-continues", 0) ]
+    (List.rev !order)
+
+let test_upcall_delivery () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let seen = ref [] in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 5;
+    seen := Ppc.Reg_args.get args 0 :: !seen;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"upcallee" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0; 1 ];
+  Ppc.Upcall.trigger (Ppc.engine ppc) ~cpu_index:1
+    ~ep_id:(Ppc.Entry_point.id ep)
+    (Ppc.Reg_args.of_list [ 123 ]);
+  Kernel.run kern;
+  Alcotest.(check (list int)) "upcall delivered" [ 123 ] !seen
+
+(* --- Frank, naming the protocol ---------------------------------------- *)
+
+let test_frank_alloc_and_grow () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"dyn" () in
+  let ep_out = ref (-1) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"registrar" (fun self ->
+         (match
+            Ppc.register ppc ~client:self ~server ~handler:Ppc.Null_server.echo
+          with
+         | Ok ep_id -> ep_out := ep_id
+         | Error rc -> Alcotest.failf "alloc failed rc=%d" rc);
+         let rc =
+           Ppc.Frank.grow_pool (Ppc.frank ppc) ~client:self ~ep_id:!ep_out
+             ~cpu_index:1
+         in
+         Alcotest.(check int) "grow_pool ok" Ppc.Reg_args.ok rc));
+  Kernel.run kern;
+  Alcotest.(check bool) "entry point exists" true
+    (Option.is_some (Ppc.find_ep ppc !ep_out));
+  let ep = Option.get (Ppc.find_ep ppc !ep_out) in
+  Alcotest.(check int) "cpu1 pool grown" 1
+    (Ppc.Entry_point.per_cpu ep 1).Ppc.Entry_point.workers_created
+
+let test_frank_bad_ops () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let rc_bad_op = ref 0 and rc_bad_ep = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.make () in
+         Ppc.Reg_args.set_op args ~op:999 ~flags:0;
+         rc_bad_op :=
+           Ppc.call ppc ~client:self
+             ~opflags:(Ppc.Reg_args.op_flags ~op:999 ~flags:0)
+             ~ep_id:Ppc.Frank.well_known_id args;
+         rc_bad_ep := Ppc.Frank.soft_kill (Ppc.frank ppc) ~client:self ~ep_id:555));
+  Kernel.run kern;
+  Alcotest.(check int) "unknown op" Ppc.Reg_args.err_bad_request !rc_bad_op;
+  Alcotest.(check int) "unknown ep" Ppc.Reg_args.err_no_entry !rc_bad_ep
+
+(* --- kills and exchange ------------------------------------------------- *)
+
+let test_soft_kill_lets_calls_finish () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let kc = Kernel.kcpu kern 0 in
+  let blocked = ref None in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    blocked := Some ctx.Ppc.Call_ctx.self;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"victim" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  let first_rc = ref (-99) and second_rc = ref (-99) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c1" (fun self ->
+         first_rc := Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ())));
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"killer" (fun self ->
+         Ppc.soft_kill ppc ~ep_id;
+         (* New calls are rejected while the old one drains. *)
+         second_rc := Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ());
+         Kernel.Kcpu.ready kc (Option.get !blocked)));
+  Kernel.run kern;
+  Alcotest.(check int) "in-progress call completed" Ppc.Reg_args.ok !first_rc;
+  Alcotest.(check int) "new call rejected" Ppc.Reg_args.err_killed !second_rc;
+  Alcotest.(check bool) "entry point finalized" true
+    (Ppc.find_ep ppc ep_id = None)
+
+let test_hard_kill_aborts_blocked_calls () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    (* A faulty server: blocks forever. *)
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"stuck" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  let rc = ref (-99) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"victim-client" (fun self ->
+         rc := Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ())));
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"killer" (fun _ -> Ppc.hard_kill ppc ~ep_id));
+  Kernel.run kern;
+  Alcotest.(check int) "caller released with error" Ppc.Reg_args.err_killed !rc;
+  Alcotest.(check bool) "entry point gone" true (Ppc.find_ep ppc ep_id = None);
+  Alcotest.(check int) "abort counted" 1 (Ppc.stats ppc).Ppc.Engine.aborted_calls
+
+let test_exchange_swaps_handler () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"svc" () in
+  let v1 : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 5;
+    Ppc.Reg_args.set args 0 1;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let v2 : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 5;
+    Ppc.Reg_args.set args 0 2;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let ep = Ppc.register_direct ppc ~server ~handler:v1 in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  let before = ref 0 and after = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.make () in
+         ignore (Ppc.call ppc ~client:self ~ep_id args);
+         before := Ppc.Reg_args.get args 0;
+         let rc = Ppc.Frank.exchange (Ppc.frank ppc) ~client:self ~ep_id ~handler:v2 in
+         Alcotest.(check int) "exchange ok" Ppc.Reg_args.ok rc;
+         let args = Ppc.Reg_args.make () in
+         ignore (Ppc.call ppc ~client:self ~ep_id args);
+         after := Ppc.Reg_args.get args 0));
+  Kernel.run kern;
+  Alcotest.(check int) "old handler before" 1 !before;
+  Alcotest.(check int) "new handler after (same ID)" 2 !after
+
+(* --- worker initialization (4.5.3) -------------------------------------- *)
+
+let test_worker_init_swap () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let inits = ref 0 and serves = ref 0 in
+  let rec init_handler ctx args =
+    incr inits;
+    ctx.Ppc.Call_ctx.swap_handler real_handler;
+    real_handler ctx args
+  and real_handler ctx args =
+    Machine.Cpu.instr ctx.Ppc.Call_ctx.cpu 5;
+    incr serves;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"initful" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:init_handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 10 do
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))
+         done));
+  Kernel.run kern;
+  Alcotest.(check int) "init ran exactly once" 1 !inits;
+  Alcotest.(check int) "all calls served" 10 !serves
+
+(* --- performance invariants -------------------------------------------- *)
+
+let total_us cond = (Experiments.Fig2.run cond).Experiments.Fig2.total_us
+
+let test_user_kernel_cheaper_than_user_user () =
+  let u2u =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_user; hold_cd = false; flushed = false }
+  in
+  let u2k =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_kernel; hold_cd = false; flushed = false }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "u->k (%.1f) < u->u (%.1f)" u2k u2u)
+    true (u2k < u2u)
+
+let test_hold_cd_cheaper_per_call () =
+  let hold =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_user; hold_cd = true; flushed = false }
+  in
+  let no_hold =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_user; hold_cd = false; flushed = false }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "hold (%.1f) < no-hold (%.1f)" hold no_hold)
+    true (hold < no_hold)
+
+let test_flushed_dearer_than_primed () =
+  let primed =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_user; hold_cd = false; flushed = false }
+  in
+  let flushed =
+    total_us { Experiments.Fig2.target = Experiments.Fig2.To_user; hold_cd = false; flushed = true }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "flushed (%.1f) > primed + 10 (%.1f)" flushed primed)
+    true
+    (flushed > primed +. 10.0)
+
+let test_no_locks_no_shared_data_on_fast_path () =
+  (* Two CPUs calling the same server concurrently must show zero lock
+     acquisitions anywhere in the PPC layer: the engine has no locks at
+     all, so we assert structurally — per-CPU pools were used and no
+     Frank redirects happened after priming. *)
+  let kern, ppc, ep = null_setup ~cpus:2 () in
+  let done_ = ref 0 in
+  for cpu = 0 to 1 do
+    ignore
+      (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+           for _ = 1 to 25 do
+             ignore
+               (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                  (Ppc.Reg_args.make ()))
+           done;
+           incr done_))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "both done" 2 !done_;
+  Alcotest.(check int) "no slow-path redirects"
+    0
+    (Ppc.stats ppc).Ppc.Engine.frank_worker_creations;
+  Alcotest.(check int) "no CD slow path" 0
+    (Ppc.stats ppc).Ppc.Engine.frank_cd_creations
+
+(* --- remote calls ------------------------------------------------------- *)
+
+let test_remote_call_roundtrip () =
+  let kern = Kernel.create ~cpus:4 () in
+  let ppc = Ppc.create kern in
+  let remote = Ppc.Remote_call.install (Ppc.engine ppc) in
+  let server = Ppc.make_kernel_server ppc ~name:"srv" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.adder in
+  Ppc.prime ppc ~ep ~cpus:[ 0; 1; 2; 3 ];
+  let sum = ref 0 and local_sum = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let args = Ppc.Reg_args.of_list [ 30; 12 ] in
+         let rc =
+           Ppc.Remote_call.call remote ~client:self ~target_cpu:2
+             ~ep_id:(Ppc.Entry_point.id ep) args
+         in
+         Alcotest.(check int) "remote rc" Ppc.Reg_args.ok rc;
+         sum := Ppc.Reg_args.get args 0;
+         (* target = own CPU falls back to the local fast path *)
+         let args = Ppc.Reg_args.of_list [ 5; 6 ] in
+         ignore
+           (Ppc.Remote_call.call remote ~client:self ~target_cpu:0
+              ~ep_id:(Ppc.Entry_point.id ep) args);
+         local_sum := Ppc.Reg_args.get args 0));
+  Kernel.run kern;
+  Alcotest.(check int) "remote result" 42 !sum;
+  Alcotest.(check int) "local fallback result" 11 !local_sum;
+  Alcotest.(check int) "one remote call" 1 (Ppc.Remote_call.remote_calls remote)
+
+let suites =
+  [
+    ( "ppc.reg_args",
+      [
+        Alcotest.test_case "basics" `Quick test_reg_args_basics;
+        Alcotest.test_case "bounds" `Quick test_reg_args_bounds;
+        qcheck prop_opflags_roundtrip;
+      ] );
+    ( "ppc.cd_pool",
+      [
+        Alcotest.test_case "LIFO reuse" `Quick test_cd_pool_lifo;
+        Alcotest.test_case "empty + foreign release" `Quick
+          test_cd_pool_empty_and_foreign;
+      ] );
+    ( "ppc.call",
+      [
+        Alcotest.test_case "results in registers" `Quick test_call_returns_results;
+        Alcotest.test_case "unknown entry point" `Quick test_call_unknown_ep;
+        Alcotest.test_case "single worker reused" `Quick test_single_worker_reused;
+        Alcotest.test_case "Frank slow path" `Quick
+          test_frank_creates_worker_on_demand;
+        Alcotest.test_case "pool grows under blocking" `Quick
+          test_worker_pool_grows_under_blocking;
+        Alcotest.test_case "per-CPU pools independent" `Quick
+          test_per_cpu_pools_are_independent;
+        Alcotest.test_case "fast path never shares or locks" `Quick
+          test_no_locks_no_shared_data_on_fast_path;
+      ] );
+    ( "ppc.variants",
+      [
+        Alcotest.test_case "async completes independently" `Quick
+          test_async_call_completion;
+        Alcotest.test_case "upcall delivery" `Quick test_upcall_delivery;
+        Alcotest.test_case "remote call roundtrip" `Quick test_remote_call_roundtrip;
+      ] );
+    ( "ppc.frank",
+      [
+        Alcotest.test_case "alloc + grow via PPC" `Quick test_frank_alloc_and_grow;
+        Alcotest.test_case "bad requests rejected" `Quick test_frank_bad_ops;
+      ] );
+    ( "ppc.lifecycle",
+      [
+        Alcotest.test_case "soft kill drains" `Quick test_soft_kill_lets_calls_finish;
+        Alcotest.test_case "hard kill aborts" `Quick
+          test_hard_kill_aborts_blocked_calls;
+        Alcotest.test_case "exchange swaps handler" `Quick
+          test_exchange_swaps_handler;
+        Alcotest.test_case "worker init swap (4.5.3)" `Quick test_worker_init_swap;
+      ] );
+    ( "ppc.costs",
+      [
+        Alcotest.test_case "u->kernel cheaper" `Quick
+          test_user_kernel_cheaper_than_user_user;
+        Alcotest.test_case "hold-CD cheaper per call" `Quick
+          test_hold_cd_cheaper_per_call;
+        Alcotest.test_case "flushed dearer" `Quick test_flushed_dearer_than_primed;
+      ] );
+  ]
+
+(* "A round trip user-to-user null call (with up to 8 arguments)": the
+   register convention makes argument count free. *)
+let test_register_args_are_free () =
+  let measure n_args =
+    let kern = Kernel.create ~cpus:1 () in
+    let ppc = Ppc.create kern in
+    let server = Ppc.make_user_server ppc ~name:"s" () in
+    let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    let cpu = Machine.cpu (Kernel.machine kern) 0 in
+    let out = ref 0.0 in
+    ignore
+      (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+           let args = Ppc.Reg_args.make () in
+           for i = 0 to n_args - 1 do
+             Ppc.Reg_args.set args i (i + 1)
+           done;
+           for _ = 1 to 8 do
+             ignore (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args)
+           done;
+           let t0 = Machine.Cpu.elapsed_us cpu in
+           for _ = 1 to 16 do
+             ignore (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args)
+           done;
+           out := (Machine.Cpu.elapsed_us cpu -. t0) /. 16.0));
+    Kernel.run kern;
+    !out
+  in
+  let zero = measure 0 and full = measure 7 in
+  Alcotest.(check (float 0.001))
+    "0 and 7 argument words cost the same" zero full
+
+let register_suite =
+  ( "ppc.register_convention",
+    [ Alcotest.test_case "arguments ride free" `Quick test_register_args_are_free ] )
+
+let suites = suites @ [ register_suite ]

@@ -1,0 +1,607 @@
+(* Tests for the PPC extensions: multi-page stack policies (Section
+   4.5.4) and trust-group stack sharing (Section 2). *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let deep_setup ~policy ~pages =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server =
+    Ppc.make_user_server ppc ~name:"deep" ~stack_policy:policy ()
+  in
+  let ep =
+    Ppc.register_direct ppc ~server ~handler:(Ppc.Null_server.deep_handler ~pages ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  (kern, ppc, ep)
+
+let run_deep_calls (kern, ppc, ep) ~calls =
+  let completed = ref 0 in
+  let failed = ref None in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to calls do
+           match
+             Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+               (Ppc.Reg_args.make ())
+           with
+           | rc when rc = Ppc.Reg_args.ok -> incr completed
+           | rc -> failed := Some rc
+         done));
+  Kernel.run kern;
+  (!completed, !failed)
+
+let test_single_page_overflow_faults () =
+  let world = deep_setup ~policy:Ppc.Entry_point.Single_page ~pages:3 in
+  let completed, failed = run_deep_calls world ~calls:1 in
+  Alcotest.(check int) "no completions" 0 completed;
+  Alcotest.(check bool) "caller released with err_killed" true
+    (failed = Some Ppc.Reg_args.err_killed)
+
+let test_fixed_pages_policy () =
+  let ((kern, ppc, _) as world) =
+    deep_setup ~policy:(Ppc.Entry_point.Fixed_pages 3) ~pages:3
+  in
+  ignore kern;
+  let completed, failed = run_deep_calls world ~calls:10 in
+  Alcotest.(check (option int)) "no failures" None failed;
+  Alcotest.(check int) "all deep calls completed" 10 completed;
+  (* No page faults: pages were premapped. *)
+  Alcotest.(check int) "no CD slow paths beyond priming" 0
+    (Ppc.stats ppc).Ppc.Engine.frank_cd_creations
+
+let test_fault_in_policy () =
+  let world = deep_setup ~policy:(Ppc.Entry_point.Fault_in 4) ~pages:3 in
+  let completed, failed = run_deep_calls world ~calls:10 in
+  Alcotest.(check (option int)) "no failures" None failed;
+  Alcotest.(check int) "all deep calls completed" 10 completed
+
+let test_fault_in_beyond_limit_faults () =
+  let world = deep_setup ~policy:(Ppc.Entry_point.Fault_in 2) ~pages:3 in
+  let completed, failed = run_deep_calls world ~calls:1 in
+  Alcotest.(check int) "no completions" 0 completed;
+  Alcotest.(check bool) "caller released with err_killed" true
+    (failed = Some Ppc.Reg_args.err_killed)
+
+let test_fault_in_cheaper_when_shallow () =
+  (* A shallow call under Fault_in pays nothing extra; under Fixed_pages
+     it pays the extra mappings every call. *)
+  let measure policy =
+    let kern = Kernel.create ~cpus:1 () in
+    let ppc = Ppc.create kern in
+    let server = Ppc.make_user_server ppc ~name:"s" ~stack_policy:policy () in
+    let ep =
+      Ppc.register_direct ppc ~server
+        ~handler:(Ppc.Null_server.handler ~instr:10 ~stack_words:4 ())
+    in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    let cpu = Machine.cpu (Kernel.machine kern) 0 in
+    let out = ref 0.0 in
+    ignore
+      (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+           for _ = 1 to 8 do
+             ignore
+               (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                  (Ppc.Reg_args.make ()))
+           done;
+           let t0 = Machine.Cpu.elapsed_us cpu in
+           for _ = 1 to 16 do
+             ignore
+               (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                  (Ppc.Reg_args.make ()))
+           done;
+           out := (Machine.Cpu.elapsed_us cpu -. t0) /. 16.0));
+    Kernel.run kern;
+    !out
+  in
+  let fault_in = measure (Ppc.Entry_point.Fault_in 4) in
+  let fixed = measure (Ppc.Entry_point.Fixed_pages 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fault-in (%.1f us) < fixed (%.1f us) for shallow calls"
+       fault_in fixed)
+    true (fault_in < fixed)
+
+let test_trust_groups_isolate_stacks () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let make ~name ~trust_group =
+    let server = Ppc.make_user_server ppc ~name ~trust_group () in
+    let ep =
+      Ppc.register_direct ppc ~server
+        ~handler:(Ppc.Null_server.handler ~instr:10 ~stack_words:4 ())
+    in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    Ppc.Entry_point.id ep
+  in
+  let ep_a = make ~name:"group1-a" ~trust_group:1 in
+  let ep_b = make ~name:"group1-b" ~trust_group:1 in
+  let ep_c = make ~name:"group2-c" ~trust_group:2 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 5 do
+           List.iter
+             (fun ep_id ->
+               ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ())))
+             [ ep_a; ep_b; ep_c ]
+         done));
+  Kernel.run kern;
+  (* Each non-default group created its own CD lazily (one per group on
+     this CPU): groups 1 and 2 never share a stack page. *)
+  Alcotest.(check int) "two group CDs created" 2
+    (Ppc.stats ppc).Ppc.Engine.frank_cd_creations;
+  (* The default pool was never touched. *)
+  Alcotest.(check int) "default pool untouched" 0
+    (Ppc.Cd_pool.allocs (Ppc.Engine.cd_pool (Ppc.engine ppc) 0))
+
+let test_trust_group_shares_within_group () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let make ~name =
+    let server = Ppc.make_user_server ppc ~name ~trust_group:7 () in
+    let ep =
+      Ppc.register_direct ppc ~server
+        ~handler:(Ppc.Null_server.handler ~instr:10 ~stack_words:4 ())
+    in
+    Ppc.prime ppc ~ep ~cpus:[ 0 ];
+    Ppc.Entry_point.id ep
+  in
+  let ep_a = make ~name:"g7-a" and ep_b = make ~name:"g7-b" in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 6 do
+           ignore (Ppc.call ppc ~client:self ~ep_id:ep_a (Ppc.Reg_args.make ()));
+           ignore (Ppc.call ppc ~client:self ~ep_id:ep_b (Ppc.Reg_args.make ()))
+         done));
+  Kernel.run kern;
+  (* Sequential calls within one group serially share a single CD. *)
+  Alcotest.(check int) "one CD serves the whole group" 1
+    (Ppc.stats ppc).Ppc.Engine.frank_cd_creations
+
+let suites =
+  [
+    ( "ppc.stack_policy",
+      [
+        Alcotest.test_case "single page overflows fault" `Quick
+          test_single_page_overflow_faults;
+        Alcotest.test_case "fixed pages premap" `Quick test_fixed_pages_policy;
+        Alcotest.test_case "fault-in grows on demand" `Quick test_fault_in_policy;
+        Alcotest.test_case "fault-in bound enforced" `Quick
+          test_fault_in_beyond_limit_faults;
+        Alcotest.test_case "fault-in cheaper when shallow" `Quick
+          test_fault_in_cheaper_when_shallow;
+      ] );
+    ( "ppc.trust_groups",
+      [
+        Alcotest.test_case "groups isolate stacks" `Quick
+          test_trust_groups_isolate_stacks;
+        Alcotest.test_case "sharing within a group" `Quick
+          test_trust_group_shares_within_group;
+      ] );
+  ]
+
+(* --- message compatibility layer (Section 5) ------------------------------ *)
+
+let test_compat_round_trip () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let port = Ppc.Msg_compat.make_port engine ~name:"echo" in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"server" (fun self ->
+         Ppc.Msg_compat.serve engine port ~server:self (fun payload ->
+             Array.map (fun x -> x * 3) payload)));
+  let result = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"client" (fun self ->
+         result := Ppc.Msg_compat.send engine port ~client:self [| 1; 2; 3 |]));
+  Kernel.run kern;
+  (match !result with
+  | Ok reply ->
+      Alcotest.(check (array int)) "tripled payload"
+        [| 3; 6; 9; 0; 0; 0; 0 |] reply
+  | Error rc -> Alcotest.failf "send failed rc=%d" rc);
+  Alcotest.(check int) "one send" 1 (Ppc.Msg_compat.sends port);
+  Alcotest.(check int) "nothing pending" 0 (Ppc.Msg_compat.pending port)
+
+let test_compat_receiver_blocks_first () =
+  (* Server receives before any client sends: its worker must block, then
+     serve the message when it arrives. *)
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let port = Ppc.Msg_compat.make_port engine ~name:"p" in
+  let served = ref 0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"server" (fun self ->
+         match Ppc.Msg_compat.receive engine port ~server:self with
+         | Ok msg_id ->
+             incr served;
+             ignore (Ppc.Msg_compat.reply engine port ~server:self ~msg_id [| 9 |])
+         | Error rc -> Alcotest.failf "receive failed rc=%d" rc));
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"client" (fun self ->
+         match Ppc.Msg_compat.send engine port ~client:self [| 5 |] with
+         | Ok reply -> Alcotest.(check int) "reply word" 9 reply.(0)
+         | Error rc -> Alcotest.failf "send failed rc=%d" rc));
+  Kernel.run kern;
+  Alcotest.(check int) "served one" 1 !served
+
+let test_compat_many_clients_fifo () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let port = Ppc.Msg_compat.make_port engine ~name:"p" in
+  let served_order = ref [] in
+  ignore
+    (spawn_client kern ~cpu:1 ~name:"server" (fun self ->
+         Ppc.Msg_compat.serve engine port ~server:self (fun payload ->
+             served_order := payload.(0) :: !served_order;
+             payload)));
+  let replies = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           match Ppc.Msg_compat.send engine port ~client:self [| i |] with
+           | Ok _ -> incr replies
+           | Error rc -> Alcotest.failf "send %d failed rc=%d" i rc))
+  done;
+  Kernel.run kern;
+  Alcotest.(check int) "all replied" 3 !replies;
+  Alcotest.(check (list int)) "served in send order" [ 1; 2; 3 ]
+    (List.rev !served_order)
+
+let test_compat_payload_limit () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let port = Ppc.Msg_compat.make_port engine ~name:"p" in
+  let raised = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         try ignore (Ppc.Msg_compat.send engine port ~client:self (Array.make 8 0))
+         with Invalid_argument _ -> raised := true));
+  Kernel.run kern;
+  Alcotest.(check bool) "8-word payload rejected" true !raised
+
+let compat_suite =
+  ( "ppc.msg_compat",
+    [
+      Alcotest.test_case "round trip" `Quick test_compat_round_trip;
+      Alcotest.test_case "receiver blocks first" `Quick
+        test_compat_receiver_blocks_first;
+      Alcotest.test_case "many clients FIFO" `Quick test_compat_many_clients_fifo;
+      Alcotest.test_case "payload limit" `Quick test_compat_payload_limit;
+    ] )
+
+let suites = suites @ [ compat_suite ]
+
+(* --- entry points beyond the fast array (Section 4.5.5) ------------------- *)
+
+let test_overflow_entry_points () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  (* Fill the fast array (IDs 2..1023 are free; 0/1 are well-known). *)
+  let handler = Ppc.Null_server.adder in
+  let server = Ppc.make_user_server ppc ~name:"bulk" () in
+  let last_fast = ref None and first_overflow = ref None in
+  (try
+     for _ = 1 to 1100 do
+       let ep = Ppc.Engine.alloc_ep engine ~name:"svc" ~server ~handler in
+       if Ppc.Entry_point.id ep < Ppc.Layout.max_entry_points then
+         last_fast := Some ep
+       else if !first_overflow = None then first_overflow := Some ep
+     done
+   with Invalid_argument msg -> Alcotest.failf "allocation failed: %s" msg);
+  let fast = Option.get !last_fast and over = Option.get !first_overflow in
+  Alcotest.(check bool) "overflow id beyond the array" true
+    (Ppc.Entry_point.id over >= Ppc.Layout.max_entry_points);
+  Ppc.prime ppc ~ep:fast ~cpus:[ 0 ];
+  Ppc.prime ppc ~ep:over ~cpus:[ 0 ];
+  let cpu = Machine.cpu (Kernel.machine kern) 0 in
+  let fast_us = ref 0.0 and over_us = ref 0.0 in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         let time_calls ep_id =
+           for _ = 1 to 8 do
+             ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.of_list [ 1; 2 ]))
+           done;
+           let t0 = Machine.Cpu.elapsed_us cpu in
+           for _ = 1 to 16 do
+             let args = Ppc.Reg_args.of_list [ 20; 22 ] in
+             let rc = Ppc.call ppc ~client:self ~ep_id args in
+             Alcotest.(check int) "rc ok" Ppc.Reg_args.ok rc;
+             Alcotest.(check int) "result" 42 (Ppc.Reg_args.get args 0)
+           done;
+           (Machine.Cpu.elapsed_us cpu -. t0) /. 16.0
+         in
+         fast_us := time_calls (Ppc.Entry_point.id fast);
+         over_us := time_calls (Ppc.Entry_point.id over)));
+  Kernel.run kern;
+  Alcotest.(check bool)
+    (Printf.sprintf "overflow lookup dearer (%.2f vs %.2f us)" !over_us !fast_us)
+    true
+    (!over_us > !fast_us +. 0.3)
+
+let test_overflow_kill_and_reuse () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let engine = Ppc.engine ppc in
+  let server = Ppc.make_user_server ppc ~name:"bulk" () in
+  for _ = 1 to 1100 do
+    ignore (Ppc.Engine.alloc_ep engine ~name:"svc" ~server ~handler:Ppc.Null_server.echo)
+  done;
+  let over =
+    Ppc.Engine.alloc_ep engine ~name:"victim" ~server ~handler:Ppc.Null_server.echo
+  in
+  let over_id = Ppc.Entry_point.id over in
+  Alcotest.(check bool) "in overflow range" true
+    (over_id >= Ppc.Layout.max_entry_points);
+  Alcotest.(check bool) "findable" true (Ppc.find_ep ppc over_id <> None);
+  Ppc.soft_kill ppc ~ep_id:over_id;
+  Alcotest.(check bool) "gone after kill" true (Ppc.find_ep ppc over_id = None)
+
+let overflow_suite =
+  ( "ppc.ep_overflow",
+    [
+      Alcotest.test_case "overflow EPs callable and dearer" `Quick
+        test_overflow_entry_points;
+      Alcotest.test_case "kill and removal" `Quick test_overflow_kill_and_reuse;
+    ] )
+
+let suites = suites @ [ overflow_suite ]
+
+(* --- pool reclaim (Section 2: pools shrink too) ---------------------------- *)
+
+let test_reclaim_shrinks_pools () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let kc = Kernel.kcpu kern 0 in
+  (* A blocking server so concurrent calls grow the pool. *)
+  let blocked = ref [] in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    blocked := ctx.Ppc.Call_ctx.self :: !blocked;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"spiky" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let completions = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           if
+             Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+               (Ppc.Reg_args.make ())
+             = Ppc.Reg_args.ok
+           then incr completions))
+  done;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"releaser" (fun _ ->
+         List.iter (fun p -> Kernel.Kcpu.ready kc p) (List.rev !blocked);
+         blocked := []));
+  Kernel.run kern;
+  Alcotest.(check int) "peak load served" 4 !completions;
+  Alcotest.(check int) "pool grew to 4 workers" 4
+    (Ppc.Entry_point.workers_total ep);
+  (* Now reclaim back to steady state through Frank. *)
+  let reclaimed = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"janitor" (fun self ->
+         reclaimed :=
+           Ppc.Frank.reclaim (Ppc.frank ppc) ~client:self ~max_workers:1
+             ~max_cds:2));
+  Kernel.run kern;
+  (match !reclaimed with
+  | Ok (workers, cds) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "some workers retired (%d) and CDs freed (%d)" workers cds)
+        true
+        (workers >= 3 && cds >= 1)
+  | Error rc -> Alcotest.failf "reclaim failed rc=%d" rc);
+  Alcotest.(check int) "pool back to one worker" 1
+    (Ppc.Entry_point.workers_total ep);
+  (* The entry point still works afterwards (workers regrow on demand). *)
+  let rc = ref (-1) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"after" (fun self ->
+         ignore
+           (Kernel.spawn kern ~cpu:0 ~name:"releaser2"
+              ~kind:Kernel.Process.Client
+              ~program:(Kernel.new_program kern ~name:"r2")
+              ~space:(Kernel.new_user_space kern ~name:"r2" ~node:0)
+              (fun _ ->
+                List.iter (fun p -> Kernel.Kcpu.ready kc p) (List.rev !blocked);
+                blocked := []));
+         rc :=
+           Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+             (Ppc.Reg_args.make ())));
+  Kernel.run kern;
+  Alcotest.(check int) "still serves after reclaim" Ppc.Reg_args.ok !rc
+
+let test_reclaim_keeps_minimum () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"svc" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let result = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"janitor" (fun self ->
+         result :=
+           Ppc.Frank.reclaim (Ppc.frank ppc) ~client:self ~max_workers:1
+             ~max_cds:2));
+  Kernel.run kern;
+  (match !result with
+  | Ok (workers, _) ->
+      Alcotest.(check int) "nothing above the floor to retire" 0 workers
+  | Error rc -> Alcotest.failf "reclaim failed rc=%d" rc);
+  Alcotest.(check int) "steady worker kept" 1 (Ppc.Entry_point.workers_total ep)
+
+let reclaim_suite =
+  ( "ppc.reclaim",
+    [
+      Alcotest.test_case "shrinks grown pools" `Quick test_reclaim_shrinks_pools;
+      Alcotest.test_case "respects the floor" `Quick test_reclaim_keeps_minimum;
+    ] )
+
+let suites = suites @ [ reclaim_suite ]
+
+let test_reclaim_daemon_sweeps () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let kc = Kernel.kcpu kern 0 in
+  let daemon =
+    Ppc.Reclaim_daemon.start ~period:(Sim.Time.ms 2) (Ppc.engine ppc)
+  in
+  (* Grow a pool with a burst of concurrent blocking calls... *)
+  let blocked = ref [] in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    blocked := ctx.Ppc.Call_ctx.self :: !blocked;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"bursty" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  for i = 1 to 4 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))))
+  done;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"rel" (fun _ ->
+         List.iter (Kernel.Kcpu.ready kc) (List.rev !blocked)));
+  (* ...then let a few sweep periods pass. *)
+  Kernel.run ~until:(Sim.Time.ms 9) kern;
+  Alcotest.(check bool) "several sweeps ran" true
+    (Ppc.Reclaim_daemon.sweeps daemon >= 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "daemon retired workers (%d)"
+       (Ppc.Reclaim_daemon.workers_retired daemon))
+    true
+    (Ppc.Reclaim_daemon.workers_retired daemon >= 3);
+  Alcotest.(check int) "pool back at steady state" 1
+    (Ppc.Entry_point.workers_total ep);
+  Ppc.Reclaim_daemon.stop daemon;
+  let swept = Ppc.Reclaim_daemon.sweeps daemon in
+  Kernel.run ~until:(Sim.Time.ms 20) kern;
+  Alcotest.(check int) "no sweeps after stop" swept
+    (Ppc.Reclaim_daemon.sweeps daemon)
+
+let daemon_suite =
+  ( "ppc.reclaim_daemon",
+    [ Alcotest.test_case "periodic sweeps" `Quick test_reclaim_daemon_sweeps ] )
+
+let suites = suites @ [ daemon_suite ]
+
+let test_hard_kill_releases_remote_caller () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let remote = Ppc.Remote_call.install (Ppc.engine ppc) in
+  (* A server that blocks forever on its target CPU. *)
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"stuck" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0; 1 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  let rc = ref (-99) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"caller" (fun self ->
+         rc :=
+           Ppc.Remote_call.call remote ~client:self ~target_cpu:1 ~ep_id
+             (Ppc.Reg_args.make ())));
+  (* Let the remote call get stuck, then hard-kill the service. *)
+  Kernel.run ~until:(Sim.Time.us 200) kern;
+  Ppc.hard_kill ppc ~ep_id;
+  Kernel.run kern;
+  Alcotest.(check int) "remote caller released with err_killed"
+    Ppc.Reg_args.err_killed !rc
+
+let remote_abort_suite =
+  ( "ppc.remote_abort",
+    [
+      Alcotest.test_case "hard kill releases remote caller" `Quick
+        test_hard_kill_releases_remote_caller;
+    ] )
+
+let suites = suites @ [ remote_abort_suite ]
+
+(* Reclaim also trims non-default trust-group pools. *)
+let test_reclaim_covers_trust_groups () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let kc = Kernel.kcpu kern 0 in
+  let blocked = ref [] in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    blocked := ctx.Ppc.Call_ctx.self :: !blocked;
+    Kernel.Kcpu.block ctx.Ppc.Call_ctx.kcpu ctx.Ppc.Call_ctx.self;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_user_server ppc ~name:"grp" ~trust_group:3 () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  for i = 1 to 4 do
+    ignore
+      (spawn_client kern ~cpu:0 ~name:(Printf.sprintf "c%d" i) (fun self ->
+           ignore
+             (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                (Ppc.Reg_args.make ()))))
+  done;
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"rel" (fun _ ->
+         List.iter (Kernel.Kcpu.ready kc) (List.rev !blocked)));
+  Kernel.run kern;
+  (* Four group CDs were created (the group pool starts empty). *)
+  Alcotest.(check int) "group CDs created" 4
+    (Ppc.stats ppc).Ppc.Engine.frank_cd_creations;
+  let _, freed = Ppc.Engine.reclaim (Ppc.engine ppc) ~cpu_index:0 ~max_cds:1 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "group pool trimmed (%d freed)" freed)
+    true (freed >= 3)
+
+(* Exchange installs a fresh entry point record: its counters restart. *)
+let test_exchange_resets_counters () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"svc" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let ep_id = Ppc.Entry_point.id ep in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+         for _ = 1 to 5 do
+           ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ()))
+         done;
+         ignore
+           (Ppc.Frank.exchange (Ppc.frank ppc) ~client:self ~ep_id
+              ~handler:Ppc.Null_server.echo);
+         ignore (Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ()))));
+  Kernel.run kern;
+  let ep' = Option.get (Ppc.find_ep ppc ep_id) in
+  Alcotest.(check int) "replacement counts only its own calls" 1
+    (Ppc.Entry_point.total_calls ep')
+
+let final_suite =
+  ( "ppc.final_edges",
+    [
+      Alcotest.test_case "reclaim covers trust groups" `Quick
+        test_reclaim_covers_trust_groups;
+      Alcotest.test_case "exchange resets counters" `Quick
+        test_exchange_resets_counters;
+    ] )
+
+let suites = suites @ [ final_suite ]

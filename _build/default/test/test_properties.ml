@@ -1,0 +1,175 @@
+(* Cross-cutting property tests: random workloads against reference
+   models and invariants. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+(* --- cluster topology ------------------------------------------------------ *)
+
+let prop_cluster_members_partition =
+  QCheck.Test.make ~name:"clusters partition the CPUs" ~count:200
+    QCheck.(pair (1 -- 64) (1 -- 16))
+    (fun (cpus, cluster_size) ->
+      let c = Kernel.Cluster.create ~cpus ~cluster_size in
+      let all =
+        List.concat_map
+          (fun cl -> Kernel.Cluster.members c ~cluster:cl)
+          (List.init (Kernel.Cluster.n_clusters c) Fun.id)
+      in
+      List.sort Int.compare all = List.init cpus Fun.id)
+
+let prop_cluster_of_roundtrip =
+  QCheck.Test.make ~name:"cpu belongs to its own cluster" ~count:200
+    QCheck.(triple (1 -- 64) (1 -- 16) (0 -- 63))
+    (fun (cpus, cluster_size, cpu) ->
+      QCheck.assume (cpu < cpus);
+      let c = Kernel.Cluster.create ~cpus ~cluster_size in
+      let cl = Kernel.Cluster.cluster_of c ~cpu in
+      List.mem cpu (Kernel.Cluster.members c ~cluster:cl))
+
+(* --- PPC echo: random payloads survive the register convention ------------- *)
+
+let prop_ppc_echo_roundtrip =
+  QCheck.Test.make ~name:"random 7-word payloads echo exactly" ~count:40
+    QCheck.(array_of_size (QCheck.Gen.return 7) (0 -- 0xFFFF))
+    (fun payload ->
+      let kern = Kernel.create ~cpus:1 () in
+      let ppc = Ppc.create kern in
+      let server = Ppc.make_user_server ppc ~name:"echo" () in
+      let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+      Ppc.prime ppc ~ep ~cpus:[ 0 ];
+      let ok = ref false in
+      ignore
+        (spawn_client kern ~cpu:0 ~name:"c" (fun self ->
+             let args = Ppc.Reg_args.make () in
+             Array.iteri (fun i v -> Ppc.Reg_args.set args i v) payload;
+             let rc =
+               Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args
+             in
+             ok :=
+               rc = Ppc.Reg_args.ok
+               && Array.for_all2 ( = ) payload
+                    (Array.init 7 (fun i -> Ppc.Reg_args.get args i))));
+      Kernel.run kern;
+      !ok)
+
+(* --- msg_compat: random payloads through three PPCs ------------------------- *)
+
+let prop_compat_payload_roundtrip =
+  QCheck.Test.make ~name:"compat layer preserves random payloads" ~count:25
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 7) (0 -- 0xFFFFF))
+    (fun payload_list ->
+      let payload = Array.of_list payload_list in
+      let kern = Kernel.create ~cpus:1 () in
+      let ppc = Ppc.create kern in
+      let engine = Ppc.engine ppc in
+      let port = Ppc.Msg_compat.make_port engine ~name:"p" in
+      ignore
+        (spawn_client kern ~cpu:0 ~name:"server" (fun self ->
+             Ppc.Msg_compat.serve engine port ~server:self (fun p -> p)));
+      let ok = ref false in
+      ignore
+        (spawn_client kern ~cpu:0 ~name:"client" (fun self ->
+             match Ppc.Msg_compat.send engine port ~client:self payload with
+             | Ok reply ->
+                 ok :=
+                   Array.for_all2 ( = )
+                     (Array.init 7 (fun i ->
+                          if i < Array.length payload then payload.(i) else 0))
+                     reply
+             | Error _ -> ()));
+      Kernel.run kern;
+      !ok)
+
+(* --- VM: random touch pattern vs a reference fault model -------------------- *)
+
+let prop_vm_faults_once_per_page =
+  QCheck.Test.make ~name:"vm faults exactly once per distinct page" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (0 -- (8 * 4096 - 1)))
+    (fun offsets ->
+      let base = 0x40_0000 in
+      let kern = Kernel.create ~cpus:1 () in
+      let space = Kernel.new_user_space kern ~name:"app" ~node:0 in
+      let vm = Vm.create kern ~space ~node:0 in
+      ignore
+        (Vm.add_region vm ~base ~len:(8 * 4096) ~backing:Vm.Demand_zero
+           ~prot:Vm.Rw);
+      let distinct_pages =
+        List.sort_uniq Int.compare (List.map (fun o -> o / 4096) offsets)
+      in
+      let ok = ref false in
+      ignore
+        (spawn_client kern ~cpu:0 ~name:"app" (fun self ->
+             let cpu = Machine.cpu (Kernel.machine kern) 0 in
+             List.iter
+               (fun o -> Vm.read vm ~cpu ~proc:self ~vaddr:(base + o))
+               offsets;
+             (* Touch everything again: no new faults. *)
+             let faults_before = Vm.faults vm in
+             List.iter
+               (fun o -> Vm.write vm ~cpu ~proc:self ~vaddr:(base + o))
+               offsets;
+             ok :=
+               faults_before = List.length distinct_pages
+               && Vm.faults vm = faults_before));
+      Kernel.run kern;
+      !ok)
+
+(* --- account: charges are conserved across categories ----------------------- *)
+
+let prop_account_total_conserved =
+  QCheck.Test.make ~name:"account total = sum of category charges" ~count:200
+    QCheck.(list (pair (0 -- 8) (0 -- 1000)))
+    (fun charges ->
+      let a = Machine.Account.create () in
+      List.iter
+        (fun (i, n) ->
+          Machine.Account.charge a (List.nth Machine.Account.all i) n)
+        charges;
+      Machine.Account.total a = List.fold_left (fun acc (_, n) -> acc + n) 0 charges)
+
+(* --- engine: random interleavings still conserve calls ----------------------- *)
+
+let prop_calls_conserved_across_cpus =
+  QCheck.Test.make ~name:"every started call completes exactly once" ~count:15
+    QCheck.(pair (1 -- 4) (1 -- 20))
+    (fun (cpus, calls_per_client) ->
+      let kern = Kernel.create ~cpus () in
+      let ppc = Ppc.create kern in
+      let server = Ppc.make_user_server ppc ~name:"s" () in
+      let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+      Ppc.prime ppc ~ep ~cpus:(List.init cpus Fun.id);
+      let completed = Array.make cpus 0 in
+      for cpu = 0 to cpus - 1 do
+        ignore
+          (spawn_client kern ~cpu ~name:(Printf.sprintf "c%d" cpu) (fun self ->
+               for _ = 1 to calls_per_client do
+                 if
+                   Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+                     (Ppc.Reg_args.make ())
+                   = Ppc.Reg_args.ok
+                 then completed.(cpu) <- completed.(cpu) + 1
+               done))
+      done;
+      Kernel.run kern;
+      Array.for_all (fun c -> c = calls_per_client) completed
+      && Ppc.Entry_point.total_calls ep = cpus * calls_per_client
+      && Ppc.Entry_point.in_progress_total ep = 0)
+
+let suites =
+  [
+    ( "properties",
+      [
+        qcheck prop_cluster_members_partition;
+        qcheck prop_cluster_of_roundtrip;
+        qcheck prop_ppc_echo_roundtrip;
+        qcheck prop_compat_payload_roundtrip;
+        qcheck prop_vm_faults_once_per_page;
+        qcheck prop_account_total_conserved;
+        qcheck prop_calls_conserved_across_cpus;
+      ] );
+  ]

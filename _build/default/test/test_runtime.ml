@@ -1,0 +1,391 @@
+(* Tests for the real-multicore runtime: lock-free queues, the fastcall
+   registry, the locked baseline, and the domain pool.
+
+   These run real OCaml 5 domains.  The container may have a single core;
+   everything here is correctness, not speedup. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- MPSC queue --------------------------------------------------------- *)
+
+let test_mpsc_fifo_single_producer () =
+  let q = Runtime.Mpsc_queue.create () in
+  for i = 1 to 100 do
+    Runtime.Mpsc_queue.push q i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Runtime.Mpsc_queue.pop q with
+    | Some v ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo" (List.init 100 (fun i -> i + 1))
+    (List.rev !out);
+  Alcotest.(check bool) "empty after drain" true (Runtime.Mpsc_queue.is_empty q)
+
+let prop_mpsc_roundtrip =
+  QCheck.Test.make ~name:"mpsc preserves sequence" ~count:100
+    QCheck.(list int)
+    (fun xs ->
+      let q = Runtime.Mpsc_queue.create () in
+      List.iter (Runtime.Mpsc_queue.push q) xs;
+      let rec drain acc =
+        match Runtime.Mpsc_queue.pop q with
+        | Some v -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = xs)
+
+let test_mpsc_multi_producer_total () =
+  let q = Runtime.Mpsc_queue.create () in
+  let producers = 4 and per = 500 in
+  let domains =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Runtime.Mpsc_queue.push q ((p * per) + i)
+            done))
+  in
+  List.iter Domain.join domains;
+  let seen = Hashtbl.create 64 in
+  let rec drain n =
+    match Runtime.Mpsc_queue.pop q with
+    | Some v ->
+        Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen v);
+        Hashtbl.replace seen v ();
+        drain (n + 1)
+    | None -> n
+  in
+  let n = drain 0 in
+  Alcotest.(check int) "all elements arrived" (producers * per) n
+
+(* --- SPSC ring ----------------------------------------------------------- *)
+
+let test_spsc_capacity () =
+  let r = Runtime.Spsc_ring.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Runtime.Spsc_ring.capacity r);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "push fits" true (Runtime.Spsc_ring.try_push r i)
+  done;
+  Alcotest.(check bool) "full rejects" false (Runtime.Spsc_ring.try_push r 5);
+  Alcotest.(check (option int)) "pop first" (Some 1) (Runtime.Spsc_ring.try_pop r);
+  Alcotest.(check bool) "space again" true (Runtime.Spsc_ring.try_push r 5)
+
+let test_spsc_power_of_two_required () =
+  Alcotest.check_raises "non-power rejected"
+    (Invalid_argument "Spsc_ring.create: capacity must be a positive power of two")
+    (fun () -> ignore (Runtime.Spsc_ring.create ~capacity:6))
+
+let prop_spsc_wraparound =
+  QCheck.Test.make ~name:"ring preserves order across wraps" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) int)
+    (fun xs ->
+      let r = Runtime.Spsc_ring.create ~capacity:8 in
+      let out = ref [] in
+      List.iter
+        (fun x ->
+          if not (Runtime.Spsc_ring.try_push r x) then begin
+            (* Drain one to make room, recording it. *)
+            (match Runtime.Spsc_ring.try_pop r with
+            | Some v -> out := v :: !out
+            | None -> ());
+            ignore (Runtime.Spsc_ring.try_push r x)
+          end)
+        xs;
+      let rec drain () =
+        match Runtime.Spsc_ring.try_pop r with
+        | Some v ->
+            out := v :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !out = xs)
+
+let test_spsc_cross_domain () =
+  let r = Runtime.Spsc_ring.create ~capacity:16 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 in
+        for _ = 1 to n do
+          sum := !sum + Runtime.Spsc_ring.pop_wait r
+        done;
+        !sum)
+  in
+  for i = 1 to n do
+    Runtime.Spsc_ring.push_wait r i
+  done;
+  Alcotest.(check int) "sum across domains" (n * (n + 1) / 2)
+    (Domain.join consumer)
+
+(* --- fastcall ------------------------------------------------------------ *)
+
+let adder : Runtime.Fastcall.handler =
+ fun _ctx args ->
+  args.(0) <- args.(0) + args.(1);
+  args.(7) <- 0
+
+let test_fastcall_local () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let args = Array.make 8 0 in
+  args.(0) <- 40;
+  args.(1) <- 2;
+  let rc = Runtime.Fastcall.call t ~ep args in
+  Alcotest.(check int) "rc" 0 rc;
+  Alcotest.(check int) "result in place" 42 args.(0);
+  Alcotest.(check int) "local calls counted" 1 (Runtime.Fastcall.local_calls t)
+
+let test_fastcall_unknown_ep () =
+  let t = Runtime.Fastcall.create () in
+  Alcotest.check_raises "unknown entry" (Runtime.Fastcall.No_entry 3) (fun () ->
+      ignore (Runtime.Fastcall.call t ~ep:3 (Array.make 8 0)))
+
+let test_fastcall_frame_reuse () =
+  let t = Runtime.Fastcall.create () in
+  let handler : Runtime.Fastcall.handler =
+   fun ctx args ->
+    ignore ctx.Runtime.Fastcall.frame.Runtime.Fastcall.scratch;
+    args.(7) <- ctx.Runtime.Fastcall.frame.Runtime.Fastcall.frame_calls
+  in
+  let ep = Runtime.Fastcall.register t handler in
+  let args = Array.make 8 0 in
+  for _ = 1 to 10 do
+    ignore (Runtime.Fastcall.call t ~ep args)
+  done;
+  (* LIFO pool: the same frame serves every sequential call. *)
+  Alcotest.(check int) "frame reused 10 times" 10 args.(7)
+
+let test_fastcall_nested_calls () =
+  let t = Runtime.Fastcall.create () in
+  let inner = Runtime.Fastcall.register t adder in
+  let outer : Runtime.Fastcall.handler =
+   fun _ctx args ->
+    (* Servers calling servers: takes a second frame from the pool. *)
+    let nested = Array.make 8 0 in
+    nested.(0) <- args.(0);
+    nested.(1) <- 1;
+    ignore (Runtime.Fastcall.call t ~ep:inner nested);
+    args.(0) <- nested.(0);
+    args.(7) <- 0
+  in
+  let ep = Runtime.Fastcall.register t outer in
+  let args = Array.make 8 0 in
+  args.(0) <- 41;
+  ignore (Runtime.Fastcall.call t ~ep args);
+  Alcotest.(check int) "nested result" 42 args.(0)
+
+let test_fastcall_cross_domain () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let sd = Runtime.Fastcall.spawn_server t in
+  let total = ref 0 in
+  for i = 1 to 100 do
+    let args = Array.make 8 0 in
+    args.(0) <- i;
+    args.(1) <- i;
+    ignore (Runtime.Fastcall.cross_call sd ~ep args);
+    total := !total + args.(0)
+  done;
+  Runtime.Fastcall.shutdown_server sd;
+  Alcotest.(check int) "all served" 100 (Runtime.Fastcall.served sd);
+  Alcotest.(check int) "sums correct" (2 * (100 * 101 / 2)) !total
+
+(* --- locked registry ------------------------------------------------------ *)
+
+let test_locked_registry_parity () =
+  let t = Runtime.Locked_registry.create () in
+  let ep =
+    Runtime.Locked_registry.register t (fun _frame args ->
+        args.(0) <- args.(0) * 2;
+        args.(7) <- 0)
+  in
+  let args = Array.make 8 0 in
+  args.(0) <- 21;
+  let rc = Runtime.Locked_registry.call t ~ep args in
+  Alcotest.(check int) "rc" 0 rc;
+  Alcotest.(check int) "doubled" 42 args.(0);
+  Alcotest.(check int) "calls" 1 (Runtime.Locked_registry.calls t)
+
+let test_locked_registry_multidomain () =
+  let t = Runtime.Locked_registry.create () in
+  let ep =
+    Runtime.Locked_registry.register t (fun _frame args -> args.(7) <- 0)
+  in
+  let per = 1000 in
+  let domains =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              ignore (Runtime.Locked_registry.call t ~ep (Array.make 8 0))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exact count under contention" (3 * per)
+    (Runtime.Locked_registry.calls t)
+
+(* --- domain pool ----------------------------------------------------------- *)
+
+let test_domain_pool_affinity () =
+  let pool = Runtime.Domain_pool.create ~domains:2 in
+  let c0 = Atomic.make 0 and c1 = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Runtime.Domain_pool.submit_to pool ~index:0 (fun () -> Atomic.incr c0);
+    Runtime.Domain_pool.submit_to pool ~index:1 (fun () -> Atomic.incr c1)
+  done;
+  Runtime.Domain_pool.shutdown pool;
+  Alcotest.(check int) "member 0 ran its work" 50 (Atomic.get c0);
+  Alcotest.(check int) "member 1 ran its work" 50 (Atomic.get c1);
+  Alcotest.(check int) "executed counters" 50
+    (Runtime.Domain_pool.executed pool ~index:0);
+  Alcotest.(check int) "total" 100 (Runtime.Domain_pool.total_executed pool)
+
+let test_domain_pool_round_robin () =
+  let pool = Runtime.Domain_pool.create ~domains:3 in
+  let total = Atomic.make 0 in
+  for _ = 1 to 99 do
+    Runtime.Domain_pool.submit pool (fun () -> Atomic.incr total)
+  done;
+  Runtime.Domain_pool.shutdown pool;
+  Alcotest.(check int) "all ran" 99 (Atomic.get total);
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "member %d got an even share" i)
+      33
+      (Runtime.Domain_pool.executed pool ~index:i)
+  done
+
+let suites =
+  [
+    ( "runtime.mpsc",
+      [
+        Alcotest.test_case "fifo single producer" `Quick
+          test_mpsc_fifo_single_producer;
+        Alcotest.test_case "multi-producer totals" `Quick
+          test_mpsc_multi_producer_total;
+        qcheck prop_mpsc_roundtrip;
+      ] );
+    ( "runtime.spsc",
+      [
+        Alcotest.test_case "bounded capacity" `Quick test_spsc_capacity;
+        Alcotest.test_case "power of two required" `Quick
+          test_spsc_power_of_two_required;
+        Alcotest.test_case "cross-domain stream" `Quick test_spsc_cross_domain;
+        qcheck prop_spsc_wraparound;
+      ] );
+    ( "runtime.fastcall",
+      [
+        Alcotest.test_case "local call" `Quick test_fastcall_local;
+        Alcotest.test_case "unknown entry" `Quick test_fastcall_unknown_ep;
+        Alcotest.test_case "frame reuse" `Quick test_fastcall_frame_reuse;
+        Alcotest.test_case "nested calls" `Quick test_fastcall_nested_calls;
+        Alcotest.test_case "cross-domain call" `Quick test_fastcall_cross_domain;
+      ] );
+    ( "runtime.locked_registry",
+      [
+        Alcotest.test_case "parity" `Quick test_locked_registry_parity;
+        Alcotest.test_case "multi-domain exactness" `Quick
+          test_locked_registry_multidomain;
+      ] );
+    ( "runtime.domain_pool",
+      [
+        Alcotest.test_case "affinity" `Quick test_domain_pool_affinity;
+        Alcotest.test_case "round robin" `Quick test_domain_pool_round_robin;
+      ] );
+  ]
+
+(* --- striped counter -------------------------------------------------------- *)
+
+let test_striped_counter_exact () =
+  let c = Runtime.Striped_counter.create () in
+  let per = 5000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Runtime.Striped_counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per)
+    (Runtime.Striped_counter.value c)
+
+let test_striped_counter_add () =
+  let c = Runtime.Striped_counter.create ~stripes:4 () in
+  Runtime.Striped_counter.add c 40;
+  Runtime.Striped_counter.incr c;
+  Runtime.Striped_counter.incr c;
+  Alcotest.(check int) "adds and incrs sum" 42 (Runtime.Striped_counter.value c)
+
+let test_striped_counter_pow2 () =
+  Alcotest.check_raises "non-power-of-two stripes"
+    (Invalid_argument "Striped_counter.create: stripes must be a power of two")
+    (fun () -> ignore (Runtime.Striped_counter.create ~stripes:3 ()))
+
+(* --- treiber stack ----------------------------------------------------------- *)
+
+let test_treiber_lifo () =
+  let s = Runtime.Treiber_stack.create () in
+  List.iter (Runtime.Treiber_stack.push s) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Runtime.Treiber_stack.length s);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Runtime.Treiber_stack.pop s);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Runtime.Treiber_stack.pop s);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Runtime.Treiber_stack.pop s);
+  Alcotest.(check (option int)) "empty" None (Runtime.Treiber_stack.pop s);
+  Alcotest.(check bool) "is_empty" true (Runtime.Treiber_stack.is_empty s)
+
+let test_treiber_multidomain_conservation () =
+  let s = Runtime.Treiber_stack.create () in
+  let per = 2000 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Runtime.Treiber_stack.push s ((p * per) + i)
+            done))
+  in
+  let popped = Atomic.make 0 in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let n = ref 0 in
+            let tries = ref 0 in
+            while !tries < 1_000_000 && Atomic.get popped + !n < 2 * per do
+              (match Runtime.Treiber_stack.pop s with
+              | Some _ -> incr n
+              | None -> Domain.cpu_relax ());
+              incr tries
+            done;
+            ignore (Atomic.fetch_and_add popped !n)))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  (* Whatever the consumers missed is still on the stack. *)
+  let remaining = Runtime.Treiber_stack.length s in
+  Alcotest.(check int) "pushes + pops conserve elements" (2 * per)
+    (Atomic.get popped + remaining);
+  Alcotest.(check int) "counters agree" (2 * per) (Runtime.Treiber_stack.pushes s);
+  Alcotest.(check int) "pop counter agrees" (Atomic.get popped)
+    (Runtime.Treiber_stack.pops s)
+
+let extra_suites =
+  [
+    ( "runtime.striped_counter",
+      [
+        Alcotest.test_case "exact under domains" `Quick test_striped_counter_exact;
+        Alcotest.test_case "add" `Quick test_striped_counter_add;
+        Alcotest.test_case "power of two" `Quick test_striped_counter_pow2;
+      ] );
+    ( "runtime.treiber",
+      [
+        Alcotest.test_case "LIFO" `Quick test_treiber_lifo;
+        Alcotest.test_case "multi-domain conservation" `Quick
+          test_treiber_multidomain_conservation;
+      ] );
+  ]
+
+let suites = suites @ extra_suites

@@ -1,0 +1,359 @@
+(* Tests for the simulation substrate: heap, rng, engine, primitives. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- heap -------------------------------------------------------------- *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.create Int.compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Sim.Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop" (Some 1) (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "pop" (Some 2) (Sim.Heap.pop h);
+  Sim.Heap.clear h;
+  Alcotest.(check (option int)) "cleared" None (Sim.Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_heap_peek_is_min =
+  QCheck.Test.make ~name:"peek equals minimum" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      let h = Sim.Heap.create Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      Sim.Heap.peek h = Some (List.fold_left Int.min (List.hd xs) xs))
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:17 and b = Sim.Rng.create ~seed:17 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next_int64 a)
+      (Sim.Rng.next_int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Sim.Rng.next_int64 a = Sim.Rng.next_int64 b)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (1 -- 1000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create ~seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_exponential_bounded =
+  QCheck.Test.make ~name:"exponential truncated at 20x mean" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Sim.Rng.exponential rng ~mean:10.0 in
+        if x < 0.0 || x > 200.0 then ok := false
+      done;
+      !ok)
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:5 in
+  let b = Sim.Rng.split a in
+  Alcotest.(check bool) "split differs from parent" false
+    (Sim.Rng.next_int64 a = Sim.Rng.next_int64 b)
+
+(* --- engine ------------------------------------------------------------ *)
+
+let test_engine_time_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule_at e (Sim.Time.us 30) (fun () -> log := 3 :: !log);
+  Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> log := 2 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30_000 (Sim.Engine.now e)
+
+let test_engine_fifo_at_same_time () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_delay_accumulates () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.delay e (Sim.Time.us 5);
+      seen := Sim.Engine.now e :: !seen;
+      Sim.Engine.delay e (Sim.Time.us 7);
+      seen := Sim.Engine.now e :: !seen);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "delays add up" [ 12_000; 5_000 ] !seen
+
+let test_engine_run_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> incr fired);
+  Sim.Engine.schedule_at e (Sim.Time.us 100) (fun () -> incr fired);
+  Sim.Engine.run ~until:(Sim.Time.us 50) e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "clock advanced to horizon" 50_000 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "rest fired later" 2 !fired
+
+let test_engine_suspend_resume () =
+  let e = Sim.Engine.create () in
+  let resume_slot = ref None in
+  let state = ref "init" in
+  Sim.Engine.spawn e (fun () ->
+      state := "blocked";
+      Sim.Engine.suspend e (fun resume -> resume_slot := Some resume);
+      state := "resumed");
+  Sim.Engine.run e;
+  Alcotest.(check string) "blocked" "blocked" !state;
+  (match !resume_slot with Some r -> r (Ok ()) | None -> Alcotest.fail "no resume");
+  Sim.Engine.run e;
+  Alcotest.(check string) "resumed" "resumed" !state
+
+let test_engine_resume_twice_rejected () =
+  let e = Sim.Engine.create () in
+  let resume_slot = ref None in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.suspend e (fun resume -> resume_slot := Some resume));
+  Sim.Engine.run e;
+  let r = Option.get !resume_slot in
+  r (Ok ());
+  Alcotest.check_raises "second resume rejected"
+    (Invalid_argument "Sim.Engine: process resumed twice") (fun () -> r (Ok ()))
+
+let test_engine_error_resume () =
+  let e = Sim.Engine.create () in
+  let caught = ref false in
+  let resume_slot = ref None in
+  Sim.Engine.spawn e (fun () ->
+      try Sim.Engine.suspend e (fun resume -> resume_slot := Some resume)
+      with Sim.Engine.Cancelled _ -> caught := true);
+  Sim.Engine.run e;
+  (Option.get !resume_slot) (Error (Sim.Engine.Cancelled "test"));
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancellation raised in process" true !caught
+
+(* --- condition --------------------------------------------------------- *)
+
+let test_condition_fifo () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Condition.wait e c;
+        order := i :: !order)
+  done;
+  Sim.Engine.spawn ~at:(Sim.Time.us 1) e (fun () ->
+      ignore (Sim.Condition.signal c);
+      ignore (Sim.Condition.signal c);
+      ignore (Sim.Condition.signal c));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2; 3 ] (List.rev !order)
+
+let test_condition_broadcast_and_cancel () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let woken = ref 0 and cancelled = ref 0 in
+  for _ = 1 to 4 do
+    Sim.Engine.spawn e (fun () ->
+        try
+          Sim.Condition.wait e c;
+          incr woken
+        with Sim.Engine.Cancelled _ -> incr cancelled)
+  done;
+  Sim.Engine.schedule_at e (Sim.Time.us 1) (fun () ->
+      Alcotest.(check int) "waiting" 4 (Sim.Condition.waiting c);
+      Alcotest.(check int) "broadcast count" 4 (Sim.Condition.broadcast c));
+  Sim.Engine.run e;
+  Alcotest.(check int) "all woken" 4 !woken;
+  (* Now cancel a fresh set. *)
+  for _ = 1 to 2 do
+    Sim.Engine.spawn e (fun () ->
+        try Sim.Condition.wait e c with Sim.Engine.Cancelled _ -> incr cancelled)
+  done;
+  Sim.Engine.schedule_at e (Sim.Engine.now e) (fun () ->
+      ignore (Sim.Condition.cancel_all c));
+  Sim.Engine.run e;
+  Alcotest.(check int) "cancelled" 2 !cancelled
+
+(* --- semaphore --------------------------------------------------------- *)
+
+let test_semaphore_counting () =
+  let e = Sim.Engine.create () in
+  let s = Sim.Semaphore.create 2 in
+  let active = ref 0 and max_active = ref 0 and done_ = ref 0 in
+  for _ = 1 to 5 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Semaphore.acquire e s;
+        incr active;
+        if !active > !max_active then max_active := !active;
+        Sim.Engine.delay e (Sim.Time.us 10);
+        decr active;
+        incr done_;
+        Sim.Semaphore.release s)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "all finished" 5 !done_;
+  Alcotest.(check int) "never more than 2 inside" 2 !max_active;
+  Alcotest.(check int) "units restored" 2 (Sim.Semaphore.value s)
+
+let test_semaphore_try_acquire () =
+  let s = Sim.Semaphore.create 1 in
+  Alcotest.(check bool) "first try ok" true (Sim.Semaphore.try_acquire s);
+  Alcotest.(check bool) "second try fails" false (Sim.Semaphore.try_acquire s);
+  Sim.Semaphore.release s;
+  Alcotest.(check bool) "after release ok" true (Sim.Semaphore.try_acquire s)
+
+let test_semaphore_negative_rejected () =
+  Alcotest.check_raises "negative initial"
+    (Invalid_argument "Sim.Semaphore.create: negative count") (fun () ->
+      ignore (Sim.Semaphore.create (-1)))
+
+(* --- mailbox ----------------------------------------------------------- *)
+
+let test_mailbox_order () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let got = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.receive e mb :: !got
+      done);
+  Sim.Engine.spawn ~at:(Sim.Time.us 1) e (fun () ->
+      Sim.Mailbox.send mb "a";
+      Sim.Mailbox.send mb "b";
+      Sim.Mailbox.send mb "c");
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fifo messages" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_mailbox_try_receive () =
+  let mb = Sim.Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Sim.Mailbox.try_receive mb);
+  Sim.Mailbox.send mb 42;
+  Alcotest.(check (option int)) "one" (Some 42) (Sim.Mailbox.try_receive mb)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let test_stats_moments () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Sim.Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Sim.Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Sim.Stats.minimum s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Sim.Stats.maximum s);
+  Alcotest.(check (float 1e-6)) "stddev (sample)" 2.13809 (Sim.Stats.stddev s)
+
+let prop_stats_percentile_matches_sort =
+  QCheck.Test.make ~name:"median matches sorted middle" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) xs;
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let median = Sim.Stats.median s in
+      let lo = List.nth sorted ((n - 1) / 2) and hi = List.nth sorted (n / 2) in
+      median >= lo -. 1e-9 && median <= hi +. 1e-9)
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        Alcotest.test_case "push/pop basics" `Quick test_heap_basic;
+        qcheck prop_heap_sorts;
+        qcheck prop_heap_peek_is_min;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic per seed" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_different_seeds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        qcheck prop_rng_int_in_bounds;
+        qcheck prop_rng_exponential_bounded;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
+        Alcotest.test_case "fifo at equal times" `Quick test_engine_fifo_at_same_time;
+        Alcotest.test_case "delay accumulates" `Quick test_engine_delay_accumulates;
+        Alcotest.test_case "run until horizon" `Quick test_engine_run_until;
+        Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+        Alcotest.test_case "double resume rejected" `Quick
+          test_engine_resume_twice_rejected;
+        Alcotest.test_case "error resume raises in process" `Quick
+          test_engine_error_resume;
+      ] );
+    ( "sim.condition",
+      [
+        Alcotest.test_case "fifo wakeups" `Quick test_condition_fifo;
+        Alcotest.test_case "broadcast and cancel" `Quick
+          test_condition_broadcast_and_cancel;
+      ] );
+    ( "sim.semaphore",
+      [
+        Alcotest.test_case "counting discipline" `Quick test_semaphore_counting;
+        Alcotest.test_case "try_acquire" `Quick test_semaphore_try_acquire;
+        Alcotest.test_case "negative rejected" `Quick
+          test_semaphore_negative_rejected;
+      ] );
+    ( "sim.mailbox",
+      [
+        Alcotest.test_case "fifo order" `Quick test_mailbox_order;
+        Alcotest.test_case "try_receive" `Quick test_mailbox_try_receive;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "moments" `Quick test_stats_moments;
+        qcheck prop_stats_percentile_matches_sort;
+      ] );
+  ]
+
+(* Stress: thousands of interleaved processes stay deterministic and
+   drain completely. *)
+let test_engine_stress () =
+  let e = Sim.Engine.create () in
+  let n = 2000 in
+  let completed = ref 0 in
+  let cond = Sim.Condition.create () in
+  for i = 0 to n - 1 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Engine.delay e (Sim.Time.us (i mod 17));
+        if i mod 3 = 0 then Sim.Condition.wait e cond
+        else begin
+          Sim.Engine.delay e (Sim.Time.us 1);
+          ignore (Sim.Condition.signal cond)
+        end;
+        incr completed)
+  done;
+  Sim.Engine.run e;
+  (* Wake any stragglers (more waiters than signallers). *)
+  ignore (Sim.Condition.broadcast cond);
+  Sim.Engine.run e;
+  Alcotest.(check int) "every process completed" n !completed
+
+let stress_suite =
+  ("sim.stress", [ Alcotest.test_case "2000 processes" `Quick test_engine_stress ])
+
+let suites = suites @ [ stress_suite ]

@@ -1,0 +1,62 @@
+(* End-to-end smoke tests: the whole stack boots and a PPC round-trips. *)
+
+let test_sync_call () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"echo" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.adder in
+  Ppc.prime ppc ~ep ~cpus:[ 0; 1 ];
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let result = ref (-1) in
+  let _client =
+    Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+      ~program:prog ~space (fun self ->
+        let args = Ppc.Reg_args.of_list [ 20; 22 ] in
+        let rc = Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args in
+        Alcotest.(check int) "rc ok" Ppc.Reg_args.ok rc;
+        result := Ppc.Reg_args.get args 0)
+  in
+  Kernel.run kern;
+  Alcotest.(check int) "20+22" 42 !result
+
+let test_many_calls_advance_time () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_kernel_server ppc ~name:"null" () in
+  let ep =
+    Ppc.register_direct ppc ~server ~handler:(Ppc.Null_server.handler ())
+  in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  let calls = 100 in
+  let done_calls = ref 0 in
+  let _client =
+    Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+      ~program:prog ~space (fun self ->
+        for _ = 1 to calls do
+          let args = Ppc.Reg_args.make () in
+          let rc =
+            Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep) args
+          in
+          if rc = Ppc.Reg_args.ok then incr done_calls
+        done)
+  in
+  Kernel.run kern;
+  Alcotest.(check int) "all calls completed" calls !done_calls;
+  let elapsed_us = Sim.Time.to_us (Kernel.now kern) in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated time advanced (%.1f us)" elapsed_us)
+    true
+    (elapsed_us > 100.0)
+
+let suites =
+  [
+    ( "smoke",
+      [
+        Alcotest.test_case "sync call round-trips" `Quick test_sync_call;
+        Alcotest.test_case "repeated calls advance time" `Quick
+          test_many_calls_advance_time;
+      ] );
+  ]

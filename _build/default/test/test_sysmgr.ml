@@ -1,0 +1,126 @@
+(* Tests for the program manager. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let test_spawn_requires_admin () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let pm = Sysmgr.Program_manager.install ppc in
+  let ran = ref 0 in
+  Sysmgr.Program_manager.register_exe pm
+    {
+      Sysmgr.Program_manager.exe_name = "app";
+      text_pages = 1;
+      stack_pages = 1;
+      body = (fun _ _ -> incr ran);
+    };
+  let denied = ref (Ok 0) and granted = ref (Error 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"shady" (fun self ->
+         denied := Sysmgr.Program_manager.spawn pm ~client:self ~name:"app" ~cpu_index:1));
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"init" (fun self ->
+         Naming.Auth.grant
+           (Sysmgr.Program_manager.auth pm)
+           ~program:(Kernel.Program.id (Kernel.Process.program self))
+           ~perms:[ Naming.Auth.Admin ];
+         granted := Sysmgr.Program_manager.spawn pm ~client:self ~name:"app" ~cpu_index:1));
+  Kernel.run kern;
+  Alcotest.(check bool) "unauthorised spawn denied" true
+    (!denied = Error Ppc.Reg_args.err_denied);
+  (match !granted with
+  | Ok pid -> Alcotest.(check bool) "pid returned" true (pid > 0)
+  | Error rc -> Alcotest.failf "authorised spawn failed rc=%d" rc);
+  Alcotest.(check int) "program body ran" 1 !ran;
+  Alcotest.(check int) "one spawn recorded" 1 (Sysmgr.Program_manager.spawned pm)
+
+let test_spawn_unknown_exe () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let pm = Sysmgr.Program_manager.install ppc in
+  let result = ref (Ok 0) in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"init" (fun self ->
+         Naming.Auth.grant
+           (Sysmgr.Program_manager.auth pm)
+           ~program:(Kernel.Program.id (Kernel.Process.program self))
+           ~perms:[ Naming.Auth.Admin ];
+         result := Sysmgr.Program_manager.spawn pm ~client:self ~name:"ghost" ~cpu_index:0));
+  Kernel.run kern;
+  Alcotest.(check bool) "unknown image" true
+    (!result = Error Ppc.Reg_args.err_no_entry)
+
+let test_spawned_program_pages_in () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let pager = Vm.Pager.install ppc in
+  let pm = Sysmgr.Program_manager.install ~pager ppc in
+  let faults_seen = ref (-1) in
+  Sysmgr.Program_manager.register_exe pm
+    {
+      Sysmgr.Program_manager.exe_name = "pagey";
+      text_pages = 3;
+      stack_pages = 2;
+      body =
+        (fun self vm ->
+          let cpu =
+            Machine.cpu
+              (Kernel.machine kern)
+              (Kernel.Process.cpu_index self)
+          in
+          (* Touch all three text pages and the stack. *)
+          for p = 0 to 2 do
+            Vm.read vm ~cpu ~proc:self ~vaddr:(0x10_0000 + (p * 4096))
+          done;
+          Vm.write vm ~cpu ~proc:self ~vaddr:0x7F_0000;
+          faults_seen := Vm.faults vm);
+    };
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"init" (fun self ->
+         Naming.Auth.grant
+           (Sysmgr.Program_manager.auth pm)
+           ~program:(Kernel.Program.id (Kernel.Process.program self))
+           ~perms:[ Naming.Auth.Admin ];
+         match Sysmgr.Program_manager.spawn pm ~client:self ~name:"pagey" ~cpu_index:1 with
+         | Ok _ -> ()
+         | Error rc -> Alcotest.failf "spawn failed rc=%d" rc));
+  Kernel.run kern;
+  Alcotest.(check int) "3 text + 1 stack faults" 4 !faults_seen;
+  Alcotest.(check int) "pager filled the text" 3 (Vm.Pager.served pager)
+
+let test_spawn_lands_on_requested_cpu () =
+  let kern = Kernel.create ~cpus:3 () in
+  let ppc = Ppc.create kern in
+  let pm = Sysmgr.Program_manager.install ppc in
+  let where = ref (-1) in
+  Sysmgr.Program_manager.register_exe pm
+    {
+      Sysmgr.Program_manager.exe_name = "whereami";
+      text_pages = 1;
+      stack_pages = 1;
+      body = (fun self _ -> where := Kernel.Process.cpu_index self);
+    };
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"init" (fun self ->
+         Naming.Auth.grant
+           (Sysmgr.Program_manager.auth pm)
+           ~program:(Kernel.Program.id (Kernel.Process.program self))
+           ~perms:[ Naming.Auth.Admin ];
+         ignore (Sysmgr.Program_manager.spawn pm ~client:self ~name:"whereami" ~cpu_index:2)));
+  Kernel.run kern;
+  Alcotest.(check int) "ran on cpu 2" 2 !where
+
+let suites =
+  [
+    ( "sysmgr.program_manager",
+      [
+        Alcotest.test_case "spawn requires admin" `Quick test_spawn_requires_admin;
+        Alcotest.test_case "unknown image" `Quick test_spawn_unknown_exe;
+        Alcotest.test_case "spawned program pages in" `Quick
+          test_spawned_program_pages_in;
+        Alcotest.test_case "cpu placement" `Quick test_spawn_lands_on_requested_cpu;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+(* Tests for the tracing subsystem and its hooks. *)
+
+let test_ring_buffer_basics () =
+  let tr = Sim.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Sim.Trace.record tr ~at:(Sim.Time.us i) ~kind:"k" (string_of_int i)
+  done;
+  Alcotest.(check int) "recorded counts all" 6 (Sim.Trace.recorded tr);
+  Alcotest.(check int) "dropped oldest" 2 (Sim.Trace.dropped tr);
+  let details = List.map (fun e -> e.Sim.Trace.detail) (Sim.Trace.events tr) in
+  Alcotest.(check (list string)) "last capacity survive, oldest first"
+    [ "3"; "4"; "5"; "6" ] details;
+  Sim.Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Sim.Trace.recorded tr)
+
+let test_disabled_tracing_is_free () =
+  let e = Sim.Engine.create () in
+  let thunk_ran = ref false in
+  Sim.Engine.trace_f e ~kind:"x" (fun () ->
+      thunk_ran := true;
+      "never");
+  Alcotest.(check bool) "thunk not evaluated when disabled" false !thunk_ran;
+  Alcotest.(check bool) "not tracing" false (Sim.Engine.tracing e)
+
+let test_ppc_call_timeline () =
+  let kern = Kernel.create ~cpus:1 () in
+  let tr = Sim.Trace.create () in
+  Sim.Engine.set_trace (Kernel.engine kern) (Some tr);
+  let ppc = Ppc.create kern in
+  let server = Ppc.make_user_server ppc ~name:"traced" () in
+  let ep = Ppc.register_direct ppc ~server ~handler:Ppc.Null_server.echo in
+  Ppc.prime ppc ~ep ~cpus:[ 0 ];
+  let prog = Kernel.new_program kern ~name:"client" in
+  let space = Kernel.new_user_space kern ~name:"client" ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"client" ~kind:Kernel.Process.Client
+       ~program:prog ~space (fun self ->
+         ignore
+           (Ppc.call ppc ~client:self ~ep_id:(Ppc.Entry_point.id ep)
+              (Ppc.Reg_args.make ()))));
+  Kernel.run kern;
+  let kinds ev = List.map (fun e -> e.Sim.Trace.kind) ev in
+  let call_events =
+    List.filter
+      (fun e ->
+        List.mem e.Sim.Trace.kind
+          [ "ppc-call"; "handoff"; "upcall"; "ppc-return" ])
+      (Sim.Trace.events tr)
+  in
+  (* The canonical fast-path timeline: call, hand-off to the worker,
+     upcall into the server, hand-off back, return. *)
+  Alcotest.(check (list string))
+    "fast-path event order"
+    [ "ppc-call"; "handoff"; "upcall"; "handoff"; "ppc-return" ]
+    (kinds call_events);
+  (* Timestamps are monotonic. *)
+  let rec monotonic = function
+    | a :: (b :: _ as rest) ->
+        Sim.Time.(a.Sim.Trace.at <= b.Sim.Trace.at) && monotonic rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotonic timestamps" true
+    (monotonic (Sim.Trace.events tr))
+
+let test_lock_wait_traced () =
+  let kern = Kernel.create ~cpus:2 () in
+  let tr = Sim.Trace.create () in
+  Sim.Engine.set_trace (Kernel.engine kern) (Some tr);
+  let lock =
+    Kernel.Spinlock.create ~addr:(Kernel.alloc kern ~bytes:16 ~node:0) ()
+  in
+  for cpu = 0 to 1 do
+    let prog = Kernel.new_program kern ~name:(Printf.sprintf "c%d" cpu) in
+    let space =
+      Kernel.new_user_space kern ~name:(Printf.sprintf "c%d" cpu) ~node:cpu
+    in
+    ignore
+      (Kernel.spawn kern ~cpu ~name:(Printf.sprintf "c%d" cpu)
+         ~kind:Kernel.Process.Client ~program:prog ~space (fun self ->
+           let kc = Kernel.kcpu kern cpu in
+           let mcpu = Kernel.Kcpu.cpu kc in
+           for _ = 1 to 5 do
+             Kernel.Spinlock.acquire (Kernel.engine kern) mcpu self lock;
+             Machine.Cpu.instr mcpu 200;
+             Kernel.Clock.sync (Kernel.engine kern) mcpu;
+             Kernel.Spinlock.release (Kernel.engine kern) mcpu self lock
+           done))
+  done;
+  Kernel.run kern;
+  Alcotest.(check bool) "contended waits traced" true
+    (List.length (Sim.Trace.filter tr ~kind:"lock-wait") > 0)
+
+let suites =
+  [
+    ( "sim.trace",
+      [
+        Alcotest.test_case "ring buffer" `Quick test_ring_buffer_basics;
+        Alcotest.test_case "disabled is free" `Quick test_disabled_tracing_is_free;
+        Alcotest.test_case "ppc call timeline" `Quick test_ppc_call_timeline;
+        Alcotest.test_case "lock waits traced" `Quick test_lock_wait_traced;
+      ] );
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the demand-paged VM and the external pager server. *)
+
+let spawn_client kern ~cpu ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:cpu in
+  Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space body
+
+let base = 0x40_0000
+
+let setup () =
+  let kern = Kernel.create ~cpus:1 () in
+  let space = Kernel.new_user_space kern ~name:"app" ~node:0 in
+  let vm = Vm.create kern ~space ~node:0 in
+  (kern, space, vm)
+
+let run_in_process kern f =
+  let result = ref None in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"app" (fun self ->
+         let cpu = Machine.cpu (Kernel.machine kern) 0 in
+         result := Some (f self cpu)));
+  Kernel.run kern;
+  Option.get !result
+
+let test_demand_zero () =
+  let kern, _space, vm = setup () in
+  ignore
+    (Vm.add_region vm ~base ~len:(3 * 4096) ~backing:Vm.Demand_zero
+       ~prot:Vm.Rw);
+  run_in_process kern (fun self cpu ->
+      Vm.read vm ~cpu ~proc:self ~vaddr:(base + 100);
+      Vm.write vm ~cpu ~proc:self ~vaddr:(base + 200);
+      (* Same page: no second fault. *)
+      Alcotest.(check int) "one fault for the first page" 1 (Vm.faults vm);
+      Vm.read vm ~cpu ~proc:self ~vaddr:(base + 4096);
+      Alcotest.(check int) "second page faults separately" 2 (Vm.faults vm);
+      Alcotest.(check int) "two zero fills" 2 (Vm.zero_fills vm))
+
+let test_fault_costs_time () =
+  let kern, _space, vm = setup () in
+  ignore
+    (Vm.add_region vm ~base ~len:4096 ~backing:Vm.Demand_zero ~prot:Vm.Rw);
+  run_in_process kern (fun self cpu ->
+      let c0 = Machine.Cpu.cycles cpu in
+      Vm.read vm ~cpu ~proc:self ~vaddr:base;
+      let faulting = Machine.Cpu.cycles cpu - c0 in
+      let c1 = Machine.Cpu.cycles cpu in
+      Vm.read vm ~cpu ~proc:self ~vaddr:(base + 4) ;
+      let warm = Machine.Cpu.cycles cpu - c1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "fault (%d cyc) far dearer than hit (%d cyc)" faulting
+           warm)
+        true
+        (faulting > 100 * warm))
+
+let test_segfault_and_protection () =
+  let kern, _space, vm = setup () in
+  ignore (Vm.add_region vm ~base ~len:4096 ~backing:Vm.Demand_zero ~prot:Vm.Ro);
+  let seg = ref false and prot = ref false in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"app" (fun self ->
+         let cpu = Machine.cpu (Kernel.machine kern) 0 in
+         (try Vm.read vm ~cpu ~proc:self ~vaddr:0x900_0000
+          with Vm.Segfault _ -> seg := true);
+         (try Vm.write vm ~cpu ~proc:self ~vaddr:base
+          with Vm.Protection_fault _ -> prot := true)));
+  Kernel.run kern;
+  Alcotest.(check bool) "segfault outside regions" true !seg;
+  Alcotest.(check bool) "protection fault on RO write" true !prot
+
+let test_cow_copies_on_write () =
+  let kern, _space, vm = setup () in
+  let src = Kernel.alloc_page kern ~node:0 in
+  ignore (Vm.add_region vm ~base ~len:4096 ~backing:(Vm.Cow src) ~prot:Vm.Rw);
+  run_in_process kern (fun self cpu ->
+      Vm.read vm ~cpu ~proc:self ~vaddr:base;
+      Alcotest.(check (option int)) "read shares the source frame" (Some src)
+        (Vm.frame_of vm ~vaddr:base);
+      Alcotest.(check int) "no copy yet" 0 (Vm.cow_copies vm);
+      Vm.write vm ~cpu ~proc:self ~vaddr:(base + 8);
+      Alcotest.(check int) "write copies" 1 (Vm.cow_copies vm);
+      Alcotest.(check bool) "private frame now" true
+        (Vm.frame_of vm ~vaddr:base <> Some src);
+      Vm.write vm ~cpu ~proc:self ~vaddr:(base + 16);
+      Alcotest.(check int) "no second copy" 1 (Vm.cow_copies vm))
+
+let test_wired_region () =
+  let kern, _space, vm = setup () in
+  let frame = Kernel.alloc_page kern ~node:0 in
+  ignore (Vm.add_region vm ~base ~len:4096 ~backing:(Vm.Wired frame) ~prot:Vm.Rw);
+  run_in_process kern (fun self cpu ->
+      Vm.write vm ~cpu ~proc:self ~vaddr:(base + 4);
+      Alcotest.(check (option int)) "uses the wired frame" (Some frame)
+        (Vm.frame_of vm ~vaddr:base);
+      Alcotest.(check int) "no zero fill" 0 (Vm.zero_fills vm))
+
+let test_external_pager () =
+  let kern = Kernel.create ~cpus:1 () in
+  let ppc = Ppc.create kern in
+  let pager = Vm.Pager.install ppc in
+  let space = Kernel.new_user_space kern ~name:"app" ~node:0 in
+  let vm = Vm.create ~ppc kern ~space ~node:0 in
+  ignore
+    (Vm.add_region vm ~base ~len:(2 * 4096)
+       ~backing:(Vm.Paged { pager_ep = Vm.Pager.ep_id pager; tag = 7 })
+       ~prot:Vm.Rw);
+  run_in_process kern (fun self cpu ->
+      Vm.read vm ~cpu ~proc:self ~vaddr:base;
+      Vm.read vm ~cpu ~proc:self ~vaddr:(base + 64);
+      Vm.read vm ~cpu ~proc:self ~vaddr:(base + 4096);
+      Alcotest.(check int) "one pager call per page" 2 (Vm.pager_calls vm);
+      Alcotest.(check int) "pager served both" 2 (Vm.Pager.served pager))
+
+let test_pager_backed_by_disk () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let disk =
+    Servers.Disk.create kern ~owner_cpu:1 ~vector:9 ~latency:(Sim.Time.us 300)
+  in
+  let dev = Servers.Device_server.install ppc ~disk in
+  let pager = Vm.Pager.install ~disk:dev ppc in
+  let space = Kernel.new_user_space kern ~name:"app" ~node:0 in
+  let vm = Vm.create ~ppc kern ~space ~node:0 in
+  ignore
+    (Vm.add_region vm ~base ~len:4096
+       ~backing:(Vm.Paged { pager_ep = Vm.Pager.ep_id pager; tag = 1 })
+       ~prot:Vm.Rw);
+  let t_done = ref Sim.Time.zero in
+  ignore
+    (spawn_client kern ~cpu:0 ~name:"app" (fun self ->
+         let cpu = Machine.cpu (Kernel.machine kern) 0 in
+         Vm.read vm ~cpu ~proc:self ~vaddr:base;
+         t_done := Kernel.now kern));
+  Kernel.run kern;
+  Alcotest.(check int) "one disk fill" 1 (Vm.Pager.disk_fills pager);
+  Alcotest.(check bool) "took at least the disk latency" true
+    Sim.Time.(Sim.Time.us 300 <= !t_done)
+
+let suites =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "demand zero" `Quick test_demand_zero;
+        Alcotest.test_case "fault costs real time" `Quick test_fault_costs_time;
+        Alcotest.test_case "segfault and protection" `Quick
+          test_segfault_and_protection;
+        Alcotest.test_case "copy on write" `Quick test_cow_copies_on_write;
+        Alcotest.test_case "wired region" `Quick test_wired_region;
+        Alcotest.test_case "external pager" `Quick test_external_pager;
+        Alcotest.test_case "pager backed by disk" `Quick test_pager_backed_by_disk;
+      ] );
+  ]

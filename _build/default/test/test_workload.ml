@@ -1,0 +1,126 @@
+(* Tests for the workload drivers and samplers. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_closed_loop_counts () =
+  let kern = Kernel.create ~cpus:2 () in
+  let counters =
+    Workload.Driver.run kern
+      ~specs:(Workload.Driver.one_per_cpu ~n:2 ~name_prefix:"c" ())
+      ~horizon:(Sim.Time.ms 1) ~seed:1
+      ~body:(fun ~client ~iteration:_ ->
+        let kc = Kernel.kcpu kern (Kernel.Process.cpu_index client) in
+        Machine.Cpu.instr (Kernel.Kcpu.cpu kc) 1667;
+        Kernel.Kcpu.sync kc)
+  in
+  Kernel.run kern;
+  (* Each iteration costs ~100 us; 1 ms horizon; 2 clients -> ~20 total. *)
+  let total = Workload.Driver.total counters in
+  Alcotest.(check bool)
+    (Printf.sprintf "approx 20 iterations (got %d)" total)
+    true
+    (total >= 18 && total <= 22);
+  let tput = Workload.Driver.throughput_per_sec counters in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput ~20k/s (got %.0f)" tput)
+    true
+    (tput > 17_000.0 && tput < 23_000.0)
+
+let run_one_client kern ~think_mean_us =
+  let body ~client ~iteration:_ =
+    let kc = Kernel.kcpu kern (Kernel.Process.cpu_index client) in
+    (* ~10 us of work per iteration *)
+    Machine.Cpu.instr (Kernel.Kcpu.cpu kc) 167;
+    Kernel.Kcpu.sync kc
+  in
+  let counters =
+    Workload.Driver.run kern
+      ~specs:[ { Workload.Driver.cpu = 0; name = "c"; think_mean_us; identity = None } ]
+      ~horizon:(Sim.Time.ms 1) ~seed:1 ~body
+  in
+  Kernel.run kern;
+  Workload.Driver.total counters
+
+let test_open_loop_thinks () =
+  let closed = run_one_client (Kernel.create ~cpus:1 ()) ~think_mean_us:None in
+  let open_ =
+    run_one_client (Kernel.create ~cpus:1 ()) ~think_mean_us:(Some 50.0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "think time throttles (%d open vs %d closed)" open_ closed)
+    true
+    (open_ * 2 < closed && closed >= 90)
+
+let test_prepare_hook_runs_per_client () =
+  let kern = Kernel.create ~cpus:3 () in
+  let prepared = ref [] in
+  let counters =
+    Workload.Driver.run kern
+      ~specs:(Workload.Driver.one_per_cpu ~n:3 ~name_prefix:"c" ())
+      ~horizon:(Sim.Time.us 10) ~seed:1
+      ~prepare:(fun ~program ~index ->
+        prepared := (index, Kernel.Program.name program) :: !prepared)
+      ~body:(fun ~client:_ ~iteration:_ -> ())
+  in
+  ignore counters;
+  Alcotest.(check int) "one prepare per client" 3 (List.length !prepared);
+  Alcotest.(check bool) "names distinct" true
+    (List.mem (0, "c-0") !prepared && List.mem (2, "c-2") !prepared)
+
+(* --- zipf ----------------------------------------------------------------- *)
+
+let test_zipf_uniform_theta0 () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let z = Workload.Zipf.create ~n:4 ~theta:0.0 ~rng in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let i = Workload.Zipf.sample z in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (c > 1700 && c < 2300))
+    counts
+
+let test_zipf_skew () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let z = Workload.Zipf.create ~n:16 ~theta:1.2 ~rng in
+  let counts = Array.make 16 0 in
+  for _ = 1 to 8000 do
+    let i = Workload.Zipf.sample z in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "head dominates tail" true (counts.(0) > 5 * counts.(15));
+  Alcotest.(check bool) "rank order head >= 2nd" true (counts.(0) >= counts.(1))
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf samples within [0,n)" ~count:100
+    QCheck.(pair (1 -- 64) (0 -- 3))
+    (fun (n, theta10) ->
+      let rng = Sim.Rng.create ~seed:(n + theta10) in
+      let z = Workload.Zipf.create ~n ~theta:(float_of_int theta10 /. 2.0) ~rng in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let s = Workload.Zipf.sample z in
+        if s < 0 || s >= n then ok := false
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "workload.driver",
+      [
+        Alcotest.test_case "closed loop counts" `Quick test_closed_loop_counts;
+        Alcotest.test_case "open loop thinks" `Quick test_open_loop_thinks;
+        Alcotest.test_case "prepare hook" `Quick test_prepare_hook_runs_per_client;
+      ] );
+    ( "workload.zipf",
+      [
+        Alcotest.test_case "theta 0 uniform" `Quick test_zipf_uniform_theta0;
+        Alcotest.test_case "skew" `Quick test_zipf_skew;
+        qcheck prop_zipf_in_range;
+      ] );
+  ]

@@ -214,6 +214,57 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print the event timeline of one warm PPC call")
     Term.(const (fun () t -> run t) $ logs_term $ target)
 
+let faults_cmd =
+  let plan_names = String.concat ", " Faultsim.Fault.names in
+  let plan_arg =
+    Arg.(
+      value & pos 0 string "chaos"
+      & info [] ~docv:"PLAN" ~doc:(Printf.sprintf "Named fault plan: %s." plan_names))
+  in
+  let cpus_arg =
+    Arg.(value & opt int 2 & info [ "cpus" ] ~docv:"N" ~doc:"Simulated CPUs.")
+  in
+  let calls_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "calls" ] ~docv:"N" ~doc:"Calls per client process.")
+  in
+  let minimize_arg =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:
+            "If the plan produces an invariant violation, greedily shrink it \
+             to a minimal reproducing plan and print that plan's trace.")
+  in
+  let run plan_name cpus calls minimize =
+    match Faultsim.Fault.of_name plan_name ~cpus with
+    | None ->
+        Fmt.epr "unknown plan %S (try: %s)@." plan_name plan_names;
+        exit 2
+    | Some plan ->
+        let run_plan p = Faultsim.Harness.run ~cpus ~calls_per_client:calls p in
+        let report = run_plan plan in
+        Fmt.pr "%a" Faultsim.Harness.pp_report report;
+        if (not (Faultsim.Harness.ok report)) && minimize then begin
+          let minimal =
+            Faultsim.Scenario.shrink_to_minimal
+              (fun p -> not (Faultsim.Harness.ok (run_plan p)))
+              plan
+          in
+          Fmt.pr "@.minimal reproducing plan:@.%a" Faultsim.Harness.pp_report
+            (run_plan minimal)
+        end;
+        if not (Faultsim.Harness.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the fault-injection harness: a client/server workload under a \
+          named fault plan, with the kernel invariant checker attached")
+    Term.(const (fun () a b c d -> run a b c d) $ logs_term $ plan_arg
+          $ cpus_arg $ calls_arg $ minimize_arg)
+
 let () =
   let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
   let info = Cmd.info "ppc_sim" ~version:"1.0.0" ~doc in
@@ -223,4 +274,5 @@ let () =
           [
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
+            faults_cmd;
           ]))

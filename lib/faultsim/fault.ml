@@ -1,0 +1,161 @@
+(* Fault vocabulary and injection plans.
+
+   A plan is a seed plus a list of timed fault events; everything
+   downstream (the injector's random choices, interrupt storms, queue
+   perturbations) derives from the seed through [Sim.Rng], so a plan
+   replays bit-for-bit.
+
+   [Foreign_cd_leak] is not a fault the system is expected to survive —
+   it is a deliberately planted bug (a CD pushed into another processor's
+   pool) used to prove the invariant checker actually catches ownership
+   and conservation violations. *)
+
+type kind =
+  | Pool_exhaust of { cpu : int }
+      (** reclaim every parked worker and free CD on [cpu] (pools to
+          zero): the next call pays Frank's slow path for both *)
+  | Cd_exhaust of { cpu : int }
+      (** free every pooled CD on [cpu], keeping the workers *)
+  | Worker_kill of { cpu : int }
+      (** kill a worker with a call in progress on [cpu], forcing the
+          abort/reclaim path *)
+  | Cache_flush of { cpu : int }
+      (** flush [cpu]'s data cache, instruction cache and user TLB *)
+  | Intr_storm of { cpu : int; count : int; gap_us : int }
+      (** [count] device interrupts on [cpu], [gap_us] apart, each
+          injecting an asynchronous PPC to the device server *)
+  | Frank_delay of { cpu : int; extra : int; count : int }
+      (** the next [count] Frank slow-path creations on [cpu] each cost
+          [extra] additional kernel-text instructions (congested resource
+          manager) *)
+  | Frank_fail of { cpu : int; count : int }
+      (** the next [count] Frank slow-path creations on [cpu] fail: the
+          calls are rejected with ERR_NO_RESOURCES *)
+  | Ready_perturb of { cpu : int }
+      (** reorder [cpu]'s normal-band ready queue (seeded rotation) *)
+  | Foreign_cd_leak of { src : int; dst : int }
+      (** deliberate bug: move a free CD from [src]'s pool into [dst]'s
+          pool, violating per-CPU ownership *)
+
+type event = { at_us : int; kind : kind }
+
+type plan = { seed : int; events : event list }
+
+let no_faults = { seed = 0; events = [] }
+
+let pp_kind ppf = function
+  | Pool_exhaust { cpu } -> Fmt.pf ppf "pool-exhaust cpu%d" cpu
+  | Cd_exhaust { cpu } -> Fmt.pf ppf "cd-exhaust cpu%d" cpu
+  | Worker_kill { cpu } -> Fmt.pf ppf "worker-kill cpu%d" cpu
+  | Cache_flush { cpu } -> Fmt.pf ppf "cache-flush cpu%d" cpu
+  | Intr_storm { cpu; count; gap_us } ->
+      Fmt.pf ppf "intr-storm cpu%d x%d @%dus" cpu count gap_us
+  | Frank_delay { cpu; extra; count } ->
+      Fmt.pf ppf "frank-delay cpu%d +%d x%d" cpu extra count
+  | Frank_fail { cpu; count } -> Fmt.pf ppf "frank-fail cpu%d x%d" cpu count
+  | Ready_perturb { cpu } -> Fmt.pf ppf "ready-perturb cpu%d" cpu
+  | Foreign_cd_leak { src; dst } ->
+      Fmt.pf ppf "foreign-cd-leak cpu%d->cpu%d" src dst
+
+let pp_event ppf e = Fmt.pf ppf "@%4dus %a" e.at_us pp_kind e.kind
+
+let pp_plan ppf p =
+  Fmt.pf ppf "plan(seed=%d)@[<v 2>%a@]" p.seed
+    Fmt.(list ~sep:(any "@,") (fun ppf e -> Fmt.pf ppf "  %a" pp_event e))
+    p.events
+
+(* --- named plans -------------------------------------------------------- *)
+
+let spread ~cpus ~start_us ~gap_us mk n =
+  List.init n (fun i ->
+      { at_us = start_us + (i * gap_us); kind = mk (i mod cpus) })
+
+let pool_exhaust ~cpus =
+  {
+    seed = 11;
+    events = spread ~cpus ~start_us:40 ~gap_us:60 (fun cpu -> Pool_exhaust { cpu }) (3 * cpus);
+  }
+
+let worker_kill ~cpus =
+  {
+    seed = 22;
+    events = spread ~cpus ~start_us:25 ~gap_us:35 (fun cpu -> Worker_kill { cpu }) (4 * cpus);
+  }
+
+let cache_storm ~cpus =
+  {
+    seed = 33;
+    events = spread ~cpus ~start_us:30 ~gap_us:20 (fun cpu -> Cache_flush { cpu }) (6 * cpus);
+  }
+
+let intr_storm ~cpus =
+  {
+    seed = 44;
+    events =
+      spread ~cpus ~start_us:50 ~gap_us:100
+        (fun cpu -> Intr_storm { cpu; count = 6; gap_us = 4 })
+        (2 * cpus);
+  }
+
+let frank_stress ~cpus =
+  {
+    seed = 55;
+    events =
+      spread ~cpus ~start_us:20 ~gap_us:50
+        (fun cpu -> Pool_exhaust { cpu })
+        (2 * cpus)
+      @ spread ~cpus ~start_us:30 ~gap_us:50
+          (fun cpu -> Frank_delay { cpu; extra = 400; count = 2 })
+          cpus
+      @ spread ~cpus ~start_us:80 ~gap_us:50
+          (fun cpu -> Frank_fail { cpu; count = 1 })
+          cpus;
+  }
+
+let perturb ~cpus =
+  {
+    seed = 66;
+    events =
+      spread ~cpus ~start_us:15 ~gap_us:25 (fun cpu -> Ready_perturb { cpu }) (6 * cpus);
+  }
+
+let chaos ~cpus =
+  let mix i cpu =
+    match i mod 6 with
+    | 0 -> Pool_exhaust { cpu }
+    | 1 -> Worker_kill { cpu }
+    | 2 -> Cache_flush { cpu }
+    | 3 -> Intr_storm { cpu; count = 4; gap_us = 3 }
+    | 4 -> Frank_delay { cpu; extra = 250; count = 2 }
+    | _ -> Ready_perturb { cpu }
+  in
+  {
+    seed = 77;
+    events =
+      List.init (8 * cpus) (fun i ->
+          { at_us = 20 + (i * 30); kind = mix i (i mod cpus) });
+  }
+
+let leak ~cpus =
+  let dst = if cpus > 1 then 1 else 0 in
+  { seed = 88; events = [ { at_us = 120; kind = Foreign_cd_leak { src = 0; dst } } ] }
+
+let named =
+  [
+    ("baseline", fun ~cpus:_ -> no_faults);
+    ("pool-exhaust", pool_exhaust);
+    ("worker-kill", worker_kill);
+    ("cache-storm", cache_storm);
+    ("intr-storm", intr_storm);
+    ("frank-stress", frank_stress);
+    ("perturb", perturb);
+    ("chaos", chaos);
+    ("leak", leak);
+  ]
+
+let of_name name ~cpus =
+  match List.assoc_opt name named with
+  | Some f -> Some (f ~cpus)
+  | None -> None
+
+let names = List.map fst named

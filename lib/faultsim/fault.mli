@@ -1,0 +1,45 @@
+(** Fault vocabulary and deterministic injection plans. *)
+
+type kind =
+  | Pool_exhaust of { cpu : int }
+      (** reclaim every parked worker and free CD on [cpu] *)
+  | Cd_exhaust of { cpu : int }
+      (** free every pooled CD on [cpu], keeping the workers *)
+  | Worker_kill of { cpu : int }
+      (** kill a worker with a call in progress (abort/reclaim path) *)
+  | Cache_flush of { cpu : int }
+      (** flush [cpu]'s data cache, instruction cache and user TLB *)
+  | Intr_storm of { cpu : int; count : int; gap_us : int }
+      (** [count] device interrupts, [gap_us] apart, each an async PPC *)
+  | Frank_delay of { cpu : int; extra : int; count : int }
+      (** next [count] slow-path creations cost [extra] extra instructions *)
+  | Frank_fail of { cpu : int; count : int }
+      (** next [count] slow-path creations fail with ERR_NO_RESOURCES *)
+  | Ready_perturb of { cpu : int }
+      (** seeded rotation of [cpu]'s normal-band ready queue *)
+  | Foreign_cd_leak of { src : int; dst : int }
+      (** deliberately planted bug (not survivable): a CD moved into
+          another processor's pool, to validate the checker *)
+
+type event = { at_us : int; kind : kind }
+type plan = { seed : int; events : event list }
+
+val no_faults : plan
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+(** Named plans, parameterized by CPU count. *)
+
+val pool_exhaust : cpus:int -> plan
+val worker_kill : cpus:int -> plan
+val cache_storm : cpus:int -> plan
+val intr_storm : cpus:int -> plan
+val frank_stress : cpus:int -> plan
+val perturb : cpus:int -> plan
+val chaos : cpus:int -> plan
+val leak : cpus:int -> plan
+
+val of_name : string -> cpus:int -> plan option
+val names : string list

@@ -1,0 +1,171 @@
+(* A self-contained workload that exercises every engine path the faults
+   target, with the invariant checker attached and a plan installed.
+
+   The system under test: three servers —
+
+   - "echo", a user-level server primed only on CPU 0, so calls from
+     other processors hit Frank's worker/CD slow path (the resource
+     faults have something to bite);
+   - "held", a kernel server that keeps its CD between calls (hold_cd),
+     exercising the held-CD dismantling paths under kills and reclaim;
+   - "dev", a kernel device server; interrupt storms are delivered as
+     async PPCs to it through [Intr_dispatch];
+   - "slow", a kernel server whose handler blocks mid-call, giving
+     worker kills a victim on the abort path.
+
+   Clients on every CPU round-robin synchronous calls across the
+   servers.  The run is fully deterministic: same plan, same report —
+   [digest] condenses the outcome for byte-identical comparison. *)
+
+type report = {
+  plan : Fault.plan;
+  calls_attempted : int;
+  calls_ok : int;
+  calls_killed : int;  (** rc = err_killed seen by clients *)
+  calls_rejected : int;  (** rc = err_no_resources seen by clients *)
+  aborted_calls : int;
+  rejected_calls : int;
+  resource_failures : int;
+  handler_faults : int;
+  frank_worker_creations : int;
+  frank_cd_creations : int;
+  injected : int;
+  checks : int;
+  sim_events : int;
+  final_us : float;
+  violations : Invariant.violation list;
+  trace_tail : string list;  (** last trace events, only kept on violation *)
+}
+
+let slow_handler ctx args =
+  (* Block mid-call; a scheduled event readies us unless a fault killed
+     the worker first (then the wake finds a dead process and backs off). *)
+  let self = ctx.Ppc.Call_ctx.self in
+  let kc = ctx.Ppc.Call_ctx.kcpu in
+  Sim.Engine.schedule ctx.Ppc.Call_ctx.engine ~after:(Sim.Time.us 20)
+    (fun () ->
+      if Kernel.Process.state self = Kernel.Process.Blocked then
+        Kernel.Kcpu.ready kc self);
+  Kernel.Kcpu.block kc self;
+  Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+
+let run ?(cpus = 2) ?(clients_per_cpu = 2) ?(calls_per_client = 30)
+    ?(trace_capacity = 512) (plan : Fault.plan) =
+  let kern = Kernel.create ~cpus () in
+  let trace = Sim.Trace.create ~capacity:trace_capacity () in
+  Sim.Engine.set_trace (Kernel.engine kern) (Some trace);
+  let ppc = Ppc.create kern in
+  let echo_server = Ppc.make_user_server ppc ~name:"echo" () in
+  let echo = Ppc.register_direct ppc ~server:echo_server ~handler:Ppc.Null_server.echo in
+  let held_server = Ppc.make_kernel_server ppc ~name:"held" ~hold_cd:true () in
+  let held =
+    Ppc.register_direct ppc ~server:held_server
+      ~handler:(Ppc.Null_server.handler ~instr:10 ())
+  in
+  let dev_server = Ppc.make_kernel_server ppc ~name:"dev" () in
+  let dev =
+    Ppc.register_direct ppc ~server:dev_server
+      ~handler:(Ppc.Null_server.handler ~instr:15 ())
+  in
+  let slow_server = Ppc.make_kernel_server ppc ~name:"slow" () in
+  let slow = Ppc.register_direct ppc ~server:slow_server ~handler:slow_handler in
+  (* Prime echo on CPU 0 only: other CPUs exercise Frank's slow path. *)
+  Ppc.prime ppc ~ep:echo ~cpus:[ 0 ];
+  Ppc.prime ppc ~ep:slow ~cpus:(List.init cpus Fun.id);
+  let inv = Invariant.attach (Ppc.engine ppc) in
+  let inj =
+    Injector.install (Ppc.engine ppc)
+      ~storm_ep_id:(Ppc.Entry_point.id dev)
+      plan
+  in
+  let eps =
+    [| Ppc.Entry_point.id echo; Ppc.Entry_point.id held;
+       Ppc.Entry_point.id slow |]
+  in
+  let attempted = ref 0 and ok = ref 0 and killed = ref 0 and rejected = ref 0 in
+  for cpu = 0 to cpus - 1 do
+    for c = 0 to clients_per_cpu - 1 do
+      let name = Printf.sprintf "client%d.%d" cpu c in
+      let program = Kernel.new_program kern ~name in
+      let space = Kernel.new_user_space kern ~name ~node:cpu in
+      ignore
+        (Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program
+           ~space (fun self ->
+             for i = 0 to calls_per_client - 1 do
+               let ep_id = eps.((i + c) mod Array.length eps) in
+               incr attempted;
+               let rc =
+                 Ppc.call ppc ~client:self ~ep_id (Ppc.Reg_args.make ())
+               in
+               if rc = Ppc.Reg_args.ok then incr ok
+               else if rc = Ppc.Reg_args.err_killed then incr killed
+               else if rc = Ppc.Reg_args.err_no_resources then incr rejected
+             done))
+    done
+  done;
+  Kernel.run kern;
+  let stats = Ppc.stats ppc in
+  let violations = Invariant.violations inv in
+  let trace_tail =
+    if violations = [] then []
+    else
+      List.map
+        (fun ev -> Fmt.str "%a" Sim.Trace.pp_event ev)
+        (Sim.Trace.events trace)
+  in
+  Invariant.detach inv;
+  {
+    plan;
+    calls_attempted = !attempted;
+    calls_ok = !ok;
+    calls_killed = !killed;
+    calls_rejected = !rejected;
+    aborted_calls = stats.Ppc.Engine.aborted_calls;
+    rejected_calls = stats.Ppc.Engine.rejected_calls;
+    resource_failures = stats.Ppc.Engine.resource_failures;
+    handler_faults = stats.Ppc.Engine.handler_faults;
+    frank_worker_creations = stats.Ppc.Engine.frank_worker_creations;
+    frank_cd_creations = stats.Ppc.Engine.frank_cd_creations;
+    injected = Injector.injected inj;
+    checks = Invariant.checks inv;
+    sim_events = Sim.Engine.executed_events (Kernel.engine kern);
+    final_us = Sim.Time.to_us (Kernel.now kern);
+    violations;
+    trace_tail;
+  }
+
+(* Condensed, stable rendering of everything observable; two runs of the
+   same plan must produce equal digests. *)
+let digest r =
+  Printf.sprintf
+    "events=%d final=%.3f attempted=%d ok=%d killed=%d norsrc=%d aborts=%d \
+     rejects=%d resfail=%d faults=%d frank_w=%d frank_cd=%d injected=%d \
+     violations=%d"
+    r.sim_events r.final_us r.calls_attempted r.calls_ok r.calls_killed
+    r.calls_rejected r.aborted_calls r.rejected_calls r.resource_failures
+    r.handler_faults r.frank_worker_creations r.frank_cd_creations r.injected
+    (List.length r.violations)
+
+let pp_report ppf r =
+  Fmt.pf ppf "%a@.calls: %d attempted, %d ok, %d killed, %d no-resources@."
+    Fault.pp_plan r.plan r.calls_attempted r.calls_ok r.calls_killed
+    r.calls_rejected;
+  Fmt.pf ppf
+    "engine: %d aborted, %d rejected, %d resource failures, %d frank worker \
+     + %d cd creations@."
+    r.aborted_calls r.rejected_calls r.resource_failures
+    r.frank_worker_creations r.frank_cd_creations;
+  Fmt.pf ppf "sim: %d events, %.1fus, %d faults injected, %d invariant checks@."
+    r.sim_events r.final_us r.injected r.checks;
+  (match r.violations with
+  | [] -> Fmt.pf ppf "invariants: all hold@."
+  | vs ->
+      Fmt.pf ppf "invariants: %d VIOLATION(S)@." (List.length vs);
+      List.iter (fun v -> Fmt.pf ppf "  %a@." Invariant.pp_violation v) vs);
+  match r.trace_tail with
+  | [] -> ()
+  | tail ->
+      Fmt.pf ppf "trace tail:@.";
+      List.iter (fun line -> Fmt.pf ppf "  %s@." line) tail
+
+let ok r = r.violations = []

@@ -1,0 +1,38 @@
+(** A self-contained multi-CPU client/server workload with the
+    invariant checker attached and a fault plan installed.  Fully
+    deterministic: same plan, same report. *)
+
+type report = {
+  plan : Fault.plan;
+  calls_attempted : int;
+  calls_ok : int;
+  calls_killed : int;  (** rc = err_killed seen by clients *)
+  calls_rejected : int;  (** rc = err_no_resources seen by clients *)
+  aborted_calls : int;
+  rejected_calls : int;
+  resource_failures : int;
+  handler_faults : int;
+  frank_worker_creations : int;
+  frank_cd_creations : int;
+  injected : int;
+  checks : int;
+  sim_events : int;
+  final_us : float;
+  violations : Invariant.violation list;
+  trace_tail : string list;  (** last trace events, kept on violation *)
+}
+
+val run :
+  ?cpus:int ->
+  ?clients_per_cpu:int ->
+  ?calls_per_client:int ->
+  ?trace_capacity:int ->
+  Fault.plan ->
+  report
+
+val digest : report -> string
+(** Condensed stable rendering; two runs of the same plan must be
+    byte-identical. *)
+
+val pp_report : Format.formatter -> report -> unit
+val ok : report -> bool

@@ -1,0 +1,145 @@
+(* Applies a fault plan to a running system.
+
+   Every fault fires as an ordinary simulation event at its planned time,
+   and every random choice (which worker to kill, how far to rotate a
+   ready queue) comes from an [Sim.Rng] derived from the plan seed, so a
+   plan replays identically.
+
+   Interrupt storms need a device vector per CPU; [install] registers one
+   per CPU at [vector_base + cpu], wired through [Intr_dispatch] to the
+   caller-supplied device entry point. *)
+
+type t = {
+  ppc : Ppc.Engine.t;
+  kernel : Kernel.t;
+  cpus : int;
+  rng : Sim.Rng.t;
+  vector_base : int;
+  (* per-CPU Frank fault budgets, consumed by the resource-fault hook *)
+  frank_delay : (int * int) array;  (** (remaining, extra instructions) *)
+  frank_fail : int array;  (** remaining forced failures *)
+  mutable injected : int;  (** plan events applied so far *)
+}
+
+let sim t = Kernel.engine t.kernel
+
+let injected t = t.injected
+
+(* Frank resource-fault hook: forced failures take priority over delays;
+   both are per-CPU budgets topped up by plan events. *)
+let resource_verdict t ~cpu_index (_ : Ppc.Engine.resource) =
+  if t.frank_fail.(cpu_index) > 0 then begin
+    t.frank_fail.(cpu_index) <- t.frank_fail.(cpu_index) - 1;
+    `Fail
+  end
+  else
+    let remaining, extra = t.frank_delay.(cpu_index) in
+    if remaining > 0 then begin
+      t.frank_delay.(cpu_index) <- (remaining - 1, extra);
+      `Delay extra
+    end
+    else `Proceed
+
+let apply t (kind : Fault.kind) =
+  t.injected <- t.injected + 1;
+  let clamp cpu = ((cpu mod t.cpus) + t.cpus) mod t.cpus in
+  match kind with
+  | Fault.Pool_exhaust { cpu } ->
+      ignore
+        (Ppc.Engine.reclaim t.ppc ~cpu_index:(clamp cpu) ~max_workers:0
+           ~max_cds:0 ())
+  | Cd_exhaust { cpu } ->
+      ignore
+        (Ppc.Engine.reclaim t.ppc ~cpu_index:(clamp cpu) ~max_workers:max_int
+           ~max_cds:0 ())
+  | Worker_kill { cpu } -> (
+      let cpu = clamp cpu in
+      let candidates =
+        List.filter
+          (fun (_, w) ->
+            Ppc.Worker.cpu_index w = cpu && not (Ppc.Worker.retired w))
+          (Ppc.Engine.active_all t.ppc)
+      in
+      (* Hashtbl order is stable for a fixed runtime, but sort by PCB id
+         anyway so the victim choice is obviously deterministic. *)
+      let candidates =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare
+              (Kernel.Process.id (Ppc.Worker.pcb a))
+              (Kernel.Process.id (Ppc.Worker.pcb b)))
+          candidates
+      in
+      match candidates with
+      | [] -> ()
+      | l ->
+          let ep_id, w = List.nth l (Sim.Rng.int t.rng (List.length l)) in
+          ignore (Ppc.Engine.abort_worker t.ppc ~ep_id w))
+  | Cache_flush { cpu } ->
+      let c = Machine.cpu (Kernel.machine t.kernel) (clamp cpu) in
+      Machine.Cache.flush (Machine.Cpu.dcache c);
+      Machine.Cache.flush (Machine.Cpu.icache c);
+      Machine.Tlb.flush_user (Machine.Cpu.tlb c)
+  | Intr_storm { cpu; count; gap_us } ->
+      let cpu = clamp cpu in
+      let intr = Kernel.interrupts t.kernel in
+      for i = 0 to count - 1 do
+        Sim.Engine.schedule (sim t)
+          ~after:(Sim.Time.us (i * max 1 gap_us))
+          (fun () ->
+            Kernel.Interrupt.raise_vector intr ~vector:(t.vector_base + cpu))
+      done
+  | Frank_delay { cpu; extra; count } ->
+      let cpu = clamp cpu in
+      let remaining, _ = t.frank_delay.(cpu) in
+      t.frank_delay.(cpu) <- (remaining + max 1 count, max 1 extra)
+  | Frank_fail { cpu; count } ->
+      let cpu = clamp cpu in
+      t.frank_fail.(cpu) <- t.frank_fail.(cpu) + max 1 count
+  | Ready_perturb { cpu } ->
+      let kc = Kernel.kcpu t.kernel (clamp cpu) in
+      Kernel.Kcpu.perturb_ready kc (fun procs ->
+          match procs with
+          | [] | [ _ ] -> procs
+          | _ ->
+              let n = List.length procs in
+              let k = 1 + Sim.Rng.int t.rng (n - 1) in
+              let rec rotate k l =
+                if k = 0 then l
+                else match l with [] -> [] | x :: tl -> rotate (k - 1) (tl @ [ x ])
+              in
+              rotate k procs)
+  | Foreign_cd_leak { src; dst } -> (
+      let src = clamp src and dst = clamp dst in
+      match Ppc.Cd_pool.unsafe_pop (Ppc.Engine.cd_pool t.ppc src) with
+      | None -> ()
+      | Some cd -> Ppc.Cd_pool.unsafe_push (Ppc.Engine.cd_pool t.ppc dst) cd)
+
+let install ?(vector_base = 240) ppc ~storm_ep_id (plan : Fault.plan) =
+  let kernel = Ppc.Engine.kernel ppc in
+  let cpus = Kernel.n_cpus kernel in
+  let t =
+    {
+      ppc;
+      kernel;
+      cpus;
+      rng = Sim.Rng.create ~seed:plan.Fault.seed;
+      vector_base;
+      frank_delay = Array.make cpus (0, 0);
+      frank_fail = Array.make cpus 0;
+      injected = 0;
+    }
+  in
+  Ppc.Engine.set_resource_fault ppc (Some (resource_verdict t));
+  for cpu = 0 to cpus - 1 do
+    Ppc.Intr_dispatch.attach ppc ~vector:(vector_base + cpu)
+      ~kcpu:(Kernel.kcpu kernel cpu) ~ep_id:storm_ep_id
+      ~make_args:(fun () -> Ppc.Reg_args.make ())
+      ()
+  done;
+  List.iter
+    (fun { Fault.at_us; kind } ->
+      Sim.Engine.schedule_at (sim t) (Sim.Time.us at_us) (fun () ->
+          apply t kind))
+    plan.Fault.events;
+  t

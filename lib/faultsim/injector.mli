@@ -1,0 +1,15 @@
+(** Applies a fault plan to a running system: every fault fires as an
+    ordinary simulation event at its planned time, and every random
+    choice derives from the plan seed, so a plan replays bit-for-bit. *)
+
+type t
+
+val install :
+  ?vector_base:int -> Ppc.Engine.t -> storm_ep_id:int -> Fault.plan -> t
+(** Schedule the plan's events.  Registers one interrupt vector per CPU
+    at [vector_base + cpu] (default 240), wired through [Intr_dispatch]
+    to [storm_ep_id], and installs the Frank resource-fault hook.  Call
+    once per kernel instance, before [Kernel.run]. *)
+
+val injected : t -> int
+(** Plan events applied so far. *)

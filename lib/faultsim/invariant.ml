@@ -1,0 +1,281 @@
+(* The kernel invariant checker.
+
+   Attached to a PPC engine, it consumes the engine's probe events and
+   re-checks global state after every simulation event (via the sim
+   engine's step hooks).  The invariants are the paper's structural
+   claims, which must hold not just on the happy path but under every
+   fault the injector can throw:
+
+   - lock-freedom of the fast path: no spinlock or rw-spinlock is
+     acquired between fast-path entry and exit (the window is synchronous
+     within one simulation event, so global acquisition odometers are a
+     sound check);
+   - hand-off discipline: between the hand-off probe and the worker
+     starting to serve, the CPU's dispatcher never runs (the transfer
+     bypasses the ready queue);
+   - per-CPU pool ownership: CDs are popped/pushed only by their home
+     processor, and no pool ever contains a foreign CD or a retired
+     worker;
+   - conservation: CDs, workers and spare stack frames are neither leaked
+     nor invented, including across aborted calls and reclaim.
+
+   Event counters are baselined at attach time, so pre-existing state
+   (initial CDs, primed workers) is accounted for. *)
+
+type violation = { at_us : float; event_no : int; what : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%8.2fus #%d] %s" v.at_us v.event_no v.what
+
+type t = {
+  ppc : Ppc.Engine.t;
+  kernel : Kernel.t;
+  cpus : int;
+  (* fast-path lock-freedom: (spin, rw) odometers at Fastpath_enter *)
+  fp_window : (int * int) option array;
+  (* hand-off discipline: dispatch count at Handoff_to_worker *)
+  handoff_window : int option array;
+  (* CD accounting, per home CPU (events since attach) *)
+  cd_created : int array;
+  cd_trimmed : int array;
+  cd_dropped : int array;
+  cd_live_out : int array;  (** allocs - releases - drops *)
+  cd_baseline : int array;  (** pool sums at attach *)
+  (* spare stack frames, per CPU *)
+  spares_expected : int array;
+  (* workers, per CPU *)
+  w_created : int array;
+  w_retired : int array;
+  w_baseline : int array;  (** pooled + active at attach *)
+  seen : (string, unit) Hashtbl.t;  (** violation dedup keys *)
+  mutable checks : int;
+  mutable violations : violation list;  (** newest first *)
+  max_violations : int;
+}
+
+let sim t = Kernel.engine t.kernel
+
+let record ?key t what =
+  let key = match key with Some k -> k | None -> what in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    if List.length t.violations < t.max_violations then
+      t.violations <-
+        {
+          at_us = Sim.Time.to_us (Sim.Engine.now (sim t));
+          event_no = Sim.Engine.executed_events (sim t);
+          what;
+        }
+        :: t.violations
+  end
+
+let lock_odometers () =
+  (Kernel.Spinlock.total_acquisitions (), Kernel.Rw_spinlock.total_acquisitions ())
+
+(* Pooled workers on a CPU, summed over all live entry points. *)
+let pooled_workers t cpu =
+  List.fold_left
+    (fun acc ep ->
+      acc + List.length (Ppc.Entry_point.per_cpu ep cpu).Ppc.Entry_point.pool)
+    0
+    (Ppc.Engine.entry_points t.ppc)
+
+let active_unretired t cpu =
+  List.length
+    (List.filter
+       (fun (_, w) ->
+         Ppc.Worker.cpu_index w = cpu && not (Ppc.Worker.retired w))
+       (Ppc.Engine.active_all t.ppc))
+
+(* --- probe-event side -------------------------------------------------- *)
+
+let on_event t (ev : Ppc.Engine.probe_event) =
+  match ev with
+  | Fastpath_enter { cpu; _ } -> t.fp_window.(cpu) <- Some (lock_odometers ())
+  | Fastpath_exit { cpu; ep_id } ->
+      (match t.fp_window.(cpu) with
+      | None ->
+          record t
+            ~key:(Printf.sprintf "fp-unbalanced/%d" cpu)
+            (Printf.sprintf "cpu%d: fast-path exit without enter (ep%d)" cpu
+               ep_id)
+      | Some (s0, r0) ->
+          let s1, r1 = lock_odometers () in
+          if s1 <> s0 || r1 <> r0 then
+            record t
+              ~key:(Printf.sprintf "fp-lock/%d" cpu)
+              (Printf.sprintf
+                 "cpu%d: lock acquired on the PPC fast path (ep%d): spin \
+                  %d->%d, rw %d->%d"
+                 cpu ep_id s0 s1 r0 r1));
+      t.fp_window.(cpu) <- None
+  | Worker_pop _ | Worker_park _ -> ()
+  | Worker_created { cpu; _ } -> t.w_created.(cpu) <- t.w_created.(cpu) + 1
+  | Worker_retired { cpu; _ } -> t.w_retired.(cpu) <- t.w_retired.(cpu) + 1
+  | Cd_created { home } -> t.cd_created.(home) <- t.cd_created.(home) + 1
+  | Cd_alloc { cpu; home } ->
+      if cpu <> home then
+        record t
+          ~key:(Printf.sprintf "cd-own-alloc/%d" cpu)
+          (Printf.sprintf "cpu%d popped a CD homed on cpu%d" cpu home);
+      t.cd_live_out.(home) <- t.cd_live_out.(home) + 1
+  | Cd_release { cpu; home } ->
+      if cpu <> home then
+        record t
+          ~key:(Printf.sprintf "cd-own-release/%d" cpu)
+          (Printf.sprintf "cpu%d pushed a CD homed on cpu%d" cpu home);
+      t.cd_live_out.(home) <- t.cd_live_out.(home) - 1
+  | Cd_dropped { cpu; home } ->
+      t.cd_dropped.(home) <- t.cd_dropped.(home) + 1;
+      t.cd_live_out.(home) <- t.cd_live_out.(home) - 1;
+      t.spares_expected.(cpu) <- t.spares_expected.(cpu) + 1
+  | Cd_trimmed { cpu; home } ->
+      t.cd_trimmed.(home) <- t.cd_trimmed.(home) + 1;
+      t.spares_expected.(cpu) <- t.spares_expected.(cpu) + 1
+  | Frame_taken { cpu; fresh } ->
+      if not fresh then t.spares_expected.(cpu) <- t.spares_expected.(cpu) - 1
+  | Frame_returned { cpu } ->
+      t.spares_expected.(cpu) <- t.spares_expected.(cpu) + 1
+  | Handoff_to_worker { cpu; _ } ->
+      t.handoff_window.(cpu) <-
+        Some (Kernel.Kcpu.dispatches (Kernel.kcpu t.kernel cpu))
+  | Serve_begin { cpu; ep_id } ->
+      (match t.handoff_window.(cpu) with
+      | None -> ()
+      | Some d0 ->
+          let d1 = Kernel.Kcpu.dispatches (Kernel.kcpu t.kernel cpu) in
+          if d1 <> d0 then
+            record t
+              ~key:(Printf.sprintf "handoff/%d" cpu)
+              (Printf.sprintf
+                 "cpu%d: dispatcher ran inside a hand-off to ep%d \
+                  (dispatches %d->%d): ready queue not bypassed"
+                 cpu ep_id d0 d1));
+      t.handoff_window.(cpu) <- None
+  | Call_completed { cpu; aborted; _ } ->
+      (* An abort can consume a pending hand-off (the worker was retired
+         in the window); close the window without judging it. *)
+      if aborted then t.handoff_window.(cpu) <- None
+
+(* --- state side (step hook) -------------------------------------------- *)
+
+let check t =
+  t.checks <- t.checks + 1;
+  for cpu = 0 to t.cpus - 1 do
+    (* Spare stack-frame conservation. *)
+    let spares = Ppc.Engine.spare_frame_count t.ppc cpu in
+    if spares <> t.spares_expected.(cpu) then
+      record t
+        ~key:(Printf.sprintf "frames/%d" cpu)
+        (Printf.sprintf
+           "cpu%d: spare stack frames out of balance: %d on the list, %d \
+            accounted for"
+           cpu spares t.spares_expected.(cpu));
+    (* CD pool ownership + conservation. *)
+    let pools = Ppc.Engine.cd_pools_on t.ppc cpu in
+    let pool_sum =
+      List.fold_left (fun acc p -> acc + Ppc.Cd_pool.size p) 0 pools
+    in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun cd ->
+            let home = Ppc.Call_descriptor.home_cpu cd in
+            if home <> cpu then
+              record t
+                ~key:(Printf.sprintf "cd-foreign/%d" cpu)
+                (Printf.sprintf
+                   "cpu%d: pool contains a CD homed on cpu%d (ownership \
+                    violated)"
+                   cpu home))
+          (Ppc.Cd_pool.free_list p))
+      pools;
+    let lhs =
+      pool_sum + t.cd_live_out.(cpu) + t.cd_trimmed.(cpu) + t.cd_dropped.(cpu)
+    in
+    let rhs = t.cd_baseline.(cpu) + t.cd_created.(cpu) in
+    if lhs <> rhs then
+      record t
+        ~key:(Printf.sprintf "cd-conserve/%d" cpu)
+        (Printf.sprintf
+           "cpu%d: CD conservation violated: pool=%d out=%d trimmed=%d \
+            dropped=%d vs baseline=%d created=%d"
+           cpu pool_sum t.cd_live_out.(cpu) t.cd_trimmed.(cpu)
+           t.cd_dropped.(cpu) t.cd_baseline.(cpu) t.cd_created.(cpu));
+    (* Worker pool sanity + conservation. *)
+    List.iter
+      (fun ep ->
+        List.iter
+          (fun w ->
+            if Ppc.Worker.retired w then
+              record t
+                ~key:(Printf.sprintf "w-retired/%d" cpu)
+                (Printf.sprintf "cpu%d: retired worker parked in %s's pool"
+                   cpu (Ppc.Entry_point.name ep));
+            if Ppc.Worker.cpu_index w <> cpu then
+              record t
+                ~key:(Printf.sprintf "w-foreign/%d" cpu)
+                (Printf.sprintf
+                   "cpu%d: %s's pool holds a worker homed on cpu%d" cpu
+                   (Ppc.Entry_point.name ep) (Ppc.Worker.cpu_index w)))
+          (Ppc.Entry_point.per_cpu ep cpu).Ppc.Entry_point.pool)
+      (Ppc.Engine.entry_points t.ppc);
+    let live = pooled_workers t cpu + active_unretired t cpu in
+    let expected = t.w_baseline.(cpu) + t.w_created.(cpu) - t.w_retired.(cpu) in
+    if live <> expected then
+      record t
+        ~key:(Printf.sprintf "w-conserve/%d" cpu)
+        (Printf.sprintf
+           "cpu%d: worker conservation violated: %d live (pooled+active) vs \
+            %d expected (baseline=%d created=%d retired=%d)"
+           cpu live expected t.w_baseline.(cpu) t.w_created.(cpu)
+           t.w_retired.(cpu))
+  done
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let attach ?(max_violations = 32) ppc =
+  let kernel = Ppc.Engine.kernel ppc in
+  let cpus = Kernel.n_cpus kernel in
+  let t =
+    {
+      ppc;
+      kernel;
+      cpus;
+      fp_window = Array.make cpus None;
+      handoff_window = Array.make cpus None;
+      cd_created = Array.make cpus 0;
+      cd_trimmed = Array.make cpus 0;
+      cd_dropped = Array.make cpus 0;
+      cd_live_out = Array.make cpus 0;
+      cd_baseline = Array.make cpus 0;
+      spares_expected = Array.make cpus 0;
+      w_created = Array.make cpus 0;
+      w_retired = Array.make cpus 0;
+      w_baseline = Array.make cpus 0;
+      seen = Hashtbl.create 16;
+      checks = 0;
+      violations = [];
+      max_violations;
+    }
+  in
+  for cpu = 0 to cpus - 1 do
+    t.cd_baseline.(cpu) <-
+      List.fold_left
+        (fun acc p -> acc + Ppc.Cd_pool.size p)
+        0
+        (Ppc.Engine.cd_pools_on ppc cpu);
+    t.spares_expected.(cpu) <- Ppc.Engine.spare_frame_count ppc cpu;
+    t.w_baseline.(cpu) <- pooled_workers t cpu + active_unretired t cpu
+  done;
+  Ppc.Engine.set_probe ppc (Some (on_event t));
+  Sim.Engine.add_step_hook (Kernel.engine kernel) (fun () -> check t);
+  t
+
+let detach t =
+  Ppc.Engine.set_probe t.ppc None;
+  Sim.Engine.clear_step_hooks (Kernel.engine t.kernel)
+
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+let checks t = t.checks

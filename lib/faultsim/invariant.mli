@@ -1,0 +1,29 @@
+(** The kernel invariant checker: consumes the PPC engine's probe
+    events and re-checks global state after every simulation event.
+
+    Checked continuously: fast-path lock-freedom, hand-off scheduling
+    discipline (the dispatcher never runs inside the hand-off window),
+    per-CPU pool ownership (no foreign CDs, no retired or foreign
+    workers in pools), and conservation of CDs, workers and spare stack
+    pages — including across aborted calls and reclaim.  Counters are
+    baselined at attach time. *)
+
+type t
+
+type violation = { at_us : float; event_no : int; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val attach : ?max_violations:int -> Ppc.Engine.t -> t
+(** Install the probe and a sim-engine step hook.  Attach after
+    pre-population (priming) so baselines include it. *)
+
+val detach : t -> unit
+(** Remove the probe and clear the sim engine's step hooks. *)
+
+val violations : t -> violation list
+(** Distinct violations, oldest first (deduplicated by kind and CPU). *)
+
+val ok : t -> bool
+val checks : t -> int
+(** Number of post-event state checks performed. *)

@@ -1,0 +1,101 @@
+(* QCheck scenario generation for fault plans.
+
+   Plans are generated through an integer encoding — (seed, [(at_us,
+   (tag, a, b, c))]) — and mapped to [Fault.plan] with [QCheck.map ~rev],
+   so QCheck's built-in integer/list shrinkers apply: a failing scenario
+   shrinks by dropping events and shrinking times/parameters toward
+   zero.  [arbitrary] draws only faults the system must survive;
+   [arbitrary_with_leak] appends the planted [Foreign_cd_leak] bug, for
+   proving the checker catches it and that shrinking isolates it.
+
+   [shrink_to_minimal] is a deterministic greedy event-list minimizer
+   used where we want the minimal reproducing plan itself (acceptance
+   test, CLI), independent of QCheck's internal iteration budget. *)
+
+type code = int * (int * (int * int * int * int)) list
+
+let kind_of_code ~cpus ~with_leak (tag, a, b, c) =
+  let n_kinds = if with_leak && cpus > 1 then 9 else 8 in
+  let cpu = a mod cpus in
+  match tag mod n_kinds with
+  | 0 -> Fault.Pool_exhaust { cpu }
+  | 1 -> Cd_exhaust { cpu }
+  | 2 -> Worker_kill { cpu }
+  | 3 -> Cache_flush { cpu }
+  | 4 -> Intr_storm { cpu; count = 1 + (b mod 6); gap_us = 1 + (c mod 8) }
+  | 5 -> Frank_delay { cpu; extra = 50 + (b mod 400); count = 1 + (c mod 3) }
+  | 6 -> Frank_fail { cpu; count = 1 + (b mod 3) }
+  | 7 -> Ready_perturb { cpu }
+  | _ ->
+      Foreign_cd_leak { src = cpu; dst = (cpu + 1 + (b mod (cpus - 1))) mod cpus }
+
+let code_of_kind ~cpus = function
+  | Fault.Pool_exhaust { cpu } -> (0, cpu, 0, 0)
+  | Cd_exhaust { cpu } -> (1, cpu, 0, 0)
+  | Worker_kill { cpu } -> (2, cpu, 0, 0)
+  | Cache_flush { cpu } -> (3, cpu, 0, 0)
+  | Intr_storm { cpu; count; gap_us } -> (4, cpu, count - 1, gap_us - 1)
+  | Frank_delay { cpu; extra; count } -> (5, cpu, extra - 50, count - 1)
+  | Frank_fail { cpu; count } -> (6, cpu, count - 1, 0)
+  | Ready_perturb { cpu } -> (7, cpu, 0, 0)
+  | Foreign_cd_leak { src; dst } ->
+      let k = (((dst - src - 1) mod cpus) + cpus) mod cpus in
+      (8, src, k, 0)
+
+let plan_of_code ~cpus ~with_leak ((seed, evs) : code) =
+  {
+    Fault.seed;
+    events =
+      List.map
+        (fun (at_us, q) ->
+          { Fault.at_us; kind = kind_of_code ~cpus ~with_leak q })
+        evs;
+  }
+
+let code_of_plan ~cpus (p : Fault.plan) : code =
+  ( p.Fault.seed,
+    List.map
+      (fun { Fault.at_us; kind } -> (at_us, code_of_kind ~cpus kind))
+      p.Fault.events )
+
+let code_arb ~max_us =
+  QCheck.(
+    pair small_nat
+      (small_list
+         (pair (int_bound max_us)
+            (quad (int_bound 1000) (int_bound 1000) (int_bound 1000)
+               (int_bound 1000)))))
+
+let print_plan p = Fmt.str "%a" Fault.pp_plan p
+
+let arbitrary ?(max_us = 400) ~cpus () =
+  QCheck.set_print print_plan
+    (QCheck.map
+       ~rev:(code_of_plan ~cpus)
+       (plan_of_code ~cpus ~with_leak:false)
+       (code_arb ~max_us))
+
+let arbitrary_with_leak ?(max_us = 400) ~cpus () =
+  if cpus < 2 then invalid_arg "Scenario.arbitrary_with_leak: needs >= 2 cpus";
+  QCheck.set_print print_plan
+    (QCheck.map
+       ~rev:(code_of_plan ~cpus)
+       (plan_of_code ~cpus ~with_leak:true)
+       (code_arb ~max_us))
+
+(* Greedy deterministic minimizer: repeatedly drop events while the plan
+   still fails the predicate.  O(n^2) runs of [still_fails], intended for
+   the small plans QCheck produces. *)
+let shrink_to_minimal still_fails (plan : Fault.plan) =
+  let rec drop_pass (p : Fault.plan) =
+    let n = List.length p.Fault.events in
+    let rec try_drop i =
+      if i >= n then None
+      else
+        let events = List.filteri (fun j _ -> j <> i) p.Fault.events in
+        let cand = { p with Fault.events } in
+        if still_fails cand then Some cand else try_drop (i + 1)
+    in
+    match try_drop 0 with Some p' -> drop_pass p' | None -> p
+  in
+  drop_pass plan

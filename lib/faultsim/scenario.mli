@@ -1,0 +1,18 @@
+(** QCheck scenario generation for fault plans, with shrinking.
+
+    Plans are generated through an integer encoding mapped with
+    [QCheck.map ~rev], so QCheck's stock shrinkers minimize failing
+    scenarios (dropping events, shrinking times and parameters). *)
+
+val arbitrary : ?max_us:int -> cpus:int -> unit -> Fault.plan QCheck.arbitrary
+(** Plans of survivable faults only. *)
+
+val arbitrary_with_leak :
+  ?max_us:int -> cpus:int -> unit -> Fault.plan QCheck.arbitrary
+(** Also draws the planted [Foreign_cd_leak] bug (needs >= 2 cpus). *)
+
+val shrink_to_minimal :
+  (Fault.plan -> bool) -> Fault.plan -> Fault.plan
+(** [shrink_to_minimal still_fails plan] greedily drops events while
+    [still_fails] holds: a deterministic local minimum, independent of
+    QCheck's iteration budget. *)

@@ -74,3 +74,8 @@ let unmap cpu t ~vaddr =
   Machine.Cpu.store cpu (pte_addr t vaddr);
   Machine.Tlb.invalidate (Machine.Cpu.tlb cpu) (space_of t) vaddr;
   Hashtbl.remove t.table vp
+
+(* State-only unmap: drop the mapping without charging any CPU.  Abort
+   paths run from event context where no processor is "current", so the
+   cleanup must not attribute cycles to whoever happens to be running. *)
+let forget t ~vaddr = Hashtbl.remove t.table (vpage t vaddr)

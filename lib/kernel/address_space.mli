@@ -26,3 +26,7 @@ val map : Machine.Cpu.t -> t -> vaddr:int -> frame:int -> unit
 val unmap : Machine.Cpu.t -> t -> vaddr:int -> unit
 (** Remove a mapping; invalidates the local TLB entry only (PPC stacks
     are processor-local, so no shootdown is needed). *)
+
+val forget : t -> vaddr:int -> unit
+(** State-only unmap, charging nothing: for abort/teardown paths that run
+    from event context with no current processor. *)

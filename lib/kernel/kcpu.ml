@@ -108,6 +108,24 @@ let ready ?(band = `Normal) t p =
     if t.current = None then dispatch t
   end
 
+(* Reorder the normal-band ready queue (fault injection: the scheduler
+   discipline must survive adversarial arrival orders).  [f] must return
+   a permutation of its input; anything else is rejected so a perturbed
+   run can never lose or invent a process. *)
+let perturb_ready t f =
+  let before = List.of_seq (Queue.to_seq t.normal) in
+  let after = f before in
+  let same_population =
+    List.length before = List.length after
+    && List.for_all (fun p -> List.memq p after) before
+  in
+  if not (same_population) then
+    invalid_arg "Kcpu.perturb_ready: not a permutation of the ready queue";
+  Queue.clear t.normal;
+  List.iter (fun p -> Queue.push p t.normal) after;
+  trace t ~kind:"perturb" (fun () ->
+      Printf.sprintf "ready queue reordered (%d entries)" (List.length after))
+
 (* Start a process: spawn its simulated body, which first waits to be
    dispatched. *)
 let start ?(band = `Normal) t p body =

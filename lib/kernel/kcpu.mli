@@ -21,6 +21,10 @@ val ready : ?band:[ `Front | `Normal ] -> t -> Process.t -> unit
 (** Make a process runnable ([`Front] = interrupt/kernel band).  Safe
     from event context; dispatches immediately if the CPU is idle. *)
 
+val perturb_ready : t -> (Process.t list -> Process.t list) -> unit
+(** Reorder the normal-band ready queue with [f] (fault injection).
+    Raises [Invalid_argument] unless [f] returns a permutation. *)
+
 val start : ?band:[ `Front | `Normal ] -> t -> Process.t -> (unit -> unit) -> unit
 (** Spawn a process body; it runs when first dispatched and the process
     dies when the body returns. *)

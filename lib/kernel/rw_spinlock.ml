@@ -97,7 +97,13 @@ let grant_waiters t =
   in
   go true
 
+(* See {!Spinlock.total_acquisitions}: one odometer across both lock
+   flavours feeds the fast-path lock-freedom invariant. *)
+let global_acquisitions = ref 0
+let total_acquisitions () = !global_acquisitions
+
 let acquire engine cpu proc t ~mode =
+  incr global_acquisitions;
   charge_attempt cpu t;
   if can_grant t mode then begin
     grant t { proc; mode; enqueued_at = Sim.Engine.now engine };

@@ -3,6 +3,10 @@
 
 type t
 
+val total_acquisitions : unit -> int
+(** Process-wide count of read+write acquires across every lock instance
+    (see {!Spinlock.total_acquisitions}). *)
+
 val create : ?transfer_cycles:int -> addr:int -> unit -> t
 
 val acquire_read : Sim.Engine.t -> Machine.Cpu.t -> Process.t -> t -> unit

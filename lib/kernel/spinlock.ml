@@ -17,6 +17,13 @@
    single-file curve: throughput is bounded by
    1 / (hold time + handover cost). *)
 
+(* Process-wide acquisition odometer: monotone, never fed back into the
+   simulation (so it cannot perturb determinism).  The fault-injection
+   invariant checker snapshots it around the PPC fast path to prove the
+   path acquired no lock. *)
+let global_acquisitions = ref 0
+let total_acquisitions () = !global_acquisitions
+
 type waiter = { proc : Process.t; enqueued_at : Sim.Time.t }
 
 type t = {
@@ -54,6 +61,7 @@ let mean_hold_us t = Sim.Stats.mean t.hold_stats
 let mean_wait_us t = Sim.Stats.mean t.wait_stats
 
 let acquire engine cpu proc t =
+  incr global_acquisitions;
   (* The test-and-set attempt: uncached RMW + a couple of instructions. *)
   Machine.Cpu.instr cpu 3;
   Machine.Cpu.uncached_store cpu t.addr;

@@ -4,6 +4,11 @@
 
 type t
 
+val total_acquisitions : unit -> int
+(** Process-wide count of {!acquire} calls across every lock instance;
+    monotone and side-effect-free (the fault-injection invariant checker
+    snapshots it around the PPC fast path). *)
+
 val create : ?transfer_cycles:int -> addr:int -> unit -> t
 (** [addr] is the lock word's simulated physical address (its NUMA home
     determines remote-access surcharges); [transfer_cycles] models the

@@ -58,6 +58,28 @@ let release cpu t cd =
   Call_descriptor.clear cd;
   t.free <- cd :: t.free
 
+(* State-only return, no memory charges: abort paths run from event
+   context where no processor is current, so nothing can be charged. *)
+let restore t cd =
+  if Call_descriptor.home_cpu cd <> t.pc.Layout.node then
+    invalid_arg "Cd_pool.restore: CD returned to a foreign processor";
+  Call_descriptor.clear cd;
+  t.free <- cd :: t.free
+
+let free_list t = t.free
+
+(* Unchecked state manipulation, for fault injection only: deliberately
+   breaking the ownership discipline (leaking a CD into a foreign pool)
+   lets the invariant checker be validated against a known-bad state. *)
+let unsafe_pop t =
+  match t.free with
+  | [] -> None
+  | cd :: rest ->
+      t.free <- rest;
+      Some cd
+
+let unsafe_push t cd = t.free <- cd :: t.free
+
 (* Reclaim beyond [keep]: the CDs' stack pages return to the system
    ("extra stacks created during peak call activity can easily be
    reclaimed").  Returns the reclaimed CDs (their frames are free for

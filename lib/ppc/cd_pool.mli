@@ -21,5 +21,18 @@ val release : Machine.Cpu.t -> t -> Call_descriptor.t -> unit
 (** Push back; raises [Invalid_argument] if the CD belongs to another
     processor. *)
 
+val restore : t -> Call_descriptor.t -> unit
+(** State-only {!release} with no memory charges: for abort/teardown
+    paths running from event context.  Same foreign-CPU check. *)
+
+val free_list : t -> Call_descriptor.t list
+(** The current free list, most recently released first (inspection). *)
+
+val unsafe_pop : t -> Call_descriptor.t option
+val unsafe_push : t -> Call_descriptor.t -> unit
+(** Unchecked, uncharged pool manipulation — fault injection only.
+    [unsafe_push] skips the ownership check, so it can plant a foreign
+    CD; the invariant checker is expected to catch the damage. *)
+
 val trim : t -> keep:int -> Call_descriptor.t list
 (** Drop free CDs beyond [keep], returning them (stack reclaim). *)

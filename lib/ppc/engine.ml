@@ -20,6 +20,10 @@
 
 exception Call_aborted
 
+exception Resource_exhausted
+(* Raised by an injected resource fault when Frank's slow path is made to
+   fail; the call paths turn it into an ERR_NO_RESOURCES rejection. *)
+
 (* Tunable instruction/word counts for each path phase.  Defaults are
    calibrated so the Hector parameters reproduce the paper's Figure 2
    within tolerance; see bench/ and EXPERIMENTS.md. *)
@@ -69,7 +73,39 @@ type stats = {
   mutable aborted_calls : int;
   mutable rejected_calls : int;
   mutable handler_faults : int;
+  mutable resource_failures : int;
 }
+
+(* Observation probes for the fault-injection/invariant layer
+   (lib/faultsim): every transition that moves a worker, CD or stack
+   frame in or out of circulation is announced, plus the fast-path and
+   hand-off window boundaries.  [cpu] is the processor executing the
+   transition; [home] is the resource's owning processor.  Costs nothing
+   when no probe is installed. *)
+type probe_event =
+  | Fastpath_enter of { cpu : int; ep_id : int }
+  | Fastpath_exit of { cpu : int; ep_id : int }
+  | Worker_pop of { cpu : int; ep_id : int }
+  | Worker_created of { cpu : int; ep_id : int }
+  | Worker_park of { cpu : int; ep_id : int }
+  | Worker_retired of { cpu : int; ep_id : int }
+  | Cd_created of { home : int }
+  | Cd_alloc of { cpu : int; home : int }
+  | Cd_release of { cpu : int; home : int }
+  | Cd_dropped of { cpu : int; home : int }
+      (** dismantled to a spare frame on [cpu] (held-CD retirement etc.) *)
+  | Cd_trimmed of { cpu : int; home : int }  (** reclaimed by {!reclaim} *)
+  | Frame_taken of { cpu : int; fresh : bool }
+      (** spare stack frame popped; [fresh] = Frank allocated a new page *)
+  | Frame_returned of { cpu : int }
+  | Handoff_to_worker of { cpu : int; ep_id : int }
+  | Serve_begin of { cpu : int; ep_id : int }
+  | Call_completed of { cpu : int; ep_id : int; aborted : bool }
+
+(* Injected resource faults: what Frank's slow path does when asked for a
+   new worker or CD. *)
+type resource = Worker_resource | Cd_resource
+type resource_verdict = [ `Proceed | `Delay of int | `Fail ]
 
 type t = {
   kernel : Kernel.t;
@@ -91,6 +127,9 @@ type t = {
     (cpu_index:int -> ep_id:int -> caller_program:int -> unit) option;
       (** invoked (from event context) when a handler faults; the
           exception server hooks here and receives an upcall (4.4) *)
+  mutable probe : (probe_event -> unit) option;
+  mutable resource_fault :
+    (cpu_index:int -> resource -> resource_verdict) option;
 }
 
 and active_call = { rec_ : Worker.call_rec; ac_worker : Worker.t }
@@ -99,6 +138,10 @@ let kernel t = t.kernel
 let layout t = t.layout
 let costs t = t.costs
 let stats t = t.stats
+
+let emit t ev = match t.probe with None -> () | Some f -> f ev
+let set_probe t p = t.probe <- p
+let set_resource_fault t f = t.resource_fault <- f
 
 (* --- construction ----------------------------------------------------- *)
 
@@ -112,6 +155,7 @@ let make_cd ?pool t ~cpu_index =
     Call_descriptor.create ~index:idx ~addr ~stack_frame ~home_cpu:cpu_index
   in
   Cd_pool.add pool cd;
+  emit t (Cd_created { home = cpu_index });
   cd
 
 let create ?(costs = default_costs) ?(initial_cds_per_cpu = 2) kernel =
@@ -139,11 +183,14 @@ let create ?(costs = default_costs) ?(initial_cds_per_cpu = 2) kernel =
           aborted_calls = 0;
           rejected_calls = 0;
           handler_faults = 0;
+          resource_failures = 0;
         };
       next_ep_id = 2;
       (* 0 reserved (name server), 1 reserved (Frank) *)
       initial_cds_per_cpu;
       fault_notifier = None;
+      probe = None;
+      resource_fault = None;
     }
   in
   for cpu_index = 0 to n - 1 do
@@ -195,15 +242,32 @@ let take_spare_frame t ~cpu_index cpu =
   | frame :: rest ->
       Machine.Cpu.instr cpu 4;
       t.spare_frames.(cpu_index) <- rest;
+      emit t (Frame_taken { cpu = cpu_index; fresh = false });
       frame
   | [] ->
       (* Frank-style slow path: allocate a fresh page. *)
       Machine.Cpu.instr cpu 120;
+      emit t (Frame_taken { cpu = cpu_index; fresh = true });
       Kernel.alloc_page t.kernel ~node:cpu_index
 
 let put_spare_frame t ~cpu_index cpu frame =
   Machine.Cpu.instr cpu 3;
-  t.spare_frames.(cpu_index) <- frame :: t.spare_frames.(cpu_index)
+  t.spare_frames.(cpu_index) <- frame :: t.spare_frames.(cpu_index);
+  emit t (Frame_returned { cpu = cpu_index })
+
+(* Consult the injected resource fault, if any, before a Frank slow-path
+   creation.  A delayed Frank charges extra kernel-text cycles (resource
+   manager congestion); a failing one makes the call fail with
+   ERR_NO_RESOURCES, as a real allocation failure would. *)
+let frank_gate t ~cpu_index cpu res =
+  match t.resource_fault with
+  | None -> ()
+  | Some f -> (
+      match f ~cpu_index res with
+      | `Proceed -> ()
+      | `Delay extra ->
+          Machine.Cpu.instr ~code:(Layout.ktext t.layout).Layout.frank cpu extra
+      | `Fail -> raise Resource_exhausted)
 
 (* Switch the loaded user address space: update the data- and code-CMMU
    user root pointers and flush their user contexts.  CMMU control
@@ -229,17 +293,62 @@ let stack_va server ~cpu_index =
   server.Entry_point.stack_va_base
   + (cpu_index * 4096 * Entry_point.stack_window_pages)
 
+(* Dismantle a held CD when its worker leaves circulation: the stack
+   mapping is forgotten (if it still points at this CD's frame) and the
+   frame joins the spare list of the worker's CPU.  State-only — retire
+   paths run from event context or on behalf of a dying worker. *)
+let drop_held_cd t ep w =
+  match Worker.held_cd w with
+  | None -> ()
+  | Some cd ->
+      let cpu_index = Worker.cpu_index w in
+      let server = Entry_point.server ep in
+      let va = stack_va server ~cpu_index in
+      (match Kernel.Address_space.translate server.Entry_point.space va with
+      | Some pa when pa = Call_descriptor.stack_frame cd ->
+          Kernel.Address_space.forget server.Entry_point.space ~vaddr:va
+      | _ -> ());
+      Worker.drop_held w;
+      t.spare_frames.(cpu_index) <-
+        Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
+      emit t
+        (Cd_dropped { cpu = cpu_index; home = Call_descriptor.home_cpu cd })
+
+(* Retire a worker out of circulation.  [quiesced] says it is not
+   mid-call (parked, drained or aborted), so a held CD can be dismantled
+   now; a worker retired while running keeps its CD until its current
+   call completes (see the retired branch of [serve_one]). *)
+let retire_worker t ep w ~quiesced =
+  if not (Worker.retired w) then begin
+    Worker.retire w;
+    emit t
+      (Worker_retired { cpu = Worker.cpu_index w; ep_id = Entry_point.id ep })
+  end;
+  if quiesced then drop_held_cd t ep w
+
 (* Worker-side body: serve calls forever, parking between them. *)
 let rec serve_loop t ep w =
-  if Worker.retired w then ()
+  if Worker.retired w then begin
+    (* Retired before ever running this call: a pending installed in the
+       hand-off window must still be aborted, or its caller sleeps
+       forever.  And the worker dies here, so a held CD (if somehow not
+       yet dismantled) goes with it. *)
+    (match Worker.take_pending w with
+    | Some pending -> abort_return t ep w pending
+    | None -> ());
+    drop_held_cd t ep w
+  end
   else
     match Worker.take_pending w with
     | None ->
         (* Spurious wake (e.g. retirement in flight): park again unless
-           retired. *)
+           retired.  A cancellation landing here (rather than inside the
+           handler) is a plain wake: the retired check at the top of the
+           loop decides what happens next. *)
         if Worker.retired w then ()
         else begin
-          Kernel.Process.sleep (Kernel.engine t.kernel) (Worker.pcb w);
+          (try Kernel.Process.sleep (Kernel.engine t.kernel) (Worker.pcb w)
+           with Sim.Engine.Cancelled _ -> ());
           serve_loop t ep w
         end
     | Some pending -> (
@@ -269,11 +378,47 @@ let rec serve_loop t ep w =
 
 and abort_return t ep w pending =
   let cpu_index = Worker.cpu_index w in
+  let server = Entry_point.server ep in
   pending.Worker.call_rec.Worker.aborted <- true;
   let pcs = Entry_point.per_cpu ep cpu_index in
   pcs.Entry_point.in_progress <- pcs.Entry_point.in_progress - 1;
   unregister_active t ep pending.Worker.call_rec;
   t.stats.aborted_calls <- t.stats.aborted_calls + 1;
+  (* Resource cleanup, state-only (the dying worker is not the current
+     process, so nothing can be charged): extra stack frames and the CD
+     go back to their pools and the stack mapping is forgotten.  Without
+     this an aborted call leaks its CD and stack page. *)
+  let cd = pending.Worker.cd in
+  let va = stack_va server ~cpu_index in
+  let held = Option.is_some (Worker.held_cd w) in
+  List.iter
+    (fun (page, frame) ->
+      Kernel.Address_space.forget server.Entry_point.space
+        ~vaddr:(va + (page * 4096));
+      t.spare_frames.(cpu_index) <- frame :: t.spare_frames.(cpu_index);
+      emit t (Frame_returned { cpu = cpu_index }))
+    pending.Worker.call_rec.Worker.extra_frames;
+  pending.Worker.call_rec.Worker.extra_frames <- [];
+  if not held then begin
+    (match Kernel.Address_space.translate server.Entry_point.space va with
+    | Some pa when pa = Call_descriptor.stack_frame cd ->
+        Kernel.Address_space.forget server.Entry_point.space ~vaddr:va
+    | _ -> ());
+    if Call_descriptor.home_cpu cd = cpu_index then begin
+      Cd_pool.restore
+        (cd_pool_for t ~cpu_index ~group:server.Entry_point.trust_group)
+        cd;
+      emit t (Cd_release { cpu = cpu_index; home = cpu_index })
+    end
+    else begin
+      (* Not our CD (cannot happen unless something corrupted the
+         pools): dismantle it rather than pollute a foreign pool. *)
+      t.spare_frames.(cpu_index) <-
+        Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
+      emit t
+        (Cd_dropped { cpu = cpu_index; home = Call_descriptor.home_cpu cd })
+    end
+  end;
   (match pending.Worker.caller with
   | Some caller -> Kernel.Kcpu.ready (kcpu_of t cpu_index) caller
   | None -> (
@@ -284,7 +429,10 @@ and abort_return t ep w pending =
           Reg_args.set_rc pending.Worker.args Reg_args.err_killed;
           f pending.Worker.args
       | None -> ()));
-  Worker.retire w;
+  retire_worker t ep w ~quiesced:true;
+  emit t
+    (Call_completed
+       { cpu = cpu_index; ep_id = Entry_point.id ep; aborted = true });
   if
     Entry_point.status ep = Entry_point.Hard_killed
     && Entry_point.in_progress_total ep = 0
@@ -310,6 +458,7 @@ and serve_one t ep w pending =
   let server = Entry_point.server ep in
   let server_space = server.Entry_point.space in
   let engine = Kernel.engine t.kernel in
+  emit t (Serve_begin { cpu = cpu_index; ep_id = Entry_point.id ep });
   Worker.note_call w;
   Sim.Engine.trace_f engine ~cpu:cpu_index ~kind:"upcall" (fun () ->
       Printf.sprintf "%s enters %s" (Kernel.Process.name (Worker.pcb w))
@@ -405,15 +554,23 @@ and serve_one t ep w pending =
   Machine.Cpu.with_category cpu Machine.Account.Cd_manipulation (fun () ->
       Machine.Cpu.instr ~code:kt.Layout.cdops cpu 2;
       ignore (Call_descriptor.take_return_info cpu cd);
-      if not held then
+      if not held then begin
         Cd_pool.release cpu
           (cd_pool_for t ~cpu_index
              ~group:(Entry_point.server ep).Entry_point.trust_group)
-          cd);
+          cd;
+        emit t
+          (Cd_release { cpu = cpu_index; home = Call_descriptor.home_cpu cd })
+      end);
   Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
       Machine.Cpu.instr ~code:kt.Layout.epilogue cpu t.costs.return_instr;
-      if not (Worker.retired w) then
-        Entry_point.push_worker cpu pc ep ~cpu_index w);
+      if not (Worker.retired w) then begin
+        Entry_point.push_worker cpu pc ep ~cpu_index w;
+        emit t (Worker_park { cpu = cpu_index; ep_id = Entry_point.id ep })
+      end);
+  (* A worker retired mid-call (hard-kill while it was running) leaves
+     circulation here, and a held CD must be dismantled with it. *)
+  if Worker.retired w then drop_held_cd t ep w;
   Machine.Cpu.with_category cpu Machine.Account.Kernel_save_restore (fun () ->
       Machine.Cpu.instr ~code:kt.Layout.switch cpu t.costs.switch_instr;
       Machine.Cpu.load_words cpu pc.Layout.save_area t.costs.switch_words);
@@ -422,6 +579,9 @@ and serve_one t ep w pending =
   pcs.Entry_point.in_progress <- pcs.Entry_point.in_progress - 1;
   unregister_active t ep pending.Worker.call_rec;
   maybe_finalize_soft_kill t ep;
+  emit t
+    (Call_completed
+       { cpu = cpu_index; ep_id = Entry_point.id ep; aborted = false });
   (* Transfer control. *)
   match pending.Worker.caller with
   | Some caller ->
@@ -459,7 +619,7 @@ and finalize_ep t ep =
     let ws = Entry_point.drain_workers ep ~cpu_index in
     List.iter
       (fun w ->
-        Worker.retire w;
+        retire_worker t ep w ~quiesced:true;
         Kernel.Process.wake (Worker.pcb w))
       ws
   done;
@@ -497,6 +657,7 @@ and create_worker t ep ~cpu_index ~charged =
   Kernel.Kcpu.start_parked kc pcb (fun () -> serve_loop t ep w);
   let pcs = Entry_point.per_cpu ep cpu_index in
   pcs.Entry_point.workers_created <- pcs.Entry_point.workers_created + 1;
+  emit t (Worker_created { cpu = cpu_index; ep_id = Entry_point.id ep });
   w
 
 and create_cd_slow t ~cpu_index ~pool =
@@ -556,7 +717,7 @@ let hard_kill t ~ep_id =
   let actives = !(active_list t ep_id) in
   List.iter
     (fun ac ->
-      Worker.retire ac.ac_worker;
+      retire_worker t ep ac.ac_worker ~quiesced:false;
       let pcb = Worker.pcb ac.ac_worker in
       if Kernel.Process.state pcb = Kernel.Process.Blocked then
         Kernel.Process.wake ~error:(Sim.Engine.Cancelled "hard-kill") pcb)
@@ -566,7 +727,7 @@ let hard_kill t ~ep_id =
     let ws = Entry_point.drain_workers ep ~cpu_index in
     List.iter
       (fun w ->
-        Worker.retire w;
+        retire_worker t ep w ~quiesced:true;
         Kernel.Process.wake (Worker.pcb w))
       ws
   done;
@@ -575,6 +736,27 @@ let hard_kill t ~ep_id =
      else Hashtbl.remove t.overflow_eps ep_id);
     Hashtbl.remove t.active ep_id
   end
+
+(* Kill a single worker (fault injection / management).  A worker blocked
+   inside the handler is cancelled and aborts through the normal abort
+   path; one still in the hand-off window (pending installed, not yet
+   running) is retired and aborts itself on wake-up; one currently
+   running completes its call and then retires. *)
+let abort_worker t ~ep_id w =
+  match find_ep t ep_id with
+  | None -> false
+  | Some ep ->
+      if Worker.retired w then false
+      else begin
+        retire_worker t ep w ~quiesced:false;
+        let pcb = Worker.pcb w in
+        if
+          Kernel.Process.state pcb = Kernel.Process.Blocked
+          && not (Worker.has_pending w)
+        then
+          Kernel.Process.wake ~error:(Sim.Engine.Cancelled "worker-kill") pcb;
+        true
+      end
 
 (* On-line replacement (Section 4.5.2's Exchange): new calls run [handler];
    pooled workers are retired so fresh ones pick up the new routine; calls
@@ -590,7 +772,7 @@ let exchange t ~ep_id ~handler =
     let ws = Entry_point.drain_workers ep ~cpu_index in
     List.iter
       (fun w ->
-        Worker.retire w;
+        retire_worker t ep w ~quiesced:true;
         Kernel.Process.wake (Worker.pcb w))
       ws
   done;
@@ -609,6 +791,7 @@ let setup_call t ~ep ~cpu_index ~caller ~caller_program ~on_complete ~args
   let pc = Layout.per_cpu t.layout cpu_index in
   let kt = Layout.ktext t.layout in
   let server = Entry_point.server ep in
+  emit t (Fastpath_enter { cpu = cpu_index; ep_id = Entry_point.id ep });
   (* Entry: validate and locate the entry point — direct index for fast
      (small) IDs, a hash probe for overflow IDs (Section 4.5.5). *)
   Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
@@ -633,9 +816,12 @@ let setup_call t ~ep ~cpu_index ~caller ~caller_program ~on_complete ~args
     Machine.Cpu.with_category cpu Machine.Account.Ppc_kernel (fun () ->
         Machine.Cpu.instr ~code:kt.Layout.wpool cpu 4;
         match Entry_point.pop_worker cpu pc ep ~cpu_index with
-        | Some w -> w
+        | Some w ->
+            emit t (Worker_pop { cpu = cpu_index; ep_id = Entry_point.id ep });
+            w
         | None ->
             (* Redirect to Frank: create a worker and forward the call. *)
+            frank_gate t ~cpu_index cpu Worker_resource;
             Sim.Engine.trace_f (Kernel.engine t.kernel) ~cpu:cpu_index
               ~kind:"frank" (fun () ->
                 Printf.sprintf "create worker for %s" (Entry_point.name ep));
@@ -656,8 +842,20 @@ let setup_call t ~ep ~cpu_index ~caller ~caller_program ~on_complete ~args
             let cd =
               match Cd_pool.alloc cpu pool with
               | Some cd -> cd
-              | None -> create_cd_slow t ~cpu_index ~pool
+              | None -> (
+                  match frank_gate t ~cpu_index cpu Cd_resource with
+                  | () -> create_cd_slow t ~cpu_index ~pool
+                  | exception Resource_exhausted ->
+                      (* Undo the worker pop before failing the call. *)
+                      Entry_point.push_worker cpu pc ep ~cpu_index w;
+                      emit t
+                        (Worker_park
+                           { cpu = cpu_index; ep_id = Entry_point.id ep });
+                      raise Resource_exhausted)
             in
+            emit t
+              (Cd_alloc
+                 { cpu = cpu_index; home = Call_descriptor.home_cpu cd });
             if server.Entry_point.hold_cd then Worker.hold_cd w cd;
             cd))
   in
@@ -730,6 +928,7 @@ let setup_call t ~ep ~cpu_index ~caller ~caller_program ~on_complete ~args
   Entry_point.note_call ep;
   let l = active_list t (Entry_point.id ep) in
   l := { rec_; ac_worker = w } :: !l;
+  emit t (Fastpath_exit { cpu = cpu_index; ep_id = Entry_point.id ep });
   (w, rec_)
 
 (* Reject path: the entry point is missing or dying. *)
@@ -763,12 +962,17 @@ let call t ~client ?(opflags = 0) ~ep_id args =
   | Some ep when Entry_point.status ep <> Entry_point.Active ->
       Entry_point.note_rejected ep;
       reject t cpu ~client Reg_args.err_killed args
-  | Some ep ->
-      let w, rec_ =
+  | Some ep -> (
+      match
         setup_call t ~ep ~cpu_index ~caller:(Some client)
           ~caller_program:(Kernel.Program.id (Kernel.Process.program client))
           ~on_complete:None ~args ~opflags
-      in
+      with
+      | exception Resource_exhausted ->
+          t.stats.resource_failures <- t.stats.resource_failures + 1;
+          reject t cpu ~client Reg_args.err_no_resources args
+      | w, rec_ ->
+      emit t (Handoff_to_worker { cpu = cpu_index; ep_id });
       (* Hand the processor to the worker; wake up when it returns. *)
       Kernel.Kcpu.handoff_sleep kc ~from:client ~target:(Worker.pcb w);
       if rec_.Worker.aborted then begin
@@ -802,7 +1006,7 @@ let call t ~client ?(opflags = 0) ~ep_id args =
               t.costs.user_save_words);
         Kernel.Kcpu.sync kc;
         Reg_args.rc args
-      end
+      end)
 
 (* Asynchronous PPC (Section 4.4): the caller goes back on the ready
    queue instead of being linked into the CD; the worker proceeds
@@ -823,20 +1027,26 @@ let async_call t ~client ?(opflags = 0) ?on_complete ~ep_id args =
   | Some ep when Entry_point.status ep <> Entry_point.Active ->
       Entry_point.note_rejected ep;
       ignore (reject t cpu ~client Reg_args.err_killed args)
-  | Some ep ->
-      let w, _rec =
+  | Some ep -> (
+      match
         setup_call t ~ep ~cpu_index ~caller:None
           ~caller_program:(Kernel.Program.id (Kernel.Process.program client))
           ~on_complete ~args ~opflags
-      in
-      (* The caller continues independently: it re-enters the ready queue
-         and the worker takes the processor now. *)
-      Kernel.Kcpu.handoff_ready kc ~from:client ~target:(Worker.pcb w);
-      (* Resumed by the general dispatcher: return to user mode. *)
-      Machine.Cpu.instr cpu 4;
-      Machine.Cpu.rti cpu
-        ~to_space:(Kernel.Address_space.space_of (Kernel.Process.space client));
-      Kernel.Kcpu.sync kc
+      with
+      | exception Resource_exhausted ->
+          t.stats.resource_failures <- t.stats.resource_failures + 1;
+          ignore (reject t cpu ~client Reg_args.err_no_resources args)
+      | w, _rec ->
+          emit t (Handoff_to_worker { cpu = cpu_index; ep_id });
+          (* The caller continues independently: it re-enters the ready
+             queue and the worker takes the processor now. *)
+          Kernel.Kcpu.handoff_ready kc ~from:client ~target:(Worker.pcb w);
+          (* Resumed by the general dispatcher: return to user mode. *)
+          Machine.Cpu.instr cpu 4;
+          Machine.Cpu.rti cpu
+            ~to_space:
+              (Kernel.Address_space.space_of (Kernel.Process.space client));
+          Kernel.Kcpu.sync kc)
 
 (* Manufactured calls (interrupt dispatch, upcalls): an existing kernel
    process [self] on the target CPU plays the caller's role and continues
@@ -852,13 +1062,20 @@ let inject t ~self ?(opflags = 0) ?on_complete ~caller_program ~ep_id args =
   | None -> invalid_arg "Ppc.inject: unknown entry point"
   | Some ep when Entry_point.status ep <> Entry_point.Active ->
       Entry_point.note_rejected ep
-  | Some ep ->
-      let w, _rec =
+  | Some ep -> (
+      match
         setup_call t ~ep ~cpu_index ~caller:None ~caller_program ~on_complete
           ~args ~opflags
-      in
-      Kernel.Kcpu.handoff_ready kc ~from:self ~target:(Worker.pcb w);
-      Kernel.Kcpu.sync kc
+      with
+      | exception Resource_exhausted ->
+          t.stats.resource_failures <- t.stats.resource_failures + 1;
+          t.stats.rejected_calls <- t.stats.rejected_calls + 1;
+          Reg_args.set_rc args Reg_args.err_no_resources;
+          (match on_complete with Some f -> f args | None -> ())
+      | w, _rec ->
+          emit t (Handoff_to_worker { cpu = cpu_index; ep_id });
+          Kernel.Kcpu.handoff_ready kc ~from:self ~target:(Worker.pcb w);
+          Kernel.Kcpu.sync kc)
 
 (* Resource reclaim (Section 2: pools "grow and shrink dynamically as
    needed"; "extra stacks created during peak call activity can easily be
@@ -868,47 +1085,37 @@ let inject t ~self ?(opflags = 0) ?on_complete ~caller_program ~ep_id args =
 let reclaim t ~cpu_index ?(max_workers = 1) ?(max_cds = 2) () =
   Kernel.Klog.Ppc_log.info (fun m -> m "reclaim on cpu%d" cpu_index);
   let retired = ref 0 and freed = ref 0 in
+  let retire_trimmed ep w =
+    (* Parked, so held CDs are dismantled on the spot. *)
+    retire_worker t ep w ~quiesced:true;
+    Kernel.Process.wake (Worker.pcb w);
+    incr retired
+  in
   Array.iter
     (function
       | None -> ()
       | Some ep ->
-          List.iter
-            (fun w ->
-              (match Worker.held_cd w with
-              | Some cd ->
-                  t.spare_frames.(cpu_index) <-
-                    Call_descriptor.stack_frame cd
-                    :: t.spare_frames.(cpu_index)
-              | None -> ());
-              Worker.retire w;
-              Kernel.Process.wake (Worker.pcb w);
-              incr retired)
+          List.iter (retire_trimmed ep)
             (Entry_point.trim_workers ep ~cpu_index ~keep:max_workers))
     t.eps;
   Hashtbl.iter
     (fun _ ep ->
-      List.iter
-        (fun w ->
-          Worker.retire w;
-          Kernel.Process.wake (Worker.pcb w);
-          incr retired)
+      List.iter (retire_trimmed ep)
         (Entry_point.trim_workers ep ~cpu_index ~keep:max_workers))
     t.overflow_eps;
-  List.iter
-    (fun cd ->
-      t.spare_frames.(cpu_index) <-
-        Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
-      incr freed)
-    (Cd_pool.trim t.cd_pools.(cpu_index) ~keep:max_cds);
+  let trim_pool pool =
+    List.iter
+      (fun cd ->
+        t.spare_frames.(cpu_index) <-
+          Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
+        emit t
+          (Cd_trimmed { cpu = cpu_index; home = Call_descriptor.home_cpu cd });
+        incr freed)
+      (Cd_pool.trim pool ~keep:max_cds)
+  in
+  trim_pool t.cd_pools.(cpu_index);
   Hashtbl.iter
-    (fun (cpu, _) pool ->
-      if cpu = cpu_index then
-        List.iter
-          (fun cd ->
-            t.spare_frames.(cpu_index) <-
-              Call_descriptor.stack_frame cd :: t.spare_frames.(cpu_index);
-            incr freed)
-          (Cd_pool.trim pool ~keep:max_cds))
+    (fun (cpu, _) pool -> if cpu = cpu_index then trim_pool pool)
     t.group_pools;
   (!retired, !freed)
 
@@ -917,6 +1124,26 @@ let set_fault_notifier t notifier = t.fault_notifier <- notifier
 (* --- inspection -------------------------------------------------------- *)
 
 let cd_pool t cpu_index = t.cd_pools.(cpu_index)
+
+let cd_pools_on t cpu_index =
+  t.cd_pools.(cpu_index)
+  :: Hashtbl.fold
+       (fun (cpu, _) pool acc -> if cpu = cpu_index then pool :: acc else acc)
+       t.group_pools []
+
+let spare_frame_count t cpu_index = List.length t.spare_frames.(cpu_index)
+
+let active_workers t ~ep_id =
+  match Hashtbl.find_opt t.active ep_id with
+  | None -> []
+  | Some l -> List.map (fun ac -> ac.ac_worker) !l
+
+let active_all t =
+  Hashtbl.fold
+    (fun ep_id l acc ->
+      List.fold_left (fun acc ac -> (ep_id, ac.ac_worker) :: acc) acc !l)
+    t.active []
+
 let entry_points t =
   (Array.to_seq t.eps |> Seq.filter_map Fun.id |> List.of_seq)
   @ (Hashtbl.to_seq_values t.overflow_eps |> List.of_seq)

@@ -3,6 +3,11 @@
 
 exception Call_aborted
 
+exception Resource_exhausted
+(** Raised by an injected resource fault ({!set_resource_fault}) when
+    Frank's slow path is made to fail; the call paths turn it into an
+    [Reg_args.err_no_resources] rejection. *)
+
 type path_costs = {
   user_save_instr : int;
   user_save_words : int;
@@ -32,7 +37,33 @@ type stats = {
   mutable aborted_calls : int;
   mutable rejected_calls : int;
   mutable handler_faults : int;
+  mutable resource_failures : int;
 }
+
+(** Observation probes (see {!set_probe}): every transition that moves a
+    worker, CD or stack frame in or out of circulation, plus the
+    fast-path and hand-off window boundaries.  [cpu] is the processor
+    executing the transition; [home] the resource's owning processor. *)
+type probe_event =
+  | Fastpath_enter of { cpu : int; ep_id : int }
+  | Fastpath_exit of { cpu : int; ep_id : int }
+  | Worker_pop of { cpu : int; ep_id : int }
+  | Worker_created of { cpu : int; ep_id : int }
+  | Worker_park of { cpu : int; ep_id : int }
+  | Worker_retired of { cpu : int; ep_id : int }
+  | Cd_created of { home : int }
+  | Cd_alloc of { cpu : int; home : int }
+  | Cd_release of { cpu : int; home : int }
+  | Cd_dropped of { cpu : int; home : int }
+  | Cd_trimmed of { cpu : int; home : int }
+  | Frame_taken of { cpu : int; fresh : bool }
+  | Frame_returned of { cpu : int }
+  | Handoff_to_worker of { cpu : int; ep_id : int }
+  | Serve_begin of { cpu : int; ep_id : int }
+  | Call_completed of { cpu : int; ep_id : int; aborted : bool }
+
+type resource = Worker_resource | Cd_resource
+type resource_verdict = [ `Proceed | `Delay of int | `Fail ]
 
 type t
 
@@ -46,6 +77,30 @@ val stats : t -> stats
 val find_ep : t -> int -> Entry_point.t option
 val entry_points : t -> Entry_point.t list
 val cd_pool : t -> int -> Cd_pool.t
+
+val cd_pools_on : t -> int -> Cd_pool.t list
+(** Every CD pool homed on a CPU: the default (group-0) pool plus any
+    trust-group pools. *)
+
+val spare_frame_count : t -> int -> int
+(** Length of a CPU's spare stack-page list. *)
+
+val active_workers : t -> ep_id:int -> Worker.t list
+(** Workers with a call in progress on an entry point. *)
+
+val active_all : t -> (int * Worker.t) list
+(** All in-progress calls as [(ep_id, worker)] pairs. *)
+
+val set_probe : t -> (probe_event -> unit) option -> unit
+(** Install an observation probe (fault-injection/invariant layer).
+    Probes must not schedule, suspend, or mutate engine state. *)
+
+val set_resource_fault :
+  t -> (cpu_index:int -> resource -> resource_verdict) option -> unit
+(** Install a resource fault: consulted whenever Frank's slow path is
+    about to create a worker or CD.  [`Delay n] charges [n] extra
+    kernel-text instructions; [`Fail] rejects the call with
+    [Reg_args.err_no_resources] (counted in [stats.resource_failures]). *)
 
 val install_ep :
   t ->
@@ -76,6 +131,13 @@ val soft_kill : t -> ep_id:int -> unit
 val hard_kill : t -> ep_id:int -> unit
 (** Also abort calls blocked inside the server; running calls finish and
     then their workers retire. *)
+
+val abort_worker : t -> ep_id:int -> Worker.t -> bool
+(** Kill one worker (fault injection / management).  Blocked inside the
+    handler: its call is aborted through the abort/reclaim path.  In the
+    hand-off window: the call aborts when the worker wakes.  Running: it
+    completes its current call, then retires.  [false] if the worker was
+    already retired. *)
 
 val exchange : t -> ep_id:int -> handler:Call_ctx.handler -> Entry_point.t
 (** On-line replacement: same ID, new handler; in-progress calls finish

@@ -56,6 +56,7 @@ let err_no_entry = -1
 let err_killed = -2
 let err_denied = -3
 let err_bad_request = -4
+let err_no_resources = -5
 
 let copy = Array.copy
 

@@ -34,5 +34,9 @@ val err_killed : int
 val err_denied : int
 val err_bad_request : int
 
+val err_no_resources : int
+(** Frank could not create the worker or CD the call needed (allocation
+    failure / injected resource fault). *)
+
 val copy : t -> t
 val pp : Format.formatter -> t -> unit

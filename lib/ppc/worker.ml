@@ -63,6 +63,7 @@ let handler t = t.handler
 let set_handler t h = t.handler <- h
 let held_cd t = t.held_cd
 let hold_cd t cd = t.held_cd <- Some cd
+let drop_held t = t.held_cd <- None
 let calls_handled t = t.calls_handled
 let note_call t = t.calls_handled <- t.calls_handled + 1
 let retired t = t.retired
@@ -78,3 +79,5 @@ let take_pending t =
   let p = t.pending in
   t.pending <- None;
   p
+
+let has_pending t = Option.is_some t.pending

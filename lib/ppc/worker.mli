@@ -41,6 +41,10 @@ val hold_cd : t -> Call_descriptor.t -> unit
 (** Pin a CD+stack to this worker (trades cache footprint for per-call
     speed — Figure 2's "hold CD" bars). *)
 
+val drop_held : t -> unit
+(** Unpin the held CD (the worker is leaving circulation and its CD is
+    being dismantled). *)
+
 val calls_handled : t -> int
 val note_call : t -> unit
 val retired : t -> bool
@@ -48,3 +52,6 @@ val retire : t -> unit
 
 val set_pending : t -> pending -> unit
 val take_pending : t -> pending option
+
+val has_pending : t -> bool
+(** A call is installed but not yet taken (the hand-off window). *)

@@ -20,6 +20,9 @@ type t = {
   events : event Heap.t;
   mutable executed : int;
   mutable trace : Trace.t option;
+  mutable step_hooks : (unit -> unit) list;
+      (** run after every executed event (oldest registration first);
+          invariant checkers hang off this *)
 }
 
 exception Cancelled of string
@@ -42,6 +45,7 @@ let create () =
     events = Heap.create compare_event;
     executed = 0;
     trace = None;
+    step_hooks = [];
   }
 
 let now t = t.now
@@ -58,6 +62,13 @@ let trace_f t ?cpu ~kind detail =
   | Some tr -> Trace.record tr ~at:t.now ?cpu ~kind (detail ())
 let pending t = Heap.length t.events
 let executed_events t = t.executed
+
+(* Step hooks: observers that run after every executed event (one
+   "micro-op batch"), in registration order.  All event-driven state is
+   between transitions at that point, so hooks are where invariant
+   checkers belong.  Disabled hooks cost one empty-list branch. *)
+let add_step_hook t f = t.step_hooks <- t.step_hooks @ [ f ]
+let clear_step_hooks t = t.step_hooks <- []
 
 let schedule_at t at run =
   let at = if Time.(at < t.now) then t.now else at in
@@ -118,6 +129,9 @@ let step t =
       t.now <- ev.at;
       t.executed <- t.executed + 1;
       ev.run ();
+      (match t.step_hooks with
+      | [] -> ()
+      | hooks -> List.iter (fun f -> f ()) hooks);
       true
 
 let run ?until t =

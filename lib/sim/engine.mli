@@ -30,6 +30,13 @@ val trace_f : t -> ?cpu:int -> kind:string -> (unit -> string) -> unit
 val pending : t -> int
 (** Number of scheduled events not yet executed. *)
 
+val add_step_hook : t -> (unit -> unit) -> unit
+(** Register an observer that runs after every executed event, when all
+    event-driven state is between transitions (invariant checkers).
+    Hooks run in registration order and must not schedule or suspend. *)
+
+val clear_step_hooks : t -> unit
+
 val executed_events : t -> int
 (** Total events executed so far (diagnostic). *)
 

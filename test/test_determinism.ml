@@ -147,6 +147,75 @@ let test_cache_model () =
     sets.(set) <- entries
   done
 
+(* Every experiment, run twice with the same (implicit) seed, rendered
+   through its own pretty-printer: the reports must be byte-identical.
+   Parameters are scaled down where the API allows, to keep this cheap. *)
+let test_all_experiments_bit_identical () =
+  let twice name render =
+    Alcotest.(check string) (name ^ " bit-identical") (render ()) (render ())
+  in
+  let ms = Sim.Time.ms in
+  twice "fig2" (fun () ->
+      Fmt.str "%a" Experiments.Fig2.pp_result
+        (Experiments.Fig2.run
+           { Experiments.Fig2.target = Experiments.Fig2.To_kernel;
+             hold_cd = true;
+             flushed = false;
+           }));
+  twice "fig2_icache" (fun () ->
+      Fmt.str "%a" Experiments.Fig2_icache.pp_result
+        (Experiments.Fig2_icache.run ()));
+  twice "fig3" (fun () ->
+      Fmt.str "%a" Experiments.Fig3.pp_result
+        (Experiments.Fig3.run ~max_cpus:3 ~horizon:(ms 8)
+           ~mode:Experiments.Fig3.Single_file ()));
+  twice "fig3_zipf" (fun () ->
+      Fmt.str "%a" Experiments.Fig3_zipf.pp_result
+        (Experiments.Fig3_zipf.run ~cpus:3 ~files:4 ~horizon:(ms 8)
+           ~thetas:[ 0.0; 1.2 ] ()));
+  twice "program_mix" (fun () ->
+      Fmt.str "%a" Experiments.Program_mix.pp_result
+        (Experiments.Program_mix.run ~cpus:3 ~horizon:(ms 8) ()));
+  twice "latency_load" (fun () ->
+      Fmt.str "%a" Experiments.Latency_load.pp_result
+        ( Experiments.Latency_load.Different_files,
+          Experiments.Latency_load.run ~cpus:3 ~horizon:(ms 8)
+            ~thinks:[ 400.0; 60.0 ]
+            ~mode:Experiments.Latency_load.Different_files () ));
+  twice "ablate_holdcd" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_holdcd.pp_result
+        (Experiments.Ablate_holdcd.run ~calls:50 ~server_counts:[ 1; 2 ] ()));
+  twice "ablate_lrpc" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_lrpc.pp_result
+        (Experiments.Ablate_lrpc.run ~max_cpus:3 ~horizon:(ms 8) ()));
+  twice "ablate_async" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_async.pp_result
+        (Experiments.Ablate_async.run ~blocks:4 ()));
+  twice "ablate_msg" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_msg.pp_result
+        (Experiments.Ablate_msg.run ()));
+  twice "ablate_rwlock" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_rwlock.pp_result
+        (Experiments.Ablate_rwlock.run ~max_cpus:3 ~horizon:(ms 8) ()));
+  twice "ablate_compat" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_compat.pp_result
+        (Experiments.Ablate_compat.run ()));
+  twice "ablate_cluster" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_cluster.pp_result
+        (Experiments.Ablate_cluster.run ~horizon:(ms 8) ()));
+  twice "ablate_remote" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_remote.pp_result
+        (Experiments.Ablate_remote.run ~cpus:3 ()));
+  twice "ablate_migration" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_migration.pp_result
+        (Experiments.Ablate_migration.run ()));
+  twice "ablate_stack" (fun () ->
+      Fmt.str "%a" Experiments.Ablate_stack.pp_result
+        (Experiments.Ablate_stack.run ()));
+  twice "uniproc_context" (fun () ->
+      Fmt.str "%a" Experiments.Uniproc_context.pp_result
+        (Experiments.Uniproc_context.run ()))
+
 let suites =
   [
     ( "determinism",
@@ -156,6 +225,8 @@ let suites =
           test_fig3_point_deterministic;
         Alcotest.test_case "event stream identical" `Quick
           test_engine_event_count_deterministic;
+        Alcotest.test_case "all experiments bit-identical" `Quick
+          test_all_experiments_bit_identical;
       ] );
     ( "model_based",
       [

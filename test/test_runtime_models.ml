@@ -1,0 +1,118 @@
+(* Model-based tests for the lock-free runtime structures.
+
+   Each structure is driven by a generated operation sequence and
+   compared, observation by observation, against a trivial sequential
+   reference model (an OCaml list / queue / integer).  Sequentially the
+   lock-free structures must be indistinguishable from their models;
+   the cross-domain suites in test_runtime.ml cover the concurrent side.
+
+   Operations are encoded as integer pairs [(tag, value)] so QCheck's
+   stock list/int shrinkers minimize failing sequences. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let ops_arb = QCheck.(small_list (pair (int_bound 3) (int_bound 1000)))
+
+(* --- Treiber stack vs list ------------------------------------------------ *)
+
+let prop_treiber_vs_list =
+  QCheck.Test.make ~name:"treiber stack = list model" ~count:300 ops_arb
+    (fun ops ->
+      let s = Runtime.Treiber_stack.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (tag, v) ->
+          if tag < 2 then begin
+            Runtime.Treiber_stack.push s v;
+            model := v :: !model;
+            true
+          end
+          else
+            let got = Runtime.Treiber_stack.pop s in
+            let want =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            got = want
+            && Runtime.Treiber_stack.length s = List.length !model
+            && Runtime.Treiber_stack.is_empty s = (!model = []))
+        ops)
+
+(* --- MPSC queue vs FIFO list ---------------------------------------------- *)
+
+let prop_mpsc_vs_queue =
+  QCheck.Test.make ~name:"mpsc queue = queue model" ~count:300 ops_arb
+    (fun ops ->
+      let q = Runtime.Mpsc_queue.create () in
+      let model = Queue.create () in
+      List.for_all
+        (fun (tag, v) ->
+          if tag < 2 then begin
+            Runtime.Mpsc_queue.push q v;
+            Queue.push v model;
+            true
+          end
+          else
+            let got = Runtime.Mpsc_queue.pop q in
+            let want = Queue.take_opt model in
+            got = want && Runtime.Mpsc_queue.is_empty q = Queue.is_empty model)
+        ops)
+
+(* --- SPSC ring vs bounded queue model ------------------------------------- *)
+
+let prop_spsc_vs_bounded_queue =
+  QCheck.Test.make ~name:"spsc ring = bounded queue model" ~count:300 ops_arb
+    (fun ops ->
+      let cap = 4 in
+      let r = Runtime.Spsc_ring.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun (tag, v) ->
+          if tag < 2 then begin
+            let got = Runtime.Spsc_ring.try_push r v in
+            let want = Queue.length model < cap in
+            if want then Queue.push v model;
+            got = want
+          end
+          else
+            let got = Runtime.Spsc_ring.try_pop r in
+            let want = Queue.take_opt model in
+            got = want)
+        ops)
+
+(* --- striped counter vs integer ------------------------------------------- *)
+
+let prop_striped_vs_int =
+  QCheck.Test.make ~name:"striped counter = integer model" ~count:300
+    QCheck.(small_list (pair (int_bound 2) (int_range (-500) 500)))
+    (fun ops ->
+      let c = Runtime.Striped_counter.create ~stripes:4 () in
+      let model = ref 0 in
+      List.for_all
+        (fun (tag, v) ->
+          match tag with
+          | 0 ->
+              Runtime.Striped_counter.incr c;
+              incr model;
+              true
+          | 1 ->
+              Runtime.Striped_counter.add c v;
+              model := !model + v;
+              true
+          | _ -> Runtime.Striped_counter.value c = !model)
+        ops
+      && Runtime.Striped_counter.value c = !model)
+
+let suites =
+  [
+    ( "runtime.models",
+      [
+        qcheck prop_treiber_vs_list;
+        qcheck prop_mpsc_vs_queue;
+        qcheck prop_spsc_vs_bounded_queue;
+        qcheck prop_striped_vs_int;
+      ] );
+  ]

@@ -380,6 +380,9 @@ let bechamel_tests ~with_cross_domain =
     if not with_cross_domain then []
     else begin
       let sd = Runtime.Fastcall.spawn_server fast in
+      let srv = Runtime.Fastcall.spawn_channel_server fast in
+      let cl_inline = Runtime.Fastcall.connect srv in
+      let cl_queued = Runtime.Fastcall.connect ~inline_uncontended:false srv in
       [
         ( Test.make ~name:"a5:fastcall-cross-domain"
             (Staged.stage (fun () ->
@@ -387,6 +390,22 @@ let bechamel_tests ~with_cross_domain =
                  fast_args.(1) <- 2;
                  ignore (Runtime.Fastcall.cross_call sd ~ep:fast_ep fast_args))),
           fun () -> Runtime.Fastcall.shutdown_server sd );
+        ( Test.make ~name:"a5:channel-inline"
+            (Staged.stage (fun () ->
+                 fast_args.(0) <- 1;
+                 fast_args.(1) <- 2;
+                 ignore
+                   (Runtime.Fastcall.channel_call cl_inline ~ep:fast_ep
+                      fast_args))),
+          fun () -> () );
+        ( Test.make ~name:"a5:channel-queued"
+            (Staged.stage (fun () ->
+                 fast_args.(0) <- 1;
+                 fast_args.(1) <- 2;
+                 ignore
+                   (Runtime.Fastcall.channel_call cl_queued ~ep:fast_ep
+                      fast_args))),
+          fun () -> Runtime.Fastcall.shutdown_channel_server srv );
       ]
     end
   in
@@ -438,6 +457,244 @@ let run_bechamel ~quick () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   List.iter (fun cleanup -> cleanup ()) cleanups
 
+(* --- bench-regression trajectory (--json / --check) ----------------------- *)
+
+(* Two sections.  "simulated" is deterministic — same code, same bytes —
+   and is the CI regression gate: CI re-runs it and diffs against the
+   committed BENCH_PR<n>.json.  "wallclock" is real machine time on
+   whatever host ran --json; it is committed for the trajectory record
+   and uploaded from CI as an informational artifact, never gated. *)
+
+let simulated_json () =
+  let fig2 = Experiments.Fig2.run_all () in
+  let cond_name r =
+    let c = r.Experiments.Fig2.condition in
+    Printf.sprintf "%s/%s/%s"
+      (match c.Experiments.Fig2.target with
+      | Experiments.Fig2.To_user -> "u2u"
+      | Experiments.Fig2.To_kernel -> "u2k")
+      (if c.Experiments.Fig2.hold_cd then "hold" else "noCD")
+      (if c.Experiments.Fig2.flushed then "flushed" else "primed")
+  in
+  let fig2_json =
+    Bench_json.Arr
+      (List.map
+         (fun r ->
+           Bench_json.Obj
+             [
+               ("condition", Bench_json.Str (cond_name r));
+               ("total_us", Bench_json.Num r.Experiments.Fig2.total_us);
+             ])
+         fig2)
+  in
+  (* Fixed parameters regardless of --quick: the gate must produce the
+     same bytes everywhere. *)
+  let horizon = Sim.Time.ms 20 in
+  let run mode = Experiments.Fig3.run ~max_cpus:8 ~horizon ~mode () in
+  let diff = run Experiments.Fig3.Different_files in
+  let single = run Experiments.Fig3.Single_file in
+  let points d =
+    Bench_json.Arr
+      (List.map
+         (fun p ->
+           Bench_json.Obj
+             [
+               ("cpus", Bench_json.Num (float_of_int p.Experiments.Fig3.cpus));
+               ("throughput", Bench_json.Num p.Experiments.Fig3.throughput);
+             ])
+         d.Experiments.Fig3.points)
+  in
+  Bench_json.Obj
+    [
+      ("fig2", fig2_json);
+      ( "fig3",
+        Bench_json.Obj
+          [
+            ("base_call_us", Bench_json.Num diff.Experiments.Fig3.base_call_us);
+            ("different_files", points diff);
+            ("single_file", points single);
+            ( "linearity",
+              Bench_json.Num (Experiments.Fig3.linearity diff) );
+            ( "saturation_cpus",
+              Bench_json.Num
+                (float_of_int (Experiments.Fig3.saturation_cpus single)) );
+          ] );
+    ]
+
+(* Bechamel OLS ns/run for a list of named closures. *)
+let measure_ns ~quota tests =
+  let grouped = Test.make_grouped ~name:"x" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name o acc ->
+      let ns =
+        match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> Float.nan
+      in
+      (* "x name" -> "name" *)
+      let name =
+        match String.index_opt name ' ' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      (name, ns) :: acc)
+    results []
+
+(* N producer domains, wall-clock calls/s.  [mk p] runs on producer
+   domain [p] and returns the per-call closure. *)
+let time_throughput ~producers ~per ~mk =
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let f = mk p in
+            for i = 1 to per do
+              f i
+            done))
+  in
+  List.iter Domain.join doms;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int (producers * per) /. dt
+
+let wallclock_json ~quick () =
+  let quota = if quick then 0.25 else 0.5 in
+  let adder _ctx args =
+    args.(0) <- args.(0) + args.(1);
+    args.(7) <- 0
+  in
+  let fast = Runtime.Fastcall.create () in
+  let fast_ep = Runtime.Fastcall.register fast adder in
+  let locked = Runtime.Locked_registry.create () in
+  let locked_ep =
+    Runtime.Locked_registry.register locked (fun _frame args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let sd = Runtime.Fastcall.spawn_server fast in
+  let srv = Runtime.Fastcall.spawn_channel_server fast in
+  let cl_inline = Runtime.Fastcall.connect srv in
+  let cl_queued = Runtime.Fastcall.connect ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  let subject name f = Test.make ~name (Staged.stage f) in
+  let pingpong =
+    measure_ns ~quota
+      [
+        subject "local" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore (Runtime.Fastcall.call fast ~ep:fast_ep args));
+        subject "locked-registry" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore (Runtime.Locked_registry.call locked ~ep:locked_ep args));
+        subject "legacy-cross" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore (Runtime.Fastcall.cross_call sd ~ep:fast_ep args));
+        subject "channel-inline" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore (Runtime.Fastcall.channel_call cl_inline ~ep:fast_ep args));
+        subject "channel-queued" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore (Runtime.Fastcall.channel_call cl_queued ~ep:fast_ep args));
+      ]
+  in
+  Runtime.Fastcall.shutdown_channel_server srv;
+  let producers = 3 and per = if quick then 1_000 else 3_000 in
+  let legacy_thr =
+    time_throughput ~producers ~per ~mk:(fun _p ->
+        let a = Array.make 8 0 in
+        fun i ->
+          a.(0) <- i;
+          a.(1) <- 1;
+          ignore (Runtime.Fastcall.cross_call sd ~ep:fast_ep a))
+  in
+  let channel_thr ~shards ~inline =
+    let srv = Runtime.Fastcall.spawn_channel_server ~shards fast in
+    let thr =
+      time_throughput ~producers ~per ~mk:(fun _p ->
+          let cl = Runtime.Fastcall.connect ~inline_uncontended:inline srv in
+          let a = Array.make 8 0 in
+          fun i ->
+            a.(0) <- i;
+            a.(1) <- 1;
+            ignore (Runtime.Fastcall.channel_call cl ~ep:fast_ep a))
+    in
+    Runtime.Fastcall.shutdown_channel_server srv;
+    thr
+  in
+  let channel_1 = channel_thr ~shards:1 ~inline:true in
+  let channel_queued_1 = channel_thr ~shards:1 ~inline:false in
+  let channel_2 = channel_thr ~shards:2 ~inline:true in
+  Runtime.Fastcall.shutdown_server sd;
+  let num f = Bench_json.Num f in
+  Bench_json.Obj
+    [
+      ("host_domains", num (float_of_int (Domain.recommended_domain_count ())));
+      ( "pingpong_ns",
+        Bench_json.Obj
+          (List.map
+             (fun (k, v) -> (k, num v))
+             (List.sort (fun (a, _) (b, _) -> String.compare a b) pingpong)) );
+      ( "throughput_calls_per_s",
+        Bench_json.Obj
+          [
+            ("producers", num (float_of_int producers));
+            ("calls_per_producer", num (float_of_int per));
+            ("legacy-cross", num legacy_thr);
+            ("channel-1shard", num channel_1);
+            ("channel-1shard-queued", num channel_queued_1);
+            ("channel-2shards", num channel_2);
+          ] );
+    ]
+
+let run_json ~json_path ~check_path ~quick () =
+  Fmt.pr "regenerating deterministic simulated section...@.";
+  let sim = simulated_json () in
+  let failed = ref false in
+  (match check_path with
+  | None -> ()
+  | Some path ->
+      let committed = Bench_json.of_file path in
+      let want =
+        match Bench_json.member "simulated" committed with
+        | Some v -> v
+        | None -> Fmt.failwith "%s: no \"simulated\" section" path
+      in
+      (match Bench_json.compare_values ~got:sim ~want with
+      | [] -> Fmt.pr "check: simulated section matches %s@." path
+      | mismatches ->
+          failed := true;
+          Fmt.pr "check: simulated section DRIFTED from %s:@." path;
+          List.iter
+            (fun (p, got, want) ->
+              Fmt.pr "  %s: got %s, committed %s@." p got want)
+            mismatches));
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Fmt.pr "measuring wall-clock section (bechamel + throughput)...@.";
+      let wall = wallclock_json ~quick () in
+      Bench_json.to_file path
+        (Bench_json.Obj
+           [
+             ("schema", Bench_json.Num 1.0);
+             ( "paper",
+               Bench_json.Str
+                 "Optimizing IPC Performance for Shared-Memory Multiprocessors \
+                  (Gamsa, Krieger & Stumm, ICPP 1994)" );
+             ("simulated", sim);
+             ("wallclock", wall);
+           ]);
+      Fmt.pr "wrote %s@." path);
+  if !failed then exit 1
+
 (* --- driver --------------------------------------------------------------- *)
 
 let known =
@@ -447,15 +704,41 @@ let known =
   ]
 
 let usage () =
-  Fmt.pr "usage: bench/main.exe [--quick] [%s]...@."
+  Fmt.pr
+    "usage: bench/main.exe [--quick] [--json PATH] [--check PATH] [%s]...@."
     (String.concat "|" known);
+  Fmt.pr
+    "  --json PATH    write simulated + wall-clock sections as JSON@.\
+    \  --check PATH   re-run the deterministic simulated section and@.\
+    \                 fail if it drifted from the committed file@.";
   exit 1
+
+(* Pull "--flag VALUE" out of the argument list. *)
+let rec extract_flag key = function
+  | [] -> (None, [])
+  | [ k ] when k = key -> usage ()
+  | k :: v :: rest when k = key ->
+      let found, rest = extract_flag key rest in
+      ((match found with None -> Some v | s -> s), rest)
+  | x :: rest ->
+      let found, rest = extract_flag key rest in
+      (found, x :: rest)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json_path, args = extract_flag "--json" args in
+  let check_path, args = extract_flag "--check" args in
   let quick = List.mem "--quick" args in
   let which = List.filter (fun a -> a <> "--quick") args in
   List.iter (fun a -> if not (List.mem a known) then usage ()) which;
+  if json_path <> None || check_path <> None then begin
+    if which <> [] then usage ();
+    Fmt.pr
+      "PPC IPC reproduction benchmarks — Gamsa, Krieger & Stumm (CSRI-294, \
+       1994)@.";
+    run_json ~json_path ~check_path ~quick ();
+    exit 0
+  end;
   let all = which = [] in
   let want name = all || List.mem name which in
   Fmt.pr

@@ -265,6 +265,90 @@ let faults_cmd =
     Term.(const (fun () a b c d -> run a b c d) $ logs_term $ plan_arg
           $ cpus_arg $ calls_arg $ minimize_arg)
 
+(* --- channel: the real-domain cross-call path ----------------------------- *)
+
+let channel_cmd =
+  let producers_arg =
+    Arg.(value & opt int 3 & info [ "producers" ] ~doc:"Producer domains")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc:"Server shard domains")
+  in
+  let calls_arg =
+    Arg.(value & opt int 20_000 & info [ "calls" ] ~doc:"Calls per producer")
+  in
+  let queued_arg =
+    Arg.(
+      value & flag
+      & info [ "queued" ]
+          ~doc:"Disable inline execution; force every call through the rings")
+  in
+  let run producers shards calls queued =
+    let t = Runtime.Fastcall.create () in
+    let ep =
+      Runtime.Fastcall.register t (fun _ctx args ->
+          args.(0) <- args.(0) + args.(1);
+          args.(7) <- 0)
+    in
+    let srv = Runtime.Fastcall.spawn_channel_server ~shards t in
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      List.init producers (fun p ->
+          Domain.spawn (fun () ->
+              let cl =
+                Runtime.Fastcall.connect ~inline_uncontended:(not queued) srv
+              in
+              let args = Array.make 8 0 in
+              let sum = ref 0 in
+              for i = 1 to calls do
+                args.(0) <- i;
+                args.(1) <- p;
+                ignore (Runtime.Fastcall.channel_call cl ~ep args);
+                sum := !sum + args.(0)
+              done;
+              (!sum, Runtime.Fastcall.client_inlined cl)))
+    in
+    let results = List.map Domain.join doms in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iteri
+      (fun p (sum, _) ->
+        let expect = (calls * (calls + 1) / 2) + (calls * p) in
+        if sum <> expect then begin
+          Fmt.epr "producer %d: sum %d <> expected %d@." p sum expect;
+          exit 1
+        end)
+      results;
+    let inlined = List.fold_left (fun a (_, i) -> a + i) 0 results in
+    let total = producers * calls in
+    Fmt.pr "channel path: %d producers x %d calls x %d shard(s) in %.3fs@."
+      producers calls shards dt;
+    Fmt.pr "  %.0f calls/s;  %d inline on callers, %d served by shards (%d stolen)@."
+      (float_of_int total /. dt)
+      inlined
+      (Runtime.Fastcall.channel_served srv)
+      (Runtime.Fastcall.channel_steals srv);
+    let rings, wakes, parks = Runtime.Fastcall.channel_doorbell_stats srv in
+    Fmt.pr "  doorbell: %d rings, %d wakes, %d sleeps;  batches: %d@." rings
+      wakes parks
+      (Runtime.Fastcall.channel_batches srv);
+    Runtime.Fastcall.shutdown_channel_server srv;
+    if inlined + Runtime.Fastcall.channel_served srv <> total then begin
+      Fmt.epr "accounting mismatch: inline %d + served %d <> %d@." inlined
+        (Runtime.Fastcall.channel_served srv)
+        total;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "channel"
+       ~doc:
+         "Exercise the zero-allocation cross-domain channel path on real \
+          OCaml 5 domains (request slab + SPSC rings + doorbell + sharded \
+          batching servers) and verify call accounting")
+    Term.(
+      const (fun () a b c d -> run a b c d)
+      $ logs_term $ producers_arg $ shards_arg $ calls_arg $ queued_arg)
+
 let () =
   let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
   let info = Cmd.info "ppc_sim" ~version:"1.0.0" ~doc in
@@ -274,5 +358,5 @@ let () =
           [
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
-            faults_cmd;
+            faults_cmd; channel_cmd;
           ]))

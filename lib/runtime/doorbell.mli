@@ -1,0 +1,31 @@
+(** Server wakeup protocol: a SPINNING/PARKED state machine in one
+    atomic word.  Producers that find the bell SPINNING pay one atomic
+    load — no lock; the backing mutex/condvar are touched only when the
+    server is actually asleep.  The park path is lost-wakeup-free (see
+    the implementation header for the interleaving argument). *)
+
+type t
+
+val create : unit -> t
+
+val ring : t -> unit
+(** Producer side.  Call only {e after} the work item is visible to the
+    consumer. *)
+
+val park : t -> nonempty:(unit -> bool) -> unit
+(** Server side.  Publishes PARKED, rechecks [nonempty] under the mutex,
+    and sleeps only if it returns [false].  Returns once rung. *)
+
+val wake : t -> unit
+(** Unconditional wake (shutdown). *)
+
+val is_parked : t -> bool
+
+val rings : t -> int
+(** Rings that took the lock-free fast path. *)
+
+val wakes : t -> int
+(** Rings that had to lock and signal a parked server. *)
+
+val parks : t -> int
+(** Times the server actually slept. *)

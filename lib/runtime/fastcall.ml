@@ -6,12 +6,27 @@
    - the service table is a fixed array of handlers, written only during
      registration and read without any synchronisation on the call path
      (the per-CPU service table);
-   - every domain keeps a private LIFO pool of preallocated *frames*
+   - every domain keeps a private LIFO stack of preallocated *frames*
      (argument block + scratch buffer) in domain-local storage: the call
      path allocates nothing and takes no locks (the CD/stack pool, with
      the same serial-reuse-for-warmth property);
    - the 8-word argument convention is kept: handlers mutate an 8-slot
      int array in place.
+
+   "Allocates nothing" is literal: the context record is pooled with its
+   frame, cleanup is a trap frame rather than a [Fun.protect] closure,
+   and the pool is a growable array rather than a cons list, so a warm
+   call writes zero minor-heap words (pinned by a test).
+
+   Cross-domain calls come in two flavours:
+   - the *channel path* ({!spawn_channel_server} / {!connect} /
+     {!channel_call}): preallocated request slabs, per-client SPSC
+     submission rings, a SPINNING/PARKED doorbell, server-side batch
+     draining, and optional sharding with entry-point affinity and
+     steal-on-idle.  Zero allocation and no locks after warm-up.
+   - the *legacy path* ({!spawn_server} / {!cross_call}): one allocating
+     MPSC queue and a per-request mutex/condvar.  Kept as the baseline
+     the benchmarks measure the channel path against.
 
    Compare with {!Locked_registry}, the mutex-guarded shared-pool
    baseline, in the benchmarks. *)
@@ -24,29 +39,33 @@ type frame = {
   mutable frame_calls : int;
 }
 
-type ctx = { frame : frame; domain_index : int }
+type ctx = { frame : frame; mutable domain_index : int }
 
 type handler = ctx -> int array -> unit
+
+(* Per-domain pool: a growable LIFO stack of pooled contexts plus the
+   per-domain call counter.  Everything here is domain-private. *)
+type pool = { mutable ctxs : ctx array; mutable n : int; mutable calls : int }
 
 type t = {
   handlers : handler option array;
   mutable next_ep : int;
-  pool_key : frame list ref Domain.DLS.key;
-  calls_key : int ref Domain.DLS.key;
+  pool_key : pool Domain.DLS.key;
   registered : int Atomic.t;
 }
 
 let scratch_bytes = 4096
 
 let make_frame () = { scratch = Bytes.create scratch_bytes; frame_calls = 0 }
+let make_ctx () = { frame = make_frame (); domain_index = 0 }
 
 let create () =
   {
     handlers = Array.make max_entry_points None;
     next_ep = 0;
     pool_key =
-      Domain.DLS.new_key (fun () -> ref [ make_frame (); make_frame () ]);
-    calls_key = Domain.DLS.new_key (fun () -> ref 0);
+      Domain.DLS.new_key (fun () ->
+          { ctxs = [| make_ctx (); make_ctx () |]; n = 2; calls = 0 });
     registered = Atomic.make 0;
   }
 
@@ -68,38 +87,297 @@ exception No_entry of int
 
 let domain_index () = (Domain.self () :> int)
 
-(* The fast path: array load, DLS pool pop, handler, pool push.  No
+let pool_push pool ctx =
+  let n = pool.n in
+  if n = Array.length pool.ctxs then begin
+    let grown = Array.make (max 4 (2 * n)) ctx in
+    Array.blit pool.ctxs 0 grown 0 n;
+    pool.ctxs <- grown
+  end;
+  pool.ctxs.(n) <- ctx;
+  pool.n <- n + 1
+
+(* The fast path: array load, DLS stack pop, handler, stack push.  No
    locks, no shared mutable data, no allocation. *)
 let call t ~ep args =
-  (match t.handlers.(ep) with
+  match t.handlers.(ep) with
   | None -> raise (No_entry ep)
   | Some handler ->
       let pool = Domain.DLS.get t.pool_key in
-      let frame =
-        match !pool with
-        | f :: rest ->
-            pool := rest;
-            f
-        | [] -> make_frame ()
-        (* pool empty: grow, like Frank creating a CD *)
+      let ctx =
+        let n = pool.n in
+        if n = 0 then make_ctx () (* pool empty: grow, like Frank creating a CD *)
+        else begin
+          pool.n <- n - 1;
+          pool.ctxs.(n - 1)
+        end
       in
-      frame.frame_calls <- frame.frame_calls + 1;
-      let ctx = { frame; domain_index = domain_index () } in
-      Fun.protect
-        ~finally:(fun () -> pool := frame :: !pool)
-        (fun () -> handler ctx args);
-      let calls = Domain.DLS.get t.calls_key in
-      incr calls);
-  args.(arg_words - 1)
+      ctx.domain_index <- domain_index ();
+      ctx.frame.frame_calls <- ctx.frame.frame_calls + 1;
+      (match handler ctx args with
+      | () -> pool_push pool ctx
+      | exception e ->
+          pool_push pool ctx;
+          raise e);
+      pool.calls <- pool.calls + 1;
+      args.(arg_words - 1)
 
-let local_calls t = !(Domain.DLS.get t.calls_key)
+let local_calls t = (Domain.DLS.get t.pool_key).calls
 
-(* --- cross-domain calls ------------------------------------------------ *)
+(* --- cross-domain calls: the channel path ------------------------------ *)
 
-(* A server domain drains an MPSC queue of requests; remote callers block
-   on a per-request completion cell.  This is the runtime analogue of the
-   cross-processor PPC variant: explicitly slower, for the rare remote
-   case.
+(* N server shards, each owning a doorbell and a registry of client
+   channels.  Requests route to [ep mod shards] — entry-point affinity,
+   so a service's state stays with one shard, the way the paper keeps a
+   request on the processor that owns its worker pool.  A shard that
+   finds its own channels dry steals a batch from a sibling before it
+   spins down and parks, so the pool scales like Figure 3 instead of
+   serialising on one server domain.
+
+   Each shard also carries an execution *ticket* — one atomic word that
+   serialises handler execution for that shard.  The shard domain holds
+   it for the length of a drain batch; an uncontended client grabs it to
+   run its call inline on its own domain (see [channel_call]).  That
+   inline case is the paper's PPC proper: a protected procedure call
+   executes on the *caller's* processor, and the hand-off to a separate
+   server processor is reserved for the contended case. *)
+
+type shard = {
+  shard_index : int;
+  bell : Doorbell.t;
+  chans : Ppc_channel.t array Atomic.t;  (** CAS-append registry *)
+  ticket : bool Atomic.t;  (** per-shard handler-execution lock *)
+  shard_served : int Atomic.t;
+  shard_batches : int Atomic.t;  (** non-empty sweeps *)
+  shard_steals : int Atomic.t;  (** requests taken from sibling shards *)
+}
+
+type channel_server = {
+  cs_table : t;
+  cs_shards : shard array;
+  cs_stop : bool Atomic.t;
+  cs_server_spin : int;
+  cs_max_batch : int;
+  mutable cs_domains : unit Domain.t array;
+}
+
+type client = {
+  cl_server : channel_server;
+  cl_chans : Ppc_channel.t array;
+  cl_inline : bool;
+  cl_inlined : int Atomic.t;
+}
+
+(* Spinning across domains only pays when the peer can actually run in
+   parallel; on a single-core host it burns the timeslice the peer
+   needs.  Budgets therefore collapse when the hardware offers no
+   parallelism. *)
+let default_spin ~parallel ~serial =
+  if Domain.recommended_domain_count () > 1 then parallel else serial
+
+let try_ticket sh =
+  (not (Atomic.get sh.ticket))
+  && Atomic.compare_and_set sh.ticket false true
+
+let release_ticket sh = Atomic.set sh.ticket false
+
+let rec sweep_chans chans run i acc =
+  if i >= Array.length chans then acc
+  else
+    sweep_chans chans run (i + 1) (acc + Ppc_channel.try_drain chans.(i) ~run)
+
+(* A full drain pass over [sh]'s channels, serialised by its ticket. *)
+let sweep_shard sh run =
+  if not (try_ticket sh) then 0
+  else begin
+    let n = sweep_chans (Atomic.get sh.chans) run 0 0 in
+    release_ticket sh;
+    n
+  end
+
+let rec chans_pending chans i =
+  i < Array.length chans
+  && (Ppc_channel.pending chans.(i) || chans_pending chans (i + 1))
+
+(* Steal-on-idle: visit sibling shards round-robin and drain the first
+   batch found.  Safe because each victim's ticket serialises us against
+   both its shard domain and its inline callers. *)
+let rec steal_round server run si k =
+  let shards = server.cs_shards in
+  if k >= Array.length shards then 0
+  else
+    let got = sweep_shard shards.((si + k) mod Array.length shards) run in
+    if got > 0 then got else steal_round server run si (k + 1)
+
+let shard_loop server sh =
+  let run ep args = ignore (call server.cs_table ~ep args) in
+  let nonempty () =
+    Atomic.get server.cs_stop || chans_pending (Atomic.get sh.chans) 0
+  in
+  let nshards = Array.length server.cs_shards in
+  let rec go idle =
+    if Atomic.get server.cs_stop then
+      (* Final sweep so work enqueued before shutdown still completes. *)
+      ignore (sweep_shard sh run)
+    else begin
+      let own = sweep_shard sh run in
+      let stolen =
+        if own = 0 && nshards > 1 then steal_round server run sh.shard_index 1
+        else 0
+      in
+      if stolen > 0 then ignore (Atomic.fetch_and_add sh.shard_steals stolen);
+      let did = own + stolen in
+      if did > 0 then begin
+        ignore (Atomic.fetch_and_add sh.shard_served did);
+        Atomic.incr sh.shard_batches;
+        go 0
+      end
+      else if idle < server.cs_server_spin then begin
+        Domain.cpu_relax ();
+        go (idle + 1)
+      end
+      else begin
+        Doorbell.park sh.bell ~nonempty;
+        go 0
+      end
+    end
+  in
+  go 0
+
+let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
+  let server_spin =
+    match server_spin with
+    | Some s -> s
+    | None -> default_spin ~parallel:4096 ~serial:64
+  in
+  if shards <= 0 then
+    invalid_arg "Fastcall.spawn_channel_server: shards must be > 0";
+  if max_batch <= 0 then
+    invalid_arg "Fastcall.spawn_channel_server: max_batch must be > 0";
+  let cs_shards =
+    Array.init shards (fun shard_index ->
+        {
+          shard_index;
+          bell = Doorbell.create ();
+          chans = Atomic.make [||];
+          ticket = Atomic.make false;
+          shard_served = Atomic.make 0;
+          shard_batches = Atomic.make 0;
+          shard_steals = Atomic.make 0;
+        })
+  in
+  let server =
+    {
+      cs_table = t;
+      cs_shards;
+      cs_stop = Atomic.make false;
+      cs_server_spin = server_spin;
+      cs_max_batch = max_batch;
+      cs_domains = [||];
+    }
+  in
+  server.cs_domains <-
+    Array.map (fun sh -> Domain.spawn (fun () -> shard_loop server sh)) cs_shards;
+  server
+
+let rec register_chan sh ch =
+  let cur = Atomic.get sh.chans in
+  let next = Array.append cur [| ch |] in
+  if not (Atomic.compare_and_set sh.chans cur next) then register_chan sh ch
+
+(* Per-calling-domain handle: one channel to every shard.  Connect from
+   the domain that will make the calls; a client must not be shared
+   across domains (the submission rings are single-producer). *)
+let connect ?(slab_capacity = 16) ?(ring_capacity = 64) ?client_spin
+    ?(inline_uncontended = true) server =
+  let client_spin =
+    match client_spin with
+    | Some s -> s
+    | None -> default_spin ~parallel:2048 ~serial:64
+  in
+  let cl_chans =
+    Array.map
+      (fun sh ->
+        let ch =
+          Ppc_channel.create ~slab_capacity ~ring_capacity ~spin:client_spin
+            ~max_batch:server.cs_max_batch ~doorbell:sh.bell
+            ~shard:sh.shard_index ~arg_words ()
+        in
+        register_chan sh ch;
+        ch)
+      server.cs_shards
+  in
+  {
+    cl_server = server;
+    cl_chans;
+    cl_inline = inline_uncontended;
+    cl_inlined = Atomic.make 0;
+  }
+
+(* The channel-path cross-domain call.  Entry-point affinity picks the
+   shard.  If the shard is uncontended, the call executes right here on
+   the caller's domain under the shard ticket — the paper's PPC proper,
+   where a protected procedure call runs on the caller's processor and
+   hand-off is the exception.  Otherwise it queues on this client's SPSC
+   channel and the shard domain batches it.  Either way: no allocation
+   after warm-up.  Per-client ordering is trivially preserved because
+   calls are synchronous (at most one outstanding request per client). *)
+let channel_call cl ~ep args =
+  let chans = cl.cl_chans in
+  let idx = ep mod Array.length chans in
+  if cl.cl_inline && try_ticket cl.cl_server.cs_shards.(idx) then begin
+    let sh = cl.cl_server.cs_shards.(idx) in
+    match call cl.cl_server.cs_table ~ep args with
+    | rc ->
+        release_ticket sh;
+        Atomic.incr cl.cl_inlined;
+        rc
+    | exception e ->
+        release_ticket sh;
+        raise e
+  end
+  else Ppc_channel.call chans.(idx) ~ep args
+
+let client_inlined cl = Atomic.get cl.cl_inlined
+
+let shutdown_channel_server server =
+  Atomic.set server.cs_stop true;
+  Array.iter (fun sh -> Doorbell.wake sh.bell) server.cs_shards;
+  Array.iter Domain.join server.cs_domains
+
+let channel_served server =
+  Array.fold_left
+    (fun acc sh -> acc + Atomic.get sh.shard_served)
+    0 server.cs_shards
+
+let channel_batches server =
+  Array.fold_left
+    (fun acc sh -> acc + Atomic.get sh.shard_batches)
+    0 server.cs_shards
+
+let channel_steals server =
+  Array.fold_left
+    (fun acc sh -> acc + Atomic.get sh.shard_steals)
+    0 server.cs_shards
+
+let channel_doorbell_stats server =
+  Array.fold_left
+    (fun (r, w, p) sh ->
+      ( r + Doorbell.rings sh.bell,
+        w + Doorbell.wakes sh.bell,
+        p + Doorbell.parks sh.bell ))
+    (0, 0, 0) server.cs_shards
+
+let client_slab_grows cl =
+  Array.fold_left (fun acc ch -> acc + Ppc_channel.slab_grows ch) 0 cl.cl_chans
+
+(* --- cross-domain calls: the legacy MPSC path -------------------------- *)
+
+(* The original cross-domain embodiment, kept as the benchmark baseline:
+   a server domain drains one allocating MPSC queue, every call builds a
+   fresh request record with its own mutex/condvar, and ringing the
+   server always takes its lock.  The channel path above removes all
+   three costs; ablation A5 measures the difference.
 
    The waiting discipline is hybrid: a short spin (wins when the server
    runs on another core), then a mutex/condvar block (necessary when

@@ -1,12 +1,20 @@
 (** The PPC design pattern on OCaml 5 domains: lock-free service table,
     per-domain frame pools in domain-local storage, 8-word argument
-    convention.  Local calls take no locks and allocate nothing. *)
+    convention.  Local calls take no locks and allocate nothing (the
+    pooled context, trap-frame cleanup and array-backed pool make this
+    literal — a warm call writes zero minor-heap words).
+
+    Cross-domain calls have two embodiments: the {e channel path}
+    (preallocated request slabs + per-client SPSC rings + doorbell +
+    batched, optionally sharded servers; zero allocation after warm-up)
+    and the {e legacy path} (allocating MPSC + per-request condvar),
+    kept as the baseline the benchmarks compare against. *)
 
 val max_entry_points : int
 val arg_words : int
 
 type frame = { scratch : Bytes.t; mutable frame_calls : int }
-type ctx = { frame : frame; domain_index : int }
+type ctx = { frame : frame; mutable domain_index : int }
 type handler = ctx -> int array -> unit
 
 type t
@@ -27,13 +35,79 @@ val call : t -> ep:int -> int array -> int
 val local_calls : t -> int
 (** Calls completed by the current domain. *)
 
+(** {1 Cross-domain: the channel path} *)
+
+type channel_server
+(** One or more server shard domains draining per-client channels. *)
+
+type client
+(** A per-calling-domain handle: one channel to every shard.  Use only
+    from the domain that [connect]ed (submission rings are
+    single-producer). *)
+
+val spawn_channel_server :
+  ?shards:int -> ?server_spin:int -> ?max_batch:int -> t -> channel_server
+(** Spawn [shards] server domains (default 1).  Each drains up to
+    [max_batch] requests per channel sweep under its shard ticket,
+    steals from idle siblings, spins for [server_spin] iterations when
+    dry (default scales with the machine's parallelism), then parks on
+    its doorbell. *)
+
+val connect :
+  ?slab_capacity:int ->
+  ?ring_capacity:int ->
+  ?client_spin:int ->
+  ?inline_uncontended:bool ->
+  channel_server ->
+  client
+(** Register this domain with every shard.  [ring_capacity] must be a
+    power of two; [client_spin] is the spin budget before a call parks
+    on its request cell (default scales with the machine's
+    parallelism).  [inline_uncontended] (default [true]) lets a call
+    execute on the caller's domain when the target shard's ticket is
+    free — the paper's PPC discipline; pass [false] to force every call
+    through the queued path (benchmarking the batching machinery). *)
+
+val channel_call : client -> ep:int -> int array -> int
+(** Cross-domain call over the channel path: routed to shard
+    [ep mod shards].  Uncontended calls run inline on the caller's
+    domain under the shard ticket; contended calls queue on this
+    client's SPSC channel for batched service.  Allocation-free after
+    warm-up either way.  Returns [args.(7)]. *)
+
+val client_inlined : client -> int
+(** Calls this client ran inline under a free shard ticket. *)
+
+val shutdown_channel_server : channel_server -> unit
+(** Stop and join the shard domains.  Calls still in flight on other
+    domains when this is invoked are not waited for — quiesce clients
+    first. *)
+
+val channel_served : channel_server -> int
+val channel_batches : channel_server -> int
+(** Non-empty sweeps; [channel_served / channel_batches] is the mean
+    batch size. *)
+
+val channel_steals : channel_server -> int
+(** Requests completed by a non-owner shard. *)
+
+val channel_doorbell_stats : channel_server -> int * int * int
+(** [(rings, wakes, parks)] summed over shards: lock-free rings, rings
+    that had to wake a parked shard, and actual sleeps. *)
+
+val client_slab_grows : client -> int
+(** Slab growth on this client — zero once warmed up. *)
+
+(** {1 Cross-domain: the legacy MPSC path (benchmark baseline)} *)
+
 type server_domain
 
 val spawn_server : t -> server_domain
 (** A domain that serves cross-domain requests from an MPSC queue. *)
 
 val cross_call : server_domain -> ep:int -> int array -> int
-(** Enqueue on the server domain and spin/yield until completion. *)
+(** Enqueue on the server domain and spin/yield until completion.
+    Allocates a request record, mutex and condvar per call. *)
 
 val shutdown_server : server_domain -> unit
 val served : server_domain -> int

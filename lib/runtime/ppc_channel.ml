@@ -1,0 +1,165 @@
+(* A per-client cross-domain call channel: a preallocated submission
+   ring plus the completion state machine carried by each request cell.
+
+   This is the runtime embodiment of the paper's common-case discipline
+   applied to the *remote* path: after warm-up a call touches only
+   memory that belongs to this client (its slab, its SPSC ring) and one
+   word of the server's doorbell — no locks, no allocation.  Compare the
+   legacy path in {!Fastcall.cross_call}, which allocates a request
+   record, a mutex and a condvar per call and takes the server's lock to
+   wake it.
+
+   One channel has exactly one producer domain (the client that
+   [connect]ed) and, at any instant, one consumer (the owning server
+   shard, or an idle sibling that stole the channel by winning
+   [consumer_busy]).  The consumer try-lock costs the draining side one
+   CAS per *batch*, not per request, so stealing never taxes the common
+   case.
+
+   Client-path helpers below are deliberately top-level functions: a
+   local [let rec] would allocate a closure per call and break the
+   zero-allocation property the Gc.minor_words test pins down. *)
+
+type t = {
+  slab : Request_slab.t;
+  ring : Request_slab.cell Spsc_ring.Raw.t;
+  doorbell : Doorbell.t;  (** the owning shard's bell *)
+  shard : int;  (** owning shard index *)
+  spin : int;  (** client wait budget before parking on the cell *)
+  max_batch : int;
+  consumer_busy : bool Atomic.t;  (** consumer/stealer try-lock *)
+  wake_buf : Request_slab.cell array;
+      (** deferred-signal buffer, guarded by [consumer_busy] *)
+  dummy : Request_slab.cell;
+  submitted : int Atomic.t;
+  drained : int Atomic.t;
+}
+
+let create ?(slab_capacity = 16) ?(ring_capacity = 64) ?(spin = 2048)
+    ?(max_batch = 32) ~doorbell ~shard ~arg_words () =
+  if max_batch <= 0 then invalid_arg "Ppc_channel.create: max_batch must be > 0";
+  let dummy = Request_slab.dummy_cell ~arg_words in
+  {
+    slab = Request_slab.create ~capacity:slab_capacity ~arg_words ();
+    ring = Spsc_ring.Raw.create ~capacity:ring_capacity ~dummy;
+    doorbell;
+    shard;
+    spin;
+    max_batch;
+    consumer_busy = Atomic.make false;
+    wake_buf = Array.make max_batch dummy;
+    dummy;
+    submitted = Atomic.make 0;
+    drained = Atomic.make 0;
+  }
+
+let shard t = t.shard
+let submitted t = Atomic.get t.submitted
+let drained t = Atomic.get t.drained
+let slab_grows t = Request_slab.grows t.slab
+let slab_created t = Request_slab.created t.slab
+let pending t = not (Spsc_ring.Raw.is_empty t.ring)
+
+(* Spinning only ever pays when the peer can run concurrently; callers
+   size the [spin] budget by the machine's parallelism (see
+   {!Fastcall.connect}).  On a single-core host the budget collapses to
+   a handful of iterations and the protocol leans on the parking path —
+   a pure spin there just burns the timeslice the server needs
+   ([Thread.yield] is a no-op across domains, and a zero nanosleep costs
+   two orders of magnitude more than a futex wake). *)
+let rec push_spin ring cell n =
+  if not (Spsc_ring.Raw.try_push ring cell) then begin
+    Domain.cpu_relax ();
+    push_spin ring cell (n + 1)
+  end
+
+let rec spin_done state budget n =
+  if n >= budget then false
+  else if Atomic.get state = Request_slab.state_done then true
+  else begin
+    Domain.cpu_relax ();
+    spin_done state budget (n + 1)
+  end
+
+(* Client side: the whole round trip.  Owner domain only. *)
+let call t ~ep args =
+  let cell = Request_slab.acquire t.slab in
+  cell.Request_slab.ep <- ep;
+  let words = Array.length cell.Request_slab.args in
+  Array.blit args 0 cell.Request_slab.args 0 words;
+  let state = cell.Request_slab.state in
+  Atomic.set state Request_slab.state_pending;
+  if not (Spsc_ring.Raw.try_push t.ring cell) then begin
+    (* Ring full: the server is behind.  Make sure it is awake, then
+       wait for space; it cannot park while our backlog is visible. *)
+    Doorbell.ring t.doorbell;
+    push_spin t.ring cell 0
+  end;
+  Doorbell.ring t.doorbell;
+  Atomic.incr t.submitted;
+  if not (spin_done state t.spin 0) then
+    if
+      Atomic.compare_and_set state Request_slab.state_pending
+        Request_slab.state_parked
+    then begin
+      (* The server signals under [cell.cm] after flipping the state, so
+         checking the state before each wait closes the wakeup race. *)
+      Mutex.lock cell.Request_slab.cm;
+      while Atomic.get state <> Request_slab.state_done do
+        Condition.wait cell.Request_slab.cc cell.Request_slab.cm
+      done;
+      Mutex.unlock cell.Request_slab.cm
+    end;
+  Array.blit cell.Request_slab.args 0 args 0 words;
+  let rc = args.(words - 1) in
+  Request_slab.release t.slab cell;
+  rc
+
+(* Consumer side. ------------------------------------------------------- *)
+
+let rec drain_loop t run count parked =
+  if count >= t.max_batch then finish t count parked
+  else begin
+    let cell = Spsc_ring.Raw.try_pop t.ring in
+    if cell.Request_slab.index < 0 then finish t count parked
+    else begin
+      run cell.Request_slab.ep cell.Request_slab.args;
+      let prev =
+        Atomic.exchange cell.Request_slab.state Request_slab.state_done
+      in
+      if prev = Request_slab.state_parked then begin
+        t.wake_buf.(parked) <- cell;
+        drain_loop t run (count + 1) (parked + 1)
+      end
+      else drain_loop t run (count + 1) parked
+    end
+  end
+
+(* One pass of signals after the whole batch — notification amortised
+   over the batch, and only for clients that actually went to sleep.  A
+   signalled cell may already have been recycled by its (state-checking)
+   client; the spurious signal is harmless. *)
+and finish t count parked =
+  for i = 0 to parked - 1 do
+    let cell = t.wake_buf.(i) in
+    Mutex.lock cell.Request_slab.cm;
+    Condition.signal cell.Request_slab.cc;
+    Mutex.unlock cell.Request_slab.cm;
+    t.wake_buf.(i) <- t.dummy
+  done;
+  count
+
+(* Drain up to [max_batch] requests, running [run ep args] for each.
+   Returns the number drained; 0 if another consumer holds the channel
+   or there is no work.  Any domain may call this — the try-lock
+   serialises consumers, which is what makes steal-on-idle safe on an
+   SPSC ring. *)
+let try_drain t ~run =
+  if Atomic.get t.consumer_busy then 0
+  else if not (Atomic.compare_and_set t.consumer_busy false true) then 0
+  else begin
+    let n = drain_loop t run 0 0 in
+    Atomic.set t.consumer_busy false;
+    if n > 0 then ignore (Atomic.fetch_and_add t.drained n);
+    n
+  end

@@ -1,0 +1,47 @@
+(** Per-client cross-domain call channel: a preallocated submission ring
+    ({!Spsc_ring.Raw}) of {!Request_slab} cells plus a per-cell
+    completion state machine.  After warm-up a call allocates nothing
+    and takes no locks unless a side actually has to sleep.
+
+    One producer domain per channel (the client that connected); at any
+    instant one consumer, serialised by an internal try-lock so an idle
+    sibling shard can steal the channel safely. *)
+
+type t
+
+val create :
+  ?slab_capacity:int ->
+  ?ring_capacity:int ->
+  ?spin:int ->
+  ?max_batch:int ->
+  doorbell:Doorbell.t ->
+  shard:int ->
+  arg_words:int ->
+  unit ->
+  t
+(** [ring_capacity] must be a positive power of two.  [spin] is the
+    client's spin/yield budget before it parks on the request cell. *)
+
+val call : t -> ep:int -> int array -> int
+(** Client round trip: acquire a cell, copy [args] in, submit, ring the
+    doorbell, wait (spin then park), copy results back, recycle the
+    cell.  Returns the last argument word (the RC slot).  Owner domain
+    only. *)
+
+val try_drain : t -> run:(int -> int array -> unit) -> int
+(** Pop up to [max_batch] requests, run each, then issue one deferred
+    pass of wakeups for clients that parked.  Returns the number
+    drained; 0 if empty or another consumer holds the channel. *)
+
+val pending : t -> bool
+(** True if the submission ring is non-empty. *)
+
+val shard : t -> int
+val submitted : t -> int
+val drained : t -> int
+
+val slab_grows : t -> int
+(** Times the request slab had to grow — zero in a warmed-up steady
+    state. *)
+
+val slab_created : t -> int

@@ -1,0 +1,95 @@
+(* A slab of preallocated, serially reused cross-domain request cells —
+   the runtime analogue of the paper's per-processor CD pool.
+
+   A cell carries the whole request inline: the entry point, an
+   [arg_words]-slot argument array the handler mutates in place, and a
+   completion state machine in a single [int Atomic.t].  The waiting
+   half (mutex + condvar) is preallocated with the cell, so a call that
+   has to park still allocates nothing.
+
+   Cells are owned by one client domain.  The free list is a LIFO stack
+   touched only by that owner (acquire before submission, release after
+   completion), so reuse is serial: the most recently completed cell —
+   the one whose args are hottest in cache — services the next call,
+   exactly the warmth property the paper gets from recycling CDs.  The
+   server side only ever sees cells in flight; it never allocates or
+   frees them. *)
+
+(* Completion states.  Transitions:
+     Free -(client: acquire+fill)-> Pending
+     Pending -(client: spin budget exhausted, CAS)-> Parked
+     Pending|Parked -(server: exchange after running handler)-> Done
+     Done -(client: observe result, release)-> Free *)
+let state_free = 0
+let state_pending = 1
+let state_parked = 2
+let state_done = 3
+
+type cell = {
+  index : int;  (** creation order; [-1] for ring dummies *)
+  args : int array;
+  mutable ep : int;
+  state : int Atomic.t;
+  cm : Mutex.t;  (** parking mutex, preallocated *)
+  cc : Condition.t;  (** parking condvar, preallocated *)
+}
+
+type t = {
+  arg_words : int;
+  mutable pool : cell array;  (** free stack; slots [0..pool_len-1] live *)
+  mutable pool_len : int;
+  mutable created : int;  (** cells ever created, including the seed *)
+  mutable grows : int;  (** acquires that found the pool empty *)
+}
+
+let make_cell ~arg_words ~index =
+  {
+    index;
+    args = Array.make arg_words 0;
+    ep = -1;
+    state = Atomic.make state_free;
+    cm = Mutex.create ();
+    cc = Condition.create ();
+  }
+
+let dummy_cell ~arg_words = make_cell ~arg_words ~index:(-1)
+
+let create ?(capacity = 16) ~arg_words () =
+  if capacity <= 0 then invalid_arg "Request_slab.create: capacity must be > 0";
+  if arg_words <= 0 then invalid_arg "Request_slab.create: arg_words must be > 0";
+  let pool = Array.init capacity (fun i -> make_cell ~arg_words ~index:i) in
+  { arg_words; pool; pool_len = capacity; created = capacity; grows = 0 }
+
+let arg_words t = t.arg_words
+let created t = t.created
+let grows t = t.grows
+let available t = t.pool_len
+let in_flight t = t.created - t.pool_len
+
+(* Owner only.  Warm path: array read + length decrement, no allocation. *)
+let acquire t =
+  if t.pool_len = 0 then begin
+    (* Pool exhausted: grow, like Frank creating a CD.  Cold path. *)
+    t.grows <- t.grows + 1;
+    let c = make_cell ~arg_words:t.arg_words ~index:t.created in
+    t.created <- t.created + 1;
+    c
+  end
+  else begin
+    let n = t.pool_len - 1 in
+    t.pool_len <- n;
+    t.pool.(n)
+  end
+
+(* Owner only.  Resets the completion state; the cell must be out of the
+   server's hands (state [Done], or never submitted). *)
+let release t cell =
+  Atomic.set cell.state state_free;
+  let n = t.pool_len in
+  if n = Array.length t.pool then begin
+    let grown = Array.make (max 4 (2 * n)) cell in
+    Array.blit t.pool 0 grown 0 n;
+    t.pool <- grown
+  end;
+  t.pool.(n) <- cell;
+  t.pool_len <- n + 1

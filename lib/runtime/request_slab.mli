@@ -1,0 +1,47 @@
+(** Preallocated, serially reused cross-domain request cells — the
+    runtime analogue of the paper's per-processor CD pool.  A cell holds
+    the request inline (entry point + argument words) and completes
+    through a one-word atomic state machine; its parking mutex/condvar
+    are preallocated, so a warm call allocates nothing at all.
+
+    The free list is owned by one client domain: acquire/release from
+    that domain only.  The server never frees cells. *)
+
+val state_free : int
+val state_pending : int
+val state_parked : int
+val state_done : int
+
+type cell = {
+  index : int;
+  args : int array;
+  mutable ep : int;
+  state : int Atomic.t;
+  cm : Mutex.t;
+  cc : Condition.t;
+}
+
+type t
+
+val create : ?capacity:int -> arg_words:int -> unit -> t
+val dummy_cell : arg_words:int -> cell
+(** A cell usable as a {!Spsc_ring.Raw} empty-slot marker. *)
+
+val arg_words : t -> int
+
+val acquire : t -> cell
+(** Owner only.  LIFO: returns the most recently released cell; grows
+    the slab (one allocation) only when every cell is in flight. *)
+
+val release : t -> cell -> unit
+(** Owner only.  Resets the cell to [state_free] and pushes it back. *)
+
+val created : t -> int
+(** Cells ever created (initial capacity + growth). *)
+
+val grows : t -> int
+(** Acquires that found the pool empty — zero after warm-up on a
+    well-sized slab. *)
+
+val available : t -> int
+val in_flight : t -> int

@@ -4,6 +4,9 @@
 
 module Mpsc_queue = Mpsc_queue
 module Spsc_ring = Spsc_ring
+module Request_slab = Request_slab
+module Doorbell = Doorbell
+module Ppc_channel = Ppc_channel
 module Fastcall = Fastcall
 module Locked_registry = Locked_registry
 module Domain_pool = Domain_pool

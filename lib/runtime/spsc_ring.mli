@@ -18,3 +18,25 @@ val try_pop : 'a t -> 'a option
 
 val push_wait : 'a t -> 'a -> unit
 val pop_wait : 'a t -> 'a
+
+(** Allocation-free variant: slots hold elements directly, with a
+    caller-supplied [dummy] marking empty slots, so pushes allocate
+    nothing.  Never push the dummy itself. *)
+module Raw : sig
+  type 'a t
+
+  val create : capacity:int -> dummy:'a -> 'a t
+  (** [capacity] must be a positive power of two. *)
+
+  val capacity : 'a t -> int
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val is_full : 'a t -> bool
+
+  val try_push : 'a t -> 'a -> bool
+  (** Producer domain only. *)
+
+  val try_pop : 'a t -> 'a
+  (** Consumer domain only (or a stealer that has serialized itself with
+      the consumer).  Returns [dummy] when the ring is empty. *)
+end

@@ -20,9 +20,11 @@ type t = {
   events : event Heap.t;
   mutable executed : int;
   mutable trace : Trace.t option;
-  mutable step_hooks : (unit -> unit) list;
+  mutable step_hooks : (unit -> unit) array;
       (** run after every executed event (oldest registration first);
-          invariant checkers hang off this *)
+          invariant checkers hang off this.  Growable array: slots
+          [0 .. n_step_hooks-1] are live, the rest hold [no_hook]. *)
+  mutable n_step_hooks : int;
 }
 
 exception Cancelled of string
@@ -38,6 +40,8 @@ let compare_event a b =
   let c = Time.compare a.at b.at in
   if c <> 0 then c else Int.compare a.seq b.seq
 
+let no_hook : unit -> unit = fun () -> ()
+
 let create () =
   {
     now = Time.zero;
@@ -45,7 +49,8 @@ let create () =
     events = Heap.create compare_event;
     executed = 0;
     trace = None;
-    step_hooks = [];
+    step_hooks = [||];
+    n_step_hooks = 0;
   }
 
 let now t = t.now
@@ -67,8 +72,19 @@ let executed_events t = t.executed
    "micro-op batch"), in registration order.  All event-driven state is
    between transitions at that point, so hooks are where invariant
    checkers belong.  Disabled hooks cost one empty-list branch. *)
-let add_step_hook t f = t.step_hooks <- t.step_hooks @ [ f ]
-let clear_step_hooks t = t.step_hooks <- []
+let add_step_hook t f =
+  let n = t.n_step_hooks in
+  if n = Array.length t.step_hooks then begin
+    let grown = Array.make (max 4 (2 * n)) no_hook in
+    Array.blit t.step_hooks 0 grown 0 n;
+    t.step_hooks <- grown
+  end;
+  t.step_hooks.(n) <- f;
+  t.n_step_hooks <- n + 1
+
+let clear_step_hooks t =
+  Array.fill t.step_hooks 0 t.n_step_hooks no_hook;
+  t.n_step_hooks <- 0
 
 let schedule_at t at run =
   let at = if Time.(at < t.now) then t.now else at in
@@ -129,9 +145,9 @@ let step t =
       t.now <- ev.at;
       t.executed <- t.executed + 1;
       ev.run ();
-      (match t.step_hooks with
-      | [] -> ()
-      | hooks -> List.iter (fun f -> f ()) hooks);
+      for i = 0 to t.n_step_hooks - 1 do
+        t.step_hooks.(i) ()
+      done;
       true
 
 let run ?until t =

@@ -372,6 +372,350 @@ let test_treiber_multidomain_conservation () =
   Alcotest.(check int) "pop counter agrees" (Atomic.get popped)
     (Runtime.Treiber_stack.pops s)
 
+(* --- raw SPSC ring -------------------------------------------------------- *)
+
+let test_raw_ring_capacity () =
+  let r = Runtime.Spsc_ring.Raw.create ~capacity:4 ~dummy:(-1) in
+  Alcotest.(check int) "capacity" 4 (Runtime.Spsc_ring.Raw.capacity r);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "push fits" true (Runtime.Spsc_ring.Raw.try_push r i)
+  done;
+  Alcotest.(check bool) "full rejects" false (Runtime.Spsc_ring.Raw.try_push r 5);
+  Alcotest.(check int) "pop first" 1 (Runtime.Spsc_ring.Raw.try_pop r);
+  Alcotest.(check bool) "space again" true (Runtime.Spsc_ring.Raw.try_push r 5);
+  Alcotest.check_raises "non-power rejected"
+    (Invalid_argument
+       "Spsc_ring.Raw.create: capacity must be a positive power of two")
+    (fun () -> ignore (Runtime.Spsc_ring.Raw.create ~capacity:6 ~dummy:0))
+
+let prop_raw_ring_wraparound =
+  QCheck.Test.make ~name:"raw ring preserves order across wraps" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) small_nat)
+    (fun xs ->
+      (* Elements are >= 0; -1 is the empty marker. *)
+      let r = Runtime.Spsc_ring.Raw.create ~capacity:8 ~dummy:(-1) in
+      let out = ref [] in
+      List.iter
+        (fun x ->
+          if not (Runtime.Spsc_ring.Raw.try_push r x) then begin
+            let v = Runtime.Spsc_ring.Raw.try_pop r in
+            if v >= 0 then out := v :: !out;
+            ignore (Runtime.Spsc_ring.Raw.try_push r x)
+          end)
+        xs;
+      let rec drain () =
+        let v = Runtime.Spsc_ring.Raw.try_pop r in
+        if v >= 0 then begin
+          out := v :: !out;
+          drain ()
+        end
+      in
+      drain ();
+      List.rev !out = xs)
+
+let test_raw_ring_cross_domain () =
+  let r = Runtime.Spsc_ring.Raw.create ~capacity:16 ~dummy:(-1) in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and got = ref 0 in
+        while !got < n do
+          let v = Runtime.Spsc_ring.Raw.try_pop r in
+          if v >= 0 then begin
+            sum := !sum + v;
+            incr got
+          end
+          else Domain.cpu_relax ()
+        done;
+        !sum)
+  in
+  for i = 1 to n do
+    while not (Runtime.Spsc_ring.Raw.try_push r i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Alcotest.(check int) "sum across domains" (n * (n + 1) / 2)
+    (Domain.join consumer)
+
+(* --- request slab --------------------------------------------------------- *)
+
+let test_slab_lifo_reuse () =
+  let s = Runtime.Request_slab.create ~capacity:2 ~arg_words:8 () in
+  let a = Runtime.Request_slab.acquire s in
+  let b = Runtime.Request_slab.acquire s in
+  Alcotest.(check bool) "distinct cells" true (a.index <> b.index);
+  Alcotest.(check int) "in flight" 2 (Runtime.Request_slab.in_flight s);
+  Runtime.Request_slab.release s a;
+  let a' = Runtime.Request_slab.acquire s in
+  Alcotest.(check int) "serial reuse: last released comes back first" a.index
+    a'.index;
+  Alcotest.(check int) "no growth yet" 0 (Runtime.Request_slab.grows s);
+  (* Exhaust the pool: the slab grows rather than blocking. *)
+  let c = Runtime.Request_slab.acquire s in
+  Alcotest.(check int) "grew once" 1 (Runtime.Request_slab.grows s);
+  Alcotest.(check int) "created tracks growth" 3 (Runtime.Request_slab.created s);
+  Runtime.Request_slab.release s a';
+  Runtime.Request_slab.release s b;
+  Runtime.Request_slab.release s c;
+  Alcotest.(check int) "all home" 3 (Runtime.Request_slab.available s)
+
+let test_slab_release_resets_state () =
+  let s = Runtime.Request_slab.create ~capacity:1 ~arg_words:8 () in
+  let c = Runtime.Request_slab.acquire s in
+  Atomic.set c.state Runtime.Request_slab.state_done;
+  Runtime.Request_slab.release s c;
+  let c' = Runtime.Request_slab.acquire s in
+  Alcotest.(check int) "state reset to free" Runtime.Request_slab.state_free
+    (Atomic.get c'.state)
+
+(* --- doorbell ------------------------------------------------------------- *)
+
+let test_doorbell_fast_ring () =
+  let db = Runtime.Doorbell.create () in
+  Runtime.Doorbell.ring db;
+  Runtime.Doorbell.ring db;
+  Alcotest.(check int) "spinning rings are lock-free" 2
+    (Runtime.Doorbell.rings db);
+  Alcotest.(check int) "no wakes" 0 (Runtime.Doorbell.wakes db);
+  Alcotest.(check bool) "not parked" false (Runtime.Doorbell.is_parked db)
+
+let test_doorbell_park_no_sleep_when_work_pending () =
+  let db = Runtime.Doorbell.create () in
+  (* Work already visible: park must return without sleeping. *)
+  Runtime.Doorbell.park db ~nonempty:(fun () -> true);
+  Alcotest.(check int) "no sleep" 0 (Runtime.Doorbell.parks db);
+  Alcotest.(check bool) "back to spinning" false (Runtime.Doorbell.is_parked db)
+
+(* The lost-wakeup stress: a producer publishes work items and rings; a
+   consumer parks whenever it sees nothing new.  If any wakeup were
+   lost, the consumer would sleep forever with work pending — the
+   watchdog turns that hang into a failure. *)
+let test_doorbell_park_unpark_race () =
+  let db = Runtime.Doorbell.create () in
+  let published = Atomic.make 0 and aborted = Atomic.make false in
+  let n = 400 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Atomic.set published i;
+          Runtime.Doorbell.ring db;
+          (* Occasionally let the consumer reach its park so both sides
+             of the state machine get exercised. *)
+          if i mod 7 = 0 then Unix.sleepf 0.0005
+        done)
+  in
+  let consumed = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        while
+          Atomic.get consumed < n && not (Atomic.get aborted)
+        do
+          let avail = Atomic.get published in
+          if avail > Atomic.get consumed then Atomic.set consumed avail
+          else
+            Runtime.Doorbell.park db ~nonempty:(fun () ->
+                Atomic.get published > Atomic.get consumed
+                || Atomic.get aborted)
+        done)
+  in
+  let watchdog =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. 30.0 in
+        while
+          Atomic.get consumed < n && Unix.gettimeofday () < deadline
+        do
+          Unix.sleepf 0.05
+        done;
+        if Atomic.get consumed < n then begin
+          Atomic.set aborted true;
+          Runtime.Doorbell.wake db
+        end)
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  Domain.join watchdog;
+  Alcotest.(check bool) "no lost wakeup (watchdog never fired)" false
+    (Atomic.get aborted);
+  Alcotest.(check int) "all work observed" n (Atomic.get consumed)
+
+(* --- channel-path cross-domain calls -------------------------------------- *)
+
+let test_channel_call_inline () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let srv = Runtime.Fastcall.spawn_channel_server t in
+  let cl = Runtime.Fastcall.connect srv in
+  let args = Array.make 8 0 in
+  for i = 1 to 100 do
+    args.(0) <- i;
+    args.(1) <- 1;
+    let rc = Runtime.Fastcall.channel_call cl ~ep args in
+    Alcotest.(check int) "rc" 0 rc;
+    Alcotest.(check int) "in-place result" (i + 1) args.(0)
+  done;
+  Alcotest.(check int) "all calls accounted"
+    100
+    (Runtime.Fastcall.client_inlined cl + Runtime.Fastcall.channel_served srv);
+  Runtime.Fastcall.shutdown_channel_server srv
+
+let test_channel_call_queued () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let srv = Runtime.Fastcall.spawn_channel_server t in
+  let cl = Runtime.Fastcall.connect ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  for i = 1 to 200 do
+    args.(0) <- i;
+    args.(1) <- i;
+    ignore (Runtime.Fastcall.channel_call cl ~ep args);
+    Alcotest.(check int) "doubled" (2 * i) args.(0)
+  done;
+  Alcotest.(check int) "nothing inlined" 0 (Runtime.Fastcall.client_inlined cl);
+  Alcotest.(check int) "all served by the shard" 200
+    (Runtime.Fastcall.channel_served srv);
+  Runtime.Fastcall.shutdown_channel_server srv
+
+let run_producers ~producers ~per ~shards ~inline t ep srv =
+  ignore t;
+  let domains =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let cl =
+              Runtime.Fastcall.connect ~inline_uncontended:inline srv
+            in
+            let args = Array.make 8 0 in
+            let total = ref 0 in
+            for i = 1 to per do
+              args.(0) <- i;
+              args.(1) <- p;
+              ignore (Runtime.Fastcall.channel_call cl ~ep args);
+              total := !total + args.(0)
+            done;
+            !total))
+  in
+  let expected_per p = (per * (per + 1) / 2) + (per * p) in
+  List.iteri
+    (fun p d ->
+      Alcotest.(check int)
+        (Printf.sprintf "producer %d sums (shards=%d)" p shards)
+        (expected_per p) (Domain.join d))
+    domains
+
+let test_channel_stress_one_shard () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let srv = Runtime.Fastcall.spawn_channel_server t in
+  run_producers ~producers:4 ~per:500 ~shards:1 ~inline:false t ep srv;
+  Alcotest.(check int) "exact served count" (4 * 500)
+    (Runtime.Fastcall.channel_served srv);
+  Runtime.Fastcall.shutdown_channel_server srv
+
+let test_channel_stress_sharded () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  (* Burn entry points so calls land on shard 1 too. *)
+  let ep2 = Runtime.Fastcall.register t adder in
+  let srv = Runtime.Fastcall.spawn_channel_server ~shards:2 t in
+  run_producers ~producers:3 ~per:400 ~shards:2 ~inline:true t ep srv;
+  run_producers ~producers:3 ~per:400 ~shards:2 ~inline:true t ep2 srv;
+  Runtime.Fastcall.shutdown_channel_server srv
+
+(* --- zero-allocation assertions ------------------------------------------- *)
+
+(* [Gc.minor_words] is unboxed and per-domain, so a strict zero delta is
+   measurable.  Warm-up happens outside the measured window: DLS pools,
+   slabs and rings are all preallocated-and-reused from then on. *)
+let minor_words_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_local_call_zero_alloc () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let args = Array.make 8 0 in
+  let calls = 1_000 in
+  let loop () =
+    for i = 1 to calls do
+      args.(0) <- i;
+      args.(1) <- 1;
+      ignore (Runtime.Fastcall.call t ~ep args)
+    done
+  in
+  loop ();
+  (* warm-up: DLS pool initialised *)
+  let delta = minor_words_delta loop in
+  Alcotest.(check (float 0.0)) "warm local calls allocate zero minor words" 0.0
+    delta
+
+let test_channel_call_zero_alloc () =
+  let t = Runtime.Fastcall.create () in
+  let ep = Runtime.Fastcall.register t adder in
+  let srv = Runtime.Fastcall.spawn_channel_server t in
+  let check_mode name inline =
+    let cl = Runtime.Fastcall.connect ~inline_uncontended:inline srv in
+    let args = Array.make 8 0 in
+    let calls = 500 in
+    let loop () =
+      for i = 1 to calls do
+        args.(0) <- i;
+        args.(1) <- 1;
+        ignore (Runtime.Fastcall.channel_call cl ~ep args)
+      done
+    in
+    loop ();
+    (* warm-up: slab/ring steady state *)
+    let delta = minor_words_delta loop in
+    Alcotest.(check (float 0.0)) name 0.0 delta;
+    Alcotest.(check int)
+      (name ^ ": slab never grew after warm-up")
+      0
+      (Runtime.Fastcall.client_slab_grows cl)
+  in
+  check_mode "warm inline channel calls allocate zero minor words" true;
+  check_mode "warm queued channel calls allocate zero minor words" false;
+  Runtime.Fastcall.shutdown_channel_server srv
+
+let channel_suites =
+  [
+    ( "runtime.raw_ring",
+      [
+        Alcotest.test_case "bounded capacity" `Quick test_raw_ring_capacity;
+        Alcotest.test_case "cross-domain stream" `Quick
+          test_raw_ring_cross_domain;
+        qcheck prop_raw_ring_wraparound;
+      ] );
+    ( "runtime.request_slab",
+      [
+        Alcotest.test_case "LIFO reuse and growth" `Quick test_slab_lifo_reuse;
+        Alcotest.test_case "release resets state" `Quick
+          test_slab_release_resets_state;
+      ] );
+    ( "runtime.doorbell",
+      [
+        Alcotest.test_case "lock-free fast ring" `Quick test_doorbell_fast_ring;
+        Alcotest.test_case "no sleep with work pending" `Quick
+          test_doorbell_park_no_sleep_when_work_pending;
+        Alcotest.test_case "park/unpark race (watchdogged)" `Quick
+          test_doorbell_park_unpark_race;
+      ] );
+    ( "runtime.channel",
+      [
+        Alcotest.test_case "inline path" `Quick test_channel_call_inline;
+        Alcotest.test_case "queued path" `Quick test_channel_call_queued;
+        Alcotest.test_case "4 producers x 1 shard" `Quick
+          test_channel_stress_one_shard;
+        Alcotest.test_case "3 producers x 2 shards" `Quick
+          test_channel_stress_sharded;
+      ] );
+    ( "runtime.zero_alloc",
+      [
+        Alcotest.test_case "local call" `Quick test_local_call_zero_alloc;
+        Alcotest.test_case "channel call (both modes)" `Quick
+          test_channel_call_zero_alloc;
+      ] );
+  ]
+
 let extra_suites =
   [
     ( "runtime.striped_counter",
@@ -388,4 +732,4 @@ let extra_suites =
       ] );
   ]
 
-let suites = suites @ extra_suites
+let suites = suites @ extra_suites @ channel_suites

@@ -106,6 +106,66 @@ let prop_striped_vs_int =
         ops
       && Runtime.Striped_counter.value c = !model)
 
+(* --- request slab vs free-stack model ------------------------------------- *)
+
+(* The slab's serial-reuse contract: release pushes the cell on a free
+   stack, acquire pops the most recently released cell (warm calls keep
+   touching the same hot cell) and only mints a fresh index when the
+   stack is empty.  The model is a free-id stack plus the set of
+   outstanding ids. *)
+let prop_slab_serial_reuse =
+  QCheck.Test.make ~name:"request slab = free-stack model" ~count:300 ops_arb
+    (fun ops ->
+      let s = Runtime.Request_slab.create ~capacity:1 ~arg_words:8 () in
+      let first = Runtime.Request_slab.acquire s in
+      Runtime.Request_slab.release s first;
+      let free = ref [ first.Runtime.Request_slab.index ] in
+      let minted = ref 1 in
+      let out = Hashtbl.create 8 in
+      List.for_all
+        (fun (tag, _) ->
+          if tag < 2 then begin
+            let cell = Runtime.Request_slab.acquire s in
+            let idx = cell.Runtime.Request_slab.index in
+            let want =
+              match !free with
+              | top :: rest ->
+                  free := rest;
+                  top
+              | [] ->
+                  let id = !minted in
+                  incr minted;
+                  id
+            in
+            Hashtbl.replace out idx cell;
+            idx = want
+            && Atomic.get cell.Runtime.Request_slab.state
+               = Runtime.Request_slab.state_free
+          end
+          else
+            match Hashtbl.length out with
+            | 0 -> true
+            | _ ->
+                (* Release an arbitrary outstanding cell (first in the
+                   table's iteration order keeps it deterministic enough
+                   for the model, which tracks ids, not order). *)
+                let idx, cell =
+                  Hashtbl.fold
+                    (fun k v acc ->
+                      match acc with
+                      | Some (k0, _) when k0 <= k -> acc
+                      | _ -> Some (k, v))
+                    out None
+                  |> Option.get
+                in
+                Hashtbl.remove out idx;
+                Runtime.Request_slab.release s cell;
+                free := idx :: !free;
+                Runtime.Request_slab.available s = List.length !free
+                && Runtime.Request_slab.in_flight s = Hashtbl.length out)
+        ops
+      && Runtime.Request_slab.created s = !minted)
+
 let suites =
   [
     ( "runtime.models",
@@ -114,5 +174,6 @@ let suites =
         qcheck prop_mpsc_vs_queue;
         qcheck prop_spsc_vs_bounded_queue;
         qcheck prop_striped_vs_int;
+        qcheck prop_slab_serial_reuse;
       ] );
   ]

@@ -356,4 +356,44 @@ let test_engine_stress () =
 let stress_suite =
   ("sim.stress", [ Alcotest.test_case "2000 processes" `Quick test_engine_stress ])
 
-let suites = suites @ [ stress_suite ]
+(* Step hooks: registration order preserved (the growable-array rewrite
+   must behave exactly like the old append-to-list), clear resets, and
+   registering many hooks is cheap. *)
+let test_step_hook_order () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  for i = 0 to 4 do
+    Sim.Engine.add_step_hook e (fun () -> seen := i :: !seen)
+  done;
+  Sim.Engine.spawn e (fun () -> ());
+  Sim.Engine.run e;
+  (* One executed event -> each hook ran once, oldest registration
+     first. *)
+  Alcotest.(check (list int)) "registration order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !seen);
+  Sim.Engine.clear_step_hooks e;
+  seen := [];
+  Sim.Engine.spawn e (fun () -> ());
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "cleared" [] !seen
+
+let test_step_hook_many () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  (* The old [hooks @ [f]] registration was quadratic; 10k registrations
+     would take minutes.  The growable array makes this instant. *)
+  for _ = 1 to 10_000 do
+    Sim.Engine.add_step_hook e (fun () -> incr count)
+  done;
+  Sim.Engine.spawn e (fun () -> ());
+  Sim.Engine.run e;
+  Alcotest.(check int) "all hooks ran" 10_000 !count
+
+let hook_suite =
+  ( "sim.step_hooks",
+    [
+      Alcotest.test_case "registration order" `Quick test_step_hook_order;
+      Alcotest.test_case "10k hooks register fast" `Quick test_step_hook_many;
+    ] )
+
+let suites = suites @ [ stress_suite; hook_suite ]

@@ -353,6 +353,21 @@ let bechamel_tests ~with_cross_domain =
            fast_args.(1) <- 2;
            ignore (Runtime.Fastcall.call fast ~ep:fast_ep fast_args)))
   in
+  (* Same warm call, but through the versioned handle: the full
+     lifecycle protocol (state load, stripe increment, recheck, stripe
+     decrement) that replaced PR 2's direct handler-array fetch. *)
+  let fast_h =
+    Runtime.Fastcall.register_ep fast (fun _ctx args ->
+        args.(0) <- args.(0) + args.(1);
+        args.(7) <- 0)
+  in
+  let a5_lifecycle =
+    Test.make ~name:"a5:lifecycle"
+      (Staged.stage (fun () ->
+           fast_args.(0) <- 1;
+           fast_args.(1) <- 2;
+           ignore (Runtime.Fastcall.call_h fast fast_h fast_args)))
+  in
   let locked = Runtime.Locked_registry.create () in
   let locked_ep =
     Runtime.Locked_registry.register locked (fun _frame args ->
@@ -427,6 +442,7 @@ let bechamel_tests ~with_cross_domain =
       e1_subject;
       e2_subject;
       a5_local;
+      a5_lifecycle;
       a5_locked;
       a5_striped;
       a5_atomic;

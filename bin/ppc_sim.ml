@@ -349,6 +349,124 @@ let channel_cmd =
       const (fun () a b c d -> run a b c d)
       $ logs_term $ producers_arg $ shards_arg $ calls_arg $ queued_arg)
 
+(* --- lifecycle: the control plane under fire ------------------------------- *)
+
+let lifecycle_cmd =
+  let producers_arg =
+    Arg.(value & opt int 3 & info [ "producers" ] ~doc:"Producer domains")
+  in
+  let calls_arg =
+    Arg.(value & opt int 50_000 & info [ "calls" ] ~doc:"Calls per producer")
+  in
+  let run producers calls =
+    let calls = Stdlib.max calls 3 in
+    let t = Runtime.Fastcall.create () in
+    let ctl = Runtime.Control.install t in
+    let v1 _ctx args =
+      args.(0) <- args.(0) + 1;
+      args.(7) <- 0
+    in
+    let v2 _ctx args =
+      args.(0) <- args.(0) + 2;
+      args.(7) <- 0
+    in
+    let die fmt = Fmt.kpf (fun _ -> exit 1) Fmt.stderr fmt in
+    let ep =
+      match Runtime.Control.alloc_ep ctl ~principal:1 v1 with
+      | Ok id -> id
+      | Error rc -> die "alloc_ep failed: rc %d@." rc
+    in
+    (match Runtime.Control.publish ctl ~principal:1 ~name:"svc" ~ep with
+    | 0 -> ()
+    | rc -> die "publish failed: rc %d@." rc);
+    let id =
+      match Runtime.Control.lookup ctl ~name:"svc" with
+      | Ok id -> id
+      | Error rc -> die "lookup failed: rc %d@." rc
+    in
+    (* Three phases, fenced by a barrier: v1 traffic, then a live
+       exchange, v2 traffic, then a soft-kill.  The fences make the
+       expectations exact — every phase-1 call lands on v2, every
+       phase-2 call is refused — while within a phase the producers
+       hammer concurrently. *)
+    let phase = Atomic.make 0 in
+    let arrived = Atomic.make 0 in
+    let third = calls / 3 in
+    let doms =
+      List.init producers (fun _ ->
+          Domain.spawn (fun () ->
+              let args = Array.make 8 0 in
+              let old_ok = ref 0 and new_ok = ref 0 and rejected = ref 0 in
+              let fence target =
+                Atomic.incr arrived;
+                while Atomic.get phase < target do
+                  Domain.cpu_relax ()
+                done
+              in
+              for i = 1 to calls do
+                if i = third + 1 then fence 1
+                else if i = (2 * third) + 1 then fence 2;
+                args.(0) <- i;
+                match Runtime.Fastcall.call t ~ep:id args with
+                | 0 ->
+                    if args.(0) = i + 1 && Atomic.get phase = 0 then
+                      incr old_ok
+                    else if args.(0) = i + 2 then incr new_ok
+                    else die "wrong routine: result %d for input %d@."
+                           args.(0) i
+                | rc when rc = Ipc_intf.Errc.killed -> incr rejected
+                | rc -> die "undocumented rc %d@." rc
+                | exception Runtime.Fastcall.No_entry _ -> incr rejected
+              done;
+              (!old_ok, !new_ok, !rejected)))
+    in
+    let total = producers * calls in
+    let await n =
+      while Atomic.get arrived < n do
+        Domain.cpu_relax ()
+      done
+    in
+    await producers;
+    (match Runtime.Control.exchange ctl ~principal:1 ~ep:id v2 with
+    | 0 -> ()
+    | rc -> die "exchange failed: rc %d@." rc);
+    Atomic.set phase 1;
+    await (2 * producers);
+    (match Runtime.Control.soft_kill ctl ~principal:1 ~ep:id with
+    | 0 -> ()
+    | rc -> die "soft_kill failed: rc %d@." rc);
+    Atomic.set phase 2;
+    let results = List.map Domain.join doms in
+    let sum f = List.fold_left (fun a x -> a + f x) 0 results in
+    let old_ok = sum (fun (a, _, _) -> a) in
+    let new_ok = sum (fun (_, b, _) -> b) in
+    let rejected = sum (fun (_, _, c) -> c) in
+    if old_ok + new_ok + rejected <> total then
+      die "accounting mismatch: %d + %d + %d <> %d@." old_ok new_ok rejected
+        total;
+    if old_ok <> producers * third then
+      die "v1 phase: expected %d completions, got %d@." (producers * third)
+        old_ok;
+    if new_ok <> producers * third then
+      die "v2 phase: expected %d completions, got %d@." (producers * third)
+        new_ok;
+    if Runtime.Fastcall.lifecycle t ~ep:id <> None then
+      die "slot not freed after drain@.";
+    if Runtime.Fastcall.in_flight t ~ep:id <> 0 then
+      die "in-flight counter did not drain@.";
+    Fmt.pr "lifecycle: %d calls; %d on v1, %d on v2 after live exchange, %d \
+            refused after soft-kill; slot drained and freed@."
+      total old_ok new_ok rejected
+  in
+  Cmd.v
+    (Cmd.info "lifecycle"
+       ~doc:
+         "Drive the runtime control plane under fire: allocate a service \
+          through the resource manager, publish it, hammer it from producer \
+          domains, exchange the handler live, then soft-kill it and verify \
+          that no accepted call was lost")
+    Term.(const (fun () a b -> run a b) $ logs_term $ producers_arg $ calls_arg)
+
 let () =
   let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
   let info = Cmd.info "ppc_sim" ~version:"1.0.0" ~doc in
@@ -358,5 +476,5 @@ let () =
           [
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
-            faults_cmd; channel_cmd;
+            faults_cmd; channel_cmd; lifecycle_cmd;
           ]))

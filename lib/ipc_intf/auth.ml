@@ -1,0 +1,13 @@
+(* Server-side authentication vocabulary (Section 4.1).
+
+   Callers are identified to servers by a program ID; the server checks
+   its own ACL.  Authentication is the server's job, not the IPC
+   facility's — which is exactly what lets entry-point IDs be small
+   integers and the call path stay free of shared data. *)
+
+type perm = Read | Write | Admin
+
+let perm_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Admin -> "admin"

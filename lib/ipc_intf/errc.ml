@@ -1,0 +1,20 @@
+(* The shared PPC error taxonomy: the return codes the last argument
+   word carries back to the caller, identical across the simulator
+   (`Ppc.Reg_args`) and the real-domain runtime (`Runtime.Fastcall`).
+   Values are part of the wire convention — do not renumber. *)
+
+let ok = 0
+let no_entry = -1 (* no such entry point (never bound, or fully freed) *)
+let killed = -2 (* entry point soft/hard-killed, or server quiescing *)
+let denied = -3 (* caller failed the server's authentication *)
+let bad_request = -4 (* malformed operation *)
+let no_resources = -5 (* the resource manager could not satisfy the call *)
+
+let to_string rc =
+  if rc = ok then "ok"
+  else if rc = no_entry then "err_no_entry"
+  else if rc = killed then "err_killed"
+  else if rc = denied then "err_denied"
+  else if rc = bad_request then "err_bad_request"
+  else if rc = no_resources then "err_no_resources"
+  else Printf.sprintf "rc(%d)" rc

@@ -1,0 +1,18 @@
+(* The provider-agnostic IPC control-plane core.
+
+   Both embodiments of the paper's facility — the cycle-accurate
+   simulator (`lib/ppc`, `lib/naming`) and the real-domain runtime
+   (`lib/runtime`) — implement these types: one lifecycle state
+   machine, one error taxonomy, one well-known-ID map, one name hash,
+   one authentication vocabulary.  The {!Conformance} functor turns the
+   shared contract into an executable suite, instantiated once per
+   embodiment in `test/test_conformance.ml`. *)
+
+module Lifecycle = Lifecycle
+module Errc = Errc
+module Wellknown = Wellknown
+module Opfield = Opfield
+module Name_hash = Name_hash
+module Auth = Auth
+module Sigs = Sigs
+module Conformance = Conformance

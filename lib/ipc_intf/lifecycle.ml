@@ -1,0 +1,17 @@
+(* Service-lifecycle states (paper Section 4.5.2).
+
+   An entry point is Active until deallocated; deallocation comes in the
+   paper's two strategies: soft-kill (stop new calls, let calls in
+   progress complete, then free) and hard-kill (abort calls in progress
+   too).  Both the simulator's `Ppc.Entry_point` and the real-domain
+   runtime's `Runtime.Fastcall` slots carry exactly this state machine;
+   "freed" is represented by the entry point leaving the table
+   altogether (the simulator drops it, the runtime recycles the slot
+   under a bumped generation). *)
+
+type status = Active | Soft_killed | Hard_killed
+
+let to_string = function
+  | Active -> "active"
+  | Soft_killed -> "soft-killed"
+  | Hard_killed -> "hard-killed"

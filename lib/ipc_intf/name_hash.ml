@@ -1,0 +1,16 @@
+(* The client-stub name hash (Section 4.5.5).
+
+   Names are strings but a PPC carries eight words, so the stub hashes
+   the name into two 30-bit words and the registry is keyed by that
+   pair.  FNV-1a; both stacks must agree on this function or a name
+   registered through one path is invisible through the other. *)
+
+let hash_name name =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  let v = !h land max_int in
+  (v land 0x3FFFFFFF, (v lsr 30) land 0x3FFFFFFF)

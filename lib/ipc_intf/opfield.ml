@@ -1,0 +1,11 @@
+(* Opcode/flag packing for the last argument word, mirroring the paper's
+   PPC_OP_FLAGS(op, flags): 16-bit opcode in the high half, 16-bit flags
+   in the low half on the way in; the return code on the way out. *)
+
+let pack ~op ~flags =
+  if op < 0 || op > 0xFFFF then invalid_arg "Opfield.pack: bad opcode";
+  if flags < 0 || flags > 0xFFFF then invalid_arg "Opfield.pack: bad flags";
+  (op lsl 16) lor flags
+
+let op_of packed = (packed lsr 16) land 0xFFFF
+let flags_of packed = packed land 0xFFFF

@@ -1,0 +1,24 @@
+(* Well-known entry points and operation codes, shared by both stacks.
+
+   The paper's discipline (Sections 4.5.5-4.5.6): the Name Server lives
+   at a well-known entry point, and PPC resources are managed by calls
+   to Frank, who also has a well-known service ID.  Operations travel in
+   the high half of the last argument word (see {!Opfield}). *)
+
+let name_server_ep = 0
+let resource_manager_ep = 1
+
+(* Name Server operations (Section 4.5.5). *)
+let op_register = 1
+let op_lookup = 2
+let op_unregister = 3
+
+(* Resource-manager operations (Sections 4.5.2 and 4.5.6).  The last
+   two are management conveniences only the simulator implements; the
+   runtime manager answers them with [Errc.bad_request]. *)
+let op_alloc_ep = 1
+let op_soft_kill = 2
+let op_hard_kill = 3
+let op_exchange = 4
+let op_grow_pool = 5
+let op_reclaim = 6

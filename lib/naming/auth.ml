@@ -9,7 +9,8 @@
    server-time — category).  No global capability structures exist, which
    is exactly what keeps the IPC path free of shared data. *)
 
-type perm = Read | Write | Admin
+(* The permission vocabulary is shared with the runtime control plane. *)
+type perm = Ipc_intf.Auth.perm = Read | Write | Admin
 
 type t = {
   acl : (Kernel.Program.id, perm list) Hashtbl.t;

@@ -1,7 +1,8 @@
 (** Server-side program-ID authentication (Section 4.1): per-server ACLs,
     no global capability state. *)
 
-type perm = Read | Write | Admin
+type perm = Ipc_intf.Auth.perm = Read | Write | Admin
+(** Shared with the runtime control plane via {!Ipc_intf.Auth}. *)
 
 type t
 

@@ -11,11 +11,13 @@
    is *not* the name server's job — any program may look names up, and
    servers verify callers themselves by program ID (Section 4.1). *)
 
-let well_known_id = 0
+(* Well-known ID and opcode map from the shared control-plane
+   vocabulary, common with the runtime's name registry. *)
+let well_known_id = Ipc_intf.Wellknown.name_server_ep
 
-let op_register = 1
-let op_lookup = 2
-let op_unregister = 3
+let op_register = Ipc_intf.Wellknown.op_register
+let op_lookup = Ipc_intf.Wellknown.op_lookup
+let op_unregister = Ipc_intf.Wellknown.op_unregister
 
 type t = {
   ppc : Ppc.t;
@@ -34,16 +36,10 @@ type t = {
 
 let ep_id t = t.ns_ep
 
-(* FNV-1a over the name, split into two 30-bit words. *)
-let hash_name name =
-  let h = ref 0x3f29ce484222325 in
-  String.iter
-    (fun c ->
-      h := !h lxor Char.code c;
-      h := !h * 0x100000001b3)
-    name;
-  let v = !h land max_int in
-  (v land 0x3FFFFFFF, (v lsr 30) land 0x3FFFFFFF)
+(* FNV-1a over the name, split into two 30-bit words.  The function is
+   the shared one: a name registered through the runtime's registry
+   hashes identically. *)
+let hash_name = Ipc_intf.Name_hash.hash_name
 
 let charge_hash ctx_cpu ~code name =
   (* The stub hashes the name: a few instructions per character. *)

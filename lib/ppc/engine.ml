@@ -609,8 +609,12 @@ and restore_user_space t cpu ~cpu_index ~target =
           ~asid:(Kernel.Address_space.asid caller_space)
 
 and maybe_finalize_soft_kill t ep =
+  (* Also the hard-kill case: a worker that was *running* (not blocked)
+     when its entry point was hard-killed completes through the normal
+     path, and the drained entry point must still leave the table. *)
   if
-    Entry_point.status ep = Entry_point.Soft_killed
+    (Entry_point.status ep = Entry_point.Soft_killed
+    || Entry_point.status ep = Entry_point.Hard_killed)
     && Entry_point.in_progress_total ep = 0
   then finalize_ep t ep
 

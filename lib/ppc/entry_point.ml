@@ -9,7 +9,9 @@
    (stop new calls, let calls in progress complete, then free) and
    hard-kill (abort calls in progress too). *)
 
-type status = Active | Soft_killed | Hard_killed
+(* The lifecycle state machine is the shared control-plane vocabulary:
+   the runtime's versioned slot table steps through the same states. *)
+type status = Ipc_intf.Lifecycle.status = Active | Soft_killed | Hard_killed
 
 (* Stack sizing (Section 4.5.4).  [Single_page] is the common fast case;
    [Fixed_pages n] maps n pages on every call (exceptional, slower);

@@ -1,7 +1,8 @@
 (** Service entry points: small-integer IDs bound to server descriptors
     with per-processor worker pools. *)
 
-type status = Active | Soft_killed | Hard_killed
+type status = Ipc_intf.Lifecycle.status = Active | Soft_killed | Hard_killed
+(** Shared with the real-domain runtime via {!Ipc_intf.Lifecycle}. *)
 
 type stack_policy = Single_page | Fixed_pages of int | Fault_in of int
 

@@ -14,14 +14,17 @@
    (The name Frank was chosen so that Bob, the file server, would not be
    the only server with an eccentric name.) *)
 
-let well_known_id = 1
+(* Frank's well-known ID and opcode map come from the shared control-
+   plane vocabulary; the runtime's resource manager answers the same
+   opcodes at the same ID. *)
+let well_known_id = Ipc_intf.Wellknown.resource_manager_ep
 
-let op_alloc_ep = 1
-let op_soft_kill = 2
-let op_hard_kill = 3
-let op_exchange = 4
-let op_grow_pool = 5
-let op_reclaim = 6
+let op_alloc_ep = Ipc_intf.Wellknown.op_alloc_ep
+let op_soft_kill = Ipc_intf.Wellknown.op_soft_kill
+let op_hard_kill = Ipc_intf.Wellknown.op_hard_kill
+let op_exchange = Ipc_intf.Wellknown.op_exchange
+let op_grow_pool = Ipc_intf.Wellknown.op_grow_pool
+let op_reclaim = Ipc_intf.Wellknown.op_reclaim
 
 type staged = { server : Entry_point.server; handler : Call_ctx.handler }
 

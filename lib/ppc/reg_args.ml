@@ -31,15 +31,13 @@ let set a i v =
   if i < 0 || i >= words then invalid_arg "Reg_args.set: slot out of range";
   a.(i) <- v
 
-(* Opcode/flag packing, mirroring PPC_OP_FLAGS(op, flags). *)
+(* Opcode/flag packing, mirroring PPC_OP_FLAGS(op, flags).  The packing
+   itself lives in the provider-agnostic core so the runtime's control
+   plane parses calls identically. *)
 
-let op_flags ~op ~flags =
-  if op < 0 || op > 0xFFFF then invalid_arg "Reg_args.op_flags: bad opcode";
-  if flags < 0 || flags > 0xFFFF then invalid_arg "Reg_args.op_flags: bad flags";
-  (op lsl 16) lor flags
-
-let op_of packed = (packed lsr 16) land 0xFFFF
-let flags_of packed = packed land 0xFFFF
+let op_flags = Ipc_intf.Opfield.pack
+let op_of = Ipc_intf.Opfield.op_of
+let flags_of = Ipc_intf.Opfield.flags_of
 
 let set_op a ~op ~flags = a.(opflags_slot) <- op_flags ~op ~flags
 let op a = op_of a.(opflags_slot)
@@ -51,12 +49,14 @@ let flags a = flags_of a.(opflags_slot)
 let set_rc a rc = a.(opflags_slot) <- rc
 let rc a = a.(opflags_slot)
 
-let ok = 0
-let err_no_entry = -1
-let err_killed = -2
-let err_denied = -3
-let err_bad_request = -4
-let err_no_resources = -5
+(* The error taxonomy is the shared one ({!Ipc_intf.Errc}): both the
+   simulator and the real-domain runtime answer with these codes. *)
+let ok = Ipc_intf.Errc.ok
+let err_no_entry = Ipc_intf.Errc.no_entry
+let err_killed = Ipc_intf.Errc.killed
+let err_denied = Ipc_intf.Errc.denied
+let err_bad_request = Ipc_intf.Errc.bad_request
+let err_no_resources = Ipc_intf.Errc.no_resources
 
 let copy = Array.copy
 

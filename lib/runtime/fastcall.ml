@@ -3,15 +3,42 @@
    What the paper's facility does with per-processor worker/CD pools,
    this module does with per-domain state:
 
-   - the service table is a fixed array of handlers, written only during
-     registration and read without any synchronisation on the call path
-     (the per-CPU service table);
+   - the service table is a fixed array of *versioned entry-point
+     slots*.  Each slot packs a generation counter and a lifecycle state
+     ([Ipc_intf.Lifecycle]: active / soft-killed / hard-killed, plus
+     free) into one atomic word, carries its handler in a second atomic
+     (so registration publishes safely under the OCaml 5 memory model),
+     and counts calls in flight on a striped counter.  The warm call
+     path is still lock-free and allocation-free: one state load, a
+     stripe increment, a recheck, the handler, a stripe decrement.
    - every domain keeps a private LIFO stack of preallocated *frames*
      (argument block + scratch buffer) in domain-local storage: the call
      path allocates nothing and takes no locks (the CD/stack pool, with
      the same serial-reuse-for-warmth property);
    - the 8-word argument convention is kept: handlers mutate an 8-slot
      int array in place.
+
+   Lifecycle (paper Section 4.5.2): [soft_kill] stops new calls and
+   frees the slot once calls in progress drain; [hard_kill] also aborts
+   calls in progress — a domain cannot be preempted mid-handler, so
+   "abort" means the caller's return code becomes [Errc.killed] instead
+   of the handler's result.  [exchange] swaps the handler under the same
+   ID (Section 4.5.6); calls already in flight finish with the routine
+   they latched.  Freed IDs are recycled through a Treiber stack, and
+   the generation bump at free time makes stale versioned handles
+   detectable — no ABA on ID reuse.
+
+   The acceptance protocol is increment-then-recheck: a caller bumps its
+   in-flight stripe, then re-reads the slot state; the call is accepted
+   only if the state word is unchanged.  Under sequentially-consistent
+   atomics this guarantees a killer's drain check observes every
+   accepted call, and the *last decrementer* (killer included) always
+   sees the true zero and frees the slot — no accepted call is ever
+   lost, and nothing leaks.
+
+   Management operations (register / exchange / kill) serialise on one
+   mutex; they are rare by design (the paper routes them through Frank
+   for the same reason) and the call path never touches it.
 
    "Allocates nothing" is literal: the context record is pooled with its
    frame, cleanup is a trap frame rather than a [Fun.protect] closure,
@@ -24,6 +51,8 @@
      submission rings, a SPINNING/PARKED doorbell, server-side batch
      draining, and optional sharding with entry-point affinity and
      steal-on-idle.  Zero allocation and no locks after warm-up.
+     {!shutdown_channel_server} quiesces: it refuses new calls, lets
+     every accepted call complete, then joins the shard domains.
    - the *legacy path* ({!spawn_server} / {!cross_call}): one allocating
      MPSC queue and a per-request mutex/condvar.  Kept as the baseline
      the benchmarks measure the channel path against.
@@ -33,6 +62,10 @@
 
 let max_entry_points = 1024
 let arg_words = 8
+let rc_slot = arg_words - 1
+
+let err_no_entry = Ipc_intf.Errc.no_entry
+let err_killed = Ipc_intf.Errc.killed
 
 type frame = {
   scratch : Bytes.t;  (** the "stack page": reused, never reallocated *)
@@ -47,11 +80,42 @@ type handler = ctx -> int array -> unit
    per-domain call counter.  Everything here is domain-private. *)
 type pool = { mutable ctxs : ctx array; mutable n : int; mutable calls : int }
 
+(* One versioned entry-point slot.  [state] packs
+   [generation lsl 2 lor lifecycle]; the generation increments when a
+   killed slot is freed, so a handle minted for one service can never
+   reach the slot's next tenant.  The handler lives in its own atomic:
+   registration writes it *before* flipping the state to active, and the
+   OCaml 5 memory model makes the closure's initialising writes visible
+   to any caller that saw the state flip. *)
+type slot = {
+  slot_id : int;
+  state : int Atomic.t;
+  routine : handler Atomic.t;
+  inflight : Striped_counter.t;
+}
+
+(* Lifecycle codes in the low two state bits. *)
+let st_free = 0
+let st_active = 1
+let st_soft = 2
+let st_hard = 3
+
+let lc_of st = st land 3
+let gen_of st = st lsr 2
+let pack gen lc = (gen lsl 2) lor lc
+
+(* A versioned handle: slot ID plus the generation it was minted under.
+   Stale handles (the slot was freed, possibly re-registered) are
+   rejected on every operation. *)
+type ep = { ep_id : int; ep_gen : int }
+
 type t = {
-  handlers : handler option array;
-  mutable next_ep : int;
+  slots : slot array;
+  free_ids : int Treiber_stack.t;  (** killed-and-drained IDs, for reuse *)
+  mutable next_ep : int;  (** high-water mark; under [mgmt] *)
+  mgmt : Mutex.t;  (** serialises register / exchange / kill *)
   pool_key : pool Domain.DLS.key;
-  registered : int Atomic.t;
+  registered : int Atomic.t;  (** live (not freed) entry points *)
 }
 
 let scratch_bytes = 4096
@@ -59,27 +123,77 @@ let scratch_bytes = 4096
 let make_frame () = { scratch = Bytes.create scratch_bytes; frame_calls = 0 }
 let make_ctx () = { frame = make_frame (); domain_index = 0 }
 
+let null_handler : handler = fun _ _ -> ()
+
 let create () =
   {
-    handlers = Array.make max_entry_points None;
+    slots =
+      Array.init max_entry_points (fun slot_id ->
+          {
+            slot_id;
+            state = Atomic.make (pack 0 st_free);
+            routine = Atomic.make null_handler;
+            inflight = Striped_counter.create ~stripes:8 ();
+          });
+    free_ids = Treiber_stack.create ();
     next_ep = 0;
+    mgmt = Mutex.create ();
     pool_key =
       Domain.DLS.new_key (fun () ->
           { ctxs = [| make_ctx (); make_ctx () |]; n = 2; calls = 0 });
     registered = Atomic.make 0;
   }
 
-(* Registration is a management operation: perform it before the domains
-   start calling (the paper routes it through Frank for the same
-   reason). *)
-let register t handler =
-  if t.next_ep >= max_entry_points then
-    invalid_arg "Fastcall.register: out of entry points";
-  let ep = t.next_ep in
-  t.next_ep <- ep + 1;
-  t.handlers.(ep) <- Some handler;
+(* Free a killed slot once its in-flight count has drained.  Called
+   after every decrement (and by the killer itself): the *last*
+   decrement in the execution has no later increment, so its gathered
+   sum is the true zero and exactly one caller wins the generation-
+   bumping CAS.  Lock-free: a killed slot can only transition to free,
+   and registration (which could race the freed ID) runs under [mgmt]
+   and only ever touches slots popped from [free_ids] — pushed here
+   strictly after the CAS. *)
+let drain_check t s =
+  let st = Atomic.get s.state in
+  let lc = lc_of st in
+  if
+    (lc = st_soft || lc = st_hard)
+    && Striped_counter.value s.inflight = 0
+    && Atomic.compare_and_set s.state st (pack (gen_of st + 1) st_free)
+  then begin
+    Atomic.set s.routine null_handler;
+    Atomic.decr t.registered;
+    Treiber_stack.push t.free_ids s.slot_id
+  end
+
+(* Registration is a management operation: rare, serialised, off the
+   call path (the paper routes it through Frank for the same reason). *)
+let register_ep t handler =
+  Mutex.lock t.mgmt;
+  let id =
+    match Treiber_stack.pop t.free_ids with
+    | Some id -> id
+    | None ->
+        if t.next_ep >= max_entry_points then begin
+          Mutex.unlock t.mgmt;
+          invalid_arg "Fastcall.register: out of entry points"
+        end
+        else begin
+          let id = t.next_ep in
+          t.next_ep <- id + 1;
+          id
+        end
+  in
+  let s = t.slots.(id) in
+  let gen = gen_of (Atomic.get s.state) in
+  Atomic.set s.routine handler;
+  Atomic.set s.state (pack gen st_active);
   Atomic.incr t.registered;
-  ep
+  Mutex.unlock t.mgmt;
+  { ep_id = id; ep_gen = gen }
+
+let register t handler = (register_ep t handler).ep_id
+
+let ep_id h = h.ep_id
 
 let registered t = Atomic.get t.registered
 
@@ -97,32 +211,193 @@ let pool_push pool ctx =
   pool.ctxs.(n) <- ctx;
   pool.n <- n + 1
 
-(* The fast path: array load, DLS stack pop, handler, stack push.  No
-   locks, no shared mutable data, no allocation. *)
+(* Post-handler epilogue.  The pre-decrement state read is safe to
+   interpret: our in-flight hold pins the generation, so a hard state
+   here is *our* service's hard-kill and the caller must see
+   [err_killed] (the runtime's "abort", since a running OCaml function
+   cannot be preempted).  A soft kill leaves the completed call's result
+   untouched — that is the whole point of draining.  The killed-state
+   re-read for the drain check must come *after* the decrement, or a
+   kill landing between read and decrement would never be finalised. *)
+let retire_call t s args ~flip_rc =
+  (if flip_rc && lc_of (Atomic.get s.state) = st_hard then
+     args.(rc_slot) <- err_killed);
+  Striped_counter.add s.inflight (-1);
+  drain_check t s
+
+(* Accepted-call body (in-flight hold already taken): handler latch,
+   DLS stack pop, handler, stack push, retire.  No locks, no allocation. *)
+let run_accepted t s args =
+  let handler = Atomic.get s.routine in
+  let pool = Domain.DLS.get t.pool_key in
+  let ctx =
+    let n = pool.n in
+    if n = 0 then make_ctx () (* pool empty: grow, like Frank creating a CD *)
+    else begin
+      pool.n <- n - 1;
+      pool.ctxs.(n - 1)
+    end
+  in
+  ctx.domain_index <- domain_index ();
+  ctx.frame.frame_calls <- ctx.frame.frame_calls + 1;
+  (match handler ctx args with
+  | () -> pool_push pool ctx
+  | exception e ->
+      pool_push pool ctx;
+      retire_call t s args ~flip_rc:false;
+      raise e);
+  pool.calls <- pool.calls + 1;
+  retire_call t s args ~flip_rc:true;
+  args.(rc_slot)
+
+(* The fast path, raw-ID flavour (what a client holds after a name
+   lookup): state load, stripe increment, recheck, handler.  Unbound
+   IDs raise [No_entry] as they always did; killed-but-not-yet-freed
+   IDs answer [err_killed]. *)
 let call t ~ep args =
-  match t.handlers.(ep) with
-  | None -> raise (No_entry ep)
-  | Some handler ->
-      let pool = Domain.DLS.get t.pool_key in
-      let ctx =
-        let n = pool.n in
-        if n = 0 then make_ctx () (* pool empty: grow, like Frank creating a CD *)
-        else begin
-          pool.n <- n - 1;
-          pool.ctxs.(n - 1)
-        end
-      in
-      ctx.domain_index <- domain_index ();
-      ctx.frame.frame_calls <- ctx.frame.frame_calls + 1;
-      (match handler ctx args with
-      | () -> pool_push pool ctx
-      | exception e ->
-          pool_push pool ctx;
-          raise e);
-      pool.calls <- pool.calls + 1;
-      args.(arg_words - 1)
+  if ep < 0 || ep >= max_entry_points then raise (No_entry ep);
+  let s = t.slots.(ep) in
+  let st0 = Atomic.get s.state in
+  if lc_of st0 <> st_active then
+    if lc_of st0 = st_free then raise (No_entry ep)
+    else begin
+      args.(rc_slot) <- err_killed;
+      err_killed
+    end
+  else begin
+    Striped_counter.incr s.inflight;
+    if Atomic.get s.state <> st0 then begin
+      (* Killed (or even freed and re-registered) between the state load
+         and the increment: withdraw.  The transient increment may have
+         held up a concurrent drain, so re-run its check. *)
+      Striped_counter.add s.inflight (-1);
+      drain_check t s;
+      args.(rc_slot) <- err_killed;
+      err_killed
+    end
+    else run_accepted t s args
+  end
+
+(* The fast path, versioned-handle flavour: additionally proof against
+   ID reuse, and never raises — rejections come back as [Errc] codes. *)
+let call_h t h args =
+  let s = t.slots.(h.ep_id) in
+  let st0 = Atomic.get s.state in
+  if st0 = pack h.ep_gen st_active then begin
+    Striped_counter.incr s.inflight;
+    if Atomic.get s.state <> st0 then begin
+      Striped_counter.add s.inflight (-1);
+      drain_check t s;
+      args.(rc_slot) <- err_killed;
+      err_killed
+    end
+    else run_accepted t s args
+  end
+  else begin
+    let rc =
+      if gen_of st0 = h.ep_gen && lc_of st0 <> st_free then err_killed
+      else err_no_entry
+    in
+    args.(rc_slot) <- rc;
+    rc
+  end
 
 let local_calls t = (Domain.DLS.get t.pool_key).calls
+
+(* Management of the calling domain's context pool: the paper's
+   grow-pool and reclaim operations (Section 2 — pre-populate for a
+   known burst, shrink peak-time pools back to steady state). *)
+
+let warm_pool t n =
+  let pool = Domain.DLS.get t.pool_key in
+  for _ = 1 to n do
+    pool_push pool (make_ctx ())
+  done
+
+let trim_pool t ~max_ctxs =
+  let max_ctxs = Stdlib.max 0 max_ctxs in
+  let pool = Domain.DLS.get t.pool_key in
+  if pool.n <= max_ctxs then 0
+  else begin
+    let retired = pool.n - max_ctxs in
+    pool.ctxs <- Array.sub pool.ctxs 0 max_ctxs;
+    pool.n <- max_ctxs;
+    retired
+  end
+
+let pool_ctxs t = (Domain.DLS.get t.pool_key).n
+
+(* --- lifecycle management ---------------------------------------------- *)
+
+(* [expect_gen] guards handle-based operations against ID reuse; pass
+   [-1] for the raw-ID flavour. *)
+let do_kill t id ~expect_gen ~target =
+  if id < 0 || id >= max_entry_points then err_no_entry
+  else begin
+    Mutex.lock t.mgmt;
+    let s = t.slots.(id) in
+    let st = Atomic.get s.state in
+    let rc =
+      if expect_gen >= 0 && gen_of st <> expect_gen then err_no_entry
+      else if lc_of st = st_active then begin
+        Atomic.set s.state (pack (gen_of st) target);
+        Ipc_intf.Errc.ok
+      end
+      else if lc_of st = st_free then err_no_entry
+      else err_killed
+    in
+    Mutex.unlock t.mgmt;
+    (* Nothing in flight?  Then we are also the last "decrementer". *)
+    if rc = Ipc_intf.Errc.ok then drain_check t s;
+    rc
+  end
+
+let soft_kill t ~ep = do_kill t ep ~expect_gen:(-1) ~target:st_soft
+let hard_kill t ~ep = do_kill t ep ~expect_gen:(-1) ~target:st_hard
+let soft_kill_h t h = do_kill t h.ep_id ~expect_gen:h.ep_gen ~target:st_soft
+let hard_kill_h t h = do_kill t h.ep_id ~expect_gen:h.ep_gen ~target:st_hard
+
+let do_exchange t id ~expect_gen handler =
+  if id < 0 || id >= max_entry_points then err_no_entry
+  else begin
+    Mutex.lock t.mgmt;
+    let s = t.slots.(id) in
+    let st = Atomic.get s.state in
+    let rc =
+      if expect_gen >= 0 && gen_of st <> expect_gen then err_no_entry
+      else if lc_of st = st_active then begin
+        (* Same ID, new routine.  Calls in flight latched the old
+           handler at acceptance and finish with it. *)
+        Atomic.set s.routine handler;
+        Ipc_intf.Errc.ok
+      end
+      else if lc_of st = st_free then err_no_entry
+      else err_killed
+    in
+    Mutex.unlock t.mgmt;
+    rc
+  end
+
+let exchange t ~ep handler = do_exchange t ep ~expect_gen:(-1) handler
+let exchange_h t h handler = do_exchange t h.ep_id ~expect_gen:h.ep_gen handler
+
+let in_flight t ~ep =
+  if ep < 0 || ep >= max_entry_points then 0
+  else Striped_counter.value t.slots.(ep).inflight
+
+let in_flight_h t h =
+  let s = t.slots.(h.ep_id) in
+  if gen_of (Atomic.get s.state) <> h.ep_gen then 0
+  else Striped_counter.value s.inflight
+
+let lifecycle t ~ep =
+  if ep < 0 || ep >= max_entry_points then None
+  else
+    let lc = lc_of (Atomic.get t.slots.(ep).state) in
+    if lc = st_active then Some Ipc_intf.Lifecycle.Active
+    else if lc = st_soft then Some Ipc_intf.Lifecycle.Soft_killed
+    else if lc = st_hard then Some Ipc_intf.Lifecycle.Hard_killed
+    else None
 
 (* --- cross-domain calls: the channel path ------------------------------ *)
 
@@ -156,6 +431,9 @@ type channel_server = {
   cs_table : t;
   cs_shards : shard array;
   cs_stop : bool Atomic.t;
+  cs_draining : bool Atomic.t;  (** set first on shutdown: refuse new calls *)
+  cs_actives : int Atomic.t array Atomic.t;
+      (** every client's in-flight gate, CAS-append; summed to quiesce *)
   cs_server_spin : int;
   cs_max_batch : int;
   mutable cs_domains : unit Domain.t array;
@@ -166,6 +444,7 @@ type client = {
   cl_chans : Ppc_channel.t array;
   cl_inline : bool;
   cl_inlined : int Atomic.t;
+  cl_active : int Atomic.t;  (** calls past the draining gate, not yet done *)
 }
 
 (* Spinning across domains only pays when the peer can actually run in
@@ -210,7 +489,17 @@ let rec steal_round server run si k =
     if got > 0 then got else steal_round server run si (k + 1)
 
 let shard_loop server sh =
-  let run ep args = ignore (call server.cs_table ~ep args) in
+  (* A request for an entry point that was killed and freed while the
+     request sat in a ring must answer, not kill the shard domain.  The
+     served counter bumps *before* the channel marks the request
+     complete, so a caller that has seen its call return also sees it
+     counted. *)
+  let run ep args =
+    (match call server.cs_table ~ep args with
+    | (_ : int) -> ()
+    | exception No_entry _ -> args.(rc_slot) <- err_no_entry);
+    Atomic.incr sh.shard_served
+  in
   let nonempty () =
     Atomic.get server.cs_stop || chans_pending (Atomic.get sh.chans) 0
   in
@@ -228,7 +517,6 @@ let shard_loop server sh =
       if stolen > 0 then ignore (Atomic.fetch_and_add sh.shard_steals stolen);
       let did = own + stolen in
       if did > 0 then begin
-        ignore (Atomic.fetch_and_add sh.shard_served did);
         Atomic.incr sh.shard_batches;
         go 0
       end
@@ -271,6 +559,8 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
       cs_table = t;
       cs_shards;
       cs_stop = Atomic.make false;
+      cs_draining = Atomic.make false;
+      cs_actives = Atomic.make [||];
       cs_server_spin = server_spin;
       cs_max_batch = max_batch;
       cs_domains = [||];
@@ -284,6 +574,12 @@ let rec register_chan sh ch =
   let cur = Atomic.get sh.chans in
   let next = Array.append cur [| ch |] in
   if not (Atomic.compare_and_set sh.chans cur next) then register_chan sh ch
+
+let rec register_active server a =
+  let cur = Atomic.get server.cs_actives in
+  let next = Array.append cur [| a |] in
+  if not (Atomic.compare_and_set server.cs_actives cur next) then
+    register_active server a
 
 (* Per-calling-domain handle: one channel to every shard.  Connect from
    the domain that will make the calls; a client must not be shared
@@ -307,11 +603,14 @@ let connect ?(slab_capacity = 16) ?(ring_capacity = 64) ?client_spin
         ch)
       server.cs_shards
   in
+  let cl_active = Atomic.make 0 in
+  register_active server cl_active;
   {
     cl_server = server;
     cl_chans;
     cl_inline = inline_uncontended;
     cl_inlined = Atomic.make 0;
+    cl_active;
   }
 
 (* The channel-path cross-domain call.  Entry-point affinity picks the
@@ -321,8 +620,14 @@ let connect ?(slab_capacity = 16) ?(ring_capacity = 64) ?client_spin
    hand-off is the exception.  Otherwise it queues on this client's SPSC
    channel and the shard domain batches it.  Either way: no allocation
    after warm-up.  Per-client ordering is trivially preserved because
-   calls are synchronous (at most one outstanding request per client). *)
-let channel_call cl ~ep args =
+   calls are synchronous (at most one outstanding request per client).
+
+   The call first passes the shutdown gate — increment [cl_active],
+   re-read the draining flag — so a quiescing server either rejects the
+   call with [err_killed] or is guaranteed to see its gate and wait for
+   it (same increment-then-recheck argument as slot acceptance).
+   Lifecycle rejections come back as [Errc] codes, never exceptions. *)
+let channel_call_body cl ~ep args =
   let chans = cl.cl_chans in
   let idx = ep mod Array.length chans in
   if cl.cl_inline && try_ticket cl.cl_server.cs_shards.(idx) then begin
@@ -332,15 +637,52 @@ let channel_call cl ~ep args =
         release_ticket sh;
         Atomic.incr cl.cl_inlined;
         rc
+    | exception No_entry _ ->
+        release_ticket sh;
+        Atomic.incr cl.cl_inlined;
+        args.(rc_slot) <- err_no_entry;
+        err_no_entry
     | exception e ->
         release_ticket sh;
         raise e
   end
   else Ppc_channel.call chans.(idx) ~ep args
 
+let channel_call cl ~ep args =
+  Atomic.incr cl.cl_active;
+  if Atomic.get cl.cl_server.cs_draining then begin
+    Atomic.decr cl.cl_active;
+    args.(rc_slot) <- err_killed;
+    err_killed
+  end
+  else begin
+    (match channel_call_body cl ~ep args with
+    | (_ : int) -> ()
+    | exception e ->
+        Atomic.decr cl.cl_active;
+        raise e);
+    Atomic.decr cl.cl_active;
+    args.(rc_slot)
+  end
+
 let client_inlined cl = Atomic.get cl.cl_inlined
 
+(* Quiesce, then join (Section 4.5.2's soft-kill discipline applied to
+   the whole server): refuse new calls, wait for every call already
+   past the gate to complete — the shards are still serving during the
+   wait — and only then stop the shard domains.  Every accepted call
+   completes; every refused call sees [err_killed]. *)
 let shutdown_channel_server server =
+  Atomic.set server.cs_draining true;
+  let sum_actives () =
+    Array.fold_left
+      (fun acc a -> acc + Atomic.get a)
+      0
+      (Atomic.get server.cs_actives)
+  in
+  while sum_actives () > 0 do
+    Domain.cpu_relax ()
+  done;
   Atomic.set server.cs_stop true;
   Array.iter (fun sh -> Doorbell.wake sh.bell) server.cs_shards;
   Array.iter Domain.join server.cs_domains
@@ -411,7 +753,9 @@ let spawn_server t =
         let rec loop () =
           match Mpsc_queue.pop queue with
           | Some req ->
-              ignore (call t ~ep:req.req_ep req.req_args);
+              (match call t ~ep:req.req_ep req.req_args with
+              | (_ : int) -> ()
+              | exception No_entry _ -> req.req_args.(rc_slot) <- err_no_entry);
               Atomic.set req.done_ true;
               Mutex.lock req.req_mutex;
               Condition.signal req.req_cond;

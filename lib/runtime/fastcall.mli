@@ -1,8 +1,16 @@
-(** The PPC design pattern on OCaml 5 domains: lock-free service table,
-    per-domain frame pools in domain-local storage, 8-word argument
-    convention.  Local calls take no locks and allocate nothing (the
-    pooled context, trap-frame cleanup and array-backed pool make this
-    literal — a warm call writes zero minor-heap words).
+(** The PPC design pattern on OCaml 5 domains: lock-free service table
+    of versioned entry-point slots, per-domain frame pools in
+    domain-local storage, 8-word argument convention.  Local calls take
+    no locks and allocate nothing (the pooled context, trap-frame
+    cleanup and array-backed pool make this literal — a warm call writes
+    zero minor-heap words).
+
+    Entry points carry the full {!Ipc_intf.Lifecycle} state machine:
+    soft-kill (stop new calls, drain calls in flight, then free the
+    slot), hard-kill (also abort calls in flight: their return code
+    becomes [Ipc_intf.Errc.killed]), and on-line handler {!exchange}.
+    Freed IDs are recycled; the per-slot generation counter makes stale
+    {!ep} handles detectable across reuse.
 
     Cross-domain calls have two embodiments: the {e channel path}
     (preallocated request slabs + per-client SPSC rings + doorbell +
@@ -19,21 +27,86 @@ type handler = ctx -> int array -> unit
 
 type t
 
+type ep
+(** A versioned entry-point handle: slot ID plus the generation it was
+    minted under.  Operations on a handle whose slot has since been
+    freed (and possibly re-registered) fail with [Ipc_intf.Errc]
+    codes — never reach the slot's next tenant. *)
+
 exception No_entry of int
 
 val create : unit -> t
 
 val register : t -> handler -> int
-(** Bind the next entry point.  Management path: register before domains
-    start calling. *)
+(** Bind a free entry point (recycling killed-and-drained IDs) and
+    return its raw ID.  Management path, serialised with the other
+    lifecycle operations; safe while other domains are calling. *)
+
+val register_ep : t -> handler -> ep
+(** [register], but returning the versioned handle. *)
+
+val ep_id : ep -> int
+(** The raw ID under a handle — what gets published to a registry. *)
 
 val registered : t -> int
+(** Live (registered and not yet freed) entry points. *)
 
 val call : t -> ep:int -> int array -> int
-(** Local synchronous call: returns [args.(7)] (the RC slot). *)
+(** Local synchronous call by raw ID: returns [args.(7)] (the RC slot).
+    Raises {!No_entry} on an unbound ID; a killed-but-draining ID
+    returns [Ipc_intf.Errc.killed]. *)
+
+val call_h : t -> ep -> int array -> int
+(** Local synchronous call through a versioned handle.  Never raises:
+    stale handles get [Ipc_intf.Errc.no_entry], killed ones
+    [Ipc_intf.Errc.killed]. *)
 
 val local_calls : t -> int
 (** Calls completed by the current domain. *)
+
+val warm_pool : t -> int -> unit
+(** Pre-populate the calling domain's context pool with [n] fresh
+    contexts (the paper's grow-pool management op). *)
+
+val trim_pool : t -> max_ctxs:int -> int
+(** Shrink the calling domain's context pool to at most [max_ctxs]
+    pooled contexts; returns how many were retired (the paper's
+    Section 2 reclaim of peak-time resources). *)
+
+val pool_ctxs : t -> int
+(** Contexts currently pooled by the calling domain. *)
+
+(** {1 Lifecycle (paper Section 4.5.2 and 4.5.6)}
+
+    All return an [Ipc_intf.Errc] code.  Kills never block: the slot is
+    freed by the last call to drain (or immediately when idle). *)
+
+val soft_kill : t -> ep:int -> int
+(** Stop accepting calls; calls in flight complete and their results
+    stand; the slot is freed once they drain. *)
+
+val hard_kill : t -> ep:int -> int
+(** Stop accepting calls and abort calls in flight: a domain cannot be
+    preempted mid-handler, so the handler runs out but its caller sees
+    [Ipc_intf.Errc.killed] instead of its result. *)
+
+val exchange : t -> ep:int -> handler -> int
+(** Atomically swap the handler under a live ID.  Calls already in
+    flight finish with the routine they latched at acceptance. *)
+
+val soft_kill_h : t -> ep -> int
+val hard_kill_h : t -> ep -> int
+val exchange_h : t -> ep -> handler -> int
+(** Handle flavours: additionally fail with [Ipc_intf.Errc.no_entry]
+    when the handle is stale. *)
+
+val in_flight : t -> ep:int -> int
+(** Calls currently executing on the entry point (weak snapshot). *)
+
+val in_flight_h : t -> ep -> int
+
+val lifecycle : t -> ep:int -> Ipc_intf.Lifecycle.status option
+(** [None] when the slot is free. *)
 
 (** {1 Cross-domain: the channel path} *)
 
@@ -73,15 +146,19 @@ val channel_call : client -> ep:int -> int array -> int
     [ep mod shards].  Uncontended calls run inline on the caller's
     domain under the shard ticket; contended calls queue on this
     client's SPSC channel for batched service.  Allocation-free after
-    warm-up either way.  Returns [args.(7)]. *)
+    warm-up either way.  Returns [args.(7)].  Never raises on lifecycle
+    grounds: unbound entry points answer [Ipc_intf.Errc.no_entry], and
+    calls refused by a quiescing server answer
+    [Ipc_intf.Errc.killed]. *)
 
 val client_inlined : client -> int
 (** Calls this client ran inline under a free shard ticket. *)
 
 val shutdown_channel_server : channel_server -> unit
-(** Stop and join the shard domains.  Calls still in flight on other
-    domains when this is invoked are not waited for — quiesce clients
-    first. *)
+(** Quiesce, then join: stop accepting new channel calls (refused calls
+    get [Ipc_intf.Errc.killed]), wait until every call already accepted
+    has completed — the shards keep serving during the wait — then stop
+    and join the shard domains.  No accepted call is lost. *)
 
 val channel_served : channel_server -> int
 val channel_batches : channel_server -> int

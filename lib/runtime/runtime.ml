@@ -8,6 +8,7 @@ module Request_slab = Request_slab
 module Doorbell = Doorbell
 module Ppc_channel = Ppc_channel
 module Fastcall = Fastcall
+module Control = Control
 module Locked_registry = Locked_registry
 module Domain_pool = Domain_pool
 module Striped_counter = Striped_counter

@@ -1,0 +1,162 @@
+(* The control-plane conformance suite, instantiated against both
+   embodiments of the paper's IPC facility: the cycle-accurate simulator
+   and the real-domain runtime.  The scenarios themselves live in
+   [Ipc_intf.Conformance]; this file only supplies the two SUBJECT
+   adapters, so any semantic drift between the stacks fails here. *)
+
+module Errc = Ipc_intf.Errc
+
+(* --- the simulator embodiment ------------------------------------------- *)
+
+module Sim_subject :
+  Ipc_intf.Sigs.SUBJECT with type ep = int = struct
+  type t = {
+    kern : Kernel.t;
+    ppc : Ppc.t;
+    ns : Naming.Name_server.t;
+    server : Ppc.Entry_point.server;
+  }
+
+  (* Simulator entry-point IDs are allocated monotonically and never
+     reused, so the raw ID is itself a stale-safe handle. *)
+  type ep = int
+
+  let name = "sim"
+
+  let setup () =
+    let kern = Kernel.create ~cpus:1 () in
+    let ppc = Ppc.create kern in
+    let ns = Naming.Name_server.install ppc in
+    let server = Ppc.make_user_server ppc ~name:"conformance-server" () in
+    { kern; ppc; ns; server }
+
+  let teardown _ = ()
+
+  (* Run [body] as a client process to completion: one simulated
+     episode per conformance operation. *)
+  let episode t body =
+    let program = Kernel.new_program t.kern ~name:"conf-client" in
+    let space = Kernel.new_user_space t.kern ~name:"conf-client" ~node:0 in
+    ignore
+      (Kernel.spawn t.kern ~cpu:0 ~name:"conf-client"
+         ~kind:Kernel.Process.Client ~program ~space body);
+    Kernel.run t.kern
+
+  let wrap (b : Ipc_intf.Sigs.behavior) : Ppc.Call_ctx.handler =
+   fun _ctx args -> b args
+
+  let register t b =
+    Ppc.Entry_point.id
+      (Ppc.register_direct t.ppc ~server:t.server ~handler:(wrap b))
+
+  let id _ ep = ep
+
+  let publish t ~name ep =
+    let rc = ref Errc.no_entry in
+    episode t (fun self ->
+        rc := Naming.Name_server.register t.ns ~client:self ~name ~ep_id:ep);
+    !rc
+
+  let lookup t ~name =
+    let r = ref (Error Errc.no_entry) in
+    episode t (fun self ->
+        r := Naming.Name_server.lookup t.ns ~client:self ~name);
+    !r
+
+  let call_id t ~id args =
+    let rc = ref Errc.no_entry in
+    episode t (fun self -> rc := Ppc.call t.ppc ~client:self ~ep_id:id args);
+    !rc
+
+  (* IDs are never recycled, so the handle path and the raw-ID path
+     coincide. *)
+  let call t ep args = call_id t ~id:ep args
+
+  let exchange t ep b =
+    match Ppc.find_ep t.ppc ep with
+    | None -> Errc.no_entry
+    | Some e when Ppc.Entry_point.status e <> Ppc.Entry_point.Active ->
+        Errc.killed
+    | Some _ ->
+        ignore
+          (Ppc.Engine.exchange (Ppc.engine t.ppc) ~ep_id:ep ~handler:(wrap b));
+        Errc.ok
+
+  let kill_with op t ep =
+    match Ppc.find_ep t.ppc ep with
+    | None -> Errc.no_entry
+    | Some e when Ppc.Entry_point.status e <> Ppc.Entry_point.Active ->
+        Errc.killed
+    | Some _ ->
+        op t.ppc ~ep_id:ep;
+        Errc.ok
+
+  let soft_kill t ep = kill_with Ppc.soft_kill t ep
+  let hard_kill t ep = kill_with Ppc.hard_kill t ep
+
+  let in_flight t ep =
+    match Ppc.find_ep t.ppc ep with
+    | None -> 0
+    | Some e -> Ppc.Entry_point.in_progress_total e
+end
+
+(* --- the real-domain runtime embodiment ---------------------------------- *)
+
+module Runtime_subject :
+  Ipc_intf.Sigs.SUBJECT with type ep = Runtime.Fastcall.ep = struct
+  module F = Runtime.Fastcall
+
+  type t = { table : F.t; ctl : Runtime.Control.t }
+
+  (* Runtime IDs are recycled; staleness detection lives in the
+     generation carried by the versioned handle. *)
+  type ep = F.ep
+
+  let name = "runtime"
+  let principal = 7
+
+  let setup () =
+    let table = F.create () in
+    { table; ctl = Runtime.Control.install table }
+
+  let teardown _ = ()
+
+  let wrap (b : Ipc_intf.Sigs.behavior) : F.handler = fun _ctx args -> b args
+  let register t b = F.register_ep t.table (wrap b)
+  let id _ ep = F.ep_id ep
+
+  let publish t ~name ep =
+    Runtime.Control.publish t.ctl ~principal ~name ~ep:(F.ep_id ep)
+
+  let lookup t ~name = Runtime.Control.lookup t.ctl ~name
+  let call t ep args = F.call_h t.table ep args
+
+  let call_id t ~id args =
+    match F.call t.table ~ep:id args with
+    | rc -> rc
+    | exception F.No_entry _ ->
+        args.(F.arg_words - 1) <- Errc.no_entry;
+        Errc.no_entry
+
+  let exchange t ep b = F.exchange_h t.table ep (wrap b)
+  let soft_kill t ep = F.soft_kill_h t.table ep
+  let hard_kill t ep = F.hard_kill_h t.table ep
+  let in_flight t ep = F.in_flight_h t.table ep
+end
+
+module Sim_conf = Ipc_intf.Conformance.Make (Sim_subject)
+module Runtime_conf = Ipc_intf.Conformance.Make (Runtime_subject)
+
+let sim_case (name, f) =
+  Alcotest.test_case name `Quick (fun () ->
+      try f () with Sim_conf.Violation m -> Alcotest.fail m)
+
+let runtime_case (name, f) =
+  Alcotest.test_case name `Quick (fun () ->
+      try f () with Runtime_conf.Violation m -> Alcotest.fail m)
+
+let suites =
+  [
+    ("conformance.sim", List.map sim_case Sim_conf.scenarios);
+    ("conformance.runtime", List.map runtime_case Runtime_conf.scenarios);
+  ]

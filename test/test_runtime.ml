@@ -676,6 +676,318 @@ let test_channel_call_zero_alloc () =
   check_mode "warm queued channel calls allocate zero minor words" false;
   Runtime.Fastcall.shutdown_channel_server srv
 
+(* --- lifecycle under fire -------------------------------------------------- *)
+
+(* Soft-kill an entry point while client domains hammer it.  The
+   acceptance protocol (stripe increment, state recheck) must partition
+   every attempt cleanly: accepted calls run the handler exactly once and
+   answer [ok] with their result intact; rejected calls answer the
+   documented [killed]/[no_entry] codes without touching the arguments. *)
+let test_soft_kill_under_fire () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let executed = Atomic.make 0 in
+  let handler : F.handler =
+   fun _ctx args ->
+    Atomic.incr executed;
+    args.(0) <- args.(0) + 1;
+    args.(F.arg_words - 1) <- 0
+  in
+  let ep = F.register_ep t handler in
+  let clients = 4 and per = 20_000 in
+  let domains =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            let args = Array.make F.arg_words 0 in
+            let ok = ref 0 and rejected = ref 0 in
+            for i = 1 to per do
+              args.(0) <- i;
+              let rc = F.call_h t ep args in
+              if rc = Ipc_intf.Errc.ok then begin
+                if args.(0) <> i + 1 then
+                  Alcotest.fail "accepted call lost its result";
+                incr ok
+              end
+              else if rc = Ipc_intf.Errc.killed || rc = Ipc_intf.Errc.no_entry
+              then incr rejected
+              else Alcotest.failf "undocumented return code %d" rc
+            done;
+            (!ok, !rejected)))
+  in
+  while Atomic.get executed < 1_000 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "kill accepted" Ipc_intf.Errc.ok (F.soft_kill_h t ep);
+  let totals = List.map Domain.join domains in
+  let ok_total = List.fold_left (fun a (o, _) -> a + o) 0 totals in
+  let rej_total = List.fold_left (fun a (_, r) -> a + r) 0 totals in
+  Alcotest.(check int) "accepted + rejected = attempts" (clients * per)
+    (ok_total + rej_total);
+  Alcotest.(check int) "every accepted call ran exactly once" ok_total
+    (Atomic.get executed);
+  Alcotest.(check bool) "kill raced real traffic" true (ok_total >= 1_000);
+  Alcotest.(check int) "drained" 0 (F.in_flight_h t ep);
+  Alcotest.(check bool) "slot freed once drained" true
+    (F.lifecycle t ~ep:(F.ep_id ep) = None)
+
+(* Hard kill flips the return code of calls caught in flight — but only
+   after the handler has run to completion, so its side effects stand.
+   Deterministic single-domain version: the handler hard-kills its own
+   entry point. *)
+let test_hard_kill_flips_rc () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let cell = ref None in
+  let handler : F.handler =
+   fun _ctx args ->
+    args.(0) <- 99;
+    args.(F.arg_words - 1) <- 0;
+    ignore (F.hard_kill_h t (Option.get !cell))
+  in
+  let ep = F.register_ep t handler in
+  cell := Some ep;
+  let args = Array.make F.arg_words 0 in
+  Alcotest.(check int) "aborted call answers killed" Ipc_intf.Errc.killed
+    (F.call_h t ep args);
+  Alcotest.(check int) "completed work is not rolled back" 99 args.(0);
+  Alcotest.(check bool) "slot freed after drain" true
+    (F.lifecycle t ~ep:(F.ep_id ep) = None);
+  Alcotest.(check int) "stale handle rejected" Ipc_intf.Errc.no_entry
+    (F.call_h t ep args)
+
+(* Concurrent flavour: with the handler adding 1, every execution is
+   observable, so [executed = ok + flipped] must hold exactly — a call
+   the handler ran answers either [ok] (retired before the kill landed)
+   or [killed] with its mutation intact (the flip). *)
+let test_hard_kill_under_fire () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let executed = Atomic.make 0 in
+  let handler : F.handler =
+   fun _ctx args ->
+    Atomic.incr executed;
+    args.(0) <- args.(0) + 1;
+    args.(F.arg_words - 1) <- 0
+  in
+  let ep = F.register_ep t handler in
+  let clients = 4 and per = 20_000 in
+  let domains =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            let args = Array.make F.arg_words 0 in
+            let ok = ref 0 and flipped = ref 0 and rejected = ref 0 in
+            for i = 1 to per do
+              args.(0) <- i;
+              let rc = F.call_h t ep args in
+              if rc = Ipc_intf.Errc.ok then begin
+                if args.(0) <> i + 1 then
+                  Alcotest.fail "accepted call lost its result";
+                incr ok
+              end
+              else if rc = Ipc_intf.Errc.killed then begin
+                if args.(0) = i + 1 then incr flipped
+                else if args.(0) = i then incr rejected
+                else Alcotest.fail "rejected call mangled its arguments"
+              end
+              else if rc = Ipc_intf.Errc.no_entry then incr rejected
+              else Alcotest.failf "undocumented return code %d" rc
+            done;
+            (!ok, !flipped, !rejected)))
+  in
+  while Atomic.get executed < 1_000 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "kill accepted" Ipc_intf.Errc.ok (F.hard_kill_h t ep);
+  let totals = List.map Domain.join domains in
+  let sum f = List.fold_left (fun a x -> a + f x) 0 totals in
+  let ok_total = sum (fun (o, _, _) -> o) in
+  let flipped_total = sum (fun (_, f, _) -> f) in
+  let rej_total = sum (fun (_, _, r) -> r) in
+  Alcotest.(check int) "every attempt accounted for" (clients * per)
+    (ok_total + flipped_total + rej_total);
+  Alcotest.(check int) "every execution answered ok or flipped-killed"
+    (Atomic.get executed)
+    (ok_total + flipped_total);
+  Alcotest.(check bool) "slot freed once drained" true
+    (F.lifecycle t ~ep:(F.ep_id ep) = None)
+
+(* Shutdown must quiesce, not abandon: calls that already passed the
+   draining gate complete with their results; calls arriving after it
+   answer [killed]; and the counters reconcile exactly once the shards
+   have been joined. *)
+let test_shutdown_quiesces () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let ok_adder : F.handler =
+   fun _ctx args ->
+    args.(0) <- args.(0) + args.(1);
+    args.(F.arg_words - 1) <- 0
+  in
+  let ep = F.register t ok_adder in
+  let srv = F.spawn_channel_server t in
+  let started = Atomic.make 0 in
+  let clients = 3 and per = 5_000 in
+  let domains =
+    List.init clients (fun p ->
+        Domain.spawn (fun () ->
+            let cl = F.connect srv in
+            let args = Array.make 8 0 in
+            let ok = ref 0 and rejected = ref 0 in
+            for i = 1 to per do
+              args.(0) <- i;
+              args.(1) <- p;
+              Atomic.incr started;
+              let rc = F.channel_call cl ~ep args in
+              if rc = Ipc_intf.Errc.ok then begin
+                if args.(0) <> i + p then
+                  Alcotest.fail "accepted channel call lost its result";
+                incr ok
+              end
+              else if rc = Ipc_intf.Errc.killed then incr rejected
+              else Alcotest.failf "undocumented return code %d" rc
+            done;
+            (F.client_inlined cl, !ok, !rejected)))
+  in
+  while Atomic.get started < 500 do
+    Domain.cpu_relax ()
+  done;
+  F.shutdown_channel_server srv;
+  let totals = List.map Domain.join domains in
+  let sum f = List.fold_left (fun a x -> a + f x) 0 totals in
+  let inlined = sum (fun (i, _, _) -> i) in
+  let ok_total = sum (fun (_, o, _) -> o) in
+  let rej_total = sum (fun (_, _, r) -> r) in
+  Alcotest.(check int) "accepted + rejected = attempts" (clients * per)
+    (ok_total + rej_total);
+  Alcotest.(check int) "every accepted call was served exactly once"
+    ok_total
+    (inlined + F.channel_served srv);
+  Alcotest.(check bool) "shutdown raced real traffic" true (ok_total >= 500);
+  let late = F.connect srv in
+  let args = Array.make 8 0 in
+  Alcotest.(check int) "calls after shutdown answer killed"
+    Ipc_intf.Errc.killed
+    (F.channel_call late ~ep args)
+
+(* --- control plane --------------------------------------------------------- *)
+
+let triple : Runtime.Fastcall.handler =
+ fun _ctx args ->
+  args.(0) <- args.(0) * 3;
+  args.(Runtime.Fastcall.arg_words - 1) <- 0
+
+let quint : Runtime.Fastcall.handler =
+ fun _ctx args ->
+  args.(0) <- args.(0) * 5;
+  args.(Runtime.Fastcall.arg_words - 1) <- 0
+
+(* Full service lifecycle driven through the control-plane stubs with
+   [via] left at the default: direct calls into well-known entry points
+   0 and 1. *)
+let test_control_plane_direct () =
+  let module F = Runtime.Fastcall in
+  let module C = Runtime.Control in
+  let t = F.create () in
+  let ctl = C.install t in
+  let ep =
+    match C.alloc_ep ctl ~principal:42 triple with
+    | Ok id -> id
+    | Error rc -> Alcotest.failf "alloc_ep failed with %d" rc
+  in
+  Alcotest.(check int) "publish" Ipc_intf.Errc.ok
+    (C.publish ctl ~principal:42 ~name:"triple" ~ep);
+  (match C.lookup ctl ~name:"triple" with
+  | Ok id -> Alcotest.(check int) "lookup finds the binding" ep id
+  | Error rc -> Alcotest.failf "lookup failed with %d" rc);
+  Alcotest.(check bool) "lookup miss" true
+    (C.lookup ctl ~name:"no-such-service" = Error Ipc_intf.Errc.no_entry);
+  let args = Array.make F.arg_words 0 in
+  args.(0) <- 7;
+  Alcotest.(check int) "call rc" Ipc_intf.Errc.ok (F.call t ~ep args);
+  Alcotest.(check int) "tripled" 21 args.(0);
+  Alcotest.(check int) "exchange" Ipc_intf.Errc.ok
+    (C.exchange ctl ~principal:42 ~ep quint);
+  args.(0) <- 7;
+  ignore (F.call t ~ep args);
+  Alcotest.(check int) "exchanged routine live at the same id" 35 args.(0);
+  Alcotest.(check int) "soft kill" Ipc_intf.Errc.ok
+    (C.soft_kill ctl ~principal:42 ~ep);
+  (match F.call t ~ep args with
+  | _ -> Alcotest.fail "call on a killed entry point should not succeed"
+  | exception F.No_entry _ -> ());
+  Alcotest.(check int) "unpublish" Ipc_intf.Errc.ok
+    (C.unpublish ctl ~principal:42 ~name:"triple")
+
+(* Once the first grant lands, the ACL closes: Name-Server writes need
+   [Write], manager operations need [Admin], lookups stay open. *)
+let test_control_plane_auth () =
+  let module F = Runtime.Fastcall in
+  let module C = Runtime.Control in
+  let t = F.create () in
+  let ctl = C.install t in
+  let ep =
+    match C.alloc_ep ctl ~principal:1 triple with
+    | Ok id -> id
+    | Error rc -> Alcotest.failf "alloc_ep failed with %d" rc
+  in
+  Alcotest.(check int) "open ACL admits anyone" Ipc_intf.Errc.ok
+    (C.publish ctl ~principal:1 ~name:"svc" ~ep);
+  C.grant ctl ~principal:1 ~perms:[ Ipc_intf.Auth.Write; Ipc_intf.Auth.Admin ];
+  Alcotest.(check bool) "unknown principal denied manager ops" true
+    (C.soft_kill ctl ~principal:2 ~ep = Ipc_intf.Errc.denied);
+  Alcotest.(check bool) "unknown principal denied naming writes" true
+    (C.publish ctl ~principal:2 ~name:"svc2" ~ep = Ipc_intf.Errc.denied);
+  (match C.lookup ctl ~name:"svc" with
+  | Ok id -> Alcotest.(check int) "lookups stay open" ep id
+  | Error rc -> Alcotest.failf "lookup failed with %d" rc);
+  Alcotest.(check bool) "non-owner cannot unbind" true
+    (C.unpublish ctl ~principal:2 ~name:"svc" = Ipc_intf.Errc.denied);
+  Alcotest.(check int) "granted principal still works" Ipc_intf.Errc.ok
+    (C.soft_kill ctl ~principal:1 ~ep)
+
+(* Same stubs, reached cross-domain: [via] is a channel-path call, so
+   naming and lifecycle requests travel through the shard like any other
+   IPC — the paper's "system servers are ordinary servers". *)
+let test_control_plane_channel_path () =
+  let module F = Runtime.Fastcall in
+  let module C = Runtime.Control in
+  let t = F.create () in
+  let ctl = C.install t in
+  let srv = F.spawn_channel_server t in
+  let cl = F.connect srv in
+  let via = F.channel_call cl in
+  let ep =
+    match C.alloc_ep ~via ctl ~principal:9 triple with
+    | Ok id -> id
+    | Error rc -> Alcotest.failf "alloc_ep over the channel failed with %d" rc
+  in
+  Alcotest.(check int) "publish over the channel" Ipc_intf.Errc.ok
+    (C.publish ~via ctl ~principal:9 ~name:"remote-triple" ~ep);
+  (match C.lookup ~via ctl ~name:"remote-triple" with
+  | Ok id -> Alcotest.(check int) "lookup over the channel" ep id
+  | Error rc -> Alcotest.failf "lookup over the channel failed with %d" rc);
+  let args = Array.make F.arg_words 0 in
+  args.(0) <- 4;
+  Alcotest.(check int) "service call over the channel" Ipc_intf.Errc.ok
+    (F.channel_call cl ~ep args);
+  Alcotest.(check int) "tripled" 12 args.(0);
+  Alcotest.(check int) "exchange over the channel" Ipc_intf.Errc.ok
+    (C.exchange ~via ctl ~principal:9 ~ep quint);
+  args.(0) <- 4;
+  ignore (F.channel_call cl ~ep args);
+  Alcotest.(check int) "exchanged routine live" 20 args.(0);
+  Alcotest.(check int) "grow pool over the channel" Ipc_intf.Errc.ok
+    (C.grow_pool ~via ctl ~principal:9 ~ctxs:4);
+  (match C.reclaim ~via ctl ~principal:9 ~max_ctxs:1 with
+  | Ok _ -> ()
+  | Error rc -> Alcotest.failf "reclaim over the channel failed with %d" rc);
+  Alcotest.(check int) "hard kill over the channel" Ipc_intf.Errc.ok
+    (C.hard_kill ~via ctl ~principal:9 ~ep);
+  Alcotest.(check int) "killed service rejects channel calls"
+    Ipc_intf.Errc.no_entry
+    (F.channel_call cl ~ep args);
+  F.shutdown_channel_server srv
+
 let channel_suites =
   [
     ( "runtime.raw_ring",
@@ -713,6 +1025,24 @@ let channel_suites =
         Alcotest.test_case "local call" `Quick test_local_call_zero_alloc;
         Alcotest.test_case "channel call (both modes)" `Quick
           test_channel_call_zero_alloc;
+      ] );
+    ( "runtime.lifecycle",
+      [
+        Alcotest.test_case "soft-kill under fire" `Quick
+          test_soft_kill_under_fire;
+        Alcotest.test_case "hard-kill flips in-flight rc" `Quick
+          test_hard_kill_flips_rc;
+        Alcotest.test_case "hard-kill under fire" `Quick
+          test_hard_kill_under_fire;
+        Alcotest.test_case "shutdown quiesces" `Quick test_shutdown_quiesces;
+      ] );
+    ( "runtime.control",
+      [
+        Alcotest.test_case "direct path lifecycle" `Quick
+          test_control_plane_direct;
+        Alcotest.test_case "authentication" `Quick test_control_plane_auth;
+        Alcotest.test_case "channel path lifecycle" `Quick
+          test_control_plane_channel_path;
       ] );
   ]
 

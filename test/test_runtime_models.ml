@@ -166,6 +166,126 @@ let prop_slab_serial_reuse =
         ops
       && Runtime.Request_slab.created s = !minted)
 
+(* --- entry-point slot table vs lifecycle model ---------------------------- *)
+
+(* Sequential model of the versioned slot table: a map of live IDs (each
+   carrying the registration token that owns it and the stamp its current
+   handler writes), a LIFO free list mirroring the table's Treiber stack,
+   and a monotonic mint counter.  Sequentially every kill drains
+   immediately (nothing is in flight), so a killed ID goes straight back
+   on the free list and any handle minted before the kill must be
+   rejected forever after — including across ID reuse, which is exactly
+   the ABA case the generation counter exists for. *)
+let prop_slot_lifecycle =
+  QCheck.Test.make ~name:"entry-point slot table = lifecycle model" ~count:200
+    QCheck.(small_list (pair (int_bound 6) (int_bound 1000)))
+    (fun ops ->
+      let module F = Runtime.Fastcall in
+      let t = F.create () in
+      let owner = Hashtbl.create 16 in
+      let stamp = Hashtbl.create 16 in
+      let free = ref [] in
+      let minted = ref 0 in
+      let next_token = ref 0 in
+      let handles = ref [] in
+      let pick v =
+        match !handles with
+        | [] -> None
+        | hs -> Some (List.nth hs (v mod List.length hs))
+      in
+      let behavior v : F.handler = fun _ctx args -> args.(0) <- v in
+      let fresh_args () = Array.make F.arg_words 0 in
+      let live id token = Hashtbl.find_opt owner id = Some token in
+      let kill_model id =
+        Hashtbl.remove owner id;
+        Hashtbl.remove stamp id;
+        free := id :: !free
+      in
+      List.for_all
+        (fun (tag, v) ->
+          match tag with
+          | 0 ->
+              let ep = F.register_ep t (behavior v) in
+              let id = F.ep_id ep in
+              let want =
+                match !free with
+                | top :: rest ->
+                    free := rest;
+                    top
+                | [] ->
+                    let i = !minted in
+                    incr minted;
+                    i
+              in
+              let token = !next_token in
+              incr next_token;
+              Hashtbl.replace owner id token;
+              Hashtbl.replace stamp id v;
+              handles := (ep, id, token) :: !handles;
+              id = want
+          | 1 -> (
+              (* handle path: live handles reach their current handler,
+                 stale ones are rejected without running anything *)
+              match pick v with
+              | None -> true
+              | Some (ep, id, token) ->
+                  let a = fresh_args () in
+                  let rc = F.call_h t ep a in
+                  if live id token then
+                    rc = Ipc_intf.Errc.ok && a.(0) = Hashtbl.find stamp id
+                  else rc = Ipc_intf.Errc.no_entry && a.(0) = 0)
+          | 2 ->
+              (* raw-ID path over the whole minted range *)
+              if !minted = 0 then true
+              else begin
+                let id = v mod !minted in
+                let a = fresh_args () in
+                match F.call t ~ep:id a with
+                | rc ->
+                    Hashtbl.mem owner id
+                    && rc = Ipc_intf.Errc.ok
+                    && a.(0) = Hashtbl.find stamp id
+                | exception F.No_entry _ -> not (Hashtbl.mem owner id)
+              end
+          | 3 | 4 -> (
+              match pick v with
+              | None -> true
+              | Some (ep, id, token) ->
+                  let rc =
+                    if tag = 3 then F.soft_kill_h t ep else F.hard_kill_h t ep
+                  in
+                  if live id token then begin
+                    kill_model id;
+                    (* an idle kill drains immediately: slot freed, old
+                       generation retired *)
+                    rc = Ipc_intf.Errc.ok
+                    && F.lifecycle t ~ep:id = None
+                    && F.in_flight_h t ep = 0
+                  end
+                  else rc = Ipc_intf.Errc.no_entry)
+          | 5 -> (
+              match pick v with
+              | None -> true
+              | Some (ep, id, token) ->
+                  let rc = F.exchange_h t ep (behavior v) in
+                  if live id token then begin
+                    Hashtbl.replace stamp id v;
+                    rc = Ipc_intf.Errc.ok
+                  end
+                  else rc = Ipc_intf.Errc.no_entry)
+          | _ ->
+              (* invariants probe: every model-live ID is Active and every
+                 model-free ID reads as unbound *)
+              Hashtbl.fold
+                (fun id _ acc ->
+                  acc
+                  && F.lifecycle t ~ep:id = Some Ipc_intf.Lifecycle.Active
+                  && F.in_flight t ~ep:id = 0)
+                owner true
+              && List.for_all (fun id -> F.lifecycle t ~ep:id = None) !free
+              && F.registered t = Hashtbl.length owner)
+        ops)
+
 let suites =
   [
     ( "runtime.models",
@@ -175,5 +295,6 @@ let suites =
         qcheck prop_spsc_vs_bounded_queue;
         qcheck prop_striped_vs_int;
         qcheck prop_slab_serial_reuse;
+        qcheck prop_slot_lifecycle;
       ] );
   ]

@@ -368,6 +368,18 @@ let bechamel_tests ~with_cross_domain =
            fast_args.(1) <- 2;
            ignore (Runtime.Fastcall.call_h fast fast_h fast_args)))
   in
+  (* The containment layer's cost when the handler actually raises:
+     trap, fault bookkeeping, RC rewrite.  The breaker threshold is
+     pushed out of reach so every iteration takes the fault path
+     instead of tripping the entry point after the first few.  Target:
+     within noise of a5:lifecycle plus the raise itself. *)
+  let faulty = Runtime.Fastcall.create ~breaker_threshold:max_int () in
+  let faulty_h = Runtime.Fastcall.register_ep faulty (fun _ctx _args -> raise Exit) in
+  let a5_handler_fault =
+    Test.make ~name:"a5:handler-fault"
+      (Staged.stage (fun () ->
+           ignore (Runtime.Fastcall.call_h faulty faulty_h fast_args)))
+  in
   let locked = Runtime.Locked_registry.create () in
   let locked_ep =
     Runtime.Locked_registry.register locked (fun _frame args ->
@@ -420,6 +432,22 @@ let bechamel_tests ~with_cross_domain =
                  ignore
                    (Runtime.Fastcall.channel_call cl_queued ~ep:fast_ep
                       fast_args))),
+          fun () -> () );
+        (* Deadline bookkeeping on the queued path, deadline never
+           expiring: when client and shard run in parallel the delta
+           against a5:channel-queued is the whole cost of the
+           abandonment machinery on a healthy call.  On a single-core
+           host the comparison instead measures spin-versus-park
+           scheduling — a deadline call may never park (stdlib
+           condition waits have no timeout), so it burns its timeslice
+           while the shard waits to run. *)
+        ( Test.make ~name:"a5:deadline"
+            (Staged.stage (fun () ->
+                 fast_args.(0) <- 1;
+                 fast_args.(1) <- 2;
+                 ignore
+                   (Runtime.Fastcall.channel_call_deadline cl_queued
+                      ~ep:fast_ep ~deadline:max_int fast_args))),
           fun () -> Runtime.Fastcall.shutdown_channel_server srv );
       ]
     end
@@ -443,6 +471,7 @@ let bechamel_tests ~with_cross_domain =
       e2_subject;
       a5_local;
       a5_lifecycle;
+      a5_handler_fault;
       a5_locked;
       a5_striped;
       a5_atomic;
@@ -584,6 +613,10 @@ let wallclock_json ~quick () =
   in
   let fast = Runtime.Fastcall.create () in
   let fast_ep = Runtime.Fastcall.register fast adder in
+  let faulty = Runtime.Fastcall.create ~breaker_threshold:max_int () in
+  let faulty_h =
+    Runtime.Fastcall.register_ep faulty (fun _ctx _args -> raise Exit)
+  in
   let locked = Runtime.Locked_registry.create () in
   let locked_ep =
     Runtime.Locked_registry.register locked (fun _frame args ->
@@ -619,6 +652,14 @@ let wallclock_json ~quick () =
             args.(0) <- 1;
             args.(1) <- 2;
             ignore (Runtime.Fastcall.channel_call cl_queued ~ep:fast_ep args));
+        subject "channel-deadline" (fun () ->
+            args.(0) <- 1;
+            args.(1) <- 2;
+            ignore
+              (Runtime.Fastcall.channel_call_deadline cl_queued ~ep:fast_ep
+                 ~deadline:max_int args));
+        subject "handler-fault" (fun () ->
+            ignore (Runtime.Fastcall.call_h faulty faulty_h args));
       ]
   in
   Runtime.Fastcall.shutdown_channel_server srv;

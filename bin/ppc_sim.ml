@@ -237,7 +237,34 @@ let faults_cmd =
             "If the plan produces an invariant violation, greedily shrink it \
              to a minimal reproducing plan and print that plan's trace.")
   in
-  let run plan_name cpus calls minimize =
+  let runtime_arg =
+    Arg.(
+      value & flag
+      & info [ "runtime" ]
+          ~doc:
+            (Printf.sprintf
+               "Run PLAN against the real-domain runtime instead of the \
+                simulator (containment scenarios: %s; or $(b,all))."
+               (String.concat ", " Faultsim.Runtime_fault.names)))
+  in
+  let run_runtime plan_name =
+    let reports =
+      if plan_name = "all" || plan_name = "chaos" then
+        Faultsim.Runtime_fault.run_all ()
+      else
+        match Faultsim.Runtime_fault.run plan_name with
+        | Some r -> [ r ]
+        | None ->
+            Fmt.epr "unknown runtime scenario %S (try: %s, or all)@." plan_name
+              (String.concat ", " Faultsim.Runtime_fault.names);
+            exit 2
+    in
+    List.iter (fun r -> Fmt.pr "%a@." Faultsim.Runtime_fault.pp_report r) reports;
+    if not (List.for_all Faultsim.Runtime_fault.ok reports) then exit 1
+  in
+  let run plan_name cpus calls minimize runtime =
+    if runtime then run_runtime plan_name
+    else
     match Faultsim.Fault.of_name plan_name ~cpus with
     | None ->
         Fmt.epr "unknown plan %S (try: %s)@." plan_name plan_names;
@@ -261,9 +288,11 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:
          "Run the fault-injection harness: a client/server workload under a \
-          named fault plan, with the kernel invariant checker attached")
-    Term.(const (fun () a b c d -> run a b c d) $ logs_term $ plan_arg
-          $ cpus_arg $ calls_arg $ minimize_arg)
+          named fault plan, with the kernel invariant checker attached.  With \
+          $(b,--runtime), run the named containment scenario against the \
+          real-domain runtime instead")
+    Term.(const (fun () a b c d e -> run a b c d e) $ logs_term $ plan_arg
+          $ cpus_arg $ calls_arg $ minimize_arg $ runtime_arg)
 
 (* --- channel: the real-domain cross-call path ----------------------------- *)
 

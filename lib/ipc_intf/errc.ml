@@ -9,6 +9,15 @@ let killed = -2 (* entry point soft/hard-killed, or server quiescing *)
 let denied = -3 (* caller failed the server's authentication *)
 let bad_request = -4 (* malformed operation *)
 let no_resources = -5 (* the resource manager could not satisfy the call *)
+let handler_fault = -6 (* the handler raised; contained, shard survives *)
+let timed_out = -7 (* the caller's deadline expired; cell abandoned *)
+let retry = -8 (* transient backpressure (ring full / pool capped) *)
+
+(* Every code, for exhaustive round-trip tests.  Append-only, like the
+   wire values themselves. *)
+let all =
+  [ ok; no_entry; killed; denied; bad_request; no_resources;
+    handler_fault; timed_out; retry ]
 
 let to_string rc =
   if rc = ok then "ok"
@@ -17,4 +26,7 @@ let to_string rc =
   else if rc = denied then "err_denied"
   else if rc = bad_request then "err_bad_request"
   else if rc = no_resources then "err_no_resources"
+  else if rc = handler_fault then "err_handler_fault"
+  else if rc = timed_out then "err_timed_out"
+  else if rc = retry then "err_retry"
   else Printf.sprintf "rc(%d)" rc

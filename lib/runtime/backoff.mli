@@ -1,0 +1,26 @@
+(** Bounded exponential backoff — the caller-side retry discipline for
+    [Ipc_intf.Errc.retry] backpressure from the channel path.  Pure
+    cpu-relax spinning: no clock, no allocation, deterministic under
+    the test harness. *)
+
+type t
+
+val create : ?min_spin:int -> ?max_spin:int -> unit -> t
+(** Pauses start at [min_spin] cpu-relax iterations (default 32) and
+    double per {!once} up to [max_spin] (default 8192). *)
+
+val once : t -> unit
+(** Pause at the current length, then double it (saturating). *)
+
+val reset : t -> unit
+(** Back to [min_spin] — call after a successful attempt. *)
+
+val spun : t -> int
+(** Total iterations paused since creation or {!reset}. *)
+
+val with_retry : ?attempts:int -> ?min_spin:int -> ?max_spin:int ->
+  (unit -> int) -> int
+(** [with_retry f] runs [f] until it returns anything other than
+    [Errc.retry], backing off between attempts, at most [attempts]
+    (default 10) runs.  Returns the last code — still [Errc.retry] if
+    the budget ran out. *)

@@ -30,6 +30,9 @@ type t = {
   rings : int Atomic.t;  (** ring calls that found the bell SPINNING *)
   wakes : int Atomic.t;  (** ring calls that had to lock and signal *)
   parks : int Atomic.t;  (** times the server actually went to sleep *)
+  delay : int Atomic.t;
+      (** fault injector: cpu_relax iterations inserted between a ring's
+          publish and its state read, widening the park/ring race window *)
 }
 
 let create () =
@@ -40,12 +43,19 @@ let create () =
     rings = Atomic.make 0;
     wakes = Atomic.make 0;
     parks = Atomic.make 0;
+    delay = Atomic.make 0;
   }
 
+let inject_delay t n = Atomic.set t.delay (max 0 n)
+
+let rec stall n = if n > 0 then (Domain.cpu_relax (); stall (n - 1))
+
 (* Producer side.  Call only after the work item is visible (e.g. after
-   the ring-buffer push).  Warm path: one atomic load + one atomic
+   the ring-buffer push).  Warm path: two atomic loads + one atomic
    increment, no lock. *)
 let ring t =
+  (let d = Atomic.get t.delay in
+   if d > 0 then stall d);
   if Atomic.get t.state = parked then begin
     Mutex.lock t.mutex;
     Atomic.set t.state spinning;

@@ -29,3 +29,8 @@ val wakes : t -> int
 
 val parks : t -> int
 (** Times the server actually slept. *)
+
+val inject_delay : t -> int -> unit
+(** Fault injector: make every subsequent {!ring} stall for [n]
+    cpu-relax iterations before reading the bell state, widening the
+    park/ring race window.  [0] (the default) disables it. *)

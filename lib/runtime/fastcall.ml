@@ -66,6 +66,7 @@ let rc_slot = arg_words - 1
 
 let err_no_entry = Ipc_intf.Errc.no_entry
 let err_killed = Ipc_intf.Errc.killed
+let err_handler_fault = Ipc_intf.Errc.handler_fault
 
 type frame = {
   scratch : Bytes.t;  (** the "stack page": reused, never reallocated *)
@@ -92,6 +93,10 @@ type slot = {
   state : int Atomic.t;
   routine : handler Atomic.t;
   inflight : Striped_counter.t;
+  consec_faults : int Atomic.t;
+      (** consecutive handler faults since the last success; feeds the
+          circuit breaker *)
+  faults : int Atomic.t;  (** total handler faults over the slot's life *)
 }
 
 (* Lifecycle codes in the low two state bits. *)
@@ -116,6 +121,10 @@ type t = {
   mgmt : Mutex.t;  (** serialises register / exchange / kill *)
   pool_key : pool Domain.DLS.key;
   registered : int Atomic.t;  (** live (not freed) entry points *)
+  breaker_threshold : int;
+      (** consecutive faults before an entry point is auto-soft-killed *)
+  handler_faults : int Atomic.t;  (** table-wide contained-fault count *)
+  breaker_trips : int Atomic.t;  (** entry points auto-soft-killed *)
 }
 
 let scratch_bytes = 4096
@@ -125,7 +134,9 @@ let make_ctx () = { frame = make_frame (); domain_index = 0 }
 
 let null_handler : handler = fun _ _ -> ()
 
-let create () =
+let create ?(breaker_threshold = 8) () =
+  if breaker_threshold <= 0 then
+    invalid_arg "Fastcall.create: breaker_threshold must be > 0";
   {
     slots =
       Array.init max_entry_points (fun slot_id ->
@@ -134,6 +145,8 @@ let create () =
             state = Atomic.make (pack 0 st_free);
             routine = Atomic.make null_handler;
             inflight = Striped_counter.create ~stripes:8 ();
+            consec_faults = Atomic.make 0;
+            faults = Atomic.make 0;
           });
     free_ids = Treiber_stack.create ();
     next_ep = 0;
@@ -142,6 +155,9 @@ let create () =
       Domain.DLS.new_key (fun () ->
           { ctxs = [| make_ctx (); make_ctx () |]; n = 2; calls = 0 });
     registered = Atomic.make 0;
+    breaker_threshold;
+    handler_faults = Atomic.make 0;
+    breaker_trips = Atomic.make 0;
   }
 
 (* Free a killed slot once its in-flight count has drained.  Called
@@ -165,6 +181,32 @@ let drain_check t s =
     Treiber_stack.push t.free_ids s.slot_id
   end
 
+(* Kill an entry point.  [expect_gen] guards handle-based operations
+   against ID reuse; pass [-1] for the raw-ID flavour.  Management
+   operation (serialised on [mgmt]), but also invoked by the circuit
+   breaker from a faulting call — safe there because the caller's
+   in-flight hold keeps [drain_check] from freeing the slot under it. *)
+let do_kill t id ~expect_gen ~target =
+  if id < 0 || id >= max_entry_points then err_no_entry
+  else begin
+    Mutex.lock t.mgmt;
+    let s = t.slots.(id) in
+    let st = Atomic.get s.state in
+    let rc =
+      if expect_gen >= 0 && gen_of st <> expect_gen then err_no_entry
+      else if lc_of st = st_active then begin
+        Atomic.set s.state (pack (gen_of st) target);
+        Ipc_intf.Errc.ok
+      end
+      else if lc_of st = st_free then err_no_entry
+      else err_killed
+    in
+    Mutex.unlock t.mgmt;
+    (* Nothing in flight?  Then we are also the last "decrementer". *)
+    if rc = Ipc_intf.Errc.ok then drain_check t s;
+    rc
+  end
+
 (* Registration is a management operation: rare, serialised, off the
    call path (the paper routes it through Frank for the same reason). *)
 let register_ep t handler =
@@ -186,6 +228,10 @@ let register_ep t handler =
   let s = t.slots.(id) in
   let gen = gen_of (Atomic.get s.state) in
   Atomic.set s.routine handler;
+  (* Fault history belongs to a slot's tenant, not the slot: a reused ID
+     starts with a clean breaker. *)
+  Atomic.set s.consec_faults 0;
+  Atomic.set s.faults 0;
   Atomic.set s.state (pack gen st_active);
   Atomic.incr t.registered;
   Mutex.unlock t.mgmt;
@@ -225,8 +271,33 @@ let retire_call t s args ~flip_rc =
   Striped_counter.add s.inflight (-1);
   drain_check t s
 
+(* A handler raised: contain it.  Cold path (allocation is fine here).
+   The caller gets [err_handler_fault]; the consecutive-fault counter
+   feeds the circuit breaker, which auto-soft-kills the entry point at
+   the table's threshold — a trip is nothing more than the PR-3
+   [soft_kill], so in-flight calls drain and the slot frees normally.
+   We still hold our in-flight stripe, so the slot cannot be freed (and
+   its generation cannot move) under the kill.  [fetch_and_add] makes
+   exactly one faulting caller cross the threshold boundary; late
+   crossers find the slot already soft-killed and [do_kill] answers
+   [err_killed], so a trip is counted once. *)
+let fault_accepted t s args =
+  Atomic.incr t.handler_faults;
+  Atomic.incr s.faults;
+  let consec = 1 + Atomic.fetch_and_add s.consec_faults 1 in
+  if
+    consec >= t.breaker_threshold
+    && do_kill t s.slot_id ~expect_gen:(-1) ~target:st_soft = Ipc_intf.Errc.ok
+  then Atomic.incr t.breaker_trips;
+  args.(rc_slot) <- err_handler_fault;
+  (* [flip_rc] so a concurrent hard-kill still overrides to killed. *)
+  retire_call t s args ~flip_rc:true;
+  args.(rc_slot)
+
 (* Accepted-call body (in-flight hold already taken): handler latch,
-   DLS stack pop, handler, stack push, retire.  No locks, no allocation. *)
+   DLS stack pop, handler, stack push, retire.  No locks, no allocation.
+   Handler exceptions never escape: they retire the call with
+   [err_handler_fault] (see [fault_accepted]). *)
 let run_accepted t s args =
   let handler = Atomic.get s.routine in
   let pool = Domain.DLS.get t.pool_key in
@@ -240,15 +311,18 @@ let run_accepted t s args =
   in
   ctx.domain_index <- domain_index ();
   ctx.frame.frame_calls <- ctx.frame.frame_calls + 1;
-  (match handler ctx args with
-  | () -> pool_push pool ctx
-  | exception e ->
+  match handler ctx args with
+  | () ->
       pool_push pool ctx;
-      retire_call t s args ~flip_rc:false;
-      raise e);
-  pool.calls <- pool.calls + 1;
-  retire_call t s args ~flip_rc:true;
-  args.(rc_slot)
+      pool.calls <- pool.calls + 1;
+      (* One extra load on the warm path; the store only happens on the
+         first success after a fault, so the line stays clean. *)
+      if Atomic.get s.consec_faults <> 0 then Atomic.set s.consec_faults 0;
+      retire_call t s args ~flip_rc:true;
+      args.(rc_slot)
+  | exception _ ->
+      pool_push pool ctx;
+      fault_accepted t s args
 
 (* The fast path, raw-ID flavour (what a client holds after a name
    lookup): state load, stripe increment, recheck, handler.  Unbound
@@ -329,29 +403,6 @@ let pool_ctxs t = (Domain.DLS.get t.pool_key).n
 
 (* --- lifecycle management ---------------------------------------------- *)
 
-(* [expect_gen] guards handle-based operations against ID reuse; pass
-   [-1] for the raw-ID flavour. *)
-let do_kill t id ~expect_gen ~target =
-  if id < 0 || id >= max_entry_points then err_no_entry
-  else begin
-    Mutex.lock t.mgmt;
-    let s = t.slots.(id) in
-    let st = Atomic.get s.state in
-    let rc =
-      if expect_gen >= 0 && gen_of st <> expect_gen then err_no_entry
-      else if lc_of st = st_active then begin
-        Atomic.set s.state (pack (gen_of st) target);
-        Ipc_intf.Errc.ok
-      end
-      else if lc_of st = st_free then err_no_entry
-      else err_killed
-    in
-    Mutex.unlock t.mgmt;
-    (* Nothing in flight?  Then we are also the last "decrementer". *)
-    if rc = Ipc_intf.Errc.ok then drain_check t s;
-    rc
-  end
-
 let soft_kill t ~ep = do_kill t ep ~expect_gen:(-1) ~target:st_soft
 let hard_kill t ~ep = do_kill t ep ~expect_gen:(-1) ~target:st_hard
 let soft_kill_h t h = do_kill t h.ep_id ~expect_gen:h.ep_gen ~target:st_soft
@@ -399,6 +450,16 @@ let lifecycle t ~ep =
     else if lc = st_hard then Some Ipc_intf.Lifecycle.Hard_killed
     else None
 
+(* --- fault-containment observability ----------------------------------- *)
+
+let handler_faults t = Atomic.get t.handler_faults
+let breaker_trips t = Atomic.get t.breaker_trips
+let breaker_threshold t = t.breaker_threshold
+
+let ep_faults t ~ep =
+  if ep < 0 || ep >= max_entry_points then 0
+  else Atomic.get t.slots.(ep).faults
+
 (* --- cross-domain calls: the channel path ------------------------------ *)
 
 (* N server shards, each owning a doorbell and a registry of client
@@ -425,6 +486,8 @@ type shard = {
   shard_served : int Atomic.t;
   shard_batches : int Atomic.t;  (** non-empty sweeps *)
   shard_steals : int Atomic.t;  (** requests taken from sibling shards *)
+  heartbeat : int Atomic.t;  (** bumped every loop iteration; liveness word *)
+  poison : bool Atomic.t;  (** injected crash: the shard domain exits *)
 }
 
 type channel_server = {
@@ -437,6 +500,13 @@ type channel_server = {
   cs_server_spin : int;
   cs_max_batch : int;
   mutable cs_domains : unit Domain.t array;
+  cs_dmutex : Mutex.t;
+      (** guards [cs_domains] appends (supervisor respawn vs shutdown) *)
+  mutable cs_supervisor : unit Domain.t option;
+  cs_supervisor_poll : int;  (** cpu_relax iterations between sweeps *)
+  cs_respawns : int Atomic.t;  (** shard domains the supervisor restarted *)
+  cs_fail_swept : int Atomic.t;
+      (** in-flight requests of dead shards failed with [handler_fault] *)
 }
 
 type client = {
@@ -490,8 +560,10 @@ let rec steal_round server run si k =
 
 let shard_loop server sh =
   (* A request for an entry point that was killed and freed while the
-     request sat in a ring must answer, not kill the shard domain.  The
-     served counter bumps *before* the channel marks the request
+     request sat in a ring must answer, not kill the shard domain; a
+     handler that raises is likewise contained inside [call] (the caller
+     sees [err_handler_fault]), so no request can take this domain down.
+     The served counter bumps *before* the channel marks the request
      complete, so a caller that has seen its call return also sees it
      counted. *)
   let run ep args =
@@ -501,11 +573,19 @@ let shard_loop server sh =
     Atomic.incr sh.shard_served
   in
   let nonempty () =
-    Atomic.get server.cs_stop || chans_pending (Atomic.get sh.chans) 0
+    Atomic.get server.cs_stop
+    || Atomic.get sh.poison
+    || chans_pending (Atomic.get sh.chans) 0
   in
   let nshards = Array.length server.cs_shards in
   let rec go idle =
-    if Atomic.get server.cs_stop then
+    Atomic.incr sh.heartbeat;
+    if Atomic.get sh.poison then
+      (* Injected crash ({!kill_shard}): exit without serving the
+         backlog, leaving rings and parked clients exactly as a dead
+         domain would — the supervisor's job to clean up. *)
+      ()
+    else if Atomic.get server.cs_stop then
       (* Final sweep so work enqueued before shutdown still completes. *)
       ignore (sweep_shard sh run)
     else begin
@@ -532,7 +612,83 @@ let shard_loop server sh =
   in
   go 0
 
-let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
+(* --- shard supervision ------------------------------------------------- *)
+
+(* Declare a shard dead, fail its visible backlog, restart it.  The
+   fail-sweep runs under the shard ticket (like any consumer), so it can
+   only touch rings no live consumer owns; every request it pops answers
+   [err_handler_fault] — the request may or may not have started when
+   the shard died, which is exactly what that code means — and parked
+   clients wake through the normal deferred-signal pass.  The respawned
+   domain serves whatever the sweep could not reach.  Spawning is
+   serialised with shutdown on [cs_dmutex]: once [cs_stop] is set no new
+   domain can appear, so [shutdown_channel_server] joins a stable set. *)
+let revive_shard server sh =
+  let fail_run _ep args =
+    args.(rc_slot) <- err_handler_fault;
+    Atomic.incr server.cs_fail_swept
+  in
+  let swept = sweep_shard sh fail_run in
+  if swept > 0 then ignore swept;
+  Mutex.lock server.cs_dmutex;
+  if not (Atomic.get server.cs_stop) then begin
+    Atomic.set sh.poison false;
+    (* Count before spawning: an observer that sees the revived shard
+       serve a call must also see the respawn counted. *)
+    Atomic.incr server.cs_respawns;
+    let d = Domain.spawn (fun () -> shard_loop server sh) in
+    server.cs_domains <- Array.append server.cs_domains [| d |]
+  end;
+  Mutex.unlock server.cs_dmutex
+
+(* The supervisor polls every shard's heartbeat.  A shard is dead when
+   it was poisoned ({!kill_shard}), or *wedged* when its heartbeat
+   stayed frozen across two consecutive polls while work was visibly
+   pending (one frozen poll can be an unlucky sample of a shard that is
+   just waking; two in a row with a backlog cannot — a healthy shard
+   bumps the word every loop iteration).  Respawning a wedged shard is
+   safe even if the old domain later resumes: the shard ticket and the
+   per-channel consumer locks serialise the two, the same property that
+   makes steal-on-idle sound. *)
+let supervisor_loop server =
+  let shards = server.cs_shards in
+  let n = Array.length shards in
+  let last_hb = Array.make n (-1) in
+  let suspect = Array.make n 0 in
+  let rec pause k = if k > 0 then (Domain.cpu_relax (); pause (k - 1)) in
+  let rec go () =
+    if not (Atomic.get server.cs_stop) then begin
+      pause server.cs_supervisor_poll;
+      for i = 0 to n - 1 do
+        let sh = shards.(i) in
+        let dead =
+          if Atomic.get sh.poison then true
+          else begin
+            let hb = Atomic.get sh.heartbeat in
+            let frozen = hb = last_hb.(i) in
+            last_hb.(i) <- hb;
+            if frozen && chans_pending (Atomic.get sh.chans) 0 then begin
+              suspect.(i) <- suspect.(i) + 1;
+              suspect.(i) >= 2
+            end
+            else begin
+              suspect.(i) <- 0;
+              false
+            end
+          end
+        in
+        if dead && not (Atomic.get server.cs_stop) then begin
+          suspect.(i) <- 0;
+          revive_shard server sh
+        end
+      done;
+      go ()
+    end
+  in
+  go ()
+
+let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32)
+    ?(supervise = false) ?(supervisor_poll = 20_000) t =
   let server_spin =
     match server_spin with
     | Some s -> s
@@ -542,6 +698,8 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
     invalid_arg "Fastcall.spawn_channel_server: shards must be > 0";
   if max_batch <= 0 then
     invalid_arg "Fastcall.spawn_channel_server: max_batch must be > 0";
+  if supervisor_poll <= 0 then
+    invalid_arg "Fastcall.spawn_channel_server: supervisor_poll must be > 0";
   let cs_shards =
     Array.init shards (fun shard_index ->
         {
@@ -552,6 +710,8 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
           shard_served = Atomic.make 0;
           shard_batches = Atomic.make 0;
           shard_steals = Atomic.make 0;
+          heartbeat = Atomic.make 0;
+          poison = Atomic.make false;
         })
   in
   let server =
@@ -564,11 +724,37 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32) t =
       cs_server_spin = server_spin;
       cs_max_batch = max_batch;
       cs_domains = [||];
+      cs_dmutex = Mutex.create ();
+      cs_supervisor = None;
+      cs_supervisor_poll = supervisor_poll;
+      cs_respawns = Atomic.make 0;
+      cs_fail_swept = Atomic.make 0;
     }
   in
   server.cs_domains <-
     Array.map (fun sh -> Domain.spawn (fun () -> shard_loop server sh)) cs_shards;
+  if supervise then
+    server.cs_supervisor <-
+      Some (Domain.spawn (fun () -> supervisor_loop server));
   server
+
+(* Runtime fault injector: simulate the death of a shard domain.  The
+   shard exits its loop without serving its backlog; clients of that
+   shard wedge (or time out, on the deadline path) until a supervisor
+   revives it. *)
+let kill_shard server ~shard =
+  if shard < 0 || shard >= Array.length server.cs_shards then
+    invalid_arg "Fastcall.kill_shard: no such shard";
+  let sh = server.cs_shards.(shard) in
+  Atomic.set sh.poison true;
+  Doorbell.wake sh.bell
+
+(* Runtime fault injector: slow every ring of the shard's doorbell (see
+   {!Doorbell.inject_delay}).  [0] restores normal behaviour. *)
+let inject_doorbell_delay server ~shard n =
+  if shard < 0 || shard >= Array.length server.cs_shards then
+    invalid_arg "Fastcall.inject_doorbell_delay: no such shard";
+  Doorbell.inject_delay server.cs_shards.(shard).bell n
 
 let rec register_chan sh ch =
   let cur = Atomic.get sh.chans in
@@ -584,7 +770,7 @@ let rec register_active server a =
 (* Per-calling-domain handle: one channel to every shard.  Connect from
    the domain that will make the calls; a client must not be shared
    across domains (the submission rings are single-producer). *)
-let connect ?(slab_capacity = 16) ?(ring_capacity = 64) ?client_spin
+let connect ?(slab_capacity = 16) ?slab_max ?(ring_capacity = 64) ?client_spin
     ?(inline_uncontended = true) server =
   let client_spin =
     match client_spin with
@@ -595,8 +781,8 @@ let connect ?(slab_capacity = 16) ?(ring_capacity = 64) ?client_spin
     Array.map
       (fun sh ->
         let ch =
-          Ppc_channel.create ~slab_capacity ~ring_capacity ~spin:client_spin
-            ~max_batch:server.cs_max_batch ~doorbell:sh.bell
+          Ppc_channel.create ~slab_capacity ?slab_max ~ring_capacity
+            ~spin:client_spin ~max_batch:server.cs_max_batch ~doorbell:sh.bell
             ~shard:sh.shard_index ~arg_words ()
         in
         register_chan sh ch;
@@ -665,6 +851,29 @@ let channel_call cl ~ep args =
     args.(rc_slot)
   end
 
+(* Deadline flavour.  Always takes the queued path: the point of a
+   deadline is bounding the wait on *someone else's* progress, and a
+   call inlined under the shard ticket runs on this very domain — there
+   is nothing to time out on.  The bounded-spin/abandonment protocol
+   lives in {!Ppc_channel.call_deadline}; a timed-out call decrements
+   the quiesce gate immediately (its abandoned cell is the server's to
+   reclaim, and the shutdown sweep drains rings anyway), so a client
+   stuck behind a dead shard never wedges [shutdown_channel_server]. *)
+let channel_call_deadline cl ~ep ~deadline args =
+  Atomic.incr cl.cl_active;
+  if Atomic.get cl.cl_server.cs_draining then begin
+    Atomic.decr cl.cl_active;
+    args.(rc_slot) <- err_killed;
+    err_killed
+  end
+  else begin
+    let chans = cl.cl_chans in
+    let idx = ep mod Array.length chans in
+    ignore (Ppc_channel.call_deadline chans.(idx) ~ep ~deadline args : int);
+    Atomic.decr cl.cl_active;
+    args.(rc_slot)
+  end
+
 let client_inlined cl = Atomic.get cl.cl_inlined
 
 (* Quiesce, then join (Section 4.5.2's soft-kill discipline applied to
@@ -685,7 +894,18 @@ let shutdown_channel_server server =
   done;
   Atomic.set server.cs_stop true;
   Array.iter (fun sh -> Doorbell.wake sh.bell) server.cs_shards;
-  Array.iter Domain.join server.cs_domains
+  (* Join the supervisor first: once it has seen [cs_stop] no further
+     respawn can start (checked under [cs_dmutex]), so the domain array
+     read below is the final set. *)
+  (match server.cs_supervisor with
+  | Some d ->
+      Domain.join d;
+      server.cs_supervisor <- None
+  | None -> ());
+  Mutex.lock server.cs_dmutex;
+  let domains = server.cs_domains in
+  Mutex.unlock server.cs_dmutex;
+  Array.iter Domain.join domains
 
 let channel_served server =
   Array.fold_left
@@ -710,8 +930,26 @@ let channel_doorbell_stats server =
         p + Doorbell.parks sh.bell ))
     (0, 0, 0) server.cs_shards
 
+let channel_respawns server = Atomic.get server.cs_respawns
+let channel_fail_swept server = Atomic.get server.cs_fail_swept
+
+let shard_heartbeat server ~shard =
+  if shard < 0 || shard >= Array.length server.cs_shards then 0
+  else Atomic.get server.cs_shards.(shard).heartbeat
+
 let client_slab_grows cl =
   Array.fold_left (fun acc ch -> acc + Ppc_channel.slab_grows ch) 0 cl.cl_chans
+
+let client_timeouts cl =
+  Array.fold_left (fun acc ch -> acc + Ppc_channel.timeouts ch) 0 cl.cl_chans
+
+let client_rejected cl =
+  Array.fold_left (fun acc ch -> acc + Ppc_channel.rejected ch) 0 cl.cl_chans
+
+let client_slab_reclaimed cl =
+  Array.fold_left
+    (fun acc ch -> acc + Ppc_channel.slab_reclaimed ch)
+    0 cl.cl_chans
 
 (* --- cross-domain calls: the legacy MPSC path -------------------------- *)
 

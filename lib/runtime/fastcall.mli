@@ -12,6 +12,16 @@
     Freed IDs are recycled; the per-slot generation counter makes stale
     {!ep} handles detectable across reuse.
 
+    {b Failure containment.}  A handler that raises is trapped on every
+    path — local call, inline channel call, shard drain — and its caller
+    answers [Ipc_intf.Errc.handler_fault]; the exception never crosses
+    the call boundary, so a faulty service cannot take down a caller
+    domain or a server shard.  Consecutive faults on one entry point
+    trip a circuit breaker that soft-kills it (see {!create}); the
+    channel path additionally offers per-call deadlines
+    ({!channel_call_deadline}), [Errc.retry] backpressure, and optional
+    shard supervision with automatic respawn ({!spawn_channel_server}).
+
     Cross-domain calls have two embodiments: the {e channel path}
     (preallocated request slabs + per-client SPSC rings + doorbell +
     batched, optionally sharded servers; zero allocation after warm-up)
@@ -35,12 +45,17 @@ type ep
 
 exception No_entry of int
 
-val create : unit -> t
+val create : ?breaker_threshold:int -> unit -> t
+(** [breaker_threshold] (default 8) is the circuit breaker: after that
+    many {e consecutive} handler faults on one entry point (any success
+    resets the count), the entry point is automatically soft-killed —
+    it drains and frees exactly as an explicit {!soft_kill} would. *)
 
 val register : t -> handler -> int
 (** Bind a free entry point (recycling killed-and-drained IDs) and
     return its raw ID.  Management path, serialised with the other
-    lifecycle operations; safe while other domains are calling. *)
+    lifecycle operations; safe while other domains are calling.  A
+    recycled slot starts with a clean fault history. *)
 
 val register_ep : t -> handler -> ep
 (** [register], but returning the versioned handle. *)
@@ -53,13 +68,19 @@ val registered : t -> int
 
 val call : t -> ep:int -> int array -> int
 (** Local synchronous call by raw ID: returns [args.(7)] (the RC slot).
-    Raises {!No_entry} on an unbound ID; a killed-but-draining ID
-    returns [Ipc_intf.Errc.killed]. *)
+    Raises {!No_entry} on an unbound ID — the only exception this
+    function can raise.  Error codes in the RC slot:
+    [Ipc_intf.Errc.killed] for a killed-but-draining ID (or a hard kill
+    landing mid-call), [Ipc_intf.Errc.handler_fault] when the handler
+    raised (the exception is contained, never propagated). *)
 
 val call_h : t -> ep -> int array -> int
-(** Local synchronous call through a versioned handle.  Never raises:
-    stale handles get [Ipc_intf.Errc.no_entry], killed ones
-    [Ipc_intf.Errc.killed]. *)
+(** Local synchronous call through a versioned handle.  Never raises —
+    including when the handler itself raises.  Error codes:
+    [Ipc_intf.Errc.no_entry] for a stale or freed handle,
+    [Ipc_intf.Errc.killed] for a killed-but-draining entry point (or a
+    hard kill landing mid-call), [Ipc_intf.Errc.handler_fault] for a
+    contained handler exception. *)
 
 val local_calls : t -> int
 (** Calls completed by the current domain. *)
@@ -108,6 +129,19 @@ val in_flight_h : t -> ep -> int
 val lifecycle : t -> ep:int -> Ipc_intf.Lifecycle.status option
 (** [None] when the slot is free. *)
 
+(** {1 Fault-containment observability} *)
+
+val handler_faults : t -> int
+(** Handler exceptions contained table-wide. *)
+
+val breaker_trips : t -> int
+(** Entry points auto-soft-killed by the circuit breaker. *)
+
+val breaker_threshold : t -> int
+
+val ep_faults : t -> ep:int -> int
+(** Handler faults on this entry point under its current tenant. *)
+
 (** {1 Cross-domain: the channel path} *)
 
 type channel_server
@@ -119,15 +153,30 @@ type client
     single-producer). *)
 
 val spawn_channel_server :
-  ?shards:int -> ?server_spin:int -> ?max_batch:int -> t -> channel_server
+  ?shards:int ->
+  ?server_spin:int ->
+  ?max_batch:int ->
+  ?supervise:bool ->
+  ?supervisor_poll:int ->
+  t ->
+  channel_server
 (** Spawn [shards] server domains (default 1).  Each drains up to
     [max_batch] requests per channel sweep under its shard ticket,
     steals from idle siblings, spins for [server_spin] iterations when
     dry (default scales with the machine's parallelism), then parks on
-    its doorbell. *)
+    its doorbell.
+
+    [supervise] (default [false]) also spawns a supervisor domain that
+    polls every shard's heartbeat word (every [supervisor_poll]
+    cpu-relax iterations).  A shard found dead (killed via
+    {!kill_shard}) or wedged (heartbeat frozen across two polls with
+    work visibly pending) has its reachable in-flight requests failed
+    with [Ipc_intf.Errc.handler_fault] — waking any parked clients —
+    and is respawned so subsequent calls succeed. *)
 
 val connect :
   ?slab_capacity:int ->
+  ?slab_max:int ->
   ?ring_capacity:int ->
   ?client_spin:int ->
   ?inline_uncontended:bool ->
@@ -136,29 +185,56 @@ val connect :
 (** Register this domain with every shard.  [ring_capacity] must be a
     power of two; [client_spin] is the spin budget before a call parks
     on its request cell (default scales with the machine's
-    parallelism).  [inline_uncontended] (default [true]) lets a call
-    execute on the caller's domain when the target shard's ticket is
-    free — the paper's PPC discipline; pass [false] to force every call
-    through the queued path (benchmarking the batching machinery). *)
+    parallelism).  [slab_max] caps each per-shard request slab: once
+    every cell is in flight further calls answer [Ipc_intf.Errc.retry]
+    instead of growing the slab (default unbounded).
+    [inline_uncontended] (default [true]) lets a call execute on the
+    caller's domain when the target shard's ticket is free — the
+    paper's PPC discipline; pass [false] to force every call through
+    the queued path (benchmarking the batching machinery). *)
 
 val channel_call : client -> ep:int -> int array -> int
 (** Cross-domain call over the channel path: routed to shard
     [ep mod shards].  Uncontended calls run inline on the caller's
     domain under the shard ticket; contended calls queue on this
     client's SPSC channel for batched service.  Allocation-free after
-    warm-up either way.  Returns [args.(7)].  Never raises on lifecycle
-    grounds: unbound entry points answer [Ipc_intf.Errc.no_entry], and
-    calls refused by a quiescing server answer
-    [Ipc_intf.Errc.killed]. *)
+    warm-up either way.  Returns [args.(7)].  Never raises: unbound
+    entry points answer [Ipc_intf.Errc.no_entry], calls refused by a
+    quiescing server [Ipc_intf.Errc.killed], contained handler
+    exceptions [Ipc_intf.Errc.handler_fault], and a full submission
+    ring or exhausted bounded slab [Ipc_intf.Errc.retry] (see
+    {!Backoff}). *)
+
+val channel_call_deadline :
+  client -> ep:int -> deadline:int -> int array -> int
+(** {!channel_call} with a bounded wait: always queued (never inline),
+    spinning at most [deadline] iterations for the reply and never
+    parking.  On expiry the request cell is abandoned to the server via
+    a CAS ownership handoff and the call returns
+    [Ipc_intf.Errc.timed_out]; the late reply, if any, is discarded and
+    the cell reclaimed exactly once.  All {!channel_call} error codes
+    apply too. *)
 
 val client_inlined : client -> int
 (** Calls this client ran inline under a free shard ticket. *)
+
+val kill_shard : channel_server -> shard:int -> unit
+(** Fault injector: make the shard domain exit as if it had died,
+    leaving its backlog and parked clients stranded.  Pair with
+    [~supervise:true] to exercise detection and respawn, or with
+    {!channel_call_deadline} to exercise client-side timeouts. *)
+
+val inject_doorbell_delay : channel_server -> shard:int -> int -> unit
+(** Fault injector: stall every ring of the shard's doorbell by [n]
+    cpu-relax iterations, widening the park/ring race window
+    ({!Doorbell.inject_delay}).  [0] restores normal behaviour. *)
 
 val shutdown_channel_server : channel_server -> unit
 (** Quiesce, then join: stop accepting new channel calls (refused calls
     get [Ipc_intf.Errc.killed]), wait until every call already accepted
     has completed — the shards keep serving during the wait — then stop
-    and join the shard domains.  No accepted call is lost. *)
+    and join the supervisor and every shard domain (including
+    respawns).  No accepted call is lost. *)
 
 val channel_served : channel_server -> int
 val channel_batches : channel_server -> int
@@ -172,8 +248,26 @@ val channel_doorbell_stats : channel_server -> int * int * int
 (** [(rings, wakes, parks)] summed over shards: lock-free rings, rings
     that had to wake a parked shard, and actual sleeps. *)
 
+val channel_respawns : channel_server -> int
+(** Shard domains the supervisor restarted. *)
+
+val channel_fail_swept : channel_server -> int
+(** In-flight requests of dead shards failed with [handler_fault]. *)
+
+val shard_heartbeat : channel_server -> shard:int -> int
+(** The shard's liveness word (bumped every loop iteration). *)
+
 val client_slab_grows : client -> int
 (** Slab growth on this client — zero once warmed up. *)
+
+val client_timeouts : client -> int
+(** Deadline calls on this client that timed out. *)
+
+val client_rejected : client -> int
+(** Calls on this client bounced with [Ipc_intf.Errc.retry]. *)
+
+val client_slab_reclaimed : client -> int
+(** Abandoned cells the server reclaimed for this client. *)
 
 (** {1 Cross-domain: the legacy MPSC path (benchmark baseline)} *)
 

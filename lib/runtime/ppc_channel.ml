@@ -33,14 +33,18 @@ type t = {
   dummy : Request_slab.cell;
   submitted : int Atomic.t;
   drained : int Atomic.t;
+  timeouts : int Atomic.t;  (** deadline calls that abandoned their cell *)
+  rejected : int Atomic.t;  (** calls bounced with [Errc.retry] *)
 }
 
-let create ?(slab_capacity = 16) ?(ring_capacity = 64) ?(spin = 2048)
+let create ?(slab_capacity = 16) ?slab_max ?(ring_capacity = 64) ?(spin = 2048)
     ?(max_batch = 32) ~doorbell ~shard ~arg_words () =
   if max_batch <= 0 then invalid_arg "Ppc_channel.create: max_batch must be > 0";
   let dummy = Request_slab.dummy_cell ~arg_words in
   {
-    slab = Request_slab.create ~capacity:slab_capacity ~arg_words ();
+    slab =
+      Request_slab.create ~capacity:slab_capacity ?max_cells:slab_max
+        ~arg_words ();
     ring = Spsc_ring.Raw.create ~capacity:ring_capacity ~dummy;
     doorbell;
     shard;
@@ -51,13 +55,18 @@ let create ?(slab_capacity = 16) ?(ring_capacity = 64) ?(spin = 2048)
     dummy;
     submitted = Atomic.make 0;
     drained = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    rejected = Atomic.make 0;
   }
 
 let shard t = t.shard
 let submitted t = Atomic.get t.submitted
 let drained t = Atomic.get t.drained
+let timeouts t = Atomic.get t.timeouts
+let rejected t = Atomic.get t.rejected
 let slab_grows t = Request_slab.grows t.slab
 let slab_created t = Request_slab.created t.slab
+let slab_reclaimed t = Request_slab.reclaimed t.slab
 let pending t = not (Spsc_ring.Raw.is_empty t.ring)
 
 (* Spinning only ever pays when the peer can run concurrently; callers
@@ -67,12 +76,6 @@ let pending t = not (Spsc_ring.Raw.is_empty t.ring)
    a pure spin there just burns the timeslice the server needs
    ([Thread.yield] is a no-op across domains, and a zero nanosleep costs
    two orders of magnitude more than a futex wake). *)
-let rec push_spin ring cell n =
-  if not (Spsc_ring.Raw.try_push ring cell) then begin
-    Domain.cpu_relax ();
-    push_spin ring cell (n + 1)
-  end
-
 let rec spin_done state budget n =
   if n >= budget then false
   else if Atomic.get state = Request_slab.state_done then true
@@ -81,39 +84,107 @@ let rec spin_done state budget n =
     spin_done state budget (n + 1)
   end
 
-(* Client side: the whole round trip.  Owner domain only. *)
-let call t ~ep args =
-  let cell = Request_slab.acquire t.slab in
-  cell.Request_slab.ep <- ep;
-  let words = Array.length cell.Request_slab.args in
-  Array.blit args 0 cell.Request_slab.args 0 words;
-  let state = cell.Request_slab.state in
-  Atomic.set state Request_slab.state_pending;
-  if not (Spsc_ring.Raw.try_push t.ring cell) then begin
-    (* Ring full: the server is behind.  Make sure it is awake, then
-       wait for space; it cannot park while our backlog is visible. *)
-    Doorbell.ring t.doorbell;
-    push_spin t.ring cell 0
-  end;
-  Doorbell.ring t.doorbell;
-  Atomic.incr t.submitted;
-  if not (spin_done state t.spin 0) then
-    if
-      Atomic.compare_and_set state Request_slab.state_pending
-        Request_slab.state_parked
-    then begin
-      (* The server signals under [cell.cm] after flipping the state, so
-         checking the state before each wait closes the wakeup race. *)
-      Mutex.lock cell.Request_slab.cm;
-      while Atomic.get state <> Request_slab.state_done do
-        Condition.wait cell.Request_slab.cc cell.Request_slab.cm
-      done;
-      Mutex.unlock cell.Request_slab.cm
-    end;
+(* Copy the reply out and recycle the cell.  Shared tail of every call
+   flavour that still owns its cell at completion. *)
+let take_reply t cell args words =
   Array.blit cell.Request_slab.args 0 args 0 words;
   let rc = args.(words - 1) in
   Request_slab.release t.slab cell;
   rc
+
+(* Backpressure bounces.  The RC slot is written as well as returned, so
+   wrappers that read [args.(rc)] after the call see the same verdict. *)
+let bounce_exhausted t args words =
+  Atomic.incr t.rejected;
+  args.(words - 1) <- Ipc_intf.Errc.retry;
+  Ipc_intf.Errc.retry
+
+(* The ring had no room for a cell we had already filled.  The server is
+   behind, so make sure it is awake before handing [Errc.retry] to the
+   caller's backoff loop — the server never saw the cell, so taking it
+   back is race-free. *)
+let bounce_ring_full t cell args words =
+  Request_slab.release t.slab cell;
+  Doorbell.ring t.doorbell;
+  Atomic.incr t.rejected;
+  args.(words - 1) <- Ipc_intf.Errc.retry;
+  Ipc_intf.Errc.retry
+
+(* Client side: the whole round trip.  Owner domain only.  Returns
+   [Errc.retry] (without calling) when the submission ring is full or a
+   bounded slab has every cell in flight. *)
+let call t ~ep args =
+  if Request_slab.exhausted t.slab then
+    bounce_exhausted t args (Array.length args)
+  else begin
+    let cell = Request_slab.acquire t.slab in
+    cell.Request_slab.ep <- ep;
+    let words = Array.length cell.Request_slab.args in
+    Array.blit args 0 cell.Request_slab.args 0 words;
+    let state = cell.Request_slab.state in
+    Atomic.set state Request_slab.state_pending;
+    if not (Spsc_ring.Raw.try_push t.ring cell) then
+      bounce_ring_full t cell args words
+    else begin
+      Doorbell.ring t.doorbell;
+      Atomic.incr t.submitted;
+      if not (spin_done state t.spin 0) then
+        if
+          Atomic.compare_and_set state Request_slab.state_pending
+            Request_slab.state_parked
+        then begin
+          (* The server signals under [cell.cm] after flipping the
+             state, so checking the state before each wait closes the
+             wakeup race. *)
+          Mutex.lock cell.Request_slab.cm;
+          while Atomic.get state <> Request_slab.state_done do
+            Condition.wait cell.Request_slab.cc cell.Request_slab.cm
+          done;
+          Mutex.unlock cell.Request_slab.cm
+        end;
+      take_reply t cell args words
+    end
+  end
+
+(* Deadline flavour: same submission path, but the wait is a bounded
+   spin that never parks (stdlib [Condition.wait] has no timeout), and
+   on expiry the client *abandons* the cell with a CAS ownership
+   handoff.  Winning the CAS means the server has not replied: it will
+   see [state_abandoned], discard any reply, and {!Request_slab.reclaim}
+   the cell — so we must never touch it again.  Losing the CAS means
+   the reply beat the deadline by a whisker; completion wins and the
+   call succeeds normally.  [deadline] is a spin-iteration budget, the
+   same unit as the [spin] parameter. *)
+let call_deadline t ~ep ~deadline args =
+  if Request_slab.exhausted t.slab then
+    bounce_exhausted t args (Array.length args)
+  else begin
+    let cell = Request_slab.acquire t.slab in
+    cell.Request_slab.ep <- ep;
+    let words = Array.length cell.Request_slab.args in
+    Array.blit args 0 cell.Request_slab.args 0 words;
+    let state = cell.Request_slab.state in
+    Atomic.set state Request_slab.state_pending;
+    if not (Spsc_ring.Raw.try_push t.ring cell) then
+      bounce_ring_full t cell args words
+    else begin
+      Doorbell.ring t.doorbell;
+      Atomic.incr t.submitted;
+      if spin_done state deadline 0 then take_reply t cell args words
+      else if
+        Atomic.compare_and_set state Request_slab.state_pending
+          Request_slab.state_abandoned
+      then begin
+        Atomic.incr t.timeouts;
+        args.(words - 1) <- Ipc_intf.Errc.timed_out;
+        Ipc_intf.Errc.timed_out
+      end
+      else
+        (* CAS lost: only the server writes this word once we are
+           pending, so the state is [done] — take the reply. *)
+        take_reply t cell args words
+    end
+  end
 
 (* Consumer side. ------------------------------------------------------- *)
 
@@ -122,6 +193,15 @@ let rec drain_loop t run count parked =
   else begin
     let cell = Spsc_ring.Raw.try_pop t.ring in
     if cell.Request_slab.index < 0 then finish t count parked
+    else if
+      Atomic.get cell.Request_slab.state = Request_slab.state_abandoned
+    then begin
+      (* The client's deadline expired before we got here: it has
+         forsaken the cell, so skip the handler entirely and hand the
+         cell back through the slab's reclaim stack. *)
+      Request_slab.reclaim t.slab cell;
+      drain_loop t run (count + 1) parked
+    end
     else begin
       run cell.Request_slab.ep cell.Request_slab.args;
       let prev =
@@ -130,6 +210,13 @@ let rec drain_loop t run count parked =
       if prev = Request_slab.state_parked then begin
         t.wake_buf.(parked) <- cell;
         drain_loop t run (count + 1) (parked + 1)
+      end
+      else if prev = Request_slab.state_abandoned then begin
+        (* The client gave up while the handler was running.  Nobody
+           will read the reply; discard it and recycle the cell —
+           exactly once, since the abandon CAS made us its sole owner. *)
+        Request_slab.reclaim t.slab cell;
+        drain_loop t run (count + 1) parked
       end
       else drain_loop t run (count + 1) parked
     end

@@ -11,6 +11,7 @@ type t
 
 val create :
   ?slab_capacity:int ->
+  ?slab_max:int ->
   ?ring_capacity:int ->
   ?spin:int ->
   ?max_batch:int ->
@@ -20,17 +21,32 @@ val create :
   unit ->
   t
 (** [ring_capacity] must be a positive power of two.  [spin] is the
-    client's spin/yield budget before it parks on the request cell. *)
+    client's spin/yield budget before it parks on the request cell.
+    [slab_max] caps the request slab (default unbounded): once every
+    cell is in flight, further calls bounce with [Errc.retry] instead
+    of growing the slab. *)
 
 val call : t -> ep:int -> int array -> int
 (** Client round trip: acquire a cell, copy [args] in, submit, ring the
     doorbell, wait (spin then park), copy results back, recycle the
     cell.  Returns the last argument word (the RC slot).  Owner domain
-    only. *)
+    only.  Returns [Errc.retry] — without submitting — when the
+    submission ring is full or a [slab_max]-bounded slab is exhausted;
+    see {!Backoff} for the caller-side retry discipline. *)
+
+val call_deadline : t -> ep:int -> deadline:int -> int array -> int
+(** Like {!call}, but bounded: spins for at most [deadline] iterations
+    (same unit as [spin]) and never parks.  On expiry the cell is
+    abandoned to the server via a CAS ownership handoff and the call
+    returns [Errc.timed_out] (also written to the RC slot); any late
+    server reply is discarded and the cell reclaimed exactly once.  If
+    the reply races the deadline, completion wins and the call returns
+    normally.  Owner domain only. *)
 
 val try_drain : t -> run:(int -> int array -> unit) -> int
 (** Pop up to [max_batch] requests, run each, then issue one deferred
-    pass of wakeups for clients that parked.  Returns the number
+    pass of wakeups for clients that parked.  Abandoned cells are
+    skipped (handler not run) and reclaimed.  Returns the number
     drained; 0 if empty or another consumer holds the channel. *)
 
 val pending : t -> bool
@@ -40,8 +56,18 @@ val shard : t -> int
 val submitted : t -> int
 val drained : t -> int
 
+val timeouts : t -> int
+(** Deadline calls that expired and abandoned their cell. *)
+
+val rejected : t -> int
+(** Calls bounced with [Errc.retry] (ring full or slab exhausted). *)
+
 val slab_grows : t -> int
 (** Times the request slab had to grow — zero in a warmed-up steady
     state. *)
 
 val slab_created : t -> int
+
+val slab_reclaimed : t -> int
+(** Abandoned cells the server returned through the slab's reclaim
+    stack. *)

@@ -13,17 +13,31 @@
    the one whose args are hottest in cache — services the next call,
    exactly the warmth property the paper gets from recycling CDs.  The
    server side only ever sees cells in flight; it never allocates or
-   frees them. *)
+   frees them — with one exception, modelled on the paper's §4.5.6 CD
+   reclamation on termination: a cell whose client *abandoned* it (call
+   deadline expired) is handed to the server by a CAS on the state word,
+   and the server returns it through [reclaim], a lock-free side stack
+   the owner drains back into its pool on a later acquire.  Ownership
+   of every cell is therefore always unambiguous: the owner holds it,
+   the server holds it, or it sits in exactly one of the two free
+   structures — recycled exactly once. *)
 
 (* Completion states.  Transitions:
      Free -(client: acquire+fill)-> Pending
      Pending -(client: spin budget exhausted, CAS)-> Parked
+     Pending -(client: deadline expired, CAS)-> Abandoned
      Pending|Parked -(server: exchange after running handler)-> Done
-     Done -(client: observe result, release)-> Free *)
+     Done -(client: observe result, release)-> Free
+     Abandoned -(server: discard reply, reclaim)-> Free (via side stack)
+   The Pending->Abandoned CAS is the ownership handoff: if it wins, the
+   client never touches the cell again and the server owns recycling it;
+   if it loses (the server's Done got there first), the reply stands and
+   the client keeps ownership. *)
 let state_free = 0
 let state_pending = 1
 let state_parked = 2
 let state_done = 3
+let state_abandoned = 4
 
 type cell = {
   index : int;  (** creation order; [-1] for ring dummies *)
@@ -36,10 +50,15 @@ type cell = {
 
 type t = {
   arg_words : int;
+  max_cells : int;  (** growth cap for [try_acquire]; [max_int] = unbounded *)
   mutable pool : cell array;  (** free stack; slots [0..pool_len-1] live *)
   mutable pool_len : int;
   mutable created : int;  (** cells ever created, including the seed *)
   mutable grows : int;  (** acquires that found the pool empty *)
+  reclaim_list : cell list Atomic.t;
+      (** abandoned cells returned by the server; drained by the owner *)
+  reclaim_len : int Atomic.t;
+  reclaimed : int Atomic.t;  (** total cells ever pushed through reclaim *)
 }
 
 let make_cell ~arg_words ~index =
@@ -54,22 +73,91 @@ let make_cell ~arg_words ~index =
 
 let dummy_cell ~arg_words = make_cell ~arg_words ~index:(-1)
 
-let create ?(capacity = 16) ~arg_words () =
+let create ?(capacity = 16) ?(max_cells = max_int) ~arg_words () =
   if capacity <= 0 then invalid_arg "Request_slab.create: capacity must be > 0";
   if arg_words <= 0 then invalid_arg "Request_slab.create: arg_words must be > 0";
+  if max_cells < capacity then
+    invalid_arg "Request_slab.create: max_cells must be >= capacity";
   let pool = Array.init capacity (fun i -> make_cell ~arg_words ~index:i) in
-  { arg_words; pool; pool_len = capacity; created = capacity; grows = 0 }
+  {
+    arg_words;
+    max_cells;
+    pool;
+    pool_len = capacity;
+    created = capacity;
+    grows = 0;
+    reclaim_list = Atomic.make [];
+    reclaim_len = Atomic.make 0;
+    reclaimed = Atomic.make 0;
+  }
 
 let arg_words t = t.arg_words
 let created t = t.created
-let grows t = t.grows
-let available t = t.pool_len
-let in_flight t = t.created - t.pool_len
 
-(* Owner only.  Warm path: array read + length decrement, no allocation. *)
+(* Owner only.  Allocation-free exhaustion probe for the warm call path:
+   true iff [acquire] would have to mint a cell a bounded slab is not
+   allowed to mint.  (A concurrent [reclaim] can only turn a [true] into
+   a stale positive — the caller's [Errc.retry] is transient anyway.) *)
+let exhausted t =
+  t.pool_len = 0 && Atomic.get t.reclaim_len = 0 && t.created >= t.max_cells
+let grows t = t.grows
+let available t = t.pool_len + Atomic.get t.reclaim_len
+let in_flight t = t.created - t.pool_len - Atomic.get t.reclaim_len
+let reclaimed t = Atomic.get t.reclaimed
+
+let pool_push t cell =
+  let n = t.pool_len in
+  if n = Array.length t.pool then begin
+    let grown = Array.make (max 4 (2 * n)) cell in
+    Array.blit t.pool 0 grown 0 n;
+    t.pool <- grown
+  end;
+  t.pool.(n) <- cell;
+  t.pool_len <- n + 1
+
+(* Owner only.  Pull everything the server has reclaimed back into the
+   pool.  Cold path: only taken when the LIFO stack is dry. *)
+let rec drain_reclaimed t =
+  let cur = Atomic.get t.reclaim_list in
+  match cur with
+  | [] -> ()
+  | _ ->
+      if Atomic.compare_and_set t.reclaim_list cur [] then begin
+        List.iter
+          (fun cell ->
+            Atomic.decr t.reclaim_len;
+            pool_push t cell)
+          cur
+      end
+      else drain_reclaimed t
+
+(* Owner only.  Warm path: array read + length decrement, no allocation.
+   Returns [None] only when the slab is at its growth cap with every
+   cell in flight — the explicit pool-exhaustion signal the caller turns
+   into [Errc.retry]. *)
+let try_acquire t =
+  if t.pool_len = 0 then drain_reclaimed t;
+  if t.pool_len = 0 then
+    if t.created >= t.max_cells then None
+    else begin
+      (* Pool exhausted but under the cap: grow, like Frank creating a
+         CD.  Cold path. *)
+      t.grows <- t.grows + 1;
+      let c = make_cell ~arg_words:t.arg_words ~index:t.created in
+      t.created <- t.created + 1;
+      Some c
+    end
+  else begin
+    let n = t.pool_len - 1 in
+    t.pool_len <- n;
+    Some t.pool.(n)
+  end
+
+(* Owner only.  Unbounded flavour: always yields a cell (ignores
+   [max_cells]), kept for callers that prefer growth to backpressure. *)
 let acquire t =
+  if t.pool_len = 0 then drain_reclaimed t;
   if t.pool_len = 0 then begin
-    (* Pool exhausted: grow, like Frank creating a CD.  Cold path. *)
     t.grows <- t.grows + 1;
     let c = make_cell ~arg_words:t.arg_words ~index:t.created in
     t.created <- t.created + 1;
@@ -85,11 +173,20 @@ let acquire t =
    server's hands (state [Done], or never submitted). *)
 let release t cell =
   Atomic.set cell.state state_free;
-  let n = t.pool_len in
-  if n = Array.length t.pool then begin
-    let grown = Array.make (max 4 (2 * n)) cell in
-    Array.blit t.pool 0 grown 0 n;
-    t.pool <- grown
-  end;
-  t.pool.(n) <- cell;
-  t.pool_len <- n + 1
+  pool_push t cell
+
+(* Any domain.  Return an [Abandoned] cell whose client has forsaken it:
+   the CAS handoff on the state word made the caller the sole owner, so
+   resetting the state and pushing onto the side stack cannot race the
+   client.  Lock-free; the cons allocation only happens on the fault
+   path, never on a warm call. *)
+let reclaim t cell =
+  Atomic.set cell.state state_free;
+  Atomic.incr t.reclaim_len;
+  Atomic.incr t.reclaimed;
+  let rec push () =
+    let cur = Atomic.get t.reclaim_list in
+    if not (Atomic.compare_and_set t.reclaim_list cur (cell :: cur)) then
+      push ()
+  in
+  push ()

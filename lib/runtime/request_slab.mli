@@ -5,12 +5,21 @@
     are preallocated, so a warm call allocates nothing at all.
 
     The free list is owned by one client domain: acquire/release from
-    that domain only.  The server never frees cells. *)
+    that domain only.  The server frees nothing — except cells the
+    client explicitly {e abandoned} on a call deadline, which the server
+    returns through {!reclaim} (the runtime mirror of the paper's
+    §4.5.6 CD reclamation on termination).  The owner drains those back
+    into its pool lazily, so every cell is recycled exactly once. *)
 
 val state_free : int
 val state_pending : int
 val state_parked : int
 val state_done : int
+
+val state_abandoned : int
+(** Set by a client whose deadline expired, via CAS from
+    [state_pending].  Winning that CAS transfers the cell to the server,
+    which must {!reclaim} it (and discard any reply). *)
 
 type cell = {
   index : int;
@@ -23,7 +32,11 @@ type cell = {
 
 type t
 
-val create : ?capacity:int -> arg_words:int -> unit -> t
+val create : ?capacity:int -> ?max_cells:int -> arg_words:int -> unit -> t
+(** [max_cells] caps total growth (default unbounded); when the cap is
+    reached {!try_acquire} returns [None] and {!exhausted} goes true.
+    Must be [>= capacity]. *)
+
 val dummy_cell : arg_words:int -> cell
 (** A cell usable as a {!Spsc_ring.Raw} empty-slot marker. *)
 
@@ -31,10 +44,26 @@ val arg_words : t -> int
 
 val acquire : t -> cell
 (** Owner only.  LIFO: returns the most recently released cell; grows
-    the slab (one allocation) only when every cell is in flight. *)
+    the slab (one allocation) only when every cell is in flight — even
+    past [max_cells].  Bounded callers check {!exhausted} first. *)
+
+val try_acquire : t -> cell option
+(** Owner only.  Like {!acquire} but honours [max_cells]: returns [None]
+    when the slab is at its cap with every cell in flight. *)
+
+val exhausted : t -> bool
+(** Owner only.  True iff {!try_acquire} would return [None] right now:
+    pool dry, nothing reclaimed, and the slab at its growth cap.
+    Allocation-free, for warm-path backpressure checks. *)
 
 val release : t -> cell -> unit
 (** Owner only.  Resets the cell to [state_free] and pushes it back. *)
+
+val reclaim : t -> cell -> unit
+(** Any domain.  Return an abandoned cell to the slab via a lock-free
+    side stack; the owner folds it back into the pool on a later
+    acquire.  Only legal once the [state_pending] → [state_abandoned]
+    handoff made the caller the cell's sole owner. *)
 
 val created : t -> int
 (** Cells ever created (initial capacity + growth). *)
@@ -42,6 +71,9 @@ val created : t -> int
 val grows : t -> int
 (** Acquires that found the pool empty — zero after warm-up on a
     well-sized slab. *)
+
+val reclaimed : t -> int
+(** Cells ever returned through {!reclaim}. *)
 
 val available : t -> int
 val in_flight : t -> int

@@ -6,6 +6,7 @@ module Mpsc_queue = Mpsc_queue
 module Spsc_ring = Spsc_ring
 module Request_slab = Request_slab
 module Doorbell = Doorbell
+module Backoff = Backoff
 module Ppc_channel = Ppc_channel
 module Fastcall = Fastcall
 module Control = Control

@@ -155,8 +155,49 @@ let runtime_case (name, f) =
   Alcotest.test_case name `Quick (fun () ->
       try f () with Runtime_conf.Violation m -> Alcotest.fail m)
 
+(* --- error-code wire convention ------------------------------------------- *)
+
+(* [Errc] values ride the last argument word across every boundary, so
+   they are append-only wire values: pin each one exactly, and make
+   sure [to_string] names all of them (no code falls through to the
+   numeric catch-all, and no two codes share a name). *)
+let test_errc_round_trip () =
+  let pinned =
+    [
+      (Errc.ok, 0, "ok");
+      (Errc.no_entry, -1, "err_no_entry");
+      (Errc.killed, -2, "err_killed");
+      (Errc.denied, -3, "err_denied");
+      (Errc.bad_request, -4, "err_bad_request");
+      (Errc.no_resources, -5, "err_no_resources");
+      (Errc.handler_fault, -6, "err_handler_fault");
+      (Errc.timed_out, -7, "err_timed_out");
+      (Errc.retry, -8, "err_retry");
+    ]
+  in
+  Alcotest.(check int)
+    "Errc.all is exhaustive" (List.length pinned) (List.length Errc.all);
+  List.iter
+    (fun (code, wire, name) ->
+      Alcotest.(check int) ("wire value of " ^ name) wire code;
+      Alcotest.(check bool) (name ^ " listed in Errc.all") true
+        (List.mem code Errc.all);
+      Alcotest.(check string) ("to_string " ^ name) name (Errc.to_string code))
+    pinned;
+  let names = List.map Errc.to_string Errc.all in
+  Alcotest.(check int) "names are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* A code outside the taxonomy must not alias a real name. *)
+  Alcotest.(check string) "unknown code" "rc(-99)" (Errc.to_string (-99))
+
 let suites =
   [
     ("conformance.sim", List.map sim_case Sim_conf.scenarios);
     ("conformance.runtime", List.map runtime_case Runtime_conf.scenarios);
+    ( "conformance.errc",
+      [
+        Alcotest.test_case "error codes round-trip exhaustively" `Quick
+          test_errc_round_trip;
+      ] );
   ]

@@ -26,6 +26,7 @@ let groups : (string * unit Alcotest.test list) list =
     ("experiments", Test_experiments.suites @ Test_smoke.suites);
     ("determinism", Test_determinism.suites @ Test_properties.suites);
     ("runtime", Test_runtime.suites @ Test_runtime_models.suites);
+    ("runtime_faults", Test_runtime_faults.suites);
     ("conformance", Test_conformance.suites);
     ("faultsim", Test_faultsim.suites);
     ("misc", Test_misc.suites);

@@ -538,6 +538,60 @@ let test_doorbell_park_unpark_race () =
     (Atomic.get aborted);
   Alcotest.(check int) "all work observed" n (Atomic.get consumed)
 
+(* The peer-vanishes case: the ringer's very last act is [ring] — the
+   domain exits immediately after, so nothing about the wakeup may
+   depend on the ringer sticking around.  The parker must still wake on
+   every round; a lost wakeup would hang the test, which the watchdog
+   turns into a failure. *)
+let test_doorbell_ringer_dies () =
+  let db = Runtime.Doorbell.create () in
+  let rounds = 50 in
+  let aborted = Atomic.make false in
+  let woke = ref 0 in
+  let round = Atomic.make 0 in
+  let watchdog =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. 30.0 in
+        while Atomic.get round < rounds && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.05
+        done;
+        if Atomic.get round < rounds then begin
+          Atomic.set aborted true;
+          Runtime.Doorbell.wake db
+        end)
+  in
+  (try
+     for _ = 1 to rounds do
+       let published = Atomic.make false in
+       let ringer =
+         Domain.spawn (fun () ->
+             (* Wait for the parker to actually sleep, so every round
+                exercises the parked path, then ring and die. *)
+             while
+               (not (Runtime.Doorbell.is_parked db))
+               && not (Atomic.get aborted)
+             do
+               Domain.cpu_relax ()
+             done;
+             Atomic.set published true;
+             Runtime.Doorbell.ring db)
+       in
+       Runtime.Doorbell.park db ~nonempty:(fun () ->
+           Atomic.get published || Atomic.get aborted);
+       (* The ringer is gone by now; joining must not be needed for the
+          wake (it already happened), only for cleanliness. *)
+       Domain.join ringer;
+       if Atomic.get published then incr woke;
+       Atomic.incr round
+     done
+   with e ->
+     Atomic.set round rounds;
+     Domain.join watchdog;
+     raise e);
+  Domain.join watchdog;
+  Alcotest.(check bool) "watchdog never fired" false (Atomic.get aborted);
+  Alcotest.(check int) "woke on every round" rounds !woke
+
 (* --- channel-path cross-domain calls -------------------------------------- *)
 
 let test_channel_call_inline () =
@@ -1010,6 +1064,8 @@ let channel_suites =
           test_doorbell_park_no_sleep_when_work_pending;
         Alcotest.test_case "park/unpark race (watchdogged)" `Quick
           test_doorbell_park_unpark_race;
+        Alcotest.test_case "ringer dies after ring (watchdogged)" `Quick
+          test_doorbell_ringer_dies;
       ] );
     ( "runtime.channel",
       [

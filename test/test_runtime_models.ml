@@ -166,6 +166,59 @@ let prop_slab_serial_reuse =
         ops
       && Runtime.Request_slab.created s = !minted)
 
+(* --- slab abandonment vs set model ----------------------------------------- *)
+
+(* The deadline protocol's core invariant: a cell abandoned via the
+   pending → abandoned CAS and then handed back through [reclaim] is
+   recycled exactly once — it reappears in the pool once, and the slab
+   never ends up with duplicate or lost cells.  The model walks a
+   generated plan of complete/abandon outcomes, then drains the slab
+   and checks every created cell comes back exactly once. *)
+let prop_slab_abandon_reclaim =
+  QCheck.Test.make ~name:"slab: abandoned cells recycled exactly once"
+    ~count:300
+    QCheck.(small_list bool)
+    (fun plan ->
+      let module S = Runtime.Request_slab in
+      let s = S.create ~capacity:2 ~max_cells:64 ~arg_words:8 () in
+      let abandons = ref 0 in
+      List.iter
+        (fun abandon ->
+          match S.try_acquire s with
+          | None -> ()
+          | Some cell ->
+              Atomic.set cell.S.state S.state_pending;
+              if abandon then begin
+                (* Client side: deadline expired, win the handoff CAS… *)
+                assert (
+                  Atomic.compare_and_set cell.S.state S.state_pending
+                    S.state_abandoned);
+                incr abandons;
+                (* …server side: sees the abandoned cell, reclaims it. *)
+                S.reclaim s cell
+              end
+              else begin
+                ignore (Atomic.exchange cell.S.state S.state_done);
+                S.release s cell
+              end)
+        plan;
+      let n = S.created s in
+      S.reclaimed s = !abandons
+      && S.available s = n
+      && S.in_flight s = 0
+      &&
+      (* Drain the whole slab: every cell must surface exactly once. *)
+      let seen = Hashtbl.create 16 in
+      let unique = ref true in
+      for _ = 1 to n do
+        match S.try_acquire s with
+        | None -> unique := false
+        | Some c ->
+            if Hashtbl.mem seen c.S.index then unique := false;
+            Hashtbl.replace seen c.S.index ()
+      done;
+      !unique && Hashtbl.length seen = n && S.in_flight s = n)
+
 (* --- entry-point slot table vs lifecycle model ---------------------------- *)
 
 (* Sequential model of the versioned slot table: a map of live IDs (each
@@ -295,6 +348,7 @@ let suites =
         qcheck prop_spsc_vs_bounded_queue;
         qcheck prop_striped_vs_int;
         qcheck prop_slab_serial_reuse;
+        qcheck prop_slab_abandon_reclaim;
         qcheck prop_slot_lifecycle;
       ] );
   ]

@@ -504,11 +504,15 @@ let run_bechamel ~quick () =
 
 (* --- bench-regression trajectory (--json / --check) ----------------------- *)
 
-(* Two sections.  "simulated" is deterministic — same code, same bytes —
-   and is the CI regression gate: CI re-runs it and diffs against the
-   committed BENCH_PR<n>.json.  "wallclock" is real machine time on
-   whatever host ran --json; it is committed for the trajectory record
-   and uploaded from CI as an informational artifact, never gated. *)
+(* Three sections.  "simulated" is deterministic — same code, same bytes
+   — and CI diffs it structurally against the committed BENCH_PR<n>.json.
+   "wallclock" is real machine time on whatever host ran --json; it is
+   committed for the trajectory record and never gated directly.  "gate"
+   (schema 2) is the wall-clock regression gate: a handful of subjects
+   measured with repeats, recorded as median + noise-calibrated
+   tolerance, and re-checked in ratios by --check (see bench_gate.ml).
+   Getting faster never fails the gate; drifting past a subject's
+   recorded tolerance in the bad direction does. *)
 
 let simulated_json () =
   let fig2 = Experiments.Fig2.run_all () in
@@ -663,7 +667,12 @@ let wallclock_json ~quick () =
       ]
   in
   Runtime.Fastcall.shutdown_channel_server srv;
-  let producers = 3 and per = if quick then 1_000 else 3_000 in
+  (* Large enough that the producers' call work dominates the ~ms of
+     Domain.spawn/join bracketing it: at ~30 ns per warm inline call,
+     3 x 3000 calls is ~300 us of work inside ~4 ms of scaffolding, and
+     the "throughput" is mostly domain startup.  3 x 30000 makes the
+     measured region ~10x the scaffolding. *)
+  let producers = 3 and per = if quick then 3_000 else 30_000 in
   let legacy_thr =
     time_throughput ~producers ~per ~mk:(fun _p ->
         let a = Array.make 8 0 in
@@ -711,43 +720,90 @@ let wallclock_json ~quick () =
           ] );
     ]
 
-let run_json ~json_path ~check_path ~quick () =
-  Fmt.pr "regenerating deterministic simulated section...@.";
-  let sim = simulated_json () in
+let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
+    ~gate_repeats ~gate_calls ~gate_quota () =
   let failed = ref false in
+  let sim =
+    if wall_gate_only then None
+    else begin
+      Fmt.pr "regenerating deterministic simulated section...@.";
+      Some (simulated_json ())
+    end
+  in
   (match check_path with
   | None -> ()
   | Some path ->
       let committed = Bench_json.of_file path in
-      let want =
-        match Bench_json.member "simulated" committed with
-        | Some v -> v
-        | None -> Fmt.failwith "%s: no \"simulated\" section" path
-      in
-      (match Bench_json.compare_values ~got:sim ~want with
-      | [] -> Fmt.pr "check: simulated section matches %s@." path
-      | mismatches ->
-          failed := true;
-          Fmt.pr "check: simulated section DRIFTED from %s:@." path;
-          List.iter
-            (fun (p, got, want) ->
-              Fmt.pr "  %s: got %s, committed %s@." p got want)
-            mismatches));
+      (match sim with
+      | None -> ()
+      | Some sim -> (
+          let want =
+            match Bench_json.member "simulated" committed with
+            | Some v -> v
+            | None -> Fmt.failwith "%s: no \"simulated\" section" path
+          in
+          match Bench_json.compare_values ~got:sim ~want with
+          | [] -> Fmt.pr "check: simulated section matches %s@." path
+          | mismatches ->
+              failed := true;
+              Fmt.pr "check: simulated section DRIFTED from %s:@." path;
+              List.iter
+                (fun (p, got, want) ->
+                  Fmt.pr "  %s: got %s, committed %s@." p got want)
+                mismatches));
+      if not skip_wall_gate then (
+        match Bench_json.member "gate" committed with
+        | None ->
+            (* schema-1 trajectory points predate the gate; nothing to
+               hold them to. *)
+            Fmt.pr "check: %s has no \"gate\" section (schema 1) — wall-clock \
+                    gate skipped@."
+              path
+        | Some gate ->
+            Fmt.pr
+              "check: re-measuring wall-clock gate subjects against %s...@."
+              path;
+            let verdicts =
+              Bench_gate.check ?repeats:gate_repeats ?calls:gate_calls
+                ?quota:gate_quota gate
+            in
+            List.iter (fun v -> Fmt.pr "%a@." Bench_gate.pp_verdict v) verdicts;
+            if Bench_gate.all_ok verdicts then
+              Fmt.pr "check: wall-clock gate OK (%d subjects within tolerance)@."
+                (List.length verdicts)
+            else begin
+              failed := true;
+              Fmt.pr "check: wall-clock gate FAILED against %s@." path
+            end));
   (match json_path with
   | None -> ()
   | Some path ->
+      let sim = match sim with Some s -> s | None -> simulated_json () in
       Fmt.pr "measuring wall-clock section (bechamel + throughput)...@.";
       let wall = wallclock_json ~quick () in
+      let repeats = Option.value gate_repeats ~default:3 in
+      let calls =
+        Option.value gate_calls ~default:(if quick then 3_000 else 30_000)
+      in
+      let quota =
+        Option.value gate_quota ~default:(if quick then 0.25 else 0.5)
+      in
+      Fmt.pr
+        "calibrating wall-clock gate (%d repeats, %d calls/producer, %.2fs \
+         quota)...@."
+        repeats calls quota;
+      let gate = Bench_gate.emit ~repeats ~calls ~quota in
       Bench_json.to_file path
         (Bench_json.Obj
            [
-             ("schema", Bench_json.Num 1.0);
+             ("schema", Bench_json.Num 2.0);
              ( "paper",
                Bench_json.Str
                  "Optimizing IPC Performance for Shared-Memory Multiprocessors \
                   (Gamsa, Krieger & Stumm, ICPP 1994)" );
              ("simulated", sim);
              ("wallclock", wall);
+             ("gate", gate);
            ]);
       Fmt.pr "wrote %s@." path);
   if !failed then exit 1
@@ -765,9 +821,22 @@ let usage () =
     "usage: bench/main.exe [--quick] [--json PATH] [--check PATH] [%s]...@."
     (String.concat "|" known);
   Fmt.pr
-    "  --json PATH    write simulated + wall-clock sections as JSON@.\
-    \  --check PATH   re-run the deterministic simulated section and@.\
-    \                 fail if it drifted from the committed file@.";
+    "  --json PATH    write simulated + wall-clock + gate sections as JSON@.\
+    \  --check PATH   re-run the deterministic simulated section AND the@.\
+    \                 wall-clock gate; fail if either drifted from the@.\
+    \                 committed file (gate drift is judged in ratios@.\
+    \                 against each subject's recorded tolerance)@.\
+    \  --skip-wall-gate   with --check: simulated section only@.\
+    \  --wall-gate-only   with --check: wall-clock gate only@.@.\
+     Gate knobs (independent of --quick, which only shrinks the@.\
+     informational wallclock section and the experiment sweeps):@.\
+    \  --gate-repeats N   measurement rounds per subject@.\
+    \                     (--json default 3; --check defaults to the@.\
+    \                     value recorded in the committed gate section)@.\
+    \  --gate-calls N     per-producer calls for the throughput subjects@.\
+    \                     (--json default 30000)@.\
+    \  --gate-quota S     bechamel time budget in seconds for the@.\
+    \                     ns-scale subjects (--json default 0.5)@.";
   exit 1
 
 (* Pull "--flag VALUE" out of the argument list. *)
@@ -781,21 +850,58 @@ let rec extract_flag key = function
       let found, rest = extract_flag key rest in
       (found, x :: rest)
 
+let extract_int_flag key args =
+  let v, args = extract_flag key args in
+  match v with
+  | None -> (None, args)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> (Some n, args)
+      | _ ->
+          Fmt.pr "%s: expected a positive integer, got %S@." key s;
+          usage ())
+
+let extract_float_flag key args =
+  let v, args = extract_flag key args in
+  match v with
+  | None -> (None, args)
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> (Some f, args)
+      | _ ->
+          Fmt.pr "%s: expected a positive number, got %S@." key s;
+          usage ())
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json_path, args = extract_flag "--json" args in
   let check_path, args = extract_flag "--check" args in
+  let gate_repeats, args = extract_int_flag "--gate-repeats" args in
+  let gate_calls, args = extract_int_flag "--gate-calls" args in
+  let gate_quota, args = extract_float_flag "--gate-quota" args in
   let quick = List.mem "--quick" args in
-  let which = List.filter (fun a -> a <> "--quick") args in
+  let skip_wall_gate = List.mem "--skip-wall-gate" args in
+  let wall_gate_only = List.mem "--wall-gate-only" args in
+  let which =
+    List.filter
+      (fun a ->
+        a <> "--quick" && a <> "--skip-wall-gate" && a <> "--wall-gate-only")
+      args
+  in
   List.iter (fun a -> if not (List.mem a known) then usage ()) which;
+  if skip_wall_gate && wall_gate_only then usage ();
   if json_path <> None || check_path <> None then begin
     if which <> [] then usage ();
     Fmt.pr
       "PPC IPC reproduction benchmarks — Gamsa, Krieger & Stumm (CSRI-294, \
        1994)@.";
-    run_json ~json_path ~check_path ~quick ();
+    run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
+      ~gate_repeats ~gate_calls ~gate_quota ();
     exit 0
   end;
+  if skip_wall_gate || wall_gate_only || gate_repeats <> None
+     || gate_calls <> None || gate_quota <> None
+  then usage ();
   let all = which = [] in
   let want name = all || List.mem name which in
   Fmt.pr

@@ -205,10 +205,11 @@ let kill_shard () =
   F.kill_shard srv ~shard:0;
   (* Dead shard: a bounded call must fail fast — timed_out from the
      abandonment path (or handler_fault if the supervisor's fail-sweep
-     got to the cell first), never a wedge. *)
+     got to the cell first), never a wedge.  Deadlines are nanoseconds:
+     200 µs expires well before the supervisor's long poll fires. *)
   let a = mk_args () in
   a.(0) <- 1;
-  let rc = F.channel_call_deadline cl ~ep ~deadline:20_000 a in
+  let rc = F.channel_call_deadline cl ~ep ~deadline:200_000 a in
   count sc rc;
   check sc
     (rc = Errc.timed_out || rc = Errc.handler_fault)
@@ -222,7 +223,7 @@ let kill_shard () =
     incr tries;
     let a = mk_args () in
     a.(0) <- !tries;
-    let rc = F.channel_call_deadline cl ~ep ~deadline:200_000 a in
+    let rc = F.channel_call_deadline cl ~ep ~deadline:2_000_000 a in
     count sc rc;
     if rc = Errc.ok then begin
       recovered := true;
@@ -257,7 +258,7 @@ let stall_reply () =
   let srv = F.spawn_channel_server ~shards:1 t in
   let cl = F.connect ~inline_uncontended:false srv in
   let a = mk_args () in
-  let rc = F.channel_call_deadline cl ~ep:ep_stall ~deadline:50_000 a in
+  let rc = F.channel_call_deadline cl ~ep:ep_stall ~deadline:500_000 a in
   count sc rc;
   check sc (rc = Errc.timed_out)
     (Printf.sprintf "stalled call: expected timed_out, got %s"
@@ -324,7 +325,7 @@ let backpressure () =
   F.kill_shard srv ~shard:0;
   for i = 1 to 2 do
     let a = mk_args () in
-    let rc = F.channel_call_deadline cl ~ep ~deadline:20_000 a in
+    let rc = F.channel_call_deadline cl ~ep ~deadline:200_000 a in
     count sc rc;
     check sc (rc = Errc.timed_out)
       (Printf.sprintf "abandoning call %d: expected timed_out, got %s" i
@@ -333,7 +334,7 @@ let backpressure () =
   let a = mk_args () in
   let rc =
     Runtime.Backoff.with_retry ~attempts:3 ~min_spin:16 ~max_spin:64 (fun () ->
-        let rc = F.channel_call_deadline cl ~ep ~deadline:1_000 a in
+        let rc = F.channel_call_deadline cl ~ep ~deadline:50_000 a in
         count sc rc;
         rc)
   in

@@ -125,6 +125,11 @@ type t = {
       (** consecutive faults before an entry point is auto-soft-killed *)
   handler_faults : int Atomic.t;  (** table-wide contained-fault count *)
   breaker_trips : int Atomic.t;  (** entry points auto-soft-killed *)
+  wakers : (unit -> unit) array Atomic.t;
+      (** rung after every successful kill (CAS-append).  A channel
+          server registers one so parked shards promptly retire batch
+          holds on the killed slot (see [hold_retire]); kills are rare
+          management operations, so the broadcast is off the hot path. *)
 }
 
 let scratch_bytes = 4096
@@ -158,7 +163,13 @@ let create ?(breaker_threshold = 8) () =
     breaker_threshold;
     handler_faults = Atomic.make 0;
     breaker_trips = Atomic.make 0;
+    wakers = Atomic.make [||];
   }
+
+let rec add_waker t f =
+  let cur = Atomic.get t.wakers in
+  if not (Atomic.compare_and_set t.wakers cur (Array.append cur [| f |])) then
+    add_waker t f
 
 (* Free a killed slot once its in-flight count has drained.  Called
    after every decrement (and by the killer itself): the *last*
@@ -202,8 +213,13 @@ let do_kill t id ~expect_gen ~target =
       else err_killed
     in
     Mutex.unlock t.mgmt;
-    (* Nothing in flight?  Then we are also the last "decrementer". *)
-    if rc = Ipc_intf.Errc.ok then drain_check t s;
+    if rc = Ipc_intf.Errc.ok then begin
+      (* Nothing in flight?  Then we are also the last "decrementer". *)
+      drain_check t s;
+      (* Wake registered waiters (parked channel shards) so any batch
+         hold pinning this slot is noticed and retired promptly. *)
+      Array.iter (fun f -> f ()) (Atomic.get t.wakers)
+    end;
     rc
   end
 
@@ -376,6 +392,158 @@ let call_h t h args =
     rc
   end
 
+(* --- amortized batch acceptance (the containment tax, paid per batch) --
+
+   PR5's containment put two striped-counter RMWs, a state recheck and
+   an 8-stripe drain gather on *every* call.  A [hold] amortizes all of
+   that to batch scope: one increment of the slot's striped in-flight
+   counter is taken at acquisition and stands for every call the holder
+   runs until the hold is retired, so the per-call admission check
+   collapses to a generation-stamp compare — the state word must still
+   equal the word stamped at acquisition.  Any lifecycle transition
+   (soft or hard kill, breaker trip, free) changes that word, so a
+   stale hold can never admit a call: the compare fails, the hold is
+   retired (releasing the in-flight reservation, which lets the killed
+   slot drain), and acceptance is re-run from scratch.
+
+   What *is* batched is the drain bookkeeping: a killed slot cannot be
+   freed while a hold pins it, so kill-to-free latency stretches by at
+   most the holder's current batch (the staleness window — see
+   ARCHITECTURE §10).  What is *not* batched is fault visibility: the
+   per-call stamp compare observes a kill exactly as fast as the
+   per-call path did, the post-handler hard-kill check still flips the
+   RC, and a handler fault still feeds the breaker immediately.
+
+   Holds are single-holder by contract: the channel path stores one per
+   shard, guarded by the shard ticket.  The fields are atomics only so
+   a parked shard's doorbell recheck may read them without the ticket
+   ([hold_stale]); all writes happen under the owner's serialisation.
+   A kill wakes registered doorbells ([t.wakers]) so a hold parked on a
+   killed slot is retired promptly rather than at the next call. *)
+
+type hold = {
+  h_id : int Atomic.t;  (** held slot, [-1] when empty *)
+  h_st : int Atomic.t;  (** full state word stamped at acquisition *)
+}
+
+let make_hold () = { h_id = Atomic.make (-1); h_st = Atomic.make 0 }
+
+let hold_retire t hold =
+  let id = Atomic.get hold.h_id in
+  if id >= 0 then begin
+    let s = t.slots.(id) in
+    Atomic.set hold.h_id (-1);
+    Striped_counter.add s.inflight (-1);
+    drain_check t s
+  end
+
+(* True when the held slot's state word moved since acquisition — a
+   kill landed and the hold must be retired so the slot can drain.
+   Safe without the ticket: [h_st] only ever stores active-state words,
+   and a torn [h_id]/[h_st] pair can only report a false *stale* (the
+   harmless direction — a spurious retire pass). *)
+let hold_stale t hold =
+  let id = Atomic.get hold.h_id in
+  id >= 0 && Atomic.get t.slots.(id).state <> Atomic.get hold.h_st
+
+(* Incr-then-recheck, batch flavour: the same acceptance protocol as
+   [call], but the increment is kept as the hold's reservation instead
+   of being paired with a per-call decrement. *)
+let hold_acquire t hold ep =
+  let s = t.slots.(ep) in
+  let st0 = Atomic.get s.state in
+  lc_of st0 = st_active
+  && begin
+       Striped_counter.incr s.inflight;
+       if Atomic.get s.state <> st0 then begin
+         Striped_counter.add s.inflight (-1);
+         drain_check t s;
+         false
+       end
+       else begin
+         (* [h_st] before [h_id]: racy readers key on [h_id >= 0]. *)
+         Atomic.set hold.h_st st0;
+         Atomic.set hold.h_id ep;
+         true
+       end
+     end
+
+(* A handler raised under a hold: identical containment to
+   [fault_accepted], minus the per-call decrement (the hold's
+   reservation still stands — which is also what keeps the breaker's
+   [do_kill] from freeing the slot under us). *)
+let fault_held t s args =
+  Atomic.incr t.handler_faults;
+  Atomic.incr s.faults;
+  let consec = 1 + Atomic.fetch_and_add s.consec_faults 1 in
+  if
+    consec >= t.breaker_threshold
+    && do_kill t s.slot_id ~expect_gen:(-1) ~target:st_soft = Ipc_intf.Errc.ok
+  then Atomic.incr t.breaker_trips;
+  args.(rc_slot) <- err_handler_fault;
+  if lc_of (Atomic.get s.state) = st_hard then args.(rc_slot) <- err_killed;
+  args.(rc_slot)
+
+(* Accepted-call body under a hold: routine latch, pooled context,
+   handler, post-handler hard-kill check.  No RMW anywhere — the only
+   atomics are loads.  The routine is re-read per call (not cached in
+   the hold) so [exchange], which swaps the handler without moving the
+   state word, takes effect on the very next admitted call. *)
+let run_held t s args =
+  let handler = Atomic.get s.routine in
+  let pool = Domain.DLS.get t.pool_key in
+  let ctx =
+    let n = pool.n in
+    if n = 0 then make_ctx ()
+    else begin
+      pool.n <- n - 1;
+      pool.ctxs.(n - 1)
+    end
+  in
+  ctx.domain_index <- domain_index ();
+  ctx.frame.frame_calls <- ctx.frame.frame_calls + 1;
+  match handler ctx args with
+  | () ->
+      pool_push pool ctx;
+      pool.calls <- pool.calls + 1;
+      if Atomic.get s.consec_faults <> 0 then Atomic.set s.consec_faults 0;
+      (* Same one-load epilogue as [retire_call]: a hard kill landing
+         mid-handler must override the result with [err_killed]. *)
+      if lc_of (Atomic.get s.state) = st_hard then args.(rc_slot) <- err_killed;
+      args.(rc_slot)
+  | exception _ ->
+      pool_push pool ctx;
+      fault_held t s args
+
+(* The amortized fast path.  Warm case (hold matches, state unmoved):
+   three atomic loads to admit, then the handler.  Cold case: retire
+   whatever was held, try to acquire a hold on [ep], and fall back to
+   the per-call [call] when acceptance fails — which reproduces the
+   per-call error taxonomy exactly ([No_entry] for free slots,
+   [err_killed] for killed-but-draining ones). *)
+let hold_call t hold ~ep args =
+  if
+    ep >= 0
+    && ep < max_entry_points
+    && Atomic.get hold.h_id = ep
+    && Atomic.get t.slots.(ep).state = Atomic.get hold.h_st
+  then run_held t t.slots.(ep) args
+  else begin
+    hold_retire t hold;
+    if ep < 0 || ep >= max_entry_points then raise (No_entry ep);
+    if hold_acquire t hold ep then run_held t t.slots.(ep) args
+    else call t ~ep args
+  end
+
+module Batch = struct
+  type nonrec hold = hold
+
+  let hold = make_hold
+  let call = hold_call
+  let retire = hold_retire
+  let held h = Atomic.get h.h_id
+end
+
 let local_calls t = (Domain.DLS.get t.pool_key).calls
 
 (* Management of the calling domain's context pool: the paper's
@@ -483,6 +651,13 @@ type shard = {
   bell : Doorbell.t;
   chans : Ppc_channel.t array Atomic.t;  (** CAS-append registry *)
   ticket : bool Atomic.t;  (** per-shard handler-execution lock *)
+  sh_hold : hold;
+      (** the shard's batch-acceptance cache, guarded by [ticket]:
+          shared by the shard domain's sweeps, thieves draining this
+          shard, and inline callers — whoever holds the ticket *)
+  mutable sh_run : int -> int array -> unit;
+      (** prebuilt drain body (hold-based call + served count), so a
+          sweep never allocates a closure; set once at spawn *)
   shard_served : int Atomic.t;
   shard_batches : int Atomic.t;  (** non-empty sweeps *)
   shard_steals : int Atomic.t;  (** requests taken from sibling shards *)
@@ -513,8 +688,12 @@ type client = {
   cl_server : channel_server;
   cl_chans : Ppc_channel.t array;
   cl_inline : bool;
-  cl_inlined : int Atomic.t;
-  cl_active : int Atomic.t;  (** calls past the draining gate, not yet done *)
+  mutable cl_inlined : int;
+      (** single-writer (the owning client domain); plain on purpose *)
+  cl_active : int Atomic.t;
+      (** queued calls past the draining gate, not yet done.  Inline
+          calls are not counted here: their quiesce discipline is the
+          shard ticket itself (see [shutdown_channel_server]). *)
 }
 
 (* Spinning across domains only pays when the peer can actually run in
@@ -535,11 +714,16 @@ let rec sweep_chans chans run i acc =
   else
     sweep_chans chans run (i + 1) (acc + Ppc_channel.try_drain chans.(i) ~run)
 
-(* A full drain pass over [sh]'s channels, serialised by its ticket. *)
-let sweep_shard sh run =
+(* A full drain pass over [sh]'s channels, serialised by its ticket.
+   Before the ticket goes back, a hold gone stale (its slot was killed)
+   is retired so the slot can drain; a *fresh* hold is deliberately left
+   in place — it is the amortization, spanning batches until a
+   lifecycle event invalidates it. *)
+let sweep_shard t sh run =
   if not (try_ticket sh) then 0
   else begin
     let n = sweep_chans (Atomic.get sh.chans) run 0 0 in
+    if hold_stale t sh.sh_hold then hold_retire t sh.sh_hold;
     release_ticket sh;
     n
   end
@@ -550,31 +734,28 @@ let rec chans_pending chans i =
 
 (* Steal-on-idle: visit sibling shards round-robin and drain the first
    batch found.  Safe because each victim's ticket serialises us against
-   both its shard domain and its inline callers. *)
-let rec steal_round server run si k =
+   both its shard domain and its inline callers — and because the sweep
+   uses the *victim's* drain body, so the batch hold it touches is the
+   one guarded by the ticket we won. *)
+let rec steal_round server si k =
   let shards = server.cs_shards in
   if k >= Array.length shards then 0
   else
-    let got = sweep_shard shards.((si + k) mod Array.length shards) run in
-    if got > 0 then got else steal_round server run si (k + 1)
+    let victim = shards.((si + k) mod Array.length shards) in
+    let got = sweep_shard server.cs_table victim victim.sh_run in
+    if got > 0 then got else steal_round server si (k + 1)
 
 let shard_loop server sh =
-  (* A request for an entry point that was killed and freed while the
-     request sat in a ring must answer, not kill the shard domain; a
-     handler that raises is likewise contained inside [call] (the caller
-     sees [err_handler_fault]), so no request can take this domain down.
-     The served counter bumps *before* the channel marks the request
-     complete, so a caller that has seen its call return also sees it
-     counted. *)
-  let run ep args =
-    (match call server.cs_table ~ep args with
-    | (_ : int) -> ()
-    | exception No_entry _ -> args.(rc_slot) <- err_no_entry);
-    Atomic.incr sh.shard_served
-  in
+  let t = server.cs_table in
+  (* The doorbell recheck includes hold staleness: a kill rings every
+     registered bell ([t.wakers]), and folding the staleness test into
+     the under-mutex recheck closes the park/kill race the same way the
+     work recheck closes park/ring — a shard can never sleep through
+     the retire it owes a killed slot. *)
   let nonempty () =
     Atomic.get server.cs_stop
     || Atomic.get sh.poison
+    || hold_stale t sh.sh_hold
     || chans_pending (Atomic.get sh.chans) 0
   in
   let nshards = Array.length server.cs_shards in
@@ -582,16 +763,24 @@ let shard_loop server sh =
     Atomic.incr sh.heartbeat;
     if Atomic.get sh.poison then
       (* Injected crash ({!kill_shard}): exit without serving the
-         backlog, leaving rings and parked clients exactly as a dead
-         domain would — the supervisor's job to clean up. *)
+         backlog — and without retiring the batch hold, exactly as a
+         dead domain would — the supervisor's job to clean up. *)
       ()
-    else if Atomic.get server.cs_stop then
-      (* Final sweep so work enqueued before shutdown still completes. *)
-      ignore (sweep_shard sh run)
+    else if Atomic.get server.cs_stop then begin
+      (* Final sweep so work enqueued before shutdown still completes;
+         then retire whatever hold the sweeps left, so no slot stays
+         pinned by a server that no longer exists. *)
+      ignore (sweep_shard t sh sh.sh_run);
+      while not (try_ticket sh) do
+        Domain.cpu_relax ()
+      done;
+      hold_retire t sh.sh_hold;
+      release_ticket sh
+    end
     else begin
-      let own = sweep_shard sh run in
+      let own = sweep_shard t sh sh.sh_run in
       let stolen =
-        if own = 0 && nshards > 1 then steal_round server run sh.shard_index 1
+        if own = 0 && nshards > 1 then steal_round server sh.shard_index 1
         else 0
       in
       if stolen > 0 then ignore (Atomic.fetch_and_add sh.shard_steals stolen);
@@ -628,8 +817,16 @@ let revive_shard server sh =
     args.(rc_slot) <- err_handler_fault;
     Atomic.incr server.cs_fail_swept
   in
-  let swept = sweep_shard sh fail_run in
+  let swept = sweep_shard server.cs_table sh fail_run in
   if swept > 0 then ignore swept;
+  (* The dead shard cannot retire the batch hold it died with; do it on
+     its behalf (under the ticket, like any consumer) so no slot stays
+     pinned by a corpse.  Retiring a *fresh* hold here is harmless: the
+     next hold-based call simply re-acquires. *)
+  if try_ticket sh then begin
+    hold_retire server.cs_table sh.sh_hold;
+    release_ticket sh
+  end;
   Mutex.lock server.cs_dmutex;
   if not (Atomic.get server.cs_stop) then begin
     Atomic.set sh.poison false;
@@ -707,6 +904,8 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32)
           bell = Doorbell.create ();
           chans = Atomic.make [||];
           ticket = Atomic.make false;
+          sh_hold = make_hold ();
+          sh_run = (fun _ _ -> ());
           shard_served = Atomic.make 0;
           shard_batches = Atomic.make 0;
           shard_steals = Atomic.make 0;
@@ -714,6 +913,23 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32)
           poison = Atomic.make false;
         })
   in
+  (* The drain body, built once per shard: a hold-based call (the
+     amortized fast path) plus the served count.  A request for an
+     entry point killed and freed while it sat in a ring must answer,
+     not kill the shard domain; a handler that raises is contained
+     inside the call, so no request can take a consumer down.  The
+     served counter bumps *before* the channel marks the request
+     complete, so a caller that has seen its call return also sees it
+     counted. *)
+  Array.iter
+    (fun sh ->
+      sh.sh_run <-
+        (fun ep args ->
+          (match hold_call t sh.sh_hold ~ep args with
+          | (_ : int) -> ()
+          | exception No_entry _ -> args.(rc_slot) <- err_no_entry);
+          Atomic.incr sh.shard_served))
+    cs_shards;
   let server =
     {
       cs_table = t;
@@ -731,6 +947,13 @@ let spawn_channel_server ?shards:(shards = 1) ?server_spin ?(max_batch = 32)
       cs_fail_swept = Atomic.make 0;
     }
   in
+  (* A kill must be able to reach a shard that parked while its batch
+     hold still pins the killed slot: ring every bell so the shard wakes
+     and retires it.  The waker outlives the server harmlessly — after
+     [cs_stop] it is a no-op. *)
+  add_waker t (fun () ->
+      if not (Atomic.get server.cs_stop) then
+        Array.iter (fun sh -> Doorbell.wake sh.bell) cs_shards);
   server.cs_domains <-
     Array.map (fun sh -> Domain.spawn (fun () -> shard_loop server sh)) cs_shards;
   if supervise then
@@ -795,7 +1018,7 @@ let connect ?(slab_capacity = 16) ?slab_max ?(ring_capacity = 64) ?client_spin
     cl_server = server;
     cl_chans;
     cl_inline = inline_uncontended;
-    cl_inlined = Atomic.make 0;
+    cl_inlined = 0;
     cl_active;
   }
 
@@ -808,55 +1031,67 @@ let connect ?(slab_capacity = 16) ?slab_max ?(ring_capacity = 64) ?client_spin
    after warm-up.  Per-client ordering is trivially preserved because
    calls are synchronous (at most one outstanding request per client).
 
-   The call first passes the shutdown gate — increment [cl_active],
-   re-read the draining flag — so a quiescing server either rejects the
-   call with [err_killed] or is guaranteed to see its gate and wait for
-   it (same increment-then-recheck argument as slot acceptance).
-   Lifecycle rejections come back as [Errc] codes, never exceptions. *)
-let channel_call_body cl ~ep args =
+   Shutdown gating differs by path.  The queued path keeps the counting
+   gate: increment [cl_active], re-read the draining flag — a quiescing
+   server either rejects the call or is guaranteed to see its gate and
+   wait (the increment-then-recheck argument).  The inline path's gate
+   is the shard ticket itself: the draining flag is checked *under* the
+   ticket, and [shutdown_channel_server] acquires every ticket once
+   after setting the flag, so an inline call either observed draining
+   or completed strictly before the shutdown's acquisition — no
+   per-call RMW on the inline fast path.  Lifecycle rejections come
+   back as [Errc] codes, never exceptions. *)
+let channel_call cl ~ep args =
   let chans = cl.cl_chans in
   let idx = ep mod Array.length chans in
-  if cl.cl_inline && try_ticket cl.cl_server.cs_shards.(idx) then begin
-    let sh = cl.cl_server.cs_shards.(idx) in
-    match call cl.cl_server.cs_table ~ep args with
-    | rc ->
-        release_ticket sh;
-        Atomic.incr cl.cl_inlined;
-        rc
-    | exception No_entry _ ->
-        release_ticket sh;
-        Atomic.incr cl.cl_inlined;
-        args.(rc_slot) <- err_no_entry;
-        err_no_entry
-    | exception e ->
-        release_ticket sh;
-        raise e
-  end
-  else Ppc_channel.call chans.(idx) ~ep args
-
-let channel_call cl ~ep args =
-  Atomic.incr cl.cl_active;
-  if Atomic.get cl.cl_server.cs_draining then begin
-    Atomic.decr cl.cl_active;
-    args.(rc_slot) <- err_killed;
-    err_killed
-  end
+  let server = cl.cl_server in
+  let sh = server.cs_shards.(idx) in
+  if cl.cl_inline && try_ticket sh then
+    if Atomic.get server.cs_draining then begin
+      release_ticket sh;
+      args.(rc_slot) <- err_killed;
+      err_killed
+    end
+    else begin
+      match hold_call server.cs_table sh.sh_hold ~ep args with
+      | rc ->
+          release_ticket sh;
+          cl.cl_inlined <- cl.cl_inlined + 1;
+          rc
+      | exception No_entry _ ->
+          release_ticket sh;
+          cl.cl_inlined <- cl.cl_inlined + 1;
+          args.(rc_slot) <- err_no_entry;
+          err_no_entry
+      | exception e ->
+          release_ticket sh;
+          raise e
+    end
   else begin
-    (match channel_call_body cl ~ep args with
-    | (_ : int) -> ()
-    | exception e ->
-        Atomic.decr cl.cl_active;
-        raise e);
-    Atomic.decr cl.cl_active;
-    args.(rc_slot)
+    Atomic.incr cl.cl_active;
+    if Atomic.get server.cs_draining then begin
+      Atomic.decr cl.cl_active;
+      args.(rc_slot) <- err_killed;
+      err_killed
+    end
+    else begin
+      (match Ppc_channel.call chans.(idx) ~ep args with
+      | (_ : int) -> ()
+      | exception e ->
+          Atomic.decr cl.cl_active;
+          raise e);
+      Atomic.decr cl.cl_active;
+      args.(rc_slot)
+    end
   end
 
-(* Deadline flavour.  Always takes the queued path: the point of a
-   deadline is bounding the wait on *someone else's* progress, and a
-   call inlined under the shard ticket runs on this very domain — there
-   is nothing to time out on.  The bounded-spin/abandonment protocol
-   lives in {!Ppc_channel.call_deadline}; a timed-out call decrements
-   the quiesce gate immediately (its abandoned cell is the server's to
+(* Deadline flavour ([deadline] in nanoseconds).  Always takes the
+   queued path: the point of a deadline is bounding the wait on
+   *someone else's* progress, and a call inlined under the shard ticket
+   runs on this very domain — there is nothing to time out on.  The
+   spin/timed-park/abandonment protocol lives in
+   {!Ppc_channel.call_deadline}; a timed-out call decrements the
+   quiesce gate immediately (its abandoned cell is the server's to
    reclaim, and the shutdown sweep drains rings anyway), so a client
    stuck behind a dead shard never wedges [shutdown_channel_server]. *)
 let channel_call_deadline cl ~ep ~deadline args =
@@ -874,15 +1109,32 @@ let channel_call_deadline cl ~ep ~deadline args =
     args.(rc_slot)
   end
 
-let client_inlined cl = Atomic.get cl.cl_inlined
+let client_inlined cl = cl.cl_inlined
 
 (* Quiesce, then join (Section 4.5.2's soft-kill discipline applied to
    the whole server): refuse new calls, wait for every call already
    past the gate to complete — the shards are still serving during the
    wait — and only then stop the shard domains.  Every accepted call
-   completes; every refused call sees [err_killed]. *)
+   completes; every refused call sees [err_killed].
+
+   Inline calls are quiesced by the ticket pass: after the draining
+   flag is up, acquiring and releasing every shard ticket once proves
+   no inline call admitted before the flag is still running (it held
+   the ticket we just took), and any inline call admitted after will
+   see the flag under its own ticket and refuse.  The pass also retires
+   each shard's batch hold — covering holds stranded by a poisoned
+   (dead, unsupervised) shard, whose domain is no longer there to
+   retire them. *)
 let shutdown_channel_server server =
   Atomic.set server.cs_draining true;
+  Array.iter
+    (fun sh ->
+      while not (try_ticket sh) do
+        Domain.cpu_relax ()
+      done;
+      hold_retire server.cs_table sh.sh_hold;
+      release_ticket sh)
+    server.cs_shards;
   let sum_actives () =
     Array.fold_left
       (fun acc a -> acc + Atomic.get a)

@@ -142,6 +142,45 @@ val breaker_threshold : t -> int
 val ep_faults : t -> ep:int -> int
 (** Handler faults on this entry point under its current tenant. *)
 
+(** {1 Amortized batch acceptance}
+
+    The machinery the channel path uses to pay the containment tax per
+    {e batch} instead of per call, exposed so its admission invariant
+    can be property-tested against the per-call model.  A {!Batch.hold}
+    carries one in-flight reservation on one entry point; while it is
+    held, {!Batch.call} admits a call with a single generation-stamp
+    compare (the slot's state word must equal the word stamped at
+    acquisition).  Any lifecycle transition moves the state word, so a
+    call can {e never} be admitted after a kill was observable: the
+    compare fails, the hold is retired (letting the killed slot drain),
+    and acceptance re-runs from scratch.  The staleness window is the
+    drain bookkeeping only — a killed slot frees at most one batch
+    late — never fault visibility.  A hold has a single owner at a
+    time (the channel path guards each shard's hold with the shard
+    ticket); it is not itself thread-safe. *)
+
+module Batch : sig
+  type hold
+
+  val hold : unit -> hold
+  (** A fresh, empty hold. *)
+
+  val call : t -> hold -> ep:int -> int array -> int
+  (** Like {!call} (same error taxonomy, including raising {!No_entry}
+      on unbound IDs), but admitted through the hold: warm calls on the
+      held entry point cost three atomic loads and no RMW.  Calling a
+      different entry point retires the current hold and acquires a new
+      one. *)
+
+  val retire : t -> hold -> unit
+  (** Release the hold's in-flight reservation (a no-op when empty).
+      Callers must retire before abandoning a hold, or the held slot
+      can never drain after a kill. *)
+
+  val held : hold -> int
+  (** The slot ID currently held, or [-1]. *)
+end
+
 (** {1 Cross-domain: the channel path} *)
 
 type channel_server
@@ -207,13 +246,15 @@ val channel_call : client -> ep:int -> int array -> int
 
 val channel_call_deadline :
   client -> ep:int -> deadline:int -> int array -> int
-(** {!channel_call} with a bounded wait: always queued (never inline),
-    spinning at most [deadline] iterations for the reply and never
-    parking.  On expiry the request cell is abandoned to the server via
-    a CAS ownership handoff and the call returns
-    [Ipc_intf.Errc.timed_out]; the late reply, if any, is discarded and
-    the cell reclaimed exactly once.  All {!channel_call} error codes
-    apply too. *)
+(** {!channel_call} with a wait bounded in wall-clock time: always
+    queued (never inline).  [deadline] is in {e nanoseconds}: the call
+    spins briefly, then parks in timed naps ({!Doorbell.timed_wait} —
+    sched_yield rounds, then nanosleeps capped at 50 µs, which also
+    bounds deadline overshoot), allocating nothing.  On expiry the
+    request cell is abandoned to the server via a CAS ownership handoff
+    and the call returns [Ipc_intf.Errc.timed_out]; the late reply, if
+    any, is discarded and the cell reclaimed exactly once.  All
+    {!channel_call} error codes apply too. *)
 
 val client_inlined : client -> int
 (** Calls this client ran inline under a free shard ticket. *)

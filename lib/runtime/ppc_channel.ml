@@ -146,15 +146,20 @@ let call t ~ep args =
     end
   end
 
-(* Deadline flavour: same submission path, but the wait is a bounded
-   spin that never parks (stdlib [Condition.wait] has no timeout), and
-   on expiry the client *abandons* the cell with a CAS ownership
-   handoff.  Winning the CAS means the server has not replied: it will
-   see [state_abandoned], discard any reply, and {!Request_slab.reclaim}
-   the cell — so we must never touch it again.  Losing the CAS means
-   the reply beat the deadline by a whisker; completion wins and the
-   call succeeds normally.  [deadline] is a spin-iteration budget, the
-   same unit as the [spin] parameter. *)
+(* Deadline flavour: same submission path, but the wait is bounded in
+   wall-clock *time* — [deadline] is in nanoseconds.  The wait is the
+   channel's [spin] budget first (a warm reply is taken without ever
+   reading the clock), then {!Doorbell.timed_wait}: sched_yield rounds
+   followed by growing nanosleep naps until the reply lands or the
+   absolute monotonic deadline passes.  The whole wait allocates
+   nothing.  On expiry the client *abandons* the cell with a CAS
+   ownership handoff.  Winning the CAS means the server has not
+   replied: it will see [state_abandoned], discard any reply, and
+   {!Request_slab.reclaim} the cell — so we must never touch it again.
+   Losing the CAS means the reply beat the deadline by a whisker;
+   completion wins and the call succeeds normally.  (A deadline shorter
+   than the spin budget still pays the whole spin — the budget is a few
+   dozen cpu-relax iterations, well under a microsecond.) *)
 let call_deadline t ~ep ~deadline args =
   if Request_slab.exhausted t.slab then
     bounce_exhausted t args (Array.length args)
@@ -170,7 +175,15 @@ let call_deadline t ~ep ~deadline args =
     else begin
       Doorbell.ring t.doorbell;
       Atomic.incr t.submitted;
-      if spin_done state deadline 0 then take_reply t cell args words
+      if
+        spin_done state t.spin 0
+        ||
+        let start = Doorbell.now_ns () in
+        let deadline_ns =
+          if deadline > max_int - start then max_int else start + deadline
+        in
+        Doorbell.timed_wait state ~until:Request_slab.state_done ~deadline_ns
+      then take_reply t cell args words
       else if
         Atomic.compare_and_set state Request_slab.state_pending
           Request_slab.state_abandoned

@@ -35,12 +35,15 @@ val call : t -> ep:int -> int array -> int
     see {!Backoff} for the caller-side retry discipline. *)
 
 val call_deadline : t -> ep:int -> deadline:int -> int array -> int
-(** Like {!call}, but bounded: spins for at most [deadline] iterations
-    (same unit as [spin]) and never parks.  On expiry the cell is
-    abandoned to the server via a CAS ownership handoff and the call
-    returns [Errc.timed_out] (also written to the RC slot); any late
-    server reply is discarded and the cell reclaimed exactly once.  If
-    the reply races the deadline, completion wins and the call returns
+(** Like {!call}, but bounded in wall-clock time: [deadline] is in
+    {e nanoseconds}.  The wait is the [spin] budget, then a timed park
+    ({!Doorbell.timed_wait}: sched_yield rounds, then nanosleep naps
+    capped at 50 µs — which also bounds deadline overshoot); the whole
+    wait allocates nothing.  On expiry the cell is abandoned to the
+    server via a CAS ownership handoff and the call returns
+    [Errc.timed_out] (also written to the RC slot); any late server
+    reply is discarded and the cell reclaimed exactly once.  If the
+    reply races the deadline, completion wins and the call returns
     normally.  Owner domain only. *)
 
 val try_drain : t -> run:(int -> int array -> unit) -> int

@@ -1,0 +1,52 @@
+/* Timed-wait primitives for the runtime's deadline path.
+ *
+ * The OCaml stdlib offers no timed condition wait and no boxing-free
+ * monotonic clock, so the deadline protocol gets three tiny stubs:
+ *
+ *   - now_ns: CLOCK_MONOTONIC in integer nanoseconds.  [@@noalloc] —
+ *     the result is an immediate (63-bit nanoseconds since boot fit
+ *     with centuries to spare), so a warm deadline call reads the
+ *     clock without touching the minor heap.
+ *   - yield: sched_yield(2).  Hands the core to another runnable
+ *     thread — on a single-core host this is what lets the server
+ *     domain produce the reply the caller is waiting for.  Does not
+ *     release the domain lock: other domains do not share it, and the
+ *     call returns in microseconds.
+ *   - nap_ns: nanosleep(2) inside enter/leave_blocking_section, so a
+ *     sleeping client never stalls a stop-the-world section.  Not
+ *     [@@noalloc]: leaving the blocking section may run pending
+ *     actions.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+#include <sched.h>
+#include <time.h>
+
+CAMLprim value ppc_runtime_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+
+CAMLprim value ppc_runtime_yield(value unit)
+{
+  (void)unit;
+  sched_yield();
+  return Val_unit;
+}
+
+CAMLprim value ppc_runtime_nap_ns(value ns)
+{
+  struct timespec ts;
+  intnat v = Long_val(ns);
+  if (v < 0) v = 0;
+  ts.tv_sec = v / 1000000000;
+  ts.tv_nsec = v % 1000000000;
+  caml_enter_blocking_section();
+  nanosleep(&ts, NULL);
+  caml_leave_blocking_section();
+  return Val_unit;
+}

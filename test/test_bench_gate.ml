@@ -1,0 +1,165 @@
+(* The wall-clock regression gate must be self-calibrating: checking a
+   trajectory point against the very host that emitted it, moments
+   later, must never trip (zero false positives) — and a corrupted
+   recorded number beyond its tolerance must always trip, with a diff a
+   human can act on.
+
+   The measured tests use smaller knobs than the committed trajectory
+   point, but not arbitrarily small ones: the bechamel quota must be
+   large enough for a stable OLS estimate, or calibration underestimates
+   the spread and the self-check flakes.  The gate records its knobs in
+   the JSON and [check] re-measures under them, so the calibration
+   conditions and the check conditions match by construction — which is
+   exactly the property the first test pins down. *)
+
+let repeats = 3
+let calls = 3_000
+let quota = 0.2
+
+(* One emitted gate section shared by the tests below (measuring is the
+   expensive part; emit once, check many). *)
+let gate = lazy (Bench_gate.emit ~repeats ~calls ~quota)
+
+(* Round-trip through the writer and parser, as CI does with the
+   committed file. *)
+let roundtrip v = Bench_json.of_string (Bench_json.to_string v)
+
+let test_self_check_no_false_positives () =
+  let gate = roundtrip (Lazy.force gate) in
+  (* Twice in a row: a gate that only sometimes passes against its own
+     host is a flaky CI job, which is worse than no gate. *)
+  for round = 1 to 2 do
+    let verdicts = Bench_gate.check gate in
+    List.iter
+      (fun v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d: %s within its recorded tolerance" round
+             v.Bench_gate.v_name)
+          true v.Bench_gate.v_ok)
+      verdicts;
+    Alcotest.(check int) "every gated subject judged"
+      (List.length Bench_gate.specs)
+      (List.length verdicts)
+  done
+
+(* Corrupt one subject's recorded value in the parsed JSON tree. *)
+let corrupt_value name f gate =
+  let map_subject = function
+    | Bench_json.Obj kvs ->
+        Bench_json.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "value", Bench_json.Num x
+                 when List.assoc_opt "name" kvs
+                      = Some (Bench_json.Str name) ->
+                   (k, Bench_json.Num (f x))
+               | _ -> (k, v))
+             kvs)
+    | v -> v
+  in
+  match gate with
+  | Bench_json.Obj kvs ->
+      Bench_json.Obj
+        (List.map
+           (fun (k, v) ->
+             match (k, v) with
+             | "subjects", Bench_json.Arr subjects ->
+                 (k, Bench_json.Arr (List.map map_subject subjects))
+             | _ -> (k, v))
+           kvs)
+  | v -> v
+
+let test_corruption_trips () =
+  let gate = roundtrip (Lazy.force gate) in
+  (* A recorded throughput 1000x what this host can do makes any fresh
+     measurement read as a >99% regression — beyond every tolerance the
+     calibration could have recorded (the cap bounds them below 1.0 for
+     higher_better subjects). *)
+  let corrupted = corrupt_value "channel-1shard" (fun x -> x *. 1000.0) gate in
+  let verdicts = Bench_gate.check corrupted in
+  Alcotest.(check bool) "gate trips" false (Bench_gate.all_ok verdicts);
+  let failing =
+    List.filter (fun v -> not v.Bench_gate.v_ok) verdicts
+    |> List.map (fun v -> v.Bench_gate.v_name)
+  in
+  Alcotest.(check (list string)) "exactly the corrupted subject fails"
+    [ "channel-1shard" ] failing;
+  let v =
+    List.find (fun v -> not v.Bench_gate.v_ok) verdicts
+  in
+  let diff = Fmt.str "%a" Bench_gate.pp_verdict v in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "diff mentions %S" needle)
+        true (contains needle diff))
+    [ "FAIL"; "channel-1shard"; "calls/s"; "tolerance" ]
+
+(* The judgment math itself, deterministically: drift is one-directional
+   and NaN never passes.  No measurement involved — [check_values] takes
+   the fresh medians directly. *)
+let test_judgment_is_one_directional () =
+  let gate_json =
+    Bench_json.of_string
+      {|{
+  "repeats": 3,
+  "calls_per_producer": 3000,
+  "quota_s": 0.5,
+  "subjects": [
+    { "name": "thr", "unit": "calls/s", "direction": "higher_better",
+      "value": 1000000, "spread": 0.05, "tolerance": 0.30 },
+    { "name": "lat", "unit": "ns", "direction": "lower_better",
+      "value": 1000, "spread": 0.05, "tolerance": 0.50 }
+  ]
+}|}
+  in
+  let _, _, _, recorded = Bench_gate.of_json gate_json in
+  let judge fresh =
+    List.map
+      (fun v -> (v.Bench_gate.v_name, v.Bench_gate.v_ok))
+      (Bench_gate.check_values recorded fresh)
+  in
+  (* Much faster / much slower in the *good* direction: never fails. *)
+  Alcotest.(check (list (pair string bool)))
+    "improvement passes"
+    [ ("thr", true); ("lat", true) ]
+    (judge [ ("thr", 5_000_000.0); ("lat", 10.0) ]);
+  (* Within tolerance on the bad side: passes. *)
+  Alcotest.(check (list (pair string bool)))
+    "tolerated drift passes"
+    [ ("thr", true); ("lat", true) ]
+    (judge [ ("thr", 750_000.0); ("lat", 1_400.0) ]);
+  (* Beyond tolerance on the bad side: fails. *)
+  Alcotest.(check (list (pair string bool)))
+    "regression beyond tolerance fails"
+    [ ("thr", false); ("lat", false) ]
+    (judge [ ("thr", 600_000.0); ("lat", 1_600.0) ]);
+  (* A NaN measurement (subject produced nothing) must fail, not pass
+     by vacuous comparison. *)
+  Alcotest.(check (list (pair string bool)))
+    "nan fails"
+    [ ("thr", false); ("lat", true) ]
+    (judge [ ("thr", Float.nan); ("lat", 900.0) ]);
+  (* A subject recorded but not measured is a hard error, not a skip. *)
+  Alcotest.check_raises "missing subject is an error"
+    (Bench_gate.Bad_gate "no fresh measurement for \"lat\"") (fun () ->
+      ignore (Bench_gate.check_values recorded [ ("thr", 1_000_000.0) ]))
+
+let suites =
+  [
+    ( "bench.gate",
+      [
+        Alcotest.test_case "judgment is one-directional" `Quick
+          test_judgment_is_one_directional;
+        Alcotest.test_case "self-check has zero false positives" `Quick
+          test_self_check_no_false_positives;
+        Alcotest.test_case "corrupted number trips with readable diff" `Quick
+          test_corruption_trips;
+      ] );
+  ]

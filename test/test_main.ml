@@ -29,6 +29,7 @@ let groups : (string * unit Alcotest.test list) list =
     ("runtime_faults", Test_runtime_faults.suites);
     ("conformance", Test_conformance.suites);
     ("faultsim", Test_faultsim.suites);
+    ("bench", Test_bench_gate.suites);
     ("misc", Test_misc.suites);
   ]
 

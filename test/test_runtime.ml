@@ -730,6 +730,137 @@ let test_channel_call_zero_alloc () =
   check_mode "warm queued channel calls allocate zero minor words" false;
   Runtime.Fastcall.shutdown_channel_server srv
 
+(* --- deadline timed park --------------------------------------------------- *)
+
+(* The deadline wait is spin, then a timed park (sched_yield rounds,
+   then bounded nanosleep naps — see Doorbell.timed_wait).  These tests
+   pin its three wake reasons: the reply landing, the deadline
+   expiring, and a dead server (where only the clock can save the
+   caller).  [client_spin:0] forces every call past the spin phase so
+   the park itself is what's exercised. *)
+
+let ns_of_ms ms = ms * 1_000_000
+
+let test_deadline_wakes_on_reply () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let ep = F.register t adder in
+  let srv = F.spawn_channel_server t in
+  let cl = F.connect ~client_spin:0 ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to 200 do
+    args.(0) <- i;
+    args.(1) <- 1;
+    Alcotest.(check int) "parked call completes" Ipc_intf.Errc.ok
+      (F.channel_call_deadline cl ~ep ~deadline:(ns_of_ms 10_000) args);
+    Alcotest.(check int) "reply intact" (i + 1) args.(0)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "replies woke the park, not the deadline" true
+    (dt < 5.0);
+  Alcotest.(check int) "no timeouts" 0 (F.client_timeouts cl);
+  F.shutdown_channel_server srv
+
+let test_deadline_wakes_on_expiry () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let stall = Atomic.make true in
+  let slow : F.handler =
+   fun _ctx args ->
+    if Atomic.get stall then Unix.sleepf 0.3;
+    args.(0) <- args.(0) + args.(1);
+    args.(7) <- 0
+  in
+  let ep = F.register t slow in
+  let srv = F.spawn_channel_server t in
+  let cl = F.connect ~client_spin:0 ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  let t0 = Unix.gettimeofday () in
+  let rc = F.channel_call_deadline cl ~ep ~deadline:(ns_of_ms 5) args in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "stalled reply expires" Ipc_intf.Errc.timed_out rc;
+  Alcotest.(check int) "rc slot written too" Ipc_intf.Errc.timed_out args.(7);
+  Alcotest.(check bool) "woke near the deadline, not the reply"
+    true
+    (dt >= 0.005 && dt < 0.25);
+  Alcotest.(check int) "counted" 1 (F.client_timeouts cl);
+  (* The abandoned cell comes back through the reclaim stack, and the
+     channel keeps working afterwards. *)
+  Atomic.set stall false;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while F.client_slab_reclaimed cl < 1 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "abandoned cell reclaimed exactly once" 1
+    (F.client_slab_reclaimed cl);
+  args.(0) <- 5;
+  args.(1) <- 2;
+  Alcotest.(check int) "channel alive after a timeout" Ipc_intf.Errc.ok
+    (F.channel_call_deadline cl ~ep ~deadline:(ns_of_ms 10_000) args);
+  Alcotest.(check int) "later reply intact" 7 args.(0);
+  F.shutdown_channel_server srv
+
+(* A dead shard never replies and never rings: the timed park's clock is
+   the only thing that can wake the caller.  Watchdogged — before the
+   timed park, this scenario relied on the caller's own spin budget and
+   could burn a full timeslice per nap on a loaded host. *)
+let test_deadline_wakes_on_server_death () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let ep = F.register t adder in
+  let srv = F.spawn_channel_server t in
+  let done_ = Atomic.make false in
+  let aborted = Atomic.make false in
+  let watchdog =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. 30.0 in
+        while (not (Atomic.get done_)) && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.01
+        done;
+        if not (Atomic.get done_) then Atomic.set aborted true)
+  in
+  F.kill_shard srv ~shard:0;
+  let cl = F.connect ~client_spin:0 ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  let t0 = Unix.gettimeofday () in
+  let rc = F.channel_call_deadline cl ~ep ~deadline:(ns_of_ms 50) args in
+  let dt = Unix.gettimeofday () -. t0 in
+  Atomic.set done_ true;
+  Domain.join watchdog;
+  Alcotest.(check bool) "watchdog never fired" false (Atomic.get aborted);
+  Alcotest.(check int) "dead shard call times out" Ipc_intf.Errc.timed_out rc;
+  Alcotest.(check bool)
+    "the clock woke the caller (napping, not spinning to 30s)" true
+    (dt >= 0.05 && dt < 10.0);
+  F.shutdown_channel_server srv
+
+(* The whole timed wait is integer-only C stubs (clock_gettime,
+   sched_yield, nanosleep) — a deadline call that parks and completes
+   warm must allocate nothing, exactly like the undeadlined paths. *)
+let test_deadline_park_zero_alloc () =
+  let module F = Runtime.Fastcall in
+  let t = F.create () in
+  let ep = F.register t adder in
+  let srv = F.spawn_channel_server t in
+  let cl = F.connect ~client_spin:0 ~inline_uncontended:false srv in
+  let args = Array.make 8 0 in
+  let calls = 300 in
+  let loop () =
+    for i = 1 to calls do
+      args.(0) <- i;
+      args.(1) <- 1;
+      ignore (F.channel_call_deadline cl ~ep ~deadline:(ns_of_ms 10_000) args)
+    done
+  in
+  loop ();
+  (* warm-up: slab/ring steady state *)
+  let delta = minor_words_delta loop in
+  Alcotest.(check (float 0.0))
+    "warm parked deadline calls allocate zero minor words" 0.0 delta;
+  Alcotest.(check int) "no timeouts during the pin" 0 (F.client_timeouts cl);
+  F.shutdown_channel_server srv
+
 (* --- lifecycle under fire -------------------------------------------------- *)
 
 (* Soft-kill an entry point while client domains hammer it.  The
@@ -1081,6 +1212,17 @@ let channel_suites =
         Alcotest.test_case "local call" `Quick test_local_call_zero_alloc;
         Alcotest.test_case "channel call (both modes)" `Quick
           test_channel_call_zero_alloc;
+      ] );
+    ( "runtime.deadline",
+      [
+        Alcotest.test_case "timed park wakes on reply" `Quick
+          test_deadline_wakes_on_reply;
+        Alcotest.test_case "timed park wakes on expiry" `Quick
+          test_deadline_wakes_on_expiry;
+        Alcotest.test_case "timed park wakes on server death (watchdogged)"
+          `Quick test_deadline_wakes_on_server_death;
+        Alcotest.test_case "parked deadline path zero-alloc" `Quick
+          test_deadline_park_zero_alloc;
       ] );
     ( "runtime.lifecycle",
       [

@@ -339,6 +339,156 @@ let prop_slot_lifecycle =
               && F.registered t = Hashtbl.length owner)
         ops)
 
+(* --- batch hold vs lifecycle model ---------------------------------------- *)
+
+(* The amortized acceptance check (Fastcall.Batch): one striped-counter
+   reservation stands for a whole batch, and per-call admission is a
+   generation-stamp compare.  The property that makes the amortization
+   sound: once a kill is observed (the kill call returned), no later
+   batch call may reach the old handler — the stamp compare must fail
+   and acceptance re-run, landing in the per-call error taxonomy.
+
+   The model mirrors prop_slot_lifecycle's table (owner/stamp/free/mint)
+   plus the hold itself: which slot it pins, and — when the pinned
+   tenant was killed under the hold — the dead tenant's token.  A killed
+   held slot must *not* drain to the free list until the hold retires
+   (that is the staleness window, one batch at most), and must drain
+   exactly then. *)
+let prop_batch_hold_lifecycle =
+  QCheck.Test.make ~name:"batch hold: never accepts after kill observed"
+    ~count:200
+    QCheck.(small_list (pair (int_bound 5) (int_bound 1000)))
+    (fun ops ->
+      let module F = Runtime.Fastcall in
+      let t = F.create () in
+      let hold = F.Batch.hold () in
+      let owner = Hashtbl.create 16 in
+      let stamp = Hashtbl.create 16 in
+      let free = ref [] in
+      let minted = ref 0 in
+      let next_token = ref 0 in
+      let handles = ref [] in
+      (* hold model: pinned slot id (-1 none); [dead] is the pinned
+         tenant's token once a kill landed under the hold *)
+      let held = ref (-1) in
+      let dead = ref None in
+      let retire_model () =
+        if !held >= 0 && !dead <> None then free := !held :: !free;
+        held := -1;
+        dead := None
+      in
+      let pick v =
+        match !handles with
+        | [] -> None
+        | hs -> Some (List.nth hs (v mod List.length hs))
+      in
+      let live id token = Hashtbl.find_opt owner id = Some token in
+      let behavior v : F.handler = fun _ctx args -> args.(0) <- v in
+      List.for_all
+        (fun (tag, v) ->
+          match tag with
+          | 0 ->
+              (* register: a slot pinned by a stale hold must not be
+                 reusable yet — it is not on the model free list *)
+              let ep = F.register_ep t (behavior v) in
+              let id = F.ep_id ep in
+              let want =
+                match !free with
+                | top :: rest ->
+                    free := rest;
+                    top
+                | [] ->
+                    let i = !minted in
+                    incr minted;
+                    i
+              in
+              let token = !next_token in
+              incr next_token;
+              Hashtbl.replace owner id token;
+              Hashtbl.replace stamp id v;
+              handles := (ep, id, token) :: !handles;
+              id = want
+          | 1 ->
+              (* the amortized call itself, raw slot id *)
+              if !minted = 0 then true
+              else begin
+                let id = v mod !minted in
+                let a = Array.make F.arg_words 0 in
+                match F.Batch.call t hold ~ep:id a with
+                | rc ->
+                    let ok =
+                      Hashtbl.mem owner id
+                      && rc = Ipc_intf.Errc.ok
+                      && a.(0) = Hashtbl.find stamp id
+                    in
+                    if !held <> id then retire_model ();
+                    held := id;
+                    ok && F.Batch.held hold = id
+                | exception F.No_entry _ ->
+                    (* cold path retires the hold before re-running
+                       acceptance, so a dead pinned slot drains here —
+                       including when it is [id] itself *)
+                    retire_model ();
+                    (not (Hashtbl.mem owner id))
+                    && a.(0) = 0
+                    && F.Batch.held hold = -1
+              end
+          | 2 | 3 -> (
+              match pick v with
+              | None -> true
+              | Some (ep, id, token) ->
+                  let rc =
+                    if tag = 2 then F.soft_kill_h t ep else F.hard_kill_h t ep
+                  in
+                  if live id token then begin
+                    Hashtbl.remove owner id;
+                    Hashtbl.remove stamp id;
+                    if !held = id then begin
+                      (* killed under the hold: the reservation keeps
+                         the slot draining (not freed) — the staleness
+                         window in the flesh *)
+                      dead := Some token;
+                      rc = Ipc_intf.Errc.ok
+                      && F.lifecycle t ~ep:id
+                         = Some
+                             (if tag = 2 then Ipc_intf.Lifecycle.Soft_killed
+                              else Ipc_intf.Lifecycle.Hard_killed)
+                      && F.in_flight t ~ep:id = 1
+                    end
+                    else begin
+                      (* nothing in flight: drains immediately *)
+                      free := id :: !free;
+                      rc = Ipc_intf.Errc.ok && F.lifecycle t ~ep:id = None
+                    end
+                  end
+                  else if !held = id && !dead = Some token then
+                    (* same tenant, still draining under the hold *)
+                    rc = Ipc_intf.Errc.killed
+                  else rc = Ipc_intf.Errc.no_entry)
+          | 4 ->
+              (* explicit retire: a dead pinned slot drains now *)
+              let was = !held and was_dead = !dead <> None in
+              F.Batch.retire t hold;
+              retire_model ();
+              F.Batch.held hold = -1
+              && ((not was_dead) || F.lifecycle t ~ep:was = None)
+          | _ -> (
+              match pick v with
+              | None -> true
+              | Some (ep, id, token) ->
+                  let rc = F.exchange_h t ep (behavior v) in
+                  if live id token then begin
+                    (* swap without moving the state word: a warm hold
+                       must run the *new* handler on its next call,
+                       which tag 1 checks via the stamp table *)
+                    Hashtbl.replace stamp id v;
+                    rc = Ipc_intf.Errc.ok
+                  end
+                  else if !held = id && !dead = Some token then
+                    rc = Ipc_intf.Errc.killed
+                  else rc = Ipc_intf.Errc.no_entry))
+        ops)
+
 let suites =
   [
     ( "runtime.models",
@@ -350,5 +500,6 @@ let suites =
         qcheck prop_slab_serial_reuse;
         qcheck prop_slab_abandon_reclaim;
         qcheck prop_slot_lifecycle;
+        qcheck prop_batch_hold_lifecycle;
       ] );
   ]

@@ -77,6 +77,39 @@ let specs =
       floor = 0.50;
       cap = 4.0;
     };
+    (* The PR7 bulk-data sweep, gated at its three regimes: payload in
+       the registers (4 KB), through the async copy engine (256 KB),
+       and as a zero-copy grant handoff (4 MB).  Each is ns per whole
+       payload, so a regression anywhere on the bulk path moves one of
+       them. *)
+    {
+      name = "copy-register-4k-ns";
+      unit_label = "ns";
+      direction = Lower_better;
+      floor = 0.50;
+      cap = 4.0;
+    };
+    (* The engine and grant subjects cross a domain boundary per
+       measurement (doorbell kick, mover wakeup, completion reap), so
+       their run-to-run variance is dominated by the scheduler, not the
+       copy: a calibration round that happens to land on a quiet window
+       records a spread far below what the next run will see.  A wider
+       floor keeps the gate meaningful (a lost batch or a broken handoff
+       is a multiple-x regression) without flaking on busy hosts. *)
+    {
+      name = "copy-engine-256k-ns";
+      unit_label = "ns";
+      direction = Lower_better;
+      floor = 1.50;
+      cap = 4.0;
+    };
+    {
+      name = "copy-grant-4m-ns";
+      unit_label = "ns";
+      direction = Lower_better;
+      floor = 1.50;
+      cap = 4.0;
+    };
   ]
 
 let spec_of_name name = List.find_opt (fun s -> s.name = name) specs
@@ -151,6 +184,55 @@ let measure_once ~calls ~quota =
   let cl_inline = Runtime.Fastcall.connect srv in
   let cl_queued = Runtime.Fastcall.connect ~inline_uncontended:false srv in
   let args = Array.make 8 0 in
+  (* Bulk-data plane, fresh per round like everything else here.  The
+     register subject moves 4 KB as 6-word local PPCs; the engine
+     subject moves 256 KB as 16 KB descriptors through a live mover
+     domain; the grant subject hands a 4 MB region over (to itself, so
+     every iteration's ownership check passes) without copying. *)
+  let eng, store = Transfer.Copy_engine.create_with_buffers () in
+  let reg id = match id with Ok id -> id | Error rc -> failwith (Ipc_intf.Errc.to_string rc) in
+  let src_id = reg (Transfer.Copy_engine.Buffers.add store ~owner:0 (Bytes.create (256 * 1024))) in
+  let dst_id = reg (Transfer.Copy_engine.Buffers.add store ~owner:0 (Bytes.create (256 * 1024))) in
+  let ecl = Transfer.Copy_engine.connect eng in
+  let grant_id =
+    reg
+      (Transfer.Copy_engine.Buffers.add store
+         ~owner:(Transfer.Copy_engine.client_id ecl)
+         (Bytes.create (4 * 1024 * 1024)))
+  in
+  let mover = Transfer.Mover.spawn eng in
+  let engine_move ~bytes ~chunk =
+    let off = ref 0 in
+    while !off < bytes do
+      let len = if bytes - !off < chunk then bytes - !off else chunk in
+      (match
+         Transfer.Copy_engine.submit ecl ~op:Ipc_intf.Wellknown.bulk_copy
+           ~src:src_id ~src_off:!off ~dst:dst_id ~dst_off:!off ~len ~tag:0
+       with
+      | 0 -> off := !off + len
+      | _ ->
+          ignore (Transfer.Copy_engine.flush ecl);
+          ignore (Transfer.Copy_engine.reap ecl));
+      ()
+    done;
+    ignore (Transfer.Copy_engine.flush ecl);
+    while Transfer.Copy_engine.outstanding ecl > 0 do
+      if Transfer.Copy_engine.reap ecl = 0 then Domain.cpu_relax ()
+    done
+  in
+  let self = Transfer.Copy_engine.client_id ecl in
+  let grant_move ~bytes =
+    (match
+       Transfer.Copy_engine.submit ecl ~op:Ipc_intf.Wellknown.bulk_grant
+         ~src:grant_id ~src_off:0 ~dst:self ~dst_off:0 ~len:bytes ~tag:0
+     with
+    | 0 -> ()
+    | rc -> failwith (Ipc_intf.Errc.to_string rc));
+    ignore (Transfer.Copy_engine.flush ecl);
+    while Transfer.Copy_engine.outstanding ecl > 0 do
+      if Transfer.Copy_engine.reap ecl = 0 then Domain.cpu_relax ()
+    done
+  in
   let subject name f = Test.make ~name (Staged.stage f) in
   let ns =
     measure_ns ~quota
@@ -169,9 +251,21 @@ let measure_once ~calls ~quota =
             ignore
               (Runtime.Fastcall.channel_call_deadline cl_queued ~ep
                  ~deadline:max_int args));
+        subject "copy-register-4k-ns" (fun () ->
+            (* 4096 bytes, 6 data words (48 bytes) per call *)
+            for i = 1 to 86 do
+              args.(0) <- i;
+              args.(1) <- 1;
+              ignore (Runtime.Fastcall.call fast ~ep args)
+            done);
+        subject "copy-engine-256k-ns" (fun () ->
+            engine_move ~bytes:(256 * 1024) ~chunk:(16 * 1024));
+        subject "copy-grant-4m-ns" (fun () ->
+            grant_move ~bytes:(4 * 1024 * 1024));
       ]
   in
   Runtime.Fastcall.shutdown_channel_server srv;
+  Transfer.Mover.shutdown mover;
   let ns name = try List.assoc name ns with Not_found -> Float.nan in
   [
     ("channel-1shard", thr_1);
@@ -179,6 +273,9 @@ let measure_once ~calls ~quota =
     ("local-ns", ns "local-ns");
     ("channel-inline-ns", ns "channel-inline-ns");
     ("channel-deadline-ns", ns "channel-deadline-ns");
+    ("copy-register-4k-ns", ns "copy-register-4k-ns");
+    ("copy-engine-256k-ns", ns "copy-engine-256k-ns");
+    ("copy-grant-4m-ns", ns "copy-grant-4m-ns");
   ]
 
 (* [repeats] interleaved rounds, so the spread sees between-round drift

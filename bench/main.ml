@@ -237,6 +237,10 @@ let run_e1 () =
   Fmt.pr "%a@." Experiments.Ablate_remote.pp_result
     (Experiments.Ablate_remote.run ())
 
+let run_copy () =
+  section "Copy: bulk-payload sweep (register vs engine-copy vs grant-handoff)";
+  Fmt.pr "%a@." Experiments.Copy_sweep.pp_result (Experiments.Copy_sweep.run ())
+
 (* --- Bechamel: machine-time microbenchmarks ------------------------------ *)
 
 open Bechamel
@@ -553,6 +557,28 @@ let simulated_json () =
              ])
          d.Experiments.Fig3.points)
   in
+  (* PR7: deterministic bulk-payload sweep — simulated us per strategy
+     per size, plus the two located crossover points. *)
+  let sweep = Experiments.Copy_sweep.run () in
+  let copy_points =
+    Bench_json.Arr
+      (List.map
+         (fun p ->
+           Bench_json.Obj
+             [
+               ( "bytes",
+                 Bench_json.Num (float_of_int p.Experiments.Copy_sweep.size) );
+               ( "register_us",
+                 Bench_json.Num p.Experiments.Copy_sweep.register_us );
+               ("engine_us", Bench_json.Num p.Experiments.Copy_sweep.engine_us);
+               ("grant_us", Bench_json.Num p.Experiments.Copy_sweep.grant_us);
+             ])
+         sweep.Experiments.Copy_sweep.points)
+  in
+  let crossover = function
+    | Some s -> Bench_json.Num (float_of_int s)
+    | None -> Bench_json.Num (-1.0)
+  in
   Bench_json.Obj
     [
       ("fig2", fig2_json);
@@ -567,6 +593,15 @@ let simulated_json () =
             ( "saturation_cpus",
               Bench_json.Num
                 (float_of_int (Experiments.Fig3.saturation_cpus single)) );
+          ] );
+      ( "copy",
+        Bench_json.Obj
+          [
+            ("points", copy_points);
+            ( "reg_engine_crossover_bytes",
+              crossover sweep.Experiments.Copy_sweep.reg_engine_crossover );
+            ( "engine_grant_crossover_bytes",
+              crossover sweep.Experiments.Copy_sweep.engine_grant_crossover );
           ] );
     ]
 
@@ -700,6 +735,156 @@ let wallclock_json ~quick () =
   let channel_2 = channel_thr ~shards:2 ~inline:true in
   Runtime.Fastcall.shutdown_server sd;
   let num f = Bench_json.Num f in
+  (* --- PR7 bulk sweep on the real substrate: 4 KB -> 4 MB, three ways.
+     "register" moves the payload 6 words per warm local call,
+     "engine" pushes chunked descriptors through a live mover domain,
+     "grant" hands a whole region over without copying.  ns per whole
+     payload; the two crossovers fall out.  Plus the zero-alloc pin:
+     minor words allocated by a warm submit->flush->reap cycle. *)
+  let copy_json =
+    let eng, store = Transfer.Copy_engine.create_with_buffers () in
+    let big = 4 * 1024 * 1024 in
+    let reg = function
+      | Ok id -> id
+      | Error rc -> Fmt.failwith "bench: region add rc=%d" rc
+    in
+    let src_id =
+      reg
+        (Transfer.Copy_engine.Buffers.add store ~owner:0
+           (Bytes.init big (fun i -> Char.chr (i land 0xff))))
+    in
+    let dst_id =
+      reg (Transfer.Copy_engine.Buffers.add store ~owner:0 (Bytes.create big))
+    in
+    let ecl = Transfer.Copy_engine.connect eng in
+    let self = Transfer.Copy_engine.client_id ecl in
+    let sizes =
+      [ 4096; 16384; 65536; 262144; 1048576; 4194304 ]
+    in
+    let grant_regions =
+      List.map
+        (fun s ->
+          ( s,
+            reg
+              (Transfer.Copy_engine.Buffers.add store ~owner:self
+                 (Bytes.create s)) ))
+        sizes
+    in
+    let mover = Transfer.Mover.spawn eng in
+    let drain () =
+      while Transfer.Copy_engine.outstanding ecl > 0 do
+        if Transfer.Copy_engine.reap ecl = 0 then Domain.cpu_relax ()
+      done
+    in
+    let engine_move bytes =
+      let chunk = 64 * 1024 in
+      let off = ref 0 in
+      while !off < bytes do
+        let len = if bytes - !off < chunk then bytes - !off else chunk in
+        (match
+           Transfer.Copy_engine.submit ecl ~op:Ipc_intf.Wellknown.bulk_copy
+             ~src:src_id ~src_off:!off ~dst:dst_id ~dst_off:!off ~len ~tag:0
+         with
+        | 0 -> off := !off + len
+        | _ ->
+            ignore (Transfer.Copy_engine.flush ecl);
+            ignore (Transfer.Copy_engine.reap ecl))
+      done;
+      ignore (Transfer.Copy_engine.flush ecl);
+      drain ()
+    in
+    let grant_move (bytes, region) =
+      (match
+         Transfer.Copy_engine.submit ecl ~op:Ipc_intf.Wellknown.bulk_grant
+           ~src:region ~src_off:0 ~dst:self ~dst_off:0 ~len:bytes ~tag:0
+       with
+      | 0 -> ()
+      | rc -> Fmt.failwith "bench: grant submit rc=%d" rc);
+      ignore (Transfer.Copy_engine.flush ecl);
+      drain ()
+    in
+    let reg_args = Array.make 8 0 in
+    let register_move bytes =
+      (* 6 data words = 48 bytes per warm local call *)
+      let calls = (bytes + 47) / 48 in
+      for i = 1 to calls do
+        reg_args.(0) <- i;
+        reg_args.(1) <- 1;
+        ignore (Runtime.Fastcall.call fast ~ep:fast_ep reg_args)
+      done
+    in
+    let reps = if quick then 5 else 30 in
+    let time_ns f =
+      f ();
+      (* warm *)
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+    in
+    let points =
+      List.map
+        (fun s ->
+          let register_ns = time_ns (fun () -> register_move s) in
+          let engine_ns = time_ns (fun () -> engine_move s) in
+          let grant_ns =
+            time_ns (fun () -> grant_move (s, List.assoc s grant_regions))
+          in
+          (s, register_ns, engine_ns, grant_ns))
+        sizes
+    in
+    (* Zero-alloc pin: a warm submit->flush->reap cycle must not touch
+       the minor heap (Request_slab discipline, satellite of PR7). *)
+    let warm () =
+      (match
+         Transfer.Copy_engine.submit ecl ~op:Ipc_intf.Wellknown.bulk_copy
+           ~src:src_id ~src_off:0 ~dst:dst_id ~dst_off:0 ~len:64 ~tag:1
+       with
+      | 0 -> ()
+      | rc -> Fmt.failwith "bench: warm submit rc=%d" rc);
+      ignore (Transfer.Copy_engine.flush ecl);
+      drain ()
+    in
+    for _ = 1 to 200 do
+      warm ()
+    done;
+    let before = Gc.minor_words () in
+    for _ = 1 to 200 do
+      warm ()
+    done;
+    let warm_minor_words = Gc.minor_words () -. before in
+    Transfer.Mover.shutdown mover;
+    let crossover pick =
+      match
+        List.find_map
+          (fun p -> let s, _, _, _ = p in if pick p then Some s else None)
+          points
+      with
+      | Some s -> float_of_int s
+      | None -> -1.0
+    in
+    Bench_json.Obj
+      [
+        ( "points",
+          Bench_json.Arr
+            (List.map
+               (fun (s, r, e, g) ->
+                 Bench_json.Obj
+                   [
+                     ("bytes", num (float_of_int s));
+                     ("register_ns", num r);
+                     ("engine_ns", num e);
+                     ("grant_ns", num g);
+                   ])
+               points) );
+        ( "reg_engine_crossover_bytes",
+          num (crossover (fun (_, r, e, _) -> e < r)) );
+        ( "engine_grant_crossover_bytes",
+          num (crossover (fun (_, _, e, g) -> g < e)) );
+        ("warm_submit_reap_minor_words", num warm_minor_words);
+      ]
+  in
   Bench_json.Obj
     [
       ("host_domains", num (float_of_int (Domain.recommended_domain_count ())));
@@ -718,6 +903,7 @@ let wallclock_json ~quick () =
             ("channel-1shard-queued", num channel_queued_1);
             ("channel-2shards", num channel_2);
           ] );
+      ("copy_sweep", copy_json);
     ]
 
 let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
@@ -813,7 +999,7 @@ let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
 let known =
   [
     "fig2"; "fig3"; "t3"; "f3b"; "f3c"; "l1"; "intro"; "a1"; "a2"; "a3"; "a4";
-    "a6"; "a7"; "a8"; "a9"; "e1"; "e2"; "bechamel";
+    "a6"; "a7"; "a8"; "a9"; "e1"; "e2"; "copy"; "bechamel";
   ]
 
 let usage () =
@@ -923,5 +1109,6 @@ let () =
   if want "a9" then run_a9 ~quick ();
   if want "e1" then run_e1 ();
   if want "e2" then run_e2 ();
+  if want "copy" then run_copy ();
   if want "bechamel" then run_bechamel ~quick ();
   Fmt.pr "@.done.@."

@@ -1,0 +1,180 @@
+(* Bulk-payload sweep: the paper's Section 4.2 bulk-data story taken to
+   modern sizes.
+
+   Three ways to move [size] bytes from a client to a peer, each timed
+   on a fresh simulated machine:
+
+   - {b register-chunk}: the payload rides the 8-register PPC block
+     itself, 6 data words (24 bytes) per call — the control-plane path
+     misused for bulk data.  Cost scales with ceil(size/24) full PPCs.
+   - {b engine-copy}: CopyServer transfers through the async engine in
+     [max_bytes_per_call] chunks, paying cached word-at-a-time memory
+     traffic but only ceil(size/64K) PPCs.
+   - {b grant-handoff}: the peer's covering grant is consumed whole —
+     ownership moves, zero bytes cross, cost is one PPC plus a
+     page-walk per 4 KiB.
+
+   The sweep locates the two crossover points (where engine-copy first
+   beats register-chunk, and where grant-handoff first beats
+   engine-copy).  Everything is deterministic simulated time, so the
+   numbers are CI-diffable. *)
+
+type point = {
+  size : int;
+  register_us : float;
+  engine_us : float;
+  grant_us : float;
+}
+
+type result = {
+  points : point list;
+  reg_engine_crossover : int option;
+      (** smallest swept size where engine-copy beats register-chunk *)
+  engine_grant_crossover : int option;
+      (** smallest swept size where grant-handoff beats engine-copy *)
+}
+
+let default_sizes =
+  [ 16; 32; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+let spawn_client kern ~name body =
+  let program = Kernel.new_program kern ~name in
+  let space = Kernel.new_user_space kern ~name ~node:0 in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name ~kind:Kernel.Process.Client ~program ~space
+       body)
+
+(* (a) payload in the registers: 6 data words per call to an ingest
+   server that stores them. *)
+let run_register ~size =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let sink = Kernel.alloc kern ~bytes:64 ~node:0 in
+  let handler : Ppc.Call_ctx.handler =
+   fun ctx args ->
+    Machine.Cpu.instr ~code:ctx.Ppc.Call_ctx.server_code ctx.Ppc.Call_ctx.cpu 40;
+    Ppc.Null_server.touch_stack ctx ~words:6;
+    for i = 0 to 5 do
+      ignore (Ppc.Reg_args.get args i);
+      Machine.Cpu.store ctx.Ppc.Call_ctx.cpu (sink + (4 * i))
+    done;
+    Ppc.Reg_args.set_rc args Ppc.Reg_args.ok
+  in
+  let server = Ppc.make_kernel_server ppc ~name:"ingest" () in
+  let ep = Ppc.register_direct ppc ~server ~handler in
+  let ep_id = Ppc.Entry_point.id ep in
+  let elapsed = ref 0.0 in
+  spawn_client kern ~name:"reg-sender" (fun self ->
+      let t0 = Kernel.now kern in
+      let calls = (size + 23) / 24 in
+      let args = Ppc.Reg_args.make () in
+      for _ = 1 to calls do
+        ignore
+          (Ppc.call ppc ~client:self
+             ~opflags:(Ppc.Reg_args.op_flags ~op:1 ~flags:0)
+             ~ep_id args)
+      done;
+      elapsed := Sim.Time.to_us (Kernel.now kern) -. Sim.Time.to_us t0);
+  Kernel.run kern;
+  !elapsed
+
+let copy_setup () =
+  let kern = Kernel.create ~cpus:2 () in
+  let ppc = Ppc.create kern in
+  let cs = Transfer.Copy_server.install ppc in
+  (kern, ppc, cs)
+
+(* (b) engine copy, chunked at the per-call ceiling. *)
+let run_engine ~size =
+  let kern, ppc, cs = copy_setup () in
+  let peer = Kernel.new_program kern ~name:"peer" in
+  let peer_id = Kernel.Program.id peer in
+  let src = Kernel.alloc kern ~bytes:size ~node:0 in
+  let dst = Kernel.alloc kern ~bytes:size ~node:0 in
+  let elapsed = ref 0.0 in
+  spawn_client kern ~name:"eng-sender" (fun self ->
+      let me = Kernel.Program.id (Kernel.Process.program self) in
+      ignore
+        (Transfer.Region.grant
+           (Transfer.Copy_server.regions cs)
+           ~owner:peer_id ~grantee:me ~base:dst ~len:size
+           ~access:Transfer.Region.Write_only);
+      let t0 = Kernel.now kern in
+      let chunk = Transfer.Copy_server.max_bytes_per_call in
+      let off = ref 0 in
+      while !off < size do
+        let n = min chunk (size - !off) in
+        let rc =
+          Transfer.Copy_server.copy_to cs ppc ~client:self ~peer:peer_id
+            ~src:(src + !off) ~dst:(dst + !off) ~len:n
+        in
+        if rc <> Ppc.Reg_args.ok then Fmt.failwith "copy_to rc=%d" rc;
+        off := !off + n
+      done;
+      elapsed := Sim.Time.to_us (Kernel.now kern) -. Sim.Time.to_us t0);
+  Kernel.run kern;
+  !elapsed
+
+(* (c) consume the covering grant whole: zero bytes cross. *)
+let run_grant ~size =
+  let kern, ppc, cs = copy_setup () in
+  let peer = Kernel.new_program kern ~name:"peer" in
+  let peer_id = Kernel.Program.id peer in
+  let base = Kernel.alloc kern ~bytes:size ~node:0 in
+  let elapsed = ref 0.0 in
+  spawn_client kern ~name:"grant-taker" (fun self ->
+      let me = Kernel.Program.id (Kernel.Process.program self) in
+      ignore
+        (Transfer.Region.grant
+           (Transfer.Copy_server.regions cs)
+           ~owner:peer_id ~grantee:me ~base ~len:size
+           ~access:Transfer.Region.Read_write);
+      let t0 = Kernel.now kern in
+      let rc =
+        Transfer.Copy_server.grant_handoff cs ppc ~client:self ~peer:peer_id
+          ~base ~len:size
+      in
+      if rc <> Ppc.Reg_args.ok then Fmt.failwith "grant_handoff rc=%d" rc;
+      elapsed := Sim.Time.to_us (Kernel.now kern) -. Sim.Time.to_us t0);
+  Kernel.run kern;
+  !elapsed
+
+let crossover points ~better ~than =
+  List.find_map
+    (fun p -> if better p < than p then Some p.size else None)
+    points
+
+let run ?(sizes = default_sizes) () =
+  let points =
+    List.map
+      (fun size ->
+        {
+          size;
+          register_us = run_register ~size;
+          engine_us = run_engine ~size;
+          grant_us = run_grant ~size;
+        })
+      sizes
+  in
+  {
+    points;
+    reg_engine_crossover =
+      crossover points ~better:(fun p -> p.engine_us) ~than:(fun p -> p.register_us);
+    engine_grant_crossover =
+      crossover points ~better:(fun p -> p.grant_us) ~than:(fun p -> p.engine_us);
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "Bulk-payload sweep (simulated, us to move N bytes)@.";
+  Fmt.pf ppf "  %10s %12s %12s %12s@." "bytes" "register" "engine" "grant";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %10d %12.1f %12.1f %12.1f@." p.size p.register_us
+        p.engine_us p.grant_us)
+    r.points;
+  (match r.reg_engine_crossover with
+  | Some s -> Fmt.pf ppf "  engine-copy beats register-chunk from %d bytes@." s
+  | None -> Fmt.pf ppf "  engine-copy never beats register-chunk in this sweep@.");
+  match r.engine_grant_crossover with
+  | Some s -> Fmt.pf ppf "  grant-handoff beats engine-copy from %d bytes@." s
+  | None -> Fmt.pf ppf "  grant-handoff never beats engine-copy in this sweep@."

@@ -347,6 +347,134 @@ let backpressure () =
   F.shutdown_channel_server srv;
   r
 
+(* --- kill-mover: bulk engine strands descriptors, fail sweep ----------- *)
+
+(* Kill the copy engine's mover mid-copy: completions already posted
+   win, everything still in flight must be failed by the client's next
+   reap with [handler_fault], exactly once per descriptor (tags never
+   duplicated), and submits after the death must answer [killed].
+
+   Two phases.  First a real mover domain drains a warm batch to
+   completion (the engine under its production driver).  Then a
+   manually-stepped mover is killed exactly halfway through a second
+   batch — the split between completed and swept descriptors is
+   deterministic, so CI can re-run this scenario verbatim. *)
+let kill_mover () =
+  let sc = scratch () in
+  let module E = Transfer.Copy_engine in
+  let seen = Hashtbl.create 64 in
+  let completed = ref 0 and swept = ref 0 and submitted = ref 0 in
+  let on_complete ~tag ~rc =
+    check sc (not (Hashtbl.mem seen tag))
+      (Printf.sprintf "tag %d completed twice" tag);
+    Hashtbl.replace seen tag rc;
+    if rc = Errc.ok then incr completed
+    else begin
+      check sc (rc = Errc.handler_fault)
+        (Printf.sprintf "tag %d failed with %s, expected handler_fault" tag
+           (Errc.to_string rc));
+      incr swept
+    end
+  in
+  let setup () =
+    let eng, store = E.create_with_buffers () in
+    let reg = function
+      | Ok id -> id
+      | Error rc -> failwith (Errc.to_string rc)
+    in
+    let bytes = 256 * 1024 in
+    let src = reg (E.Buffers.add store ~owner:0 (Bytes.create bytes)) in
+    let dst = reg (E.Buffers.add store ~owner:0 (Bytes.create bytes)) in
+    let cl = E.connect ~on_complete eng in
+    (eng, cl, src, dst)
+  in
+  let submit_one cl ~src ~dst tag =
+    match
+      E.submit cl ~op:Ipc_intf.Wellknown.bulk_copy ~src ~src_off:0 ~dst
+        ~dst_off:0 ~len:4096 ~tag
+    with
+    | rc when rc = Errc.ok -> incr submitted
+    | rc ->
+        check sc false
+          (Printf.sprintf "submit tag %d answered %s" tag (Errc.to_string rc))
+  in
+  (* Phase 1: a live mover domain, batch of 24, drained clean — the
+     engine under its production driver, before any fault. *)
+  let eng1, cl1, src1, dst1 = setup () in
+  let mover1 = Transfer.Mover.spawn eng1 in
+  for tag = 0 to 23 do
+    submit_one cl1 ~src:src1 ~dst:dst1 tag
+  done;
+  ignore (E.flush cl1);
+  let spins = ref 0 in
+  while E.outstanding cl1 > 0 && !spins < 50_000_000 do
+    incr spins;
+    ignore (E.reap cl1);
+    Domain.cpu_relax ()
+  done;
+  Transfer.Mover.shutdown mover1;
+  check sc (!completed = 24)
+    (Printf.sprintf "warm batch: %d of 24 completed" !completed);
+  check sc (!swept = 0) "warm batch produced spurious sweep failures";
+  (* Phase 2: a fresh engine whose stepped mover is killed exactly
+     halfway — 16 of 32 execute, then the kill; the stranded 16 must
+     come back handler_fault on the next reap. *)
+  let eng2, cl2, src2, dst2 = setup () in
+  ignore eng2;
+  let mover2 = Transfer.Mover.manual eng2 in
+  for tag = 100 to 131 do
+    submit_one cl2 ~src:src2 ~dst:dst2 tag
+  done;
+  ignore (E.flush cl2);
+  let executed = Transfer.Mover.step mover2 ~budget:16 in
+  check sc (executed = 16)
+    (Printf.sprintf "stepped mover executed %d of the budgeted 16" executed);
+  ignore (E.reap cl2);
+  check sc (!completed = 24 + 16)
+    (Printf.sprintf "mid-copy completions: %d, expected 40" !completed);
+  Transfer.Mover.kill mover2;
+  (* The mover is dead and [kill] returned: one reap must deliver the
+     fail sweep for everything still in flight. *)
+  ignore (E.reap cl2);
+  sc.s_attempted <- !submitted;
+  sc.s_ok <- !completed;
+  check sc (!swept = 16)
+    (Printf.sprintf "sweep failed %d descriptors, expected 16" !swept);
+  check sc
+    (!completed + !swept = !submitted)
+    (Printf.sprintf "completions %d + swept %d <> submitted %d" !completed
+       !swept !submitted);
+  check sc (E.outstanding cl2 = 0) "descriptors still outstanding after sweep";
+  check sc
+    (Hashtbl.length seen = !submitted)
+    "some submitted tag never completed";
+  (match
+     E.submit cl2 ~op:Ipc_intf.Wellknown.bulk_copy ~src:src2 ~src_off:0
+       ~dst:dst2 ~dst_off:0 ~len:64 ~tag:999
+   with
+  | rc when rc = Errc.killed -> ()
+  | rc ->
+      check sc false
+        (Printf.sprintf "submit after mover death answered %s"
+           (Errc.to_string rc)));
+  let cs = E.client_stats cl2 in
+  check sc
+    (cs.E.cs_failed_swept = !swept)
+    (Printf.sprintf "sweep counter %d <> observed %d" cs.E.cs_failed_swept
+       !swept);
+  {
+    name = "kill-mover";
+    attempted = sc.s_attempted;
+    ok_calls = sc.s_ok;
+    handler_faults = !swept;
+    timed_out = 0;
+    retries = cs.E.cs_rejected;
+    breaker_trips = 0;
+    respawns = 0;
+    reclaimed = 0;
+    violations = sc.s_bad;
+  }
+
 (* --- registry ---------------------------------------------------------- *)
 
 let scenarios =
@@ -357,6 +485,7 @@ let scenarios =
     ("stall-reply", stall_reply);
     ("delay-doorbell", delay_doorbell);
     ("backpressure", backpressure);
+    ("kill-mover", kill_mover);
   ]
 
 let names = List.map fst scenarios

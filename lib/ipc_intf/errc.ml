@@ -12,12 +12,14 @@ let no_resources = -5 (* the resource manager could not satisfy the call *)
 let handler_fault = -6 (* the handler raised; contained, shard survives *)
 let timed_out = -7 (* the caller's deadline expired; cell abandoned *)
 let retry = -8 (* transient backpressure (ring full / pool capped) *)
+let too_big = -9 (* bulk payload exceeds the per-call copy limit *)
+let copy_fault = -10 (* copy engine: bad descriptor, region or ownership *)
 
 (* Every code, for exhaustive round-trip tests.  Append-only, like the
    wire values themselves. *)
 let all =
   [ ok; no_entry; killed; denied; bad_request; no_resources;
-    handler_fault; timed_out; retry ]
+    handler_fault; timed_out; retry; too_big; copy_fault ]
 
 let to_string rc =
   if rc = ok then "ok"
@@ -29,4 +31,6 @@ let to_string rc =
   else if rc = handler_fault then "err_handler_fault"
   else if rc = timed_out then "err_timed_out"
   else if rc = retry then "err_retry"
+  else if rc = too_big then "err_too_big"
+  else if rc = copy_fault then "err_copy_fault"
   else Printf.sprintf "rc(%d)" rc

@@ -59,6 +59,50 @@ module type AUTH = sig
   val check : t -> principal -> Auth.perm -> bool
 end
 
+(** The bulk-data plane: asynchronous copy engines on both substrates
+    answer to this shape.  Clients submit fixed-width copy descriptors
+    into a per-client SPSC submission ring, kick the mover's doorbell
+    once per batch with {!flush}, and reap completions from a batched
+    completion ring without blocking — handler execution overlaps
+    in-flight copies.  All return codes are {!Errc} values; the warm
+    submit→flush→reap path allocates nothing. *)
+module type BULK = sig
+  type t
+  (** The engine: descriptor slabs, rings, and one mover draining them. *)
+
+  type client
+  (** A per-submitting-domain handle; single-owner, like an SPSC ring's
+      producer side. *)
+
+  val submit :
+    client ->
+    op:int ->
+    src:int ->
+    src_off:int ->
+    dst:int ->
+    dst_off:int ->
+    len:int ->
+    tag:int ->
+    int
+  (** Stage one descriptor ([op] is [Wellknown.bulk_copy] or
+      [Wellknown.bulk_grant]).  Does {e not} ring the mover — batch with
+      {!flush}.  [Errc.retry] when the descriptor slab or submission
+      ring is full, [Errc.killed] after mover death. *)
+
+  val flush : client -> int
+  (** Kick the mover's doorbell once for everything staged since the
+      last flush; returns how many descriptors the kick covers. *)
+
+  val reap : client -> int
+  (** Drain this client's completion ring, invoking its completion
+      callback per descriptor; never blocks.  Returns completions
+      delivered.  After mover death, outstanding descriptors are failed
+      here with [Errc.handler_fault], exactly once each. *)
+
+  val outstanding : client -> int
+  (** Descriptors submitted and not yet reaped. *)
+end
+
 (** What the functorized conformance suite needs from an embodiment.
 
     [ep] is an opaque service handle as returned by registration; it

@@ -22,3 +22,18 @@ let op_hard_kill = 3
 let op_exchange = 4
 let op_grow_pool = 5
 let op_reclaim = 6
+
+(* CopyServer operations (Section 4.2, extended by the async bulk-data
+   engine).  [op_copy_to]/[op_copy_from] move bytes under a region
+   grant; [op_copy_grant] skips the copy entirely — ownership of the
+   granted range is handed to the grantee and the grant is revoked on
+   completion (zero-copy handoff for large payloads). *)
+let op_copy_to = 1
+let op_copy_from = 2
+let op_copy_grant = 3
+
+(* Copy-descriptor operation codes: the [op] word of the fixed-width
+   descriptor both substrates' bulk engines consume (see
+   [Transfer.Copy_desc]). *)
+let bulk_copy = 1
+let bulk_grant = 2

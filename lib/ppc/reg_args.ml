@@ -57,6 +57,8 @@ let err_killed = Ipc_intf.Errc.killed
 let err_denied = Ipc_intf.Errc.denied
 let err_bad_request = Ipc_intf.Errc.bad_request
 let err_no_resources = Ipc_intf.Errc.no_resources
+let err_too_big = Ipc_intf.Errc.too_big
+let err_copy_fault = Ipc_intf.Errc.copy_fault
 
 let copy = Array.copy
 

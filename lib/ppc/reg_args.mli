@@ -38,5 +38,11 @@ val err_no_resources : int
 (** Frank could not create the worker or CD the call needed (allocation
     failure / injected resource fault). *)
 
+val err_too_big : int
+(** Bulk payload exceeds the per-call copy limit — chunk and retry. *)
+
+val err_copy_fault : int
+(** Copy engine rejected the descriptor: bad range or ownership. *)
+
 val copy : t -> t
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,403 @@
+(* The asynchronous bulk-data engine (the tentpole of the "Bulk data
+   plane", ARCHITECTURE.md).
+
+   Control-plane PPCs stay on the 8-register path; bulk payloads move
+   off the caller's critical path onto a dedicated mover.  Each client
+   owns a preallocated descriptor slab and a pair of SPSC rings:
+
+     client --submit*--> [submission ring] --drain--> mover
+     client <--reap----- [completion ring] <--post--- mover
+
+   Submission is batched: [submit] only stages descriptors; [flush]
+   rings the mover's doorbell once for the whole batch.  Completions
+   are reaped without blocking, so handler execution overlaps
+   in-flight copies.  The rings carry slab indices (immediate ints,
+   dummy -1) and both rings have the slab's capacity, so a completion
+   post can never fail: every in-flight descriptor has a reserved
+   completion slot.  The warm submit→flush→reap path allocates
+   nothing.
+
+   The engine core is substrate-neutral: what a descriptor *means* is
+   supplied as an [exec] callback.  The runtime substrate executes
+   real [Bytes.blit]s over the bounded {!Buffers} store; the simulator
+   charges cycle costs through the CopyServer shim (see
+   [Copy_server]).  [Mover] supplies the drain loop — a spawned domain
+   on the real substrate, a manually stepped DMA device on the sim
+   substrate. *)
+
+module Errc = Ipc_intf.Errc
+module Wellknown = Ipc_intf.Wellknown
+
+type exec = Copy_desc.t -> int
+(* Executes one descriptor, returns its Errc completion code.  Runs on
+   the mover; must not raise (a raise is contained to copy_fault). *)
+
+type client = {
+  cid : int;
+  descs : Copy_desc.t array;
+  sq : int Runtime.Spsc_ring.Raw.t;  (* client -> mover: slab indices *)
+  cq : int Runtime.Spsc_ring.Raw.t;  (* mover -> client: slab indices *)
+  free : int array;  (* LIFO of free slab indices (client-owned) *)
+  mutable free_len : int;
+  mutable staged : int;  (* submitted since the last flush *)
+  mutable outstanding : int;  (* submitted, not yet reaped *)
+  mutable on_complete : tag:int -> rc:int -> unit;
+  mutable submitted : int;
+  mutable reaped : int;
+  mutable rejected : int;  (* submit refused: slab/ring backpressure *)
+  mutable failed_swept : int;  (* failed by the post-death sweep *)
+  eng : t;
+}
+
+and t = {
+  exec : exec;
+  bell : Runtime.Doorbell.t;
+  clients : client option array;
+  n_clients : int Atomic.t;
+  connect_mu : Mutex.t;
+  kill : bool Atomic.t;  (* mover: exit now, abandon in-flight work *)
+  quiesce : bool Atomic.t;  (* mover: drain dry, then exit *)
+  stopped : bool Atomic.t;  (* mover has exited; set last, release *)
+  served : int Atomic.t;
+  bytes_copied : int Atomic.t;
+  grants_completed : int Atomic.t;
+  copy_faults : int Atomic.t;
+}
+
+let default_on_complete ~tag:_ ~rc:_ = ()
+
+let create ?(max_clients = 16) exec =
+  {
+    exec;
+    bell = Runtime.Doorbell.create ();
+    clients = Array.make max_clients None;
+    n_clients = Atomic.make 0;
+    connect_mu = Mutex.create ();
+    kill = Atomic.make false;
+    quiesce = Atomic.make false;
+    stopped = Atomic.make false;
+    served = Atomic.make 0;
+    bytes_copied = Atomic.make 0;
+    grants_completed = Atomic.make 0;
+    copy_faults = Atomic.make 0;
+  }
+
+let connect ?(capacity = 64) ?(on_complete = default_on_complete) eng =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Copy_engine.connect: capacity must be a positive power of two";
+  Mutex.lock eng.connect_mu;
+  let cid = Atomic.get eng.n_clients in
+  if cid >= Array.length eng.clients then begin
+    Mutex.unlock eng.connect_mu;
+    invalid_arg "Copy_engine.connect: client table full"
+  end;
+  let c =
+    {
+      cid;
+      descs = Array.init capacity (fun index -> Copy_desc.make ~index);
+      sq = Runtime.Spsc_ring.Raw.create ~capacity ~dummy:(-1);
+      cq = Runtime.Spsc_ring.Raw.create ~capacity ~dummy:(-1);
+      free = Array.init capacity (fun i -> capacity - 1 - i);
+      free_len = capacity;
+      staged = 0;
+      outstanding = 0;
+      on_complete;
+      submitted = 0;
+      reaped = 0;
+      rejected = 0;
+      failed_swept = 0;
+      eng;
+    }
+  in
+  eng.clients.(cid) <- Some c;
+  (* Publish the slot before the count: the mover iterates [0, n). *)
+  Atomic.incr eng.n_clients;
+  Mutex.unlock eng.connect_mu;
+  c
+
+let set_on_complete c f = c.on_complete <- f
+
+(* ---- client side (producer) ----------------------------------------- *)
+
+let submit c ~op ~src ~src_off ~dst ~dst_off ~len ~tag =
+  if Atomic.get c.eng.stopped then Errc.killed
+  else if c.free_len = 0 then begin
+    c.rejected <- c.rejected + 1;
+    Errc.retry
+  end
+  else begin
+    let idx = c.free.(c.free_len - 1) in
+    let d = c.descs.(idx) in
+    d.op <- op;
+    d.src <- src;
+    d.src_off <- src_off;
+    d.dst <- dst;
+    d.dst_off <- dst_off;
+    d.len <- len;
+    d.tag <- tag;
+    d.rc <- Errc.ok;
+    d.client <- c.cid;
+    d.state <- Copy_desc.st_submitted;
+    if Runtime.Spsc_ring.Raw.try_push c.sq idx then begin
+      c.free_len <- c.free_len - 1;
+      c.staged <- c.staged + 1;
+      c.outstanding <- c.outstanding + 1;
+      c.submitted <- c.submitted + 1;
+      Errc.ok
+    end
+    else begin
+      (* Unreachable while ring capacity = slab capacity; kept for
+         defence in depth. *)
+      d.state <- Copy_desc.st_free;
+      c.rejected <- c.rejected + 1;
+      Errc.retry
+    end
+  end
+
+let flush c =
+  let n = c.staged in
+  if n > 0 then begin
+    c.staged <- 0;
+    Runtime.Doorbell.ring c.eng.bell
+  end;
+  n
+
+let rec drain_cq c n =
+  let idx = Runtime.Spsc_ring.Raw.try_pop c.cq in
+  if idx < 0 then n
+  else begin
+    let d = c.descs.(idx) in
+    let tag = d.tag and rc = d.rc in
+    d.state <- Copy_desc.st_free;
+    c.free.(c.free_len) <- idx;
+    c.free_len <- c.free_len + 1;
+    c.outstanding <- c.outstanding - 1;
+    c.reaped <- c.reaped + 1;
+    c.on_complete ~tag ~rc;
+    drain_cq c (n + 1)
+  end
+
+(* After the mover has exited ([stopped] is set *after* its last touch
+   of any descriptor), everything still in flight is stranded: fail it
+   here, exactly once per descriptor, with [handler_fault] — same code
+   a crashed in-register handler answers with. *)
+let sweep_dead c n0 =
+  let n = ref n0 in
+  for idx = 0 to Array.length c.descs - 1 do
+    let d = c.descs.(idx) in
+    if d.state = Copy_desc.st_submitted then begin
+      let tag = d.tag in
+      d.rc <- Errc.handler_fault;
+      d.state <- Copy_desc.st_free;
+      c.free.(c.free_len) <- idx;
+      c.free_len <- c.free_len + 1;
+      c.outstanding <- c.outstanding - 1;
+      c.failed_swept <- c.failed_swept + 1;
+      c.on_complete ~tag ~rc:Errc.handler_fault;
+      incr n
+    end
+  done;
+  !n
+
+let reap c =
+  let n = drain_cq c 0 in
+  if c.outstanding > 0 && Atomic.get c.eng.stopped then
+    (* Drain once more: completions posted before death win over the
+       sweep. *)
+    sweep_dead c (drain_cq c n)
+  else n
+
+let outstanding c = c.outstanding
+
+type client_stats = {
+  cs_submitted : int;
+  cs_reaped : int;
+  cs_rejected : int;
+  cs_failed_swept : int;
+}
+
+let client_stats c =
+  {
+    cs_submitted = c.submitted;
+    cs_reaped = c.reaped;
+    cs_rejected = c.rejected;
+    cs_failed_swept = c.failed_swept;
+  }
+
+let client_id c = c.cid
+
+(* ---- mover side (consumer) ------------------------------------------ *)
+
+let doorbell eng = eng.bell
+
+let pending eng =
+  let n = ref 0 in
+  for i = 0 to Atomic.get eng.n_clients - 1 do
+    match eng.clients.(i) with
+    | Some c -> n := !n + Runtime.Spsc_ring.Raw.length c.sq
+    | None -> ()
+  done;
+  !n
+
+let exec_one eng (d : Copy_desc.t) =
+  let rc = try eng.exec d with _ -> Errc.copy_fault in
+  d.rc <- rc;
+  Atomic.incr eng.served;
+  if rc = Errc.ok then begin
+    if d.op = Wellknown.bulk_grant then Atomic.incr eng.grants_completed
+    else ignore (Atomic.fetch_and_add eng.bytes_copied d.len)
+  end
+  else Atomic.incr eng.copy_faults
+
+(* One pass: up to [budget] descriptors per client, round-robin.
+   Returns how many were executed.  Only the mover calls this. *)
+let drain eng ~budget =
+  let total = ref 0 in
+  for i = 0 to Atomic.get eng.n_clients - 1 do
+    match eng.clients.(i) with
+    | None -> ()
+    | Some c ->
+        let k = ref 0 in
+        let continue = ref true in
+        while !continue && !k < budget do
+          let idx = Runtime.Spsc_ring.Raw.try_pop c.sq in
+          if idx < 0 then continue := false
+          else begin
+            let d = c.descs.(idx) in
+            exec_one eng d;
+            d.state <- Copy_desc.st_completed;
+            (* Cannot fail: cq capacity = slab capacity. *)
+            ignore (Runtime.Spsc_ring.Raw.try_push c.cq idx);
+            incr k
+          end
+        done;
+        total := !total + !k
+  done;
+  !total
+
+let request_kill eng = Atomic.set eng.kill true
+let request_quiesce eng = Atomic.set eng.quiesce true
+let killed eng = Atomic.get eng.kill
+let quiescing eng = Atomic.get eng.quiesce
+let mark_stopped eng = Atomic.set eng.stopped true
+let stopped eng = Atomic.get eng.stopped
+
+type stats = {
+  served : int;
+  bytes_copied : int;
+  grants_completed : int;
+  copy_faults : int;
+  doorbell_rings : int;
+  doorbell_wakes : int;
+  mover_parks : int;
+}
+
+let stats (eng : t) =
+  {
+    served = Atomic.get eng.served;
+    bytes_copied = Atomic.get eng.bytes_copied;
+    grants_completed = Atomic.get eng.grants_completed;
+    copy_faults = Atomic.get eng.copy_faults;
+    doorbell_rings = Runtime.Doorbell.rings eng.bell;
+    doorbell_wakes = Runtime.Doorbell.wakes eng.bell;
+    mover_parks = Runtime.Doorbell.parks eng.bell;
+  }
+
+(* ---- the runtime substrate's region store --------------------------- *)
+
+(* A bounded table of byte regions with atomic owner words: the
+   real-domain analogue of the simulator's granted address ranges.
+   [exec] interprets descriptors over it:
+
+     bulk_copy   range-check src/dst, then one [Bytes.blit]
+     bulk_grant  the submitting client must own [src]; ownership flips
+                 to the client named by [dst] and the mover touches one
+                 byte per 4 KiB page — the honest stand-in for the
+                 map/remap cost a real ownership transfer pays, so the
+                 grant-vs-copy crossover in the bench is not a freebie.
+
+   The table is bounded like every other pool in the runtime:
+   exhaustion answers [Errc.retry] (PR5 backpressure taxonomy), never
+   unbounded growth. *)
+module Buffers = struct
+  let page = 4096
+
+  type store = {
+    bufs : Bytes.t array;
+    owners : int Atomic.t array;
+    b_lens : int array;
+    n : int Atomic.t;
+    mu : Mutex.t;
+    mutable touch : int;  (* page-touch sink; defeats dead-code removal *)
+  }
+
+  let create ?(max_regions = 64) () =
+    {
+      bufs = Array.make max_regions Bytes.empty;
+      owners = Array.init max_regions (fun _ -> Atomic.make (-1));
+      b_lens = Array.make max_regions 0;
+      n = Atomic.make 0;
+      mu = Mutex.create ();
+      touch = 0;
+    }
+
+  let add st ~owner bytes =
+    Mutex.lock st.mu;
+    let id = Atomic.get st.n in
+    if id >= Array.length st.bufs then begin
+      Mutex.unlock st.mu;
+      Error Errc.retry
+    end
+    else begin
+      st.bufs.(id) <- bytes;
+      st.b_lens.(id) <- Bytes.length bytes;
+      Atomic.set st.owners.(id) owner;
+      Atomic.incr st.n;
+      Mutex.unlock st.mu;
+      Ok id
+    end
+
+  let get st id = st.bufs.(id)
+  let owner st id = Atomic.get st.owners.(id)
+  let regions st = Atomic.get st.n
+
+  let in_range st id off len =
+    id >= 0
+    && id < Atomic.get st.n
+    && off >= 0 && len >= 0
+    && off + len <= st.b_lens.(id)
+
+  let exec st (d : Copy_desc.t) =
+    if d.op = Wellknown.bulk_copy then
+      if in_range st d.src d.src_off d.len && in_range st d.dst d.dst_off d.len
+      then begin
+        Bytes.blit st.bufs.(d.src) d.src_off st.bufs.(d.dst) d.dst_off d.len;
+        Errc.ok
+      end
+      else Errc.copy_fault
+    else if d.op = Wellknown.bulk_grant then begin
+      if not (in_range st d.src 0 0) then Errc.copy_fault
+      else if Atomic.get st.owners.(d.src) <> d.client then Errc.copy_fault
+      else begin
+        (* Touch one byte per page of the region being handed over. *)
+        let b = st.bufs.(d.src) and len = st.b_lens.(d.src) in
+        let acc = ref 0 in
+        let off = ref 0 in
+        while !off < len do
+          acc := !acc + Char.code (Bytes.unsafe_get b !off);
+          off := !off + page
+        done;
+        st.touch <- st.touch + !acc;
+        Atomic.set st.owners.(d.src) d.dst;
+        Errc.ok
+      end
+    end
+    else Errc.bad_request
+end
+
+(* Convenience: an engine whose descriptors execute over a fresh
+   bounded region store. *)
+let create_with_buffers ?max_clients ?max_regions () =
+  let st = Buffers.create ?max_regions () in
+  let eng = create ?max_clients (Buffers.exec st) in
+  (eng, st)

@@ -1,0 +1,121 @@
+(** Asynchronous bulk-data engine: per-client SPSC submission/completion
+    rings over preallocated descriptor slabs, drained by one mover (see
+    {!Mover}).  Implements the client face of {!Ipc_intf.Sigs.BULK}.
+
+    The engine core is substrate-neutral — descriptor semantics come
+    from an [exec] callback.  {!Buffers} supplies the real-substrate
+    interpretation (bounded byte-region store, [Bytes.blit] copies,
+    atomic ownership handoff); the simulator charges cycle costs through
+    the [Copy_server] shim instead. *)
+
+type exec = Copy_desc.t -> int
+(** Executes one descriptor on the mover; returns its {!Ipc_intf.Errc}
+    completion code.  A raise is contained to [Errc.copy_fault]. *)
+
+type t
+type client
+
+val create : ?max_clients:int -> exec -> t
+
+val connect :
+  ?capacity:int -> ?on_complete:(tag:int -> rc:int -> unit) -> t -> client
+(** New client with a [capacity]-descriptor slab (positive power of two,
+    default 64) and rings of the same capacity — so a completion post
+    can never fail.  [on_complete] runs from {!reap}, once per
+    descriptor. *)
+
+val set_on_complete : client -> (tag:int -> rc:int -> unit) -> unit
+
+(** {1 Client side (single-owner, like an SPSC producer)} *)
+
+val submit :
+  client ->
+  op:int ->
+  src:int ->
+  src_off:int ->
+  dst:int ->
+  dst_off:int ->
+  len:int ->
+  tag:int ->
+  int
+(** Stage one descriptor; does not ring the mover — batch with {!flush}.
+    [Errc.retry] on slab/ring backpressure, [Errc.killed] after mover
+    death, [Errc.ok] otherwise.  Allocates nothing. *)
+
+val flush : client -> int
+(** One doorbell kick covering everything staged since the last flush;
+    returns how many descriptors the kick covers. *)
+
+val reap : client -> int
+(** Drain this client's completion ring, invoking [on_complete] per
+    descriptor; never blocks.  After mover death, strands every
+    in-flight descriptor into a completion with [Errc.handler_fault],
+    exactly once each.  Returns completions delivered. *)
+
+val outstanding : client -> int
+val client_id : client -> int
+
+type client_stats = {
+  cs_submitted : int;
+  cs_reaped : int;
+  cs_rejected : int;  (** submit refused: slab/ring backpressure *)
+  cs_failed_swept : int;  (** failed by the post-death sweep *)
+}
+
+val client_stats : client -> client_stats
+
+(** {1 Mover side (single consumer — used by {!Mover})} *)
+
+val doorbell : t -> Runtime.Doorbell.t
+val pending : t -> int
+
+val drain : t -> budget:int -> int
+(** One pass: up to [budget] descriptors per client, round-robin.
+    Returns descriptors executed.  Single-consumer only. *)
+
+val request_kill : t -> unit
+val request_quiesce : t -> unit
+val killed : t -> bool
+val quiescing : t -> bool
+val mark_stopped : t -> unit
+val stopped : t -> bool
+
+type stats = {
+  served : int;
+  bytes_copied : int;
+  grants_completed : int;
+  copy_faults : int;
+  doorbell_rings : int;
+  doorbell_wakes : int;
+  mover_parks : int;
+}
+
+val stats : t -> stats
+
+(** {1 The runtime substrate's bounded region store} *)
+
+module Buffers : sig
+  type store
+
+  val page : int
+
+  val create : ?max_regions:int -> unit -> store
+
+  val add : store -> owner:int -> Bytes.t -> (int, int) result
+  (** Register a region; [Error Errc.retry] when the table is full
+      (bounded-pool backpressure, never unbounded growth). *)
+
+  val get : store -> int -> Bytes.t
+  val owner : store -> int -> int
+  val regions : store -> int
+
+  val exec : store -> exec
+  (** [bulk_copy]: range-checked [Bytes.blit].  [bulk_grant]: the
+      submitting client must own [src]; ownership flips to the client
+      named by [dst], after touching one byte per 4 KiB page (the
+      stand-in for real map/remap cost).  Violations answer
+      [Errc.copy_fault]. *)
+end
+
+val create_with_buffers :
+  ?max_clients:int -> ?max_regions:int -> unit -> t * Buffers.store

@@ -12,9 +12,9 @@
    conditions and the check conditions match by construction — which is
    exactly the property the first test pins down. *)
 
-let repeats = 3
+let repeats = 4
 let calls = 3_000
-let quota = 0.2
+let quota = 0.4
 
 (* One emitted gate section shared by the tests below (measuring is the
    expensive part; emit once, check many). *)

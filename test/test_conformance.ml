@@ -173,6 +173,8 @@ let test_errc_round_trip () =
       (Errc.handler_fault, -6, "err_handler_fault");
       (Errc.timed_out, -7, "err_timed_out");
       (Errc.retry, -8, "err_retry");
+      (Errc.too_big, -9, "err_too_big");
+      (Errc.copy_fault, -10, "err_copy_fault");
     ]
   in
   Alcotest.(check int)

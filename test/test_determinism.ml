@@ -214,7 +214,10 @@ let test_all_experiments_bit_identical () =
         (Experiments.Ablate_stack.run ()));
   twice "uniproc_context" (fun () ->
       Fmt.str "%a" Experiments.Uniproc_context.pp_result
-        (Experiments.Uniproc_context.run ()))
+        (Experiments.Uniproc_context.run ()));
+  twice "copy_sweep" (fun () ->
+      Fmt.str "%a" Experiments.Copy_sweep.pp_result
+        (Experiments.Copy_sweep.run ~sizes:[ 64; 4096; 65536 ] ()))
 
 let suites =
   [

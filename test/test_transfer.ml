@@ -129,7 +129,8 @@ let test_copy_size_limits () =
              ~len:(Transfer.Copy_server.max_bytes_per_call + 1)));
   Kernel.run kern;
   Alcotest.(check int) "zero length rejected" Ppc.Reg_args.err_bad_request !zero_rc;
-  Alcotest.(check int) "oversize rejected" Ppc.Reg_args.err_bad_request !huge_rc
+  Alcotest.(check int) "oversize rejected with distinct code"
+    Ppc.Reg_args.err_too_big !huge_rc
 
 let test_copy_charges_memory_traffic () =
   let kern, ppc, cs = copy_setup () in

@@ -579,6 +579,27 @@ let simulated_json () =
     | Some s -> Bench_json.Num (float_of_int s)
     | None -> Bench_json.Num (-1.0)
   in
+  (* PR8: deterministic slice of the open-loop traffic study.  The full
+     report is Workload.Report's own JSON; re-encode it through
+     Bench_json so the whole simulated section shares one writer (the
+     two writers use identical float formatting, so bytes match). *)
+  let rec of_report (j : Workload.Report.Json.t) : Bench_json.t =
+    match j with
+    | Workload.Report.Json.Null -> Bench_json.Null
+    | Workload.Report.Json.Bool b -> Bench_json.Bool b
+    | Workload.Report.Json.Num f -> Bench_json.Num f
+    | Workload.Report.Json.Str s -> Bench_json.Str s
+    | Workload.Report.Json.Arr xs -> Bench_json.Arr (List.map of_report xs)
+    | Workload.Report.Json.Obj kvs ->
+        Bench_json.Obj (List.map (fun (k, v) -> (k, of_report v)) kvs)
+  in
+  let traffic =
+    of_report
+      (Workload.Report.to_json
+         (Experiments.Traffic_study.report
+            (Experiments.Traffic_study.run ~cfg:Experiments.Traffic_study.slice
+               ())))
+  in
   Bench_json.Obj
     [
       ("fig2", fig2_json);
@@ -603,6 +624,7 @@ let simulated_json () =
             ( "engine_grant_crossover_bytes",
               crossover sweep.Experiments.Copy_sweep.engine_grant_crossover );
           ] );
+      ("traffic", traffic);
     ]
 
 (* Bechamel OLS ns/run for a list of named closures. *)

@@ -655,6 +655,69 @@ let copy_cmd =
     Term.(const (fun () a b c -> run a b c) $ logs_term $ bytes_arg $ chunk_arg
           $ sweep_arg)
 
+(* --- traffic: the million-client open-loop study --------------------------- *)
+
+let traffic_cmd =
+  let profile_arg =
+    Arg.(
+      value
+      & opt (enum [ ("full", `Full); ("quick", `Quick); ("slice", `Slice) ]) `Full
+      & info [ "profile" ] ~docv:"P"
+          ~doc:
+            "Study size: $(b,full) (the million-arrival flagship), $(b,quick) \
+             (seconds, CI smoke), $(b,slice) (the deterministic bench slice).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorthand for --profile quick.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"BASE"
+          ~doc:
+            "Write the report to BASE.md and BASE.json in addition to \
+             printing it.")
+  in
+  let run profile quick out =
+    let cfg =
+      match (if quick then `Quick else profile) with
+      | `Full -> Experiments.Traffic_study.full
+      | `Quick -> Experiments.Traffic_study.quick
+      | `Slice -> Experiments.Traffic_study.slice
+    in
+    let r = Experiments.Traffic_study.run ~cfg () in
+    let report = Experiments.Traffic_study.report r in
+    Fmt.pr "%s" (Workload.Report.to_markdown report);
+    (match out with
+    | None -> ()
+    | Some base ->
+        let write path s =
+          let oc = open_out path in
+          output_string oc s;
+          close_out oc
+        in
+        write (base ^ ".md") (Workload.Report.to_markdown report);
+        write (base ^ ".json")
+          (Workload.Report.Json.to_string (Workload.Report.to_json report));
+        Fmt.pr "wrote %s.md and %s.json@." base base);
+    match report.Workload.Report.faults with
+    | Some f when not f.Workload.Report.reconciled ->
+        Fmt.epr "fault counts did not reconcile@.";
+        exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Run the open-loop traffic study: a large logical client population \
+          drives the lookup -> file-read -> copy service graph on the PPC \
+          path and the legacy message-passing comparator, with a \
+          fault-injected scenario whose error counts must reconcile exactly; \
+          prints (and with $(b,--out) writes) the markdown + JSON report")
+    Term.(const (fun () a b c -> run a b c) $ logs_term $ profile_arg
+          $ quick_arg $ out_arg)
+
 let () =
   let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
   let info = Cmd.info "ppc_sim" ~version:"1.0.0" ~doc in
@@ -664,5 +727,5 @@ let () =
           [
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
-            faults_cmd; channel_cmd; lifecycle_cmd; copy_cmd;
+            faults_cmd; channel_cmd; lifecycle_cmd; copy_cmd; traffic_cmd;
           ]))

@@ -1,8 +1,10 @@
 (* L1: GetLength latency under offered load.
 
-   The throughput plots hide queueing: here open-loop clients on every
-   CPU issue requests with exponential think times, and we record each
-   call's round-trip latency.  For different files the distribution stays
+   The throughput plots hide queueing: here closed-loop clients on every
+   CPU issue requests with exponential think times (each client waits
+   for its previous call before thinking about the next — a think-time
+   closed loop, not an open-loop schedule; see Workload.Open_loop for
+   that), and we record each call's round-trip latency.  For different files the distribution stays
    flat as load rises; for a single file the lock queue inflates the tail
    well before throughput saturates — the latency-side view of Figure 3's
    story. *)
@@ -79,7 +81,8 @@ let run ?(cpus = 8) ?(horizon = Sim.Time.ms 60)
   List.map (fun think_us -> run_point ~cpus ~horizon ~mode ~think_us) thinks
 
 let pp_result ppf (mode, points) =
-  Fmt.pf ppf "L1 — GetLength latency under load (%s, 8 CPUs, open loop)@."
+  Fmt.pf ppf
+    "L1 — GetLength latency under load (%s, 8 CPUs, closed loop w/ think)@."
     (mode_name mode);
   Fmt.pf ppf "  think(us)   offered/s   achieved/s   mean(us)   p50    p99@.";
   List.iter

@@ -1,0 +1,619 @@
+(* Million-client open-loop traffic study.
+
+   A virtual population of logical clients (10^6 in the [full] config)
+   drives a three-stage service graph with open-loop arrivals:
+
+     name-server lookup  ->  file-service read  ->  CopyServer transfer
+
+   Stage 1 resolves the copy service's entry point at the well-known
+   name server (Section 4.5.5); stage 2 is Bob's GetLength on the
+   arrival's home file (the Figure-3 workload); stage 3 pushes a
+   bounded-Pareto payload through the CopyServer into a peer's granted
+   region (Section 4.2).  The same schedule — identical seed, sampler
+   and horizon, hence identical arrivals — also runs against the legacy
+   message-passing IPC with matched service work, so the comparator
+   isolates the transport.
+
+   One scenario repeats the modern run under deterministic fault
+   injection, in the faultsim idiom (faults fire as ordinary simulation
+   events at planned times):
+
+   - a flaky-service window: the file server's ACL revokes every lane's
+     Read permission, then re-grants it — clients observe err_denied;
+   - a shard kill mid-load: the CopyServer entry point is soft-killed
+     and a replacement installed; until the controller rebinds the name,
+     clients observe err_killed/err_no_entry and recover by re-looking
+     the service up and retrying.
+
+   Both windows reconcile by double-entry counting: the server-side
+   injection counters (Auth denials, engine rejected calls) must equal
+   the client-observed error counts exactly. *)
+
+let svc_copy = "svc.copy"
+let max_retries = 8
+let retry_gap = Sim.Time.us 100
+
+type config = {
+  label : string;
+  cpus : int;
+  lanes : int;
+  clients : int;  (** logical client population *)
+  client_theta : float;  (** Zipf skew of per-client activity *)
+  files : int;
+  horizon : Sim.Time.t;
+  warmup : Sim.Time.t;  (** management setup window before arrivals *)
+  gap_mean_us : float;  (** per-lane exponential inter-arrival mean *)
+  payload : Workload.Sampler.t;  (** copy-stage bytes *)
+  curve_gaps_us : float list;  (** per-lane gap means for the load curve *)
+  curve_horizon : Sim.Time.t;
+  fault_horizon : Sim.Time.t;
+  seed : int;
+}
+
+let payload_cap payload =
+  match (payload : Workload.Sampler.t) with
+  | Constant v -> int_of_float (Float.ceil v)
+  | Exponential { mean } -> int_of_float (Float.ceil (20.0 *. mean))
+  | Lognormal { mu; sigma } -> int_of_float (Float.ceil (exp (mu +. (6.0 *. sigma))))
+  | Pareto { cap; _ } -> int_of_float (Float.ceil cap)
+
+let default_payload = Workload.Sampler.Pareto { xm = 64.0; alpha = 1.3; cap = 4096.0 }
+
+let slice =
+  {
+    label = "slice";
+    cpus = 2;
+    lanes = 2;
+    clients = 5_000;
+    client_theta = 0.9;
+    files = 16;
+    horizon = Sim.Time.ms 30;
+    warmup = Sim.Time.us 500;
+    gap_mean_us = 200.0;
+    payload = default_payload;
+    curve_gaps_us = [ 400.0; 120.0 ];
+    curve_horizon = Sim.Time.ms 15;
+    fault_horizon = Sim.Time.ms 30;
+    seed = 420;
+  }
+
+let quick =
+  {
+    label = "quick";
+    cpus = 4;
+    lanes = 4;
+    clients = 50_000;
+    client_theta = 0.9;
+    files = 64;
+    horizon = Sim.Time.ms 200;
+    warmup = Sim.Time.us 500;
+    gap_mean_us = 240.0;
+    payload = default_payload;
+    curve_gaps_us = [ 960.0; 480.0; 240.0; 120.0 ];
+    curve_horizon = Sim.Time.ms 60;
+    fault_horizon = Sim.Time.ms 120;
+    seed = 421;
+  }
+
+let full =
+  {
+    label = "full";
+    cpus = 8;
+    lanes = 8;
+    clients = 1_000_000;
+    client_theta = 0.9;
+    files = 1_024;
+    horizon = Sim.Time.s 31;
+    warmup = Sim.Time.us 500;
+    gap_mean_us = 240.0;  (* ~70% of a lane's modern-path capacity *)
+    payload = default_payload;
+    curve_gaps_us = [ 960.0; 480.0; 320.0; 240.0; 160.0; 120.0 ];
+    curve_horizon = Sim.Time.ms 400;
+    fault_horizon = Sim.Time.s 1;
+    seed = 422;
+  }
+
+(* --- per-stage bookkeeping ------------------------------------------------ *)
+
+type stage = {
+  hist : Workload.Hist.t;
+  mutable calls : int;
+  mutable ok : int;
+  mutable errs : int;
+}
+
+let new_stage () =
+  { hist = Workload.Hist.create (); calls = 0; ok = 0; errs = 0 }
+
+let note st ~from ~now ~ok =
+  st.calls <- st.calls + 1;
+  Workload.Hist.record st.hist (Sim.Time.sub now from);
+  if ok then st.ok <- st.ok + 1 else st.errs <- st.errs + 1
+
+type run_out = {
+  run_label : string;
+  transport : string;  (** "ppc" or "legacy-msg" *)
+  offered_per_sec : float;
+  achieved_per_sec : float;
+  arrivals : int;
+  completions : int;
+  errors : int;
+  max_backlog_us : float;
+  e2e : Workload.Hist.t;  (** completion - scheduled arrival *)
+  qdelay : Workload.Hist.t;  (** dispatch - scheduled arrival *)
+  lookup : stage;
+  file_read : stage;
+  copy : stage;
+}
+
+type fault_tally = {
+  injected_denials : int;  (** file-server ACL denials (server side) *)
+  observed_denials : int;  (** client-observed err_denied *)
+  injected_rejections : int;  (** engine rejected-call count (server side) *)
+  observed_rejections : int;  (** client-observed err_killed/err_no_entry *)
+  retried_ok : int;  (** arrivals recovered by re-lookup + retry *)
+  failed_arrivals : int;
+}
+
+let reconciled f =
+  f.injected_denials = f.observed_denials
+  && f.injected_rejections = f.observed_rejections
+
+type result = {
+  cfg : config;
+  modern : run_out;
+  legacy : run_out;
+  faulted : run_out;
+  faults : fault_tally;
+  curve : run_out list;
+}
+
+let offered_per_sec cfg ~gap_mean_us =
+  float_of_int cfg.lanes *. 1.0e6 /. gap_mean_us
+
+let run_out_of_counters cfg ~run_label ~transport ~gap_mean_us ~horizon
+    ~(counters : Workload.Open_loop.counters) ~e2e ~qdelay ~lookup ~file_read
+    ~copy =
+  {
+    run_label;
+    transport;
+    offered_per_sec = offered_per_sec cfg ~gap_mean_us;
+    achieved_per_sec = Workload.Open_loop.achieved_per_sec counters ~horizon;
+    arrivals = Workload.Open_loop.total_arrivals counters;
+    completions = Workload.Open_loop.total_completions counters;
+    errors = Workload.Open_loop.total_errors counters;
+    max_backlog_us = Sim.Time.to_us counters.Workload.Open_loop.max_backlog;
+    e2e;
+    qdelay;
+    lookup;
+    file_read;
+    copy;
+  }
+
+(* --- the modern (PPC) run ------------------------------------------------- *)
+
+let run_modern cfg ~run_label ~gap_mean_us ~horizon ~faults =
+  let kern = Kernel.create ~cpus:cfg.cpus () in
+  let engine = Kernel.engine kern in
+  let ppc = Ppc.create kern in
+  let ns = Naming.Name_server.install ppc in
+  let bob, fs_ep = Servers.File_server.install ppc in
+  Ppc.prime ppc ~ep:fs_ep ~cpus:(List.init cfg.cpus Fun.id);
+  for i = 0 to cfg.files - 1 do
+    ignore
+      (Servers.File_server.create_file bob ~file_id:i ~length:(64 + i)
+         ~node:(i mod cfg.cpus))
+  done;
+  let cs0 = Transfer.Copy_server.install ppc in
+  (* ep_id -> instance; the respawned shard is prepended on kill. *)
+  let copy_servers = ref [ (Transfer.Copy_server.ep_id cs0, cs0) ] in
+  let peer = Kernel.new_program kern ~name:"sink-peer" in
+  let peer_id = Kernel.Program.id peer in
+  let cap = payload_cap cfg.payload in
+  let src = Array.init cfg.lanes (fun l ->
+      Kernel.alloc kern ~bytes:cap ~node:(l mod cfg.cpus))
+  in
+  let dst = Array.init cfg.lanes (fun l ->
+      Kernel.alloc kern ~bytes:cap ~node:(l mod cfg.cpus))
+  in
+  let lane_programs = Array.make cfg.lanes None in
+  let grant_copy cs ~lane ~program_id =
+    ignore
+      (Transfer.Region.grant
+         (Transfer.Copy_server.regions cs)
+         ~owner:peer_id ~grantee:program_id ~base:dst.(lane) ~len:cap
+         ~access:Transfer.Region.Write_only)
+  in
+  let pay_rng =
+    Array.init cfg.lanes (fun l -> Sim.Rng.create ~seed:(cfg.seed + (31 * (l + 1))))
+  in
+  let e2e = Workload.Hist.create () in
+  let qdelay = Workload.Hist.create () in
+  let lookup = new_stage () in
+  let file_read = new_stage () in
+  let copy = new_stage () in
+  let observed_denials = ref 0 in
+  let observed_rejections = ref 0 in
+  let retried_ok = ref 0 in
+  let now () = Sim.Engine.now engine in
+  let is_rejection rc =
+    rc = Ppc.Reg_args.err_killed || rc = Ppc.Reg_args.err_no_entry
+  in
+  let do_lookup self =
+    let t0 = now () in
+    let res = Naming.Name_server.lookup ns ~client:self ~name:svc_copy in
+    note lookup ~from:t0 ~now:(now ()) ~ok:(Result.is_ok res);
+    res
+  in
+  let nap self =
+    Kernel.Kcpu.sleep_until
+      (Kernel.kcpu kern (Kernel.Process.cpu_index self))
+      self
+      ~wake:(Sim.Time.add (now ()) retry_gap)
+  in
+  (* A lookup that rides out the rebind outage: during a shard respawn
+     the name is briefly unbound and the server answers err_no_entry —
+     transient, unlike a denial.  Returns the retry count it spent. *)
+  let rec lookup_stable self tries =
+    match do_lookup self with
+    | Ok ep -> Ok (ep, tries)
+    | Error rc when rc = Ppc.Reg_args.err_no_entry && tries < max_retries ->
+        nap self;
+        lookup_stable self (tries + 1)
+    | Error rc -> Error rc
+  in
+  let do_copy self ~lane ~len ~ep =
+    let t0 = now () in
+    let rc =
+      match List.assoc_opt ep !copy_servers with
+      | Some cs ->
+          Transfer.Copy_server.copy_to cs ppc ~client:self ~peer:peer_id
+            ~src:src.(lane) ~dst:dst.(lane) ~len
+      | None -> Ppc.Reg_args.err_no_entry
+    in
+    note copy ~from:t0 ~now:(now ()) ~ok:(rc = Ppc.Reg_args.ok);
+    rc
+  in
+  let body ~self (a : Workload.Open_loop.arrival) =
+    match lookup_stable self 0 with
+    | Error rc -> rc
+    | Ok (copy_ep, pre_tries) -> (
+        let t1 = now () in
+        let res =
+          Servers.File_server.get_length bob ~client:self
+            ~file_id:(a.client mod cfg.files)
+        in
+        note file_read ~from:t1 ~now:(now ()) ~ok:(Result.is_ok res);
+        match res with
+        | Error rc ->
+            if rc = Ppc.Reg_args.err_denied then incr observed_denials;
+            rc
+        | Ok _len ->
+            let len =
+              let f = Workload.Sampler.draw cfg.payload pay_rng.(a.lane) in
+              min cap (max 1 (int_of_float f))
+            in
+            let rec attempt ep tries =
+              let rc = do_copy self ~lane:a.lane ~len ~ep in
+              if rc = Ppc.Reg_args.ok then begin
+                if tries > 0 then incr retried_ok;
+                0
+              end
+              else if is_rejection rc then begin
+                incr observed_rejections;
+                if tries >= max_retries then rc
+                else begin
+                  nap self;
+                  match lookup_stable self (tries + 1) with
+                  | Error rc' -> rc'
+                  | Ok (ep', tries') -> attempt ep' tries'
+                end
+              end
+              else rc
+            in
+            attempt copy_ep pre_tries)
+  in
+  let counters =
+    Workload.Open_loop.run kern ~start:cfg.warmup ~lanes:cfg.lanes
+      ~clients:cfg.clients ~client_theta:cfg.client_theta ~horizon
+      ~seed:cfg.seed ~latency:e2e ~queue_delay:qdelay
+      ~interarrival:(Workload.Sampler.Exponential { mean = gap_mean_us })
+      ~prepare:(fun ~lane ~program ->
+        lane_programs.(lane) <- Some program;
+        Naming.Auth.grant
+          (Servers.File_server.auth bob)
+          ~program:(Kernel.Program.id program)
+          ~perms:[ Naming.Auth.Read ];
+        grant_copy cs0 ~lane ~program_id:(Kernel.Program.id program))
+      ~body
+  in
+  (* The controller registers the service names inside the warmup window
+     and, in the fault scenario, fires the two injection windows at their
+     planned times. *)
+  let ctl_prog = Kernel.new_program kern ~name:"controller" in
+  let ctl_space = Kernel.new_user_space kern ~name:"controller" ~node:0 in
+  let ctl_kc = Kernel.kcpu kern 0 in
+  let each_lane_program f =
+    Array.iteri
+      (fun lane p -> match p with Some p -> f ~lane ~program_id:(Kernel.Program.id p) | None -> ())
+      lane_programs
+  in
+  ignore
+    (Kernel.spawn kern ~cpu:0 ~name:"controller" ~kind:Kernel.Process.Client
+       ~program:ctl_prog ~space:ctl_space (fun self ->
+         let reg name ep_id =
+           let rc = Naming.Name_server.register ns ~client:self ~name ~ep_id in
+           if rc <> Ppc.Reg_args.ok then
+             Fmt.failwith "traffic_study: register %s rc=%d" name rc
+         in
+         let delay_until t = Kernel.Kcpu.sleep_until ctl_kc self ~wake:t in
+         reg "svc.file" (Servers.File_server.ep_id bob);
+         reg svc_copy (Transfer.Copy_server.ep_id cs0);
+         if faults then begin
+           let quarter = Sim.Time.sub horizon cfg.warmup in
+           let q t = Sim.Time.add cfg.warmup (t quarter) in
+           (* flaky window: [1/4, 3/8) of the loaded span *)
+           delay_until (q (fun s -> s / 4));
+           each_lane_program (fun ~lane:_ ~program_id ->
+               Naming.Auth.revoke (Servers.File_server.auth bob) ~program:program_id);
+           delay_until (q (fun s -> s * 3 / 8));
+           each_lane_program (fun ~lane:_ ~program_id ->
+               Naming.Auth.grant (Servers.File_server.auth bob) ~program:program_id
+                 ~perms:[ Naming.Auth.Read ]);
+           (* shard kill at 1/2; rebind after a visible outage *)
+           delay_until (q (fun s -> s / 2));
+           Ppc.soft_kill ppc ~ep_id:(Transfer.Copy_server.ep_id cs0);
+           let cs1 = Transfer.Copy_server.install ppc in
+           copy_servers := (Transfer.Copy_server.ep_id cs1, cs1) :: !copy_servers;
+           each_lane_program (fun ~lane ~program_id -> grant_copy cs1 ~lane ~program_id);
+           delay_until (Sim.Time.add (now ()) (Sim.Time.us 300));
+           let rc = Naming.Name_server.unregister ns ~client:self ~name:svc_copy in
+           if rc <> Ppc.Reg_args.ok then
+             Fmt.failwith "traffic_study: unregister rc=%d" rc;
+           reg svc_copy (Transfer.Copy_server.ep_id cs1)
+         end));
+  Kernel.run kern;
+  let out =
+    run_out_of_counters cfg ~run_label ~transport:"ppc" ~gap_mean_us ~horizon
+      ~counters ~e2e ~qdelay ~lookup ~file_read ~copy
+  in
+  let tally =
+    {
+      injected_denials = Naming.Auth.denials (Servers.File_server.auth bob);
+      observed_denials = !observed_denials;
+      injected_rejections = (Ppc.stats ppc).Ppc.Engine.rejected_calls;
+      observed_rejections = !observed_rejections;
+      retried_ok = !retried_ok;
+      failed_arrivals = Workload.Open_loop.total_errors counters;
+    }
+  in
+  (out, tally)
+
+(* --- the legacy (message-passing) comparator ------------------------------ *)
+
+(* Same arrival schedule (same seed, sampler, horizon), same three
+   stages, matched service work — but every stage is a synchronous
+   message through a locked shared port queue with memory-marshalled
+   arguments and full context switches, and the copy stage pays the
+   classic double copy through a kernel buffer. *)
+let run_legacy cfg ~run_label ~gap_mean_us ~horizon =
+  let kern = Kernel.create ~cpus:cfg.cpus () in
+  let machine = Kernel.machine kern in
+  let alloc ~bytes ~node = Kernel.alloc kern ~bytes ~node in
+  let msg =
+    Kernel.Msg_ipc.create ~engine:(Kernel.engine kern)
+      ~kcpu_of:(Kernel.kcpu kern) ~alloc ()
+  in
+  let name_port = Kernel.Msg_ipc.make_port ~name:"name-port" ~node:0 ~alloc in
+  let file_port = Kernel.Msg_ipc.make_port ~name:"file-port" ~node:0 ~alloc in
+  let copy_port = Kernel.Msg_ipc.make_port ~name:"copy-port" ~node:0 ~alloc in
+  let cap = payload_cap cfg.payload in
+  let index_table = Kernel.alloc kern ~bytes:256 ~node:0 in
+  let meta = Kernel.alloc kern ~bytes:64 ~node:0 in
+  let kbuf = Kernel.alloc kern ~bytes:cap ~node:0 in
+  let sink = Kernel.alloc kern ~bytes:cap ~node:0 in
+  let serve_on port ~tag handler =
+    for c = 0 to cfg.cpus - 1 do
+      let name = Printf.sprintf "%s-%d" tag c in
+      let program = Kernel.new_program kern ~name in
+      let space = Kernel.new_user_space kern ~name ~node:c in
+      ignore
+        (Kernel.spawn kern ~cpu:c ~name ~kind:Kernel.Process.Client ~program
+           ~space (fun self ->
+             let cpu = Machine.cpu machine c in
+             Kernel.Msg_ipc.serve msg port ~server:self (handler cpu)))
+    done
+  in
+  (* name service: hash compare over the binding list *)
+  serve_on name_port ~tag:"name-srv" (fun cpu args ->
+      Machine.Cpu.instr cpu 80;
+      Machine.Cpu.load_words cpu index_table 4;
+      args);
+  (* file service: File_server.default_profile's work, without the PPC *)
+  let p = Servers.File_server.default_profile in
+  serve_on file_port ~tag:"file-srv" (fun cpu args ->
+      Machine.Cpu.instr cpu (p.path_instr + p.lock_hold_instr);
+      Machine.Cpu.load_words cpu index_table p.index_loads;
+      for _ = 1 to p.meta_accesses do
+        Machine.Cpu.uncached_load cpu meta
+      done;
+      args);
+  (* copy service: double copy through the kernel buffer *)
+  serve_on copy_port ~tag:"copy-srv" (fun cpu args ->
+      let len = args.(1) in
+      let words = (len + 3) / 4 in
+      Machine.Cpu.instr cpu 60;
+      Machine.Cpu.load_words cpu sink words;
+      Machine.Cpu.store_words cpu kbuf words;
+      Machine.Cpu.load_words cpu kbuf words;
+      Machine.Cpu.store_words cpu sink words;
+      args);
+  let pay_rng =
+    Array.init cfg.lanes (fun l -> Sim.Rng.create ~seed:(cfg.seed + (31 * (l + 1))))
+  in
+  let e2e = Workload.Hist.create () in
+  let qdelay = Workload.Hist.create () in
+  let lookup = new_stage () in
+  let file_read = new_stage () in
+  let copy = new_stage () in
+  let engine = Kernel.engine kern in
+  let now () = Sim.Engine.now engine in
+  let body ~self (a : Workload.Open_loop.arrival) =
+    let t0 = now () in
+    ignore (Kernel.Msg_ipc.send msg name_port ~client:self [| 2; a.client |]);
+    note lookup ~from:t0 ~now:(now ()) ~ok:true;
+    let t1 = now () in
+    ignore
+      (Kernel.Msg_ipc.send msg file_port ~client:self
+         [| 2; a.client mod cfg.files |]);
+    note file_read ~from:t1 ~now:(now ()) ~ok:true;
+    let len =
+      let f = Workload.Sampler.draw cfg.payload pay_rng.(a.lane) in
+      min cap (max 1 (int_of_float f))
+    in
+    let t2 = now () in
+    ignore (Kernel.Msg_ipc.send msg copy_port ~client:self [| 1; len |]);
+    note copy ~from:t2 ~now:(now ()) ~ok:true;
+    0
+  in
+  let counters =
+    Workload.Open_loop.run kern ~start:cfg.warmup ~lanes:cfg.lanes
+      ~clients:cfg.clients ~client_theta:cfg.client_theta ~horizon
+      ~seed:cfg.seed ~latency:e2e ~queue_delay:qdelay
+      ~interarrival:(Workload.Sampler.Exponential { mean = gap_mean_us })
+      ~body
+  in
+  Kernel.run kern;
+  run_out_of_counters cfg ~run_label ~transport:"legacy-msg" ~gap_mean_us
+    ~horizon ~counters ~e2e ~qdelay ~lookup ~file_read ~copy
+
+(* --- whole study ---------------------------------------------------------- *)
+
+let run ?(cfg = quick) () =
+  let modern, _ =
+    run_modern cfg ~run_label:"steady load" ~gap_mean_us:cfg.gap_mean_us
+      ~horizon:cfg.horizon ~faults:false
+  in
+  let legacy =
+    run_legacy cfg ~run_label:"steady load" ~gap_mean_us:cfg.gap_mean_us
+      ~horizon:cfg.horizon
+  in
+  let faulted, faults =
+    run_modern cfg ~run_label:"fault injection" ~gap_mean_us:cfg.gap_mean_us
+      ~horizon:cfg.fault_horizon ~faults:true
+  in
+  let curve =
+    List.map
+      (fun gap ->
+        fst
+          (run_modern cfg
+             ~run_label:(Printf.sprintf "curve gap=%gus" gap)
+             ~gap_mean_us:gap ~horizon:cfg.curve_horizon ~faults:false))
+      cfg.curve_gaps_us
+  in
+  { cfg; modern; legacy; faulted; faults; curve }
+
+(* --- report --------------------------------------------------------------- *)
+
+let stage_row name (st : stage) =
+  Workload.Report.stage_row ~stage:name ~arrivals:st.calls ~ok:st.ok
+    ~errors:st.errs ~hist:st.hist
+
+let run_section (r : run_out) =
+  {
+    Workload.Report.label = r.run_label;
+    transport = r.transport;
+    offered_per_sec = r.offered_per_sec;
+    achieved_per_sec = r.achieved_per_sec;
+    arrivals = r.arrivals;
+    completions = r.completions;
+    run_errors = r.errors;
+    max_backlog_us = r.max_backlog_us;
+    stages =
+      [
+        stage_row "lookup" r.lookup;
+        stage_row "file-read" r.file_read;
+        stage_row "copy" r.copy;
+      ];
+    end_to_end =
+      Workload.Report.stage_row ~stage:"end-to-end" ~arrivals:r.arrivals
+        ~ok:r.completions ~errors:r.errors ~hist:r.e2e;
+  }
+
+let comparator_metrics modern legacy =
+  let q h p = float_of_int (Workload.Hist.quantile h p) /. 1000.0 in
+  [
+    ("achieved throughput (/s)", modern.achieved_per_sec, legacy.achieved_per_sec);
+    ( "end-to-end mean (us)",
+      Workload.Hist.mean modern.e2e /. 1000.0,
+      Workload.Hist.mean legacy.e2e /. 1000.0 );
+    ("end-to-end p50 (us)", q modern.e2e 0.5, q legacy.e2e 0.5);
+    ("end-to-end p99 (us)", q modern.e2e 0.99, q legacy.e2e 0.99);
+    ("end-to-end p999 (us)", q modern.e2e 0.999, q legacy.e2e 0.999);
+  ]
+
+let report r =
+  let cfg = r.cfg in
+  let curve_point (o : run_out) =
+    {
+      Workload.Report.offered_per_sec = o.offered_per_sec;
+      achieved_per_sec = o.achieved_per_sec;
+      p50_us = float_of_int (Workload.Hist.p50 o.e2e) /. 1000.0;
+      p99_us = float_of_int (Workload.Hist.p99 o.e2e) /. 1000.0;
+      p999_us = float_of_int (Workload.Hist.p999 o.e2e) /. 1000.0;
+    }
+  in
+  let checks =
+    [
+      {
+        Workload.Report.check = "file-stage ACL denials (flaky window)";
+        injected = r.faults.injected_denials;
+        observed = r.faults.observed_denials;
+      };
+      {
+        Workload.Report.check = "copy-stage EP rejections (shard kill)";
+        injected = r.faults.injected_rejections;
+        observed = r.faults.observed_rejections;
+      };
+    ]
+  in
+  {
+    Workload.Report.title =
+      Printf.sprintf "Open-loop traffic study (%s): %d logical clients, %d lanes"
+        cfg.label cfg.clients cfg.lanes;
+    scenario =
+      [
+        Printf.sprintf
+          "Three-stage graph per arrival: name-server lookup -> file-service \
+           read (%d files) -> CopyServer transfer (payload %s bytes)."
+          cfg.files
+          (Workload.Sampler.name cfg.payload);
+        Printf.sprintf
+          "Arrivals are open loop: %d lanes, per-lane exponential gaps of \
+           mean %g us, client picked Zipf(theta=%g) over %d logical clients; \
+           the schedule is independent of completions."
+          cfg.lanes cfg.gap_mean_us cfg.client_theta cfg.clients;
+        Printf.sprintf
+          "Horizon %.0f ms simulated (+%.0f us warmup); seed %d; latency \
+           measured from the scheduled arrival, so queueing in a backlogged \
+           lane counts."
+          (Sim.Time.to_ms cfg.horizon)
+          (Sim.Time.to_us cfg.warmup)
+          cfg.seed;
+      ];
+    runs =
+      [ run_section r.modern; run_section r.legacy; run_section r.faulted ];
+    curve = List.map curve_point r.curve;
+    comparator = comparator_metrics r.modern r.legacy;
+    faults =
+      Some
+        {
+          Workload.Report.checks;
+          retried_ok = r.faults.retried_ok;
+          failed_arrivals = r.faults.failed_arrivals;
+          reconciled = Workload.Report.reconcile checks;
+        };
+  }
+
+let pp_result ppf r =
+  Fmt.string ppf (Workload.Report.to_markdown (report r))

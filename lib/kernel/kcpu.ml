@@ -158,6 +158,16 @@ let block t p =
   dispatch t;
   Process.sleep t.engine p
 
+(* Timed park: give up the CPU until [wake], then re-enter the ready
+   queue.  A bare [Sim.Engine.delay] suspends the fiber but leaves the
+   process current, so everything else queued on the CPU starves for the
+   duration; paced load generators must use this instead. *)
+let sleep_until t p ~wake =
+  if Sim.Time.(Sim.Engine.now t.engine < wake) then begin
+    Sim.Engine.schedule_at t.engine wake (fun () -> ready t p);
+    block t p
+  end
+
 (* The running process re-queues itself behind its band. *)
 let yield t p =
   assert (is_current t p);

@@ -38,6 +38,13 @@ val block : t -> Process.t -> unit
 
 val yield : t -> Process.t -> unit
 
+val sleep_until : t -> Process.t -> wake:Sim.Time.t -> unit
+(** Timed park: the running process gives up the CPU and re-enters the
+    ready queue at absolute time [wake] (no-op if [wake] has passed).
+    Unlike a bare [Sim.Engine.delay] — which leaves the process current
+    and starves the CPU's ready queue — other processes run during the
+    wait. *)
+
 val handoff_sleep : t -> from:Process.t -> target:Process.t -> unit
 (** Direct CPU transfer to [target], bypassing the ready queue; the
     caller sleeps until woken (synchronous PPC). *)

@@ -1,12 +1,18 @@
-(* Workload drivers.
+(* Closed-loop workload drivers.
 
-   [closed_loop] spawns one client process per requested CPU; each loops
-   its operation back-to-back until the horizon and counts completed
-   iterations — the load pattern of the paper's Figure 3 ("independent
-   clients repeatedly requesting...").
+   Each spec spawns one client process; the client loops its operation
+   back-to-back until the horizon and counts completed iterations — the
+   load pattern of the paper's Figure 3 ("independent clients repeatedly
+   requesting...").
 
-   [open_loop] inserts exponentially distributed think time between
-   operations, for latency-under-load style experiments. *)
+   [think_mean_us = Some m] inserts exponentially distributed think time
+   between operations.  That is still CLOSED-LOOP: the next gap is drawn
+   only after the previous reply arrives, so the issue rate backs off
+   whenever the server slows down and the iteration count depends on
+   per-op service time.  (An earlier header here advertised this as
+   "open loop"; it is not — it is the classic closed-loop-with-think-time
+   comparator.)  For genuinely open-loop arrivals — a schedule drawn
+   independently of completions — use {!Open_loop}. *)
 
 type counters = {
   per_client : int array;

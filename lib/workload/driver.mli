@@ -1,4 +1,11 @@
-(** Closed- and open-loop client drivers for throughput experiments. *)
+(** Closed-loop client drivers for throughput experiments.
+
+    Both variants here are closed-loop: a client issues its next
+    operation only after the previous one completed.  [think_mean_us]
+    adds exponential think time between completion and the next issue —
+    closed-loop-with-think-time, the standard comparator whose offered
+    rate backs off under server slowdown.  Open-loop load (arrival
+    schedule independent of completions) lives in {!Open_loop}. *)
 
 type counters
 
@@ -9,6 +16,8 @@ type spec = {
   cpu : int;
   name : string;
   think_mean_us : float option;
+      (** [None] = back-to-back; [Some m] = closed-loop with exponential
+          think time of mean [m] us between completion and next issue *)
   identity : (Kernel.Program.t * Kernel.Address_space.t) option;
 }
 

@@ -1,0 +1,121 @@
+(* Log-linear histogram (HdrHistogram-style, reduced to what the traffic
+   study needs).
+
+   Bucket layout for sub_bits = 5 (sub_buckets = 32):
+   - values 0 .. 63 get exact unit buckets (index = value);
+   - for v >= 64, let msb = floor(log2 v) (>= 6) and shift = msb - 5:
+     index = 64 + (msb - 6) * 32 + ((v lsr shift) - 32).
+     The bucket covering v spans [lower, lower + 2^shift - 1] with
+     lower >= 32 * 2^shift, so bucket width <= lower / 32: any value
+     reported off the bucket's upper edge is within +(1/32) relative
+     error of the exact rank value, and never below it.
+
+   Everything is a flat int array plus five scalar fields: record and
+   merge allocate nothing, counts are conserved exactly, min/max/sum are
+   tracked exactly. *)
+
+let sub_bits = 5
+let sub_buckets = 1 lsl sub_bits (* 32 *)
+let unit_limit = 2 * sub_buckets (* 64: exact unit buckets below this *)
+let rel_error_bound = 1.0 /. float_of_int sub_buckets
+
+(* OCaml ints are 63-bit; msb of a positive int is at most 61.
+   Highest index = unit_limit + (61 - 6) * 32 + 31. *)
+let n_buckets = unit_limit + (((61 - sub_bits - 1) + 1) * sub_buckets)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let msb v =
+  (* position of the highest set bit; v >= 1 *)
+  let x = ref v and r = ref 0 in
+  while !x > 1 do
+    x := !x lsr 1;
+    incr r
+  done;
+  !r
+
+let index_of v =
+  if v < unit_limit then v
+  else
+    let m = msb v in
+    let shift = m - sub_bits in
+    unit_limit + ((m - (sub_bits + 1)) * sub_buckets) + ((v lsr shift) - sub_buckets)
+
+(* Largest value mapping into bucket [i]: the quantile upper edge. *)
+let upper_of i =
+  if i < unit_limit then i
+  else
+    let k = (i - unit_limit) / sub_buckets in
+    let off = (i - unit_limit) mod sub_buckets in
+    let shift = k + 1 in
+    (* lower = (32 + off) * 2^shift; width = 2^shift *)
+    ((sub_buckets + off) lsl shift) + (1 lsl shift) - 1
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let record_us t us = record t (Sim.Time.of_us_float us)
+
+let count t = t.n
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+      if r < 1 then 1 else r
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < n_buckets do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    (* !i - 1 is the bucket where the cumulative count reached rank. *)
+    let v = upper_of (!i - 1) in
+    let v = if v > t.max_v then t.max_v else v in
+    if v < min_value t then min_value t else v
+  end
+
+let p50 t = quantile t 0.50
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let merge_into ~dst ~src =
+  for i = 0 to n_buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.n > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let copy t =
+  {
+    counts = Array.copy t.counts;
+    n = t.n;
+    sum = t.sum;
+    min_v = t.min_v;
+    max_v = t.max_v;
+  }
+
+let bucket_counts t = Array.copy t.counts

@@ -1,0 +1,61 @@
+(** Log-bucket latency histogram: fixed memory, zero-allocation record,
+    mergeable, with a hard relative-error bound on reported quantiles.
+
+    Values are non-negative integers (nanoseconds by convention).  The
+    layout is log-linear: exact unit buckets below 64, then 32
+    sub-buckets per power of two, so any reported quantile [r] for an
+    exact rank value [x] satisfies [x <= r <= x * (1 + 1/32)].  Counts
+    are exactly conserved under [record] and [merge_into], and min/max
+    are tracked exactly. *)
+
+type t
+
+val create : unit -> t
+
+val sub_buckets : int
+(** 32 — sub-buckets per octave; the relative error bound is
+    [1 /. float sub_buckets]. *)
+
+val rel_error_bound : float
+
+val n_buckets : int
+(** Fixed bucket-array length (the whole 62-bit value range). *)
+
+val record : t -> int -> unit
+(** Record one value; negative values clamp to 0.  Allocation-free. *)
+
+val record_us : t -> float -> unit
+(** Convenience: record a latency given in (possibly fractional)
+    microseconds; rounded to nanoseconds. *)
+
+val count : t -> int
+val min_value : t -> int
+(** Exact smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact largest recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** Exact mean of recorded values (sum tracked separately); 0 when
+    empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]: an upper bound on the value at
+    rank [ceil (q * count)], within the relative-error bound and clamped
+    to [\[min_value, max_value\]].  0 when empty. *)
+
+val p50 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+val merge_into : dst:t -> src:t -> unit
+(** Bucket-wise sum; [src] is unchanged.  Associative and commutative:
+    any merge tree over disjoint recordings yields byte-identical state
+    to recording everything into one histogram. *)
+
+val copy : t -> t
+(** Independent snapshot. *)
+
+val bucket_counts : t -> int array
+(** A copy of the raw bucket array (tests: count conservation, merge
+    equivalence). *)

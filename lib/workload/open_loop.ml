@@ -1,0 +1,110 @@
+(* Open-loop arrivals: the schedule is drawn independently of
+   completions.
+
+   Each lane keeps two independent generators split from the run seed:
+   one consumed only for inter-arrival gaps (so the schedule — and hence
+   the arrival count — is a pure function of seed, sampler and horizon),
+   one for picking which logical client an arrival belongs to.  A lane
+   that falls behind its schedule dispatches the backlog back-to-back;
+   it never skips or re-draws an arrival.  All lanes share one Zipf CDF
+   table over the client population (10^6 clients = one 8 MB table, not
+   one per lane), sampled through each lane's own generator. *)
+
+type arrival = {
+  lane : int;
+  seq : int;
+  client : int;
+  scheduled : Sim.Time.t;
+}
+
+type counters = {
+  arrivals : int array;
+  completions : int array;
+  errors : int array;
+  mutable last_completion : Sim.Time.t;
+  mutable max_backlog : Sim.Time.t;
+}
+
+let sum = Array.fold_left ( + ) 0
+let total_arrivals c = sum c.arrivals
+let total_completions c = sum c.completions
+let total_errors c = sum c.errors
+
+let achieved_per_sec c ~horizon =
+  let span = if Sim.Time.(horizon < c.last_completion) then c.last_completion else horizon in
+  let secs = Sim.Time.to_s span in
+  if secs <= 0.0 then 0.0 else float_of_int (total_completions c) /. secs
+
+let run ?(start = Sim.Time.zero) ?prepare ?latency ?queue_delay kern ~lanes
+    ~clients ~client_theta ~horizon ~seed ~interarrival ~body =
+  if lanes <= 0 then invalid_arg "Open_loop.run: lanes must be positive";
+  if clients <= 0 then invalid_arg "Open_loop.run: clients must be positive";
+  let engine = Kernel.engine kern in
+  let n_cpus = Kernel.n_cpus kern in
+  let counters =
+    {
+      arrivals = Array.make lanes 0;
+      completions = Array.make lanes 0;
+      errors = Array.make lanes 0;
+      last_completion = Sim.Time.zero;
+      max_backlog = Sim.Time.zero;
+    }
+  in
+  (* One shared popularity table; uniform skips the table entirely. *)
+  let shared_cdf =
+    if client_theta = 0.0 then None
+    else
+      Some
+        (Zipf.create ~n:clients ~theta:client_theta
+           ~rng:(Sim.Rng.create ~seed:(seed + 17)))
+  in
+  for lane = 0 to lanes - 1 do
+    let sched_rng = Sim.Rng.create ~seed:(seed + (7919 * (lane + 1))) in
+    let pick_rng = Sim.Rng.create ~seed:(seed + (104729 * (lane + 1))) in
+    let pick_client () =
+      match shared_cdf with
+      | None -> Sim.Rng.int pick_rng clients
+      | Some z -> Zipf.sample_u z (Sim.Rng.float pick_rng 1.0)
+    in
+    let name = Printf.sprintf "lane-%d" lane in
+    let cpu = lane mod n_cpus in
+    let kc = Kernel.kcpu kern cpu in
+    let program = Kernel.new_program kern ~name in
+    let space = Kernel.new_user_space kern ~name ~node:cpu in
+    (match prepare with None -> () | Some f -> f ~lane ~program);
+    ignore
+      (Kernel.spawn kern ~cpu ~name ~kind:Kernel.Process.Client ~program ~space
+         (fun self ->
+           let rec go seq at =
+             let gap = Sampler.draw interarrival sched_rng in
+             let at = Sim.Time.add at (Sim.Time.of_us_float gap) in
+             if Sim.Time.(at < horizon) then begin
+               counters.arrivals.(lane) <- counters.arrivals.(lane) + 1;
+               (* A timed park, not [Sim.Engine.delay]: the lane must
+                  release the CPU so co-scheduled lanes and management
+                  processes run during the wait. *)
+               Kernel.Kcpu.sleep_until kc self ~wake:at;
+               let dispatched = Sim.Engine.now engine in
+               let backlog = Sim.Time.sub dispatched at in
+               if Sim.Time.(counters.max_backlog < backlog) then
+                 counters.max_backlog <- backlog;
+               (match queue_delay with
+               | None -> ()
+               | Some h -> Hist.record h backlog);
+               let client = pick_client () in
+               let rc = body ~self { lane; seq; client; scheduled = at } in
+               let finished = Sim.Engine.now engine in
+               (match latency with
+               | None -> ()
+               | Some h -> Hist.record h (Sim.Time.sub finished at));
+               if rc = 0 then
+                 counters.completions.(lane) <- counters.completions.(lane) + 1
+               else counters.errors.(lane) <- counters.errors.(lane) + 1;
+               if Sim.Time.(counters.last_completion < finished) then
+                 counters.last_completion <- finished;
+               go (seq + 1) at
+             end
+           in
+           go 0 start))
+  done;
+  counters

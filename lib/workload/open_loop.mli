@@ -1,0 +1,68 @@
+(** Open-loop virtual-client multiplexer.
+
+    Simulates a very large logical client population (10^6 and up) on a
+    handful of simulated lane processes.  Each lane owns an arrival
+    {e schedule}: absolute arrival times drawn from an inter-arrival
+    sampler, fixed by the seed and the horizon alone.  The lane works
+    through its schedule in order — sleeping until the next arrival when
+    it is ahead, processing a backlog without sleeping when it has
+    fallen behind — so the number of arrivals is {b independent of
+    per-operation service time} (the defining property of open-loop
+    load; contrast {!Driver}, whose think-time loop waits for each reply
+    before drawing the next gap).  Every scheduled arrival before the
+    horizon is processed, even if its processing completes after the
+    horizon; latency is measured from the {e scheduled} arrival time, so
+    queueing delay in a backlogged lane is part of the reported
+    latency, exactly as an open-loop load generator observes it. *)
+
+type arrival = {
+  lane : int;
+  seq : int;  (** per-lane arrival number, 0-based *)
+  client : int;  (** logical client id in [\[0, clients)] *)
+  scheduled : Sim.Time.t;  (** schedule time; backlog makes [now] later *)
+}
+
+type counters = {
+  arrivals : int array;  (** per lane: schedule points before the horizon *)
+  completions : int array;  (** body returned 0 *)
+  errors : int array;  (** body returned a nonzero rc *)
+  mutable last_completion : Sim.Time.t;
+  mutable max_backlog : Sim.Time.t;
+      (** worst (now - scheduled) observed at dispatch: how far a lane
+          fell behind its schedule *)
+}
+
+val total_arrivals : counters -> int
+val total_completions : counters -> int
+val total_errors : counters -> int
+
+val achieved_per_sec : counters -> horizon:Sim.Time.t -> float
+(** Completions per second of simulated time, over
+    [max horizon last_completion] — the backlog drain tail counts. *)
+
+val run :
+  ?start:Sim.Time.t ->
+  ?prepare:(lane:int -> program:Kernel.Program.t -> unit) ->
+  ?latency:Hist.t ->
+  ?queue_delay:Hist.t ->
+  Kernel.t ->
+  lanes:int ->
+  clients:int ->
+  client_theta:float ->
+  horizon:Sim.Time.t ->
+  seed:int ->
+  interarrival:Sampler.t ->
+  body:(self:Kernel.Process.t -> arrival -> int) ->
+  counters
+(** Spawn [lanes] lane processes on CPUs [0 .. lanes-1] (mod the
+    machine's CPU count).  Each lane draws inter-arrival gaps (in
+    microseconds) from [interarrival] with a per-lane generator seeded
+    from [seed] — so the aggregate offered rate is
+    [lanes / mean gap] — and picks the arrival's logical client with an
+    independent Zipf([client_theta]) generator over [clients] (0 =
+    uniform).  [body] performs the operation and returns its rc (0 =
+    success).  [start] (default 0) offsets the whole schedule — a warmup
+    window for management setup (name registration, grants) to finish
+    before the first arrival.  [latency] records completion - scheduled per arrival, in
+    nanoseconds; [queue_delay] records dispatch - scheduled.  Drive the
+    simulation afterwards with [Kernel.run]. *)

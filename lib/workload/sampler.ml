@@ -1,0 +1,59 @@
+(* Heavy-tailed samplers, all inverse-CDF or Box-Muller over the
+   deterministic SplitMix64 stream: identical seed, identical stream.
+
+   Truncation policy: the simulator's horizons are tens of milliseconds,
+   so a single astronomically large draw (the lognormal's or Pareto's
+   untruncated tail goes arbitrarily far out) would turn one unlucky
+   arrival gap into "no arrivals at all".  Exponential inherits the
+   20-mean truncation of [Sim.Rng.exponential]; Lognormal cuts at
+   e^(mu + 6 sigma) (beyond 6 sigma of log-mass); Pareto is bounded by
+   construction. *)
+
+type t =
+  | Constant of float
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Pareto of { xm : float; alpha : float; cap : float }
+
+(* Standard normal by Box-Muller.  Consumes exactly two uniforms, so a
+   stream of draws stays aligned run-to-run (no cached second value). *)
+let normal rng =
+  let u1 = Float.max 1e-12 (Sim.Rng.float rng 1.0) in
+  let u2 = Sim.Rng.float rng 1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let draw t rng =
+  match t with
+  | Constant v -> v
+  | Exponential { mean } -> Sim.Rng.exponential rng ~mean
+  | Lognormal { mu; sigma } ->
+      let z = normal rng in
+      Float.min (Float.exp (mu +. (6.0 *. sigma))) (Float.exp (mu +. (sigma *. z)))
+  | Pareto { xm; alpha; cap } ->
+      (* Inverse CDF of the bounded Pareto on [xm, cap]:
+         F(x) = (1 - (xm/x)^a) / (1 - (xm/cap)^a). *)
+      let u = Sim.Rng.float rng 1.0 in
+      let ratio = Float.pow (xm /. cap) alpha in
+      xm *. Float.pow (1.0 -. (u *. (1.0 -. ratio))) (-1.0 /. alpha)
+
+let mean = function
+  | Constant v -> v
+  | Exponential { mean } -> mean
+  | Lognormal { mu; sigma } -> Float.exp (mu +. (sigma *. sigma /. 2.0))
+  | Pareto { xm; alpha; cap } ->
+      if Float.abs (alpha -. 1.0) < 1e-9 then
+        (* alpha = 1: E = ln(cap/xm) / (1/xm - 1/cap) *)
+        Float.log (cap /. xm) /. ((1.0 /. xm) -. (1.0 /. cap))
+      else
+        let la = Float.pow xm alpha in
+        let num =
+          la /. (1.0 -. Float.pow (xm /. cap) alpha)
+          *. (alpha /. (alpha -. 1.0))
+        in
+        num *. ((1.0 /. Float.pow xm (alpha -. 1.0)) -. (1.0 /. Float.pow cap (alpha -. 1.0)))
+
+let name = function
+  | Constant v -> Printf.sprintf "const(%g)" v
+  | Exponential { mean } -> Printf.sprintf "exp(%g)" mean
+  | Lognormal { mu; sigma } -> Printf.sprintf "lognormal(%g,%g)" mu sigma
+  | Pareto { xm; alpha; cap } -> Printf.sprintf "pareto(%g,%g,%g)" xm alpha cap

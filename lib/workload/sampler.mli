@@ -1,0 +1,31 @@
+(** Heavy-tailed samplers for open-loop traffic generation.
+
+    Every sampler is a pure function of an explicit {!Sim.Rng.t}, so a
+    stream replays bit-for-bit from its seed.  Values are positive
+    floats (microseconds, bytes, ...); distributions with unbounded
+    support are truncated so event horizons stay finite. *)
+
+type t =
+  | Constant of float  (** always [v] — deterministic pacing *)
+  | Exponential of { mean : float }
+      (** Poisson arrivals; truncated at [20 * mean] *)
+  | Lognormal of { mu : float; sigma : float }
+      (** log-scale mean/stddev; truncated at [e^(mu + 6 sigma)] *)
+  | Pareto of { xm : float; alpha : float; cap : float }
+      (** bounded Pareto on [\[xm, cap\]]: tail index [alpha], the
+          classic heavy-tailed service/payload distribution *)
+
+val draw : t -> Sim.Rng.t -> float
+(** One sample; consumes one or two uniforms from the generator. *)
+
+val mean : t -> float
+(** Analytic mean of the (truncated, for Pareto) distribution.
+    Lognormal and Exponential return the untruncated mean — their
+    truncation points are far enough out that the error is below any
+    test tolerance. *)
+
+val name : t -> string
+(** Short stable name, e.g. ["pareto(64,1.3,4096)"] — used in reports. *)
+
+val normal : Sim.Rng.t -> float
+(** Standard normal via Box–Muller (one sample per two uniforms). *)

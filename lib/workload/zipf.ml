@@ -20,9 +20,10 @@ let create ~n ~theta ~rng =
 
 let n t = Array.length t.cdf
 
-let sample t =
-  let u = Sim.Rng.float t.rng 1.0 in
-  (* Binary search for the first index with cdf >= u. *)
+(* Binary search for the first index with cdf >= u.  The search range is
+   [0, n-1], so any u — including exactly 1.0, which [Sim.Rng.float]
+   never produces but external callers may pass — lands in [0, n). *)
+let sample_u t u =
   let rec go lo hi =
     if lo >= hi then lo
     else begin
@@ -31,3 +32,5 @@ let sample t =
     end
   in
   go 0 (Array.length t.cdf - 1)
+
+let sample t = sample_u t (Sim.Rng.float t.rng 1.0)

@@ -7,3 +7,8 @@ val create : n:int -> theta:float -> rng:Sim.Rng.t -> t
 
 val n : t -> int
 val sample : t -> int
+
+val sample_u : t -> float -> int
+(** [sample_u t u] inverts the CDF at [u]; total for any [u] (values
+    outside [\[0, 1\]] clamp to the extremes), always in [\[0, n)].
+    Lets many generators share one CDF table. *)

@@ -217,7 +217,15 @@ let test_all_experiments_bit_identical () =
         (Experiments.Uniproc_context.run ()));
   twice "copy_sweep" (fun () ->
       Fmt.str "%a" Experiments.Copy_sweep.pp_result
-        (Experiments.Copy_sweep.run ~sizes:[ 64; 4096; 65536 ] ()))
+        (Experiments.Copy_sweep.run ~sizes:[ 64; 4096; 65536 ] ()));
+  (* The traffic report is a CI-diffed artifact: the *JSON bytes* must be
+     identical across runs, not just the numbers. *)
+  twice "traffic_study report json" (fun () ->
+      Workload.Report.Json.to_string
+        (Workload.Report.to_json
+           (Experiments.Traffic_study.report
+              (Experiments.Traffic_study.run ~cfg:Experiments.Traffic_study.slice
+                 ()))))
 
 let suites =
   [

@@ -666,7 +666,119 @@ let time_throughput ~producers ~per ~mk =
   let dt = Unix.gettimeofday () -. t0 in
   float_of_int (producers * per) /. dt
 
-let wallclock_json ~quick () =
+(* --- PR9: the same wire protocol, two protection-domain placements.
+   "cross_process" runs the server in a forked child over an mmap'd
+   segment file; "in_heap_domain" runs it on a domain over a heap
+   segment.  Both use a bare Shm_channel dispatch (no Fastcall table in
+   the way) so the delta isolates the substrate: mmap + real scheduler
+   round trip vs shared heap.  Ping-pong is one call at a time;
+   pipelined keeps the whole cell pool in flight.
+
+   This MUST run before the bench process spawns any domain: forking a
+   multi-domain OCaml runtime leaves the child's GC rendezvous waiting
+   on domains that do not exist on its side of the fork. *)
+let shm_wallclock_json ~quick () =
+  let module Ch = Runtime.Shm_channel in
+  let calls = if quick then 5_000 else 20_000 in
+  let window = 64 in
+  let num f = Bench_json.Num f in
+  let dispatch ~ep_word:_ args =
+    args.(0) <- args.(0) + args.(1);
+    0
+  in
+  let measure ch =
+    let a = Array.make (Ch.arg_words ch) 0 in
+    let bad = ref 0 in
+    let ping n =
+      for i = 1 to n do
+        a.(0) <- i;
+        a.(1) <- 1;
+        if Ch.call ch ~ep:0 a <> Ipc_intf.Errc.ok || a.(0) <> i + 1 then
+          incr bad
+      done
+    in
+    ping (min 1_000 calls) (* warm *);
+    let t0 = Runtime.Doorbell.now_ns () in
+    ping calls;
+    let ping_ns =
+      float_of_int (Runtime.Doorbell.now_ns () - t0) /. float_of_int calls
+    in
+    let cells = Array.make window 0 in
+    let done_ = ref 0 in
+    let t0 = Runtime.Doorbell.now_ns () in
+    while !done_ < calls do
+      let depth = min window (calls - !done_) in
+      for k = 0 to depth - 1 do
+        a.(0) <- !done_ + k;
+        a.(1) <- 1;
+        let c = Ch.submit_raw ch ~ep:0 a in
+        if c < 0 then incr bad;
+        cells.(k) <- c
+      done;
+      for k = 0 to depth - 1 do
+        if cells.(k) >= 0 && Ch.await ch cells.(k) a <> Ipc_intf.Errc.ok then
+          incr bad
+      done;
+      done_ := !done_ + depth
+    done;
+    let dt = Runtime.Doorbell.now_ns () - t0 in
+    let pipelined_per_s = float_of_int calls /. (float_of_int dt /. 1e9) in
+    (!bad, ping_ns, pipelined_per_s)
+  in
+  let cross =
+    let path = Filename.temp_file "ppc_bench" ".seg" in
+    ignore (Ch.create_file ~path ~capacity:window () : Runtime.Segment.t);
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          match
+            let srv = Ch.attach_file ~role:Ch.Server path in
+            ignore (Ch.serve srv ~dispatch : int)
+          with
+          | () -> 0
+          | exception _ -> 1
+        in
+        (* skip at_exit: the parent owns the buffered stdout *)
+        Unix._exit code
+    | pid ->
+        let ch = Ch.attach_file ~role:Ch.Client path in
+        if not (Ch.wait_peer_ready ch) then
+          Fmt.failwith "bench shm: server process never became ready";
+        let bad, ping_ns, pipe_s = measure ch in
+        Ch.announce_shutdown ch;
+        ignore (Unix.waitpid [] pid);
+        (try Sys.remove path with Sys_error _ -> ());
+        if bad > 0 then
+          Fmt.failwith "bench shm: %d bad cross-process replies" bad;
+        (ping_ns, pipe_s)
+  in
+  let heap =
+    let seg = Ch.create_heap ~capacity:window () in
+    let srv = Ch.attach ~role:Ch.Server seg in
+    let cl = Ch.attach ~role:Ch.Client seg in
+    let d = Domain.spawn (fun () -> ignore (Ch.serve srv ~dispatch : int)) in
+    ignore (Ch.wait_peer_ready cl : bool);
+    let bad, ping_ns, pipe_s = measure cl in
+    Ch.announce_shutdown cl;
+    Domain.join d;
+    if bad > 0 then Fmt.failwith "bench shm: %d bad in-heap replies" bad;
+    (ping_ns, pipe_s)
+  in
+  let pair (ping_ns, pipe_s) =
+    Bench_json.Obj
+      [
+        ("pingpong_ns", num ping_ns); ("pipelined_calls_per_s", num pipe_s);
+      ]
+  in
+  Bench_json.Obj
+    [
+      ("calls", num (float_of_int calls));
+      ("window", num (float_of_int window));
+      ("cross_process", pair cross);
+      ("in_heap_domain", pair heap);
+    ]
+
+let wallclock_json ~quick ~shm () =
   let quota = if quick then 0.25 else 0.5 in
   let adder _ctx args =
     args.(0) <- args.(0) + args.(1);
@@ -925,12 +1037,22 @@ let wallclock_json ~quick () =
             ("channel-1shard-queued", num channel_queued_1);
             ("channel-2shards", num channel_2);
           ] );
+      ("shm", shm);
       ("copy_sweep", copy_json);
     ]
 
 let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
     ~gate_repeats ~gate_calls ~gate_quota () =
   let failed = ref false in
+  (* Fork-based, so it must precede every Domain.spawn in this process —
+     including the gate re-measurement below. *)
+  let shm =
+    match json_path with
+    | None -> None
+    | Some _ ->
+        Fmt.pr "measuring shm section (cross-process fork, pre-domains)...@.";
+        Some (shm_wallclock_json ~quick ())
+  in
   let sim =
     if wall_gate_only then None
     else begin
@@ -988,7 +1110,8 @@ let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
   | Some path ->
       let sim = match sim with Some s -> s | None -> simulated_json () in
       Fmt.pr "measuring wall-clock section (bechamel + throughput)...@.";
-      let wall = wallclock_json ~quick () in
+      let shm = match shm with Some s -> s | None -> assert false in
+      let wall = wallclock_json ~quick ~shm () in
       let repeats = Option.value gate_repeats ~default:3 in
       let calls =
         Option.value gate_calls ~default:(if quick then 3_000 else 30_000)
@@ -1016,12 +1139,16 @@ let run_json ~json_path ~check_path ~quick ~skip_wall_gate ~wall_gate_only
       Fmt.pr "wrote %s@." path);
   if !failed then exit 1
 
+let run_shm ~quick () =
+  section "shm: cross-process vs in-heap PPC over the shared-segment ABI";
+  Fmt.pr "%s@." (Bench_json.to_string (shm_wallclock_json ~quick ()))
+
 (* --- driver --------------------------------------------------------------- *)
 
 let known =
   [
-    "fig2"; "fig3"; "t3"; "f3b"; "f3c"; "l1"; "intro"; "a1"; "a2"; "a3"; "a4";
-    "a6"; "a7"; "a8"; "a9"; "e1"; "e2"; "copy"; "bechamel";
+    "shm"; "fig2"; "fig3"; "t3"; "f3b"; "f3c"; "l1"; "intro"; "a1"; "a2";
+    "a3"; "a4"; "a6"; "a7"; "a8"; "a9"; "e1"; "e2"; "copy"; "bechamel";
   ]
 
 let usage () =
@@ -1114,6 +1241,8 @@ let () =
   let want name = all || List.mem name which in
   Fmt.pr
     "PPC IPC reproduction benchmarks — Gamsa, Krieger & Stumm (CSRI-294, 1994)@.";
+  (* shm forks; it must go first, before any section spawns a domain. *)
+  if want "shm" then run_shm ~quick ();
   if want "fig2" then run_fig2 ();
   if want "fig3" then run_fig3 ~quick ();
   if want "t3" then run_t3 ();

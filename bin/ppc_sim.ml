@@ -655,6 +655,348 @@ let copy_cmd =
     Term.(const (fun () a b c -> run a b c) $ logs_term $ bytes_arg $ chunk_arg
           $ sweep_arg)
 
+(* --- shm: true cross-process PPC over an mmap'd segment -------------------- *)
+
+module Shm = struct
+  module W = Ipc_intf.Wire_abi
+  module Ch = Runtime.Shm_channel
+  module Errc = Ipc_intf.Errc
+
+  (* The server process: attach the segment in the Server role, build a
+     Fastcall table + control plane, and serve until the client
+     announces shutdown or is found dead. *)
+  let serve_path path =
+    let srv = Ch.attach_file ~role:Ch.Server path in
+    let fast = Runtime.Fastcall.create () in
+    let ctl = Runtime.Control.install fast in
+    Ch.serve srv ~dispatch:(Ch.fastcall_dispatch fast ctl)
+
+  let fork_server path =
+    match Unix.fork () with
+    | 0 ->
+        let code = match serve_path path with _ -> 0 | exception _ -> 1 in
+        (* child: never return into cmdliner *)
+        Stdlib.exit code
+    | pid -> pid
+
+  let temp_path () = Filename.temp_file "ppc_shm" ".seg"
+  let cleanup path = try Sys.remove path with Sys_error _ -> ()
+
+  let ctl_call ch fill =
+    let a = Array.make 8 0 in
+    fill a;
+    let rc = Ch.call ch ~ep:W.ctl_ep a in
+    (rc, a)
+
+  let register_spec ch spec =
+    let code, param = W.spec_to_wire spec in
+    let rc, a =
+      ctl_call ch (fun a ->
+          a.(0) <- W.ctl_register;
+          a.(1) <- code;
+          a.(2) <- param)
+    in
+    if rc <> Errc.ok then
+      failwith ("shm: server refused registration: " ^ Errc.to_string rc);
+    a.(0)
+
+  (* The conformance suite's shared-memory embodiment: every operation
+     crosses a real process boundary.  One fresh server process per
+     scenario, so a scenario that kills services cannot poison the
+     next. *)
+  module Shm_subject : Ipc_intf.Sigs.SUBJECT with type ep = int = struct
+    type t = { path : string; pid : int; ch : Ch.t }
+    type ep = int
+
+    let name = "shm"
+
+    let setup () =
+      let path = temp_path () in
+      ignore (Ch.create_file ~path ~capacity:16 () : Runtime.Segment.t);
+      let pid = fork_server path in
+      let ch = Ch.attach_file ~role:Ch.Client path in
+      if not (Ch.wait_peer_ready ch) then
+        failwith "shm: server process never became ready";
+      { path; pid; ch }
+
+    let teardown t =
+      Ch.announce_shutdown t.ch;
+      ignore (Unix.waitpid [] t.pid);
+      cleanup t.path
+
+    let register t spec = register_spec t.ch spec
+    let id _ ep = W.handle_slot ep
+
+    let publish t ~name ep =
+      match W.pack_name name with
+      | None -> Errc.bad_request
+      | Some (w0, w1) ->
+          fst
+            (ctl_call t.ch (fun a ->
+                 a.(0) <- W.ctl_publish;
+                 a.(1) <- ep;
+                 a.(2) <- w0;
+                 a.(3) <- w1))
+
+    let lookup t ~name =
+      match W.pack_name name with
+      | None -> Error Errc.bad_request
+      | Some (w0, w1) ->
+          let rc, a =
+            ctl_call t.ch (fun a ->
+                a.(0) <- W.ctl_lookup;
+                a.(1) <- w0;
+                a.(2) <- w1)
+          in
+          if rc = Errc.ok then Ok a.(0) else Error rc
+
+    let call t ep a = Ch.call t.ch ~ep a
+    let call_id t ~id a = Ch.call t.ch ~ep:(W.pack_raw_call id) a
+
+    let exchange t ep spec =
+      let code, param = W.spec_to_wire spec in
+      fst
+        (ctl_call t.ch (fun a ->
+             a.(0) <- W.ctl_exchange;
+             a.(1) <- ep;
+             a.(2) <- code;
+             a.(3) <- param))
+
+    let soft_kill t ep =
+      fst
+        (ctl_call t.ch (fun a ->
+             a.(0) <- W.ctl_soft_kill;
+             a.(1) <- ep))
+
+    let hard_kill t ep =
+      fst
+        (ctl_call t.ch (fun a ->
+             a.(0) <- W.ctl_hard_kill;
+             a.(1) <- ep))
+
+    let in_flight t ep =
+      let rc, a =
+        ctl_call t.ch (fun a ->
+            a.(0) <- W.ctl_in_flight;
+            a.(1) <- ep)
+      in
+      if rc = Errc.ok then a.(0) else 0
+  end
+
+  module Conf = Ipc_intf.Conformance.Make (Shm_subject)
+
+  let run_conformance () =
+    Fmt.pr "shm conformance: client pid %d, one server process per scenario@."
+      (Unix.getpid ());
+    let failures = ref 0 in
+    List.iter
+      (fun (name, f) ->
+        match f () with
+        | () -> Fmt.pr "  [OK]   %s@." name
+        | exception Conf.Violation m ->
+            incr failures;
+            Fmt.pr "  [FAIL] %s: %s@." name m
+        | exception e ->
+            incr failures;
+            Fmt.pr "  [FAIL] %s: %s@." name (Printexc.to_string e))
+      Conf.scenarios;
+    if !failures > 0 then begin
+      Fmt.epr "shm conformance: %d scenario(s) failed@." !failures;
+      exit 1
+    end;
+    Fmt.pr "shm conformance: all %d scenarios green@."
+      (List.length Conf.scenarios)
+
+  (* Whole-process crash containment, self-checking: park four calls
+     behind a napping handler, kill -9 the server, and demand that
+     every in-flight call fails with handler_fault and every cell is
+     recycled exactly once. *)
+  let run_kill9 () =
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Fmt.epr "kill9: FAIL: %s@." m;
+          exit 1)
+        fmt
+    in
+    let path = temp_path () in
+    ignore (Ch.create_file ~path ~capacity:8 () : Runtime.Segment.t);
+    let pid = fork_server path in
+    let ch = Ch.attach_file ~probe_window_ns:20_000_000 ~role:Ch.Client path in
+    if not (Ch.wait_peer_ready ch) then fail "server never became ready";
+    let napper = register_spec ch (Ipc_intf.Sigs.Nap_ms 50) in
+    let a = Array.make 8 0 in
+    let cells = Array.init 4 (fun _ -> Ch.submit_raw ch ~ep:napper a) in
+    Array.iter
+      (fun i -> if i < 0 then fail "submit: %s" (Errc.to_string i))
+      cells;
+    (* The server is mid-nap on the first call; the whole process dies.
+       Reap before probing: a zombie still answers kill(pid, 0). *)
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    Array.iteri
+      (fun k i ->
+        let rc = Ch.await ch i a in
+        if rc <> Errc.handler_fault then
+          fail "in-flight call %d: expected handler_fault, got %s" k
+            (Errc.to_string rc))
+      cells;
+    if not (Ch.peer_dead ch) then fail "death verdict is not sticky";
+    if Ch.peer_faults ch <> 4 then
+      fail "peer_faults = %d, want 4" (Ch.peer_faults ch);
+    if Ch.free_cells ch <> Ch.capacity ch then
+      fail "only %d/%d cells recycled" (Ch.free_cells ch) (Ch.capacity ch);
+    let again = Ch.sweep_dead_peer ch in
+    if again <> 0 then fail "second sweep re-recycled %d cells" again;
+    let rc = Ch.submit_raw ch ~ep:napper a in
+    if rc <> Errc.killed then
+      fail "submit after the verdict: expected killed, got %s"
+        (Errc.to_string rc);
+    cleanup path;
+    Fmt.pr
+      "kill9: PASS — server pid %d killed -9 mid-service; 4 in-flight calls \
+       failed with handler_fault; %d/%d cells recycled exactly once; later \
+       submits answer killed@."
+      pid (Ch.capacity ch) (Ch.capacity ch)
+
+  (* Forked ping-pong demo: the smoke test for the cross-process path. *)
+  let run_demo ~calls =
+    let path = temp_path () in
+    ignore (Ch.create_file ~path ~capacity:64 () : Runtime.Segment.t);
+    let pid = fork_server path in
+    let ch = Ch.attach_file ~role:Ch.Client path in
+    if not (Ch.wait_peer_ready ch) then begin
+      Fmt.epr "shm demo: server never became ready@.";
+      exit 1
+    end;
+    let adder = register_spec ch Ipc_intf.Sigs.Add2 in
+    let a = Array.make 8 0 in
+    let bad = ref 0 in
+    let run n =
+      for i = 1 to n do
+        a.(0) <- i;
+        a.(1) <- 1;
+        if Ch.call ch ~ep:adder a <> Errc.ok || a.(0) <> i + 1 then incr bad
+      done
+    in
+    run (min 1000 calls) (* warm-up *);
+    let t0 = Runtime.Doorbell.now_ns () in
+    run calls;
+    let dt = Runtime.Doorbell.now_ns () - t0 in
+    Ch.announce_shutdown ch;
+    ignore (Unix.waitpid [] pid);
+    cleanup path;
+    if !bad > 0 then begin
+      Fmt.epr "shm demo: %d bad replies@." !bad;
+      exit 1
+    end;
+    Fmt.pr
+      "shm demo: %d cross-process PPCs (pid %d <-> pid %d): %.1f ms total, \
+       %.0f ns/call round trip, %d doorbell rings@."
+      calls (Unix.getpid ()) pid
+      (float_of_int dt /. 1e6)
+      (float_of_int dt /. float_of_int calls)
+      (Ch.doorbell_rings ch)
+
+  (* Manual pair: one terminal runs --server, another --client. *)
+  let run_server ~path ~capacity =
+    ignore (Ch.create_file ~path ~capacity () : Runtime.Segment.t);
+    Fmt.pr "shm server: pid %d serving %s (capacity %d)@." (Unix.getpid ())
+      path capacity;
+    let served = serve_path path in
+    Fmt.pr "shm server: client gone; served %d calls@." served
+
+  let run_client ~path ~calls =
+    let ch = Ch.attach_file ~role:Ch.Client path in
+    let adder = register_spec ch Ipc_intf.Sigs.Add2 in
+    let a = Array.make 8 0 in
+    let bad = ref 0 in
+    let t0 = Runtime.Doorbell.now_ns () in
+    for i = 1 to calls do
+      a.(0) <- i;
+      a.(1) <- 1;
+      if Ch.call ch ~ep:adder a <> Errc.ok || a.(0) <> i + 1 then incr bad
+    done;
+    let dt = Runtime.Doorbell.now_ns () - t0 in
+    Ch.announce_shutdown ch;
+    if !bad > 0 then begin
+      Fmt.epr "shm client: %d bad replies@." !bad;
+      exit 1
+    end;
+    Fmt.pr "shm client: %d calls against server pid %d, %.0f ns/call@." calls
+      (Ch.peer_pid ch)
+      (float_of_int dt /. float_of_int calls)
+end
+
+let shm_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("demo", `Demo); ("conformance", `Conformance); ("kill9", `Kill9);
+             ])
+          `Demo
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:
+            "What to run: $(b,demo) (forked ping-pong smoke test), \
+             $(b,conformance) (the control-plane conformance suite with the \
+             server in a separate OS process, one per scenario), $(b,kill9) \
+             (self-checking whole-process crash containment: in-flight calls \
+             must fail with handler_fault and every cell recycle exactly \
+             once).")
+  in
+  let server_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"PATH"
+          ~doc:"Create segment PATH and serve it until the client departs.")
+  in
+  let client_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client" ] ~docv:"PATH"
+          ~doc:"Attach to segment PATH as the client and run a ping-pong.")
+  in
+  let calls_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "calls" ] ~docv:"N" ~doc:"Ping-pong calls (demo/client).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Segment cell count for --server (positive power of two).")
+  in
+  let run scenario server client calls capacity =
+    match (server, client) with
+    | Some _, Some _ ->
+        Fmt.epr "--server and --client are mutually exclusive@.";
+        exit 2
+    | Some path, None -> Shm.run_server ~path ~capacity
+    | None, Some path -> Shm.run_client ~path ~calls
+    | None, None -> (
+        match scenario with
+        | `Demo -> Shm.run_demo ~calls
+        | `Conformance -> Shm.run_conformance ()
+        | `Kill9 -> Shm.run_kill9 ())
+  in
+  Cmd.v
+    (Cmd.info "shm"
+       ~doc:
+         "Cross-process PPC over an mmap'd shared segment: forked demo, \
+          conformance suite against a server in another OS process, kill -9 \
+          crash-containment scenario, or a manual $(b,--server)/$(b,--client) \
+          pair")
+    Term.(
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ scenario_arg $ server_arg $ client_arg $ calls_arg
+      $ capacity_arg)
+
 (* --- traffic: the million-client open-loop study --------------------------- *)
 
 let traffic_cmd =
@@ -678,6 +1020,38 @@ let traffic_cmd =
           ~doc:
             "Write the report to BASE.md and BASE.json in addition to \
              printing it.")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare two report JSON files instead of running the study: \
+             $(b,ppc_sim traffic --diff OLD.json NEW.json).  Prints a \
+             per-stage delta table and exits nonzero if any latency \
+             percentile or throughput drifted beyond $(b,--tolerance) in the \
+             worse direction, or if a run/stage vanished.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"T"
+          ~doc:
+            "Relative drift tolerance for $(b,--diff) (0.25 = 25%). \
+             Improvements never fail the gate.")
+  in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"OLD.json NEW.json")
+  in
+  let run_diff tolerance files =
+    match files with
+    | [ old_path; new_path ] ->
+        let o = Workload.Report_diff.diff_files ~tolerance old_path new_path in
+        Fmt.pr "%s" (Workload.Report_diff.to_markdown ~tolerance o);
+        if o.Workload.Report_diff.drifted then exit 1
+    | _ ->
+        Fmt.epr "traffic --diff needs exactly two files: OLD.json NEW.json@.";
+        exit 2
   in
   let run profile quick out =
     let cfg =
@@ -714,9 +1088,19 @@ let traffic_cmd =
           drives the lookup -> file-read -> copy service graph on the PPC \
           path and the legacy message-passing comparator, with a \
           fault-injected scenario whose error counts must reconcile exactly; \
-          prints (and with $(b,--out) writes) the markdown + JSON report")
-    Term.(const (fun () a b c -> run a b c) $ logs_term $ profile_arg
-          $ quick_arg $ out_arg)
+          prints (and with $(b,--out) writes) the markdown + JSON report.  \
+          With $(b,--diff OLD.json NEW.json), structurally compares two such \
+          reports instead")
+    Term.(
+      const (fun () diff tolerance files a b c ->
+          if diff then run_diff tolerance files
+          else if files <> [] then begin
+            Fmt.epr "traffic: stray positional arguments (did you mean --diff?)@.";
+            Stdlib.exit 2
+          end
+          else run a b c)
+      $ logs_term $ diff_arg $ tolerance_arg $ files_arg $ profile_arg
+      $ quick_arg $ out_arg)
 
 let () =
   let doc = "Simulated PPC IPC experiments (Gamsa, Krieger & Stumm 1994)" in
@@ -728,4 +1112,5 @@ let () =
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
             faults_cmd; channel_cmd; lifecycle_cmd; copy_cmd; traffic_cmd;
+            shm_cmd;
           ]))

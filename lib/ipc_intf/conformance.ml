@@ -40,18 +40,14 @@ module Make (S : Sigs.SUBJECT) = struct
     let t = S.setup () in
     Fun.protect ~finally:(fun () -> S.teardown t) (fun () -> f t)
 
-  (* A behavior that stamps [tag] into slot 0 and returns ok. *)
-  let stamp tag : Sigs.behavior =
-   fun a ->
-    a.(0) <- tag;
-    a.(7) <- Errc.ok
+  (* A behavior spec that stamps [tag] into slot 0 and returns ok.
+     Specs, not closures: the subject may compile them in another OS
+     process (see {!Sigs.spec}). *)
+  let stamp tag = Sigs.Stamp tag
 
   let sc_register_and_call () =
     with_world (fun t ->
-        let ep = S.register t (fun a ->
-            a.(0) <- a.(0) + a.(1);
-            a.(7) <- Errc.ok)
-        in
+        let ep = S.register t Sigs.Add2 in
         let a = args () in
         a.(0) <- 40;
         a.(1) <- 2;
@@ -126,17 +122,7 @@ module Make (S : Sigs.SUBJECT) = struct
      everything after, and free the entry point once drained. *)
   let sc_soft_kill_drains () =
     with_world (fun t ->
-        let self = ref None in
-        let ep =
-          S.register t (fun a ->
-              (match !self with
-              | Some (t, ep) ->
-                  ignore (S.soft_kill t ep : int)
-              | None -> ());
-              a.(0) <- 123;
-              a.(7) <- Errc.ok)
-        in
-        self := Some (t, ep);
+        let ep = S.register t (Sigs.Kill_self_soft 123) in
         let a = args () in
         check_rc "soft-kill-drains" "in-flight call completes" Errc.ok
           (S.call t ep a);
@@ -153,16 +139,7 @@ module Make (S : Sigs.SUBJECT) = struct
      no call after the kill gets in. *)
   let sc_hard_kill_aborts () =
     with_world (fun t ->
-        let self = ref None in
-        let ep =
-          S.register t (fun a ->
-              (match !self with
-              | Some (t, ep) -> ignore (S.hard_kill t ep : int)
-              | None -> ());
-              a.(0) <- 9;
-              a.(7) <- Errc.ok)
-        in
-        self := Some (t, ep);
+        let ep = S.register t (Sigs.Kill_self_hard 9) in
         let a = args () in
         let rc = S.call t ep a in
         check "hard-kill-aborts" "racing call completes or aborts"

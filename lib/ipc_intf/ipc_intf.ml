@@ -15,4 +15,5 @@ module Opfield = Opfield
 module Name_hash = Name_hash
 module Auth = Auth
 module Sigs = Sigs
+module Wire_abi = Wire_abi
 module Conformance = Conformance

@@ -13,6 +13,53 @@
     cost charging, frame contexts, ...). *)
 type behavior = int array -> unit
 
+(** A portable behavior {e specification}.  The conformance suite used
+    to register raw closures, which confined it to embodiments living in
+    the registering process; a spec is a value, so it can be serialised
+    (two wire words — see {!Wire_abi}) and compiled into a native
+    handler on the far side of a process boundary.  Each embodiment owns
+    the compilation: the simulator charges simulated cost, the runtime
+    wraps a frame context, the shared-memory server builds the handler
+    inside the server process. *)
+type spec =
+  | Stamp of int  (** write the tag into slot 0, return [Errc.ok] *)
+  | Add2  (** slot 0 <- slot 0 + slot 1, return [Errc.ok] *)
+  | Kill_self_soft of int
+      (** soft-kill the entry point this behavior is registered under
+          (from inside the running call), then stamp the tag *)
+  | Kill_self_hard of int  (** likewise with a hard kill *)
+  | Nap_ms of int
+      (** hold the call for that many milliseconds, then return
+          [Errc.ok] — the "server is busy right now" behavior the
+          peer-death scenarios park calls behind *)
+
+(** Compile a spec against an embodiment's own lifecycle hooks.
+    [kill_soft]/[kill_hard] must target the entry point the compiled
+    handler ends up registered under (the usual shape is a ref cell
+    filled in right after registration); [nap_ms] is the embodiment's
+    blocking sleep (the simulator charges cost instead of sleeping). *)
+let compile ~kill_soft ~kill_hard ~nap_ms (s : spec) : behavior =
+ fun a ->
+  let rc = Array.length a - 1 in
+  match s with
+  | Stamp tag ->
+      a.(0) <- tag;
+      a.(rc) <- Errc.ok
+  | Add2 ->
+      a.(0) <- a.(0) + a.(1);
+      a.(rc) <- Errc.ok
+  | Kill_self_soft tag ->
+      ignore (kill_soft () : int);
+      a.(0) <- tag;
+      a.(rc) <- Errc.ok
+  | Kill_self_hard tag ->
+      ignore (kill_hard () : int);
+      a.(0) <- tag;
+      a.(rc) <- Errc.ok
+  | Nap_ms ms ->
+      nap_ms ms;
+      a.(rc) <- Errc.ok
+
 (** Naming (Section 4.5.5): bind string names to entry-point IDs at the
     well-known Name Server.  All results are {!Errc} return codes. *)
 module type NAMING = sig
@@ -120,7 +167,11 @@ module type SUBJECT = sig
   val setup : unit -> t
   val teardown : t -> unit
 
-  val register : t -> behavior -> ep
+  val register : t -> spec -> ep
+  (** Register a compiled form of the spec.  Specs rather than closures
+      so the subject may live in another OS process (the shared-memory
+      embodiment ships the two wire words and compiles server-side). *)
+
   val id : t -> ep -> int
 
   val publish : t -> name:string -> ep -> int
@@ -133,7 +184,7 @@ module type SUBJECT = sig
   val call_id : t -> id:int -> int array -> int
   (** Call by raw entry-point ID; [Errc.no_entry] when unbound. *)
 
-  val exchange : t -> ep -> behavior -> int
+  val exchange : t -> ep -> spec -> int
   val soft_kill : t -> ep -> int
   val hard_kill : t -> ep -> int
 

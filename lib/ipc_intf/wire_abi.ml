@@ -1,0 +1,262 @@
+(* The position-independent wire ABI of the fast call path.
+
+   Everything the PPC fast path used to keep in OCaml record fields —
+   request-cell state machines, SPSC ring head/tail/slots, the doorbell
+   word, channel lifecycle and heartbeat words — is laid out here as
+   *word offsets into a flat segment of 64-bit little-endian words*, so
+   the same protocol runs over an in-heap array (one process, the
+   existing zero-alloc path) and over an mmap'd file shared by two OS
+   processes (the "CXL fabric" backend).  This module is the single
+   source of truth: `Runtime.Segment`/`Runtime.Shm_channel` compute
+   every address from these functions, ARCHITECTURE §13 renders the
+   same table for humans, and the magic/version words below are how an
+   attaching process refuses a segment built by an incompatible
+   revision.
+
+   Units and width.  One word = 8 bytes, stored little-endian (the ABI
+   is only defined on little-endian hosts; the magic word doubles as a
+   byte-order canary, since a big-endian reader sees it byte-swapped
+   and refuses to attach).  Values are OCaml immediates (63-bit), so
+   bit 63 of every stored word is always a sign extension — never
+   payload.
+
+   Whole-segment layout, for a segment of [capacity] cells with
+   [arg_words] argument words per cell (capacity a positive power of
+   two; both recorded in the header so the two sides can cross-check):
+
+     word 0                      header           (header_words = 16)
+     word 16                     submission ring  (2 + capacity words)
+     word 18+capacity            reclaim ring     (2 + capacity words)
+     word 20+2*capacity          cells            (capacity * cell_words)
+
+   Rings are the Spsc_ring.Raw protocol verbatim: a consumer-owned
+   head word, a producer-owned tail word, then [capacity] slot words
+   holding cell indices; masking by capacity-1 maps a monotonically
+   increasing counter onto a slot.  The submission ring flows client ->
+   server; the reclaim ring returns abandoned cells server -> client
+   (the §4.5.6 CD-reclamation side stack, re-hosted).
+
+   Cells are the Request_slab layout flattened: one state word (same
+   encodings as Request_slab — they are wire values now), one entry-
+   point word, then [arg_words] argument words, the last of which is
+   the return-code slot carrying an [Errc] code.  There is no parking
+   mutex/condvar in the segment: processes cannot share OCaml condvars,
+   so cross-process waits are spin -> yield -> nap loops on the state
+   word (the Doorbell timed-park discipline). *)
+
+(* --- identification -------------------------------------------------------- *)
+
+let magic = 0x50_50_43_5F_41_42_49
+(* "PPC_ABI" in ASCII, little-endian, 7 bytes so it stays a 63-bit
+   immediate.  Also the endianness canary: byte-swapped it has bit 63
+   set and cannot round-trip through an OCaml int. *)
+
+let abi_version = 1
+(* Bump on ANY layout or encoding change below.  Attach refuses a
+   mismatch; there is no in-place migration — a segment is as cheap to
+   rebuild as to reinterpret. *)
+
+(* --- header ---------------------------------------------------------------- *)
+
+let header_words = 16
+
+let off_magic = 0
+let off_version = 1
+
+let off_generation = 2
+(* Seqlock for segment construction: the creator writes an odd value,
+   initialises every other word, then stores the even successor.  An
+   attacher spins until it reads an even, nonzero generation — after
+   which the header is immutable (only heartbeats, states and counters
+   move). *)
+
+let off_total_words = 3
+let off_capacity = 4
+let off_arg_words = 5
+
+let off_server_pid = 6
+let off_client_pid = 7
+(* Written by each side when it attaches in that role; 0 = not yet
+   attached.  The peer-liveness probe needs a pid to poke. *)
+
+let off_server_heartbeat = 8
+let off_client_heartbeat = 9
+(* Bumped by the owning side on every serve sweep / call.  A peer whose
+   heartbeat is frozen across a probe window gets its pid checked; see
+   "peer death" below. *)
+
+let off_server_state = 10
+let off_client_state = 11
+
+(* Lifecycle values for the two state words. *)
+let peer_absent = 0
+let peer_ready = 1
+let peer_shutdown = 2
+
+let off_doorbell = 12
+(* Ring counter, fetch-added by the client after publishing a tail.  A
+   cross-process doorbell cannot share a condvar, so the server's park
+   is a nap loop; the counter tells it (and the stats) how often it was
+   rung while napping. *)
+
+let off_reclaimed = 13
+(* Abandoned cells the server has pushed through the reclaim ring —
+   observability for the exactly-once recycling contract. *)
+
+let off_peer_faults = 14
+(* In-flight calls a surviving side failed with [Errc.handler_fault]
+   after detecting peer death. *)
+
+let off_reserved = 15
+
+(* --- rings ----------------------------------------------------------------- *)
+
+let ring_words ~capacity = 2 + capacity
+
+let submit_base = header_words
+let submit_head = submit_base
+let submit_tail = submit_base + 1
+let submit_slot ~capacity i = submit_base + 2 + (i land (capacity - 1))
+
+let reclaim_base ~capacity = submit_base + ring_words ~capacity
+let reclaim_head ~capacity = reclaim_base ~capacity
+let reclaim_tail ~capacity = reclaim_base ~capacity + 1
+
+let reclaim_slot ~capacity i =
+  reclaim_base ~capacity + 2 + (i land (capacity - 1))
+
+(* --- cells ----------------------------------------------------------------- *)
+
+(* Completion states: Request_slab's encodings, now wire values (the
+   whole point of the refactor is that these numbers mean the same
+   thing on both sides of a process boundary).  [state_parked] never
+   appears in a shared segment — parking is per-process — but the code
+   point is reserved so the two state machines stay one machine. *)
+let state_free = 0
+let state_pending = 1
+let state_parked = 2
+let state_done = 3
+let state_abandoned = 4
+
+let cell_words ~arg_words = 2 + arg_words
+let cells_base ~capacity = reclaim_base ~capacity + ring_words ~capacity
+
+let cell_base ~capacity ~arg_words i =
+  cells_base ~capacity + (i * cell_words ~arg_words)
+
+let cell_state ~capacity ~arg_words i = cell_base ~capacity ~arg_words i
+let cell_ep ~capacity ~arg_words i = cell_base ~capacity ~arg_words i + 1
+let cell_arg ~capacity ~arg_words i j = cell_base ~capacity ~arg_words i + 2 + j
+
+let total_words ~capacity ~arg_words =
+  cells_base ~capacity + (capacity * cell_words ~arg_words)
+
+(* --- entry-point word ------------------------------------------------------ *)
+
+(* The cell's entry-point word is a small sum type in one integer:
+
+     >= 0                 versioned handle: (generation << handle_bits) | slot
+     ctl_ep (-1)          control-plane call (see the op vocabulary)
+     <= raw_call_base     raw-ID call: id = raw_call_base - word
+
+   Versioned handles pack the slot ID in the low [handle_bits] bits
+   (1024 entry points fit in 10) and the slot generation above, so a
+   handle minted before a slot was freed and re-registered decodes to
+   the same slot but a stale generation — detectably dead across the
+   wire, exactly like Fastcall's in-process [ep] handles. *)
+
+let handle_bits = 10
+
+let pack_handle ~slot ~gen =
+  if slot < 0 || slot >= 1 lsl handle_bits then
+    invalid_arg "Wire_abi.pack_handle: slot out of range";
+  (gen lsl handle_bits) lor slot
+
+let handle_slot w = w land ((1 lsl handle_bits) - 1)
+let handle_gen w = w lsr handle_bits
+
+let ctl_ep = -1
+let raw_call_base = -16
+let pack_raw_call id = raw_call_base - id
+let raw_call_id w = raw_call_base - w
+let is_raw_call w = w <= raw_call_base
+
+(* --- control-plane ops ----------------------------------------------------- *)
+
+(* The management vocabulary a client speaks to the server process by
+   calling [ctl_ep].  Op code in argument word 0; operands follow;
+   results come back in word 0 with the [Errc] code in the RC slot.
+
+     ctl_register   a1=spec code  a2=spec param      -> a0 = handle
+     ctl_publish    a1=handle     a2,a3=packed name  -> rc
+     ctl_lookup     a1,a2=packed name                -> a0 = raw id
+     ctl_exchange   a1=handle  a2=spec code  a3=param-> rc
+     ctl_soft_kill  a1=handle                        -> rc
+     ctl_hard_kill  a1=handle                        -> rc
+     ctl_in_flight  a1=handle                        -> a0 = count *)
+
+let ctl_register = 1
+let ctl_publish = 2
+let ctl_lookup = 3
+let ctl_exchange = 4
+let ctl_soft_kill = 5
+let ctl_hard_kill = 6
+let ctl_in_flight = 7
+
+(* --- behavior specs on the wire -------------------------------------------- *)
+
+let spec_to_wire : Sigs.spec -> int * int = function
+  | Sigs.Stamp tag -> (1, tag)
+  | Sigs.Add2 -> (2, 0)
+  | Sigs.Kill_self_soft tag -> (3, tag)
+  | Sigs.Kill_self_hard tag -> (4, tag)
+  | Sigs.Nap_ms ms -> (5, ms)
+
+let spec_of_wire ~code ~param : Sigs.spec option =
+  match code with
+  | 1 -> Some (Sigs.Stamp param)
+  | 2 -> Some Sigs.Add2
+  | 3 -> Some (Sigs.Kill_self_soft param)
+  | 4 -> Some (Sigs.Kill_self_hard param)
+  | 5 -> Some (Sigs.Nap_ms param)
+  | _ -> None
+
+(* --- names on the wire ----------------------------------------------------- *)
+
+(* Service names ride publish/lookup ops as two words of 7 bytes each
+   (7, not 8, so a packed chunk stays a 63-bit immediate): up to 14
+   bytes, no NUL (NUL pads the tail).  Names the registry accepts are
+   shorter than that, so the bound costs nothing. *)
+
+let name_bytes_per_word = 7
+let max_name_bytes = 2 * name_bytes_per_word
+
+let pack_name s =
+  let n = String.length s in
+  if n = 0 || n > max_name_bytes then None
+  else if String.contains s '\000' then None
+  else begin
+    let word off =
+      let w = ref 0 in
+      for i = name_bytes_per_word - 1 downto 0 do
+        let c = if off + i < n then Char.code s.[off + i] else 0 in
+        w := (!w lsl 8) lor c
+      done;
+      !w
+    in
+    Some (word 0, word name_bytes_per_word)
+  end
+
+let unpack_name (w0, w1) =
+  let b = Buffer.create max_name_bytes in
+  let emit w =
+    let w = ref w in
+    for _ = 1 to name_bytes_per_word do
+      let c = !w land 0xff in
+      if c <> 0 then Buffer.add_char b (Char.chr c);
+      w := !w lsr 8
+    done
+  in
+  emit w0;
+  emit w1;
+  Buffer.contents b

@@ -257,6 +257,17 @@ let register t handler = (register_ep t handler).ep_id
 
 let ep_id h = h.ep_id
 
+(* Versioned handles as Wire_abi words, so an [ep] can cross a process
+   boundary through a shared segment and come back still able to detect
+   staleness (the generation travels with the slot). *)
+let ep_to_wire h = Ipc_intf.Wire_abi.pack_handle ~slot:h.ep_id ~gen:h.ep_gen
+
+let ep_of_wire w =
+  {
+    ep_id = Ipc_intf.Wire_abi.handle_slot w;
+    ep_gen = Ipc_intf.Wire_abi.handle_gen w;
+  }
+
 let registered t = Atomic.get t.registered
 
 exception No_entry of int

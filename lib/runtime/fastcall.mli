@@ -63,6 +63,16 @@ val register_ep : t -> handler -> ep
 val ep_id : ep -> int
 (** The raw ID under a handle — what gets published to a registry. *)
 
+val ep_to_wire : ep -> int
+(** The handle as one {!Ipc_intf.Wire_abi} word (slot + generation), the
+    form it crosses a shared-memory segment in.  Staleness detection
+    survives the round trip. *)
+
+val ep_of_wire : int -> ep
+(** Inverse of {!ep_to_wire}.  A forged or stale word decodes to a
+    handle whose operations fail with [Errc] codes, never to another
+    tenant's live service. *)
+
 val registered : t -> int
 (** Live (registered and not yet freed) entry points. *)
 

@@ -74,7 +74,10 @@ let make_cell ~arg_words ~index =
 let dummy_cell ~arg_words = make_cell ~arg_words ~index:(-1)
 
 let create ?(capacity = 16) ?(max_cells = max_int) ~arg_words () =
-  if capacity <= 0 then invalid_arg "Request_slab.create: capacity must be > 0";
+  (* Same validation and message shape as [Spsc_ring.create]: slab
+     capacities pair with ring capacities, so the power-of-two contract
+     is one contract (and pre-PR9 it lived only in doc comments). *)
+  Spsc_ring.validate_capacity "Request_slab.create" capacity;
   if arg_words <= 0 then invalid_arg "Request_slab.create: arg_words must be > 0";
   if max_cells < capacity then
     invalid_arg "Request_slab.create: max_cells must be >= capacity";

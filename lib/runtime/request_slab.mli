@@ -33,9 +33,12 @@ type cell = {
 type t
 
 val create : ?capacity:int -> ?max_cells:int -> arg_words:int -> unit -> t
-(** [max_cells] caps total growth (default unbounded); when the cap is
-    reached {!try_acquire} returns [None] and {!exhausted} goes true.
-    Must be [>= capacity]. *)
+(** [capacity] (default 16) must be a positive power of two — slab
+    capacities pair with ring capacities, and the uniform
+    [Invalid_argument] of {!Spsc_ring.validate_capacity} enforces the
+    shared contract.  [max_cells] caps total growth (default unbounded);
+    when the cap is reached {!try_acquire} returns [None] and
+    {!exhausted} goes true.  Must be [>= capacity]. *)
 
 val dummy_cell : arg_words:int -> cell
 (** A cell usable as a {!Spsc_ring.Raw} empty-slot marker. *)

@@ -9,6 +9,8 @@ module Doorbell = Doorbell
 module Backoff = Backoff
 module Ppc_channel = Ppc_channel
 module Fastcall = Fastcall
+module Segment = Segment
+module Shm_channel = Shm_channel
 module Control = Control
 module Locked_registry = Locked_registry
 module Domain_pool = Domain_pool

@@ -19,8 +19,13 @@
  */
 
 #include <caml/mlvalues.h>
+#include <caml/bigarray.h>
 #include <caml/threads.h>
+#include <errno.h>
 #include <sched.h>
+#include <signal.h>
+#include <stdint.h>
+#include <sys/mman.h>
 #include <time.h>
 
 CAMLprim value ppc_runtime_now_ns(value unit)
@@ -49,4 +54,87 @@ CAMLprim value ppc_runtime_nap_ns(value ns)
   nanosleep(&ts, NULL);
   caml_leave_blocking_section();
   return Val_unit;
+}
+
+/* --- shared-segment words (Wire_abi) ------------------------------------
+ *
+ * The segment is a Bigarray of int64 words, either malloc'd in-heap or
+ * an mmap'd file shared between processes.  OCaml's Atomic module only
+ * covers heap refs, so the cross-process flavours live here: C11
+ * __atomic builtins on the bigarray's data pointer.  Stored values are
+ * OCaml immediates (63-bit), so every result fits Val_long and every
+ * stub is [@@noalloc].
+ *
+ * Memory orders mirror what the in-heap path gets from Atomic.t:
+ * acquire loads, release stores, seq_cst RMW — strong enough for the
+ * publish-then-bump-tail ring discipline on both x86 and ARM.
+ */
+
+static inline int64_t *seg_word(value ba, value idx)
+{
+  return (int64_t *)Caml_ba_data_val(ba) + Long_val(idx);
+}
+
+CAMLprim value ppc_seg_load(value ba, value idx)
+{
+  return Val_long((intnat)__atomic_load_n(seg_word(ba, idx), __ATOMIC_ACQUIRE));
+}
+
+CAMLprim value ppc_seg_store(value ba, value idx, value v)
+{
+  __atomic_store_n(seg_word(ba, idx), (int64_t)Long_val(v), __ATOMIC_RELEASE);
+  return Val_unit;
+}
+
+CAMLprim value ppc_seg_cas(value ba, value idx, value expected, value desired)
+{
+  int64_t exp = (int64_t)Long_val(expected);
+  return Val_bool(__atomic_compare_exchange_n(
+      seg_word(ba, idx), &exp, (int64_t)Long_val(desired), 0,
+      __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST));
+}
+
+CAMLprim value ppc_seg_fetch_add(value ba, value idx, value delta)
+{
+  return Val_long((intnat)__atomic_fetch_add(
+      seg_word(ba, idx), (int64_t)Long_val(delta), __ATOMIC_SEQ_CST));
+}
+
+/* Flush the whole mapping to its backing file.  Returns 0 / -errno;
+ * harmless (EINVAL) on an in-heap bigarray, which is not page-aligned.
+ * Synchronous, so not [@@noalloc]-hot — callers use it at shutdown. */
+CAMLprim value ppc_seg_msync(value ba)
+{
+  void *p = Caml_ba_data_val(ba);
+  intnat bytes = Caml_ba_array_val(ba)->dim[0] * 8;
+  int r;
+  caml_enter_blocking_section();
+  r = msync(p, (size_t)bytes, MS_SYNC);
+  caml_leave_blocking_section();
+  return Val_long(r == 0 ? 0 : -errno);
+}
+
+/* madvise with a tiny advice enum: 0 normal, 1 willneed, 2 dontneed.
+ * Returns 0 / -errno. */
+CAMLprim value ppc_seg_madvise(value ba, value advice)
+{
+  void *p = Caml_ba_data_val(ba);
+  intnat bytes = Caml_ba_array_val(ba)->dim[0] * 8;
+  int adv = MADV_NORMAL;
+  switch (Long_val(advice)) {
+  case 1: adv = MADV_WILLNEED; break;
+  case 2: adv = MADV_DONTNEED; break;
+  default: break;
+  }
+  return Val_long(madvise(p, (size_t)bytes, adv) == 0 ? 0 : -errno);
+}
+
+/* Peer-liveness probe: kill(pid, 0).  True while the process exists —
+ * including as a zombie, so a prober that forked its peer must reap it
+ * (waitpid) before the probe can go negative.  The heartbeat-frozen
+ * precondition keeps this syscall off the warm path. */
+CAMLprim value ppc_pid_alive(value pid)
+{
+  int r = kill((pid_t)Long_val(pid), 0);
+  return Val_bool(r == 0 || errno == EPERM);
 }

@@ -1,0 +1,115 @@
+(* The fast-path memory substrate: a flat, offset-addressed array of
+   64-bit words with atomic access, behind which the call-path layout
+   (Ipc_intf.Wire_abi) is position-independent.
+
+   Two backends:
+
+   - [Heap]: an [int Atomic.t] per word, private to this process.  This
+     is the existing in-heap discipline the zero-alloc channel path is
+     built on, exposed through the same offset addressing so every
+     protocol written against a segment can be unit-tested without
+     touching the filesystem.
+
+   - [Shm]: a Bigarray of int64 over an mmap'd file ([Unix.map_file]
+     with [shared:true]), with atomicity supplied by C11 __atomic stubs
+     on the data pointer.  Two OS processes mapping the same file see
+     one coherent word array — the modern "CXL fabric" shape of the
+     paper's shared-memory call path.
+
+   Words hold OCaml immediates (63-bit); the Shm backend stores them
+   sign-extended in 64 bits, little-endian (see Wire_abi's endianness
+   canary).  All accessors are allocation-free on both backends. *)
+
+type shm_map = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type shm = { map : shm_map; path : string }
+type t = Heap of int Atomic.t array | Shm of shm
+
+external shm_load : shm_map -> int -> int = "ppc_seg_load" [@@noalloc]
+
+external shm_store : shm_map -> int -> int -> unit = "ppc_seg_store"
+  [@@noalloc]
+
+external shm_cas : shm_map -> int -> int -> int -> bool = "ppc_seg_cas"
+  [@@noalloc]
+
+external shm_fetch_add : shm_map -> int -> int -> int = "ppc_seg_fetch_add"
+  [@@noalloc]
+
+external shm_msync : shm_map -> int = "ppc_seg_msync"
+external shm_madvise : shm_map -> int -> int = "ppc_seg_madvise" [@@noalloc]
+external pid_alive : int -> bool = "ppc_pid_alive" [@@noalloc]
+
+let length = function
+  | Heap a -> Array.length a
+  | Shm s -> Bigarray.Array1.dim s.map
+
+let check t i =
+  if i < 0 || i >= length t then
+    invalid_arg (Printf.sprintf "Segment: word %d out of bounds" i)
+
+let get t i =
+  match t with Heap a -> Atomic.get a.(i) | Shm s -> shm_load s.map i
+
+let set t i v =
+  match t with Heap a -> Atomic.set a.(i) v | Shm s -> shm_store s.map i v
+
+let cas t i ~expected ~desired =
+  match t with
+  | Heap a -> Atomic.compare_and_set a.(i) expected desired
+  | Shm s -> shm_cas s.map i expected desired
+
+let fetch_add t i d =
+  match t with
+  | Heap a -> Atomic.fetch_and_add a.(i) d
+  | Shm s -> shm_fetch_add s.map i d
+
+(* Bounds-checked flavours for management paths; the call path uses the
+   unchecked ones above (offsets are computed from a validated header,
+   and a bad segment is rejected at attach, not per access). *)
+let get_checked t i = check t i; get t i
+let set_checked t i v = check t i; set t i v
+
+(* --- construction ---------------------------------------------------------- *)
+
+let create_heap ~words =
+  if words <= 0 then invalid_arg "Segment.create_heap: words must be > 0";
+  Heap (Array.init words (fun _ -> Atomic.make 0))
+
+(* Map [words] 64-bit words of [path].  [create] truncates (fresh
+   segment, creator zeroes and lays it out); without it the file must
+   already exist (attacher).  The mapping is MAP_SHARED either way. *)
+let map_file ~path ~words ~create () =
+  if words <= 0 then invalid_arg "Segment.map_file: words must be > 0";
+  let flags =
+    if create then Unix.[ O_RDWR; O_CREAT; O_TRUNC ] else Unix.[ O_RDWR ]
+  in
+  let fd = Unix.openfile path flags 0o600 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      if create then Unix.ftruncate fd (words * 8);
+      let g =
+        Unix.map_file fd Bigarray.Int64 Bigarray.C_layout true [| words |]
+      in
+      Shm { map = Bigarray.array1_of_genarray g; path })
+
+let path = function Heap _ -> None | Shm s -> Some s.path
+
+let msync = function Heap _ -> 0 | Shm s -> shm_msync s.map
+
+type advice = Madv_normal | Madv_willneed | Madv_dontneed
+
+let madvise t advice =
+  match t with
+  | Heap _ -> 0
+  | Shm s ->
+      shm_madvise s.map
+        (match advice with
+        | Madv_normal -> 0
+        | Madv_willneed -> 1
+        | Madv_dontneed -> 2)
+
+let unlink t =
+  match t with
+  | Heap _ -> ()
+  | Shm s -> ( try Unix.unlink s.path with Unix.Unix_error _ -> ())

@@ -1,0 +1,59 @@
+(** The fast-path memory substrate: a flat, offset-addressed array of
+    63-bit words with atomic get/set/CAS/fetch-add, addressed by the
+    position-independent layout in {!Ipc_intf.Wire_abi}.
+
+    Two backends: [Heap] (an [int Atomic.t] per word — this process
+    only, the existing in-heap discipline) and [Shm] (int64 Bigarray
+    over an mmap'd file with C11-atomic stubs — one coherent word array
+    shared by separate OS processes).  All word accessors are
+    allocation-free on both backends. *)
+
+type t
+
+val create_heap : words:int -> t
+(** A zero-filled in-process segment. *)
+
+val map_file : path:string -> words:int -> create:bool -> unit -> t
+(** Map [words] 64-bit words of the file at [path], [MAP_SHARED].
+    [create:true] creates/truncates (the creator then lays out the
+    segment under the {!Ipc_intf.Wire_abi} generation seqlock);
+    [create:false] attaches to an existing file.  Raises
+    [Unix.Unix_error] on filesystem failure. *)
+
+val length : t -> int
+(** Words in the segment. *)
+
+val get : t -> int -> int
+(** Atomic acquire load.  Unchecked: the call path computes offsets
+    from a validated header. *)
+
+val set : t -> int -> int -> unit
+(** Atomic release store. *)
+
+val cas : t -> int -> expected:int -> desired:int -> bool
+val fetch_add : t -> int -> int -> int
+(** Sequentially consistent RMW; [fetch_add] returns the prior value. *)
+
+val get_checked : t -> int -> int
+val set_checked : t -> int -> int -> unit
+(** Bounds-checked flavours for management paths; raise
+    [Invalid_argument] on an out-of-range word. *)
+
+val path : t -> string option
+(** The backing file, if any. *)
+
+val msync : t -> int
+(** Flush an [Shm] mapping to its file (synchronous).  Returns 0 or a
+    negated errno; 0 and a no-op on [Heap]. *)
+
+type advice = Madv_normal | Madv_willneed | Madv_dontneed
+
+val madvise : t -> advice -> int
+(** Paging advice for an [Shm] mapping; 0 and a no-op on [Heap]. *)
+
+val unlink : t -> unit
+(** Remove the backing file (best-effort); no-op on [Heap]. *)
+
+val pid_alive : int -> bool
+(** [kill(pid, 0)] liveness probe.  A zombie counts as alive, so a
+    prober that forked its peer must reap it before trusting [false]. *)

@@ -1,0 +1,631 @@
+(* The channel call path re-hosted on a Segment: Request_slab cells,
+   Spsc_ring.Raw head/tail/slots, the doorbell word and the lifecycle /
+   heartbeat words all become offsets computed from Ipc_intf.Wire_abi —
+   so the identical protocol runs over an in-heap word array (tests,
+   single-process baselines) and over an mmap'd file shared by two OS
+   processes (true cross-protection-domain PPC, the paper's call path
+   with the protection boundary finally real).
+
+   Roles.  A segment hosts exactly one server and one client, each
+   represented by a [t] in its own process (or domain).  The client
+   owns the submission ring's tail, the free stack and every cell not
+   in flight; the server owns the submission ring's head and the
+   reclaim ring's tail.  All waits are spin -> yield -> nap loops on
+   segment words: processes cannot share condvars, so the Doorbell
+   PARKED protocol degenerates to timed naps (the nap cap bounds wakeup
+   latency the same way it bounds deadline overshoot in-process).
+
+   Crash containment across whole-process death.  Each side bumps its
+   heartbeat word continuously; a waiter whose peer's heartbeat stays
+   frozen across [probe_window_ns] probes the recorded pid with
+   kill(pid, 0) (zombies count as alive — reap your forks).  On a
+   confirmed death the survivor sweeps the segment exactly once per
+   cell, arbitrated by CAS on the cell state word:
+
+     pending   -CAS-> done + rc := handler_fault   (in-flight call fails)
+     abandoned -CAS-> free                          (stranded timed-out cell)
+
+   so every in-flight call observes [Errc.handler_fault], every cell
+   returns to the free stack exactly once, and submissions after the
+   verdict answer [Errc.killed].  This is the Request_slab §4.5.6
+   reclamation contract, extended from "server shard died" to "the
+   entire peer process is gone". *)
+
+module W = Ipc_intf.Wire_abi
+module Errc = Ipc_intf.Errc
+
+type role = Server | Client
+
+type t = {
+  seg : Segment.t;
+  role : role;
+  capacity : int;
+  arg_words : int;
+  rc_slot : int;
+  cell_words : int;
+  cells_base : int;
+  spin : int;  (* cpu-relax budget before yielding *)
+  probe_window_ns : int;
+  (* client: free stack of cell indices; unused by the server *)
+  free : int array;
+  mutable free_len : int;
+  mutable hb : int;  (* local heartbeat counter, mirrored to the segment *)
+  mutable peer_dead : bool;
+  mutable swept : int;  (* in-flight calls this side failed on peer death *)
+  mutable timeouts : int;
+  mutable submitted : int;
+  mutable served : int;
+  mutable batches : int;
+  (* liveness probe state *)
+  mutable peer_hb_seen : int;
+  mutable peer_hb_changed_ns : int;
+  scratch : int array;  (* server-side argument staging *)
+}
+
+(* --- layout helpers -------------------------------------------------------- *)
+
+let cell_state t i = t.cells_base + (i * t.cell_words)
+let cell_ep t i = t.cells_base + (i * t.cell_words) + 1
+let cell_arg t i j = t.cells_base + (i * t.cell_words) + 2 + j
+
+let my_hb_off t =
+  match t.role with
+  | Server -> W.off_server_heartbeat
+  | Client -> W.off_client_heartbeat
+
+let peer_hb_off t =
+  match t.role with
+  | Server -> W.off_client_heartbeat
+  | Client -> W.off_server_heartbeat
+
+let peer_pid_off t =
+  match t.role with Server -> W.off_client_pid | Client -> W.off_server_pid
+
+let my_state_off t =
+  match t.role with Server -> W.off_server_state | Client -> W.off_client_state
+
+let peer_state_off t =
+  match t.role with Server -> W.off_client_state | Client -> W.off_server_state
+
+let bump_heartbeat t =
+  t.hb <- t.hb + 1;
+  Segment.set t.seg (my_hb_off t) t.hb
+
+(* --- construction ---------------------------------------------------------- *)
+
+let total_words ~capacity ~arg_words = W.total_words ~capacity ~arg_words
+
+(* Lay a fresh segment out under the generation seqlock.  The creator
+   need not be either endpoint — in the forked demo the parent lays the
+   segment out before forking the server. *)
+let layout ?(capacity = 64) ?(arg_words = 8) seg =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Shm_channel.layout: capacity must be a positive power of two (got %d)"
+         capacity);
+  if arg_words <= 0 then
+    invalid_arg "Shm_channel.layout: arg_words must be > 0";
+  let words = total_words ~capacity ~arg_words in
+  if Segment.length seg < words then
+    invalid_arg
+      (Printf.sprintf "Shm_channel.layout: segment holds %d words, need %d"
+         (Segment.length seg) words);
+  Segment.set seg W.off_generation 1 (* odd: under construction *);
+  Segment.set seg W.off_magic W.magic;
+  Segment.set seg W.off_version W.abi_version;
+  Segment.set seg W.off_total_words words;
+  Segment.set seg W.off_capacity capacity;
+  Segment.set seg W.off_arg_words arg_words;
+  for off = W.off_server_pid to W.off_reserved do
+    Segment.set seg off 0
+  done;
+  Segment.set seg W.submit_head 0;
+  Segment.set seg W.submit_tail 0;
+  Segment.set seg (W.reclaim_head ~capacity) 0;
+  Segment.set seg (W.reclaim_tail ~capacity) 0;
+  let cw = W.cell_words ~arg_words in
+  let base = W.cells_base ~capacity in
+  for i = 0 to capacity - 1 do
+    for j = 0 to cw - 1 do
+      Segment.set seg (base + (i * cw) + j) 0
+    done
+  done;
+  Segment.set seg W.off_generation 2 (* even: open for attach *)
+
+let create_heap ?capacity ?arg_words () =
+  let capacity' = Option.value capacity ~default:64 in
+  let arg_words' = Option.value arg_words ~default:8 in
+  let seg =
+    Segment.create_heap ~words:(total_words ~capacity:capacity' ~arg_words:arg_words')
+  in
+  layout ?capacity ?arg_words seg;
+  seg
+
+let create_file ~path ?(capacity = 64) ?(arg_words = 8) () =
+  let seg =
+    Segment.map_file ~path ~words:(total_words ~capacity ~arg_words)
+      ~create:true ()
+  in
+  layout ~capacity ~arg_words seg;
+  ignore (Segment.msync seg : int);
+  seg
+
+exception Bad_segment of string
+
+let validate seg =
+  if Segment.get seg W.off_magic <> W.magic then
+    raise (Bad_segment "bad magic (not a PPC segment, or wrong endianness)");
+  let v = Segment.get seg W.off_version in
+  if v <> W.abi_version then
+    raise
+      (Bad_segment
+         (Printf.sprintf "ABI version %d, this build speaks %d" v W.abi_version));
+  let gen = Segment.get seg W.off_generation in
+  if gen = 0 || gen land 1 = 1 then
+    raise (Bad_segment "segment still under construction (odd generation)")
+
+(* Default cpu-relax budget before a waiter starts yielding.  Spinning
+   only pays when the peer can make progress on another core; on a
+   single-CPU box the whole budget is burned while the peer is
+   descheduled, so the fast path there is to hand the core over almost
+   immediately (the paper's hand-off discipline, enforced by the
+   scheduler). *)
+let default_spin =
+  if Domain.recommended_domain_count () <= 1 then 16 else 2048
+
+let attach ?(spin = default_spin) ?(probe_window_ns = 50_000_000) ~role seg =
+  validate seg;
+  let capacity = Segment.get seg W.off_capacity in
+  let arg_words = Segment.get seg W.off_arg_words in
+  let t =
+    {
+      seg;
+      role;
+      capacity;
+      arg_words;
+      rc_slot = arg_words - 1;
+      cell_words = W.cell_words ~arg_words;
+      cells_base = W.cells_base ~capacity;
+      spin;
+      probe_window_ns;
+      free = Array.init capacity (fun i -> capacity - 1 - i);
+      free_len = (match role with Client -> capacity | Server -> 0);
+      hb = 0;
+      peer_dead = false;
+      swept = 0;
+      timeouts = 0;
+      submitted = 0;
+      served = 0;
+      batches = 0;
+      peer_hb_seen = 0;
+      peer_hb_changed_ns = Doorbell.now_ns ();
+      scratch = Array.make arg_words 0;
+    }
+  in
+  let pid_off =
+    match role with Server -> W.off_server_pid | Client -> W.off_client_pid
+  in
+  Segment.set seg pid_off (Unix.getpid ());
+  bump_heartbeat t;
+  Segment.set seg (my_state_off t) W.peer_ready;
+  t
+
+(* Map an existing segment file: read the header from a minimal mapping
+   first (the full extent is in the header), then map the whole thing.
+   Spins until the creator's seqlock opens, bounded by [timeout_ns]. *)
+let attach_file ?spin ?probe_window_ns ?(timeout_ns = 5_000_000_000) ~role path
+    =
+  let deadline = Doorbell.now_ns () + timeout_ns in
+  let rec header_seg () =
+    let ok =
+      match Segment.map_file ~path ~words:W.header_words ~create:false () with
+      | seg -> (
+          match validate seg with
+          | () -> Some seg
+          | exception Bad_segment _ -> None)
+      | exception Unix.Unix_error _ -> None
+    in
+    match ok with
+    | Some seg -> seg
+    | None ->
+        if Doorbell.now_ns () > deadline then
+          raise (Bad_segment (path ^ ": no valid segment appeared in time"))
+        else begin
+          Doorbell.nap_ns 200_000;
+          header_seg ()
+        end
+  in
+  let hdr = header_seg () in
+  let words = Segment.get hdr W.off_total_words in
+  let seg = Segment.map_file ~path ~words ~create:false () in
+  attach ?spin ?probe_window_ns ~role seg
+
+let segment t = t.seg
+let capacity t = t.capacity
+let arg_words t = t.arg_words
+
+(* --- liveness -------------------------------------------------------------- *)
+
+(* One probe step, called from wait loops.  Cheap path: peer heartbeat
+   moved, remember when.  Slow path (heartbeat frozen past the window):
+   kill(pid, 0).  Both sides run the same machine. *)
+let probe_peer t =
+  if not t.peer_dead then begin
+    let hb = Segment.get t.seg (peer_hb_off t) in
+    let now = Doorbell.now_ns () in
+    if hb <> t.peer_hb_seen then begin
+      t.peer_hb_seen <- hb;
+      t.peer_hb_changed_ns <- now
+    end
+    else if now - t.peer_hb_changed_ns > t.probe_window_ns then begin
+      let pid = Segment.get t.seg (peer_pid_off t) in
+      if pid <> 0 && not (Segment.pid_alive pid) then t.peer_dead <- true;
+      (* rate-limit the syscall to once per window while the peer is a
+         live-but-idle process *)
+      t.peer_hb_changed_ns <- now - (t.probe_window_ns / 2)
+    end
+  end;
+  t.peer_dead
+
+let peer_dead t = t.peer_dead
+
+(* Fail/reclaim every cell the dead peer held, exactly once per cell
+   (CAS-arbitrated, so calling this twice — or racing a late sweep
+   against an await that triggered its own — cannot double-recycle).
+   Returns how many cells this invocation swept.  Idempotent. *)
+let sweep_dead_peer t =
+  let n = ref 0 in
+  for i = 0 to t.capacity - 1 do
+    let st = cell_state t i in
+    if
+      Segment.cas t.seg st ~expected:W.state_pending ~desired:W.state_done
+    then begin
+      (* An in-flight call: complete it locally with handler_fault so
+         its awaiter unblocks with the containment verdict.  Single
+         writer now (the peer is dead), so the rc store after the state
+         flip is observed by this process's own await loop only. *)
+      Segment.set t.seg (cell_arg t i t.rc_slot) Errc.handler_fault;
+      incr n;
+      ignore (Segment.fetch_add t.seg W.off_peer_faults 1 : int)
+    end
+    else if
+      Segment.cas t.seg st ~expected:W.state_abandoned ~desired:W.state_free
+    then begin
+      (* A cell the client abandoned on deadline whose reclaim the dead
+         server still owed: recycle it straight to the free stack. *)
+      (match t.role with
+      | Client ->
+          t.free.(t.free_len) <- i;
+          t.free_len <- t.free_len + 1
+      | Server -> ());
+      incr n;
+      ignore (Segment.fetch_add t.seg W.off_reclaimed 1 : int)
+    end
+  done;
+  t.swept <- t.swept + !n;
+  !n
+
+(* --- client side ----------------------------------------------------------- *)
+
+(* Drain the server->client reclaim ring into the free stack (the
+   §4.5.6 side stack, cold path). *)
+let drain_reclaim t =
+  let cap = t.capacity in
+  let head = ref (Segment.get t.seg (W.reclaim_head ~capacity:cap)) in
+  let tail = Segment.get t.seg (W.reclaim_tail ~capacity:cap) in
+  while !head < tail do
+    let idx = Segment.get t.seg (W.reclaim_slot ~capacity:cap !head) in
+    t.free.(t.free_len) <- idx;
+    t.free_len <- t.free_len + 1;
+    incr head;
+    Segment.set t.seg (W.reclaim_head ~capacity:cap) !head
+  done
+
+let free_cells t =
+  drain_reclaim t;
+  t.free_len
+
+let in_flight t = t.capacity - free_cells t
+
+(* Submit one call: acquire a cell, stage the arguments, publish it
+   through the submission ring, ring the doorbell.  Returns the cell
+   index (>= 0) to [await] on, or a negative [Errc] code ([retry] on
+   exhaustion, [killed] once the peer is known dead).  The sign-split
+   return keeps the warm path free of result boxes — this is what
+   [call] rides; {!submit} wraps it for ergonomic callers.  Client
+   only; allocation-free. *)
+let submit_raw t ~ep args =
+  if t.peer_dead then Errc.killed
+  else begin
+    if t.free_len = 0 then drain_reclaim t;
+    if t.free_len = 0 then Errc.retry
+    else begin
+      let cap = t.capacity in
+      let tail = Segment.get t.seg W.submit_tail in
+      let head = Segment.get t.seg W.submit_head in
+      if tail - head > cap - 1 then Errc.retry
+      else begin
+        t.free_len <- t.free_len - 1;
+        let i = t.free.(t.free_len) in
+        Segment.set t.seg (cell_ep t i) ep;
+        for j = 0 to t.arg_words - 1 do
+          Segment.set t.seg (cell_arg t i j) args.(j)
+        done;
+        Segment.set t.seg (cell_state t i) W.state_pending;
+        Segment.set t.seg (W.submit_slot ~capacity:cap tail) i;
+        Segment.set t.seg W.submit_tail (tail + 1);
+        ignore (Segment.fetch_add t.seg W.off_doorbell 1 : int);
+        bump_heartbeat t;
+        t.submitted <- t.submitted + 1;
+        i
+      end
+    end
+  end
+
+let submit t ~ep args =
+  let r = submit_raw t ~ep args in
+  if r >= 0 then Ok r else Error r
+
+(* Wait for cell [i] to complete; copy the reply back into [args] and
+   recycle the cell.  [deadline] is absolute CLOCK_MONOTONIC ns
+   ([max_int] = none): on expiry the cell is abandoned to the server by
+   the Pending->Abandoned CAS handoff and the call answers
+   [Errc.timed_out].  Peer death answers [Errc.handler_fault] via the
+   sweep.  Spin -> yield -> nap; allocation-free. *)
+(* The wait loop is a top-level function taking its whole state as
+   immediate arguments — a local recursive closure (or ref cells) would
+   cost a minor allocation per call and break the zero-alloc pin. *)
+let rec await_loop t i args deadline st_off spins nap =
+  let st = Segment.get t.seg st_off in
+  if st = W.state_done then begin
+    for j = 0 to t.arg_words - 1 do
+      args.(j) <- Segment.get t.seg (cell_arg t i j)
+    done;
+    Segment.set t.seg st_off W.state_free;
+    t.free.(t.free_len) <- i;
+    t.free_len <- t.free_len + 1;
+    args.(t.rc_slot)
+  end
+  else if deadline <> max_int && Doorbell.now_ns () > deadline then
+    if
+      Segment.cas t.seg st_off ~expected:W.state_pending
+        ~desired:W.state_abandoned
+    then begin
+      (* Ownership handed to the server: it discards the late reply
+         and returns the cell through the reclaim ring. *)
+      t.timeouts <- t.timeouts + 1;
+      args.(t.rc_slot) <- Errc.timed_out;
+      Errc.timed_out
+    end
+    else await_loop t i args deadline st_off spins nap
+    (* lost the race to Done: take the reply *)
+  else begin
+    if probe_peer t then ignore (sweep_dead_peer t : int);
+    bump_heartbeat t;
+    if spins < t.spin then Domain.cpu_relax ()
+    else if spins < t.spin + 64 then Doorbell.yield ()
+    else Doorbell.nap_ns nap;
+    await_loop t i args deadline st_off (spins + 1)
+      (if spins < t.spin + 64 then nap else min (2 * nap) 50_000)
+  end
+
+let await ?(deadline = max_int) t i args =
+  await_loop t i args deadline (cell_state t i) 0 1_000
+
+let call t ~ep args =
+  let i = submit_raw t ~ep args in
+  if i < 0 then begin
+    args.(t.rc_slot) <- i;
+    i
+  end
+  else await t i args
+
+let call_deadline t ~ep ~deadline args =
+  let i = submit_raw t ~ep args in
+  if i < 0 then begin
+    args.(t.rc_slot) <- i;
+    i
+  end
+  else await ~deadline t i args
+
+(* Announce clean shutdown to the serving side (its loop exits once the
+   ring is dry). *)
+let announce_shutdown t =
+  Segment.set t.seg (my_state_off t) W.peer_shutdown
+
+(* --- server side ----------------------------------------------------------- *)
+
+type dispatch = ep_word:int -> int array -> int
+
+(* Return an abandoned cell through the reclaim ring.  Cannot overflow:
+   the ring has as many slots as there are cells. *)
+let reclaim_cell t i =
+  let cap = t.capacity in
+  Segment.set t.seg (cell_state t i) W.state_free;
+  let tail = Segment.get t.seg (W.reclaim_tail ~capacity:cap) in
+  Segment.set t.seg (W.reclaim_slot ~capacity:cap tail) i;
+  Segment.set t.seg (W.reclaim_tail ~capacity:cap) (tail + 1);
+  ignore (Segment.fetch_add t.seg W.off_reclaimed 1 : int)
+
+(* Drain the submission ring once: run every queued call through
+   [dispatch], publish replies, recycle abandoned cells.  Returns how
+   many requests were served.  Server only. *)
+let serve_once t ~dispatch =
+  let cap = t.capacity in
+  let served = ref 0 in
+  let head = ref (Segment.get t.seg W.submit_head) in
+  let tail = Segment.get t.seg W.submit_tail in
+  while !head < tail do
+    let i = Segment.get t.seg (W.submit_slot ~capacity:cap !head) in
+    incr head;
+    Segment.set t.seg W.submit_head !head;
+    let st = Segment.get t.seg (cell_state t i) in
+    if st = W.state_pending then begin
+      for j = 0 to t.arg_words - 1 do
+        t.scratch.(j) <- Segment.get t.seg (cell_arg t i j)
+      done;
+      let ep_word = Segment.get t.seg (cell_ep t i) in
+      let rc =
+        match dispatch ~ep_word t.scratch with
+        | rc -> rc
+        | exception _ -> Errc.handler_fault
+      in
+      t.scratch.(t.rc_slot) <- rc;
+      for j = 0 to t.arg_words - 1 do
+        Segment.set t.seg (cell_arg t i j) t.scratch.(j)
+      done;
+      if
+        not
+          (Segment.cas t.seg (cell_state t i) ~expected:W.state_pending
+             ~desired:W.state_done)
+      then
+        (* The client abandoned the call while the handler ran: the
+           reply is discarded, the cell is the server's to recycle —
+           exactly once, because only the CAS loser reclaims. *)
+        reclaim_cell t i
+    end
+    else if st = W.state_abandoned then reclaim_cell t i;
+    incr served;
+    t.served <- t.served + 1
+  done;
+  if !served > 0 then t.batches <- t.batches + 1;
+  bump_heartbeat t;
+  !served
+
+(* The server loop: drain, park in growing naps when dry, exit when the
+   client announces shutdown (and the ring is dry) or is found dead
+   (after reclaiming its cells).  Returns the number of requests served
+   over the loop's lifetime. *)
+let serve t ~dispatch =
+  let continue_ = ref true in
+  let nap = ref 1_000 in
+  let idle = ref 0 in
+  while !continue_ do
+    let n = serve_once t ~dispatch in
+    if n > 0 then begin
+      nap := 1_000;
+      idle := 0
+    end
+    else begin
+      if Segment.get t.seg (peer_state_off t) = W.peer_shutdown then
+        continue_ := false
+      else if probe_peer t then begin
+        ignore (sweep_dead_peer t : int);
+        continue_ := false
+      end
+      else begin
+        (* Same spin -> yield -> nap ladder as the client's await: a
+           server that napped the instant the ring went dry would put a
+           wakeup latency on every ping-pong round trip. *)
+        incr idle;
+        if !idle < t.spin then Domain.cpu_relax ()
+        else if !idle < t.spin + 64 then Doorbell.yield ()
+        else begin
+          Doorbell.nap_ns !nap;
+          nap := min (2 * !nap) 50_000
+        end
+      end
+    end
+  done;
+  announce_shutdown t;
+  t.served
+
+(* A dispatcher over a Fastcall table + control plane: the thing that
+   makes a shared segment a full IPC endpoint.  Decodes the cell's
+   entry-point word (versioned handle / raw ID / control plane) and
+   speaks the Wire_abi management vocabulary — registration ships
+   behavior *specs* (two words) that are compiled against this very
+   table, so self-killing behaviors target the entry point they were
+   registered under, exactly like the in-process subjects. *)
+let fastcall_dispatch ?(principal = 7) fast ctl : dispatch =
+  let nap_ms ms = Doorbell.nap_ns (ms * 1_000_000) in
+  let compile ~self spec =
+    let kill k () =
+      match !self with Some ep -> k ep | None -> Errc.no_entry
+    in
+    let b =
+      Ipc_intf.Sigs.compile
+        ~kill_soft:(kill (fun ep -> Fastcall.soft_kill_h fast ep))
+        ~kill_hard:(kill (fun ep -> Fastcall.hard_kill_h fast ep))
+        ~nap_ms spec
+    in
+    fun (_ : Fastcall.ctx) args -> b args
+  in
+  fun ~ep_word args ->
+    let rc_slot = Array.length args - 1 in
+    if ep_word = W.ctl_ep then begin
+      let ret rc =
+        args.(rc_slot) <- rc;
+        rc
+      in
+      let op = args.(0) in
+      if op = W.ctl_register then (
+        match W.spec_of_wire ~code:args.(1) ~param:args.(2) with
+        | None -> ret Errc.bad_request
+        | Some spec ->
+            let self = ref None in
+            let ep = Fastcall.register_ep fast (compile ~self spec) in
+            self := Some ep;
+            args.(0) <- Fastcall.ep_to_wire ep;
+            ret Errc.ok)
+      else if op = W.ctl_publish then
+        let name = W.unpack_name (args.(2), args.(3)) in
+        ret
+          (Control.publish ctl ~principal ~name ~ep:(W.handle_slot args.(1)))
+      else if op = W.ctl_lookup then (
+        match Control.lookup ctl ~name:(W.unpack_name (args.(1), args.(2))) with
+        | Ok id ->
+            args.(0) <- id;
+            ret Errc.ok
+        | Error rc -> ret rc)
+      else if op = W.ctl_exchange then (
+        match W.spec_of_wire ~code:args.(2) ~param:args.(3) with
+        | None -> ret Errc.bad_request
+        | Some spec ->
+            let ep = Fastcall.ep_of_wire args.(1) in
+            ret (Fastcall.exchange_h fast ep (compile ~self:(ref (Some ep)) spec)))
+      else if op = W.ctl_soft_kill then
+        ret (Fastcall.soft_kill_h fast (Fastcall.ep_of_wire args.(1)))
+      else if op = W.ctl_hard_kill then
+        ret (Fastcall.hard_kill_h fast (Fastcall.ep_of_wire args.(1)))
+      else if op = W.ctl_in_flight then begin
+        args.(0) <- Fastcall.in_flight_h fast (Fastcall.ep_of_wire args.(1));
+        ret Errc.ok
+      end
+      else ret Errc.bad_request
+    end
+    else if W.is_raw_call ep_word then (
+      match Fastcall.call fast ~ep:(W.raw_call_id ep_word) args with
+      | rc -> rc
+      | exception Fastcall.No_entry _ ->
+          args.(rc_slot) <- Errc.no_entry;
+          Errc.no_entry)
+    else Fastcall.call_h fast (Fastcall.ep_of_wire ep_word) args
+
+(* --- observability --------------------------------------------------------- *)
+
+let swept t = t.swept
+let timeouts t = t.timeouts
+let submitted t = t.submitted
+let served t = t.served
+let batches t = t.batches
+let doorbell_rings t = Segment.get t.seg W.off_doorbell
+let reclaimed t = Segment.get t.seg W.off_reclaimed
+let peer_faults t = Segment.get t.seg W.off_peer_faults
+let peer_pid t = Segment.get t.seg (peer_pid_off t)
+let peer_ready t = Segment.get t.seg (peer_state_off t) = W.peer_ready
+
+(* Block (bounded) until the peer writes its ready state — the handshake
+   a forking demo does before its first call. *)
+let wait_peer_ready ?(timeout_ns = 5_000_000_000) t =
+  let deadline = Doorbell.now_ns () + timeout_ns in
+  let rec go () =
+    if peer_ready t then true
+    else if Doorbell.now_ns () > deadline then false
+    else begin
+      Doorbell.nap_ns 200_000;
+      go ()
+    end
+  in
+  go ()

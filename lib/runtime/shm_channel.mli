@@ -1,0 +1,150 @@
+(** The channel call path re-hosted on a {!Segment}: request cells,
+    SPSC rings, doorbell, lifecycle and heartbeat words all live at
+    {!Ipc_intf.Wire_abi} offsets, so the same protocol runs in-heap
+    (tests, baselines) and over an mmap'd file shared by two OS
+    processes — genuinely cross-protection-domain PPC.
+
+    One segment pairs one server with one client; each side holds a [t]
+    with its own role.  The warm submit/await path allocates nothing.
+    Crash containment extends to whole-process death: a frozen peer
+    heartbeat triggers a pid probe, and a confirmed death fails every
+    in-flight call with [Ipc_intf.Errc.handler_fault] and recycles
+    every cell exactly once (CAS-arbitrated per cell). *)
+
+type t
+type role = Server | Client
+
+exception Bad_segment of string
+(** Raised on attach when the magic, ABI version or construction
+    seqlock disqualify the segment. *)
+
+(** {1 Construction} *)
+
+val total_words : capacity:int -> arg_words:int -> int
+(** Segment size for a given geometry (see Wire_abi's layout table). *)
+
+val layout : ?capacity:int -> ?arg_words:int -> Segment.t -> unit
+(** Lay a fresh segment out (header under the generation seqlock, empty
+    rings, free cells).  [capacity] (default 64) must be a positive
+    power of two; defaults to 8 [arg_words].
+    @raise Invalid_argument otherwise, or if the segment is too small. *)
+
+val create_heap : ?capacity:int -> ?arg_words:int -> unit -> Segment.t
+(** An in-process segment, laid out and ready to attach both roles. *)
+
+val create_file :
+  path:string -> ?capacity:int -> ?arg_words:int -> unit -> Segment.t
+(** Create, size and lay out a segment file (the creator need not be
+    either endpoint — fork after this and attach from both sides). *)
+
+val attach :
+  ?spin:int -> ?probe_window_ns:int -> role:role -> Segment.t -> t
+(** Join a laid-out segment in [role]: validates the header, records
+    this pid, publishes readiness.  [spin] is the cpu-relax budget
+    before a wait starts yielding (default 2048, or 16 on a single-CPU
+    box where spinning only burns the peer's timeslice);
+    [probe_window_ns] how long the peer's heartbeat may freeze before
+    the pid probe runs (default 50 ms). *)
+
+val attach_file :
+  ?spin:int ->
+  ?probe_window_ns:int ->
+  ?timeout_ns:int ->
+  role:role ->
+  string ->
+  t
+(** Map and attach an existing segment file, waiting (bounded by
+    [timeout_ns], default 5 s) for the creator's seqlock to open.
+    @raise Bad_segment if nothing valid appears in time. *)
+
+val segment : t -> Segment.t
+val capacity : t -> int
+val arg_words : t -> int
+
+(** {1 Client side} *)
+
+val submit : t -> ep:int -> int array -> (int, int) result
+(** Stage a call: acquire a cell, write the entry-point word and
+    arguments, publish through the submission ring, ring the doorbell.
+    [Ok cell] to {!await} on; [Error Errc.retry] when every cell is in
+    flight, [Error Errc.killed] once the peer is known dead. *)
+
+val submit_raw : t -> ep:int -> int array -> int
+(** {!submit} without the result box: a cell index [>= 0] to {!await}
+    on, or a negative [Errc] code.  This is the warm path {!call} rides;
+    allocation-free. *)
+
+val await : ?deadline:int -> t -> int -> int array -> int
+(** Wait for a submitted cell, copy the reply into the array, recycle
+    the cell; returns the RC slot.  [deadline] is absolute
+    CLOCK_MONOTONIC ns: on expiry the cell is abandoned to the server
+    (Pending->Abandoned CAS handoff; it comes back through the reclaim
+    ring) and the call answers [Errc.timed_out].  Peer death answers
+    [Errc.handler_fault].  Spin -> yield -> nap; allocation-free. *)
+
+val call : t -> ep:int -> int array -> int
+(** [submit] + [await]. *)
+
+val call_deadline : t -> ep:int -> deadline:int -> int array -> int
+
+val announce_shutdown : t -> unit
+(** Tell the peer this side is done; a serving loop exits once its ring
+    is dry. *)
+
+(** {1 Server side} *)
+
+type dispatch = ep_word:int -> int array -> int
+(** Run one decoded request; mutates the array in place and returns the
+    RC.  Exceptions are contained to [Errc.handler_fault]. *)
+
+val serve_once : t -> dispatch:dispatch -> int
+(** Drain the submission ring once; returns requests served.  Recycles
+    cells abandoned mid-flight exactly once (CAS-arbitrated). *)
+
+val serve : t -> dispatch:dispatch -> int
+(** The server loop: drain, park in growing naps when dry, exit on the
+    client's shutdown announcement or confirmed death (after reclaiming
+    its cells).  Returns total requests served. *)
+
+val fastcall_dispatch : ?principal:int -> Fastcall.t -> Control.t -> dispatch
+(** A dispatcher over a Fastcall table and its control plane: versioned
+    wire handles and raw-ID calls reach the table, [Wire_abi.ctl_ep]
+    carries the management vocabulary (register-by-spec, publish,
+    lookup, exchange, kills, in-flight) — everything the cross-process
+    conformance subject needs. *)
+
+(** {1 Peer liveness} *)
+
+val wait_peer_ready : ?timeout_ns:int -> t -> bool
+val peer_ready : t -> bool
+val peer_pid : t -> int
+
+val peer_dead : t -> bool
+(** The verdict this side has reached (sticky). *)
+
+val probe_peer : t -> bool
+(** One probe step: heartbeat freshness, then (past the probe window) a
+    pid probe.  Returns {!peer_dead}.  Wait loops call this
+    automatically. *)
+
+val sweep_dead_peer : t -> int
+(** Fail/reclaim every cell a dead peer held: pending cells complete
+    with [Errc.handler_fault] for their awaiter, abandoned cells return
+    to the free stack.  CAS-arbitrated per cell, so repeated sweeps (or
+    sweep racing await) recycle each cell exactly once.  Returns cells
+    swept by this invocation. *)
+
+(** {1 Observability} *)
+
+val free_cells : t -> int
+(** Cells on the client free stack (after draining the reclaim ring). *)
+
+val in_flight : t -> int
+val swept : t -> int
+val timeouts : t -> int
+val submitted : t -> int
+val served : t -> int
+val batches : t -> int
+val doorbell_rings : t -> int
+val reclaimed : t -> int
+val peer_faults : t -> int

@@ -12,9 +12,17 @@ type 'a t = {
   tail : int Atomic.t;  (** next slot to write (producer-owned) *)
 }
 
-let create ~capacity =
+(* One validation, one message shape, shared with [Raw.create] and
+   [Request_slab.create]: tooling that pattern-matches the error does it
+   once. *)
+let validate_capacity fn capacity =
   if capacity <= 0 || capacity land (capacity - 1) <> 0 then
-    invalid_arg "Spsc_ring.create: capacity must be a positive power of two";
+    invalid_arg
+      (Printf.sprintf "%s: capacity must be a positive power of two (got %d)"
+         fn capacity)
+
+let create ~capacity =
+  validate_capacity "Spsc_ring.create" capacity;
   {
     buffer = Array.make capacity None;
     mask = capacity - 1;
@@ -81,8 +89,7 @@ module Raw = struct
   }
 
   let create ~capacity ~dummy =
-    if capacity <= 0 || capacity land (capacity - 1) <> 0 then
-      invalid_arg "Spsc_ring.Raw.create: capacity must be a positive power of two";
+    validate_capacity "Spsc_ring.Raw.create" capacity;
     {
       buffer = Array.make capacity dummy;
       dummy;

@@ -2,8 +2,16 @@
 
 type 'a t
 
+val validate_capacity : string -> int -> unit
+(** [validate_capacity fn n] raises [Invalid_argument] with the uniform
+    message ["<fn>: capacity must be a positive power of two (got <n>)"]
+    unless [n] is a positive power of two.  Shared by {!create},
+    {!Raw.create} and [Request_slab.create] so the contract is enforced
+    (and worded) once. *)
+
 val create : capacity:int -> 'a t
-(** [capacity] must be a positive power of two. *)
+(** [capacity] must be a positive power of two.
+    @raise Invalid_argument otherwise (see {!validate_capacity}). *)
 
 val capacity : 'a t -> int
 val length : 'a t -> int

@@ -1,0 +1,340 @@
+(* Structural comparison of two traffic-report JSON files — the
+   regression gate for `ppc_sim traffic --diff OLD.json NEW.json`.
+
+   Runs are matched by label, stages by name, and the latency
+   percentiles (mean/p50/p99/p999) plus the run-level achieved
+   throughput are compared under a relative tolerance.  The gate is
+   one-sided: only drift in the *worse* direction (latency up,
+   throughput down) beyond the tolerance fails; improvements are
+   reported but never block.  A run or stage present in OLD but missing
+   from NEW is always a failure — a silently vanished stage is the
+   worst kind of drift.
+
+   The parser below reads only the JSON subset [Report.Json.write]
+   emits (null/bool/number/string/array/object, standard escapes), so
+   the two ends of the pipeline stay one self-contained pair. *)
+
+(* --- a minimal JSON reader ------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at byte %d: %s" !pos msg)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %c" c) else advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' -> (
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* the writer only emits \u for control bytes *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else fail "non-ascii \\u escape"
+          | _ -> fail "bad escape");
+          advance ();
+          go ())
+      | '\255' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> literal "null" Null
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | '"' -> Str (parse_string ())
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          Arr [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (items [])
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          Obj [])
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                fields (kv :: acc)
+            | '}' ->
+                advance ();
+                List.rev (kv :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (fields [])
+    | _ -> parse_number () |> fun f -> Num f
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let str_field key j =
+  match member key j with Some (Str s) -> Some s | _ -> None
+
+let num_field key j =
+  match member key j with Some (Num f) -> Some f | _ -> None
+
+let arr_field key j = match member key j with Some (Arr l) -> l | _ -> []
+
+(* --- the comparison -------------------------------------------------------- *)
+
+type verdict = Better | Same | Worse
+
+type delta = {
+  run : string;
+  stage : string;  (** "(run)" for run-level metrics *)
+  metric : string;
+  old_v : float;
+  new_v : float;
+  rel : float;  (** signed relative change, worse direction positive *)
+  verdict : verdict;
+}
+
+type outcome = {
+  deltas : delta list;
+  missing : string list;  (** runs/stages in OLD absent from NEW *)
+  drifted : bool;  (** any Worse delta beyond tolerance, or any missing *)
+}
+
+(* Latency metrics are compared per stage and end-to-end; higher is
+   worse.  Throughput is run-level; lower is worse. *)
+let latency_metrics = [ "mean_us"; "p50_us"; "p99_us"; "p999_us" ]
+
+let classify ~tolerance ~higher_is_worse old_v new_v =
+  (* Relative change, oriented so positive = worse.  Sub-microsecond
+     noise floors divide-by-almost-zero into meaninglessness; treat a
+     vanishing baseline as an absolute comparison against itself. *)
+  let base = Float.max (Float.abs old_v) 1e-9 in
+  let change = (new_v -. old_v) /. base in
+  let rel = if higher_is_worse then change else -.change in
+  let verdict =
+    if rel > tolerance then Worse
+    else if rel < -.tolerance then Better
+    else Same
+  in
+  (rel, verdict)
+
+let diff_stage ~tolerance ~run ~stage old_j new_j acc =
+  List.fold_left
+    (fun acc metric ->
+      match (num_field metric old_j, num_field metric new_j) with
+      | Some old_v, Some new_v ->
+          let rel, verdict =
+            classify ~tolerance ~higher_is_worse:true old_v new_v
+          in
+          { run; stage; metric; old_v; new_v; rel; verdict } :: acc
+      | _ -> acc)
+    acc latency_metrics
+
+let diff ?(tolerance = 0.25) old_json new_json =
+  (* A report may carry the same label on both transports (modern and
+     legacy comparator runs), so the match key is label + transport. *)
+  let runs j =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun l ->
+            let key =
+              match str_field "transport" r with
+              | Some tr -> l ^ " [" ^ tr ^ "]"
+              | None -> l
+            in
+            (key, r))
+          (str_field "label" r))
+      (arr_field "runs" j)
+  in
+  let old_runs = runs old_json and new_runs = runs new_json in
+  let missing = ref [] in
+  let deltas = ref [] in
+  List.iter
+    (fun (label, old_run) ->
+      match List.assoc_opt label new_runs with
+      | None -> missing := Printf.sprintf "run %S" label :: !missing
+      | Some new_run ->
+          (match
+             ( num_field "achieved_per_sec" old_run,
+               num_field "achieved_per_sec" new_run )
+           with
+          | Some old_v, Some new_v ->
+              let rel, verdict =
+                classify ~tolerance ~higher_is_worse:false old_v new_v
+              in
+              deltas :=
+                {
+                  run = label;
+                  stage = "(run)";
+                  metric = "achieved_per_sec";
+                  old_v;
+                  new_v;
+                  rel;
+                  verdict;
+                }
+                :: !deltas
+          | _ -> ());
+          let stages r =
+            List.filter_map
+              (fun s -> Option.map (fun n -> (n, s)) (str_field "stage" s))
+              (arr_field "stages" r)
+          in
+          let new_stages = stages new_run in
+          List.iter
+            (fun (stage, old_stage) ->
+              match List.assoc_opt stage new_stages with
+              | None ->
+                  missing :=
+                    Printf.sprintf "run %S stage %S" label stage :: !missing
+              | Some new_stage ->
+                  deltas :=
+                    diff_stage ~tolerance ~run:label ~stage old_stage new_stage
+                      !deltas)
+            (stages old_run);
+          (match (member "end_to_end" old_run, member "end_to_end" new_run) with
+          | Some o, Some n ->
+              deltas :=
+                diff_stage ~tolerance ~run:label ~stage:"end_to_end" o n
+                  !deltas
+          | _ -> ()))
+    old_runs;
+  let deltas = List.rev !deltas in
+  let missing = List.rev !missing in
+  {
+    deltas;
+    missing;
+    drifted =
+      missing <> [] || List.exists (fun d -> d.verdict = Worse) deltas;
+  }
+
+let diff_files ?tolerance old_path new_path =
+  diff ?tolerance (parse_file old_path) (parse_file new_path)
+
+(* --- rendering ------------------------------------------------------------- *)
+
+let to_markdown ?(tolerance = 0.25) o =
+  let b = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  bpf "## Traffic report drift (tolerance %.0f%%, worse-direction only)\n\n"
+    (100.0 *. tolerance);
+  if o.missing <> [] then begin
+    bpf "### Missing from NEW\n\n";
+    List.iter (fun m -> bpf "- %s\n" m) o.missing;
+    bpf "\n"
+  end;
+  bpf "| run | stage | metric | old | new | drift | verdict |\n";
+  bpf "|---|---|---|---:|---:|---:|---|\n";
+  List.iter
+    (fun d ->
+      bpf "| %s | %s | %s | %.2f | %.2f | %+.1f%% | %s |\n" d.run d.stage
+        d.metric d.old_v d.new_v
+        (100.0 *. d.rel)
+        (match d.verdict with
+        | Worse -> "**WORSE**"
+        | Better -> "better"
+        | Same -> "ok"))
+    o.deltas;
+  let worse = List.length (List.filter (fun d -> d.verdict = Worse) o.deltas) in
+  bpf "\n%d metrics compared, %d beyond tolerance in the worse direction%s.\n"
+    (List.length o.deltas) worse
+    (if o.missing = [] then ""
+     else Printf.sprintf ", %d missing" (List.length o.missing));
+  bpf "Verdict: **%s**\n" (if o.drifted then "DRIFT" else "clean");
+  Buffer.contents b

@@ -1,0 +1,49 @@
+(** Structural drift comparison of two traffic-report JSON files (the
+    [`ppc_sim traffic --diff`] gate).  Runs are matched by label and
+    stages by name; latency percentiles and run-level throughput are
+    compared under a relative tolerance, failing only in the worse
+    direction (latency up, throughput down).  Anything present in OLD
+    but missing from NEW is always drift. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse : string -> json
+(** Parse the JSON subset {!Report.Json.write} emits.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> json
+
+type verdict = Better | Same | Worse
+
+type delta = {
+  run : string;
+  stage : string;  (** ["(run)"] for run-level metrics *)
+  metric : string;
+  old_v : float;
+  new_v : float;
+  rel : float;  (** signed relative change, worse direction positive *)
+  verdict : verdict;
+}
+
+type outcome = {
+  deltas : delta list;
+  missing : string list;  (** runs/stages in OLD absent from NEW *)
+  drifted : bool;  (** any [Worse] delta, or anything missing *)
+}
+
+val diff : ?tolerance:float -> json -> json -> outcome
+(** [tolerance] is relative (default 0.25 = 25%). *)
+
+val diff_files : ?tolerance:float -> string -> string -> outcome
+
+val to_markdown : ?tolerance:float -> outcome -> string
+(** The per-stage delta table.  [tolerance] only labels the header —
+    pass the same value given to {!diff}. *)

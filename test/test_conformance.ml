@@ -45,10 +45,6 @@ module Sim_subject :
   let wrap (b : Ipc_intf.Sigs.behavior) : Ppc.Call_ctx.handler =
    fun _ctx args -> b args
 
-  let register t b =
-    Ppc.Entry_point.id
-      (Ppc.register_direct t.ppc ~server:t.server ~handler:(wrap b))
-
   let id _ ep = ep
 
   let publish t ~name ep =
@@ -72,16 +68,6 @@ module Sim_subject :
      coincide. *)
   let call t ep args = call_id t ~id:ep args
 
-  let exchange t ep b =
-    match Ppc.find_ep t.ppc ep with
-    | None -> Errc.no_entry
-    | Some e when Ppc.Entry_point.status e <> Ppc.Entry_point.Active ->
-        Errc.killed
-    | Some _ ->
-        ignore
-          (Ppc.Engine.exchange (Ppc.engine t.ppc) ~ep_id:ep ~handler:(wrap b));
-        Errc.ok
-
   let kill_with op t ep =
     match Ppc.find_ep t.ppc ep with
     | None -> Errc.no_entry
@@ -98,6 +84,36 @@ module Sim_subject :
     match Ppc.find_ep t.ppc ep with
     | None -> 0
     | Some e -> Ppc.Entry_point.in_progress_total e
+
+  (* Compile a behavior spec against this embodiment: self-kills target
+     the ref cell filled in right after registration, naps are free
+     (simulated time needs no wall clock). *)
+  let compile t self spec =
+    let kill k () = match !self with Some ep -> k t ep | None -> Errc.no_entry in
+    Ipc_intf.Sigs.compile ~kill_soft:(kill soft_kill) ~kill_hard:(kill hard_kill)
+      ~nap_ms:(fun _ -> ())
+      spec
+
+  let register t spec =
+    let self = ref None in
+    let b = compile t self spec in
+    let ep =
+      Ppc.Entry_point.id
+        (Ppc.register_direct t.ppc ~server:t.server ~handler:(wrap b))
+    in
+    self := Some ep;
+    ep
+
+  let exchange t ep spec =
+    let b = compile t (ref (Some ep)) spec in
+    match Ppc.find_ep t.ppc ep with
+    | None -> Errc.no_entry
+    | Some e when Ppc.Entry_point.status e <> Ppc.Entry_point.Active ->
+        Errc.killed
+    | Some _ ->
+        ignore
+          (Ppc.Engine.exchange (Ppc.engine t.ppc) ~ep_id:ep ~handler:(wrap b));
+        Errc.ok
 end
 
 (* --- the real-domain runtime embodiment ---------------------------------- *)
@@ -122,7 +138,24 @@ module Runtime_subject :
   let teardown _ = ()
 
   let wrap (b : Ipc_intf.Sigs.behavior) : F.handler = fun _ctx args -> b args
-  let register t b = F.register_ep t.table (wrap b)
+
+  let compile t self spec =
+    let kill k () =
+      match !self with Some ep -> k t ep | None -> Errc.no_entry
+    in
+    Ipc_intf.Sigs.compile
+      ~kill_soft:(kill (fun t ep -> F.soft_kill_h t.table ep))
+      ~kill_hard:(kill (fun t ep -> F.hard_kill_h t.table ep))
+      ~nap_ms:(fun ms -> Runtime.Doorbell.nap_ns (ms * 1_000_000))
+      spec
+
+  let register t spec =
+    let self = ref None in
+    let b = compile t self spec in
+    let ep = F.register_ep t.table (wrap b) in
+    self := Some ep;
+    ep
+
   let id _ ep = F.ep_id ep
 
   let publish t ~name ep =
@@ -138,7 +171,9 @@ module Runtime_subject :
         args.(F.arg_words - 1) <- Errc.no_entry;
         Errc.no_entry
 
-  let exchange t ep b = F.exchange_h t.table ep (wrap b)
+  let exchange t ep spec =
+    F.exchange_h t.table ep (wrap (compile t (ref (Some ep)) spec))
+
   let soft_kill t ep = F.soft_kill_h t.table ep
   let hard_kill t ep = F.hard_kill_h t.table ep
   let in_flight t ep = F.in_flight_h t.table ep

@@ -27,6 +27,7 @@ let groups : (string * unit Alcotest.test list) list =
     ("determinism", Test_determinism.suites @ Test_properties.suites);
     ("runtime", Test_runtime.suites @ Test_runtime_models.suites @ Test_copy_engine.suites);
     ("runtime_faults", Test_runtime_faults.suites);
+    ("shm", Test_shm.suites);
     ("conformance", Test_conformance.suites);
     ("faultsim", Test_faultsim.suites);
     ("bench", Test_bench_gate.suites);

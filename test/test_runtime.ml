@@ -74,10 +74,40 @@ let test_spsc_capacity () =
   Alcotest.(check (option int)) "pop first" (Some 1) (Runtime.Spsc_ring.try_pop r);
   Alcotest.(check bool) "space again" true (Runtime.Spsc_ring.try_push r 5)
 
+(* The uniform capacity contract: every capacity-taking constructor
+   speaks the same [Invalid_argument] sentence (via
+   [Spsc_ring.validate_capacity]), pinned verbatim so a drive-by
+   rewording shows up here. *)
+let capacity_message fn n =
+  Printf.sprintf "%s: capacity must be a positive power of two (got %d)" fn n
+
 let test_spsc_power_of_two_required () =
-  Alcotest.check_raises "non-power rejected"
-    (Invalid_argument "Spsc_ring.create: capacity must be a positive power of two")
-    (fun () -> ignore (Runtime.Spsc_ring.create ~capacity:6))
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises
+        (Printf.sprintf "capacity %d rejected" bad)
+        (Invalid_argument (capacity_message "Spsc_ring.create" bad))
+        (fun () -> ignore (Runtime.Spsc_ring.create ~capacity:bad)))
+    [ 6; 0; -1; 3; 1000 ]
+
+let test_uniform_capacity_contract () =
+  (* Raw rings and the request slab reuse the exact same validator —
+     same wording, their own constructor name. *)
+  Alcotest.check_raises "Raw.create capacity 0"
+    (Invalid_argument (capacity_message "Spsc_ring.Raw.create" 0))
+    (fun () -> ignore (Runtime.Spsc_ring.Raw.create ~capacity:0 ~dummy:0));
+  Alcotest.check_raises "Request_slab.create capacity 6"
+    (Invalid_argument (capacity_message "Request_slab.create" 6))
+    (fun () ->
+      ignore (Runtime.Request_slab.create ~capacity:6 ~arg_words:8 ()));
+  Alcotest.check_raises "Request_slab.create capacity -4"
+    (Invalid_argument (capacity_message "Request_slab.create" (-4)))
+    (fun () ->
+      ignore (Runtime.Request_slab.create ~capacity:(-4) ~arg_words:8 ()));
+  (* validate_capacity itself: accepts every power of two, including 1. *)
+  List.iter
+    (fun ok -> Runtime.Spsc_ring.validate_capacity "t" ok)
+    [ 1; 2; 4; 64; 1024 ]
 
 let prop_spsc_wraparound =
   QCheck.Test.make ~name:"ring preserves order across wraps" ~count:100
@@ -274,6 +304,8 @@ let suites =
         Alcotest.test_case "bounded capacity" `Quick test_spsc_capacity;
         Alcotest.test_case "power of two required" `Quick
           test_spsc_power_of_two_required;
+        Alcotest.test_case "uniform capacity contract" `Quick
+          test_uniform_capacity_contract;
         Alcotest.test_case "cross-domain stream" `Quick test_spsc_cross_domain;
         qcheck prop_spsc_wraparound;
       ] );
@@ -384,8 +416,7 @@ let test_raw_ring_capacity () =
   Alcotest.(check int) "pop first" 1 (Runtime.Spsc_ring.Raw.try_pop r);
   Alcotest.(check bool) "space again" true (Runtime.Spsc_ring.Raw.try_push r 5);
   Alcotest.check_raises "non-power rejected"
-    (Invalid_argument
-       "Spsc_ring.Raw.create: capacity must be a positive power of two")
+    (Invalid_argument (capacity_message "Spsc_ring.Raw.create" 6))
     (fun () -> ignore (Runtime.Spsc_ring.Raw.create ~capacity:6 ~dummy:0))
 
 let prop_raw_ring_wraparound =

@@ -489,6 +489,77 @@ let prop_batch_hold_lifecycle =
                   else rc = Ipc_intf.Errc.no_entry))
         ops)
 
+(* --- Backoff vs closed-form doubling -------------------------------------- *)
+
+(* Drive a [Backoff.t] through a generated schedule of [once]/[reset]
+   steps (true = once, false = reset) and check the observable [spun]
+   trace against the doubling law, purely from the generated
+   parameters:
+
+     - each pause delta is between [min_spin] and [max_spin] (cap never
+       exceeded, even when doubling overshoots it);
+     - deltas are monotone non-decreasing between resets (exponential
+       climb saturates, never dips);
+     - the whole trace is a pure function of the inputs — replaying the
+       same schedule on a fresh instance reproduces [spun] exactly, so
+       a QCheck seed pins the full behavior deterministically. *)
+let backoff_arb =
+  QCheck.(
+    triple (1 -- 64) (0 -- 8) (list_of_size Gen.(0 -- 40) bool))
+
+let prop_backoff_laws =
+  QCheck.Test.make ~name:"backoff: capped, monotone, replayable" ~count:300
+    backoff_arb (fun (min_spin, extra_doublings, steps) ->
+      (* max_spin somewhere on the doubling ladder or just off it, so the
+         saturation edge is exercised. *)
+      let max_spin = (min_spin lsl extra_doublings) + (min_spin / 2) in
+      let run () =
+        let b = Runtime.Backoff.create ~min_spin ~max_spin () in
+        let trace = ref [] in
+        let last = ref 0 in
+        let prev_delta = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun step ->
+            if step then begin
+              Runtime.Backoff.once b;
+              let s = Runtime.Backoff.spun b in
+              let delta = s - !last in
+              if delta < min_spin || delta > max_spin then ok := false;
+              if delta < !prev_delta then ok := false;
+              prev_delta := delta;
+              last := s
+            end
+            else begin
+              Runtime.Backoff.reset b;
+              if Runtime.Backoff.spun b <> 0 then ok := false;
+              last := 0;
+              prev_delta := 0
+            end;
+            trace := Runtime.Backoff.spun b :: !trace)
+          steps;
+        (!ok, !trace)
+      in
+      let ok1, trace1 = run () in
+      let ok2, trace2 = run () in
+      ok1 && ok2 && trace1 = trace2)
+
+let prop_backoff_with_retry =
+  QCheck.Test.make ~name:"with_retry: budget honoured, verdict passed through"
+    ~count:200
+    QCheck.(pair (1 -- 8) (0 -- 12))
+    (fun (attempts, succeed_after) ->
+      let calls = ref 0 in
+      let rc =
+        Runtime.Backoff.with_retry ~attempts ~min_spin:1 ~max_spin:4 (fun () ->
+            incr calls;
+            if !calls > succeed_after then Ipc_intf.Errc.ok
+            else Ipc_intf.Errc.retry)
+      in
+      if succeed_after < attempts then
+        rc = Ipc_intf.Errc.ok && !calls = succeed_after + 1
+      else rc = Ipc_intf.Errc.retry && !calls = attempts)
+
 let suites =
   [
     ( "runtime.models",
@@ -501,5 +572,7 @@ let suites =
         qcheck prop_slab_abandon_reclaim;
         qcheck prop_slot_lifecycle;
         qcheck prop_batch_hold_lifecycle;
+        qcheck prop_backoff_laws;
+        qcheck prop_backoff_with_retry;
       ] );
   ]

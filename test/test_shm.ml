@@ -1,0 +1,539 @@
+(* The shared-segment substrate: Wire_abi layout invariants, Segment
+   backends (in-heap and mmap'd file), and the Shm_channel call path —
+   round trips, deadline abandonment, peer-death containment and the
+   zero-allocation pin — all inside one process, where domains stand in
+   for the two OS processes.  The genuinely cross-process side (fork,
+   kill -9) lives in `ppc_sim shm` and runs from CI. *)
+
+module W = Ipc_intf.Wire_abi
+module Errc = Ipc_intf.Errc
+module Seg = Runtime.Segment
+module Ch = Runtime.Shm_channel
+
+(* --- Wire_abi: the layout is the contract ---------------------------------- *)
+
+(* The whole point of the ABI module is that these numbers never move
+   silently: pin the header offsets, the region arithmetic and the
+   encodings verbatim, so any relayout forces an [abi_version] bump to
+   show up in the same diff. *)
+let test_abi_layout () =
+  Alcotest.(check int) "abi version" 1 W.abi_version;
+  Alcotest.(check bool) "magic is a positive immediate" true (W.magic > 0);
+  Alcotest.(check string) "magic spells PPC_ABI" "PPC_ABI"
+    (String.init 7 (fun i -> Char.chr ((W.magic lsr (8 * (6 - i))) land 0xff)));
+  Alcotest.(check int) "header words" 16 W.header_words;
+  List.iteri
+    (fun want (name, got) ->
+      Alcotest.(check int) ("header offset " ^ name) want got)
+    [
+      ("magic", W.off_magic);
+      ("version", W.off_version);
+      ("generation", W.off_generation);
+      ("total_words", W.off_total_words);
+      ("capacity", W.off_capacity);
+      ("arg_words", W.off_arg_words);
+      ("server_pid", W.off_server_pid);
+      ("client_pid", W.off_client_pid);
+      ("server_heartbeat", W.off_server_heartbeat);
+      ("client_heartbeat", W.off_client_heartbeat);
+      ("server_state", W.off_server_state);
+      ("client_state", W.off_client_state);
+      ("doorbell", W.off_doorbell);
+      ("reclaimed", W.off_reclaimed);
+      ("peer_faults", W.off_peer_faults);
+      ("reserved", W.off_reserved);
+    ];
+  (* Regions tile the segment exactly: header | submit ring | reclaim
+     ring | cells, no gaps, no overlap, for several geometries. *)
+  List.iter
+    (fun (capacity, arg_words) ->
+      let ring = W.ring_words ~capacity in
+      Alcotest.(check int) "submit ring after header" W.header_words
+        W.submit_base;
+      Alcotest.(check int) "reclaim ring after submit ring"
+        (W.submit_base + ring)
+        (W.reclaim_base ~capacity);
+      Alcotest.(check int) "cells after reclaim ring"
+        (W.reclaim_base ~capacity + ring)
+        (W.cells_base ~capacity);
+      Alcotest.(check int) "total covers the last cell word"
+        (W.cell_arg ~capacity ~arg_words (capacity - 1) (arg_words - 1) + 1)
+        (W.total_words ~capacity ~arg_words);
+      (* Slot indices wrap by masking: a full lap lands back on slot 0. *)
+      Alcotest.(check int) "submit slot wraps"
+        (W.submit_slot ~capacity 0)
+        (W.submit_slot ~capacity capacity);
+      Alcotest.(check int) "reclaim slot wraps"
+        (W.reclaim_slot ~capacity 3)
+        (W.reclaim_slot ~capacity (capacity + 3)))
+    [ (1, 1); (16, 8); (64, 8); (256, 4) ];
+  (* Cell states are Request_slab's encodings, now frozen as wire
+     values. *)
+  Alcotest.(check (list int)) "cell states"
+    [
+      Runtime.Request_slab.state_free;
+      Runtime.Request_slab.state_pending;
+      Runtime.Request_slab.state_parked;
+      Runtime.Request_slab.state_done;
+      Runtime.Request_slab.state_abandoned;
+    ]
+    [ W.state_free; W.state_pending; W.state_parked; W.state_done;
+      W.state_abandoned ]
+
+let test_abi_ep_word () =
+  (* Versioned handles round-trip and match Fastcall's own packing. *)
+  List.iter
+    (fun (slot, gen) ->
+      let w = W.pack_handle ~slot ~gen in
+      Alcotest.(check bool) "handles are non-negative" true (w >= 0);
+      Alcotest.(check int) "slot round-trips" slot (W.handle_slot w);
+      Alcotest.(check int) "gen round-trips" gen (W.handle_gen w))
+    [ (0, 0); (1, 1); (1023, 0); (0, 999_999); (512, 12345) ];
+  Alcotest.check_raises "slot beyond handle_bits rejected"
+    (Invalid_argument "Wire_abi.pack_handle: slot out of range") (fun () ->
+      ignore (W.pack_handle ~slot:1024 ~gen:0));
+  (* The three variants of the entry-point word are disjoint. *)
+  Alcotest.(check bool) "ctl_ep is not a raw call" false (W.is_raw_call W.ctl_ep);
+  Alcotest.(check bool) "ctl_ep is negative" true (W.ctl_ep < 0);
+  List.iter
+    (fun id ->
+      let w = W.pack_raw_call id in
+      Alcotest.(check bool) "raw calls are recognizable" true (W.is_raw_call w);
+      Alcotest.(check int) "raw id round-trips" id (W.raw_call_id w))
+    [ 0; 1; 7; 1023 ];
+  (* Specs serialize to two words and back; every constructor survives. *)
+  List.iter
+    (fun spec ->
+      let code, param = W.spec_to_wire spec in
+      Alcotest.(check bool) "spec round-trips" true
+        (W.spec_of_wire ~code ~param = Some spec))
+    Ipc_intf.Sigs.
+      [ Stamp 42; Add2; Kill_self_soft 9; Kill_self_hard 3; Nap_ms 25 ];
+  Alcotest.(check bool) "unknown spec code refused" true
+    (W.spec_of_wire ~code:77 ~param:0 = None);
+  (* Names pack into two 7-byte words. *)
+  List.iter
+    (fun s ->
+      match W.pack_name s with
+      | None -> Alcotest.failf "pack_name %S refused a legal name" s
+      | Some pair ->
+          Alcotest.(check string) "name round-trips" s (W.unpack_name pair))
+    [ "a"; "console"; "sys/batch"; "abcdefghijklmn" ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pack_name %S refused" s)
+        true
+        (W.pack_name s = None))
+    [ ""; "abcdefghijklmno" (* 15 bytes *); "nul\000byte" ]
+
+(* --- Segment: both backends ------------------------------------------------ *)
+
+let exercise_words seg =
+  let n = Seg.length seg in
+  Seg.set seg 0 42;
+  Alcotest.(check int) "set/get" 42 (Seg.get seg 0);
+  Seg.set seg (n - 1) (-7);
+  Alcotest.(check int) "negative words survive" (-7) (Seg.get seg (n - 1));
+  Alcotest.(check bool) "cas hit" true
+    (Seg.cas seg 0 ~expected:42 ~desired:43);
+  Alcotest.(check bool) "cas miss" false
+    (Seg.cas seg 0 ~expected:42 ~desired:99);
+  Alcotest.(check int) "cas stored the desired value" 43 (Seg.get seg 0);
+  Alcotest.(check int) "fetch_add returns prior" 43 (Seg.fetch_add seg 0 5);
+  Alcotest.(check int) "fetch_add added" 48 (Seg.get seg 0);
+  (* A large word exercising the full 63-bit immediate range. *)
+  let big = (1 lsl 62) - 1 in
+  Seg.set seg 1 big;
+  Alcotest.(check int) "62-bit word round-trips" big (Seg.get seg 1);
+  Alcotest.check_raises "checked get catches out of range"
+    (Invalid_argument (Printf.sprintf "Segment: word %d out of bounds" n))
+    (fun () -> ignore (Seg.get_checked seg n))
+
+let test_segment_heap () =
+  let seg = Seg.create_heap ~words:32 in
+  Alcotest.(check int) "length" 32 (Seg.length seg);
+  Alcotest.(check bool) "no backing path" true (Seg.path seg = None);
+  Alcotest.(check int) "msync is a no-op" 0 (Seg.msync seg);
+  Alcotest.(check int) "madvise is a no-op" 0 (Seg.madvise seg Seg.Madv_normal);
+  exercise_words seg
+
+let with_temp_path f =
+  let path = Filename.temp_file "ppc_seg" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_segment_shm () =
+  with_temp_path (fun path ->
+      let seg = Seg.map_file ~path ~words:32 ~create:true () in
+      Alcotest.(check int) "length" 32 (Seg.length seg);
+      Alcotest.(check bool) "backing path recorded" true
+        (Seg.path seg = Some path);
+      exercise_words seg;
+      Alcotest.(check int) "msync flushes" 0 (Seg.msync seg);
+      Alcotest.(check int) "madvise willneed" 0
+        (Seg.madvise seg Seg.Madv_willneed);
+      (* A second independent mapping of the same file sees the same
+         words — the property the cross-process path depends on. *)
+      let seg2 = Seg.map_file ~path ~words:32 ~create:false () in
+      Alcotest.(check int) "second mapping reads first's write" 48
+        (Seg.get seg2 0);
+      Seg.set seg2 5 1234;
+      Alcotest.(check int) "first mapping reads second's write" 1234
+        (Seg.get seg 5));
+  (* Our own pid is alive; pid 0 is never probed by the channel, but
+     the raw probe on a free pid must answer false.  Hunt down from a
+     big number to find one that is genuinely unused. *)
+  Alcotest.(check bool) "self is alive" true (Seg.pid_alive (Unix.getpid ()))
+
+(* --- Shm_channel: layout + attach validation ------------------------------- *)
+
+let test_channel_validation () =
+  Alcotest.check_raises "capacity 6 rejected"
+    (Invalid_argument
+       "Shm_channel.layout: capacity must be a positive power of two (got 6)")
+    (fun () -> Ch.layout ~capacity:6 (Seg.create_heap ~words:4096));
+  Alcotest.check_raises "undersized segment rejected"
+    (Invalid_argument "Shm_channel.layout: segment holds 8 words, need 68")
+    (fun () ->
+      Ch.layout ~capacity:4 ~arg_words:8 (Seg.create_heap ~words:8));
+  let seg = Ch.create_heap ~capacity:4 ~arg_words:8 () in
+  (* Corrupt each identification word in turn; attach must refuse. *)
+  let expect_bad msg f =
+    match f () with
+    | (_ : Ch.t) -> Alcotest.failf "attach accepted a bad segment (%s)" msg
+    | exception Ch.Bad_segment _ -> ()
+  in
+  let magic = Seg.get seg W.off_magic in
+  Seg.set seg W.off_magic 0xBAD;
+  expect_bad "magic" (fun () -> Ch.attach ~role:Ch.Client seg);
+  Seg.set seg W.off_magic magic;
+  Seg.set seg W.off_version (W.abi_version + 1);
+  expect_bad "version" (fun () -> Ch.attach ~role:Ch.Client seg);
+  Seg.set seg W.off_version W.abi_version;
+  Seg.set seg W.off_generation 3 (* odd: mid-construction *);
+  expect_bad "odd generation" (fun () -> Ch.attach ~role:Ch.Client seg);
+  Seg.set seg W.off_generation 2;
+  let t = Ch.attach ~role:Ch.Client seg in
+  Alcotest.(check int) "geometry read back" 4 (Ch.capacity t);
+  Alcotest.(check int) "arg words read back" 8 (Ch.arg_words t)
+
+(* --- Shm_channel: round trips over both backends --------------------------- *)
+
+(* args.(2) <- args.(0) + args.(1), and echo the ep word into slot 3 so
+   routing is observable. *)
+let adder_dispatch ~ep_word args =
+  args.(2) <- args.(0) + args.(1);
+  args.(3) <- ep_word;
+  Errc.ok
+
+let round_trip seg =
+  let server = Ch.attach ~role:Ch.Server seg in
+  let client = Ch.attach ~role:Ch.Client seg in
+  Alcotest.(check bool) "client sees server ready" true
+    (Ch.wait_peer_ready client);
+  Alcotest.(check int) "peer pid is this process" (Unix.getpid ())
+    (Ch.peer_pid client);
+  let srv = Domain.spawn (fun () -> Ch.serve server ~dispatch:adder_dispatch) in
+  let args = Array.make 8 0 in
+  let calls = 2000 in
+  for i = 1 to calls do
+    args.(0) <- i;
+    args.(1) <- 3 * i;
+    let rc = Ch.call client ~ep:(W.pack_raw_call 5) args in
+    if rc <> Errc.ok || args.(2) <> 4 * i then
+      Alcotest.failf "call %d: rc=%s sum=%d" i (Errc.to_string rc) args.(2)
+  done;
+  Alcotest.(check int) "ep word reached the dispatcher" (W.pack_raw_call 5)
+    args.(3);
+  Ch.announce_shutdown client;
+  let served = Domain.join srv in
+  Alcotest.(check int) "server saw every call" calls served;
+  Alcotest.(check int) "client counted every submit" calls
+    (Ch.submitted client);
+  Alcotest.(check int) "every cell is home" (Ch.capacity client)
+    (Ch.free_cells client);
+  Alcotest.(check int) "doorbell rung once per call" calls
+    (Ch.doorbell_rings client)
+
+let test_round_trip_heap () =
+  round_trip (Ch.create_heap ~capacity:8 ~arg_words:8 ())
+
+let test_round_trip_file () =
+  with_temp_path (fun path ->
+      (* Two independent mappings of one file: as close to two processes
+         as a single test process gets. *)
+      let seg_server = Ch.create_file ~path ~capacity:8 ~arg_words:8 () in
+      let server = Ch.attach ~role:Ch.Server seg_server in
+      let srv =
+        Domain.spawn (fun () -> Ch.serve server ~dispatch:adder_dispatch)
+      in
+      let client = Ch.attach_file ~role:Ch.Client path in
+      Alcotest.(check int) "geometry travels through the header" 8
+        (Ch.capacity client);
+      let args = Array.make 8 0 in
+      for i = 1 to 500 do
+        args.(0) <- i;
+        args.(1) <- i;
+        let rc = Ch.call client ~ep:(W.pack_raw_call 1) args in
+        if rc <> Errc.ok || args.(2) <> 2 * i then
+          Alcotest.failf "file call %d: rc=%s sum=%d" i (Errc.to_string rc)
+            args.(2)
+      done;
+      Ch.announce_shutdown client;
+      Alcotest.(check int) "server saw every call" 500 (Domain.join srv))
+
+(* Saturate the submission window: with every cell in flight and no
+   server draining, the next submit answers [retry], not a block. *)
+let test_backpressure () =
+  let seg = Ch.create_heap ~capacity:2 ~arg_words:8 () in
+  let client = Ch.attach ~role:Ch.Client seg in
+  let args = Array.make 8 0 in
+  let i1 = Ch.submit_raw client ~ep:(W.pack_raw_call 0) args in
+  let i2 = Ch.submit_raw client ~ep:(W.pack_raw_call 0) args in
+  Alcotest.(check bool) "two cells granted" true (i1 >= 0 && i2 >= 0 && i1 <> i2);
+  Alcotest.(check int) "third submit answers retry" Errc.retry
+    (Ch.submit_raw client ~ep:(W.pack_raw_call 0) args);
+  Alcotest.(check int) "in flight" 2 (Ch.in_flight client)
+
+(* --- deadline abandonment + §4.5.6 reclaim --------------------------------- *)
+
+let test_deadline_abandon_reclaim () =
+  let seg = Ch.create_heap ~capacity:4 ~arg_words:8 () in
+  let client = Ch.attach ~role:Ch.Client seg in
+  let server = Ch.attach ~role:Ch.Server seg in
+  let args = Array.make 8 0 in
+  (* No server loop running: the deadline always wins the CAS. *)
+  let rc =
+    Ch.call_deadline client ~ep:(W.pack_raw_call 0)
+      ~deadline:(Runtime.Doorbell.now_ns () + 200_000)
+      args
+  in
+  Alcotest.(check int) "deadline answers timed_out" Errc.timed_out rc;
+  Alcotest.(check int) "rc slot carries the verdict" Errc.timed_out args.(7);
+  Alcotest.(check int) "one timeout counted" 1 (Ch.timeouts client);
+  Alcotest.(check int) "cell is stranded" 3 (Ch.free_cells client);
+  (* The server drains the ring, finds the abandoned cell, and recycles
+     it through the reclaim ring — exactly once. *)
+  Alcotest.(check int) "ring drained the abandoned entry" 1
+    (Ch.serve_once server ~dispatch:adder_dispatch);
+  Alcotest.(check int) "reclaim counted once" 1 (Ch.reclaimed client);
+  Alcotest.(check int) "cell came home" 4 (Ch.free_cells client);
+  (* The recycled cell works again end to end. *)
+  let srv = Domain.spawn (fun () -> Ch.serve server ~dispatch:adder_dispatch) in
+  args.(0) <- 20;
+  args.(1) <- 22;
+  Alcotest.(check int) "recycled cell calls fine" Errc.ok
+    (Ch.call client ~ep:(W.pack_raw_call 0) args);
+  Alcotest.(check int) "sum" 42 args.(2);
+  Ch.announce_shutdown client;
+  ignore (Domain.join srv : int)
+
+(* --- peer-death containment ------------------------------------------------ *)
+
+(* A pid no live process owns: probe downward from a large pid.  (The
+   true fork/kill -9 version of this scenario lives in `ppc_sim shm
+   --scenario kill9`.) *)
+let dead_pid () =
+  let rec hunt p = if p < 2 then 2 else if Seg.pid_alive p then hunt (p - 1) else p in
+  hunt 99_999
+
+let test_peer_death_containment () =
+  let seg = Ch.create_heap ~capacity:4 ~arg_words:8 () in
+  (* Tight probe window so the test converges in microseconds.  While
+     the server pid word is still 0 the probe is inert, so the first
+     (deadline) call below cannot be short-circuited by a death
+     verdict. *)
+  let client = Ch.attach ~probe_window_ns:1_000 ~role:Ch.Client seg in
+  let args = Array.make 8 0 in
+  (* One stranded abandoned cell (deadline fired, server never
+     reclaimed it)... *)
+  let rc =
+    Ch.call_deadline client ~ep:(W.pack_raw_call 0)
+      ~deadline:(Runtime.Doorbell.now_ns () + 100_000)
+      args
+  in
+  Alcotest.(check int) "abandoned first" Errc.timed_out rc;
+  (* Now forge a server that "attached" and died: pid recorded, ready
+     state set, heartbeat forever frozen. *)
+  Seg.set seg W.off_server_pid (dead_pid ());
+  Seg.set seg W.off_server_state W.peer_ready;
+  (* ...and two calls in flight when the death verdict lands. *)
+  let i1 = Ch.submit_raw client ~ep:(W.pack_raw_call 0) args in
+  let i2 = Ch.submit_raw client ~ep:(W.pack_raw_call 0) args in
+  Alcotest.(check bool) "both submitted" true (i1 >= 0 && i2 >= 0);
+  (* await discovers the frozen heartbeat, probes the pid, sweeps, and
+     fails the in-flight call with handler_fault. *)
+  let rc1 = Ch.await client i1 args in
+  Alcotest.(check int) "in-flight call 1 fails with handler_fault"
+    Errc.handler_fault rc1;
+  let rc2 = Ch.await client i2 args in
+  Alcotest.(check int) "in-flight call 2 fails with handler_fault"
+    Errc.handler_fault rc2;
+  Alcotest.(check bool) "verdict is sticky" true (Ch.peer_dead client);
+  Alcotest.(check int) "both faults counted" 2 (Ch.peer_faults client);
+  (* Every cell recycled exactly once: the stranded abandoned cell came
+     back in the sweep, the two faulted cells through their awaits. *)
+  Alcotest.(check int) "every cell is home" 4 (Ch.free_cells client);
+  Alcotest.(check int) "a second sweep finds nothing" 0
+    (Ch.sweep_dead_peer client);
+  Alcotest.(check int) "submits after the verdict answer killed"
+    Errc.killed
+    (Ch.submit_raw client ~ep:(W.pack_raw_call 0) args)
+
+(* --- the full dispatcher over a file-backed segment ------------------------ *)
+
+let test_fastcall_dispatch_file () =
+  with_temp_path (fun path ->
+      let seg = Ch.create_file ~path ~capacity:16 ~arg_words:8 () in
+      let server = Ch.attach ~role:Ch.Server seg in
+      let fast = Runtime.Fastcall.create () in
+      let ctl = Runtime.Control.install fast in
+      let dispatch = Ch.fastcall_dispatch fast ctl in
+      let srv = Domain.spawn (fun () -> Ch.serve server ~dispatch) in
+      let client = Ch.attach_file ~role:Ch.Client path in
+      let args = Array.make 8 0 in
+      let ctl_call () = Ch.call client ~ep:W.ctl_ep args in
+      (* register Add2 by spec; the handle comes back in word 0 *)
+      let code, param = W.spec_to_wire Ipc_intf.Sigs.Add2 in
+      args.(0) <- W.ctl_register;
+      args.(1) <- code;
+      args.(2) <- param;
+      Alcotest.(check int) "register rc" Errc.ok (ctl_call ());
+      let handle = args.(0) in
+      (* call through the versioned wire handle *)
+      args.(0) <- 19;
+      args.(1) <- 23;
+      Alcotest.(check int) "handle call rc" Errc.ok
+        (Ch.call client ~ep:handle args);
+      Alcotest.(check int) "Add2 ran server-side" 42 args.(0);
+      (* publish under a name, look it up, call by raw ID *)
+      let w0, w1 =
+        match W.pack_name "adder" with Some p -> p | None -> assert false
+      in
+      args.(0) <- W.ctl_publish;
+      args.(1) <- handle;
+      args.(2) <- w0;
+      args.(3) <- w1;
+      Alcotest.(check int) "publish rc" Errc.ok (ctl_call ());
+      args.(0) <- W.ctl_lookup;
+      args.(1) <- w0;
+      args.(2) <- w1;
+      Alcotest.(check int) "lookup rc" Errc.ok (ctl_call ());
+      let raw_id = args.(0) in
+      Alcotest.(check int) "lookup returns the slot" (W.handle_slot handle)
+        raw_id;
+      args.(0) <- 1;
+      args.(1) <- 2;
+      Alcotest.(check int) "raw-ID call rc" Errc.ok
+        (Ch.call client ~ep:(W.pack_raw_call raw_id) args);
+      Alcotest.(check int) "raw-ID call ran" 3 args.(0);
+      (* exchange to Stamp 7: same handle, new behavior *)
+      let scode, sparam = W.spec_to_wire (Ipc_intf.Sigs.Stamp 7) in
+      args.(0) <- W.ctl_exchange;
+      args.(1) <- handle;
+      args.(2) <- scode;
+      args.(3) <- sparam;
+      Alcotest.(check int) "exchange rc" Errc.ok (ctl_call ());
+      args.(0) <- 0;
+      Alcotest.(check int) "exchanged behavior rc" Errc.ok
+        (Ch.call client ~ep:handle args);
+      Alcotest.(check int) "stamp visible" 7 args.(0);
+      (* idle entry point: nothing in flight *)
+      args.(0) <- W.ctl_in_flight;
+      args.(1) <- handle;
+      Alcotest.(check int) "in_flight rc" Errc.ok (ctl_call ());
+      Alcotest.(check int) "in_flight count" 0 args.(0);
+      (* soft-kill; the dead handle then refuses calls *)
+      args.(0) <- W.ctl_soft_kill;
+      args.(1) <- handle;
+      Alcotest.(check int) "soft kill rc" Errc.ok (ctl_call ());
+      Alcotest.(check int) "dead handle refuses" Errc.no_entry
+        (Ch.call client ~ep:handle args);
+      (* unknown ctl op and malformed spec are bad_request, contained *)
+      args.(0) <- 999;
+      Alcotest.(check int) "unknown op" Errc.bad_request (ctl_call ());
+      args.(0) <- W.ctl_register;
+      args.(1) <- 777 (* no such spec code *);
+      Alcotest.(check int) "bad spec refused" Errc.bad_request (ctl_call ());
+      Ch.announce_shutdown client;
+      ignore (Domain.join srv : int);
+      Seg.unlink seg)
+
+(* --- zero-allocation pin --------------------------------------------------- *)
+
+(* [Gc.minor_words] is per-domain, so the busy server domain cannot
+   pollute the client's delta.  Same discipline as the Fastcall pins in
+   test_runtime.ml: warm up outside the window, then demand exactly
+   zero. *)
+let minor_words_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let zero_alloc_on seg name =
+  let server = Ch.attach ~role:Ch.Server seg in
+  let client = Ch.attach ~role:Ch.Client seg in
+  let srv = Domain.spawn (fun () -> Ch.serve server ~dispatch:adder_dispatch) in
+  let args = Array.make 8 0 in
+  let ep = W.pack_raw_call 0 in
+  let loop () =
+    for i = 1 to 500 do
+      args.(0) <- i;
+      args.(1) <- 1;
+      ignore (Ch.call client ~ep args : int)
+    done
+  in
+  loop ();
+  (* warm-up *)
+  let delta = minor_words_delta loop in
+  Ch.announce_shutdown client;
+  ignore (Domain.join srv : int);
+  Alcotest.(check (float 0.0)) name 0.0 delta
+
+let test_zero_alloc_heap () =
+  zero_alloc_on
+    (Ch.create_heap ~capacity:8 ~arg_words:8 ())
+    "warm heap-segment calls allocate zero minor words"
+
+let test_zero_alloc_file () =
+  with_temp_path (fun path ->
+      zero_alloc_on
+        (Ch.create_file ~path ~capacity:8 ~arg_words:8 ())
+        "warm file-segment calls allocate zero minor words")
+
+let suites =
+  [
+    ( "shm.wire_abi",
+      [
+        Alcotest.test_case "layout is pinned" `Quick test_abi_layout;
+        Alcotest.test_case "entry-point word encodings" `Quick
+          test_abi_ep_word;
+      ] );
+    ( "shm.segment",
+      [
+        Alcotest.test_case "heap backend words" `Quick test_segment_heap;
+        Alcotest.test_case "mmap backend words + sharing" `Quick
+          test_segment_shm;
+      ] );
+    ( "shm.channel",
+      [
+        Alcotest.test_case "layout/attach validation" `Quick
+          test_channel_validation;
+        Alcotest.test_case "round trip (heap)" `Quick test_round_trip_heap;
+        Alcotest.test_case "round trip (file, two mappings)" `Quick
+          test_round_trip_file;
+        Alcotest.test_case "backpressure is explicit" `Quick test_backpressure;
+        Alcotest.test_case "deadline abandon + reclaim" `Quick
+          test_deadline_abandon_reclaim;
+        Alcotest.test_case "peer death containment" `Quick
+          test_peer_death_containment;
+        Alcotest.test_case "fastcall dispatcher over a file" `Quick
+          test_fastcall_dispatch_file;
+        Alcotest.test_case "zero-alloc warm path (heap)" `Quick
+          test_zero_alloc_heap;
+        Alcotest.test_case "zero-alloc warm path (file)" `Quick
+          test_zero_alloc_file;
+      ] );
+  ]

@@ -849,14 +849,14 @@ module Shm = struct
     let again = Ch.sweep_dead_peer ch in
     if again <> 0 then fail "second sweep re-recycled %d cells" again;
     let rc = Ch.submit_raw ch ~ep:napper a in
-    if rc <> Errc.killed then
-      fail "submit after the verdict: expected killed, got %s"
+    if rc <> Errc.peer_dead then
+      fail "submit after the verdict: expected peer_dead, got %s"
         (Errc.to_string rc);
     cleanup path;
     Fmt.pr
       "kill9: PASS — server pid %d killed -9 mid-service; 4 in-flight calls \
        failed with handler_fault; %d/%d cells recycled exactly once; later \
-       submits answer killed@."
+       submits answer peer_dead@."
       pid (Ch.capacity ch) (Ch.capacity ch)
 
   (* Forked ping-pong demo: the smoke test for the cross-process path. *)
@@ -997,6 +997,68 @@ let shm_cmd =
       $ logs_term $ scenario_arg $ server_arg $ client_arg $ calls_arg
       $ capacity_arg)
 
+(* --- chaos: process-level kill -9 chaos under open-loop load --------------- *)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Schedule seed: kill thresholds, victims and pacing are a pure \
+             function of it.")
+  in
+  let calls_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "calls" ] ~docv:"N" ~doc:"Call budget the client(s) must drain.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "events" ] ~docv:"N"
+          ~doc:"SIGKILLs to inject (victim drawn per event).")
+  in
+  let pace_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "pace-us" ] ~docv:"US"
+          ~doc:"Mean exponential inter-arrival of the open-loop load, in \u{00b5}s.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-seed verdict-reconciliation table (markdown) to \
+             FILE (the CI failure artifact).")
+  in
+  let run seed calls events pace_us out =
+    let r = Faultsim.Proc_chaos.run ~calls ~events ~pace_us ~seed () in
+    Fmt.pr "%a@." Faultsim.Proc_chaos.pp_report r;
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Faultsim.Proc_chaos.to_markdown r);
+        close_out oc;
+        Fmt.pr "wrote %s@." file);
+    if not (Faultsim.Proc_chaos.ok r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Process-level chaos against the shm transport: a supervised server \
+          and a reconnecting session client under seeded open-loop load, \
+          with SIGKILLs of either side at scheduled points; the run fails \
+          unless the double-entry books balance exactly (every claimed call \
+          one verdict, respawns = server kills, session releases = client \
+          kills, reattaches = server kills, zero leaked cells)")
+    Term.(
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ seed_arg $ calls_arg $ events_arg $ pace_arg $ out_arg)
+
 (* --- traffic: the million-client open-loop study --------------------------- *)
 
 let traffic_cmd =
@@ -1112,5 +1174,5 @@ let () =
             fig2_cmd; fig3_cmd; t3_cmd; f3b_cmd; f3c_cmd; l1_cmd; a1_cmd;
             a2_cmd; a3_cmd; a4_cmd; a7_cmd; a8_cmd; a9_cmd; e1_cmd; e2_cmd; intro_cmd; trace_cmd;
             faults_cmd; channel_cmd; lifecycle_cmd; copy_cmd; traffic_cmd;
-            shm_cmd;
+            shm_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,50 @@
+(** Process-level chaos for the cross-process shm transport: a
+    supervised server child and a session client child under open-loop
+    paced load, with seed-scheduled [SIGKILL]s of either side, audited
+    by double-entry bookkeeping in a separate never-regenerated ledger
+    segment.
+
+    At quiesce the books must balance exactly: every claimed call has
+    exactly one verdict (or died with a killed client, counted from a
+    post-reap ledger snapshot), supervisor respawns and session
+    releases and client reattaches each equal the kills injected
+    against them, and the final segment holds zero non-free slab
+    cells.  Any slack is a [violations] entry and the run fails.
+
+    {b Fork safety:} [run] forks; call it only from a single-domain
+    process (the [ppc_sim chaos] driver qualifies). *)
+
+type report = {
+  seed : int;
+  calls : int;
+  events : int;
+  injected_server_kills : int;
+  injected_client_kills : int;
+  respawns : int;  (** supervisor respawns — must equal server kills *)
+  releases : int;  (** session releases — must equal client kills *)
+  reattaches : int;  (** client reattaches — must equal server kills *)
+  started : int;  (** claimed call slots — must equal [calls] *)
+  ok_calls : int;
+  handler_faults : int;  (** must be zero: the handler cannot raise *)
+  gave_up : int;  (** honest [Errc.retry] verdicts (budget exhausted) *)
+  other_rc : int;  (** must be zero: outside the verdict set *)
+  lost : int;  (** calls that died unresolved with a killed client *)
+  leaked_cells : int;  (** must be zero at quiesce *)
+  violations : string list;
+}
+
+val ok : report -> bool
+(** No violations. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_markdown : report -> string
+(** The per-seed verdict-reconciliation table CI uploads on failure. *)
+
+val run : ?calls:int -> ?events:int -> ?pace_us:float -> seed:int -> unit -> report
+(** One chaos run: [calls] (default 4000) Add2 calls at mean [pace_us]
+    (default 60) exponential inter-arrivals, with [events] (default 6)
+    kills at seed-drawn progress thresholds.  The schedule is a pure
+    function of [seed]; wall-clock decides only the interleavings the
+    invariants must survive.  Every internal wait is bounded, so a
+    wedged run reports violations instead of hanging. *)

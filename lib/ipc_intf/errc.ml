@@ -14,12 +14,15 @@ let timed_out = -7 (* the caller's deadline expired; cell abandoned *)
 let retry = -8 (* transient backpressure (ring full / pool capped) *)
 let too_big = -9 (* bulk payload exceeds the per-call copy limit *)
 let copy_fault = -10 (* copy engine: bad descriptor, region or ownership *)
+let peer_dead = -11 (* the peer process is confirmed dead; reattach the session *)
+let stale_generation = -12 (* the segment was regenerated under this mapping *)
 
 (* Every code, for exhaustive round-trip tests.  Append-only, like the
    wire values themselves. *)
 let all =
   [ ok; no_entry; killed; denied; bad_request; no_resources;
-    handler_fault; timed_out; retry; too_big; copy_fault ]
+    handler_fault; timed_out; retry; too_big; copy_fault;
+    peer_dead; stale_generation ]
 
 let to_string rc =
   if rc = ok then "ok"
@@ -33,4 +36,6 @@ let to_string rc =
   else if rc = retry then "err_retry"
   else if rc = too_big then "err_too_big"
   else if rc = copy_fault then "err_copy_fault"
+  else if rc = peer_dead then "err_peer_dead"
+  else if rc = stale_generation then "err_stale_generation"
   else Printf.sprintf "rc(%d)" rc

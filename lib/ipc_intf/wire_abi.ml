@@ -51,10 +51,12 @@ let magic = 0x50_50_43_5F_41_42_49
    immediate.  Also the endianness canary: byte-swapped it has bit 63
    set and cannot round-trip through an OCaml int. *)
 
-let abi_version = 1
+let abi_version = 2
 (* Bump on ANY layout or encoding change below.  Attach refuses a
    mismatch; there is no in-place migration — a segment is as cheap to
-   rebuild as to reinterpret. *)
+   rebuild as to reinterpret.  v2: word 15 became the sessions-released
+   counter (was reserved/zero) and the generation seqlock is reused for
+   in-place regeneration, not just first construction. *)
 
 (* --- header ---------------------------------------------------------------- *)
 
@@ -64,11 +66,16 @@ let off_magic = 0
 let off_version = 1
 
 let off_generation = 2
-(* Seqlock for segment construction: the creator writes an odd value,
-   initialises every other word, then stores the even successor.  An
-   attacher spins until it reads an even, nonzero generation — after
-   which the header is immutable (only heartbeats, states and counters
-   move). *)
+(* Seqlock for segment construction AND regeneration: a builder reads
+   the current value, writes the next odd value, (re)initialises every
+   mutable word, then stores the even successor.  An attacher spins
+   until it reads an even, nonzero generation — after which the layout
+   words are immutable (only heartbeats, states and counters move) —
+   and records it; any later mismatch between the recorded and the
+   live value means the segment was rebuilt underneath the mapping and
+   the session must fail closed with [Errc.stale_generation] and
+   reattach.  Monotonic across rebuilds: 0 -> 1 -> 2 (first build),
+   2 -> 3 -> 4 (first regeneration), and so on. *)
 
 let off_total_words = 3
 let off_capacity = 4
@@ -107,7 +114,11 @@ let off_peer_faults = 14
 (* In-flight calls a surviving side failed with [Errc.handler_fault]
    after detecting peer death. *)
 
-let off_reserved = 15
+let off_sessions = 15
+(* Sessions the server has released after confirming client death (or
+   clean departure): fetch-added once per [release_session], so the
+   supervisor and the chaos harness can reconcile injected client
+   kills against observed releases by double entry. *)
 
 (* --- rings ----------------------------------------------------------------- *)
 

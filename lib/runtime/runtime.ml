@@ -11,6 +11,8 @@ module Ppc_channel = Ppc_channel
 module Fastcall = Fastcall
 module Segment = Segment
 module Shm_channel = Shm_channel
+module Shm_session = Shm_session
+module Proc_supervisor = Proc_supervisor
 module Control = Control
 module Locked_registry = Locked_registry
 module Domain_pool = Domain_pool

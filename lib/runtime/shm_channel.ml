@@ -27,9 +27,25 @@
 
    so every in-flight call observes [Errc.handler_fault], every cell
    returns to the free stack exactly once, and submissions after the
-   verdict answer [Errc.killed].  This is the Request_slab §4.5.6
+   verdict answer [Errc.peer_dead].  This is the Request_slab §4.5.6
    reclamation contract, extended from "server shard died" to "the
-   entire peer process is gone". *)
+   entire peer process is gone".
+
+   Session recovery.  Death containment is bidirectional and the
+   segment outlives both endpoints.  A server that finds its client
+   dead sweeps and then *releases the session* ([release_session]):
+   rings, cells and the client words are rebuilt under the generation
+   seqlock so a fresh client can attach to the same segment — the
+   [serve_sessions] loop does this and keeps serving.  A server that
+   dies is replaced by [Proc_supervisor]: the supervisor regenerates
+   the whole segment in place ([regenerate], same seqlock, never a
+   truncate — shrinking a mapped file would SIGBUS survivors), and a
+   surviving client notices the generation it recorded at attach no
+   longer matches the live word.  Every client-facing operation fails
+   closed with [Errc.stale_generation] on that mismatch; the channel
+   value is then defunct and the owner reattaches via [attach_file]
+   (Shm_session automates this, retrying the interrupted call under
+   Backoff so callers see at most [Errc.retry], never a hang). *)
 
 module W = Ipc_intf.Wire_abi
 module Errc = Ipc_intf.Errc
@@ -46,6 +62,9 @@ type t = {
   cells_base : int;
   spin : int;  (* cpu-relax budget before yielding *)
   probe_window_ns : int;
+  mutable gen : int;
+  (* the segment generation this endpoint attached under; a live value
+     that differs means the segment was rebuilt and this [t] is defunct *)
   (* client: free stack of cell indices; unused by the server *)
   free : int array;
   mutable free_len : int;
@@ -95,9 +114,13 @@ let bump_heartbeat t =
 
 let total_words ~capacity ~arg_words = W.total_words ~capacity ~arg_words
 
-(* Lay a fresh segment out under the generation seqlock.  The creator
-   need not be either endpoint — in the forked demo the parent lays the
-   segment out before forking the server. *)
+(* Lay a segment out under the generation seqlock.  The creator need
+   not be either endpoint — in the forked demo the parent lays the
+   segment out before forking the server.  Generations are monotonic
+   across rebuilds of the same words: a fresh (zeroed) segment goes
+   0 -> 1 -> 2, a regeneration 2 -> 3 -> 4, and a builder that died at
+   an odd value is skipped past, so no two builds share a generation
+   and an attacher can always order them. *)
 let layout ?(capacity = 64) ?(arg_words = 8) seg =
   if capacity <= 0 || capacity land (capacity - 1) <> 0 then
     invalid_arg
@@ -111,13 +134,15 @@ let layout ?(capacity = 64) ?(arg_words = 8) seg =
     invalid_arg
       (Printf.sprintf "Shm_channel.layout: segment holds %d words, need %d"
          (Segment.length seg) words);
-  Segment.set seg W.off_generation 1 (* odd: under construction *);
+  let g = Segment.get seg W.off_generation in
+  let building = if g land 1 = 1 then g + 2 else g + 1 in
+  Segment.set seg W.off_generation building (* odd: under construction *);
   Segment.set seg W.off_magic W.magic;
   Segment.set seg W.off_version W.abi_version;
   Segment.set seg W.off_total_words words;
   Segment.set seg W.off_capacity capacity;
   Segment.set seg W.off_arg_words arg_words;
-  for off = W.off_server_pid to W.off_reserved do
+  for off = W.off_server_pid to W.off_sessions do
     Segment.set seg off 0
   done;
   Segment.set seg W.submit_head 0;
@@ -131,7 +156,7 @@ let layout ?(capacity = 64) ?(arg_words = 8) seg =
       Segment.set seg (base + (i * cw) + j) 0
     done
   done;
-  Segment.set seg W.off_generation 2 (* even: open for attach *)
+  Segment.set seg W.off_generation (building + 1) (* even: open for attach *)
 
 let create_heap ?capacity ?arg_words () =
   let capacity' = Option.value capacity ~default:64 in
@@ -165,6 +190,20 @@ let validate seg =
   if gen = 0 || gen land 1 = 1 then
     raise (Bad_segment "segment still under construction (odd generation)")
 
+(* Rebuild an existing segment in place for a fresh lease: same
+   geometry (read back from the header), next generation.  The caller
+   is a supervisor replacing a dead server.  Deliberately never
+   truncates or remaps the file: a surviving client still holds a
+   mapping, and shrinking a mapped file turns its loads into SIGBUS —
+   instead the survivor reads the bumped generation and fails closed
+   with [Errc.stale_generation]. *)
+let regenerate seg =
+  if Segment.get seg W.off_magic <> W.magic then
+    raise (Bad_segment "regenerate: not a PPC segment");
+  let capacity = Segment.get seg W.off_capacity in
+  let arg_words = Segment.get seg W.off_arg_words in
+  layout ~capacity ~arg_words seg
+
 (* Default cpu-relax budget before a waiter starts yielding.  Spinning
    only pays when the peer can make progress on another core; on a
    single-CPU box the whole budget is burned while the peer is
@@ -178,6 +217,23 @@ let attach ?(spin = default_spin) ?(probe_window_ns = 50_000_000) ~role seg =
   validate seg;
   let capacity = Segment.get seg W.off_capacity in
   let arg_words = Segment.get seg W.off_arg_words in
+  let pid_off =
+    match role with Server -> W.off_server_pid | Client -> W.off_client_pid
+  in
+  (* One endpoint per role per segment: attaching over a live slot
+     would add a second writer to single-writer words.  The slot is
+     open when its pid word is 0 — fresh build, regeneration, or the
+     server released the session — or already ours (same-process
+     re-attach; every in-process test and bench runs both roles under
+     one pid).  A successor process must wait for the release/rebuild:
+     Shm_session retries under its connect deadline. *)
+  let holder = Segment.get seg pid_off in
+  if holder <> 0 && holder <> Unix.getpid () then
+    raise
+      (Bad_segment
+         (Printf.sprintf "%s slot held by pid %d"
+            (match role with Server -> "server" | Client -> "client")
+            holder));
   let t =
     {
       seg;
@@ -189,6 +245,7 @@ let attach ?(spin = default_spin) ?(probe_window_ns = 50_000_000) ~role seg =
       cells_base = W.cells_base ~capacity;
       spin;
       probe_window_ns;
+      gen = Segment.get seg W.off_generation;
       free = Array.init capacity (fun i -> capacity - 1 - i);
       free_len = (match role with Client -> capacity | Server -> 0);
       hb = 0;
@@ -203,9 +260,6 @@ let attach ?(spin = default_spin) ?(probe_window_ns = 50_000_000) ~role seg =
       scratch = Array.make arg_words 0;
     }
   in
-  let pid_off =
-    match role with Server -> W.off_server_pid | Client -> W.off_client_pid
-  in
   Segment.set seg pid_off (Unix.getpid ());
   bump_heartbeat t;
   Segment.set seg (my_state_off t) W.peer_ready;
@@ -213,16 +267,23 @@ let attach ?(spin = default_spin) ?(probe_window_ns = 50_000_000) ~role seg =
 
 (* Map an existing segment file: read the header from a minimal mapping
    first (the full extent is in the header), then map the whole thing.
-   Spins until the creator's seqlock opens, bounded by [timeout_ns]. *)
-let attach_file ?spin ?probe_window_ns ?(timeout_ns = 5_000_000_000) ~role path
-    =
+   Spins until the creator's seqlock opens, bounded by [timeout_ns].
+   [after_generation] makes a reattach wait out the rebuild: only a
+   segment whose (even, open) generation exceeds it is accepted, so a
+   client that just observed [Errc.stale_generation] at generation g
+   cannot re-latch onto the very mapping it fled. *)
+let attach_file ?spin ?probe_window_ns ?(timeout_ns = 5_000_000_000)
+    ?(after_generation = 0) ~role path =
   let deadline = Doorbell.now_ns () + timeout_ns in
   let rec header_seg () =
     let ok =
       match Segment.map_file ~path ~words:W.header_words ~create:false () with
       | seg -> (
           match validate seg with
-          | () -> Some seg
+          | () ->
+              if Segment.get seg W.off_generation > after_generation then
+                Some seg
+              else None
           | exception Bad_segment _ -> None)
       | exception Unix.Unix_error _ -> None
     in
@@ -244,6 +305,11 @@ let attach_file ?spin ?probe_window_ns ?(timeout_ns = 5_000_000_000) ~role path
 let segment t = t.seg
 let capacity t = t.capacity
 let arg_words t = t.arg_words
+let generation t = t.gen
+
+(* The segment was rebuilt (regenerated, or the session released) after
+   this endpoint attached: every operation on [t] now fails closed. *)
+let stale t = Segment.get t.seg W.off_generation <> t.gen
 
 (* --- liveness -------------------------------------------------------------- *)
 
@@ -331,12 +397,14 @@ let in_flight t = t.capacity - free_cells t
 (* Submit one call: acquire a cell, stage the arguments, publish it
    through the submission ring, ring the doorbell.  Returns the cell
    index (>= 0) to [await] on, or a negative [Errc] code ([retry] on
-   exhaustion, [killed] once the peer is known dead).  The sign-split
-   return keeps the warm path free of result boxes — this is what
-   [call] rides; {!submit} wraps it for ergonomic callers.  Client
-   only; allocation-free. *)
+   exhaustion, [peer_dead] once the peer is known dead,
+   [stale_generation] once the segment was rebuilt underneath this
+   mapping).  The sign-split return keeps the warm path free of result
+   boxes — this is what [call] rides; {!submit} wraps it for ergonomic
+   callers.  Client only; allocation-free. *)
 let submit_raw t ~ep args =
-  if t.peer_dead then Errc.killed
+  if t.peer_dead then Errc.peer_dead
+  else if stale t then Errc.stale_generation
   else begin
     if t.free_len = 0 then drain_reclaim t;
     if t.free_len = 0 then Errc.retry
@@ -372,7 +440,10 @@ let submit t ~ep args =
    ([max_int] = none): on expiry the cell is abandoned to the server by
    the Pending->Abandoned CAS handoff and the call answers
    [Errc.timed_out].  Peer death answers [Errc.handler_fault] via the
-   sweep.  Spin -> yield -> nap; allocation-free. *)
+   sweep; a segment rebuilt mid-wait answers [Errc.stale_generation]
+   and orphans the cell with the old session (the channel is defunct —
+   do not recycle into a slab that no longer exists).  Spin -> yield ->
+   nap; allocation-free. *)
 (* The wait loop is a top-level function taking its whole state as
    immediate arguments — a local recursive closure (or ref cells) would
    cost a minor allocation per call and break the zero-alloc pin. *)
@@ -400,6 +471,10 @@ let rec await_loop t i args deadline st_off spins nap =
     end
     else await_loop t i args deadline st_off spins nap
     (* lost the race to Done: take the reply *)
+  else if stale t then begin
+    args.(t.rc_slot) <- Errc.stale_generation;
+    Errc.stale_generation
+  end
   else begin
     if probe_peer t then ignore (sweep_dead_peer t : int);
     bump_heartbeat t;
@@ -494,30 +569,118 @@ let serve_once t ~dispatch =
   !served
 
 (* The server loop: drain, park in growing naps when dry, exit when the
-   client announces shutdown (and the ring is dry) or is found dead
-   (after reclaiming its cells).  Returns the number of requests served
-   over the loop's lifetime. *)
+   client announces shutdown (and the ring is dry), is found dead
+   (after reclaiming its cells), or the segment is regenerated
+   underneath this server (a supervisor replaced it while it was
+   presumed dead — fail closed, and in particular do not write a
+   shutdown announcement into a session that is no longer ours).
+   Returns the number of requests served over the loop's lifetime. *)
 let serve t ~dispatch =
   let continue_ = ref true in
   let nap = ref 1_000 in
   let idle = ref 0 in
   while !continue_ do
-    let n = serve_once t ~dispatch in
-    if n > 0 then begin
-      nap := 1_000;
-      idle := 0
-    end
+    if stale t then continue_ := false
     else begin
-      if Segment.get t.seg (peer_state_off t) = W.peer_shutdown then
-        continue_ := false
-      else if probe_peer t then begin
-        ignore (sweep_dead_peer t : int);
-        continue_ := false
+      let n = serve_once t ~dispatch in
+      if n > 0 then begin
+        nap := 1_000;
+        idle := 0
       end
       else begin
-        (* Same spin -> yield -> nap ladder as the client's await: a
-           server that napped the instant the ring went dry would put a
-           wakeup latency on every ping-pong round trip. *)
+        if Segment.get t.seg (peer_state_off t) = W.peer_shutdown then
+          continue_ := false
+        else if probe_peer t then begin
+          ignore (sweep_dead_peer t : int);
+          continue_ := false
+        end
+        else begin
+          (* Same spin -> yield -> nap ladder as the client's await: a
+             server that napped the instant the ring went dry would put a
+             wakeup latency on every ping-pong round trip. *)
+          incr idle;
+          if !idle < t.spin then Domain.cpu_relax ()
+          else if !idle < t.spin + 64 then Doorbell.yield ()
+          else begin
+            Doorbell.nap_ns !nap;
+            nap := min (2 * !nap) 50_000
+          end
+        end
+      end
+    end
+  done;
+  if not (stale t) then announce_shutdown t;
+  t.served
+
+(* Release a dead (or departed) client's session so the segment can
+   host a successor without a server restart: sweep the client's cells
+   exactly once (every in-flight call gets its verdict, every stranded
+   abandoned cell is recycled — the containment half of the tentpole),
+   then rebuild rings, cells and the client words under the generation
+   seqlock.  The client is confirmed dead so no live process holds the
+   old session, but a half-attached straggler mapping would observe
+   the odd generation mid-rebuild and fail closed like any stale
+   reader.  Cumulative counters (doorbell, reclaimed, peer_faults,
+   sessions) survive the release: they are observability, not session
+   state.  The server's own [t] follows the new generation and keeps
+   serving.  Server only. *)
+let release_session t =
+  (match t.role with
+  | Server -> ()
+  | Client -> invalid_arg "Shm_channel.release_session: server role required");
+  ignore (sweep_dead_peer t : int);
+  let seg = t.seg in
+  let g = Segment.get seg W.off_generation in
+  let building = if g land 1 = 1 then g + 2 else g + 1 in
+  Segment.set seg W.off_generation building;
+  Segment.set seg W.off_client_pid 0;
+  Segment.set seg W.off_client_heartbeat 0;
+  Segment.set seg W.off_client_state W.peer_absent;
+  Segment.set seg W.submit_head 0;
+  Segment.set seg W.submit_tail 0;
+  Segment.set seg (W.reclaim_head ~capacity:t.capacity) 0;
+  Segment.set seg (W.reclaim_tail ~capacity:t.capacity) 0;
+  for i = 0 to t.capacity - 1 do
+    for j = 0 to t.cell_words - 1 do
+      Segment.set seg (t.cells_base + (i * t.cell_words) + j) 0
+    done
+  done;
+  ignore (Segment.fetch_add seg W.off_sessions 1 : int);
+  Segment.set seg W.off_generation (building + 1);
+  t.gen <- building + 1;
+  t.peer_dead <- false;
+  t.peer_hb_seen <- 0;
+  t.peer_hb_changed_ns <- Doorbell.now_ns ()
+
+(* The multi-session server loop: like [serve], but a client found dead
+   is swept and its session released ([on_release] fires once per
+   release), after which the loop keeps serving for the next client.
+   Exits on a clean client shutdown or on regeneration underneath.
+   Returns requests served over the loop's lifetime.  Server only. *)
+let serve_sessions ?(on_release = fun () -> ()) t ~dispatch =
+  (match t.role with
+  | Server -> ()
+  | Client -> invalid_arg "Shm_channel.serve_sessions: server role required");
+  let continue_ = ref true in
+  let nap = ref 1_000 in
+  let idle = ref 0 in
+  while !continue_ do
+    if stale t then continue_ := false
+    else begin
+      let n = serve_once t ~dispatch in
+      if n > 0 then begin
+        nap := 1_000;
+        idle := 0
+      end
+      else if Segment.get t.seg (peer_state_off t) = W.peer_shutdown then
+        continue_ := false
+      else if probe_peer t then begin
+        release_session t;
+        on_release ();
+        nap := 1_000;
+        idle := 0
+      end
+      else begin
         incr idle;
         if !idle < t.spin then Domain.cpu_relax ()
         else if !idle < t.spin + 64 then Doorbell.yield ()
@@ -528,7 +691,7 @@ let serve t ~dispatch =
       end
     end
   done;
-  announce_shutdown t;
+  if not (stale t) then announce_shutdown t;
   t.served
 
 (* A dispatcher over a Fastcall table + control plane: the thing that
@@ -613,6 +776,7 @@ let batches t = t.batches
 let doorbell_rings t = Segment.get t.seg W.off_doorbell
 let reclaimed t = Segment.get t.seg W.off_reclaimed
 let peer_faults t = Segment.get t.seg W.off_peer_faults
+let sessions_released t = Segment.get t.seg W.off_sessions
 let peer_pid t = Segment.get t.seg (peer_pid_off t)
 let peer_ready t = Segment.get t.seg (peer_state_off t) = W.peer_ready
 

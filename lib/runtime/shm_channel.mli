@@ -6,10 +6,16 @@
 
     One segment pairs one server with one client; each side holds a [t]
     with its own role.  The warm submit/await path allocates nothing.
-    Crash containment extends to whole-process death: a frozen peer
-    heartbeat triggers a pid probe, and a confirmed death fails every
-    in-flight call with [Ipc_intf.Errc.handler_fault] and recycles
-    every cell exactly once (CAS-arbitrated per cell). *)
+    Crash containment extends to whole-process death — in both
+    directions: a frozen peer heartbeat triggers a pid probe, and a
+    confirmed death fails every in-flight call with
+    [Ipc_intf.Errc.handler_fault] and recycles every cell exactly once
+    (CAS-arbitrated per cell).  A server that outlives its client
+    {!release_session}s the segment for a successor; a client that
+    outlives its server detects the supervisor's in-place
+    {!regenerate} through the generation seqlock and fails closed with
+    [Errc.stale_generation] until it reattaches ({!Shm_session}
+    automates that). *)
 
 type t
 type role = Server | Client
@@ -24,10 +30,19 @@ val total_words : capacity:int -> arg_words:int -> int
 (** Segment size for a given geometry (see Wire_abi's layout table). *)
 
 val layout : ?capacity:int -> ?arg_words:int -> Segment.t -> unit
-(** Lay a fresh segment out (header under the generation seqlock, empty
+(** Lay a segment out (header under the generation seqlock, empty
     rings, free cells).  [capacity] (default 64) must be a positive
-    power of two; defaults to 8 [arg_words].
+    power of two; defaults to 8 [arg_words].  Generations are monotonic
+    across rebuilds: a zeroed segment opens at 2, each rebuild adds 2.
     @raise Invalid_argument otherwise, or if the segment is too small. *)
+
+val regenerate : Segment.t -> unit
+(** Rebuild an existing segment in place under the generation seqlock,
+    keeping the geometry recorded in its header.  For a supervisor
+    replacing a dead server.  Never truncates or remaps: survivors with
+    stale mappings read the bumped generation and fail closed with
+    [Errc.stale_generation] rather than fault.
+    @raise Bad_segment if the magic word is missing. *)
 
 val create_heap : ?capacity:int -> ?arg_words:int -> unit -> Segment.t
 (** An in-process segment, laid out and ready to attach both roles. *)
@@ -44,22 +59,36 @@ val attach :
     before a wait starts yielding (default 2048, or 16 on a single-CPU
     box where spinning only burns the peer's timeslice);
     [probe_window_ns] how long the peer's heartbeat may freeze before
-    the pid probe runs (default 50 ms). *)
+    the pid probe runs (default 50 ms).
+    @raise Bad_segment also when the role's pid slot is held by another
+    live-or-unreleased process — one endpoint per role per segment;
+    wait for the release/regeneration and retry. *)
 
 val attach_file :
   ?spin:int ->
   ?probe_window_ns:int ->
   ?timeout_ns:int ->
+  ?after_generation:int ->
   role:role ->
   string ->
   t
 (** Map and attach an existing segment file, waiting (bounded by
     [timeout_ns], default 5 s) for the creator's seqlock to open.
+    [after_generation] (default 0) additionally waits for a generation
+    strictly beyond it — a reattaching client passes the generation it
+    fled so it cannot re-latch onto the same stale build.
     @raise Bad_segment if nothing valid appears in time. *)
 
 val segment : t -> Segment.t
 val capacity : t -> int
 val arg_words : t -> int
+
+val generation : t -> int
+(** The segment generation this endpoint attached under. *)
+
+val stale : t -> bool
+(** The segment was rebuilt after this endpoint attached: every
+    operation on [t] now fails closed with [Errc.stale_generation]. *)
 
 (** {1 Client side} *)
 
@@ -67,7 +96,9 @@ val submit : t -> ep:int -> int array -> (int, int) result
 (** Stage a call: acquire a cell, write the entry-point word and
     arguments, publish through the submission ring, ring the doorbell.
     [Ok cell] to {!await} on; [Error Errc.retry] when every cell is in
-    flight, [Error Errc.killed] once the peer is known dead. *)
+    flight, [Error Errc.peer_dead] once the peer is known dead,
+    [Error Errc.stale_generation] once the segment was rebuilt under
+    this mapping (the [t] is defunct — reattach). *)
 
 val submit_raw : t -> ep:int -> int array -> int
 (** {!submit} without the result box: a cell index [>= 0] to {!await}
@@ -80,7 +111,9 @@ val await : ?deadline:int -> t -> int -> int array -> int
     CLOCK_MONOTONIC ns: on expiry the cell is abandoned to the server
     (Pending->Abandoned CAS handoff; it comes back through the reclaim
     ring) and the call answers [Errc.timed_out].  Peer death answers
-    [Errc.handler_fault].  Spin -> yield -> nap; allocation-free. *)
+    [Errc.handler_fault]; a regeneration mid-wait answers
+    [Errc.stale_generation] (the cell died with the old session — do
+    not reuse this [t]).  Spin -> yield -> nap; allocation-free. *)
 
 val call : t -> ep:int -> int array -> int
 (** [submit] + [await]. *)
@@ -103,8 +136,23 @@ val serve_once : t -> dispatch:dispatch -> int
 
 val serve : t -> dispatch:dispatch -> int
 (** The server loop: drain, park in growing naps when dry, exit on the
-    client's shutdown announcement or confirmed death (after reclaiming
-    its cells).  Returns total requests served. *)
+    client's shutdown announcement, its confirmed death (after
+    reclaiming its cells), or a regeneration underneath this server
+    (fail closed).  Returns total requests served. *)
+
+val release_session : t -> unit
+(** After a confirmed client death: sweep exactly once, then rebuild
+    rings, cells and the client words under the generation seqlock so
+    a successor client can attach to the same segment.  Bumps the
+    sessions-released counter; the server's [t] follows the new
+    generation.  Server only.
+    @raise Invalid_argument from a client-role [t]. *)
+
+val serve_sessions : ?on_release:(unit -> unit) -> t -> dispatch:dispatch -> int
+(** Like {!serve}, but a dead client's session is swept, released and
+    the loop keeps serving for the next client ([on_release] fires once
+    per release).  Exits on a clean client shutdown or on regeneration
+    underneath.  Returns total requests served.  Server only. *)
 
 val fastcall_dispatch : ?principal:int -> Fastcall.t -> Control.t -> dispatch
 (** A dispatcher over a Fastcall table and its control plane: versioned
@@ -148,3 +196,8 @@ val batches : t -> int
 val doorbell_rings : t -> int
 val reclaimed : t -> int
 val peer_faults : t -> int
+
+val sessions_released : t -> int
+(** Sessions the server has released after confirmed client deaths
+    (cumulative across the segment's lifetime — the chaos harness
+    reconciles this against injected client kills by double entry). *)

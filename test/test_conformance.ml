@@ -210,6 +210,8 @@ let test_errc_round_trip () =
       (Errc.retry, -8, "err_retry");
       (Errc.too_big, -9, "err_too_big");
       (Errc.copy_fault, -10, "err_copy_fault");
+      (Errc.peer_dead, -11, "err_peer_dead");
+      (Errc.stale_generation, -12, "err_stale_generation");
     ]
   in
   Alcotest.(check int)

@@ -17,7 +17,7 @@ module Ch = Runtime.Shm_channel
    encodings verbatim, so any relayout forces an [abi_version] bump to
    show up in the same diff. *)
 let test_abi_layout () =
-  Alcotest.(check int) "abi version" 1 W.abi_version;
+  Alcotest.(check int) "abi version" 2 W.abi_version;
   Alcotest.(check bool) "magic is a positive immediate" true (W.magic > 0);
   Alcotest.(check string) "magic spells PPC_ABI" "PPC_ABI"
     (String.init 7 (fun i -> Char.chr ((W.magic lsr (8 * (6 - i))) land 0xff)));
@@ -41,7 +41,7 @@ let test_abi_layout () =
       ("doorbell", W.off_doorbell);
       ("reclaimed", W.off_reclaimed);
       ("peer_faults", W.off_peer_faults);
-      ("reserved", W.off_reserved);
+      ("sessions", W.off_sessions);
     ];
   (* Regions tile the segment exactly: header | submit ring | reclaim
      ring | cells, no gaps, no overlap, for several geometries. *)
@@ -378,9 +378,201 @@ let test_peer_death_containment () =
   Alcotest.(check int) "every cell is home" 4 (Ch.free_cells client);
   Alcotest.(check int) "a second sweep finds nothing" 0
     (Ch.sweep_dead_peer client);
-  Alcotest.(check int) "submits after the verdict answer killed"
-    Errc.killed
+  Alcotest.(check int) "submits after the verdict answer peer_dead"
+    Errc.peer_dead
     (Ch.submit_raw client ~ep:(W.pack_raw_call 0) args)
+
+(* --- session recovery: regeneration, release, reconnect -------------------- *)
+
+module Sess = Runtime.Shm_session
+
+(* Bounded poll for a cross-domain condition. *)
+let wait_for ?(timeout_ns = 5_000_000_000) cond =
+  let deadline = Runtime.Doorbell.now_ns () + timeout_ns in
+  let rec go () =
+    if cond () then true
+    else if Runtime.Doorbell.now_ns () > deadline then false
+    else begin
+      Runtime.Doorbell.nap_ns 200_000;
+      go ()
+    end
+  in
+  go ()
+
+(* A second independent mapping of the segment file, sized from its own
+   header — the supervisor's view of the world. *)
+let remap_file path =
+  let hdr = Seg.map_file ~path ~words:W.header_words ~create:false () in
+  let words = Seg.get hdr W.off_total_words in
+  Seg.map_file ~path ~words ~create:false ()
+
+(* An occupied endpoint slot (a pid that is not ours) refuses a second
+   attachment: two writers on single-writer words would tear the
+   session.  The slot opens again once the holder is released. *)
+let test_attach_occupied_slot () =
+  let seg = Ch.create_heap ~capacity:4 ~arg_words:8 () in
+  let expect_held name off =
+    Seg.set seg off 1 (* pid 1: alive and certainly not us *);
+    (match Ch.attach ~role:(if off = W.off_server_pid then Ch.Server else Ch.Client) seg with
+    | (_ : Ch.t) -> Alcotest.failf "%s attach accepted an occupied slot" name
+    | exception Ch.Bad_segment _ -> ());
+    Seg.set seg off 0
+  in
+  expect_held "server" W.off_server_pid;
+  expect_held "client" W.off_client_pid;
+  (* both slots open again: attach succeeds *)
+  ignore (Ch.attach ~role:Ch.Server seg : Ch.t);
+  ignore (Ch.attach ~role:Ch.Client seg : Ch.t)
+
+(* Regeneration under a live mapping: the stale endpoint fails closed on
+   every path — in-flight awaits, new submits, whole calls — with
+   [stale_generation], never reading the rebuilt session's state; a
+   reattach that refuses the fled generation lands on the new one, and a
+   reattach demanding a generation that has not happened yet times out
+   instead of latching onto the old mapping. *)
+let test_regeneration_fails_closed () =
+  with_temp_path (fun path ->
+      ignore (Ch.create_file ~path ~capacity:4 ~arg_words:8 () : Seg.t);
+      let client = Ch.attach_file ~role:Ch.Client path in
+      let g0 = Ch.generation client in
+      Alcotest.(check int) "construction generation" 2 g0;
+      let args = Array.make 8 0 in
+      let i1 = Ch.submit_raw client ~ep:(W.pack_raw_call 0) args in
+      Alcotest.(check bool) "call in flight" true (i1 >= 0);
+      (* The supervisor's mapping rebuilds the segment in place. *)
+      let seg2 = remap_file path in
+      Ch.regenerate seg2;
+      Alcotest.(check int) "generation is monotonic across rebuilds" (g0 + 2)
+        (Seg.get seg2 W.off_generation);
+      Alcotest.(check bool) "old endpoint is stale" true (Ch.stale client);
+      Alcotest.(check int) "in-flight await fails closed" Errc.stale_generation
+        (Ch.await client i1 args);
+      Alcotest.(check int) "rc slot carries the verdict" Errc.stale_generation
+        args.(7);
+      Alcotest.(check int) "submit fails closed" Errc.stale_generation
+        (Ch.submit_raw client ~ep:(W.pack_raw_call 0) args);
+      Alcotest.(check int) "whole call fails closed" Errc.stale_generation
+        (Ch.call client ~ep:(W.pack_raw_call 0) args);
+      (* The rebuilt session is virgin — the stale client's in-flight
+         cell did not leak into it. *)
+      Alcotest.(check int) "fresh submit ring is empty" 0
+        (Seg.get seg2 W.submit_tail);
+      Alcotest.(check int) "fresh cell 0 is free" W.state_free
+        (Seg.get seg2 (W.cell_state ~capacity:4 ~arg_words:8 0));
+      (* Reattach refusing the fled generation gets the new one... *)
+      let c2 = Ch.attach_file ~after_generation:g0 ~role:Ch.Client path in
+      Alcotest.(check int) "reattach lands on the new generation" (g0 + 2)
+        (Ch.generation c2);
+      Alcotest.(check int) "new endpoint has every cell" 4 (Ch.free_cells c2);
+      (* ...and demanding a generation that has not happened yet refuses
+         in bounded time rather than accepting the current build. *)
+      Ch.announce_shutdown c2 (* open the slot for hygiene *);
+      match
+        Ch.attach_file ~timeout_ns:50_000_000 ~after_generation:(g0 + 2)
+          ~role:Ch.Client path
+      with
+      | (_ : Ch.t) ->
+          Alcotest.fail "attach accepted a generation it was told to refuse"
+      | exception Ch.Bad_segment _ -> ())
+
+(* Server-side client-death containment: a multi-session server probes
+   the frozen heartbeat, confirms the pid is gone, sweeps and releases
+   the session — once — and the segment is immediately reusable by a
+   successor client, with the cumulative counters intact. *)
+let test_release_session_reuse () =
+  let seg = Ch.create_heap ~capacity:4 ~arg_words:8 () in
+  let server = Ch.attach ~probe_window_ns:1_000 ~role:Ch.Server seg in
+  let released = Atomic.make 0 in
+  let srv =
+    Domain.spawn (fun () ->
+        Ch.serve_sessions server
+          ~on_release:(fun () -> Atomic.incr released)
+          ~dispatch:adder_dispatch)
+  in
+  let client = Ch.attach ~role:Ch.Client seg in
+  let args = Array.make 8 0 in
+  for i = 1 to 50 do
+    args.(0) <- i;
+    args.(1) <- i;
+    if Ch.call client ~ep:(W.pack_raw_call 0) args <> Errc.ok then
+      Alcotest.failf "warm call %d failed" i
+  done;
+  (* Forge this client's death: its recorded pid becomes one nobody
+     owns, and its heartbeat freezes because it stops calling. *)
+  Seg.set seg W.off_client_pid (dead_pid ());
+  Alcotest.(check bool) "server released the dead session" true
+    (wait_for (fun () -> Ch.sessions_released client >= 1));
+  Alcotest.(check int) "released exactly once" 1 (Ch.sessions_released client);
+  Alcotest.(check int) "on_release fired exactly once" 1 (Atomic.get released);
+  Alcotest.(check bool) "the dead client's endpoint is stale" true
+    (Ch.stale client);
+  (* The slot is open again: a successor attaches the same segment and
+     round-trips against the same server loop. *)
+  let c2 = Ch.attach ~role:Ch.Client seg in
+  args.(0) <- 19;
+  args.(1) <- 23;
+  Alcotest.(check int) "successor call rc" Errc.ok
+    (Ch.call c2 ~ep:(W.pack_raw_call 0) args);
+  Alcotest.(check int) "successor sum" 42 args.(2);
+  Alcotest.(check int) "every cell is home for the new session" 4
+    (Ch.free_cells c2);
+  Ch.announce_shutdown c2;
+  let served = Domain.join srv in
+  Alcotest.(check bool) "server served across both sessions" true (served >= 51)
+
+(* The reconnecting client end to end (single process, so only the
+   generation-based path is exercised — pid probes see ourselves
+   alive): a session survives a server restart over a regenerated
+   segment, re-resolving its named binding against the fresh registry
+   and retrying the interrupted call, with exactly one reattach
+   counted. *)
+let test_session_reconnect () =
+  with_temp_path (fun path ->
+      ignore (Ch.create_file ~path ~capacity:8 ~arg_words:8 () : Seg.t);
+      let spawn_server () =
+        Domain.spawn (fun () ->
+            let server = Ch.attach_file ~role:Ch.Server path in
+            let fast = Runtime.Fastcall.create () in
+            let ctl = Runtime.Control.install fast in
+            Ch.serve_sessions server ~dispatch:(Ch.fastcall_dispatch fast ctl))
+      in
+      let srv1 = spawn_server () in
+      let reattached = ref 0 in
+      let sess =
+        Sess.connect ~on_reattach:(fun () -> incr reattached) ~path ()
+      in
+      let b = Sess.bind sess ~name:"t/adder" ~spec:Ipc_intf.Sigs.Add2 in
+      let args = Array.make 8 0 in
+      args.(0) <- 19;
+      args.(1) <- 23;
+      Alcotest.(check int) "first-incarnation call" Errc.ok
+        (Sess.call sess b args);
+      Alcotest.(check int) "sum" 42 args.(0);
+      let g1 = Sess.generation sess in
+      (* The supervisor regenerates under everyone; server 1 notices the
+         stale generation and exits its loop. *)
+      Ch.regenerate (remap_file path);
+      ignore (Domain.join srv1 : int);
+      let srv2 = spawn_server () in
+      args.(0) <- 1;
+      args.(1) <- 2;
+      Alcotest.(check int) "healed call after the restart" Errc.ok
+        (Sess.call sess b args);
+      Alcotest.(check int) "healed sum" 3 args.(0);
+      Alcotest.(check int) "exactly one reattach" 1 (Sess.reattaches sess);
+      Alcotest.(check int) "the hook mirrored it" 1 !reattached;
+      Alcotest.(check int) "exactly one death-triggered retry" 1
+        (Sess.retried sess);
+      Alcotest.(check bool) "generation advanced" true
+        (Sess.generation sess > g1);
+      (* Steady state again: no further recovery on later calls. *)
+      args.(0) <- 4;
+      args.(1) <- 5;
+      Alcotest.(check int) "steady call" Errc.ok (Sess.call sess b args);
+      Alcotest.(check int) "steady sum" 9 args.(0);
+      Alcotest.(check int) "still one reattach" 1 (Sess.reattaches sess);
+      Sess.close sess;
+      ignore (Domain.join srv2 : int))
 
 (* --- the full dispatcher over a file-backed segment ------------------------ *)
 
@@ -535,5 +727,16 @@ let suites =
           test_zero_alloc_heap;
         Alcotest.test_case "zero-alloc warm path (file)" `Quick
           test_zero_alloc_file;
+      ] );
+    ( "shm.recovery",
+      [
+        Alcotest.test_case "occupied slots refuse attach" `Quick
+          test_attach_occupied_slot;
+        Alcotest.test_case "regeneration fails stale endpoints closed" `Quick
+          test_regeneration_fails_closed;
+        Alcotest.test_case "dead-client release + segment reuse" `Quick
+          test_release_session_reuse;
+        Alcotest.test_case "session reconnect across a server restart" `Quick
+          test_session_reconnect;
       ] );
   ]
